@@ -1,0 +1,47 @@
+//! # om-actor
+//!
+//! An Orleans-like **virtual actor runtime** ("grains" hosted in "silos"),
+//! the substrate under three of the four Online Marketplace bindings
+//! (paper §III: *Orleans Eventual*, *Orleans Transactions*, *Customized
+//! Orleans*).
+//!
+//! ## Runtime model
+//!
+//! * A [`grain::GrainId`] names a virtual actor: a `(kind, key)` pair.
+//!   Grains are *virtual* — callers never create them; the first message
+//!   activates the grain on some silo (hash placement recorded in the
+//!   cluster directory), mirroring Orleans' location and lifecycle
+//!   transparency (paper Fig. 1).
+//! * Each activation processes messages **single-threaded, turn by turn**
+//!   from its mailbox; concurrency exists only *across* grains.
+//! * Silos own worker-thread pools. Killing a silo drops its activations
+//!   and their volatile state; grains that persisted state via
+//!   [`grain::GrainContext::persist`] recover it on reactivation
+//!   (grain storage survives silo failures, as in Fig. 1's storage layer).
+//! * Messaging is either fire-and-forget events ([`cluster::Cluster::notify`],
+//!   used for the asynchronous event flows of the benchmark) or blocking
+//!   request/response ([`cluster::Cluster::call`], used by the driver and
+//!   the transaction coordinator).
+//! * A seeded [`cluster::FaultConfig`] can drop or duplicate event
+//!   messages — the delivery-semantics knob behind the benchmark's event
+//!   processing criteria.
+//!
+//! ## Transactions
+//!
+//! The [`tx`] module layers ACID distributed transactions over grains, in
+//! the style of Orleans Transactions: per-grain reader/writer locks with
+//! **wait-die** deadlock avoidance ([`tx::participant`]), staged writes,
+//! and a client-side **two-phase commit** coordinator writing a durable
+//! decision log ([`tx::coordinator`]). The overhead this machinery adds
+//! over bare eventual messaging is exactly what experiment E5 measures.
+
+pub mod cluster;
+pub mod grain;
+pub mod mailbox;
+pub mod silo;
+pub mod storage;
+pub mod tx;
+
+pub use cluster::{Cluster, ClusterBuilder, FaultConfig};
+pub use grain::{Grain, GrainContext, GrainId};
+pub use storage::StorageMap;

@@ -1,0 +1,298 @@
+//! The two-phase-commit coordinator and its durable decision log.
+
+use om_common::ids::{IdSequence, TransactionId};
+use om_common::{OmError, OmResult};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Coordinator-side view of one participant. The marketplace's
+/// transactional binding implements this by calling into the grain that
+/// hosts the corresponding [`crate::tx::TxParticipant`].
+pub trait Participant {
+    /// Phase one: vote. `Ok(true)` = yes, `Ok(false)` = no.
+    fn prepare(&self, tid: TransactionId) -> OmResult<bool>;
+    /// Phase two, commit path. Must succeed once prepared (participants
+    /// may not change their mind).
+    fn commit(&self, tid: TransactionId) -> OmResult<()>;
+    /// Phase two, abort path. Must be idempotent.
+    fn abort(&self, tid: TransactionId) -> OmResult<()>;
+}
+
+/// Phases recorded in the decision log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxPhase {
+    Preparing,
+    Committed,
+    Aborted,
+    Done,
+}
+
+/// The durable decision log. In a real deployment this is the
+/// force-written coordinator log that makes 2PC recoverable; here it is an
+/// in-memory append-only record the auditor checks for atomicity
+/// violations (a tid must never be both `Committed` and `Aborted`).
+#[derive(Debug, Default)]
+pub struct TxLog {
+    records: RwLock<Vec<(TransactionId, TxPhase)>>,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl TxLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, tid: TransactionId, phase: TxPhase) {
+        match phase {
+            TxPhase::Committed => {
+                self.commits.fetch_add(1, Ordering::Relaxed);
+            }
+            TxPhase::Aborted => {
+                self.aborts.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        self.records.write().push((tid, phase));
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Final decision for `tid`, if any.
+    pub fn decision(&self, tid: TransactionId) -> Option<TxPhase> {
+        self.records
+            .read()
+            .iter()
+            .rev()
+            .find(|(t, p)| *t == tid && matches!(p, TxPhase::Committed | TxPhase::Aborted))
+            .map(|(_, p)| *p)
+    }
+
+    /// Verifies no transaction has contradictory decisions.
+    pub fn is_consistent(&self) -> bool {
+        use std::collections::HashMap;
+        let mut decided: HashMap<TransactionId, TxPhase> = HashMap::new();
+        for (tid, phase) in self.records.read().iter() {
+            if matches!(phase, TxPhase::Committed | TxPhase::Aborted) {
+                if let Some(prev) = decided.insert(*tid, *phase) {
+                    if prev != *phase {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of log records (diagnostics).
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+}
+
+/// The client-side 2PC coordinator.
+///
+/// Transaction ids are minted monotonically; because wait-die uses tid
+/// order as age, earlier transactions automatically get priority.
+#[derive(Debug, Default)]
+pub struct Coordinator {
+    log: TxLog,
+    seq: IdSequence,
+}
+
+impl Coordinator {
+    pub fn new() -> Self {
+        Self {
+            log: TxLog::new(),
+            seq: IdSequence::new(1),
+        }
+    }
+
+    /// Mints a fresh transaction id.
+    pub fn begin(&self) -> TransactionId {
+        TransactionId(self.seq.next_raw())
+    }
+
+    /// Runs two-phase commit for `tid` across `participants`.
+    ///
+    /// Returns `Ok(())` if all voted yes and committed; otherwise aborts
+    /// everywhere and returns [`OmError::TxAborted`]. A participant error
+    /// during prepare counts as a no vote.
+    pub fn run_2pc(&self, tid: TransactionId, participants: &[&dyn Participant]) -> OmResult<()> {
+        self.log.record(tid, TxPhase::Preparing);
+        let mut all_yes = true;
+        let mut first_reason = String::new();
+        for p in participants {
+            match p.prepare(tid) {
+                Ok(true) => {}
+                Ok(false) => {
+                    all_yes = false;
+                    if first_reason.is_empty() {
+                        first_reason = "participant voted no".into();
+                    }
+                    break;
+                }
+                Err(e) => {
+                    all_yes = false;
+                    if first_reason.is_empty() {
+                        first_reason = format!("prepare failed: {e}");
+                    }
+                    break;
+                }
+            }
+        }
+        if all_yes {
+            self.log.record(tid, TxPhase::Committed);
+            for p in participants {
+                // Prepared participants must obey the decision; an error
+                // here is a bug in the participant, surfaced loudly.
+                p.commit(tid)
+                    .map_err(|e| OmError::Internal(format!("commit after prepare failed: {e}")))?;
+            }
+            self.log.record(tid, TxPhase::Done);
+            Ok(())
+        } else {
+            self.log.record(tid, TxPhase::Aborted);
+            for p in participants {
+                let _ = p.abort(tid); // idempotent; best effort
+            }
+            self.log.record(tid, TxPhase::Done);
+            Err(OmError::TxAborted(first_reason))
+        }
+    }
+
+    pub fn log(&self) -> &TxLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// Scripted participant for protocol tests.
+    struct Scripted {
+        vote: bool,
+        fail_prepare: bool,
+        committed: Mutex<Vec<TransactionId>>,
+        aborted: Mutex<Vec<TransactionId>>,
+    }
+
+    impl Scripted {
+        fn yes() -> Self {
+            Self {
+                vote: true,
+                fail_prepare: false,
+                committed: Mutex::new(vec![]),
+                aborted: Mutex::new(vec![]),
+            }
+        }
+
+        fn no() -> Self {
+            Self {
+                vote: false,
+                ..Self::yes()
+            }
+        }
+
+        fn crashing() -> Self {
+            Self {
+                fail_prepare: true,
+                ..Self::yes()
+            }
+        }
+    }
+
+    impl Participant for Scripted {
+        fn prepare(&self, _tid: TransactionId) -> OmResult<bool> {
+            if self.fail_prepare {
+                return Err(OmError::Unavailable("participant down".into()));
+            }
+            Ok(self.vote)
+        }
+
+        fn commit(&self, tid: TransactionId) -> OmResult<()> {
+            self.committed.lock().push(tid);
+            Ok(())
+        }
+
+        fn abort(&self, tid: TransactionId) -> OmResult<()> {
+            self.aborted.lock().push(tid);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn unanimous_yes_commits_everywhere() {
+        let c = Coordinator::new();
+        let (a, b) = (Scripted::yes(), Scripted::yes());
+        let tid = c.begin();
+        c.run_2pc(tid, &[&a, &b]).unwrap();
+        assert_eq!(a.committed.lock().as_slice(), &[tid]);
+        assert_eq!(b.committed.lock().as_slice(), &[tid]);
+        assert!(a.aborted.lock().is_empty());
+        assert_eq!(c.log().commits(), 1);
+        assert_eq!(c.log().decision(tid), Some(TxPhase::Committed));
+        assert!(c.log().is_consistent());
+    }
+
+    #[test]
+    fn any_no_vote_aborts_everywhere() {
+        let c = Coordinator::new();
+        let (a, b) = (Scripted::yes(), Scripted::no());
+        let tid = c.begin();
+        let err = c.run_2pc(tid, &[&a, &b]).unwrap_err();
+        assert_eq!(err.label(), "tx_aborted");
+        assert!(a.committed.lock().is_empty(), "nothing may commit");
+        assert_eq!(a.aborted.lock().as_slice(), &[tid]);
+        assert_eq!(b.aborted.lock().as_slice(), &[tid]);
+        assert_eq!(c.log().aborts(), 1);
+        assert_eq!(c.log().decision(tid), Some(TxPhase::Aborted));
+    }
+
+    #[test]
+    fn participant_crash_during_prepare_aborts() {
+        let c = Coordinator::new();
+        let (a, b) = (Scripted::crashing(), Scripted::yes());
+        let tid = c.begin();
+        let err = c.run_2pc(tid, &[&a, &b]).unwrap_err();
+        assert_eq!(err.label(), "tx_aborted");
+        assert!(b.committed.lock().is_empty());
+    }
+
+    #[test]
+    fn tids_are_monotonic() {
+        let c = Coordinator::new();
+        let a = c.begin();
+        let b = c.begin();
+        assert!(a < b, "tid order doubles as wait-die age");
+    }
+
+    #[test]
+    fn log_consistency_detection() {
+        let log = TxLog::new();
+        log.record(TransactionId(1), TxPhase::Preparing);
+        log.record(TransactionId(1), TxPhase::Committed);
+        assert!(log.is_consistent());
+        log.record(TransactionId(1), TxPhase::Aborted);
+        assert!(!log.is_consistent(), "contradictory decisions detected");
+    }
+
+    #[test]
+    fn decision_for_unknown_tid_is_none() {
+        let c = Coordinator::new();
+        assert_eq!(c.log().decision(TransactionId(99)), None);
+        assert!(c.log().is_empty());
+    }
+}

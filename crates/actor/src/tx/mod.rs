@@ -1,0 +1,25 @@
+//! Distributed ACID transactions over grains, in the style of Orleans
+//! Transactions.
+//!
+//! Three pieces cooperate:
+//!
+//! * [`participant::TxParticipant`] — a facet a grain embeds around its
+//!   state: a reader/writer lock with **wait-die** deadlock avoidance,
+//!   staged (shadow-copy) writes, and a prepare/commit/abort protocol
+//!   surface.
+//! * [`coordinator::Coordinator`] — the client-side two-phase-commit
+//!   driver with a durable decision log.
+//! * [`coordinator::TxLog`] — the decision log; the auditor replays it to
+//!   verify no transaction committed at one participant and aborted at
+//!   another (the all-or-nothing criterion of paper §II).
+//!
+//! The deliberate cost profile of this machinery — lock acquisition
+//! round-trips, staged-state copies, two commit phases, log appends — is
+//! what experiment E5 ("Orleans Transactions comes at a considerable
+//! overhead") measures against the eventual binding.
+
+pub mod coordinator;
+pub mod participant;
+
+pub use coordinator::{Coordinator, Participant, TxLog, TxPhase};
+pub use participant::{LockMode, TxParticipant};

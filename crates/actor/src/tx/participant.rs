@@ -1,0 +1,328 @@
+//! The per-grain transactional facet: wait-die locking and staged writes.
+
+use om_common::ids::TransactionId;
+use om_common::{OmError, OmResult};
+use std::collections::HashMap;
+
+/// Lock mode requested by a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Read,
+    Write,
+}
+
+/// A grain-embedded transactional state cell.
+///
+/// The grain keeps its authoritative state inside the participant; plain
+/// (non-transactional) reads see the last committed value, while
+/// transactional access goes through [`TxParticipant::acquire`] /
+/// [`TxParticipant::read`] / [`TxParticipant::stage_mut`] and the 2PC
+/// surface ([`TxParticipant::prepare`], [`TxParticipant::commit`],
+/// [`TxParticipant::abort`]).
+///
+/// **Wait-die** deadlock avoidance: transaction ids double as priorities
+/// (lower id = older = wins). An older transaction requesting a held lock
+/// *waits* (the acquire returns `Conflict`, and the coordinator retries);
+/// a younger one *dies* (`TxWaitDie`, the transaction restarts). This
+/// guarantees no deadlock cycles while letting old transactions make
+/// progress.
+#[derive(Debug, Clone)]
+pub struct TxParticipant<S> {
+    committed: S,
+    /// Current read holders (empty when write-locked or free).
+    read_holders: Vec<TransactionId>,
+    /// Current write holder.
+    write_holder: Option<TransactionId>,
+    /// Shadow copies for transactions holding the write lock.
+    staged: HashMap<TransactionId, S>,
+    /// Transactions that voted yes in phase one.
+    prepared: Vec<TransactionId>,
+}
+
+impl<S: Clone> TxParticipant<S> {
+    pub fn new(initial: S) -> Self {
+        Self {
+            committed: initial,
+            read_holders: Vec::new(),
+            write_holder: None,
+            staged: HashMap::new(),
+            prepared: Vec::new(),
+        }
+    }
+
+    /// Last committed state (non-transactional read).
+    pub fn committed(&self) -> &S {
+        &self.committed
+    }
+
+    /// Mutates committed state outside any transaction (data ingestion /
+    /// eventual-mode writes). Fails if a transaction holds the write lock.
+    pub fn mutate_committed<F: FnOnce(&mut S)>(&mut self, f: F) -> OmResult<()> {
+        if let Some(holder) = self.write_holder {
+            return Err(OmError::Conflict(format!(
+                "non-transactional write blocked by {holder}"
+            )));
+        }
+        f(&mut self.committed);
+        Ok(())
+    }
+
+    fn holds_any(&self, tid: TransactionId) -> bool {
+        self.write_holder == Some(tid) || self.read_holders.contains(&tid)
+    }
+
+    /// Attempts to acquire the lock in `mode` for `tid`.
+    ///
+    /// * `Ok(())` — granted (idempotent re-acquire included; read→write
+    ///   upgrade is granted when `tid` is the only reader).
+    /// * `Err(Conflict)` — wait: `tid` is older than every holder; retry.
+    /// * `Err(TxWaitDie)` — die: a younger `tid` must abort and restart.
+    pub fn acquire(&mut self, tid: TransactionId, mode: LockMode) -> OmResult<()> {
+        match mode {
+            LockMode::Read => {
+                if self.holds_any(tid) {
+                    return Ok(());
+                }
+                match self.write_holder {
+                    None => {
+                        self.read_holders.push(tid);
+                        Ok(())
+                    }
+                    Some(holder) => self.wait_or_die(tid, &[holder]),
+                }
+            }
+            LockMode::Write => {
+                if self.write_holder == Some(tid) {
+                    return Ok(());
+                }
+                // Upgrade: sole reader may take the write lock.
+                let other_readers: Vec<TransactionId> = self
+                    .read_holders
+                    .iter()
+                    .copied()
+                    .filter(|&t| t != tid)
+                    .collect();
+                if self.write_holder.is_none() && other_readers.is_empty() {
+                    self.read_holders.retain(|&t| t != tid);
+                    self.write_holder = Some(tid);
+                    return Ok(());
+                }
+                let mut holders = other_readers;
+                if let Some(h) = self.write_holder {
+                    holders.push(h);
+                }
+                self.wait_or_die(tid, &holders)
+            }
+        }
+    }
+
+    fn wait_or_die(&self, tid: TransactionId, holders: &[TransactionId]) -> OmResult<()> {
+        // Older (smaller id) than every holder => wait; otherwise die.
+        if holders.iter().all(|&h| tid < h) {
+            Err(OmError::Conflict(format!(
+                "{tid} waiting for lock held by {holders:?}"
+            )))
+        } else {
+            Err(OmError::TxWaitDie(format!(
+                "{tid} younger than holder(s) {holders:?}"
+            )))
+        }
+    }
+
+    /// Transactional read; requires a previously acquired lock.
+    pub fn read(&self, tid: TransactionId) -> OmResult<&S> {
+        if !self.holds_any(tid) {
+            return Err(OmError::Internal(format!("{tid} reads without a lock")));
+        }
+        Ok(self.staged.get(&tid).unwrap_or(&self.committed))
+    }
+
+    /// Mutable access to the transaction's shadow copy; requires the write
+    /// lock. The first access clones the committed state.
+    pub fn stage_mut(&mut self, tid: TransactionId) -> OmResult<&mut S> {
+        if self.write_holder != Some(tid) {
+            return Err(OmError::Internal(format!(
+                "{tid} writes without the write lock"
+            )));
+        }
+        Ok(self
+            .staged
+            .entry(tid)
+            .or_insert_with(|| self.committed.clone()))
+    }
+
+    /// Phase one: vote. Yes iff the transaction holds its locks (writes
+    /// staged or read-only participation).
+    pub fn prepare(&mut self, tid: TransactionId) -> OmResult<bool> {
+        if !self.holds_any(tid) {
+            return Ok(false);
+        }
+        if !self.prepared.contains(&tid) {
+            self.prepared.push(tid);
+        }
+        Ok(true)
+    }
+
+    /// Phase two (commit): installs the shadow copy and releases locks.
+    pub fn commit(&mut self, tid: TransactionId) {
+        if let Some(staged) = self.staged.remove(&tid) {
+            self.committed = staged;
+        }
+        self.release(tid);
+    }
+
+    /// Phase two (abort): discards the shadow copy and releases locks.
+    pub fn abort(&mut self, tid: TransactionId) {
+        self.staged.remove(&tid);
+        self.release(tid);
+    }
+
+    fn release(&mut self, tid: TransactionId) {
+        self.read_holders.retain(|&t| t != tid);
+        if self.write_holder == Some(tid) {
+            self.write_holder = None;
+        }
+        self.prepared.retain(|&t| t != tid);
+    }
+
+    /// True if any transaction holds any lock (diagnostics).
+    pub fn is_locked(&self) -> bool {
+        self.write_holder.is_some() || !self.read_holders.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(n: u64) -> TransactionId {
+        TransactionId(n)
+    }
+
+    #[test]
+    fn read_locks_are_shared() {
+        let mut p = TxParticipant::new(0i32);
+        p.acquire(tid(1), LockMode::Read).unwrap();
+        p.acquire(tid(2), LockMode::Read).unwrap();
+        assert_eq!(*p.read(tid(1)).unwrap(), 0);
+        assert_eq!(*p.read(tid(2)).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_lock_is_exclusive_wait_die() {
+        let mut p = TxParticipant::new(0i32);
+        p.acquire(tid(5), LockMode::Write).unwrap();
+        // Older tx waits.
+        assert_eq!(
+            p.acquire(tid(3), LockMode::Write).unwrap_err().label(),
+            "conflict"
+        );
+        // Younger tx dies.
+        assert_eq!(
+            p.acquire(tid(9), LockMode::Write).unwrap_err().label(),
+            "tx_wait_die"
+        );
+        // Re-acquire by holder is idempotent.
+        p.acquire(tid(5), LockMode::Write).unwrap();
+    }
+
+    #[test]
+    fn reader_blocks_writer_and_vice_versa() {
+        let mut p = TxParticipant::new(0i32);
+        p.acquire(tid(2), LockMode::Read).unwrap();
+        assert!(p.acquire(tid(1), LockMode::Write).unwrap_err().label() == "conflict");
+        assert!(p.acquire(tid(3), LockMode::Write).unwrap_err().label() == "tx_wait_die");
+
+        let mut q = TxParticipant::new(0i32);
+        q.acquire(tid(2), LockMode::Write).unwrap();
+        assert_eq!(q.acquire(tid(1), LockMode::Read).unwrap_err().label(), "conflict");
+        assert_eq!(q.acquire(tid(3), LockMode::Read).unwrap_err().label(), "tx_wait_die");
+    }
+
+    #[test]
+    fn sole_reader_upgrades_to_writer() {
+        let mut p = TxParticipant::new(0i32);
+        p.acquire(tid(1), LockMode::Read).unwrap();
+        p.acquire(tid(1), LockMode::Write).unwrap();
+        *p.stage_mut(tid(1)).unwrap() = 7;
+        p.commit(tid(1));
+        assert_eq!(*p.committed(), 7);
+    }
+
+    #[test]
+    fn upgrade_with_other_readers_fails() {
+        let mut p = TxParticipant::new(0i32);
+        p.acquire(tid(1), LockMode::Read).unwrap();
+        p.acquire(tid(2), LockMode::Read).unwrap();
+        let err = p.acquire(tid(1), LockMode::Write).unwrap_err();
+        assert_eq!(err.label(), "conflict", "older waits for reader 2");
+    }
+
+    #[test]
+    fn staged_writes_are_invisible_until_commit() {
+        let mut p = TxParticipant::new(10i32);
+        p.acquire(tid(1), LockMode::Write).unwrap();
+        *p.stage_mut(tid(1)).unwrap() = 99;
+        assert_eq!(*p.committed(), 10, "uncommitted write leaked");
+        assert_eq!(*p.read(tid(1)).unwrap(), 99, "own write not visible");
+        assert!(p.prepare(tid(1)).unwrap());
+        p.commit(tid(1));
+        assert_eq!(*p.committed(), 99);
+        assert!(!p.is_locked());
+    }
+
+    #[test]
+    fn abort_discards_staged_state() {
+        let mut p = TxParticipant::new(10i32);
+        p.acquire(tid(1), LockMode::Write).unwrap();
+        *p.stage_mut(tid(1)).unwrap() = 99;
+        p.abort(tid(1));
+        assert_eq!(*p.committed(), 10);
+        assert!(!p.is_locked());
+        // Lock is free again.
+        p.acquire(tid(2), LockMode::Write).unwrap();
+    }
+
+    #[test]
+    fn prepare_without_lock_votes_no() {
+        let mut p = TxParticipant::new(0i32);
+        assert!(!p.prepare(tid(1)).unwrap());
+    }
+
+    #[test]
+    fn unlocked_read_and_write_are_internal_errors() {
+        let mut p = TxParticipant::new(0i32);
+        assert_eq!(p.read(tid(1)).unwrap_err().label(), "internal");
+        assert_eq!(p.stage_mut(tid(1)).unwrap_err().label(), "internal");
+    }
+
+    #[test]
+    fn non_transactional_mutation_respects_write_lock() {
+        let mut p = TxParticipant::new(0i32);
+        p.mutate_committed(|s| *s = 5).unwrap();
+        assert_eq!(*p.committed(), 5);
+        p.acquire(tid(1), LockMode::Write).unwrap();
+        assert!(p.mutate_committed(|s| *s = 6).is_err());
+        p.abort(tid(1));
+        p.mutate_committed(|s| *s = 6).unwrap();
+        assert_eq!(*p.committed(), 6);
+    }
+
+    #[test]
+    fn wait_die_is_deadlock_free_ordering() {
+        // For any pair of txs contending on two participants in opposite
+        // orders, at least one acquire returns TxWaitDie (the younger),
+        // so no wait-for cycle can form.
+        let mut a = TxParticipant::new(0i32);
+        let mut b = TxParticipant::new(0i32);
+        a.acquire(tid(1), LockMode::Write).unwrap();
+        b.acquire(tid(2), LockMode::Write).unwrap();
+        // tid2 wants a (held by older tid1): dies.
+        assert_eq!(a.acquire(tid(2), LockMode::Write).unwrap_err().label(), "tx_wait_die");
+        // tid1 wants b (held by younger tid2): waits.
+        assert_eq!(b.acquire(tid(1), LockMode::Write).unwrap_err().label(), "conflict");
+        // tid2 dies: releases b; tid1 can now proceed.
+        b.abort(tid(2));
+        b.acquire(tid(1), LockMode::Write).unwrap();
+    }
+}

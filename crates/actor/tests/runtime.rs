@@ -1,0 +1,240 @@
+//! Integration tests for the virtual actor runtime: activation, turn
+//! isolation, event cascades, persistence, silo failure and fault
+//! injection.
+
+use om_actor::{Cluster, FaultConfig, GrainContext, GrainId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message type used by the test grains.
+#[derive(Debug, Clone)]
+enum Msg {
+    Add(u64),
+    Get,
+    /// Adds then forwards Add(n) to another counter grain.
+    AddAndForward(u64, GrainId),
+    /// Adds and persists state.
+    AddPersist(u64),
+}
+
+type Reply = u64;
+
+/// Builds a counter-grain cluster. The counter optionally restores from a
+/// persisted snapshot (little-endian u64).
+fn counter_cluster(silos: usize, workers: usize, faults: FaultConfig) -> Cluster<Msg, Reply> {
+    Cluster::builder()
+        .silos(silos)
+        .workers_per_silo(workers)
+        .faults(faults)
+        .register("counter", |_id, snapshot| {
+            let mut value: u64 = snapshot
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte snapshot")))
+                .unwrap_or(0);
+            Box::new(move |ctx: &mut GrainContext<'_, Msg>, msg: Msg, _| match msg {
+                Msg::Add(n) => {
+                    value += n;
+                    value
+                }
+                Msg::Get => value,
+                Msg::AddAndForward(n, next) => {
+                    value += n;
+                    ctx.send(next, Msg::Add(n));
+                    value
+                }
+                Msg::AddPersist(n) => {
+                    value += n;
+                    ctx.persist(value.to_le_bytes().to_vec());
+                    value
+                }
+            })
+        })
+        .build()
+}
+
+#[test]
+fn call_activates_and_computes() {
+    let cluster = counter_cluster(2, 2, FaultConfig::reliable());
+    let id = GrainId::new("counter", 1);
+    assert_eq!(cluster.call(id, Msg::Add(5)).unwrap(), 5);
+    assert_eq!(cluster.call(id, Msg::Add(3)).unwrap(), 8);
+    assert_eq!(cluster.call(id, Msg::Get).unwrap(), 8);
+}
+
+#[test]
+fn unknown_grain_kind_is_not_found() {
+    let cluster = counter_cluster(1, 1, FaultConfig::reliable());
+    let err = cluster.call(GrainId::new("nope", 1), Msg::Get).unwrap_err();
+    assert_eq!(err.label(), "not_found");
+}
+
+#[test]
+fn grains_have_independent_state() {
+    let cluster = counter_cluster(2, 2, FaultConfig::reliable());
+    cluster.call(GrainId::new("counter", 1), Msg::Add(10)).unwrap();
+    cluster.call(GrainId::new("counter", 2), Msg::Add(20)).unwrap();
+    assert_eq!(cluster.call(GrainId::new("counter", 1), Msg::Get).unwrap(), 10);
+    assert_eq!(cluster.call(GrainId::new("counter", 2), Msg::Get).unwrap(), 20);
+}
+
+#[test]
+fn turn_isolation_no_lost_updates_on_hot_grain() {
+    let cluster = Arc::new(counter_cluster(2, 4, FaultConfig::reliable()));
+    let id = GrainId::new("counter", 7);
+    let mut handles = vec![];
+    for _ in 0..8 {
+        let cluster = cluster.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..500 {
+                cluster.call(id, Msg::Add(1)).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        cluster.call(id, Msg::Get).unwrap(),
+        4000,
+        "single-threaded turns must serialize all increments"
+    );
+}
+
+#[test]
+fn notify_is_fire_and_forget_and_drains() {
+    let cluster = counter_cluster(2, 2, FaultConfig::reliable());
+    let id = GrainId::new("counter", 3);
+    for _ in 0..100 {
+        cluster.notify(id, Msg::Add(1));
+    }
+    assert!(cluster.drain(Duration::from_secs(5)), "must quiesce");
+    assert_eq!(cluster.call(id, Msg::Get).unwrap(), 100);
+}
+
+#[test]
+fn grain_to_grain_events_cascade() {
+    let cluster = counter_cluster(2, 2, FaultConfig::reliable());
+    let a = GrainId::new("counter", 1);
+    let b = GrainId::new("counter", 2);
+    for _ in 0..50 {
+        cluster.notify(a, Msg::AddAndForward(2, b));
+    }
+    assert!(cluster.drain(Duration::from_secs(5)));
+    assert_eq!(cluster.call(a, Msg::Get).unwrap(), 100);
+    assert_eq!(cluster.call(b, Msg::Get).unwrap(), 100, "forwarded events arrived");
+}
+
+#[test]
+fn persisted_state_survives_silo_kill() {
+    let cluster = counter_cluster(2, 2, FaultConfig::reliable());
+    // Touch many grains so both silos host some.
+    for k in 0..20 {
+        let id = GrainId::new("counter", k);
+        cluster.call(id, Msg::AddPersist(k + 1)).unwrap();
+    }
+    assert!(cluster.drain(Duration::from_secs(5)));
+    let saved = cluster.storage().len();
+    assert_eq!(saved, 20);
+
+    cluster.kill_silo(0);
+    // All grains stay reachable (re-placed on silo 1) with restored state.
+    for k in 0..20 {
+        let id = GrainId::new("counter", k);
+        assert_eq!(
+            cluster.call(id, Msg::Get).unwrap(),
+            k + 1,
+            "grain {k} lost persisted state after silo kill"
+        );
+    }
+}
+
+#[test]
+fn volatile_state_is_lost_on_silo_kill() {
+    let cluster = counter_cluster(1, 2, FaultConfig::reliable());
+    let id = GrainId::new("counter", 1);
+    cluster.call(id, Msg::Add(42)).unwrap(); // not persisted
+    cluster.kill_silo(0);
+    cluster.restart_silo(0);
+    assert_eq!(
+        cluster.call(id, Msg::Get).unwrap(),
+        0,
+        "unpersisted state must be gone — the eventual-consistency hazard"
+    );
+}
+
+#[test]
+fn killed_cluster_without_live_silo_reports_unavailable() {
+    let cluster = counter_cluster(1, 1, FaultConfig::reliable());
+    cluster.kill_silo(0);
+    let err = cluster.call(GrainId::new("counter", 1), Msg::Get).unwrap_err();
+    assert_eq!(err.label(), "unavailable");
+    cluster.restart_silo(0);
+    assert_eq!(cluster.call(GrainId::new("counter", 1), Msg::Get).unwrap(), 0);
+}
+
+#[test]
+fn fault_injection_drops_grain_to_grain_events() {
+    // a -> b forwarding with 50% drop: b must receive strictly fewer.
+    let cluster = counter_cluster(1, 2, FaultConfig::lossy(0.5, 0.0, 1234));
+    let a = GrainId::new("counter", 1);
+    let b = GrainId::new("counter", 2);
+    for _ in 0..200 {
+        cluster.notify(a, Msg::AddAndForward(1, b));
+    }
+    assert!(cluster.drain(Duration::from_secs(5)));
+    let at_a = cluster.call(a, Msg::Get).unwrap();
+    let at_b = cluster.call(b, Msg::Get).unwrap();
+    assert_eq!(at_a, 200, "client->grain notifies are reliable");
+    assert!(at_b < 200, "~50% drop expected, got {at_b}");
+    assert!(at_b > 20, "not everything may be dropped, got {at_b}");
+    assert!(cluster.counters().get("events_dropped") > 0);
+}
+
+#[test]
+fn fault_injection_duplicates_grain_to_grain_events() {
+    let cluster = counter_cluster(1, 2, FaultConfig::lossy(0.0, 0.5, 77));
+    let a = GrainId::new("counter", 1);
+    let b = GrainId::new("counter", 2);
+    for _ in 0..200 {
+        cluster.notify(a, Msg::AddAndForward(1, b));
+    }
+    assert!(cluster.drain(Duration::from_secs(5)));
+    let at_b = cluster.call(b, Msg::Get).unwrap();
+    assert!(at_b > 200, "duplicates must inflate the count, got {at_b}");
+    assert!(cluster.counters().get("events_duplicated") > 0);
+}
+
+#[test]
+fn load_spreads_across_silos() {
+    let cluster = counter_cluster(4, 2, FaultConfig::reliable());
+    for k in 0..200 {
+        cluster.call(GrainId::new("counter", k), Msg::Add(1)).unwrap();
+    }
+    let counts = cluster.activation_counts();
+    assert_eq!(counts.iter().sum::<usize>(), 200);
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(c > 10, "silo {i} hosts only {c}/200 activations: {counts:?}");
+    }
+}
+
+#[test]
+fn concurrent_distinct_grains_scale_without_interference() {
+    let cluster = Arc::new(counter_cluster(2, 4, FaultConfig::reliable()));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut handles = vec![];
+    for w in 0..4u64 {
+        let cluster = cluster.clone();
+        let total = total.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..200 {
+                let id = GrainId::new("counter", w * 1000 + i);
+                let v = cluster.call(id, Msg::Add(1)).unwrap();
+                total.fetch_add(v, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(total.load(Ordering::Relaxed), 800, "every first Add returns 1");
+}

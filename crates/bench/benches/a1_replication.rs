@@ -1,0 +1,58 @@
+//! A1 — ablation: eventual vs causal apply discipline in the replicated
+//! KV store (the design choice behind Fig. 1's Redis deployment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_common::config::ReplicationMode;
+use om_kv::{ReplicatedKv, Session};
+
+fn bench_replication_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_replication_mode");
+    group.sample_size(20);
+    for mode in [ReplicationMode::Eventual, ReplicationMode::Causal] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter_with_setup(
+                    || ReplicatedKv::<u64, u64>::new(mode, 16, 16, 11),
+                    |kv| {
+                        let mut session = Session::new();
+                        for i in 0..5_000u64 {
+                            kv.put(&mut session, i % 500, i);
+                        }
+                        kv.quiesce();
+                        kv.stats().applied()
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_secondary_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_secondary_read");
+    for mode in [ReplicationMode::Eventual, ReplicationMode::Causal] {
+        let kv: ReplicatedKv<u64, u64> = ReplicatedKv::new(mode, 16, 16, 13);
+        let mut session = Session::new();
+        for i in 0..1_000u64 {
+            kv.put(&mut session, i, i);
+        }
+        kv.quiesce();
+        let mut i = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    kv.get_secondary(&mut session, &(i % 1_000))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication_modes, bench_secondary_reads);
+criterion_main!(benches);

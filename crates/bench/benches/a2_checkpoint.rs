@@ -1,0 +1,54 @@
+//! A2 — ablation: checkpoint interval (epoch batch size) vs dataflow
+//! runtime cost. Smaller batches commit more checkpoints per record —
+//! the latency/overhead trade-off a Statefun deployment tunes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_dataflow::{Address, Dataflow, Effects};
+
+fn build(max_batch: usize) -> Dataflow<u64> {
+    Dataflow::builder()
+        .partitions(4)
+        .max_batch(max_batch)
+        .register(
+            "count",
+            |_key, state: Option<&[u8]>, msg: u64, out: &mut Effects<u64>| {
+                let cur = state
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                out.set_state((cur + msg).to_le_bytes().to_vec());
+            },
+        )
+        .build()
+}
+
+fn bench_checkpoint_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_checkpoint_interval");
+    group.sample_size(15);
+    const RECORDS: u64 = 2_048;
+    for max_batch in [8usize, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_batch),
+            &max_batch,
+            |b, &max_batch| {
+                b.iter_with_setup(
+                    || {
+                        let df = build(max_batch);
+                        for i in 0..RECORDS {
+                            df.submit(Address::new("count", i % 256), 1);
+                        }
+                        df
+                    },
+                    |df| {
+                        let epochs = df.run_to_completion().unwrap();
+                        assert!(epochs > 0);
+                        epochs
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_interval);
+criterion_main!(benches);

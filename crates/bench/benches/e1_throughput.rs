@@ -1,0 +1,47 @@
+//! E1 — headline throughput comparison (paper §III): one Criterion group
+//! timing a fixed checkout-heavy operation batch on each of the four
+//! implementations. The *relative* ordering (eventual > statefun >
+//! transactions ≈ customized) is the reproduced result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::{make_platform, quick_config, PLATFORMS};
+use om_common::config::RunConfig;
+use om_driver::run_benchmark;
+use om_marketplace::api::PlatformKind;
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_throughput");
+    group.sample_size(10);
+    for kind in PLATFORMS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter_with_setup(
+                    || {
+                        let config: RunConfig = quick_config();
+                        let platform = make_platform(
+                            kind,
+                            4,
+                            config.payment_decline_rate,
+                            matches!(
+                                kind,
+                                PlatformKind::Eventual | PlatformKind::Transactional
+                            ),
+                        );
+                        (platform, config)
+                    },
+                    |(platform, config)| {
+                        let report = run_benchmark(platform.as_ref(), &config, true);
+                        assert!(report.operations > 0);
+                        report
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E3 — per-transaction latency: times a single business transaction on
+//! a pre-loaded platform (checkout, price update, dashboard) per
+//! implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::{make_platform, quick_config, PLATFORMS};
+use om_common::entity::PaymentMethod;
+use om_common::ids::{CustomerId, ProductId, SellerId};
+use om_common::Money;
+use om_driver::DataGenerator;
+use om_marketplace::api::{CheckoutItem, CheckoutRequest, MarketplacePlatform};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn loaded(kind: om_marketplace::api::PlatformKind) -> Box<dyn MarketplacePlatform> {
+    let config = quick_config();
+    let platform = make_platform(kind, 4, 0.0, false);
+    DataGenerator::new(config.scale, 1)
+        .ingest_all(platform.as_ref())
+        .expect("ingest");
+    platform
+}
+
+fn bench_checkout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_checkout_latency");
+    group.sample_size(30);
+    for kind in PLATFORMS {
+        let platform = loaded(kind);
+        let customer = AtomicU64::new(0);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &(), |b, _| {
+            b.iter(|| {
+                // Rotate customers so carts never collide.
+                let c = CustomerId(customer.fetch_add(1, Ordering::Relaxed) % 100);
+                platform
+                    .add_to_cart(
+                        c,
+                        CheckoutItem {
+                            seller: SellerId(0),
+                            product: ProductId(0),
+                            quantity: 1,
+                        },
+                    )
+                    .unwrap();
+                platform
+                    .checkout(CheckoutRequest {
+                        customer: c,
+                        items: vec![],
+                        method: PaymentMethod::CreditCard,
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_price_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_price_update_latency");
+    group.sample_size(30);
+    for kind in PLATFORMS {
+        let platform = loaded(kind);
+        let tick = AtomicU64::new(100);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &(), |b, _| {
+            b.iter(|| {
+                let cents = tick.fetch_add(1, Ordering::Relaxed) as i64;
+                platform
+                    .price_update(SellerId(0), ProductId(1), Money::from_cents(cents))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dashboard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_dashboard_latency");
+    group.sample_size(30);
+    for kind in PLATFORMS {
+        let platform = loaded(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &(), |b, _| {
+            b.iter(|| platform.seller_dashboard(SellerId(0)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkout, bench_price_update, bench_dashboard);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! HTTP-layer microbenchmarks (paper Fig. 1's front tier).
+//!
+//! Quantifies what the REST surface adds on top of a direct platform
+//! call: wire parsing, routing, JSON body handling, and the full
+//! client → server → gateway → platform round-trip. Backs the "low
+//! overhead" claim for the customized stack's HTTP front.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use om_http::gateway::MarketplaceGateway;
+use om_http::request::{parse_request, ParserConfig};
+use om_http::server::HttpServer;
+use om_http::Method;
+use om_marketplace::api::{CheckoutItem, MarketplacePlatform};
+use om_marketplace::bindings::actor_core::ActorPlatformConfig;
+use om_marketplace::EventualPlatform;
+use om_common::entity::{Customer, Product, Seller};
+use om_common::ids::{CustomerId, ProductId, SellerId};
+use om_common::Money;
+use serde_json::json;
+use std::sync::Arc;
+
+fn seeded_platform() -> Arc<EventualPlatform> {
+    let platform = Arc::new(EventualPlatform::new(ActorPlatformConfig {
+        decline_rate: 0.0,
+        ..Default::default()
+    }));
+    platform
+        .ingest_seller(Seller::new(SellerId(1), "s".into(), "cph".into()))
+        .unwrap();
+    for c in 1..=64u64 {
+        platform
+            .ingest_customer(Customer::new(CustomerId(c), "c".into(), "addr".into()))
+            .unwrap();
+    }
+    for p in 1..=16u64 {
+        platform
+            .ingest_product(
+                Product {
+                    id: ProductId(p),
+                    seller: SellerId(1),
+                    name: "w".into(),
+                    category: "x".into(),
+                    description: "d".into(),
+                    price: Money::from_cents(999),
+                    freight_value: Money::from_cents(50),
+                    version: 0,
+                    active: true,
+                },
+                1_000_000,
+            )
+            .unwrap();
+    }
+    platform
+}
+
+/// Raw wire parsing: a typical checkout POST.
+fn bench_parse(c: &mut Criterion) {
+    let body = serde_json::to_vec(&json!({
+        "items": [{"seller": 1, "product": 3, "quantity": 2}],
+        "method": "CreditCard",
+    }))
+    .unwrap();
+    let wire = format!(
+        "POST /customers/7/checkout HTTP/1.1\r\nhost: om\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut full = BytesMut::new();
+    full.extend_from_slice(wire.as_bytes());
+    full.extend_from_slice(&body);
+    let full = full.freeze();
+    let cfg = ParserConfig::default();
+
+    let mut group = c.benchmark_group("http");
+    group.throughput(Throughput::Bytes(full.len() as u64));
+    group.bench_function("parse_checkout_request", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::from(&full[..]);
+            parse_request(&mut buf, &cfg).unwrap().unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// Gateway dispatch without the transport: parsed request → response.
+fn bench_gateway_dispatch(c: &mut Criterion) {
+    let gateway = MarketplaceGateway::new(seeded_platform());
+    let body = serde_json::to_vec(&json!({
+        "items": [{"seller": 1, "product": 1, "quantity": 1}],
+        "method": "CreditCard",
+    }))
+    .unwrap();
+    let wire = format!(
+        "POST /customers/1/checkout HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut full = BytesMut::new();
+    full.extend_from_slice(wire.as_bytes());
+    full.extend_from_slice(&body);
+    let full = full.freeze();
+    let cfg = ParserConfig::default();
+
+    // Pre-fill the cart once per iteration via the platform directly so
+    // the measured path is parse + route + checkout dispatch.
+    let platform = gateway.platform().clone();
+    c.bench_function("http/gateway_checkout_dispatch", |b| {
+        b.iter(|| {
+            platform
+                .add_to_cart(
+                    CustomerId(1),
+                    CheckoutItem {
+                        seller: SellerId(1),
+                        product: ProductId(1),
+                        quantity: 1,
+                    },
+                )
+                .unwrap();
+            let mut buf = BytesMut::from(&full[..]);
+            let req = parse_request(&mut buf, &cfg).unwrap().unwrap();
+            let resp = gateway.handle(&req);
+            assert_eq!(resp.status, 200);
+            resp
+        });
+    });
+}
+
+/// Full round-trip through the in-memory transport (keep-alive reuse).
+fn bench_server_roundtrip(c: &mut Criterion) {
+    let server = HttpServer::start(Arc::new(MarketplaceGateway::new(seeded_platform())), 2);
+    let mut client = server.connect();
+    c.bench_function("http/server_health_roundtrip", |b| {
+        b.iter(|| {
+            let resp = client.request(Method::Get, "/health", None).unwrap();
+            assert_eq!(resp.status, 200);
+            resp
+        });
+    });
+    c.bench_function("http/server_dashboard_roundtrip", |b| {
+        b.iter(|| {
+            let resp = client
+                .request(Method::Get, "/sellers/1/dashboard", None)
+                .unwrap();
+            assert_eq!(resp.status, 200);
+            resp
+        });
+    });
+    client.close();
+    server.shutdown();
+}
+
+/// The same dashboard without HTTP, to expose the layer's added cost.
+fn bench_direct_dashboard_baseline(c: &mut Criterion) {
+    let platform = seeded_platform();
+    c.bench_function("http/direct_dashboard_baseline", |b| {
+        b.iter(|| platform.seller_dashboard(SellerId(1)).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_gateway_dispatch,
+    bench_server_roundtrip,
+    bench_direct_dashboard_baseline
+);
+criterion_main!(benches);

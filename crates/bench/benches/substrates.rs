@@ -1,0 +1,160 @@
+//! Substrate microbenchmarks: the building blocks under the platforms.
+//! These quantify the mechanism costs DESIGN.md attributes the E1/E5
+//! differences to (grain call round-trip, 2PC, MVCC commit, log append,
+//! KV write, dataflow epoch).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use om_actor::tx::{Coordinator, LockMode, Participant, TxParticipant};
+use om_actor::{Cluster, FaultConfig, GrainContext, GrainId};
+use om_common::ids::TransactionId;
+use om_common::OmResult;
+use om_mvcc::{IsolationLevel, TxManager};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn bench_actor_call(c: &mut Criterion) {
+    let cluster: Cluster<u64, u64> = Cluster::builder()
+        .silos(2)
+        .workers_per_silo(2)
+        .faults(FaultConfig::reliable())
+        .register("echo", |_, _| {
+            Box::new(|_ctx: &mut GrainContext<'_, u64>, msg: u64, _| msg)
+        })
+        .build();
+    c.bench_function("substrate/actor_call_roundtrip", |b| {
+        b.iter(|| cluster.call(GrainId::new("echo", 1), 42).unwrap());
+    });
+}
+
+/// In-process participant for coordinator-only costs.
+struct LocalPart(Mutex<TxParticipant<u64>>);
+
+impl Participant for LocalPart {
+    fn prepare(&self, tid: TransactionId) -> OmResult<bool> {
+        self.0.lock().prepare(tid)
+    }
+    fn commit(&self, tid: TransactionId) -> OmResult<()> {
+        self.0.lock().commit(tid);
+        Ok(())
+    }
+    fn abort(&self, tid: TransactionId) -> OmResult<()> {
+        self.0.lock().abort(tid);
+        Ok(())
+    }
+}
+
+fn bench_2pc(c: &mut Criterion) {
+    let coordinator = Coordinator::new();
+    let parts: Vec<LocalPart> = (0..4)
+        .map(|_| LocalPart(Mutex::new(TxParticipant::new(0u64))))
+        .collect();
+    c.bench_function("substrate/2pc_commit_4_participants", |b| {
+        b.iter(|| {
+            let tid = coordinator.begin();
+            for p in &parts {
+                let mut guard = p.0.lock();
+                guard.acquire(tid, LockMode::Write).unwrap();
+                *guard.stage_mut(tid).unwrap() += 1;
+            }
+            let refs: Vec<&dyn Participant> = parts.iter().map(|p| p as &dyn Participant).collect();
+            coordinator.run_2pc(tid, &refs).unwrap();
+        });
+    });
+}
+
+fn bench_mvcc_commit(c: &mut Criterion) {
+    let mgr = TxManager::new();
+    let table = mgr.create_table::<u64, u64>("bench");
+    let mut key = 0u64;
+    c.bench_function("substrate/mvcc_commit_one_write", |b| {
+        b.iter(|| {
+            key += 1;
+            mgr.run(IsolationLevel::Snapshot, 4, |tx| {
+                table.put(tx, key % 10_000, key);
+                Ok(())
+            })
+            .unwrap();
+        });
+    });
+}
+
+fn bench_mvcc_snapshot_scan(c: &mut Criterion) {
+    let mgr = TxManager::new();
+    let table = mgr.create_table::<u64, u64>("bench");
+    mgr.run(IsolationLevel::Snapshot, 0, |tx| {
+        for i in 0..10_000 {
+            table.put(tx, i, i);
+        }
+        Ok(())
+    })
+    .unwrap();
+    c.bench_function("substrate/mvcc_scan_10k_rows", |b| {
+        b.iter(|| {
+            let tx = mgr.begin(IsolationLevel::Snapshot);
+            table.scan_filter(&tx, 0..10_000, |_, v| v % 97 == 0).len()
+        });
+    });
+}
+
+fn bench_log_append(c: &mut Criterion) {
+    let topic: Arc<om_log::Topic<u64>> = Arc::new(om_log::Topic::new("bench", 4));
+    let producer = topic.producer();
+    let mut i = 0u64;
+    c.bench_function("substrate/log_append", |b| {
+        b.iter(|| {
+            i += 1;
+            producer.send((i % 4) as usize, i).unwrap()
+        });
+    });
+}
+
+fn bench_kv_put(c: &mut Criterion) {
+    use om_common::config::ReplicationMode;
+    use om_kv::{ReplicatedKv, Session};
+    let kv: ReplicatedKv<u64, u64> = ReplicatedKv::new(ReplicationMode::Causal, 16, 8, 3);
+    let mut session = Session::new();
+    let mut i = 0u64;
+    c.bench_function("substrate/kv_causal_put", |b| {
+        b.iter(|| {
+            i += 1;
+            kv.put(&mut session, i % 1000, i);
+        });
+    });
+    kv.quiesce();
+}
+
+fn bench_dataflow_epoch(c: &mut Criterion) {
+    use om_dataflow::{Address, Dataflow, Effects};
+    let df: Dataflow<u64> = Dataflow::builder()
+        .partitions(4)
+        .max_batch(64)
+        .register("count", |_key, state: Option<&[u8]>, msg: u64, out: &mut Effects<u64>| {
+            let cur = state
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .unwrap_or(0);
+            out.set_state((cur + msg).to_le_bytes().to_vec());
+        })
+        .build();
+    let mut key = 0u64;
+    c.bench_function("substrate/dataflow_epoch_64_records", |b| {
+        b.iter(|| {
+            for _ in 0..64 {
+                key += 1;
+                df.submit(Address::new("count", key % 128), 1);
+            }
+            df.run_to_completion().unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_actor_call,
+    bench_2pc,
+    bench_mvcc_commit,
+    bench_mvcc_snapshot_scan,
+    bench_log_append,
+    bench_kv_put,
+    bench_dataflow_epoch
+);
+criterion_main!(benches);

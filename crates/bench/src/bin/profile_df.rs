@@ -1,0 +1,83 @@
+//! Scratch profiler for the dataflow checkout path (not part of the
+//! experiment suite): times epochs and invocations under a closed loop.
+
+use om_common::entity::{Customer, PaymentMethod, Product, Seller};
+use om_common::ids::{CustomerId, ProductId, SellerId};
+use om_common::Money;
+use om_marketplace::api::{CheckoutItem, CheckoutRequest, MarketplacePlatform};
+use om_marketplace::bindings::dataflow::{DataflowPlatform, DataflowPlatformConfig};
+use std::time::Instant;
+
+fn fresh_platform() -> DataflowPlatform {
+    let p = DataflowPlatform::new(DataflowPlatformConfig {
+        partitions: 4,
+        max_batch: 64,
+        decline_rate: 0.0,
+    });
+    p.ingest_seller(Seller::new(SellerId(1), "s".into(), "c".into()))
+        .unwrap();
+    for c in 1..=8u64 {
+        p.ingest_customer(Customer::new(CustomerId(c), "c".into(), "a".into()))
+            .unwrap();
+    }
+    for pid in 1..=10u64 {
+        p.ingest_product(
+            Product {
+                id: ProductId(pid),
+                seller: SellerId(1),
+                name: "w".into(),
+                category: "x".into(),
+                description: "d".into(),
+                price: Money::from_cents(100),
+                freight_value: Money::from_cents(1),
+                version: 0,
+                active: true,
+            },
+            1_000_000,
+        )
+        .unwrap();
+    }
+    p.quiesce();
+    p
+}
+
+fn main() {
+    const N: usize = 500;
+    for workers in [1usize, 2, 4] {
+        let p = fresh_platform();
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let p = &p;
+                s.spawn(move || {
+                    for i in 0..N / workers {
+                        let customer = CustomerId(1 + ((w * 31 + i) as u64 % 8));
+                        let item = CheckoutItem {
+                            seller: SellerId(1),
+                            product: ProductId(1 + (i as u64 % 10)),
+                            quantity: 1,
+                        };
+                        p.add_to_cart(customer, item.clone()).unwrap();
+                        let _ = p
+                            .checkout(CheckoutRequest {
+                                customer,
+                                items: vec![item],
+                                method: PaymentMethod::CreditCard,
+                            })
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let secs = started.elapsed().as_secs_f64();
+        let counters = p.counters();
+        println!(
+            "workers={workers}: {:.0} checkouts/s; epochs={} invocations={} pump_epoch_us={}",
+            (N - N % workers) as f64 / secs,
+            counters.get("df.epochs").copied().unwrap_or(0),
+            counters.get("df.invocations").copied().unwrap_or(0),
+            counters.get("df.pump_epoch_us").copied().unwrap_or(0)
+                + counters.get("df.caller_epoch_us").copied().unwrap_or(0),
+        );
+    }
+}

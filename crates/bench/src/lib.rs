@@ -1,0 +1,135 @@
+//! Shared harness code for the experiment binaries and Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a regeneration
+//! path here; see `EXPERIMENTS.md` for the per-experiment index and
+//! `DESIGN.md` §4 for the mapping to modules.
+
+use om_actor::FaultConfig;
+use om_common::config::{RunConfig, ScaleConfig, WorkloadMix};
+use om_driver::{run_benchmark, RunReport};
+use om_marketplace::api::{MarketplacePlatform, PlatformKind};
+use om_marketplace::bindings::actor_core::ActorPlatformConfig;
+use om_marketplace::bindings::customized::CustomizedConfig;
+use om_marketplace::bindings::dataflow::DataflowPlatformConfig;
+use om_marketplace::{
+    CustomizedPlatform, DataflowPlatform, EventualPlatform, TransactionalPlatform,
+};
+
+/// The four platforms in paper order.
+pub const PLATFORMS: [PlatformKind; 4] = [
+    PlatformKind::Eventual,
+    PlatformKind::Transactional,
+    PlatformKind::Dataflow,
+    PlatformKind::Customized,
+];
+
+/// Builds a platform with `parallelism` internal execution slots.
+///
+/// Actor bindings split slots across two silos (Orleans-style multi-host);
+/// the dataflow binding maps slots to partitions. `faulty` arms the
+/// at-most-once event semantics of raw actor messaging (drop 2%,
+/// duplicate 1%) — only meaningful for the two plain actor bindings; the
+/// customized stack routes its replication through the causal KV and its
+/// workflow through calls, and the dataflow runtime is exactly-once by
+/// construction.
+pub fn make_platform(
+    kind: PlatformKind,
+    parallelism: usize,
+    decline_rate: f64,
+    faulty: bool,
+) -> Box<dyn MarketplacePlatform> {
+    let faults = if faulty {
+        FaultConfig::lossy(0.02, 0.01, 0xFA17)
+    } else {
+        FaultConfig::reliable()
+    };
+    let actor = ActorPlatformConfig {
+        silos: 2,
+        workers_per_silo: parallelism.div_ceil(2).max(1),
+        faults,
+        decline_rate,
+    };
+    match kind {
+        PlatformKind::Eventual => Box::new(EventualPlatform::new(actor)),
+        PlatformKind::Transactional => Box::new(TransactionalPlatform::new(actor)),
+        PlatformKind::Dataflow => Box::new(DataflowPlatform::new(DataflowPlatformConfig {
+            partitions: parallelism.max(1),
+            max_batch: 64,
+            decline_rate,
+        })),
+        PlatformKind::Customized => Box::new(CustomizedPlatform::new(CustomizedConfig {
+            actor,
+            ..Default::default()
+        })),
+    }
+}
+
+/// The standard evaluation scale (kept modest so the full matrix runs in
+/// minutes; scale up via `scale_factor`).
+pub fn standard_config(scale_factor: u64) -> RunConfig {
+    RunConfig {
+        seed: 0xBEEF,
+        scale: ScaleConfig {
+            sellers: 10 * scale_factor,
+            products_per_seller: 10,
+            customers: 100 * scale_factor,
+            initial_stock: 100_000,
+        },
+        mix: WorkloadMix::default(),
+        zipf_theta: 0.99,
+        workers: 4,
+        ops_per_worker: 250,
+        warmup_ops_per_worker: 25,
+        max_cart_items: 5,
+        payment_decline_rate: 0.05,
+    }
+}
+
+/// A fast config for Criterion micro-runs.
+pub fn quick_config() -> RunConfig {
+    RunConfig {
+        workers: 2,
+        ops_per_worker: 50,
+        warmup_ops_per_worker: 5,
+        ..standard_config(1)
+    }
+}
+
+/// Runs one platform under `config`, returning the report.
+pub fn run_platform(
+    kind: PlatformKind,
+    config: &RunConfig,
+    parallelism: usize,
+    faulty: bool,
+) -> RunReport {
+    let platform = make_platform(kind, parallelism, config.payment_decline_rate, faulty);
+    run_benchmark(platform.as_ref(), config, true)
+}
+
+/// Formats a ratio as the "NxM" factors the paper quotes.
+pub fn factor(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        f64::INFINITY
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_platform() {
+        for kind in PLATFORMS {
+            let p = make_platform(kind, 2, 0.0, false);
+            assert_eq!(p.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn factor_math() {
+        assert_eq!(factor(10.0, 5.0), 2.0);
+        assert!(factor(1.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,242 @@
+//! Benchmark configuration: scale, workload mix and run parameters.
+//!
+//! Mirrors the driver configuration of the Online Marketplace benchmark:
+//! how much data to generate, which transaction mix to submit, how skewed
+//! key selection is, and which data-management criteria to enforce/audit.
+
+use serde::{Deserialize, Serialize};
+
+/// How much data the generator creates before the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleConfig {
+    pub sellers: u64,
+    /// Products per seller.
+    pub products_per_seller: u64,
+    pub customers: u64,
+    /// Initial stock quantity per product.
+    pub initial_stock: u32,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self {
+            sellers: 10,
+            products_per_seller: 10,
+            customers: 100,
+            initial_stock: 10_000,
+        }
+    }
+}
+
+impl ScaleConfig {
+    pub fn total_products(&self) -> u64 {
+        self.sellers * self.products_per_seller
+    }
+
+    /// A tiny scale useful in unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            sellers: 2,
+            products_per_seller: 5,
+            customers: 8,
+            initial_stock: 1_000,
+        }
+    }
+}
+
+/// Relative weights of the five business transactions (paper §II).
+/// Weights need not sum to 100; they are normalized.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    pub checkout: u32,
+    pub price_update: u32,
+    pub product_delete: u32,
+    pub update_delivery: u32,
+    pub seller_dashboard: u32,
+}
+
+impl Default for WorkloadMix {
+    /// Checkout-heavy default mirroring the benchmark's order-processing
+    /// focus.
+    fn default() -> Self {
+        Self {
+            checkout: 60,
+            price_update: 15,
+            product_delete: 5,
+            update_delivery: 10,
+            seller_dashboard: 10,
+        }
+    }
+}
+
+impl WorkloadMix {
+    /// A mix that stresses the anomaly-sensitive paths (used by E4).
+    pub fn anomaly_hunting() -> Self {
+        Self {
+            checkout: 40,
+            price_update: 25,
+            product_delete: 10,
+            update_delivery: 5,
+            seller_dashboard: 20,
+        }
+    }
+
+    pub fn checkout_only() -> Self {
+        Self {
+            checkout: 100,
+            price_update: 0,
+            product_delete: 0,
+            update_delivery: 0,
+            seller_dashboard: 0,
+        }
+    }
+
+    pub fn total(&self) -> u32 {
+        self.checkout
+            + self.price_update
+            + self.product_delete
+            + self.update_delivery
+            + self.seller_dashboard
+    }
+}
+
+/// One of the five Online Marketplace business transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransactionKind {
+    Checkout,
+    PriceUpdate,
+    ProductDelete,
+    UpdateDelivery,
+    SellerDashboard,
+}
+
+impl TransactionKind {
+    pub const ALL: [TransactionKind; 5] = [
+        TransactionKind::Checkout,
+        TransactionKind::PriceUpdate,
+        TransactionKind::ProductDelete,
+        TransactionKind::UpdateDelivery,
+        TransactionKind::SellerDashboard,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            TransactionKind::Checkout => "checkout",
+            TransactionKind::PriceUpdate => "price_update",
+            TransactionKind::ProductDelete => "product_delete",
+            TransactionKind::UpdateDelivery => "update_delivery",
+            TransactionKind::SellerDashboard => "seller_dashboard",
+        }
+    }
+}
+
+/// Replication correctness level for Product→Cart price propagation
+/// (paper §II, *Data Management Criteria*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicationMode {
+    /// Updates may be observed out of causal order.
+    Eventual,
+    /// Updates are applied respecting causal dependencies.
+    Causal,
+}
+
+/// Event delivery ordering (paper §II: events can be processed unordered or
+/// causally ordered — e.g. payment before shipment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventOrdering {
+    Unordered,
+    Causal,
+}
+
+/// Full run configuration for the driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    pub seed: u64,
+    pub scale: ScaleConfig,
+    pub mix: WorkloadMix,
+    /// Zipfian skew for product selection; 0 = uniform, 0.99 = YCSB default.
+    pub zipf_theta: f64,
+    /// Number of concurrent driver workers (closed loop).
+    pub workers: usize,
+    /// Measured operations per worker (after warm-up).
+    pub ops_per_worker: u64,
+    /// Warm-up operations per worker (not measured).
+    pub warmup_ops_per_worker: u64,
+    /// Items per checkout cart: uniform in [1, max_cart_items].
+    pub max_cart_items: u32,
+    /// Probability that a payment is declined.
+    pub payment_decline_rate: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            scale: ScaleConfig::default(),
+            mix: WorkloadMix::default(),
+            zipf_theta: 0.99,
+            workers: 4,
+            ops_per_worker: 500,
+            warmup_ops_per_worker: 50,
+            max_cart_items: 5,
+            payment_decline_rate: 0.05,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Scaled-down config for unit/integration tests.
+    pub fn smoke() -> Self {
+        Self {
+            scale: ScaleConfig::tiny(),
+            workers: 2,
+            ops_per_worker: 50,
+            warmup_ops_per_worker: 5,
+            ..Self::default()
+        }
+    }
+
+    pub fn total_measured_ops(&self) -> u64 {
+        self.ops_per_worker * self.workers as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = RunConfig::default();
+        assert!(c.mix.total() > 0);
+        assert!(c.scale.total_products() > 0);
+        assert!(c.workers > 0);
+        assert!((0.0..1.0).contains(&c.payment_decline_rate));
+    }
+
+    #[test]
+    fn mix_total_and_variants() {
+        let m = WorkloadMix::default();
+        assert_eq!(
+            m.total(),
+            m.checkout + m.price_update + m.product_delete + m.update_delivery + m.seller_dashboard
+        );
+        assert_eq!(WorkloadMix::checkout_only().total(), 100);
+        assert!(WorkloadMix::anomaly_hunting().product_delete > 0);
+    }
+
+    #[test]
+    fn transaction_kind_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            TransactionKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), TransactionKind::ALL.len());
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = RunConfig::default();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: RunConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+    }
+}

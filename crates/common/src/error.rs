@@ -1,0 +1,93 @@
+//! Common error types shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type OmResult<T> = Result<T, OmError>;
+
+/// Errors surfaced by substrates and platform bindings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmError {
+    /// A referenced entity does not exist.
+    NotFound(String),
+    /// Optimistic or pessimistic concurrency conflict; the operation may be
+    /// retried.
+    Conflict(String),
+    /// A distributed transaction aborted (with reason).
+    TxAborted(String),
+    /// Deadlock-avoidance (wait-die) killed the transaction; retry with the
+    /// same timestamp priority is safe.
+    TxWaitDie(String),
+    /// A business rule rejected the operation (e.g. insufficient stock).
+    Rejected(String),
+    /// The runtime is shutting down or the target component crashed.
+    Unavailable(String),
+    /// Request timed out.
+    Timeout(String),
+    /// An invariant was violated — indicates a bug, surfaced loudly.
+    Internal(String),
+}
+
+impl OmError {
+    /// True if retrying the operation may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            OmError::Conflict(_) | OmError::TxAborted(_) | OmError::TxWaitDie(_) | OmError::Timeout(_)
+        )
+    }
+
+    /// Short machine-readable label, used in metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OmError::NotFound(_) => "not_found",
+            OmError::Conflict(_) => "conflict",
+            OmError::TxAborted(_) => "tx_aborted",
+            OmError::TxWaitDie(_) => "tx_wait_die",
+            OmError::Rejected(_) => "rejected",
+            OmError::Unavailable(_) => "unavailable",
+            OmError::Timeout(_) => "timeout",
+            OmError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for OmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmError::NotFound(m) => write!(f, "not found: {m}"),
+            OmError::Conflict(m) => write!(f, "conflict: {m}"),
+            OmError::TxAborted(m) => write!(f, "transaction aborted: {m}"),
+            OmError::TxWaitDie(m) => write!(f, "transaction killed by wait-die: {m}"),
+            OmError::Rejected(m) => write!(f, "rejected: {m}"),
+            OmError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            OmError::Timeout(m) => write!(f, "timeout: {m}"),
+            OmError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(OmError::Conflict("x".into()).is_retryable());
+        assert!(OmError::TxAborted("x".into()).is_retryable());
+        assert!(OmError::TxWaitDie("x".into()).is_retryable());
+        assert!(OmError::Timeout("x".into()).is_retryable());
+        assert!(!OmError::NotFound("x".into()).is_retryable());
+        assert!(!OmError::Rejected("x".into()).is_retryable());
+        assert!(!OmError::Internal("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let e = OmError::NotFound("product-3".into());
+        assert_eq!(e.to_string(), "not found: product-3");
+        assert_eq!(e.label(), "not_found");
+    }
+}

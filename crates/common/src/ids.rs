@@ -1,0 +1,219 @@
+//! Strongly-typed identifiers for every marketplace aggregate.
+//!
+//! Each id is a thin newtype over `u64` so that ids of different aggregates
+//! cannot be confused at compile time — a `CustomerId` is never accepted
+//! where a `SellerId` is expected. All ids are `Copy`, hashable, ordered and
+//! serde-serializable; they are dense (generated sequentially by the data
+//! generator) which lets substrates hash-partition them cheaply.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Raw numeric value of the id.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Stable partition assignment for `n` partitions.
+            ///
+            /// Uses a Fibonacci-hash mix rather than `id % n` so that
+            /// sequentially-generated ids do not stripe across partitions
+            /// in lock-step with workload round-robin order.
+            #[inline]
+            pub const fn partition(self, n: usize) -> usize {
+                debug_assert!(n > 0);
+                (self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a seller (vendor) on the marketplace.
+    SellerId,
+    "seller-"
+);
+define_id!(
+    /// Identifies a customer.
+    CustomerId,
+    "customer-"
+);
+define_id!(
+    /// Identifies a product. Products belong to exactly one seller.
+    ProductId,
+    "product-"
+);
+define_id!(
+    /// Identifies an order, unique across the whole marketplace.
+    OrderId,
+    "order-"
+);
+define_id!(
+    /// Identifies a shipment created for a paid order.
+    ShipmentId,
+    "shipment-"
+);
+define_id!(
+    /// Identifies one package within a shipment.
+    PackageId,
+    "package-"
+);
+define_id!(
+    /// Identifies a payment record.
+    PaymentId,
+    "payment-"
+);
+define_id!(
+    /// Identifies a distributed transaction instance (used by the
+    /// transactional actor binding and the auditor to correlate effects).
+    TransactionId,
+    "tx-"
+);
+
+/// A composite key identifying a stock item: one seller's inventory entry
+/// for one product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StockKey {
+    pub seller: SellerId,
+    pub product: ProductId,
+}
+
+impl StockKey {
+    pub const fn new(seller: SellerId, product: ProductId) -> Self {
+        Self { seller, product }
+    }
+
+    /// Partition assignment consistent with [`ProductId::partition`] so that
+    /// a product and its stock co-locate when both substrates use the same
+    /// partition count.
+    #[inline]
+    pub const fn partition(self, n: usize) -> usize {
+        self.product.partition(n)
+    }
+}
+
+impl fmt::Display for StockKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stock-{}-{}", self.seller.0, self.product.0)
+    }
+}
+
+/// Monotonic sequence generator handing out dense ids.
+///
+/// Thread-safe; used by services that mint ids at runtime (orders,
+/// shipments, payments).
+#[derive(Debug, Default)]
+pub struct IdSequence(std::sync::atomic::AtomicU64);
+
+impl IdSequence {
+    pub const fn new(start: u64) -> Self {
+        Self(std::sync::atomic::AtomicU64::new(start))
+    }
+
+    /// Returns the next id in the sequence.
+    #[inline]
+    pub fn next_raw(&self) -> u64 {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types_with_display_prefixes() {
+        assert_eq!(SellerId(7).to_string(), "seller-7");
+        assert_eq!(CustomerId(1).to_string(), "customer-1");
+        assert_eq!(ProductId(42).to_string(), "product-42");
+        assert_eq!(OrderId(3).to_string(), "order-3");
+        assert_eq!(TransactionId(9).to_string(), "tx-9");
+    }
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        for n in [1usize, 2, 3, 8, 17] {
+            for raw in 0..500u64 {
+                let p = ProductId(raw).partition(n);
+                assert!(p < n, "partition {p} out of range for n={n}");
+                assert_eq!(p, ProductId(raw).partition(n), "must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_spreads_sequential_ids() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for raw in 0..8000u64 {
+            counts[ProductId(raw).partition(n)] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        // Fibonacci hashing of dense ids should be close to uniform.
+        assert!(
+            max - min < 8000 / n,
+            "imbalanced partitions: {counts:?} (min={min} max={max})"
+        );
+    }
+
+    #[test]
+    fn stock_key_colocates_with_product() {
+        let k = StockKey::new(SellerId(3), ProductId(77));
+        assert_eq!(k.partition(16), ProductId(77).partition(16));
+    }
+
+    #[test]
+    fn id_sequence_is_dense_and_unique_across_threads() {
+        let seq = std::sync::Arc::new(IdSequence::new(1));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let seq = seq.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| seq.next_raw()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for v in h.join().unwrap() {
+                assert!(all.insert(v), "duplicate id {v}");
+            }
+        }
+        assert_eq!(all.len(), 4000);
+        assert_eq!(*all.iter().min().unwrap(), 1);
+        assert_eq!(*all.iter().max().unwrap(), 4000);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_transparent() {
+        let id = ProductId(123);
+        let s = serde_json::to_string(&id).unwrap();
+        assert_eq!(s, "123");
+        let back: ProductId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, id);
+    }
+}

@@ -1,0 +1,142 @@
+//! Fixed-point money arithmetic.
+//!
+//! Marketplace amounts are stored as integer **cents** to keep arithmetic
+//! exact — order totals, payment amounts and the seller dashboard aggregate
+//! must match to the cent, otherwise the snapshot-consistency criterion
+//! (paper §II, *Seller Dashboard*) could not be checked reliably.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// An exact monetary amount in cents. May be negative (refunds, voided
+/// entries in the audit log).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Money(pub i64);
+
+impl Money {
+    pub const ZERO: Money = Money(0);
+
+    /// Builds an amount from whole currency units and cents.
+    pub const fn from_units(units: i64, cents: i64) -> Self {
+        Money(units * 100 + cents)
+    }
+
+    /// Builds an amount directly from cents.
+    pub const fn from_cents(cents: i64) -> Self {
+        Money(cents)
+    }
+
+    /// Raw cents.
+    pub const fn cents(self) -> i64 {
+        self.0
+    }
+
+    /// `self * quantity` — line-item extension.
+    pub const fn times(self, quantity: u32) -> Self {
+        Money(self.0 * quantity as i64)
+    }
+
+    /// Applies a percentage (0..=100) discount, rounding toward zero; the
+    /// returned value is the *discounted* amount.
+    pub const fn discounted(self, percent: u8) -> Self {
+        let keep = 100 - percent as i64;
+        Money(self.0 * keep / 100)
+    }
+
+    /// True if the amount is strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<u32> for Money {
+    type Output = Money;
+    fn mul(self, rhs: u32) -> Money {
+        self.times(rhs)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        Money(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.abs();
+        write!(f, "{sign}{}.{:02}", abs / 100, abs % 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        assert_eq!(Money::from_units(12, 34).cents(), 1234);
+        assert_eq!(Money::from_units(12, 34).to_string(), "12.34");
+        assert_eq!(Money::from_cents(-5).to_string(), "-0.05");
+        assert_eq!(Money::ZERO.to_string(), "0.00");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::from_cents(150);
+        let b = Money::from_cents(75);
+        assert_eq!(a + b, Money::from_cents(225));
+        assert_eq!(a - b, Money::from_cents(75));
+        assert_eq!(a * 3, Money::from_cents(450));
+        assert_eq!(-a, Money::from_cents(-150));
+        let total: Money = [a, b, b].into_iter().sum();
+        assert_eq!(total, Money::from_cents(300));
+    }
+
+    #[test]
+    fn discounting_rounds_toward_zero() {
+        assert_eq!(Money::from_cents(1000).discounted(10), Money::from_cents(900));
+        assert_eq!(Money::from_cents(99).discounted(50), Money::from_cents(49));
+        assert_eq!(Money::from_cents(100).discounted(0), Money::from_cents(100));
+        assert_eq!(Money::from_cents(100).discounted(100), Money::ZERO);
+    }
+}

@@ -1,0 +1,360 @@
+//! Latency and throughput statistics.
+//!
+//! The driver records one latency sample per completed transaction into a
+//! log-bucketed [`Histogram`] (HdrHistogram-style, base-2 buckets with
+//! linear sub-buckets) that supports cheap concurrent-free recording per
+//! worker and lossless merging, plus [`Counter`] sets for
+//! throughput/anomaly accounting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const SUB_BUCKET_BITS: u32 = 5; // 32 linear sub-buckets per power of two
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+const BUCKETS: usize = 64 - SUB_BUCKET_BITS as usize + 1; // covers full u64 range
+
+/// A log-linear histogram of `u64` values (we record **microseconds**).
+///
+/// Each power-of-two bucket is split into 16 effective linear sub-buckets
+/// (HdrHistogram layout: the low half of the 32 sub-bucket indices belongs
+/// to the previous octave), bounding the relative error per recorded value
+/// by `1/16` (~6.3%) — ample for reporting p50/p90/p99 latencies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>, // BUCKETS * SUB_BUCKETS flattened
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn index_for(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as usize;
+        let bucket_idx = msb + 1 - SUB_BUCKET_BITS as usize;
+        let sub_idx = (value >> bucket_idx) as usize; // in [SUB_BUCKETS/2, SUB_BUCKETS)
+        bucket_idx * SUB_BUCKETS + sub_idx
+    }
+
+    /// Lowest value that maps into the same bucket as `value` (bucket floor).
+    fn bucket_floor(index: usize) -> u64 {
+        let bucket_idx = index / SUB_BUCKETS;
+        let sub_idx = index % SUB_BUCKETS;
+        if bucket_idx == 0 {
+            return sub_idx as u64;
+        }
+        (sub_idx as u64) << bucket_idx
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_for(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a latency duration in microseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket floor approximation).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_floor(i).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (lossless at bucket level).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Compact summary for reports.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean_us: self.mean(),
+            min_us: self.min(),
+            p50_us: self.quantile(0.50),
+            p90_us: self.quantile(0.90),
+            p99_us: self.quantile(0.99),
+            max_us: self.max(),
+        }
+    }
+}
+
+/// Percentile summary of a latency distribution, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean_us: f64,
+    pub min_us: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.0}us p50={}us p90={}us p99={}us max={}us",
+            self.count, self.mean_us, self.p50_us, self.p90_us, self.p99_us, self.max_us
+        )
+    }
+}
+
+/// A named set of monotonically increasing counters, safe for concurrent
+/// increments. Keys are static strings (metric names).
+#[derive(Debug, Default)]
+pub struct CounterSet {
+    counters: parking_lot::RwLock<BTreeMap<&'static str, AtomicU64>>,
+}
+
+impl CounterSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to `name`.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        {
+            let map = self.counters.read();
+            if let Some(c) = map.get(name) {
+                c.fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut map = self.counters.write();
+        map.entry(name)
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments `name` by one.
+    pub fn incr(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Reads `name` (0 if never written).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(&k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// Throughput helper: completed operations over a measured window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    pub operations: u64,
+    pub window_secs: f64,
+}
+
+impl Throughput {
+    pub fn per_sec(&self) -> f64 {
+        if self.window_secs <= 0.0 {
+            0.0
+        } else {
+            self.operations as f64 / self.window_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn single_value_quantiles() {
+        let mut h = Histogram::new();
+        h.record(500);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((496..=512).contains(&v), "q{q} gave {v}");
+        }
+        assert_eq!(h.min(), 500);
+        assert_eq!(h.max(), 500);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        // ~3% relative error tolerance from bucketing.
+        assert!((4700..=5200).contains(&p50), "p50={p50}");
+        assert!((8500..=9300).contains(&p90), "p90={p90}");
+        assert!((9300..=10000).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.count(), 32);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in [1u64, 10, 100, 1000, 10_000, 100_000] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [5u64, 50, 500, 5000] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.mean(), combined.mean());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), combined.quantile(q));
+        }
+    }
+
+    #[test]
+    fn counter_set_concurrent_increments() {
+        let cs = std::sync::Arc::new(CounterSet::new());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let cs = cs.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    cs.incr("ops");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cs.get("ops"), 40_000);
+        assert_eq!(cs.get("missing"), 0);
+        assert_eq!(cs.snapshot()["ops"], 40_000);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput {
+            operations: 500,
+            window_secs: 2.0,
+        };
+        assert_eq!(t.per_sec(), 250.0);
+        let z = Throughput {
+            operations: 1,
+            window_secs: 0.0,
+        };
+        assert_eq!(z.per_sec(), 0.0);
+    }
+
+    #[test]
+    fn summary_display_is_human_readable() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert!(s.to_string().contains("p99"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the binary codec: arbitrary nested values
+//! round-trip exactly, encoding is deterministic, and the decoder never
+//! panics on arbitrary bytes.
+
+use om_common::codec::{from_bytes, to_bytes};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Shape {
+    Unit,
+    New(u64),
+    Pair(i32, String),
+    Fields { flag: bool, data: Vec<u8> },
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::Unit),
+        any::<u64>().prop_map(Shape::New),
+        (any::<i32>(), "[a-zA-Z0-9 ]{0,12}").prop_map(|(a, b)| Shape::Pair(a, b)),
+        (any::<bool>(), prop::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(flag, data)| Shape::Fields { flag, data }),
+    ]
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Record {
+    id: u64,
+    amount: i64,
+    label: String,
+    tags: Vec<Shape>,
+    lookup: BTreeMap<(u64, u8), i64>,
+    child: Option<Box<Record>>,
+}
+
+fn record_strategy(depth: u32) -> BoxedStrategy<Record> {
+    let leaf = (
+        any::<u64>(),
+        any::<i64>(),
+        "[\\PC]{0,16}", // printable unicode
+        prop::collection::vec(shape_strategy(), 0..4),
+        prop::collection::btree_map((any::<u64>(), any::<u8>()), any::<i64>(), 0..4),
+    )
+        .prop_map(|(id, amount, label, tags, lookup)| Record {
+            id,
+            amount,
+            label,
+            tags,
+            lookup,
+            child: None,
+        });
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (leaf, prop::option::of(record_strategy(depth - 1)))
+            .prop_map(|(mut r, child)| {
+                r.child = child.map(Box::new);
+                r
+            })
+            .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn nested_records_roundtrip(record in record_strategy(2)) {
+        let bytes = to_bytes(&record).unwrap();
+        let back: Record = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, record);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(record in record_strategy(1)) {
+        let a = to_bytes(&record).unwrap();
+        let b = to_bytes(&record.clone()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scalar_vectors_roundtrip(
+        u64s in prop::collection::vec(any::<u64>(), 0..64),
+        f64s in prop::collection::vec(any::<f64>().prop_filter("nan != nan", |f| !f.is_nan()), 0..32),
+        strings in prop::collection::vec("[\\PC]{0,24}", 0..16),
+    ) {
+        let bytes = to_bytes(&u64s).unwrap();
+        prop_assert_eq!(from_bytes::<Vec<u64>>(&bytes).unwrap(), u64s);
+        let bytes = to_bytes(&f64s).unwrap();
+        prop_assert_eq!(from_bytes::<Vec<f64>>(&bytes).unwrap(), f64s);
+        let bytes = to_bytes(&strings).unwrap();
+        prop_assert_eq!(from_bytes::<Vec<String>>(&bytes).unwrap(), strings);
+    }
+
+    /// Decoding arbitrary bytes as a structured type must error or
+    /// succeed — never panic, never loop.
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_bytes::<Record>(&bytes);
+        let _ = from_bytes::<Vec<Shape>>(&bytes);
+        let _ = from_bytes::<BTreeMap<(u64, u8), String>>(&bytes);
+        let _ = from_bytes::<(bool, Option<String>, u64)>(&bytes);
+    }
+
+    /// Every proper prefix of a valid encoding fails to decode (the
+    /// format has no trailing-garbage or truncation ambiguity).
+    #[test]
+    fn truncations_never_decode(record in record_strategy(1)) {
+        let bytes = to_bytes(&record).unwrap();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                from_bytes::<Record>(&bytes[..cut]).is_err(),
+                "prefix of length {} decoded", cut
+            );
+        }
+    }
+
+    /// The domain states the dataflow binding persists round-trip through
+    /// the codec (the actual contract the platform relies on).
+    #[test]
+    fn domain_entities_roundtrip(
+        id in any::<u64>(),
+        cents in any::<i64>(),
+        qty in any::<u32>(),
+    ) {
+        use om_common::entity::{Product, StockItem};
+        use om_common::ids::{ProductId, SellerId, StockKey};
+        use om_common::Money;
+
+        let product = Product {
+            id: ProductId(id),
+            seller: SellerId(id % 7),
+            name: format!("p{id}"),
+            category: "c".into(),
+            description: "d".into(),
+            price: Money::from_cents(cents),
+            freight_value: Money::from_cents(cents / 2),
+            version: id,
+            active: id % 2 == 0,
+        };
+        let bytes = to_bytes(&product).unwrap();
+        prop_assert_eq!(from_bytes::<Product>(&bytes).unwrap(), product);
+
+        let stock = StockItem {
+            key: StockKey::new(SellerId(1), ProductId(id)),
+            qty_available: qty,
+            qty_reserved: qty / 2,
+            order_count: id,
+            active: true,
+            version: id,
+        };
+        let bytes = to_bytes(&stock).unwrap();
+        prop_assert_eq!(from_bytes::<StockItem>(&bytes).unwrap(), stock);
+    }
+}

@@ -1,0 +1,34 @@
+//! # om-dataflow
+//!
+//! An Apache Flink **Statefun-like stateful dataflow runtime** with
+//! **exactly-once** processing — the substrate under the Online
+//! Marketplace *Statefun* binding (paper §III: "Statefun is a
+//! dataflow-based platform that provides exactly-once processing").
+//!
+//! ## Model
+//!
+//! * Applications register **stateful functions** ([`FnLogic`]) addressed
+//!   by `(function type, key)`. Each invocation receives the function's
+//!   keyed state and the message, and emits [`Effects`]: state updates,
+//!   messages to other functions, and egress records.
+//! * The runtime is **partitioned**: key-hash partitioning assigns every
+//!   address to one of `p` partitions, each processed by one worker, so
+//!   invocations for the same key are serialized (per-key FIFO) while
+//!   distinct partitions run in parallel.
+//! * **Exactly-once** is implemented with epoch-based checkpointing, the
+//!   moral equivalent of Flink's aligned barriers for our in-process
+//!   setting: an epoch pulls a bounded batch from the replayable ingress
+//!   log (`om-log`), processes it (including all transitively produced
+//!   internal messages) to quiescence, then atomically commits
+//!   *(state snapshot, ingress offsets, buffered egress)*. A crash rolls
+//!   back to the previous checkpoint and replays — inputs are never lost
+//!   and egress is never duplicated. The structural costs (barrier
+//!   alignment, state snapshots, output buffering until commit) are the
+//!   same ones a production Statefun deployment pays, which is what makes
+//!   the E1/E6 comparisons meaningful.
+//!
+//! See `DESIGN.md` §2 for the substitution argument.
+
+pub mod runtime;
+
+pub use runtime::{Address, Dataflow, DataflowBuilder, Effects, EpochOutcome, FnLogic};

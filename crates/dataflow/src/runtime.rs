@@ -1,0 +1,575 @@
+//! The epoch-checkpointed dataflow runtime.
+
+use crossbeam::channel::unbounded;
+use om_common::OmResult;
+use om_log::Topic;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Address of a stateful function instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Address {
+    pub fn_type: &'static str,
+    pub key: u64,
+}
+
+impl Address {
+    pub const fn new(fn_type: &'static str, key: u64) -> Self {
+        Self { fn_type, key }
+    }
+
+    #[inline]
+    fn partition(&self, n: usize) -> usize {
+        (self.key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+    }
+}
+
+/// Effects produced by one function invocation: a state update, messages
+/// to other functions and egress records. Effects are buffered and become
+/// externally visible atomically with the epoch's checkpoint commit.
+pub struct Effects<M> {
+    state: Option<Option<Vec<u8>>>,
+    sends: Vec<(Address, M)>,
+    egress: Vec<M>,
+}
+
+impl<M> Effects<M> {
+    fn new() -> Self {
+        Self {
+            state: None,
+            sends: Vec::new(),
+            egress: Vec::new(),
+        }
+    }
+
+    /// Replaces this function instance's keyed state.
+    pub fn set_state(&mut self, bytes: Vec<u8>) {
+        self.state = Some(Some(bytes));
+    }
+
+    /// Deletes this function instance's keyed state.
+    pub fn clear_state(&mut self) {
+        self.state = Some(None);
+    }
+
+    /// Sends a message to another function (delivered within the same
+    /// epoch; exactly-once, per-partition FIFO).
+    pub fn send(&mut self, to: Address, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Emits a record to the egress. Egress is released only when the
+    /// epoch commits — a rolled-back epoch emits nothing (no duplicates).
+    pub fn emit(&mut self, record: M) {
+        self.egress.push(record);
+    }
+}
+
+/// A stateful function: logic over `(key, state, message) -> effects`.
+pub trait FnLogic<M>: Send + Sync {
+    fn invoke(&self, key: u64, state: Option<&[u8]>, msg: M, out: &mut Effects<M>);
+}
+
+impl<M, F> FnLogic<M> for F
+where
+    F: Fn(u64, Option<&[u8]>, M, &mut Effects<M>) + Send + Sync,
+{
+    fn invoke(&self, key: u64, state: Option<&[u8]>, msg: M, out: &mut Effects<M>) {
+        self(key, state, msg, out)
+    }
+}
+
+type PartitionState = HashMap<(&'static str, u64), Vec<u8>>;
+
+/// A committed checkpoint: epoch number, ingress offsets and a deep copy
+/// of every partition's keyed state.
+struct Checkpoint {
+    epoch: u64,
+    offsets: Vec<u64>,
+    states: Vec<PartitionState>,
+}
+
+/// Outcome of [`Dataflow::run_epoch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochOutcome {
+    /// No ingress records pending.
+    Idle,
+    /// Epoch committed.
+    Committed {
+        /// Ingress records consumed.
+        ingress: u64,
+        /// Total function invocations (ingress + internal messages).
+        invocations: u64,
+    },
+    /// An injected crash interrupted the epoch; state, offsets and egress
+    /// were rolled back to the last checkpoint. The next epoch replays.
+    CrashedAndRecovered,
+}
+
+/// Builder for [`Dataflow`].
+pub struct DataflowBuilder<M> {
+    partitions: usize,
+    max_batch: usize,
+    functions: HashMap<&'static str, Arc<dyn FnLogic<M>>>,
+}
+
+impl<M: Send + Clone + 'static> DataflowBuilder<M> {
+    /// Number of parallel partitions (worker threads per epoch).
+    pub fn partitions(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.partitions = n;
+        self
+    }
+
+    /// Maximum ingress records pulled per partition per epoch — the
+    /// checkpoint-interval knob (ablation A2).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.max_batch = n;
+        self
+    }
+
+    /// Registers a function type.
+    pub fn register(mut self, fn_type: &'static str, logic: impl FnLogic<M> + 'static) -> Self {
+        self.functions.insert(fn_type, Arc::new(logic));
+        self
+    }
+
+    pub fn build(self) -> Dataflow<M> {
+        let partitions = self.partitions;
+        Dataflow {
+            ingress: Arc::new(Topic::new("ingress", partitions)),
+            ingress_seq: AtomicU64::new(1),
+            functions: Arc::new(self.functions),
+            states: (0..partitions).map(|_| Mutex::new(HashMap::new())).collect(),
+            checkpoint: Mutex::new(Checkpoint {
+                epoch: 0,
+                offsets: vec![0; partitions],
+                states: vec![HashMap::new(); partitions],
+            }),
+            committed_egress: Mutex::new(Vec::new()),
+            epoch_mutex: Mutex::new(()),
+            partitions,
+            max_batch: self.max_batch,
+            crash_countdown: AtomicI64::new(i64::MIN),
+            epochs: AtomicU64::new(0),
+            replays: AtomicU64::new(0),
+            invocations_total: AtomicU64::new(0),
+            unroutable: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The dataflow runtime. See the crate docs for the model and the
+/// exactly-once argument.
+pub struct Dataflow<M> {
+    ingress: Arc<Topic<(Address, M)>>,
+    ingress_seq: AtomicU64,
+    functions: Arc<HashMap<&'static str, Arc<dyn FnLogic<M>>>>,
+    /// Live keyed state per partition (== last checkpoint between epochs).
+    states: Vec<Mutex<PartitionState>>,
+    checkpoint: Mutex<Checkpoint>,
+    committed_egress: Mutex<Vec<M>>,
+    /// Serializes epochs (one checkpoint in flight at a time).
+    epoch_mutex: Mutex<()>,
+    partitions: usize,
+    max_batch: usize,
+    /// Fault injection: crash after this many further invocations
+    /// (`i64::MIN` = disabled).
+    crash_countdown: AtomicI64,
+    epochs: AtomicU64,
+    replays: AtomicU64,
+    invocations_total: AtomicU64,
+    unroutable: AtomicU64,
+}
+
+impl<M: Send + Clone + 'static> Dataflow<M> {
+    pub fn builder() -> DataflowBuilder<M> {
+        DataflowBuilder {
+            partitions: 4,
+            max_batch: 256,
+            functions: HashMap::new(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Appends a message for `to` into the replayable ingress log. The
+    /// record is processed by a subsequent epoch.
+    pub fn submit(&self, to: Address, msg: M) {
+        let partition = to.partition(self.partitions);
+        let seq = self.ingress_seq.fetch_add(1, Ordering::Relaxed);
+        self.ingress
+            .append_raw(partition, 0, seq, (to, msg))
+            .expect("ingress partition exists");
+    }
+
+    /// Arms fault injection: the runtime "crashes" after `n` further
+    /// function invocations, rolling back the in-flight epoch.
+    pub fn inject_crash_after(&self, n: u64) {
+        self.crash_countdown.store(n as i64, Ordering::SeqCst);
+    }
+
+    /// Ingress records not yet committed (lag).
+    pub fn pending_ingress(&self) -> u64 {
+        let ckpt = self.checkpoint.lock();
+        (0..self.partitions)
+            .map(|p| self.ingress.end_offset(p) - ckpt.offsets[p])
+            .sum()
+    }
+
+    /// Runs one epoch. See [`EpochOutcome`]. Blocks if another epoch is
+    /// in flight.
+    pub fn run_epoch(&self) -> OmResult<EpochOutcome> {
+        let guard = self.epoch_mutex.lock();
+        self.run_epoch_locked(guard)
+    }
+
+    /// Runs one epoch only if no other epoch is in flight; returns
+    /// `Ok(None)` when another thread is already driving. Lets clients
+    /// *help* (caller-runs) without queueing up redundant epochs behind
+    /// the epoch mutex.
+    pub fn try_run_epoch(&self) -> OmResult<Option<EpochOutcome>> {
+        match self.epoch_mutex.try_lock() {
+            Some(guard) => self.run_epoch_locked(guard).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn run_epoch_locked(
+        &self,
+        _epoch_guard: parking_lot::MutexGuard<'_, ()>,
+    ) -> OmResult<EpochOutcome> {
+
+        // 1. Pull the input batch per partition from committed offsets.
+        let offsets: Vec<u64> = self.checkpoint.lock().offsets.clone();
+        let batches: Vec<Vec<(Address, M)>> = (0..self.partitions)
+            .map(|p| {
+                self.ingress
+                    .read_from(p, offsets[p], self.max_batch)
+                    .into_iter()
+                    .map(|e| e.payload)
+                    .collect()
+            })
+            .collect();
+        let batch_lens: Vec<u64> = batches.iter().map(|b| b.len() as u64).collect();
+        let ingress_count: u64 = batch_lens.iter().sum();
+        if ingress_count == 0 {
+            return Ok(EpochOutcome::Idle);
+        }
+
+        // 2. Process to quiescence with one worker per partition.
+        let in_flight = AtomicI64::new(ingress_count as i64);
+        let crashed = AtomicBool::new(false);
+        let invocations = AtomicU64::new(0);
+        let channels: Vec<_> = (0..self.partitions).map(|_| unbounded()).collect();
+        let senders: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        for (p, batch) in batches.into_iter().enumerate() {
+            for rec in batch {
+                senders[p].send(rec).expect("receiver alive");
+            }
+        }
+
+        let mut egress_buffers: Vec<Vec<M>> = Vec::new();
+        // Incremental checkpointing: commits copy only the keys an epoch
+        // touched, so checkpoint cost scales with the batch, not with the
+        // total accumulated state (the Flink/RocksDB approach).
+        let mut dirty_sets: Vec<std::collections::HashSet<(&'static str, u64)>> =
+            (0..self.partitions).map(|_| Default::default()).collect();
+        // Small epochs skip the thread fan-out: spawning one worker per
+        // partition costs more than sequential processing for a handful of
+        // records (and spin-waits starve single-core machines).
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let sequential = ingress_count <= 8 || self.partitions == 1 || cores < 2;
+        if sequential {
+            let mut states: Vec<_> = self.states.iter().map(|m| m.lock()).collect();
+            for _ in 0..self.partitions {
+                egress_buffers.push(Vec::new());
+            }
+            'outer: loop {
+                let mut progressed = false;
+                for p in 0..self.partitions {
+                    while let Ok((to, msg)) = channels[p].1.try_recv() {
+                        progressed = true;
+                        let cd = self.crash_countdown.fetch_sub(1, Ordering::SeqCst);
+                        if cd == 0 {
+                            crashed.store(true, Ordering::Release);
+                            break 'outer;
+                        }
+                        let Some(logic) = self.functions.get(to.fn_type).cloned() else {
+                            self.unroutable.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        };
+                        let state = &mut states[p];
+                        let mut effects = Effects::new();
+                        let state_key = (to.fn_type, to.key);
+                        logic.invoke(
+                            to.key,
+                            state.get(&state_key).map(|v| v.as_slice()),
+                            msg,
+                            &mut effects,
+                        );
+                        invocations.fetch_add(1, Ordering::Relaxed);
+                        if let Some(update) = effects.state {
+                            dirty_sets[p].insert(state_key);
+                            match update {
+                                Some(bytes) => {
+                                    state.insert(state_key, bytes);
+                                }
+                                None => {
+                                    state.remove(&state_key);
+                                }
+                            }
+                        }
+                        egress_buffers[p].extend(effects.egress);
+                        for (addr, m) in effects.sends {
+                            let _ = senders[addr.partition(self.partitions)].send((addr, m));
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            drop(states);
+            self.invocations_total
+                .fetch_add(invocations.load(Ordering::Relaxed), Ordering::Relaxed);
+            if crashed.load(Ordering::Acquire) {
+                self.crash_countdown.store(i64::MIN, Ordering::SeqCst);
+                let ckpt = self.checkpoint.lock();
+                for (p, slot) in self.states.iter().enumerate() {
+                    *slot.lock() = ckpt.states[p].clone();
+                }
+                self.replays.fetch_add(1, Ordering::Relaxed);
+                return Ok(EpochOutcome::CrashedAndRecovered);
+            }
+            {
+                let mut ckpt = self.checkpoint.lock();
+                ckpt.epoch += 1;
+                for p in 0..self.partitions {
+                    ckpt.offsets[p] = offsets[p] + batch_lens[p];
+                    let live = self.states[p].lock();
+                    for key in dirty_sets[p].drain() {
+                        match live.get(&key) {
+                            Some(bytes) => {
+                                ckpt.states[p].insert(key, bytes.clone());
+                            }
+                            None => {
+                                ckpt.states[p].remove(&key);
+                            }
+                        }
+                    }
+                }
+                let mut egress = self.committed_egress.lock();
+                for buf in egress_buffers {
+                    egress.extend(buf);
+                }
+            }
+            self.epochs.fetch_add(1, Ordering::Relaxed);
+            return Ok(EpochOutcome::Committed {
+                ingress: ingress_count,
+                invocations: invocations.load(Ordering::Relaxed),
+            });
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (p, (_, rx)) in channels.iter().enumerate() {
+                let senders = &senders;
+                let in_flight = &in_flight;
+                let crashed = &crashed;
+                let invocations = &invocations;
+                let state_slot = &self.states[p];
+                let functions = &self.functions;
+                let crash_countdown = &self.crash_countdown;
+                let unroutable = &self.unroutable;
+                let n_partitions = self.partitions;
+                handles.push(scope.spawn(move || {
+                    let mut state = state_slot.lock();
+                    let mut egress: Vec<M> = Vec::new();
+                    let mut dirty: std::collections::HashSet<(&'static str, u64)> =
+                        Default::default();
+                    let mut idle_polls = 0u32;
+                    loop {
+                        if crashed.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let (to, msg) = match rx.try_recv() {
+                            Ok(rec) => {
+                                idle_polls = 0;
+                                rec
+                            }
+                            Err(_) => {
+                                if in_flight.load(Ordering::Acquire) <= 0 {
+                                    break;
+                                }
+                                // Escalating backoff: spinning starves the
+                                // busy partitions on small machines.
+                                idle_polls += 1;
+                                if idle_polls > 64 {
+                                    std::thread::sleep(std::time::Duration::from_micros(50));
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                                continue;
+                            }
+                        };
+                        // Fault injection: decrement the countdown; the
+                        // invocation that hits zero "crashes" the runtime.
+                        let cd = crash_countdown.fetch_sub(1, Ordering::SeqCst);
+                        if cd == 0 {
+                            crashed.store(true, Ordering::Release);
+                            break;
+                        }
+                        let logic = match functions.get(to.fn_type) {
+                            Some(l) => l.clone(),
+                            None => {
+                                unroutable.fetch_add(1, Ordering::Relaxed);
+                                in_flight.fetch_sub(1, Ordering::AcqRel);
+                                continue;
+                            }
+                        };
+                        let mut effects = Effects::new();
+                        let state_key = (to.fn_type, to.key);
+                        logic.invoke(
+                            to.key,
+                            state.get(&state_key).map(|v| v.as_slice()),
+                            msg,
+                            &mut effects,
+                        );
+                        invocations.fetch_add(1, Ordering::Relaxed);
+                        if let Some(update) = effects.state {
+                            dirty.insert(state_key);
+                            match update {
+                                Some(bytes) => {
+                                    state.insert(state_key, bytes);
+                                }
+                                None => {
+                                    state.remove(&state_key);
+                                }
+                            }
+                        }
+                        egress.extend(effects.egress);
+                        // Route internal sends before declaring this
+                        // message done so in_flight never dips to zero
+                        // while cascades are pending.
+                        for (addr, m) in effects.sends {
+                            in_flight.fetch_add(1, Ordering::AcqRel);
+                            let _ = senders[addr.partition(n_partitions)].send((addr, m));
+                        }
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    (egress, dirty)
+                }));
+            }
+            for (p, h) in handles.into_iter().enumerate() {
+                let (egress, dirty) = h.join().expect("worker panicked");
+                egress_buffers.push(egress);
+                dirty_sets[p] = dirty;
+            }
+        });
+
+        self.invocations_total
+            .fetch_add(invocations.load(Ordering::Relaxed), Ordering::Relaxed);
+
+        if crashed.load(Ordering::Acquire) {
+            // 3a. Roll back: restore state deep-copies from the last
+            // checkpoint; offsets unchanged; buffered egress discarded.
+            self.crash_countdown.store(i64::MIN, Ordering::SeqCst);
+            let ckpt = self.checkpoint.lock();
+            for (p, slot) in self.states.iter().enumerate() {
+                *slot.lock() = ckpt.states[p].clone();
+            }
+            self.replays.fetch_add(1, Ordering::Relaxed);
+            return Ok(EpochOutcome::CrashedAndRecovered);
+        }
+
+        // 3b. Commit: fold the dirty keys into the checkpoint, advance
+        // offsets, release egress. Copying only what the epoch touched
+        // keeps commit cost proportional to the batch.
+        {
+            let mut ckpt = self.checkpoint.lock();
+            ckpt.epoch += 1;
+            for p in 0..self.partitions {
+                // Advance by exactly what this epoch consumed; records
+                // appended mid-epoch belong to the next one.
+                ckpt.offsets[p] = offsets[p] + batch_lens[p];
+                let live = self.states[p].lock();
+                for key in dirty_sets[p].drain() {
+                    match live.get(&key) {
+                        Some(bytes) => {
+                            ckpt.states[p].insert(key, bytes.clone());
+                        }
+                        None => {
+                            ckpt.states[p].remove(&key);
+                        }
+                    }
+                }
+            }
+            let mut egress = self.committed_egress.lock();
+            for buf in egress_buffers {
+                egress.extend(buf);
+            }
+        }
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        Ok(EpochOutcome::Committed {
+            ingress: ingress_count,
+            invocations: invocations.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Runs epochs until the ingress lag is zero; returns the number of
+    /// committed epochs (crashes are recovered and replayed).
+    pub fn run_to_completion(&self) -> OmResult<u64> {
+        let mut committed = 0;
+        while self.pending_ingress() > 0 {
+            match self.run_epoch()? {
+                EpochOutcome::Committed { .. } => committed += 1,
+                EpochOutcome::CrashedAndRecovered => {}
+                EpochOutcome::Idle => break,
+            }
+        }
+        Ok(committed)
+    }
+
+    /// Committed egress records so far (exactly-once output).
+    pub fn committed_egress(&self) -> Vec<M> {
+        self.committed_egress.lock().clone()
+    }
+
+    /// Number of committed egress records without cloning.
+    pub fn committed_egress_len(&self) -> usize {
+        self.committed_egress.lock().len()
+    }
+
+    /// Drains the committed egress (consumer semantics for the driver).
+    pub fn take_committed_egress(&self) -> Vec<M> {
+        std::mem::take(&mut *self.committed_egress.lock())
+    }
+
+    /// Committed keyed state of `(fn_type, key)` as of the last
+    /// checkpoint.
+    pub fn state_of(&self, addr: Address) -> Option<Vec<u8>> {
+        let ckpt = self.checkpoint.lock();
+        ckpt.states[addr.partition(self.partitions)]
+            .get(&(addr.fn_type, addr.key))
+            .cloned()
+    }
+
+    /// (committed epochs, replays after crashes, total invocations,
+    /// unroutable messages).
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.epochs.load(Ordering::Relaxed),
+            self.replays.load(Ordering::Relaxed),
+            self.invocations_total.load(Ordering::Relaxed),
+            self.unroutable.load(Ordering::Relaxed),
+        )
+    }
+}

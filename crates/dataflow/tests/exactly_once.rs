@@ -1,0 +1,234 @@
+//! Integration tests for the dataflow runtime: epoch processing, per-key
+//! state, internal messaging, crash recovery and the exactly-once
+//! guarantee.
+
+use om_dataflow::{Address, Dataflow, Effects};
+use std::sync::Arc;
+
+/// Messages used by the test topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    /// Add to a counter function's state.
+    Add(u64),
+    /// Counter forwards its new total to the "sink" function, which emits
+    /// an egress record.
+    AddAndReport(u64),
+    /// Carries a total to the sink.
+    Total(u64, u64), // (key, total)
+}
+
+fn counter_state(bytes: Option<&[u8]>) -> u64 {
+    bytes
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .unwrap_or(0)
+}
+
+/// Builds a two-function topology: `counter` keeps a per-key running sum;
+/// `sink` emits every received total to the egress.
+fn build(partitions: usize, max_batch: usize) -> Dataflow<Msg> {
+    Dataflow::builder()
+        .partitions(partitions)
+        .max_batch(max_batch)
+        .register("counter", |key: u64, state: Option<&[u8]>, msg: Msg, out: &mut Effects<Msg>| {
+            let mut total = counter_state(state);
+            match msg {
+                Msg::Add(n) => {
+                    total += n;
+                    out.set_state(total.to_le_bytes().to_vec());
+                }
+                Msg::AddAndReport(n) => {
+                    total += n;
+                    out.set_state(total.to_le_bytes().to_vec());
+                    out.send(Address::new("sink", key), Msg::Total(key, total));
+                }
+                Msg::Total(..) => unreachable!("counter never receives totals"),
+            }
+        })
+        .register("sink", |_key, _state: Option<&[u8]>, msg: Msg, out: &mut Effects<Msg>| {
+            if let Msg::Total(..) = msg {
+                out.emit(msg);
+            }
+        })
+        .build()
+}
+
+#[test]
+fn empty_runtime_is_idle() {
+    let df = build(2, 16);
+    assert_eq!(df.run_epoch().unwrap(), om_dataflow::EpochOutcome::Idle);
+    assert_eq!(df.pending_ingress(), 0);
+}
+
+#[test]
+fn single_epoch_processes_and_commits_state() {
+    let df = build(4, 64);
+    for i in 0..10 {
+        df.submit(Address::new("counter", i % 3), Msg::Add(1));
+    }
+    let outcome = df.run_epoch().unwrap();
+    match outcome {
+        om_dataflow::EpochOutcome::Committed { ingress, invocations } => {
+            assert_eq!(ingress, 10);
+            assert_eq!(invocations, 10);
+        }
+        other => panic!("expected commit, got {other:?}"),
+    }
+    let totals: u64 = (0..3)
+        .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
+        .sum();
+    assert_eq!(totals, 10);
+}
+
+#[test]
+fn per_key_state_is_independent() {
+    let df = build(4, 64);
+    df.submit(Address::new("counter", 1), Msg::Add(5));
+    df.submit(Address::new("counter", 2), Msg::Add(7));
+    df.run_to_completion().unwrap();
+    assert_eq!(counter_state(df.state_of(Address::new("counter", 1)).as_deref()), 5);
+    assert_eq!(counter_state(df.state_of(Address::new("counter", 2)).as_deref()), 7);
+    assert_eq!(df.state_of(Address::new("counter", 3)), None);
+}
+
+#[test]
+fn internal_sends_are_processed_within_the_epoch() {
+    let df = build(4, 64);
+    for _ in 0..20 {
+        df.submit(Address::new("counter", 9), Msg::AddAndReport(1));
+    }
+    let outcome = df.run_epoch().unwrap();
+    match outcome {
+        om_dataflow::EpochOutcome::Committed { ingress, invocations } => {
+            assert_eq!(ingress, 20);
+            assert_eq!(invocations, 40, "each ingress spawns one sink invocation");
+        }
+        other => panic!("{other:?}"),
+    }
+    let egress = df.committed_egress();
+    assert_eq!(egress.len(), 20);
+    // Per-key FIFO: totals for key 9 must be 1..=20 in order.
+    let totals: Vec<u64> = egress
+        .iter()
+        .map(|m| match m {
+            Msg::Total(9, t) => *t,
+            other => panic!("unexpected egress {other:?}"),
+        })
+        .collect();
+    assert_eq!(totals, (1..=20).collect::<Vec<_>>());
+}
+
+#[test]
+fn multiple_epochs_respect_batch_limit() {
+    let df = build(2, 8);
+    for i in 0..100 {
+        df.submit(Address::new("counter", i), Msg::Add(1));
+    }
+    let epochs = df.run_to_completion().unwrap();
+    assert!(epochs >= 100 / (8 * 2), "expected several epochs, got {epochs}");
+    assert_eq!(df.pending_ingress(), 0);
+    let (committed, replays, invocations, unroutable) = df.stats();
+    assert_eq!(committed, epochs);
+    assert_eq!(replays, 0);
+    assert_eq!(invocations, 100);
+    assert_eq!(unroutable, 0);
+}
+
+#[test]
+fn unroutable_messages_are_counted_not_fatal() {
+    let df = build(2, 8);
+    df.submit(Address::new("ghost", 1), Msg::Add(1));
+    df.submit(Address::new("counter", 1), Msg::Add(1));
+    df.run_to_completion().unwrap();
+    let (_, _, _, unroutable) = df.stats();
+    assert_eq!(unroutable, 1);
+    assert_eq!(counter_state(df.state_of(Address::new("counter", 1)).as_deref()), 1);
+}
+
+#[test]
+fn crash_rolls_back_and_replay_is_exactly_once() {
+    let df = build(4, 32);
+    for i in 0..30 {
+        df.submit(Address::new("counter", i % 5), Msg::AddAndReport(1));
+    }
+    // Crash mid-epoch.
+    df.inject_crash_after(10);
+    let outcome = df.run_epoch().unwrap();
+    assert_eq!(outcome, om_dataflow::EpochOutcome::CrashedAndRecovered);
+    // Nothing leaked: state and egress rolled back.
+    assert_eq!(df.committed_egress_len(), 0);
+    let sum_after_crash: u64 = (0..5)
+        .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
+        .sum();
+    assert_eq!(sum_after_crash, 0, "state rollback incomplete");
+
+    // Replay to completion: exactly 30 additions and 30 egress records.
+    df.run_to_completion().unwrap();
+    let sum: u64 = (0..5)
+        .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
+        .sum();
+    assert_eq!(sum, 30, "every input applied exactly once");
+    assert_eq!(df.committed_egress_len(), 30, "no lost or duplicated egress");
+    let (_, replays, _, _) = df.stats();
+    assert_eq!(replays, 1);
+}
+
+#[test]
+fn repeated_crashes_still_converge_exactly_once() {
+    let df = build(2, 16);
+    for i in 0..40 {
+        df.submit(Address::new("counter", i % 4), Msg::AddAndReport(1));
+    }
+    let mut crashes = 0;
+    for n in [3u64, 7, 11] {
+        df.inject_crash_after(n);
+        if df.run_epoch().unwrap() == om_dataflow::EpochOutcome::CrashedAndRecovered {
+            crashes += 1;
+        }
+    }
+    assert!(crashes >= 2, "crash injection mostly fired ({crashes})");
+    df.run_to_completion().unwrap();
+    let sum: u64 = (0..4)
+        .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
+        .sum();
+    assert_eq!(sum, 40);
+    assert_eq!(df.committed_egress_len(), 40);
+}
+
+#[test]
+fn submissions_during_epoch_are_deferred_not_lost() {
+    let df = Arc::new(build(2, 4));
+    for i in 0..8 {
+        df.submit(Address::new("counter", i), Msg::Add(1));
+    }
+    // Concurrent submitter racing with epochs.
+    let df2 = df.clone();
+    let submitter = std::thread::spawn(move || {
+        for i in 8..48 {
+            df2.submit(Address::new("counter", i), Msg::Add(1));
+            if i % 5 == 0 {
+                std::thread::yield_now();
+            }
+        }
+    });
+    let mut committed = 0;
+    while committed < 20 && df.pending_ingress() > 0 || !submitter.is_finished() {
+        if let om_dataflow::EpochOutcome::Committed { .. } = df.run_epoch().unwrap() {
+            committed += 1;
+        }
+    }
+    submitter.join().unwrap();
+    df.run_to_completion().unwrap();
+    let total: u64 = (0..48)
+        .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
+        .sum();
+    assert_eq!(total, 48, "all racing submissions eventually processed");
+}
+
+#[test]
+fn take_committed_egress_drains() {
+    let df = build(2, 16);
+    df.submit(Address::new("counter", 1), Msg::AddAndReport(1));
+    df.run_to_completion().unwrap();
+    assert_eq!(df.take_committed_egress().len(), 1);
+    assert_eq!(df.committed_egress_len(), 0);
+}

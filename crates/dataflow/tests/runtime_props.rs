@@ -1,0 +1,89 @@
+//! Property tests for the dataflow runtime: exactly-once under arbitrary
+//! crash points, and state equivalence with a sequential model.
+
+use om_dataflow::{Address, Dataflow, Effects};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn counter_df(partitions: usize, max_batch: usize) -> Dataflow<(u64, u64)> {
+    // Message: (key, increment); state: running sum; egress: every update.
+    Dataflow::builder()
+        .partitions(partitions)
+        .max_batch(max_batch)
+        .register(
+            "sum",
+            |key: u64, state: Option<&[u8]>, msg: (u64, u64), out: &mut Effects<(u64, u64)>| {
+                let cur = state
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                let next = cur + msg.1;
+                out.set_state(next.to_le_bytes().to_vec());
+                out.emit((key, next));
+            },
+        )
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the crash schedule, the final states equal the sequential
+    /// model and the egress contains each update exactly once.
+    #[test]
+    fn prop_exactly_once_under_crashes(
+        increments in proptest::collection::vec((0u64..8, 1u64..5), 1..80),
+        crash_points in proptest::collection::vec(1u64..40, 0..4),
+        partitions in 1usize..5,
+        max_batch in 1usize..40,
+    ) {
+        let df = counter_df(partitions, max_batch);
+        for (k, inc) in &increments {
+            df.submit(Address::new("sum", *k), (*k, *inc));
+        }
+        for cp in crash_points {
+            df.inject_crash_after(cp);
+            let _ = df.run_epoch().unwrap();
+        }
+        df.run_to_completion().unwrap();
+
+        // Sequential model.
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (k, inc) in &increments {
+            *model.entry(*k).or_insert(0) += inc;
+        }
+        for (k, expected) in &model {
+            let got = df
+                .state_of(Address::new("sum", *k))
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .unwrap_or(0);
+            prop_assert_eq!(got, *expected, "key {} diverged", k);
+        }
+        prop_assert_eq!(df.committed_egress_len(), increments.len(), "egress not exactly-once");
+    }
+
+    /// Partitioning is transparent: any partition count yields identical
+    /// final state for the same input.
+    #[test]
+    fn prop_partition_count_is_transparent(
+        increments in proptest::collection::vec((0u64..16, 1u64..4), 1..60),
+    ) {
+        let mut reference: Option<BTreeMap<u64, u64>> = None;
+        for partitions in [1usize, 2, 4] {
+            let df = counter_df(partitions, 16);
+            for (k, inc) in &increments {
+                df.submit(Address::new("sum", *k), (*k, *inc));
+            }
+            df.run_to_completion().unwrap();
+            let state: BTreeMap<u64, u64> = (0..16)
+                .filter_map(|k| {
+                    df.state_of(Address::new("sum", k))
+                        .map(|b| (k, u64::from_le_bytes(b.try_into().unwrap())))
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(state),
+                Some(expected) => prop_assert_eq!(&state, expected),
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The criteria auditor: turns the paper's data-management criteria
+//! (§II) into measured violation counts over a post-run snapshot plus
+//! counters gathered during the run.
+
+use om_marketplace::api::MarketSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Verdict for one criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CriterionVerdict {
+    /// No violations observed.
+    Satisfied,
+    /// Violations observed (count attached in the report).
+    Violated,
+}
+
+impl CriterionVerdict {
+    fn from_count(count: u64) -> Self {
+        if count == 0 {
+            CriterionVerdict::Satisfied
+        } else {
+            CriterionVerdict::Violated
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CriterionVerdict::Satisfied => "yes",
+            CriterionVerdict::Violated => "NO",
+        }
+    }
+}
+
+/// The measured criteria report (experiment E4's row for one platform).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CriteriaReport {
+    /// Checkout atomicity: orders whose downstream effects are partial
+    /// (missing payment, missing packages for approved payment, stuck
+    /// stock-confirmation assemblies, reservation leaks).
+    pub atomicity_violations: u64,
+    pub atomicity: CriterionVerdict,
+
+    /// Stock↔product integrity: stock items still active/selling for
+    /// deleted products after quiescence.
+    pub integrity_violations: u64,
+    pub integrity: CriterionVerdict,
+
+    /// Causal replication: stale replica reads observed at cart adds plus
+    /// causal inversions at the replica applier.
+    pub replication_violations: u64,
+    pub replication: CriterionVerdict,
+
+    /// Consistent dashboard: dashboards whose aggregate disagreed with
+    /// the tuples it was allegedly computed from.
+    pub torn_dashboards: u64,
+    pub dashboard: CriterionVerdict,
+
+    /// Event ordering: packages shipped at-or-before their order's
+    /// payment time (payment must causally precede shipment).
+    pub ordering_violations: u64,
+    pub ordering: CriterionVerdict,
+
+    /// Stock conservation failures (units created or destroyed) — a
+    /// sanity invariant, not a paper criterion; must be zero everywhere.
+    pub conservation_violations: u64,
+}
+
+impl CriteriaReport {
+    /// True if every criterion is satisfied (the paper's Customized stack
+    /// should be the only platform achieving this under stress).
+    pub fn all_satisfied(&self) -> bool {
+        [
+            self.atomicity,
+            self.integrity,
+            self.replication,
+            self.dashboard,
+            self.ordering,
+        ]
+        .iter()
+        .all(|v| *v == CriterionVerdict::Satisfied)
+    }
+}
+
+/// Inputs gathered by the runner during the measured phase.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeObservations {
+    /// Dashboards observed torn at query time.
+    pub torn_dashboards: u64,
+}
+
+/// Audits a quiesced snapshot + runtime observations into a report.
+///
+/// `initial_stock` is the per-product starting quantity (conservation
+/// check); `counters` are the platform's own diagnostic counters.
+pub fn audit(
+    snapshot: &MarketSnapshot,
+    counters: &BTreeMap<String, u64>,
+    observations: &RuntimeObservations,
+    initial_stock: u32,
+) -> CriteriaReport {
+    // --- atomicity -------------------------------------------------------
+    let mut atomicity_violations = snapshot.stuck_assemblies;
+    let payments_by_order: BTreeMap<_, _> =
+        snapshot.payments.iter().map(|p| (p.order, p)).collect();
+    let mut packages_by_order: BTreeMap<om_common::ids::OrderId, usize> = BTreeMap::new();
+    for pkg in &snapshot.shipments {
+        *packages_by_order.entry(pkg.order).or_insert(0) += 1;
+    }
+    for order in &snapshot.orders {
+        match payments_by_order.get(&order.id) {
+            None => {
+                // An order that never saw a payment decision and is not
+                // freshly invoiced mid-flight (we audit after quiesce, so
+                // any Invoiced order is a stranded workflow).
+                atomicity_violations += 1;
+            }
+            Some(payment) => {
+                if payment.approved {
+                    let have = packages_by_order.get(&order.id).copied().unwrap_or(0);
+                    if have < order.items.len() {
+                        // Paid but not (fully) shipped.
+                        atomicity_violations += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Reservation leaks: after quiescence nothing should stay reserved.
+    let reserved_leaks: u64 = snapshot
+        .stock
+        .iter()
+        .map(|s| s.item.qty_reserved as u64)
+        .sum();
+    atomicity_violations += reserved_leaks;
+
+    // --- integrity --------------------------------------------------------
+    let mut integrity_violations = 0;
+    let inactive_products: std::collections::HashSet<_> = snapshot
+        .products
+        .iter()
+        .filter(|p| !p.active)
+        .map(|p| p.id)
+        .collect();
+    for stock in &snapshot.stock {
+        if inactive_products.contains(&stock.item.key.product) && stock.item.active {
+            integrity_violations += 1;
+        }
+    }
+
+    // --- replication --------------------------------------------------------
+    let replication_violations = counters.get("stale_price_reads").copied().unwrap_or(0)
+        + counters.get("kv.causal_inversions").copied().unwrap_or(0);
+
+    // --- ordering ----------------------------------------------------------
+    let mut ordering_violations = 0;
+    for pkg in &snapshot.shipments {
+        if let Some(payment) = payments_by_order.get(&pkg.order) {
+            if pkg.shipped_at <= payment.processed_at.raw() {
+                ordering_violations += 1;
+            }
+        } else {
+            // Shipment without a payment at all: also an ordering breach.
+            ordering_violations += 1;
+        }
+    }
+
+    // --- conservation --------------------------------------------------------
+    let mut conservation_violations = 0;
+    for stock in &snapshot.stock {
+        let total =
+            stock.item.qty_available as u64 + stock.item.qty_reserved as u64 + stock.qty_sold;
+        if total != initial_stock as u64 {
+            conservation_violations += 1;
+        }
+    }
+
+    CriteriaReport {
+        atomicity_violations,
+        atomicity: CriterionVerdict::from_count(atomicity_violations),
+        integrity_violations,
+        integrity: CriterionVerdict::from_count(integrity_violations),
+        replication_violations,
+        replication: CriterionVerdict::from_count(replication_violations),
+        torn_dashboards: observations.torn_dashboards,
+        dashboard: CriterionVerdict::from_count(observations.torn_dashboards),
+        ordering_violations,
+        ordering: CriterionVerdict::from_count(ordering_violations),
+        conservation_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_common::entity::*;
+    use om_common::ids::*;
+    use om_common::time::EventTime;
+    use om_common::Money;
+    use om_marketplace::api::{PackageSnapshot, StockSnapshot};
+
+    fn order(id: u64, status: OrderStatus, items: usize) -> Order {
+        Order {
+            id: OrderId(id),
+            customer: CustomerId(1),
+            status,
+            invoice: String::new(),
+            items: (0..items)
+                .map(|i| OrderItem {
+                    order: OrderId(id),
+                    seller: SellerId(1),
+                    product: ProductId(i as u64),
+                    quantity: 1,
+                    unit_price: Money::from_cents(100),
+                    freight_value: Money::ZERO,
+                    total_amount: Money::from_cents(100),
+                })
+                .collect(),
+            total_amount: Money::from_cents(100 * items as i64),
+            total_freight: Money::ZERO,
+            placed_at: EventTime(1),
+            updated_at: EventTime(1),
+        }
+    }
+
+    fn payment(order: u64, approved: bool, at: u64) -> Payment {
+        Payment {
+            id: PaymentId(order),
+            order: OrderId(order),
+            customer: CustomerId(1),
+            method: PaymentMethod::CreditCard,
+            amount: Money::from_cents(100),
+            installments: 1,
+            approved,
+            processed_at: EventTime(at),
+        }
+    }
+
+    fn pkg(order: u64, shipped_at: u64) -> PackageSnapshot {
+        PackageSnapshot {
+            order: OrderId(order),
+            seller: SellerId(1),
+            product: ProductId(0),
+            delivered: false,
+            shipped_at,
+        }
+    }
+
+    fn clean_snapshot() -> MarketSnapshot {
+        MarketSnapshot {
+            orders: vec![order(1, OrderStatus::InTransit, 1)],
+            payments: vec![payment(1, true, 5)],
+            shipments: vec![pkg(1, 6)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_satisfies_everything() {
+        let report = audit(
+            &clean_snapshot(),
+            &BTreeMap::new(),
+            &RuntimeObservations::default(),
+            100,
+        );
+        assert!(report.all_satisfied(), "{report:?}");
+        assert_eq!(report.atomicity_violations, 0);
+    }
+
+    #[test]
+    fn order_without_payment_is_atomicity_violation() {
+        let mut snap = clean_snapshot();
+        snap.payments.clear();
+        let report = audit(&snap, &BTreeMap::new(), &RuntimeObservations::default(), 100);
+        assert_eq!(report.atomicity, CriterionVerdict::Violated);
+        assert!(report.atomicity_violations >= 1);
+    }
+
+    #[test]
+    fn paid_order_without_packages_is_violation() {
+        let mut snap = clean_snapshot();
+        snap.shipments.clear();
+        let report = audit(&snap, &BTreeMap::new(), &RuntimeObservations::default(), 100);
+        assert_eq!(report.atomicity, CriterionVerdict::Violated);
+        // The orphan shipment check shouldn't trigger (no shipments).
+        assert_eq!(report.ordering_violations, 0);
+    }
+
+    #[test]
+    fn reservation_leak_is_violation() {
+        let mut snap = clean_snapshot();
+        let mut item = StockItem::new(StockKey::new(SellerId(1), ProductId(1)), 90);
+        item.qty_reserved = 10;
+        snap.stock.push(StockSnapshot { item, qty_sold: 0 });
+        let report = audit(&snap, &BTreeMap::new(), &RuntimeObservations::default(), 100);
+        assert_eq!(report.atomicity, CriterionVerdict::Violated);
+        assert_eq!(report.conservation_violations, 0, "units conserved");
+    }
+
+    #[test]
+    fn deleted_product_with_active_stock_is_integrity_violation() {
+        let mut snap = clean_snapshot();
+        snap.products.push(Product {
+            id: ProductId(7),
+            seller: SellerId(1),
+            name: "x".into(),
+            category: "c".into(),
+            description: String::new(),
+            price: Money::from_cents(1),
+            freight_value: Money::ZERO,
+            version: 2,
+            active: false,
+        });
+        snap.stock.push(StockSnapshot {
+            item: StockItem::new(StockKey::new(SellerId(1), ProductId(7)), 100),
+            qty_sold: 0,
+        });
+        let report = audit(&snap, &BTreeMap::new(), &RuntimeObservations::default(), 100);
+        assert_eq!(report.integrity, CriterionVerdict::Violated);
+        assert_eq!(report.integrity_violations, 1);
+    }
+
+    #[test]
+    fn shipment_not_after_payment_is_ordering_violation() {
+        let mut snap = clean_snapshot();
+        snap.shipments[0].shipped_at = 5; // == payment time
+        let report = audit(&snap, &BTreeMap::new(), &RuntimeObservations::default(), 100);
+        assert_eq!(report.ordering, CriterionVerdict::Violated);
+    }
+
+    #[test]
+    fn counter_driven_criteria() {
+        let mut counters = BTreeMap::new();
+        counters.insert("stale_price_reads".to_string(), 3);
+        let report = audit(
+            &clean_snapshot(),
+            &counters,
+            &RuntimeObservations { torn_dashboards: 2 },
+            100,
+        );
+        assert_eq!(report.replication_violations, 3);
+        assert_eq!(report.replication, CriterionVerdict::Violated);
+        assert_eq!(report.torn_dashboards, 2);
+        assert_eq!(report.dashboard, CriterionVerdict::Violated);
+        assert!(!report.all_satisfied());
+    }
+
+    #[test]
+    fn conservation_check_detects_unit_loss() {
+        let mut snap = clean_snapshot();
+        snap.stock.push(StockSnapshot {
+            item: StockItem::new(StockKey::new(SellerId(1), ProductId(1)), 80),
+            qty_sold: 10, // 80 + 0 + 10 != 100
+        });
+        let report = audit(&snap, &BTreeMap::new(), &RuntimeObservations::default(), 100);
+        assert_eq!(report.conservation_violations, 1);
+    }
+}

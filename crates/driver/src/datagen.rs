@@ -1,0 +1,140 @@
+//! Deterministic data generation for the benchmark.
+
+use om_common::config::ScaleConfig;
+use om_common::entity::{Customer, Product, Seller};
+use om_common::ids::{CustomerId, ProductId, SellerId};
+use om_common::rng::SplitMix64;
+use om_common::{Money, OmResult};
+use om_marketplace::api::MarketplacePlatform;
+
+const CATEGORIES: [&str; 8] = [
+    "electronics",
+    "books",
+    "fashion",
+    "home",
+    "sports",
+    "toys",
+    "garden",
+    "grocery",
+];
+
+/// Generates and ingests the initial marketplace population.
+pub struct DataGenerator {
+    scale: ScaleConfig,
+    rng: SplitMix64,
+}
+
+impl DataGenerator {
+    pub fn new(scale: ScaleConfig, seed: u64) -> Self {
+        Self {
+            scale,
+            rng: SplitMix64::new(seed ^ 0xDA7A),
+        }
+    }
+
+    /// Product ids are dense: seller `s` owns products
+    /// `[s * products_per_seller, (s+1) * products_per_seller)`.
+    pub fn product_ids_of_seller(&self, seller: SellerId) -> impl Iterator<Item = ProductId> {
+        let per = self.scale.products_per_seller;
+        (seller.0 * per..(seller.0 + 1) * per).map(ProductId)
+    }
+
+    /// Owner of a product id (inverse of the dense layout).
+    pub fn seller_of_product(&self, product: ProductId) -> SellerId {
+        SellerId(product.0 / self.scale.products_per_seller)
+    }
+
+    pub fn sellers(&self) -> impl Iterator<Item = SellerId> {
+        (0..self.scale.sellers).map(SellerId)
+    }
+
+    pub fn customers(&self) -> impl Iterator<Item = CustomerId> {
+        (0..self.scale.customers).map(CustomerId)
+    }
+
+    fn make_product(&mut self, id: ProductId, seller: SellerId) -> Product {
+        let price = Money::from_cents(self.rng.range_inclusive(100, 100_000) as i64);
+        let freight = Money::from_cents(self.rng.range_inclusive(0, 2_000) as i64);
+        let category = *self.rng.pick(&CATEGORIES);
+        Product {
+            id,
+            seller,
+            name: format!("{category}-{}", id.0),
+            category: category.to_string(),
+            description: format!("generated product {}", id.0),
+            price,
+            freight_value: freight,
+            version: 0,
+            active: true,
+        }
+    }
+
+    /// Generates and ingests everything; returns (sellers, customers,
+    /// products) counts.
+    pub fn ingest_all(
+        &mut self,
+        platform: &dyn MarketplacePlatform,
+    ) -> OmResult<(u64, u64, u64)> {
+        for s in self.sellers() {
+            platform.ingest_seller(Seller::new(
+                s,
+                format!("seller-{}", s.0),
+                format!("city-{}", s.0 % 50),
+            ))?;
+        }
+        for c in self.customers() {
+            platform.ingest_customer(Customer::new(
+                c,
+                format!("customer-{}", c.0),
+                format!("street {} no {}", c.0 % 1000, c.0 % 100),
+            ))?;
+        }
+        let mut products = 0;
+        for s in self.sellers() {
+            for id in self.product_ids_of_seller(s).collect::<Vec<_>>() {
+                let p = self.make_product(id, s);
+                platform.ingest_product(p, self.scale.initial_stock)?;
+                products += 1;
+            }
+        }
+        platform.quiesce();
+        Ok((self.scale.sellers, self.scale.customers, products))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_product_layout_roundtrips() {
+        let scale = ScaleConfig {
+            sellers: 4,
+            products_per_seller: 10,
+            ..ScaleConfig::default()
+        };
+        let g = DataGenerator::new(scale, 1);
+        for s in g.sellers() {
+            for p in g.product_ids_of_seller(s) {
+                assert_eq!(g.seller_of_product(p), s);
+            }
+        }
+        let all: Vec<ProductId> = g.sellers().flat_map(|s| g.product_ids_of_seller(s)).collect();
+        assert_eq!(all.len(), 40);
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), 40, "ids must be unique");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let scale = ScaleConfig::tiny();
+        let mut a = DataGenerator::new(scale, 7);
+        let mut b = DataGenerator::new(scale, 7);
+        let pa = a.make_product(ProductId(3), SellerId(0));
+        let pb = b.make_product(ProductId(3), SellerId(0));
+        assert_eq!(pa, pb);
+        let mut c = DataGenerator::new(scale, 8);
+        let pc = c.make_product(ProductId(3), SellerId(0));
+        assert_ne!(pa.price, pc.price);
+    }
+}

@@ -1,0 +1,136 @@
+//! Run reports: throughput, latency and criteria, renderable as text
+//! tables (for EXPERIMENTS.md) or JSON (for tooling).
+
+use crate::audit::CriteriaReport;
+use om_common::config::{RunConfig, TransactionKind};
+use om_common::stats::LatencySummary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything measured in one benchmark run of one platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    pub platform: String,
+    pub config: RunConfig,
+    /// Completed operations in the measured window.
+    pub operations: u64,
+    /// Operations that returned an error (after platform-side retries).
+    pub failed_operations: u64,
+    pub window_secs: f64,
+    pub throughput_per_sec: f64,
+    /// Latency percentiles per transaction kind.
+    pub latency: BTreeMap<String, LatencySummary>,
+    /// Platform diagnostic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// The criteria audit.
+    pub criteria: CriteriaReport,
+}
+
+impl RunReport {
+    /// Latency summary of one transaction kind, if it ran.
+    pub fn latency_of(&self, kind: TransactionKind) -> Option<&LatencySummary> {
+        self.latency.get(kind.label())
+    }
+
+    /// One text row for the E1 throughput table.
+    pub fn throughput_row(&self) -> String {
+        format!(
+            "{:<22} {:>10.0} ops/s  ({} ops in {:.2}s, {} failed)",
+            self.platform,
+            self.throughput_per_sec,
+            self.operations,
+            self.window_secs,
+            self.failed_operations
+        )
+    }
+
+    /// Text table of latency percentiles (E3).
+    pub fn latency_table(&self) -> String {
+        let mut out = format!(
+            "{:<18} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+            "transaction", "count", "mean(us)", "p50(us)", "p90(us)", "p99(us)"
+        );
+        for (kind, summary) in &self.latency {
+            out.push_str(&format!(
+                "{:<18} {:>8} {:>9.0} {:>9} {:>9} {:>9}\n",
+                kind, summary.count, summary.mean_us, summary.p50_us, summary.p90_us,
+                summary.p99_us
+            ));
+        }
+        out
+    }
+
+    /// One text row for the E4 criteria matrix.
+    pub fn criteria_row(&self) -> String {
+        let c = &self.criteria;
+        format!(
+            "{:<22} atomicity={}({}) integrity={}({}) replication={}({}) dashboard={}({}) ordering={}({})",
+            self.platform,
+            c.atomicity.symbol(),
+            c.atomicity_violations,
+            c.integrity.symbol(),
+            c.integrity_violations,
+            c.replication.symbol(),
+            c.replication_violations,
+            c.dashboard.symbol(),
+            c.torn_dashboards,
+            c.ordering.symbol(),
+            c.ordering_violations,
+        )
+    }
+
+    /// Machine-readable JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{CriteriaReport, CriterionVerdict};
+
+    fn report() -> RunReport {
+        let verdict = CriterionVerdict::Satisfied;
+        RunReport {
+            platform: "test".into(),
+            config: RunConfig::smoke(),
+            operations: 100,
+            failed_operations: 1,
+            window_secs: 2.0,
+            throughput_per_sec: 50.0,
+            latency: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            criteria: CriteriaReport {
+                atomicity_violations: 0,
+                atomicity: verdict,
+                integrity_violations: 0,
+                integrity: verdict,
+                replication_violations: 0,
+                replication: verdict,
+                torn_dashboards: 0,
+                dashboard: verdict,
+                ordering_violations: 0,
+                ordering: verdict,
+                conservation_violations: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn rows_render() {
+        let r = report();
+        assert!(r.throughput_row().contains("50"));
+        assert!(r.criteria_row().contains("atomicity=yes"));
+        assert!(r.latency_table().contains("p99"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = report();
+        let s = r.to_json();
+        let back: RunReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.operations, 100);
+        assert!(back.criteria.all_satisfied());
+    }
+}

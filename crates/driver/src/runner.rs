@@ -1,0 +1,245 @@
+//! The benchmark runner: experiment lifecycle management.
+//!
+//! Phases (paper §II, *Driver*): data generation → ingestion → warm-up →
+//! measured submission → statistics collection → quiesce → audit.
+
+use crate::audit::{audit, RuntimeObservations};
+use crate::datagen::DataGenerator;
+use crate::report::RunReport;
+use crate::workload::{next_op, Op, WorkloadState};
+use om_common::config::RunConfig;
+use om_common::rng::SplitMix64;
+use om_common::stats::{Histogram, Throughput};
+use om_marketplace::api::{CheckoutItem, CheckoutRequest, MarketplacePlatform};
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-worker measurement buffers, merged after the run.
+struct WorkerStats {
+    latency: BTreeMap<&'static str, Histogram>,
+    completed: u64,
+    failed: u64,
+    torn_dashboards: u64,
+}
+
+impl WorkerStats {
+    fn new() -> Self {
+        Self {
+            latency: BTreeMap::new(),
+            completed: 0,
+            failed: 0,
+            torn_dashboards: 0,
+        }
+    }
+}
+
+/// Executes one operation against the platform; returns `Ok(true)` if it
+/// counts as completed (rejections count — they are valid business
+/// outcomes), `Ok(false)` for torn-dashboard bookkeeping handled by the
+/// caller.
+fn execute(
+    platform: &dyn MarketplacePlatform,
+    state: &WorkloadState,
+    op: &Op,
+    stats: &mut WorkerStats,
+) -> Result<(), om_common::OmError> {
+    match op {
+        Op::Checkout {
+            customer,
+            items,
+            method,
+        } => {
+            let mut added = 0;
+            for &(seller, product, quantity) in items {
+                match platform.add_to_cart(
+                    *customer,
+                    CheckoutItem {
+                        seller,
+                        product,
+                        quantity,
+                    },
+                ) {
+                    Ok(()) => added += 1,
+                    Err(e) if e.label() == "rejected" || e.label() == "not_found" => {
+                        // Deleted product raced the checkout: fine.
+                    }
+                    Err(e) => {
+                        state.return_customer(*customer);
+                        return Err(e);
+                    }
+                }
+            }
+            let result = if added > 0 {
+                platform
+                    .checkout(CheckoutRequest {
+                        customer: *customer,
+                        items: vec![],
+                        method: *method,
+                    })
+                    .map(|_| ())
+            } else {
+                Ok(())
+            };
+            state.return_customer(*customer);
+            result
+        }
+        Op::PriceUpdate {
+            seller,
+            product,
+            price,
+        } => match platform.price_update(*seller, *product, *price) {
+            Ok(()) => Ok(()),
+            // The product may have been deleted concurrently.
+            Err(e) if e.label() == "rejected" || e.label() == "not_found" => Ok(()),
+            Err(e) => Err(e),
+        },
+        Op::ProductDelete { seller, product } => {
+            match platform.product_delete(*seller, *product) {
+                Ok(()) => Ok(()),
+                Err(e) if e.label() == "rejected" || e.label() == "not_found" => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+        Op::UpdateDelivery => platform.update_delivery(10).map(|_| ()),
+        Op::SellerDashboard { seller } => {
+            let dashboard = platform.seller_dashboard(*seller)?;
+            if !dashboard.is_snapshot_consistent() {
+                stats.torn_dashboards += 1;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn worker_loop(
+    platform: &dyn MarketplacePlatform,
+    state: &WorkloadState,
+    config: &RunConfig,
+    mut rng: SplitMix64,
+    measured_ops: u64,
+    warmup_ops: u64,
+) -> WorkerStats {
+    let mut stats = WorkerStats::new();
+    let mut done = 0u64;
+    let total = warmup_ops + measured_ops;
+    let mut dry_spins = 0;
+    while done < total {
+        let Some(op) = next_op(state, config, &mut rng) else {
+            // No leasable input right now; try a different op soon.
+            dry_spins += 1;
+            if dry_spins > 1_000_000 {
+                break; // pathological config; avoid livelock
+            }
+            std::thread::yield_now();
+            continue;
+        };
+        dry_spins = 0;
+        let measuring = done >= warmup_ops;
+        let started = Instant::now();
+        let result = execute(platform, state, &op, &mut stats);
+        if measuring {
+            match result {
+                Ok(()) => {
+                    stats.completed += 1;
+                    stats
+                        .latency
+                        .entry(op.kind().label())
+                        .or_default()
+                        .record_duration(started.elapsed());
+                }
+                Err(_) => stats.failed += 1,
+            }
+        }
+        done += 1;
+    }
+    stats
+}
+
+/// Runs the full benchmark lifecycle on `platform` and returns the
+/// report. `ingest` controls whether the runner generates and loads data
+/// (pass `false` if the platform is pre-loaded).
+pub fn run_benchmark(
+    platform: &dyn MarketplacePlatform,
+    config: &RunConfig,
+    ingest: bool,
+) -> RunReport {
+    // 1. Data generation + ingestion.
+    if ingest {
+        DataGenerator::new(config.scale, config.seed)
+            .ingest_all(platform)
+            .expect("ingestion succeeds");
+    }
+
+    let state = Arc::new(WorkloadState::new(config));
+    let mut seeder = SplitMix64::new(config.seed ^ 0x5EED);
+
+    // 2 + 3. Warm-up and measured submission (closed loop).
+    let measured_window = Instant::now();
+    let window_start = Arc::new(AtomicU64::new(0));
+    let _ = window_start;
+    let mut worker_stats: Vec<WorkerStats> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..config.workers {
+            let rng = seeder.fork();
+            let state = state.clone();
+            let platform_ref: &dyn MarketplacePlatform = platform;
+            let config_ref = config;
+            handles.push(scope.spawn(move || {
+                worker_loop(
+                    platform_ref,
+                    &state,
+                    config_ref,
+                    rng,
+                    config_ref.ops_per_worker,
+                    config_ref.warmup_ops_per_worker,
+                )
+            }));
+        }
+        for h in handles {
+            worker_stats.push(h.join().expect("worker panicked"));
+        }
+    });
+    let window_secs = measured_window.elapsed().as_secs_f64();
+
+    // 4. Statistics collection.
+    let mut latency: BTreeMap<String, Histogram> = BTreeMap::new();
+    let mut completed = 0;
+    let mut failed = 0;
+    let mut observations = RuntimeObservations::default();
+    for stats in worker_stats {
+        completed += stats.completed;
+        failed += stats.failed;
+        observations.torn_dashboards += stats.torn_dashboards;
+        for (kind, hist) in stats.latency {
+            latency.entry(kind.to_string()).or_default().merge(&hist);
+        }
+    }
+
+    // 5. Quiesce + audit.
+    platform.quiesce();
+    let counters = platform.counters();
+    let snapshot = platform.snapshot().unwrap_or_default();
+    let criteria = audit(&snapshot, &counters, &observations, config.scale.initial_stock);
+
+    let throughput = Throughput {
+        operations: completed,
+        window_secs,
+    };
+    RunReport {
+        platform: platform.kind().label().to_string(),
+        config: config.clone(),
+        operations: completed,
+        failed_operations: failed,
+        window_secs,
+        throughput_per_sec: throughput.per_sec(),
+        latency: latency
+            .into_iter()
+            .map(|(k, h)| (k, h.summary()))
+            .collect(),
+        counters,
+        criteria,
+    }
+}

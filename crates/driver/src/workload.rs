@@ -1,0 +1,363 @@
+//! Workload state and per-worker operation generation.
+
+use om_common::config::{RunConfig, TransactionKind, WorkloadMix};
+use om_common::entity::PaymentMethod;
+use om_common::ids::{CustomerId, ProductId, SellerId};
+use om_common::rng::{SplitMix64, Zipfian};
+use om_common::Money;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashSet;
+
+/// Shared workload state: the customer lease pool and the rank→product
+/// table that keeps the Zipfian key distribution stable across deletions
+/// (the driver challenge the talk calls out).
+pub struct WorkloadState {
+    /// Customers not currently inside a transaction ("safe concurrent
+    /// accesses to data that form transaction inputs").
+    customer_pool: Mutex<Vec<CustomerId>>,
+    /// Popularity rank → product id. Deletion swaps in a replacement so
+    /// rank popularity is preserved.
+    ranks: RwLock<Vec<ProductId>>,
+    /// Products already deleted (never chosen again for deletion).
+    deleted: Mutex<HashSet<ProductId>>,
+    /// Sellers, for seller-centric transactions.
+    pub sellers: Vec<SellerId>,
+    products_per_seller: u64,
+    /// At most this many deletions are allowed (keeps the catalogue from
+    /// draining during long runs).
+    delete_budget: Mutex<u64>,
+    zipf: Zipfian,
+}
+
+impl WorkloadState {
+    pub fn new(config: &RunConfig) -> Self {
+        let products: Vec<ProductId> =
+            (0..config.scale.total_products()).map(ProductId).collect();
+        let delete_budget = (products.len() as u64) / 5;
+        Self {
+            customer_pool: Mutex::new((0..config.scale.customers).map(CustomerId).collect()),
+            ranks: RwLock::new(products),
+            deleted: Mutex::new(HashSet::new()),
+            sellers: (0..config.scale.sellers).map(SellerId).collect(),
+            products_per_seller: config.scale.products_per_seller,
+            delete_budget: Mutex::new(delete_budget),
+            zipf: Zipfian::new(config.scale.total_products(), config.zipf_theta),
+        }
+    }
+
+    /// Leases a customer for one transaction; must be returned with
+    /// [`WorkloadState::return_customer`].
+    pub fn lease_customer(&self, rng: &mut SplitMix64) -> Option<CustomerId> {
+        let mut pool = self.customer_pool.lock();
+        if pool.is_empty() {
+            return None;
+        }
+        let idx = rng.next_bounded(pool.len() as u64) as usize;
+        Some(pool.swap_remove(idx))
+    }
+
+    pub fn return_customer(&self, customer: CustomerId) {
+        self.customer_pool.lock().push(customer);
+    }
+
+    /// Samples a product by Zipfian popularity over the *stable* rank
+    /// space.
+    pub fn sample_product(&self, rng: &mut SplitMix64) -> ProductId {
+        let rank = self.zipf.sample(rng) as usize;
+        self.ranks.read()[rank]
+    }
+
+    /// Owner of a product under the dense generator layout.
+    pub fn seller_of(&self, product: ProductId) -> SellerId {
+        SellerId(product.0 / self.products_per_seller)
+    }
+
+    /// Picks a product for deletion and swaps a replacement into its
+    /// rank. Returns `None` when the deletion budget is exhausted.
+    pub fn pick_for_delete(&self, rng: &mut SplitMix64) -> Option<ProductId> {
+        {
+            let mut budget = self.delete_budget.lock();
+            if *budget == 0 {
+                return None;
+            }
+            *budget -= 1;
+        }
+        let mut deleted = self.deleted.lock();
+        let mut ranks = self.ranks.write();
+        // Choose a victim rank whose product is still live.
+        for _ in 0..64 {
+            let rank = rng.next_bounded(ranks.len() as u64) as usize;
+            let victim = ranks[rank];
+            if deleted.contains(&victim) {
+                continue;
+            }
+            // Replacement: any live product other than the victim. A
+            // product may occupy several ranks (it may itself have served
+            // as a replacement), so swap out *every* occurrence — a
+            // deleted product must never be sampleable again, while the
+            // rank space keeps its size and popularity profile.
+            let Some(candidate) = (0..64)
+                .map(|_| ranks[rng.next_bounded(ranks.len() as u64) as usize])
+                .find(|c| *c != victim && !deleted.contains(c))
+            else {
+                return None;
+            };
+            deleted.insert(victim);
+            for slot in ranks.iter_mut().filter(|slot| **slot == victim) {
+                *slot = candidate;
+            }
+            return Some(victim);
+        }
+        None
+    }
+
+    /// Number of products deleted so far.
+    pub fn deleted_count(&self) -> usize {
+        self.deleted.lock().len()
+    }
+
+    /// True if `product` has been deleted by the workload.
+    pub fn is_deleted(&self, product: ProductId) -> bool {
+        self.deleted.lock().contains(&product)
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    Checkout {
+        customer: CustomerId,
+        items: Vec<(SellerId, ProductId, u32)>,
+        method: PaymentMethod,
+    },
+    PriceUpdate {
+        seller: SellerId,
+        product: ProductId,
+        price: Money,
+    },
+    ProductDelete {
+        seller: SellerId,
+        product: ProductId,
+    },
+    UpdateDelivery,
+    SellerDashboard {
+        seller: SellerId,
+    },
+}
+
+impl Op {
+    pub fn kind(&self) -> TransactionKind {
+        match self {
+            Op::Checkout { .. } => TransactionKind::Checkout,
+            Op::PriceUpdate { .. } => TransactionKind::PriceUpdate,
+            Op::ProductDelete { .. } => TransactionKind::ProductDelete,
+            Op::UpdateDelivery => TransactionKind::UpdateDelivery,
+            Op::SellerDashboard { .. } => TransactionKind::SellerDashboard,
+        }
+    }
+}
+
+/// Samples a transaction kind from the mix weights.
+pub fn sample_kind(mix: &WorkloadMix, rng: &mut SplitMix64) -> TransactionKind {
+    let total = mix.total().max(1);
+    let mut roll = rng.next_bounded(total as u64) as u32;
+    for (kind, weight) in [
+        (TransactionKind::Checkout, mix.checkout),
+        (TransactionKind::PriceUpdate, mix.price_update),
+        (TransactionKind::ProductDelete, mix.product_delete),
+        (TransactionKind::UpdateDelivery, mix.update_delivery),
+        (TransactionKind::SellerDashboard, mix.seller_dashboard),
+    ] {
+        if roll < weight {
+            return kind;
+        }
+        roll -= weight;
+    }
+    TransactionKind::Checkout
+}
+
+/// Generates the next operation for a worker. Returns `None` when inputs
+/// are temporarily unavailable (no leasable customer, delete budget
+/// exhausted) — the caller should try another op.
+pub fn next_op(state: &WorkloadState, config: &RunConfig, rng: &mut SplitMix64) -> Option<Op> {
+    match sample_kind(&config.mix, rng) {
+        TransactionKind::Checkout => {
+            let customer = state.lease_customer(rng)?;
+            let n = rng.range_inclusive(1, config.max_cart_items as u64) as usize;
+            let mut items = Vec::with_capacity(n);
+            let mut seen = HashSet::new();
+            for _ in 0..n {
+                let product = state.sample_product(rng);
+                if !seen.insert(product) {
+                    continue; // duplicate line; cart would merge anyway
+                }
+                let qty = rng.range_inclusive(1, 3) as u32;
+                items.push((state.seller_of(product), product, qty));
+            }
+            let method = match rng.next_bounded(4) {
+                0 => PaymentMethod::CreditCard,
+                1 => PaymentMethod::DebitCard,
+                2 => PaymentMethod::Boleto,
+                _ => PaymentMethod::Voucher,
+            };
+            Some(Op::Checkout {
+                customer,
+                items,
+                method,
+            })
+        }
+        TransactionKind::PriceUpdate => {
+            let product = state.sample_product(rng);
+            let price = Money::from_cents(rng.range_inclusive(100, 100_000) as i64);
+            Some(Op::PriceUpdate {
+                seller: state.seller_of(product),
+                product,
+                price,
+            })
+        }
+        TransactionKind::ProductDelete => {
+            let product = state.pick_for_delete(rng)?;
+            Some(Op::ProductDelete {
+                seller: state.seller_of(product),
+                product,
+            })
+        }
+        TransactionKind::UpdateDelivery => Some(Op::UpdateDelivery),
+        TransactionKind::SellerDashboard => {
+            let seller = *rng.pick(&state.sellers);
+            Some(Op::SellerDashboard { seller })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> RunConfig {
+        RunConfig {
+            scale: om_common::config::ScaleConfig {
+                sellers: 4,
+                products_per_seller: 25,
+                customers: 10,
+                initial_stock: 100,
+            },
+            ..RunConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn customer_leasing_is_exclusive() {
+        let state = WorkloadState::new(&config());
+        let mut rng = SplitMix64::new(1);
+        let mut leased = Vec::new();
+        for _ in 0..10 {
+            leased.push(state.lease_customer(&mut rng).unwrap());
+        }
+        assert!(state.lease_customer(&mut rng).is_none(), "pool exhausted");
+        let distinct: HashSet<_> = leased.iter().collect();
+        assert_eq!(distinct.len(), 10, "no double lease");
+        for c in leased {
+            state.return_customer(c);
+        }
+        assert!(state.lease_customer(&mut rng).is_some());
+    }
+
+    #[test]
+    fn deletion_preserves_rank_space_size() {
+        let state = WorkloadState::new(&config());
+        let mut rng = SplitMix64::new(2);
+        let before = state.ranks.read().len();
+        let mut deleted = Vec::new();
+        for _ in 0..10 {
+            if let Some(p) = state.pick_for_delete(&mut rng) {
+                deleted.push(p);
+            }
+        }
+        assert!(!deleted.is_empty());
+        assert_eq!(state.ranks.read().len(), before, "rank space never shrinks");
+        // Deleted products no longer appear in the rank table.
+        let ranks = state.ranks.read();
+        for p in &deleted {
+            assert!(!ranks.contains(p), "{p} still sampleable after delete");
+            assert!(state.is_deleted(*p));
+        }
+    }
+
+    #[test]
+    fn deletion_budget_is_bounded() {
+        let state = WorkloadState::new(&config());
+        let mut rng = SplitMix64::new(3);
+        let mut count = 0;
+        while state.pick_for_delete(&mut rng).is_some() {
+            count += 1;
+            assert!(count <= 100, "budget must stop deletions");
+        }
+        assert_eq!(count as usize, state.deleted_count());
+        assert!(count <= 20, "budget is 20% of 100 products");
+    }
+
+    #[test]
+    fn kind_sampling_respects_weights() {
+        let mix = WorkloadMix {
+            checkout: 50,
+            price_update: 50,
+            product_delete: 0,
+            update_delivery: 0,
+            seller_dashboard: 0,
+        };
+        let mut rng = SplitMix64::new(4);
+        let mut checkout = 0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            match sample_kind(&mix, &mut rng) {
+                TransactionKind::Checkout => checkout += 1,
+                TransactionKind::PriceUpdate => {}
+                other => panic!("zero-weight kind sampled: {other:?}"),
+            }
+        }
+        assert!(
+            (4000..6000).contains(&checkout),
+            "50/50 split expected, checkout={checkout}"
+        );
+    }
+
+    #[test]
+    fn checkout_ops_have_valid_items() {
+        let cfg = config();
+        let state = WorkloadState::new(&cfg);
+        let mut rng = SplitMix64::new(5);
+        let mut found_checkout = false;
+        for _ in 0..100 {
+            if let Some(Op::Checkout { customer, items, .. }) = next_op(&state, &cfg, &mut rng) {
+                found_checkout = true;
+                assert!(!items.is_empty());
+                assert!(items.len() <= cfg.max_cart_items as usize);
+                let distinct: HashSet<_> = items.iter().map(|(_, p, _)| p).collect();
+                assert_eq!(distinct.len(), items.len(), "no duplicate lines");
+                for (s, p, q) in &items {
+                    assert_eq!(*s, state.seller_of(*p));
+                    assert!((1..=3).contains(q));
+                }
+                state.return_customer(customer);
+            }
+        }
+        assert!(found_checkout);
+    }
+
+    #[test]
+    fn zipf_sampling_hits_hot_products() {
+        let cfg = RunConfig {
+            zipf_theta: 0.99,
+            ..config()
+        };
+        let state = WorkloadState::new(&cfg);
+        let mut rng = SplitMix64::new(6);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(state.sample_product(&mut rng)).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        assert!(*max > 300, "hot product should dominate, max={max}");
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end driver tests: the full benchmark lifecycle against real
+//! platforms at smoke scale.
+
+use om_common::config::{RunConfig, ScaleConfig, WorkloadMix};
+use om_driver::run_benchmark;
+use om_marketplace::bindings::actor_core::ActorPlatformConfig;
+use om_marketplace::bindings::customized::CustomizedConfig;
+use om_marketplace::bindings::dataflow::DataflowPlatformConfig;
+use om_marketplace::{
+    CustomizedPlatform, DataflowPlatform, EventualPlatform, TransactionalPlatform,
+};
+
+fn smoke_config() -> RunConfig {
+    RunConfig {
+        scale: ScaleConfig {
+            sellers: 3,
+            products_per_seller: 8,
+            customers: 12,
+            initial_stock: 5_000,
+        },
+        workers: 3,
+        ops_per_worker: 40,
+        warmup_ops_per_worker: 5,
+        payment_decline_rate: 0.05,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn benchmark_runs_on_eventual_platform() {
+    let platform = EventualPlatform::new(ActorPlatformConfig {
+        decline_rate: 0.05,
+        ..Default::default()
+    });
+    let config = smoke_config();
+    let report = run_benchmark(&platform, &config, true);
+    assert!(report.operations > 0, "no operations completed");
+    assert_eq!(
+        report.operations + report.failed_operations,
+        config.total_measured_ops()
+    );
+    assert!(report.throughput_per_sec > 0.0);
+    assert!(
+        report.latency.contains_key("checkout"),
+        "checkout latencies missing: {:?}",
+        report.latency.keys().collect::<Vec<_>>()
+    );
+    // Conservation must hold on every platform, reliable or not.
+    assert_eq!(report.criteria.conservation_violations, 0);
+}
+
+#[test]
+fn benchmark_runs_on_transactional_platform_and_satisfies_atomicity() {
+    let platform = TransactionalPlatform::new(ActorPlatformConfig {
+        decline_rate: 0.05,
+        ..Default::default()
+    });
+    let report = run_benchmark(&platform, &smoke_config(), true);
+    assert!(report.operations > 0);
+    assert_eq!(
+        report.criteria.atomicity_violations, 0,
+        "ACID checkout must be all-or-nothing: {:?}",
+        report.criteria
+    );
+    assert_eq!(report.criteria.conservation_violations, 0);
+    assert!(platform.tx_log().is_consistent());
+}
+
+#[test]
+fn benchmark_runs_on_dataflow_platform() {
+    let platform = DataflowPlatform::new(DataflowPlatformConfig {
+        decline_rate: 0.05,
+        ..Default::default()
+    });
+    let report = run_benchmark(&platform, &smoke_config(), true);
+    assert!(report.operations > 0);
+    assert_eq!(report.criteria.conservation_violations, 0);
+    assert_eq!(
+        report.criteria.atomicity_violations, 0,
+        "exactly-once processing leaves no partial workflows: {:?}",
+        report.criteria
+    );
+}
+
+#[test]
+fn benchmark_runs_on_customized_platform_and_satisfies_all_criteria() {
+    let platform = CustomizedPlatform::new(CustomizedConfig {
+        actor: ActorPlatformConfig {
+            decline_rate: 0.05,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let mut config = smoke_config();
+    config.mix = WorkloadMix::anomaly_hunting();
+    let report = run_benchmark(&platform, &config, true);
+    assert!(report.operations > 0);
+    assert!(
+        report.criteria.all_satisfied(),
+        "the customized stack must satisfy every criterion: {:?}",
+        report.criteria
+    );
+}
+
+#[test]
+fn reports_are_deterministic_in_shape_and_serializable() {
+    let platform = EventualPlatform::new(ActorPlatformConfig::default());
+    let report = run_benchmark(&platform, &smoke_config(), true);
+    let json = report.to_json();
+    let back: om_driver::RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.platform, "orleans_eventual");
+    assert!(!report.throughput_row().is_empty());
+    assert!(!report.criteria_row().is_empty());
+}

@@ -1,0 +1,425 @@
+//! The marketplace REST gateway: paper Fig. 1's "HTTP Layer parses HTTP
+//! requests and forwards them to the correct grains".
+//!
+//! Every business transaction of the benchmark is exposed as a REST
+//! endpoint; bodies are JSON. The gateway is platform-agnostic — it holds
+//! an `Arc<dyn MarketplacePlatform>`, so any of the four bindings can sit
+//! behind it.
+//!
+//! | Method & path | Transaction |
+//! |---|---|
+//! | `POST /ingest/sellers` | ingest a [`Seller`] |
+//! | `POST /ingest/customers` | ingest a [`Customer`] |
+//! | `POST /ingest/products` | ingest a [`Product`] + initial stock |
+//! | `POST /customers/{customer}/cart/items` | add to cart |
+//! | `POST /customers/{customer}/checkout` | Customer Checkout |
+//! | `PATCH /products/{seller}/{product}/price` | Price Update |
+//! | `DELETE /products/{seller}/{product}` | Product Delete |
+//! | `PATCH /shipments/delivery` | Update Delivery (`?max_sellers=10`) |
+//! | `GET /sellers/{seller}/dashboard` | Seller Dashboard |
+//! | `GET /health`, `GET /counters` | liveness & diagnostics |
+
+use crate::request::{Method, Request};
+use crate::response::Response;
+use crate::router::{PathParams, RouteError, Router};
+use om_common::entity::{Customer, Product, Seller};
+use om_common::ids::{CustomerId, ProductId, SellerId};
+use om_common::{Money, OmError};
+use om_marketplace::api::{CheckoutItem, CheckoutOutcome, CheckoutRequest, MarketplacePlatform};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The REST endpoints of the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    IngestSeller,
+    IngestCustomer,
+    IngestProduct,
+    AddToCart,
+    Checkout,
+    PriceUpdate,
+    ProductDelete,
+    UpdateDelivery,
+    SellerDashboard,
+    Health,
+    Counters,
+}
+
+/// Body of `POST /ingest/products`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestProductBody {
+    pub product: Product,
+    pub initial_stock: u32,
+}
+
+/// Body of `POST /customers/{customer}/checkout`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckoutBody {
+    pub items: Vec<CheckoutItem>,
+    pub method: om_common::entity::PaymentMethod,
+}
+
+/// Body of `PATCH /products/{seller}/{product}/price`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PriceUpdateBody {
+    /// New price in cents.
+    pub price: Money,
+}
+
+/// Response of `PATCH /shipments/delivery`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeliveryResult {
+    pub packages_delivered: u32,
+}
+
+/// Gateway request counters (exposed at `GET /counters` alongside the
+/// platform's own counters).
+#[derive(Debug, Default)]
+struct GatewayStats {
+    requests: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+}
+
+/// The HTTP-to-platform gateway.
+pub struct MarketplaceGateway {
+    platform: Arc<dyn MarketplacePlatform>,
+    router: Router<Endpoint>,
+    stats: GatewayStats,
+}
+
+impl MarketplaceGateway {
+    pub fn new(platform: Arc<dyn MarketplacePlatform>) -> Self {
+        let router = Router::new()
+            .route(Method::Post, "/ingest/sellers", Endpoint::IngestSeller)
+            .route(Method::Post, "/ingest/customers", Endpoint::IngestCustomer)
+            .route(Method::Post, "/ingest/products", Endpoint::IngestProduct)
+            .route(
+                Method::Post,
+                "/customers/{customer}/cart/items",
+                Endpoint::AddToCart,
+            )
+            .route(
+                Method::Post,
+                "/customers/{customer}/checkout",
+                Endpoint::Checkout,
+            )
+            .route(
+                Method::Patch,
+                "/products/{seller}/{product}/price",
+                Endpoint::PriceUpdate,
+            )
+            .route(
+                Method::Delete,
+                "/products/{seller}/{product}",
+                Endpoint::ProductDelete,
+            )
+            .route(Method::Patch, "/shipments/delivery", Endpoint::UpdateDelivery)
+            .route(
+                Method::Get,
+                "/sellers/{seller}/dashboard",
+                Endpoint::SellerDashboard,
+            )
+            .route(Method::Get, "/health", Endpoint::Health)
+            .route(Method::Get, "/counters", Endpoint::Counters);
+        MarketplaceGateway {
+            platform,
+            router,
+            stats: GatewayStats::default(),
+        }
+    }
+
+    /// The platform behind the gateway.
+    pub fn platform(&self) -> &Arc<dyn MarketplacePlatform> {
+        &self.platform
+    }
+
+    /// Handles one parsed request, producing a response. Never panics on
+    /// user input; all failures map to 4xx/5xx.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        // HEAD is answered like GET; the server truncates the body.
+        let method = if req.method == Method::Head {
+            Method::Get
+        } else {
+            req.method
+        };
+        let resp = match self.router.resolve(method, &req.path) {
+            Ok((endpoint, params)) => self
+                .dispatch(endpoint, &params, req)
+                .unwrap_or_else(|resp| resp),
+            Err(RouteError::NotFound) => Response::text(404, "no such route"),
+            Err(RouteError::MethodNotAllowed(allowed)) => {
+                let allow = allowed
+                    .iter()
+                    .map(|m| m.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Response::text(405, "method not allowed").with_header("allow", allow)
+            }
+            Err(other) => Response::text(400, other.to_string()),
+        };
+        if (400..500).contains(&resp.status) {
+            self.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+        } else if resp.status >= 500 {
+            self.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        resp
+    }
+
+    /// `Err` carries an already-built error response (so `?`-style early
+    /// returns read naturally inside the endpoint arms).
+    fn dispatch(
+        &self,
+        endpoint: Endpoint,
+        params: &PathParams,
+        req: &Request,
+    ) -> Result<Response, Response> {
+        match endpoint {
+            Endpoint::Health => Ok(Response::json(
+                200,
+                &serde_json::json!({
+                    "status": "ok",
+                    "platform": self.platform.kind().label(),
+                }),
+            )),
+            Endpoint::Counters => {
+                let mut counters = self.platform.counters();
+                counters.insert(
+                    "gateway_requests".into(),
+                    self.stats.requests.load(Ordering::Relaxed),
+                );
+                counters.insert(
+                    "gateway_client_errors".into(),
+                    self.stats.client_errors.load(Ordering::Relaxed),
+                );
+                counters.insert(
+                    "gateway_server_errors".into(),
+                    self.stats.server_errors.load(Ordering::Relaxed),
+                );
+                Ok(Response::json(200, &counters))
+            }
+            Endpoint::IngestSeller => {
+                let seller: Seller = parse_body(req)?;
+                map_platform(self.platform.ingest_seller(seller))?;
+                Ok(Response::empty(201))
+            }
+            Endpoint::IngestCustomer => {
+                let customer: Customer = parse_body(req)?;
+                map_platform(self.platform.ingest_customer(customer))?;
+                Ok(Response::empty(201))
+            }
+            Endpoint::IngestProduct => {
+                let body: IngestProductBody = parse_body(req)?;
+                map_platform(
+                    self.platform
+                        .ingest_product(body.product, body.initial_stock),
+                )?;
+                Ok(Response::empty(201))
+            }
+            Endpoint::AddToCart => {
+                let customer = CustomerId(path_id(params, "customer")?);
+                let item: CheckoutItem = parse_body(req)?;
+                map_platform(self.platform.add_to_cart(customer, item))?;
+                Ok(Response::empty(204))
+            }
+            Endpoint::Checkout => {
+                let customer = CustomerId(path_id(params, "customer")?);
+                let body: CheckoutBody = parse_body(req)?;
+                let outcome = map_platform(self.platform.checkout(CheckoutRequest {
+                    customer,
+                    items: body.items,
+                    method: body.method,
+                }))?;
+                let status = match &outcome {
+                    CheckoutOutcome::Placed { .. } => 200,
+                    CheckoutOutcome::Rejected(_) => 422,
+                };
+                Ok(Response::json(status, &outcome))
+            }
+            Endpoint::PriceUpdate => {
+                let seller = SellerId(path_id(params, "seller")?);
+                let product = ProductId(path_id(params, "product")?);
+                let body: PriceUpdateBody = parse_body(req)?;
+                if !body.price.is_positive() {
+                    return Err(Response::text(422, "price must be positive"));
+                }
+                map_platform(self.platform.price_update(seller, product, body.price))?;
+                Ok(Response::empty(204))
+            }
+            Endpoint::ProductDelete => {
+                let seller = SellerId(path_id(params, "seller")?);
+                let product = ProductId(path_id(params, "product")?);
+                map_platform(self.platform.product_delete(seller, product))?;
+                Ok(Response::empty(204))
+            }
+            Endpoint::UpdateDelivery => {
+                let max_sellers = match req.query_param("max_sellers") {
+                    // The paper's Update Delivery transaction uses 10.
+                    None => 10usize,
+                    Some(raw) => raw.parse().map_err(|_| {
+                        Response::text(400, format!("bad max_sellers: {raw:?}"))
+                    })?,
+                };
+                let delivered = map_platform(self.platform.update_delivery(max_sellers))?;
+                Ok(Response::json(
+                    200,
+                    &DeliveryResult {
+                        packages_delivered: delivered,
+                    },
+                ))
+            }
+            Endpoint::SellerDashboard => {
+                let seller = SellerId(path_id(params, "seller")?);
+                let dashboard = map_platform(self.platform.seller_dashboard(seller))?;
+                Ok(Response::json(200, &dashboard))
+            }
+        }
+    }
+}
+
+fn path_id(params: &PathParams, name: &str) -> Result<u64, Response> {
+    params
+        .id(name)
+        .map_err(|e| Response::text(400, e.to_string()))
+}
+
+fn parse_body<T: serde::de::DeserializeOwned>(req: &Request) -> Result<T, Response> {
+    if let Some(ct) = req.headers.get("content-type") {
+        if !ct.to_ascii_lowercase().starts_with("application/json") {
+            return Err(Response::text(
+                400,
+                format!("expected application/json body, got {ct}"),
+            ));
+        }
+    }
+    serde_json::from_slice(&req.body)
+        .map_err(|e| Response::text(400, format!("invalid JSON body: {e}")))
+}
+
+/// Maps platform errors onto HTTP status codes.
+fn map_platform<T>(result: Result<T, OmError>) -> Result<T, Response> {
+    result.map_err(|e| {
+        let status = match &e {
+            OmError::NotFound(_) => 404,
+            OmError::Conflict(_) | OmError::TxAborted(_) | OmError::TxWaitDie(_) => 409,
+            OmError::Rejected(_) => 422,
+            OmError::Unavailable(_) => 503,
+            OmError::Timeout(_) => 408,
+            OmError::Internal(_) => 500,
+        };
+        Response::json(
+            status,
+            &serde_json::json!({ "error": e.label(), "detail": e.to_string() }),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use om_marketplace::EventualPlatform;
+
+    fn gateway() -> MarketplaceGateway {
+        MarketplaceGateway::new(Arc::new(EventualPlatform::new(Default::default())))
+    }
+
+    fn req(method: Method, target: &str, body: Option<serde_json::Value>) -> Request {
+        let (path, query) = crate::request::decode_target(target).unwrap();
+        let mut headers = crate::request::Headers::new();
+        let body = match body {
+            Some(v) => {
+                headers.insert("content-type", "application/json");
+                Bytes::from(serde_json::to_vec(&v).unwrap())
+            }
+            None => Bytes::new(),
+        };
+        Request {
+            method,
+            path,
+            raw_target: target.to_string(),
+            query,
+            version: crate::request::Version::Http11,
+            headers,
+            body,
+        }
+    }
+
+    #[test]
+    fn health_reports_platform() {
+        let g = gateway();
+        let resp = g.handle(&req(Method::Get, "/health", None));
+        assert_eq!(resp.status, 200);
+        let v: serde_json::Value = resp.json_body().unwrap();
+        assert_eq!(v["platform"], "orleans_eventual");
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_wrong_method_is_405() {
+        let g = gateway();
+        assert_eq!(g.handle(&req(Method::Get, "/nope", None)).status, 404);
+        let resp = g.handle(&req(Method::Delete, "/health", None));
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.headers.get("allow"), Some("GET"));
+    }
+
+    #[test]
+    fn bad_json_body_is_400() {
+        let g = gateway();
+        let mut r = req(Method::Post, "/ingest/sellers", None);
+        r.headers.insert("content-type", "application/json");
+        r.body = Bytes::from_static(b"{not json");
+        assert_eq!(g.handle(&r).status, 400);
+    }
+
+    #[test]
+    fn non_json_content_type_is_400() {
+        let g = gateway();
+        let mut r = req(Method::Post, "/ingest/sellers", None);
+        r.headers.insert("content-type", "text/xml");
+        r.body = Bytes::from_static(b"<seller/>");
+        assert_eq!(g.handle(&r).status, 400);
+    }
+
+    #[test]
+    fn non_numeric_path_id_is_400() {
+        let g = gateway();
+        let resp = g.handle(&req(Method::Get, "/sellers/abc/dashboard", None));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn bad_max_sellers_is_400_and_default_is_accepted() {
+        let g = gateway();
+        let resp = g.handle(&req(Method::Patch, "/shipments/delivery?max_sellers=x", None));
+        assert_eq!(resp.status, 400);
+        let resp = g.handle(&req(Method::Patch, "/shipments/delivery", None));
+        assert_eq!(resp.status, 200);
+        let d: DeliveryResult = resp.json_body().unwrap();
+        assert_eq!(d.packages_delivered, 0, "no orders yet");
+    }
+
+    #[test]
+    fn counters_include_gateway_stats() {
+        let g = gateway();
+        let _ = g.handle(&req(Method::Get, "/nope", None));
+        let resp = g.handle(&req(Method::Get, "/counters", None));
+        assert_eq!(resp.status, 200);
+        let counters: std::collections::BTreeMap<String, u64> = resp.json_body().unwrap();
+        assert_eq!(counters["gateway_client_errors"], 1);
+        assert!(counters["gateway_requests"] >= 2);
+    }
+
+    #[test]
+    fn zero_price_update_is_rejected() {
+        let g = gateway();
+        let resp = g.handle(&req(
+            Method::Patch,
+            "/products/1/1/price",
+            Some(serde_json::json!({"price": 0})),
+        ));
+        assert_eq!(resp.status, 422);
+    }
+}

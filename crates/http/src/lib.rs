@@ -1,0 +1,46 @@
+//! # om-http
+//!
+//! The HTTP layer of the customized Online Marketplace stack (paper
+//! Fig. 1: *"HTTP Layer parses HTTP requests and forwards them to the
+//! correct grains"*). The crate provides, bottom-up:
+//!
+//! * [`request`] / [`response`] — an incremental HTTP/1.1 parser and
+//!   serializer: `Content-Length` and chunked framing, pipelining,
+//!   keep-alive, percent-decoding, header limits;
+//! * [`router`] — method + path-pattern routing with `{param}` capture;
+//! * [`gateway`] — the REST surface of the benchmark's five business
+//!   transactions, dispatching onto any
+//!   [`MarketplacePlatform`](om_marketplace::api::MarketplacePlatform);
+//! * [`server`] — an in-memory byte-pipe transport with a worker pool and
+//!   a blocking client, so the whole stack exercises real wire framing
+//!   without sockets.
+//!
+//! ```
+//! use om_http::{gateway::MarketplaceGateway, server::HttpServer, Method};
+//! use om_marketplace::EventualPlatform;
+//! use std::sync::Arc;
+//!
+//! let platform = Arc::new(EventualPlatform::new(Default::default()));
+//! let server = HttpServer::start(Arc::new(MarketplaceGateway::new(platform)), 2);
+//! let mut client = server.connect();
+//! let resp = client.request(Method::Get, "/health", None).unwrap();
+//! assert_eq!(resp.status, 200);
+//! client.close(); // let the worker's connection loop reach EOF
+//! server.shutdown();
+//! ```
+
+pub mod adapter;
+pub mod error;
+pub mod gateway;
+pub mod request;
+pub mod response;
+pub mod router;
+pub mod server;
+
+pub use adapter::HttpPlatform;
+pub use error::HttpError;
+pub use gateway::MarketplaceGateway;
+pub use request::{parse_request, Headers, Method, ParserConfig, Request, Version};
+pub use response::{parse_response, Response};
+pub use router::{PathParams, RouteError, Router};
+pub use server::{Connection, HttpClient, HttpServer};

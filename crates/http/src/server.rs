@@ -1,0 +1,391 @@
+//! An in-memory HTTP server and client over duplex byte pipes.
+//!
+//! This stands in for the TCP front of the paper's Fig. 1 stack: real
+//! HTTP/1.1 bytes flow through real framing code (pipelining, keep-alive,
+//! partial reads), but transport is a pair of in-process byte queues so
+//! the benchmark needs no sockets and stays deterministic. A small worker
+//! pool drains a connection queue, one connection at a time per worker —
+//! the thread-per-connection model of the .NET gateway the paper's stack
+//! fronts with.
+
+use crate::error::HttpError;
+use crate::gateway::MarketplaceGateway;
+use crate::request::{parse_request, Headers, Method, ParserConfig, Request, Version};
+use crate::response::{parse_response, Response};
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocking pipe read waits before treating the peer as gone.
+/// Generous enough for loaded CI machines; small enough that a deadlocked
+/// test fails rather than hangs.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[derive(Default)]
+struct PipeState {
+    buf: BytesMut,
+    closed: bool,
+}
+
+/// One direction of an in-memory duplex connection.
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState::default()),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn write(&self, data: &[u8]) {
+        let mut state = self.state.lock();
+        if state.closed {
+            return; // peer hung up; writes are silently dropped like TCP RST
+        }
+        state.buf.extend_from_slice(data);
+        self.readable.notify_all();
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        self.readable.notify_all();
+    }
+
+    /// Blocks until bytes are available, then moves them into `out`.
+    /// Returns `false` once the pipe is closed and drained (EOF).
+    fn read_into(&self, out: &mut BytesMut) -> bool {
+        let mut state = self.state.lock();
+        while state.buf.is_empty() && !state.closed {
+            if self
+                .readable
+                .wait_for(&mut state, READ_TIMEOUT)
+                .timed_out()
+            {
+                return false;
+            }
+        }
+        if state.buf.is_empty() {
+            return false;
+        }
+        out.extend_from_slice(&state.buf);
+        state.buf.clear();
+        true
+    }
+}
+
+/// One endpoint of a duplex in-memory connection.
+pub struct Connection {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+impl Connection {
+    /// Creates a connected pair (client end, server end).
+    pub fn duplex() -> (Connection, Connection) {
+        let a = Pipe::new();
+        let b = Pipe::new();
+        (
+            Connection {
+                rx: a.clone(),
+                tx: b.clone(),
+            },
+            Connection { rx: b, tx: a },
+        )
+    }
+
+    /// Writes raw bytes to the peer.
+    pub fn send(&self, data: &[u8]) {
+        self.tx.write(data);
+    }
+
+    /// Blocking read; returns `false` on EOF.
+    pub fn read_into(&self, out: &mut BytesMut) -> bool {
+        self.rx.read_into(out)
+    }
+
+    /// Half-closes: the peer sees EOF after draining.
+    pub fn close(&self) {
+        self.tx.close();
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+/// The in-memory HTTP server fronting a [`MarketplaceGateway`].
+///
+/// Thread-per-connection, like the thread-pooled .NET front the paper's
+/// stack uses: `acceptors` threads drain the accept queue and spawn one
+/// serving thread per connection, so any number of keep-alive
+/// connections are served concurrently.
+pub struct HttpServer {
+    conn_tx: Option<Sender<Connection>>,
+    acceptors: Vec<JoinHandle<()>>,
+    served: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    gateway: Arc<MarketplaceGateway>,
+    parser_cfg: ParserConfig,
+}
+
+impl HttpServer {
+    /// Starts the server with `acceptors` accept-loop threads.
+    pub fn start(gateway: Arc<MarketplaceGateway>, acceptors: usize) -> Self {
+        Self::start_with_config(gateway, acceptors, ParserConfig::default())
+    }
+
+    /// Starts the server with explicit parser limits.
+    pub fn start_with_config(
+        gateway: Arc<MarketplaceGateway>,
+        acceptors: usize,
+        parser_cfg: ParserConfig,
+    ) -> Self {
+        assert!(acceptors > 0, "server needs at least one acceptor");
+        let (conn_tx, conn_rx): (Sender<Connection>, Receiver<Connection>) = unbounded();
+        let served: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let conn_counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handles = (0..acceptors)
+            .map(|i| {
+                let rx = conn_rx.clone();
+                let gateway = gateway.clone();
+                let cfg = parser_cfg.clone();
+                let served = served.clone();
+                let conn_counter = conn_counter.clone();
+                std::thread::Builder::new()
+                    .name(format!("om-http-acceptor-{i}"))
+                    .spawn(move || {
+                        while let Ok(conn) = rx.recv() {
+                            let gateway = gateway.clone();
+                            let cfg = cfg.clone();
+                            let id = conn_counter
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let handle = std::thread::Builder::new()
+                                .name(format!("om-http-conn-{id}"))
+                                .spawn(move || serve_connection(&gateway, &conn, &cfg))
+                                .expect("spawn connection thread");
+                            served.lock().push(handle);
+                        }
+                    })
+                    .expect("spawn http acceptor")
+            })
+            .collect();
+        HttpServer {
+            conn_tx: Some(conn_tx),
+            acceptors: handles,
+            served,
+            gateway,
+            parser_cfg,
+        }
+    }
+
+    /// Opens a new client connection to this server.
+    pub fn connect(&self) -> HttpClient {
+        let (client_end, server_end) = Connection::duplex();
+        self.conn_tx
+            .as_ref()
+            .expect("server not shut down")
+            .send(server_end)
+            .expect("server accept queue alive");
+        HttpClient::over(client_end, self.parser_cfg.clone())
+    }
+
+    /// The gateway behind the server.
+    pub fn gateway(&self) -> &Arc<MarketplaceGateway> {
+        &self.gateway
+    }
+
+    /// Stops accepting connections and joins every serving thread.
+    /// In-flight connections are served until their clients close (or
+    /// the read timeout elapses), so close clients first.
+    pub fn shutdown(mut self) {
+        self.conn_tx.take(); // closes the accept queue
+        for handle in self.acceptors.drain(..) {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = self.served.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.conn_tx.take();
+        // Serving threads exit once their connection closes; don't join
+        // in drop to keep drops non-blocking in tests that leak clients.
+    }
+}
+
+/// Serves one connection until it closes or framing breaks.
+fn serve_connection(gateway: &MarketplaceGateway, conn: &Connection, cfg: &ParserConfig) {
+    let mut inbuf = BytesMut::with_capacity(4096);
+    let mut outbuf = BytesMut::with_capacity(4096);
+    loop {
+        match parse_request(&mut inbuf, cfg) {
+            Ok(Some(req)) => {
+                let keep_alive = req.keep_alive();
+                let mut resp = gateway.handle(&req);
+                if !keep_alive {
+                    resp = resp.with_header("connection", "close");
+                }
+                // HEAD gets the same headers with no body; our framing
+                // always writes Content-Length of the emitted body, so
+                // truncate before serializing.
+                if req.method == Method::Head {
+                    resp.body = Bytes::new();
+                }
+                outbuf.clear();
+                resp.write_to(&mut outbuf);
+                conn.send(&outbuf);
+                if !keep_alive {
+                    conn.close();
+                    return;
+                }
+            }
+            Ok(None) => {
+                if !conn.read_into(&mut inbuf) {
+                    return; // EOF between messages: clean close
+                }
+            }
+            Err(e) => {
+                let resp = Response::text(e.status_code(), e.to_string())
+                    .with_header("connection", "close");
+                outbuf.clear();
+                resp.write_to(&mut outbuf);
+                conn.send(&outbuf);
+                conn.close();
+                return;
+            }
+        }
+    }
+}
+
+/// A blocking HTTP client for the in-memory transport.
+pub struct HttpClient {
+    conn: Connection,
+    inbuf: BytesMut,
+    cfg: ParserConfig,
+}
+
+impl HttpClient {
+    /// Wraps an existing client-side connection end.
+    pub fn over(conn: Connection, cfg: ParserConfig) -> Self {
+        HttpClient {
+            conn,
+            inbuf: BytesMut::with_capacity(4096),
+            cfg,
+        }
+    }
+
+    /// Sends a request with an optional JSON body and awaits the response.
+    pub fn request(
+        &mut self,
+        method: Method,
+        target: &str,
+        json: Option<&serde_json::Value>,
+    ) -> Result<Response, HttpError> {
+        self.send_request(method, target, json)?;
+        self.read_response()
+    }
+
+    /// Sends a request without waiting (enables pipelining).
+    pub fn send_request(
+        &mut self,
+        method: Method,
+        target: &str,
+        json: Option<&serde_json::Value>,
+    ) -> Result<(), HttpError> {
+        let (path, query) = crate::request::decode_target(target)?;
+        let mut headers = Headers::new();
+        let body = match json {
+            Some(v) => {
+                headers.insert("content-type", "application/json");
+                Bytes::from(serde_json::to_vec(v).expect("serializable json body"))
+            }
+            None => Bytes::new(),
+        };
+        let req = Request {
+            method,
+            path,
+            raw_target: target.to_string(),
+            query,
+            version: Version::Http11,
+            headers,
+            body,
+        };
+        let mut wire = BytesMut::new();
+        req.write_to(&mut wire);
+        self.conn.send(&wire);
+        Ok(())
+    }
+
+    /// Writes raw bytes on the wire (for malformed-input tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.conn.send(bytes);
+    }
+
+    /// Blocks until one full response is parsed.
+    pub fn read_response(&mut self) -> Result<Response, HttpError> {
+        loop {
+            if let Some(resp) = parse_response(&mut self.inbuf, &self.cfg)? {
+                return Ok(resp);
+            }
+            if !self.conn.read_into(&mut self.inbuf) {
+                return Err(HttpError::UnexpectedEof);
+            }
+        }
+    }
+
+    /// Closes the client side of the connection.
+    pub fn close(&self) {
+        self.conn.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_pipes_carry_bytes_both_ways() {
+        let (a, b) = Connection::duplex();
+        a.send(b"ping");
+        let mut buf = BytesMut::new();
+        assert!(b.read_into(&mut buf));
+        assert_eq!(&buf[..], b"ping");
+        b.send(b"pong");
+        let mut buf = BytesMut::new();
+        assert!(a.read_into(&mut buf));
+        assert_eq!(&buf[..], b"pong");
+    }
+
+    #[test]
+    fn closed_pipe_reports_eof_after_drain() {
+        let (a, b) = Connection::duplex();
+        a.send(b"last");
+        a.close();
+        let mut buf = BytesMut::new();
+        assert!(b.read_into(&mut buf));
+        assert_eq!(&buf[..], b"last");
+        assert!(!b.read_into(&mut buf), "drained + closed => EOF");
+    }
+
+    #[test]
+    fn write_after_peer_close_is_dropped() {
+        let (a, b) = Connection::duplex();
+        drop(b);
+        a.send(b"into the void"); // must not panic
+    }
+}

@@ -1,0 +1,31 @@
+//! # om-kv
+//!
+//! A Redis-like in-memory key-value store with **primary–secondary
+//! replication**, built for the *Customized* Online Marketplace binding
+//! (paper §III, Fig. 1: "primary-secondary deployment based on Redis to
+//! support causal replication of product updates").
+//!
+//! The store provides:
+//!
+//! * a sharded, concurrently accessible primary ([`store::Store`]);
+//! * an asynchronous replication channel to a secondary replica
+//!   ([`replication`]), with two apply disciplines matching the paper's
+//!   replication criteria:
+//!   * [`om_common::config::ReplicationMode::Eventual`] — records may be
+//!     applied out of causal order (a configurable reorder window simulates
+//!     the multi-connection fan-in of a real deployment), and
+//!   * [`om_common::config::ReplicationMode::Causal`] — records are buffered
+//!     until their causal dependencies (version vectors) are satisfied;
+//! * read-your-writes **sessions** tracking causal context
+//!   ([`replicated::Session`]);
+//! * first-class **anomaly accounting**: the secondary counts causal
+//!   inversions it observes, so the criteria auditor can quantify (rather
+//!   than merely assert) the difference between the two modes.
+
+pub mod replicated;
+pub mod replication;
+pub mod store;
+
+pub use replicated::{ReplicatedKv, Session};
+pub use replication::{ReplicationRecord, ReplicationStats};
+pub use store::{Store, VersionedValue};

@@ -1,0 +1,363 @@
+//! The replicated store facade: primary + applier thread + secondary,
+//! with causal sessions.
+
+use crate::replication::{Applier, ReplicationRecord, ReplicationStats};
+use crate::store::{Store, VersionedValue};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use om_common::config::ReplicationMode;
+use om_common::time::VersionVector;
+use parking_lot::Mutex;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A client session carrying causal context (read-your-writes /
+/// monotonic-reads across primary and secondary).
+///
+/// Besides the version-vector context used for causal dependency tracking,
+/// the session remembers the newest per-key write sequence it has observed,
+/// giving a precise read-your-writes / monotonic-reads check on secondary
+/// reads.
+#[derive(Debug, Clone)]
+pub struct Session<K: Hash + Eq + Clone> {
+    /// Everything this session has observed or written.
+    pub ctx: VersionVector,
+    /// Newest `key_seq` observed per key.
+    key_seqs: std::collections::HashMap<K, u64>,
+}
+
+impl<K: Hash + Eq + Clone> Default for Session<K> {
+    fn default() -> Self {
+        Self {
+            ctx: VersionVector::new(),
+            key_seqs: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone> Session<K> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn observe_key(&mut self, key: &K, key_seq: u64) {
+        let e = self.key_seqs.entry(key.clone()).or_insert(0);
+        *e = (*e).max(key_seq);
+    }
+
+    /// Newest write sequence this session knows for `key` (0 = none).
+    pub fn known_key_seq(&self, key: &K) -> u64 {
+        self.key_seqs.get(key).copied().unwrap_or(0)
+    }
+}
+
+enum ApplierMsg<K, V> {
+    Record(ReplicationRecord<K, V>),
+    /// Flush buffered records and acknowledge via the enclosed sender.
+    Quiesce(Sender<()>),
+    Shutdown,
+}
+
+/// A primary–secondary replicated key-value store.
+///
+/// Writes go to the primary and are streamed to the secondary by a
+/// background applier thread honouring the configured
+/// [`ReplicationMode`]. Reads can target either replica; secondary reads
+/// under a [`Session`] report whether the session's causal context was
+/// satisfied (the auditor uses unsatisfied reads to count staleness
+/// anomalies in eventual mode).
+pub struct ReplicatedKv<K: Hash + Eq + Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'static> {
+    primary: Arc<Store<K, V>>,
+    secondary: Arc<Store<K, V>>,
+    stats: Arc<ReplicationStats>,
+    tx: Sender<ApplierMsg<K, V>>,
+    applier_handle: Mutex<Option<JoinHandle<()>>>,
+    seq: AtomicU64,
+    writer_id: u64,
+    writer_ctx: Mutex<VersionVector>,
+    mode: ReplicationMode,
+}
+
+impl<K: Hash + Eq + Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'static> ReplicatedKv<K, V> {
+    /// Spawns the replica pair. `reorder_window > 1` only affects
+    /// [`ReplicationMode::Eventual`].
+    pub fn new(mode: ReplicationMode, shards: usize, reorder_window: usize, seed: u64) -> Self {
+        let primary = Arc::new(Store::new(shards));
+        let secondary = Arc::new(Store::new(shards));
+        let stats = Arc::new(ReplicationStats::default());
+        let (tx, rx): (Sender<ApplierMsg<K, V>>, Receiver<ApplierMsg<K, V>>) = unbounded();
+        let applier_secondary = secondary.clone();
+        let applier_stats = stats.clone();
+        let handle = std::thread::Builder::new()
+            .name("om-kv-applier".into())
+            .spawn(move || {
+                let mut applier =
+                    Applier::new(mode, applier_secondary, applier_stats, reorder_window, seed);
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ApplierMsg::Record(r) => applier.offer(r),
+                        ApplierMsg::Quiesce(ack) => {
+                            applier.flush();
+                            let _ = ack.send(());
+                        }
+                        ApplierMsg::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn applier");
+        Self {
+            primary,
+            secondary,
+            stats,
+            tx,
+            applier_handle: Mutex::new(Some(handle)),
+            seq: AtomicU64::new(0),
+            writer_id: seed | 1,
+            writer_ctx: Mutex::new(VersionVector::new()),
+            mode,
+        }
+    }
+
+    pub fn mode(&self) -> ReplicationMode {
+        self.mode
+    }
+
+    /// Writes through the primary within `session`'s causal context and
+    /// streams the record to the secondary. Updates the session context.
+    pub fn put(&self, session: &mut Session<K>, key: K, value: V) {
+        self.write(session, key, Some(value));
+    }
+
+    /// Deletes through the primary (replicated as a tombstone).
+    pub fn delete(&self, session: &mut Session<K>, key: K) {
+        self.write(session, key, None);
+    }
+
+    fn write(&self, session: &mut Session<K>, key: K, value: Option<V>) {
+        let deps = session.ctx.clone();
+        // The write's clock: session deps + one bump of this store's writer.
+        let clock = {
+            let mut wctx = self.writer_ctx.lock();
+            wctx.merge(&deps);
+            wctx.bump(self.writer_id);
+            wctx.clone()
+        };
+        session.ctx.merge(&clock);
+
+        let installed = self.primary.update(key.clone(), |cur| {
+            let key_seq = cur.map(|c| c.key_seq + 1).unwrap_or(1);
+            VersionedValue {
+                value: value.clone(),
+                clock: clock.clone(),
+                key_seq,
+            }
+        });
+        session.observe_key(&key, installed.key_seq);
+        let record = ReplicationRecord {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            key,
+            value,
+            key_seq: installed.key_seq,
+            deps,
+            clock,
+        };
+        let _ = self.tx.send(ApplierMsg::Record(record));
+    }
+
+    /// Strongly consistent read from the primary.
+    pub fn get_primary(&self, session: &mut Session<K>, key: &K) -> Option<V> {
+        let v = self.primary.get_versioned(key)?;
+        session.ctx.merge(&v.clock);
+        session.observe_key(key, v.key_seq);
+        v.value
+    }
+
+    /// Read from the secondary replica. Returns the value (possibly stale)
+    /// and whether the read satisfied the session's read-your-writes /
+    /// monotonic-reads expectation for this key: the replica must offer a
+    /// version at least as new as any the session has already observed.
+    pub fn get_secondary(&self, session: &mut Session<K>, key: &K) -> SecondaryRead<V> {
+        let known = session.known_key_seq(key);
+        match self.secondary.get_versioned(key) {
+            None => SecondaryRead {
+                value: None,
+                satisfied_session: known == 0,
+            },
+            Some(v) => {
+                let satisfied = v.key_seq >= known;
+                if satisfied {
+                    session.observe_key(key, v.key_seq);
+                    session.ctx.merge(&v.clock);
+                }
+                SecondaryRead {
+                    value: v.value,
+                    satisfied_session: satisfied,
+                }
+            }
+        }
+    }
+
+    /// Blocks until the applier has drained everything sent so far.
+    pub fn quiesce(&self) {
+        let (ack_tx, ack_rx) = unbounded();
+        if self.tx.send(ApplierMsg::Quiesce(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    pub fn stats(&self) -> &ReplicationStats {
+        &self.stats
+    }
+
+    /// Direct handles for tests/auditing.
+    pub fn primary_store(&self) -> &Store<K, V> {
+        &self.primary
+    }
+
+    pub fn secondary_store(&self) -> &Store<K, V> {
+        &self.secondary
+    }
+}
+
+impl<K: Hash + Eq + Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'static> Drop for ReplicatedKv<K, V> {
+    fn drop(&mut self) {
+        let _ = self.tx.send(ApplierMsg::Shutdown);
+        if let Some(h) = self.applier_handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Result of a secondary read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecondaryRead<V> {
+    pub value: Option<V>,
+    /// False when the session had already observed a newer causal context
+    /// than the replica offers — a read-your-writes / monotonic-reads
+    /// violation candidate.
+    pub satisfied_session: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_replicate_to_secondary() {
+        let kv: ReplicatedKv<u32, String> =
+            ReplicatedKv::new(ReplicationMode::Causal, 4, 1, 42);
+        let mut s = Session::new();
+        kv.put(&mut s, 1, "hello".into());
+        kv.put(&mut s, 2, "world".into());
+        kv.quiesce();
+        assert_eq!(kv.get_secondary(&mut s, &1).value, Some("hello".into()));
+        assert_eq!(kv.get_secondary(&mut s, &2).value, Some("world".into()));
+        assert_eq!(kv.stats().applied(), 2);
+    }
+
+    #[test]
+    fn primary_reads_are_read_your_writes() {
+        let kv: ReplicatedKv<u32, i32> = ReplicatedKv::new(ReplicationMode::Eventual, 4, 8, 7);
+        let mut s = Session::new();
+        kv.put(&mut s, 1, 10);
+        assert_eq!(kv.get_primary(&mut s, &1), Some(10));
+    }
+
+    #[test]
+    fn deletes_propagate_as_tombstones() {
+        let kv: ReplicatedKv<u32, i32> = ReplicatedKv::new(ReplicationMode::Causal, 4, 1, 5);
+        let mut s = Session::new();
+        kv.put(&mut s, 1, 10);
+        kv.delete(&mut s, 1);
+        kv.quiesce();
+        assert_eq!(kv.get_secondary(&mut s, &1).value, None);
+        assert_eq!(kv.get_primary(&mut s, &1), None);
+    }
+
+    #[test]
+    fn causal_mode_preserves_cross_key_dependency_order() {
+        // Writer A writes x then y (y depends on x). A causal secondary
+        // must never show y without x.
+        for seed in 0..8u64 {
+            let kv: ReplicatedKv<&'static str, i32> =
+                ReplicatedKv::new(ReplicationMode::Causal, 4, 16, seed);
+            let mut s = Session::new();
+            for i in 0..50 {
+                kv.put(&mut s, "x", i);
+                kv.put(&mut s, "y", i); // causally after x=i
+            }
+            kv.quiesce();
+            assert_eq!(kv.stats().causal_inversions(), 0, "seed {seed}");
+            let x = kv.get_secondary(&mut s, &"x").value.unwrap();
+            let y = kv.get_secondary(&mut s, &"y").value.unwrap();
+            assert!(x >= y, "y={y} visible without its dependency x={x}");
+        }
+    }
+
+    #[test]
+    fn eventual_mode_exhibits_inversions_under_reordering() {
+        let mut total_inversions = 0;
+        for seed in 0..8u64 {
+            let kv: ReplicatedKv<&'static str, i32> =
+                ReplicatedKv::new(ReplicationMode::Eventual, 4, 16, seed);
+            let mut s = Session::new();
+            for i in 0..100 {
+                kv.put(&mut s, "x", i);
+                kv.put(&mut s, "y", i);
+            }
+            kv.quiesce();
+            total_inversions += kv.stats().causal_inversions();
+        }
+        assert!(
+            total_inversions > 0,
+            "eventual replication with a reorder window must invert sometimes"
+        );
+    }
+
+    #[test]
+    fn quiesce_drains_all_records() {
+        let kv: ReplicatedKv<u64, u64> = ReplicatedKv::new(ReplicationMode::Eventual, 8, 4, 3);
+        let mut s = Session::new();
+        for i in 0..1000 {
+            kv.put(&mut s, i % 10, i);
+        }
+        kv.quiesce();
+        assert_eq!(
+            kv.stats().applied() + kv.stats().stale_drops(),
+            kv.stats().applied(),
+            "all records either applied or counted stale within apply()"
+        );
+        assert_eq!(kv.stats().applied(), 1000);
+        // After quiesce, secondary must agree with primary on live values.
+        for k in 0..10u64 {
+            assert_eq!(
+                kv.secondary_store().get(&k),
+                kv.primary_store().get(&k),
+                "key {k} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let kv: Arc<ReplicatedKv<u64, u64>> =
+            Arc::new(ReplicatedKv::new(ReplicationMode::Causal, 8, 1, 11));
+        let mut handles = vec![];
+        for w in 0..4u64 {
+            let kv = kv.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut s = Session::new();
+                for i in 0..250 {
+                    kv.put(&mut s, w * 1000 + i, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        kv.quiesce();
+        assert_eq!(kv.primary_store().len(), 1000);
+        assert_eq!(kv.secondary_store().len(), 1000);
+    }
+}

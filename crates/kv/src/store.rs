@@ -1,0 +1,262 @@
+//! The sharded in-memory store used for both primary and secondary replicas.
+
+use om_common::time::VersionVector;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A value together with its causal metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionedValue<V> {
+    /// The payload. `None` is a tombstone (deleted key kept for causal
+    /// bookkeeping).
+    pub value: Option<V>,
+    /// Causal context of the write that produced this version (includes the
+    /// writer's own bump).
+    pub clock: VersionVector,
+    /// Monotonic per-key write counter assigned by the primary; later
+    /// writes to the same key have larger numbers.
+    pub key_seq: u64,
+}
+
+impl<V> VersionedValue<V> {
+    pub fn is_tombstone(&self) -> bool {
+        self.value.is_none()
+    }
+}
+
+fn shard_index<K: Hash>(key: &K, shards: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// A sharded hash map guarded by per-shard `RwLock`s.
+///
+/// Sharding bounds lock contention under the write-heavy price-update storm
+/// workloads; reads take a shared lock on a single shard.
+#[derive(Debug)]
+pub struct Store<K, V> {
+    shards: Vec<RwLock<HashMap<K, VersionedValue<V>>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Store<K, V> {
+    /// Creates a store with `shards` independent lock domains.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0);
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of live (non-tombstone) keys.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().filter(|v| !v.is_tombstone()).count())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the current version of `key` (tombstones are reported).
+    pub fn get_versioned(&self, key: &K) -> Option<VersionedValue<V>> {
+        self.shards[shard_index(key, self.shards.len())]
+            .read()
+            .get(key)
+            .cloned()
+    }
+
+    /// Reads the live value of `key` (`None` for absent or tombstoned).
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.get_versioned(key).and_then(|v| v.value)
+    }
+
+    /// Unconditionally installs a version. Returns the previous version.
+    pub fn put(&self, key: K, value: VersionedValue<V>) -> Option<VersionedValue<V>> {
+        self.shards[shard_index(&key, self.shards.len())]
+            .write()
+            .insert(key, value)
+    }
+
+    /// Installs `value` only if it is newer (by `key_seq`) than the stored
+    /// version; stale replicated writes are dropped. Returns whether the
+    /// write was applied.
+    pub fn put_if_newer(&self, key: K, value: VersionedValue<V>) -> bool {
+        let mut shard = self.shards[shard_index(&key, self.shards.len())].write();
+        match shard.get(&key) {
+            Some(existing) if existing.key_seq >= value.key_seq => false,
+            _ => {
+                shard.insert(key, value);
+                true
+            }
+        }
+    }
+
+    /// Read-modify-write under the shard lock. `f` receives the current
+    /// live value (if any) and returns the new versioned value to install.
+    pub fn update<F>(&self, key: K, f: F) -> VersionedValue<V>
+    where
+        F: FnOnce(Option<&VersionedValue<V>>) -> VersionedValue<V>,
+    {
+        let mut shard = self.shards[shard_index(&key, self.shards.len())].write();
+        let next = f(shard.get(&key));
+        shard.insert(key, next.clone());
+        next
+    }
+
+    /// Removes `key` entirely (hard delete; replication uses tombstones
+    /// instead — this is for test cleanup).
+    pub fn remove(&self, key: &K) -> Option<VersionedValue<V>> {
+        self.shards[shard_index(key, self.shards.len())]
+            .write()
+            .remove(key)
+    }
+
+    /// Snapshot of all live entries (test/diagnostic helper; takes shard
+    /// read locks one at a time, so it is *not* a consistent cut).
+    pub fn dump(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                if let Some(value) = &v.value {
+                    out.push((k.clone(), value.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every live entry.
+    pub fn for_each<F: FnMut(&K, &V)>(&self, mut f: F) {
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                if let Some(value) = &v.value {
+                    f(k, value);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vv(writer: u64, n: u64) -> VersionVector {
+        let mut v = VersionVector::new();
+        for _ in 0..n {
+            v.bump(writer);
+        }
+        v
+    }
+
+    fn ver(value: i32, seq: u64) -> VersionedValue<i32> {
+        VersionedValue {
+            value: Some(value),
+            clock: vv(1, seq),
+            key_seq: seq,
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s: Store<String, i32> = Store::new(4);
+        assert!(s.get(&"a".to_string()).is_none());
+        s.put("a".into(), ver(1, 1));
+        assert_eq!(s.get(&"a".to_string()), Some(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tombstones_hide_values_but_keep_metadata() {
+        let s: Store<String, i32> = Store::new(2);
+        s.put("a".into(), ver(1, 1));
+        s.put(
+            "a".into(),
+            VersionedValue {
+                value: None,
+                clock: vv(1, 2),
+                key_seq: 2,
+            },
+        );
+        assert_eq!(s.get(&"a".to_string()), None);
+        assert_eq!(s.len(), 0);
+        let meta = s.get_versioned(&"a".to_string()).unwrap();
+        assert!(meta.is_tombstone());
+        assert_eq!(meta.key_seq, 2);
+    }
+
+    #[test]
+    fn put_if_newer_drops_stale_writes() {
+        let s: Store<String, i32> = Store::new(2);
+        assert!(s.put_if_newer("a".into(), ver(10, 5)));
+        assert!(!s.put_if_newer("a".into(), ver(9, 4)), "stale dropped");
+        assert!(!s.put_if_newer("a".into(), ver(9, 5)), "equal seq dropped");
+        assert_eq!(s.get(&"a".to_string()), Some(10));
+        assert!(s.put_if_newer("a".into(), ver(11, 6)));
+        assert_eq!(s.get(&"a".to_string()), Some(11));
+    }
+
+    #[test]
+    fn update_is_atomic_read_modify_write() {
+        let s: std::sync::Arc<Store<u64, u64>> = std::sync::Arc::new(Store::new(8));
+        s.put(
+            1,
+            VersionedValue {
+                value: Some(0),
+                clock: VersionVector::new(),
+                key_seq: 0,
+            },
+        );
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.update(1, |cur| {
+                        let cur = cur.expect("present");
+                        VersionedValue {
+                            value: Some(cur.value.unwrap() + 1),
+                            clock: cur.clock.clone(),
+                            key_seq: cur.key_seq + 1,
+                        }
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.get(&1), Some(4000));
+        assert_eq!(s.get_versioned(&1).unwrap().key_seq, 4000);
+    }
+
+    #[test]
+    fn dump_and_for_each_see_live_entries_only() {
+        let s: Store<u32, &'static str> = Store::new(3);
+        s.put(
+            1,
+            VersionedValue {
+                value: Some("x"),
+                clock: VersionVector::new(),
+                key_seq: 1,
+            },
+        );
+        s.put(
+            2,
+            VersionedValue {
+                value: None,
+                clock: VersionVector::new(),
+                key_seq: 1,
+            },
+        );
+        let dump = s.dump();
+        assert_eq!(dump, vec![(1, "x")]);
+        let mut seen = 0;
+        s.for_each(|_, _| seen += 1);
+        assert_eq!(seen, 1);
+    }
+}

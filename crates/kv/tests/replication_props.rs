@@ -1,0 +1,169 @@
+//! Property-based tests of the replicated KV store (the Redis stand-in of
+//! the customized stack).
+//!
+//! Invariants under arbitrary write schedules:
+//!
+//! * both modes converge: after `quiesce`, the secondary equals the
+//!   primary (last-writer-wins per key);
+//! * causal mode never applies a record before its dependency — zero
+//!   causal inversions — regardless of the reorder window;
+//! * eventual mode with a reorder window is allowed inversions but must
+//!   still converge;
+//! * deletions (tombstones) replicate like writes.
+
+use om_common::config::ReplicationMode;
+use om_kv::{ReplicatedKv, Session};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+#[derive(Debug, Clone)]
+enum WriteOp {
+    Put(u8, u32),
+    Delete(u8),
+}
+
+fn write_strategy() -> impl Strategy<Value = WriteOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u32>()).prop_map(|(k, v)| WriteOp::Put(k % 12, v)),
+        1 => any::<u8>().prop_map(|k| WriteOp::Delete(k % 12)),
+    ]
+}
+
+fn apply_all(
+    kv: &ReplicatedKv<u8, u32>,
+    session: &mut Session<u8>,
+    ops: &[WriteOp],
+    model: &mut BTreeMap<u8, u32>,
+) {
+    for op in ops {
+        match op {
+            WriteOp::Put(k, v) => {
+                kv.put(session, *k, *v);
+                model.insert(*k, *v);
+            }
+            WriteOp::Delete(k) => {
+                kv.delete(session, *k);
+                model.remove(k);
+            }
+        }
+    }
+}
+
+/// Reads the secondary's full converged state through a fresh session.
+fn secondary_state(kv: &ReplicatedKv<u8, u32>) -> BTreeMap<u8, u32> {
+    kv.secondary_store()
+        .dump()
+        .into_iter()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Causal replication: zero inversions and convergence, for any
+    /// schedule, shard count and reorder window.
+    #[test]
+    fn causal_mode_has_no_inversions_and_converges(
+        ops in prop::collection::vec(write_strategy(), 1..120),
+        shards in 1usize..8,
+        window in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        let kv: ReplicatedKv<u8, u32> =
+            ReplicatedKv::new(ReplicationMode::Causal, shards, window, seed);
+        let mut session = Session::new();
+        let mut model = BTreeMap::new();
+        apply_all(&kv, &mut session, &ops, &mut model);
+        kv.quiesce();
+
+        prop_assert_eq!(
+            kv.stats().causal_inversions.load(Ordering::Relaxed),
+            0,
+            "causal mode must never invert"
+        );
+        prop_assert_eq!(secondary_state(&kv), model);
+        prop_assert_eq!(
+            kv.stats().applied.load(Ordering::Relaxed) as usize + kv.stats().stale_drops.load(Ordering::Relaxed) as usize,
+            ops.len(),
+            "every record is either applied or dropped as stale"
+        );
+    }
+
+    /// Eventual replication may reorder (and count inversions) but must
+    /// converge to the primary's last-writer-wins state.
+    #[test]
+    fn eventual_mode_converges_despite_reordering(
+        ops in prop::collection::vec(write_strategy(), 1..120),
+        window in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let kv: ReplicatedKv<u8, u32> =
+            ReplicatedKv::new(ReplicationMode::Eventual, 4, window, seed);
+        let mut session = Session::new();
+        let mut model = BTreeMap::new();
+        apply_all(&kv, &mut session, &ops, &mut model);
+        kv.quiesce();
+        prop_assert_eq!(secondary_state(&kv), model);
+    }
+
+    /// The primary itself is always read-your-writes within a session.
+    #[test]
+    fn primary_reads_are_read_your_writes(
+        ops in prop::collection::vec(write_strategy(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let kv: ReplicatedKv<u8, u32> =
+            ReplicatedKv::new(ReplicationMode::Eventual, 4, 8, seed);
+        let mut session = Session::new();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match op {
+                WriteOp::Put(k, v) => {
+                    kv.put(&mut session, *k, *v);
+                    model.insert(*k, *v);
+                }
+                WriteOp::Delete(k) => {
+                    kv.delete(&mut session, *k);
+                    model.remove(k);
+                }
+            }
+            // Immediately read back every key written so far.
+            for (k, expected) in &model {
+                prop_assert_eq!(
+                    kv.get_primary(&mut session, k),
+                    Some(*expected),
+                    "primary must reflect the session's own writes"
+                );
+            }
+        }
+    }
+
+    /// Secondary reads that claim to satisfy the session must reflect a
+    /// state at least as new as the session's writes on that key.
+    #[test]
+    fn satisfied_secondary_reads_are_not_stale(
+        values in prop::collection::vec(any::<u32>(), 1..40),
+        window in 0usize..8,
+        seed in any::<u64>(),
+        causal in prop::bool::ANY,
+    ) {
+        let mode = if causal { ReplicationMode::Causal } else { ReplicationMode::Eventual };
+        let kv: ReplicatedKv<u8, u32> = ReplicatedKv::new(mode, 2, window, seed);
+        let mut session = Session::new();
+        for (i, v) in values.iter().enumerate() {
+            kv.put(&mut session, 3, *v);
+            if i % 3 == 0 {
+                kv.quiesce();
+            }
+            let read = kv.get_secondary(&mut session, &3);
+            if read.satisfied_session {
+                prop_assert_eq!(
+                    read.value,
+                    Some(*v),
+                    "a session-satisfying read must return the latest session write"
+                );
+            }
+        }
+    }
+}

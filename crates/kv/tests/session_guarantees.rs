@@ -1,0 +1,131 @@
+//! Session-guarantee tests for the replicated KV store: read-your-writes
+//! and monotonic reads across primary and secondary, plus property tests
+//! over random operation interleavings.
+
+use om_common::config::ReplicationMode;
+use om_kv::{ReplicatedKv, Session};
+use proptest::prelude::*;
+
+#[test]
+fn session_detects_stale_secondary_before_replication() {
+    // No quiesce: the write may not have reached the secondary yet. The
+    // session must flag the read as unsatisfied rather than silently
+    // returning stale data.
+    let kv: ReplicatedKv<u64, u64> = ReplicatedKv::new(ReplicationMode::Causal, 4, 1, 21);
+    let mut session = Session::new();
+    for i in 0..50 {
+        kv.put(&mut session, 1, i);
+        let read = kv.get_secondary(&mut session, &1);
+        if let Some(v) = read.value {
+            if read.satisfied_session {
+                assert_eq!(v, i, "satisfied read must return the session's write");
+            }
+        } else {
+            assert!(
+                !read.satisfied_session,
+                "missing value cannot satisfy a session that wrote"
+            );
+        }
+    }
+}
+
+#[test]
+fn monotonic_reads_never_go_backwards_when_satisfied() {
+    let kv: ReplicatedKv<u64, u64> = ReplicatedKv::new(ReplicationMode::Causal, 4, 1, 22);
+    let mut writer = Session::new();
+    let mut reader = Session::new();
+    let mut last_seen = 0u64;
+    for i in 1..=100u64 {
+        kv.put(&mut writer, 7, i);
+        if i % 10 == 0 {
+            kv.quiesce();
+        }
+        let read = kv.get_secondary(&mut reader, &7);
+        if read.satisfied_session {
+            if let Some(v) = read.value {
+                assert!(
+                    v >= last_seen,
+                    "monotonic reads violated: saw {v} after {last_seen}"
+                );
+                last_seen = v;
+            }
+        }
+    }
+}
+
+#[test]
+fn fallback_to_primary_always_satisfies() {
+    let kv: ReplicatedKv<u64, String> = ReplicatedKv::new(ReplicationMode::Causal, 4, 1, 23);
+    let mut session = Session::new();
+    kv.put(&mut session, 1, "v1".into());
+    // Primary read immediately after write: read-your-writes by
+    // construction.
+    assert_eq!(kv.get_primary(&mut session, &1).as_deref(), Some("v1"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After quiescing, primary and secondary agree on every key, in both
+    /// replication modes, for any write sequence.
+    #[test]
+    fn prop_convergence_after_quiesce(
+        writes in proptest::collection::vec((0u64..20, 0u64..1000), 1..200),
+        causal in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mode = if causal { ReplicationMode::Causal } else { ReplicationMode::Eventual };
+        let kv: ReplicatedKv<u64, u64> = ReplicatedKv::new(mode, 4, 8, seed);
+        let mut session = Session::new();
+        for (k, v) in &writes {
+            kv.put(&mut session, *k, *v);
+        }
+        kv.quiesce();
+        for (k, _) in &writes {
+            prop_assert_eq!(
+                kv.secondary_store().get(k),
+                kv.primary_store().get(k),
+                "key {} diverged in {:?} mode", k, mode
+            );
+        }
+    }
+
+    /// In causal mode the applier never reports inversions, for any
+    /// interleaving of writes and deletes.
+    #[test]
+    fn prop_causal_mode_never_inverts(
+        ops in proptest::collection::vec((0u64..10, proptest::option::of(0u64..100)), 1..150),
+        seed in any::<u64>(),
+    ) {
+        let kv: ReplicatedKv<u64, u64> = ReplicatedKv::new(ReplicationMode::Causal, 4, 16, seed);
+        let mut session = Session::new();
+        for (k, v) in ops {
+            match v {
+                Some(val) => kv.put(&mut session, k, val),
+                None => kv.delete(&mut session, k),
+            }
+        }
+        kv.quiesce();
+        prop_assert_eq!(kv.stats().causal_inversions(), 0);
+    }
+
+    /// Independent sessions never observe each other's unsatisfied state:
+    /// a fresh session reading the secondary is always "satisfied" (it
+    /// has no expectations).
+    #[test]
+    fn prop_fresh_sessions_are_always_satisfied(
+        writes in proptest::collection::vec((0u64..10, 0u64..100), 0..50),
+        seed in any::<u64>(),
+    ) {
+        let kv: ReplicatedKv<u64, u64> = ReplicatedKv::new(ReplicationMode::Eventual, 4, 8, seed);
+        let mut writer = Session::new();
+        for (k, v) in &writes {
+            kv.put(&mut writer, *k, *v);
+        }
+        let mut fresh = Session::new();
+        for k in 0..10u64 {
+            let read = kv.get_secondary(&mut fresh, &k);
+            prop_assert!(read.satisfied_session, "fresh session unsatisfied on key {k}");
+        }
+    }
+}

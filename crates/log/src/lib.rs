@@ -1,0 +1,27 @@
+//! # om-log
+//!
+//! A Kafka-like partitioned, append-only **event log** used as:
+//!
+//! * the replayable ingress/egress transport of the Statefun-like dataflow
+//!   runtime (`om-dataflow`) — recovery rewinds consumers to the offsets
+//!   recorded in the last checkpoint and replays;
+//! * the audit-log storage of the *Customized* binding (paper Fig. 1,
+//!   "log storage to store audit logging").
+//!
+//! Semantics:
+//!
+//! * **Partitioned topics** — each [`Topic`] has a fixed number of
+//!   partitions; an entry's partition is chosen by the producer (typically
+//!   by key hash) and ordering is guaranteed *within* a partition only.
+//! * **Idempotent producers** — every append carries a `(producer, seq)`
+//!   pair; a partition remembers the highest sequence per producer and
+//!   silently deduplicates retransmissions, which is what makes
+//!   at-least-once retries upgrade to effectively-once appends.
+//! * **Consumer offsets** — consumer groups commit offsets explicitly;
+//!   a crash before commit re-delivers (at-least-once). Exactly-once
+//!   processing is layered on top by `om-dataflow`, which commits offsets
+//!   atomically with its state checkpoint.
+
+pub mod topic;
+
+pub use topic::{Entry, OffsetStore, ProducerHandle, Topic};

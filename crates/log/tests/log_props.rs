@@ -1,0 +1,156 @@
+//! Property-based tests of the partitioned log (the Kafka stand-in).
+//!
+//! Invariants under arbitrary send/retransmit schedules:
+//!
+//! * idempotent producers — however often a `(producer, seq)` pair is
+//!   retransmitted, exactly one record lands, and per-producer records
+//!   appear in sequence order;
+//! * offsets are dense (0..n) per partition;
+//! * offset commits are monotone, and a committed consumer that replays
+//!   from its offset sees exactly the suffix it has not consumed;
+//! * concurrent producers interleave without losing or duplicating
+//!   records.
+
+use om_log::{OffsetStore, Topic};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Appends with randomized duplicate retransmissions: the log must
+    /// contain each sequence exactly once, in order.
+    #[test]
+    fn retransmissions_never_duplicate(
+        // (payload, extra_retransmits) per logical record
+        records in prop::collection::vec((any::<u32>(), 0usize..3), 1..60),
+        // positions to retransmit *earlier* sequences from, late
+        late_retx in prop::collection::vec(any::<prop::sample::Index>(), 0..10),
+    ) {
+        let topic: Arc<Topic<u32>> = Arc::new(Topic::new("t", 1));
+        let producer = topic.producer();
+        let mut sent: Vec<(u64, u32)> = Vec::new();
+
+        for (payload, retx) in &records {
+            let (seq, _offset) = producer.send(0, *payload).unwrap();
+            sent.push((seq, *payload));
+            for _ in 0..*retx {
+                producer.resend(0, seq, *payload).unwrap();
+            }
+        }
+        // Late retransmissions of randomly chosen old sequences.
+        for idx in &late_retx {
+            let (seq, payload) = sent[idx.index(sent.len())];
+            producer.resend(0, seq, payload).unwrap();
+        }
+
+        let entries = topic.read_from(0, 0, usize::MAX);
+        prop_assert_eq!(entries.len(), records.len(), "one record per logical send");
+        for (i, entry) in entries.iter().enumerate() {
+            prop_assert_eq!(entry.offset, i as u64, "offsets are dense");
+            prop_assert_eq!(entry.seq, sent[i].0, "sequence order preserved");
+            prop_assert_eq!(entry.payload, sent[i].1);
+        }
+        let expected_dups: u64 =
+            records.iter().map(|(_, r)| *r as u64).sum::<u64>() + late_retx.len() as u64;
+        prop_assert_eq!(topic.duplicate_count(), expected_dups);
+    }
+
+    /// Concurrent producers on one partition: every send lands exactly
+    /// once and per-producer order is preserved.
+    #[test]
+    fn concurrent_producers_preserve_per_producer_order(
+        per_producer in 1usize..80,
+        producers in 2usize..5,
+    ) {
+        let topic: Arc<Topic<(u64, usize)>> = Arc::new(Topic::new("t", 1));
+        let handles: Vec<_> = (0..producers)
+            .map(|_| {
+                let producer = topic.producer();
+                std::thread::spawn(move || {
+                    let id = producer.id();
+                    for i in 0..per_producer {
+                        producer.send(0, (id, i)).unwrap();
+                    }
+                    id
+                })
+            })
+            .collect();
+        let mut ids = Vec::new();
+        for h in handles {
+            ids.push(h.join().unwrap());
+        }
+
+        let entries = topic.read_from(0, 0, usize::MAX);
+        prop_assert_eq!(entries.len(), per_producer * producers);
+        let mut next: HashMap<u64, usize> = ids.iter().map(|&id| (id, 0)).collect();
+        for entry in entries {
+            let (id, i) = entry.payload;
+            let expected = next.get_mut(&id).expect("known producer");
+            prop_assert_eq!(i, *expected, "per-producer order broken for {}", id);
+            *expected += 1;
+        }
+        for (&id, &n) in &next {
+            prop_assert_eq!(n, per_producer, "producer {} lost records", id);
+        }
+    }
+
+    /// A consumer that repeatedly reads a random batch size and commits
+    /// consumes each record exactly once; stale commits are ignored.
+    #[test]
+    fn commit_replay_consumes_exactly_once(
+        n_records in 1usize..100,
+        batch_sizes in prop::collection::vec(1usize..17, 1..50),
+        stale_commits in prop::collection::vec(any::<u64>(), 0..6),
+    ) {
+        let topic: Arc<Topic<usize>> = Arc::new(Topic::new("t", 1));
+        let producer = topic.producer();
+        for i in 0..n_records {
+            producer.send(0, i).unwrap();
+        }
+        let offsets = OffsetStore::new();
+        let mut consumed = Vec::new();
+        let mut batches = batch_sizes.into_iter().cycle();
+        while offsets.committed("g", 0) < topic.end_offset(0) {
+            let at = offsets.committed("g", 0);
+            let batch = topic.read_from(0, at, batches.next().unwrap());
+            prop_assert!(!batch.is_empty(), "must make progress below end offset");
+            for e in &batch {
+                consumed.push(e.payload);
+            }
+            offsets.commit("g", 0, at + batch.len() as u64);
+            // Stale/duplicate commits must not move the cursor backwards.
+            if let Some(stale) = stale_commits.get(consumed.len() % (stale_commits.len().max(1))) {
+                let before = offsets.committed("g", 0);
+                offsets.commit("g", 0, *stale % (before + 1));
+                prop_assert_eq!(offsets.committed("g", 0), before);
+            }
+        }
+        prop_assert_eq!(consumed, (0..n_records).collect::<Vec<_>>());
+    }
+
+    /// Partitioned appends keep each partition dense and independent.
+    #[test]
+    fn partitions_are_independent(
+        sends in prop::collection::vec((0usize..4, any::<u16>()), 1..120)
+    ) {
+        let topic: Arc<Topic<u16>> = Arc::new(Topic::new("t", 4));
+        let producer = topic.producer();
+        let mut per_partition: Vec<Vec<u16>> = vec![Vec::new(); 4];
+        for (p, v) in &sends {
+            producer.send(*p, *v).unwrap();
+            per_partition[*p].push(*v);
+        }
+        for p in 0..4 {
+            let entries = topic.read_from(p, 0, usize::MAX);
+            let payloads: Vec<u16> = entries.iter().map(|e| e.payload).collect();
+            prop_assert_eq!(&payloads, &per_partition[p]);
+            prop_assert_eq!(topic.end_offset(p), per_partition[p].len() as u64);
+            for (i, e) in entries.iter().enumerate() {
+                prop_assert_eq!(e.offset, i as u64);
+            }
+        }
+        prop_assert_eq!(topic.len(), sends.len());
+    }
+}

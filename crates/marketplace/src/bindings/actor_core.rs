@@ -1,0 +1,314 @@
+//! Shared plumbing for the actor-based platforms: catalog bookkeeping,
+//! ingestion, replica-priced cart adds, delivery fan-out, the two-call
+//! dashboard and snapshot collection.
+
+use om_actor::{Cluster, FaultConfig};
+use om_common::entity::{Customer, Product, Seller, SellerDashboard};
+use om_common::ids::*;
+use om_common::stats::CounterSet;
+use om_common::{Money, OmError, OmResult};
+use parking_lot::RwLock;
+use std::time::Duration;
+
+use super::actor_grains::*;
+use super::actor_msg::{Msg, Reply};
+use crate::api::{CheckoutItem, MarketSnapshot};
+use crate::domain::ProductReplica;
+
+/// Configuration for the actor-based platforms.
+#[derive(Debug, Clone)]
+pub struct ActorPlatformConfig {
+    pub silos: usize,
+    pub workers_per_silo: usize,
+    pub faults: FaultConfig,
+    /// Payment decline probability.
+    pub decline_rate: f64,
+}
+
+impl Default for ActorPlatformConfig {
+    fn default() -> Self {
+        Self {
+            silos: 2,
+            workers_per_silo: 4,
+            faults: FaultConfig::reliable(),
+            decline_rate: 0.05,
+        }
+    }
+}
+
+/// Ingested entity ids (needed for fan-out queries and snapshots).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    pub sellers: RwLock<Vec<SellerId>>,
+    pub customers: RwLock<Vec<CustomerId>>,
+    pub products: RwLock<Vec<ProductId>>,
+}
+
+/// The grain cluster plus the bookkeeping both actor bindings share.
+pub struct ActorCore {
+    pub cluster: Cluster<Msg, Reply>,
+    pub catalog: Catalog,
+    pub tids: IdSequence,
+    pub decline_rate: f64,
+    pub counters: CounterSet,
+}
+
+impl ActorCore {
+    pub fn new(config: &ActorPlatformConfig) -> Self {
+        Self {
+            cluster: build_cluster(config.silos, config.workers_per_silo, config.faults),
+            catalog: Catalog::default(),
+            tids: IdSequence::new(1),
+            decline_rate: config.decline_rate,
+            counters: CounterSet::new(),
+        }
+    }
+
+    pub fn next_tid(&self) -> TransactionId {
+        TransactionId(self.tids.next_raw())
+    }
+
+    // ---- ingestion ------------------------------------------------------
+
+    pub fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
+        let id = seller.id;
+        self.cluster
+            .call(seller_grain(id), Msg::SellerIngest(seller))?
+            .ok()?;
+        self.catalog.sellers.write().push(id);
+        Ok(())
+    }
+
+    pub fn ingest_customer(&self, customer: Customer) -> OmResult<()> {
+        let id = customer.id;
+        self.cluster
+            .call(customer_grain(id), Msg::CustomerIngest(customer))?
+            .ok()?;
+        self.catalog.customers.write().push(id);
+        Ok(())
+    }
+
+    pub fn ingest_product(&self, product: Product, initial_stock: u32) -> OmResult<()> {
+        let id = product.id;
+        let key = StockKey::new(product.seller, id);
+        let replica = ProductReplica {
+            price: product.price,
+            freight_value: product.freight_value,
+            version: product.version,
+            active: product.active,
+        };
+        self.cluster
+            .call(product_grain(id), Msg::ProductIngest(product))?
+            .ok()?;
+        self.cluster
+            .call(replica_grain(id), Msg::ReplicaIngest(replica))?
+            .ok()?;
+        self.cluster
+            .call(
+                stock_grain(id),
+                Msg::StockIngest {
+                    key,
+                    qty: initial_stock,
+                },
+            )?
+            .ok()?;
+        self.catalog.products.write().push(id);
+        Ok(())
+    }
+
+    // ---- cart add (replica-priced) ---------------------------------------
+
+    /// Adds to a cart at the price the cart-side replica currently offers,
+    /// counting stale reads (replica behind the authoritative product).
+    pub fn add_to_cart(&self, customer: CustomerId, item: CheckoutItem) -> OmResult<()> {
+        let replica = match self.cluster.call(replica_grain(item.product), Msg::ReplicaGet)? {
+            Reply::Replica(Some(r)) => r,
+            Reply::Replica(None) => {
+                return Err(OmError::NotFound(format!("replica of {}", item.product)))
+            }
+            other => return unexpected(other),
+        };
+        if !replica.active {
+            return Err(OmError::Rejected(format!("{} deleted", item.product)));
+        }
+        // Staleness audit: compare against the authoritative product.
+        if let Reply::Product(Some(p)) =
+            self.cluster.call(product_grain(item.product), Msg::ProductGet)?
+        {
+            if replica.version < p.version {
+                self.counters.incr("stale_price_reads");
+            }
+            if !p.active {
+                self.counters.incr("deleted_product_cart_adds");
+            }
+        }
+        self.counters.incr("cart_adds");
+        self.cluster
+            .call(
+                cart_grain(customer),
+                Msg::CartAdd(om_common::entity::CartItem {
+                    seller: item.seller,
+                    product: item.product,
+                    quantity: item.quantity,
+                    unit_price: replica.price,
+                    freight_value: replica.freight_value,
+                    product_version: replica.version,
+                }),
+            )?
+            .ok()
+    }
+
+    // ---- price update / product delete -----------------------------------
+
+    pub fn price_update(
+        &self,
+        _seller: SellerId,
+        product: ProductId,
+        price: Money,
+    ) -> OmResult<()> {
+        match self
+            .cluster
+            .call(product_grain(product), Msg::ProductPriceUpdate(price))?
+        {
+            Reply::Count(_) => {
+                self.counters.incr("price_updates");
+                Ok(())
+            }
+            Reply::Err(e) => Err(e),
+            other => unexpected(other),
+        }
+    }
+
+    pub fn product_delete(&self, _seller: SellerId, product: ProductId) -> OmResult<()> {
+        match self.cluster.call(product_grain(product), Msg::ProductDelete)? {
+            Reply::Count(_) => {
+                self.counters.incr("product_deletes");
+                Ok(())
+            }
+            Reply::Err(e) => Err(e),
+            other => unexpected(other),
+        }
+    }
+
+    // ---- update delivery (event path) -------------------------------------
+
+    /// Ranks sellers by oldest undelivered package and delivers the oldest
+    /// order of the first `max_sellers` (paper §II *Update Delivery*).
+    pub fn update_delivery_eventual(&self, max_sellers: usize) -> OmResult<u32> {
+        let sellers: Vec<SellerId> = self.catalog.sellers.read().clone();
+        let mut ranked: Vec<(om_common::time::EventTime, SellerId)> = Vec::new();
+        for s in sellers {
+            if let Reply::OldestUndelivered(Some(t)) =
+                self.cluster.call(shipment_grain(s), Msg::ShipOldest)?
+            {
+                ranked.push((t, s));
+            }
+        }
+        ranked.sort();
+        let mut packages = 0;
+        for (_, s) in ranked.into_iter().take(max_sellers) {
+            if let Reply::Delivered { packages: n, .. } =
+                self.cluster.call(shipment_grain(s), Msg::ShipDeliverOldest)?
+            {
+                packages += n;
+            }
+        }
+        self.counters.incr("update_deliveries");
+        Ok(packages)
+    }
+
+    // ---- seller dashboard (two non-atomic queries) -------------------------
+
+    /// The dashboard's two queries issued back-to-back against the seller
+    /// grain. Because events keep arriving between the calls, the halves
+    /// can reflect different states — the torn-dashboard anomaly the
+    /// auditor counts on platforms without consistent querying.
+    pub fn seller_dashboard(&self, seller: SellerId) -> OmResult<SellerDashboard> {
+        let (amount, count) = match self
+            .cluster
+            .call(seller_grain(seller), Msg::SellerGetAggregate)?
+        {
+            Reply::Aggregate { amount, count } => (amount, count),
+            Reply::Err(e) => return Err(e),
+            other => return unexpected(other),
+        };
+        let entries = match self.cluster.call(seller_grain(seller), Msg::SellerGetEntries)? {
+            Reply::Entries(entries) => entries,
+            Reply::Err(e) => return Err(e),
+            other => return unexpected(other),
+        };
+        self.counters.incr("dashboards");
+        Ok(SellerDashboard {
+            seller,
+            in_progress_amount: amount,
+            in_progress_count: count,
+            entries,
+        })
+    }
+
+    // ---- lifecycle --------------------------------------------------------
+
+    pub fn quiesce(&self) {
+        self.cluster.drain(Duration::from_secs(10));
+    }
+
+    /// Collects the full platform state by fanning out over the catalog.
+    pub fn snapshot(&self) -> OmResult<MarketSnapshot> {
+        let mut snap = MarketSnapshot::default();
+        for &p in self.catalog.products.read().iter() {
+            if let Reply::Product(Some(prod)) =
+                self.cluster.call(product_grain(p), Msg::ProductGet)?
+            {
+                snap.products.push(prod);
+            }
+            if let Reply::Stock(Some(stock)) = self.cluster.call(stock_grain(p), Msg::StockGet)? {
+                snap.stock.push(stock);
+            }
+        }
+        for &c in self.catalog.customers.read().iter() {
+            if let Reply::Orders(orders) = self.cluster.call(order_grain(c), Msg::OrderGetAll)? {
+                snap.orders.extend(orders);
+            }
+            if let Reply::Payments(ps) = self.cluster.call(payment_grain(c), Msg::PaymentGetAll)? {
+                snap.payments.extend(ps);
+            }
+            if let Reply::CustomerProfile(Some(profile)) =
+                self.cluster.call(customer_grain(c), Msg::CustomerGet)?
+            {
+                snap.customers.push(profile);
+            }
+            if let Reply::Count(stuck) =
+                self.cluster.call(order_grain(c), Msg::OrderStuckAssemblies)?
+            {
+                snap.stuck_assemblies += stuck;
+            }
+        }
+        for &s in self.catalog.sellers.read().iter() {
+            if let Reply::SellerProfile(Some(profile)) =
+                self.cluster.call(seller_grain(s), Msg::SellerGetProfile)?
+            {
+                snap.sellers.push(profile);
+            }
+            if let Reply::Packages(pkgs) =
+                self.cluster.call(shipment_grain(s), Msg::ShipGetPackages)?
+            {
+                snap.shipments.extend(pkgs);
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Platform + cluster counters merged.
+    pub fn counters(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut out = self.counters.snapshot();
+        for (k, v) in self.cluster.counters().snapshot() {
+            out.insert(format!("cluster.{k}"), v);
+        }
+        out
+    }
+}
+
+/// Maps a protocol-violation reply into an internal error.
+pub fn unexpected<T>(reply: Reply) -> OmResult<T> {
+    Err(OmError::Internal(format!("unexpected reply {reply:?}")))
+}

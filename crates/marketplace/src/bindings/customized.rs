@@ -1,0 +1,376 @@
+//! The **Customized Orleans** binding (paper §III, Fig. 1): the
+//! full-featured stack that meets *all* prescribed data-management
+//! criteria.
+//!
+//! It composes:
+//!
+//! * the [`TransactionalPlatform`] actor core — all-or-nothing checkout
+//!   via 2PL + 2PC ("solution based on Orleans Transactions");
+//! * `om-kv` in **causal** replication mode for Product→Cart price
+//!   propagation with read-your-writes sessions (the paper's Redis
+//!   primary/secondary deployment);
+//! * `om-mvcc` for **snapshot-consistent seller dashboards** — the order
+//!   entries and the aggregate are maintained in one MVCC transaction per
+//!   business transaction and read back in one snapshot (the paper's
+//!   PostgreSQL offload);
+//! * `om-log` as the audit log of committed business transactions
+//!   (Fig. 1's "log storage").
+//!
+//! Per the paper, the extra machinery "introduces low overhead, hence its
+//! performance is comparable to Orleans Transactions" — experiment E7
+//! verifies that ratio.
+
+use om_common::entity::{Customer, OrderStatus, Product, Seller, SellerDashboard};
+use om_common::ids::*;
+use om_common::{Money, OmError, OmResult};
+use om_kv::{ReplicatedKv, Session};
+use om_mvcc::{IsolationLevel, Table, TxManager};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::actor_core::{unexpected, ActorPlatformConfig};
+use super::actor_grains::{cart_grain, order_grain};
+use super::actor_msg::{Msg, Reply};
+use super::transactional::TransactionalPlatform;
+use crate::api::{
+    CheckoutItem, CheckoutOutcome, CheckoutRequest, MarketSnapshot, MarketplacePlatform,
+    PlatformKind,
+};
+use crate::domain::ProductReplica;
+
+/// Aggregate row of the dashboard store: (amount cents, entry count).
+type AggRow = (i64, u64);
+/// Entry key: (seller, order, product) — ordered so one seller's entries
+/// form a contiguous range.
+type EntryKey = (u64, u64, u64);
+
+/// Configuration for the customized platform.
+#[derive(Debug, Clone)]
+pub struct CustomizedConfig {
+    pub actor: ActorPlatformConfig,
+    /// Shards of the replicated KV store.
+    pub kv_shards: usize,
+    /// Seed for the replication applier.
+    pub seed: u64,
+}
+
+impl Default for CustomizedConfig {
+    fn default() -> Self {
+        Self {
+            actor: ActorPlatformConfig::default(),
+            kv_shards: 16,
+            seed: 0xC057,
+        }
+    }
+}
+
+/// The full-featured stack.
+pub struct CustomizedPlatform {
+    inner: TransactionalPlatform,
+    /// Causal primary/secondary replica of product state (Redis role).
+    kv: ReplicatedKv<u64, ProductReplica>,
+    /// Writer session used by sellers' product updates.
+    writer_session: Mutex<Session<u64>>,
+    /// Per-customer read sessions (read-your-writes on the secondary).
+    customer_sessions: Mutex<HashMap<CustomerId, Session<u64>>>,
+    /// MVCC store for consistent dashboard queries (PostgreSQL role).
+    mvcc: TxManager,
+    entries: Arc<Table<EntryKey, om_common::entity::OrderEntry>>,
+    agg: Arc<Table<u64, AggRow>>,
+    /// Audit log of committed business transactions (log storage role).
+    audit: Arc<om_log::Topic<String>>,
+    audit_producer: om_log::ProducerHandle<String>,
+}
+
+impl CustomizedPlatform {
+    pub fn new(config: CustomizedConfig) -> Self {
+        let mvcc = TxManager::new();
+        let entries = mvcc.create_table("order_entries");
+        let agg = mvcc.create_table("seller_aggregates");
+        let audit: Arc<om_log::Topic<String>> = Arc::new(om_log::Topic::new("audit", 1));
+        let audit_producer = audit.producer();
+        Self {
+            inner: TransactionalPlatform::new(config.actor),
+            kv: ReplicatedKv::new(
+                om_common::config::ReplicationMode::Causal,
+                config.kv_shards,
+                8,
+                config.seed,
+            ),
+            writer_session: Mutex::new(Session::new()),
+            customer_sessions: Mutex::new(HashMap::new()),
+            mvcc,
+            entries,
+            agg,
+            audit,
+            audit_producer,
+        }
+    }
+
+    pub fn inner(&self) -> &TransactionalPlatform {
+        &self.inner
+    }
+
+    /// Replication statistics of the causal KV (criteria auditing).
+    pub fn kv_stats(&self) -> &om_kv::ReplicationStats {
+        self.kv.stats()
+    }
+
+    /// The MVCC store (tests).
+    pub fn mvcc(&self) -> &TxManager {
+        &self.mvcc
+    }
+
+    fn audit_append(&self, line: String) {
+        let _ = self.audit_producer.send(0, line);
+    }
+
+    /// Registers the order's dashboard entries in one MVCC transaction.
+    fn mvcc_add_order(&self, order: &om_common::entity::Order, status: OrderStatus) -> OmResult<()> {
+        self.mvcc.run(IsolationLevel::Snapshot, 16, |tx| {
+            for item in &order.items {
+                self.entries.put(
+                    tx,
+                    (item.seller.0, order.id.0, item.product.0),
+                    om_common::entity::OrderEntry {
+                        order: order.id,
+                        seller: item.seller,
+                        product: item.product,
+                        quantity: item.quantity,
+                        total_amount: item.total_amount,
+                        status,
+                    },
+                );
+                let cur = self.agg.get(tx, &item.seller.0).unwrap_or((0, 0));
+                self.agg.put(
+                    tx,
+                    item.seller.0,
+                    (cur.0 + item.total_amount.cents(), cur.1 + 1),
+                );
+            }
+            Ok(())
+        })
+    }
+
+    /// Retires an order's entries for one seller (delivery/terminal).
+    fn mvcc_retire_order(&self, seller: SellerId, order: OrderId) -> OmResult<()> {
+        self.mvcc.run(IsolationLevel::Snapshot, 16, |tx| {
+            let rows = self.entries.scan_filter(
+                tx,
+                (seller.0, order.0, 0)..=(seller.0, order.0, u64::MAX),
+                |_, _| true,
+            );
+            let mut amount = 0i64;
+            for (key, entry) in &rows {
+                amount += entry.total_amount.cents();
+                self.entries.delete(tx, *key);
+            }
+            if !rows.is_empty() {
+                let cur = self.agg.get(tx, &seller.0).unwrap_or((0, 0));
+                self.agg.put(
+                    tx,
+                    seller.0,
+                    (cur.0 - amount, cur.1.saturating_sub(rows.len() as u64)),
+                );
+            }
+            Ok(())
+        })
+    }
+}
+
+impl MarketplacePlatform for CustomizedPlatform {
+    fn kind(&self) -> PlatformKind {
+        PlatformKind::Customized
+    }
+
+    fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
+        let id = seller.id;
+        self.inner.ingest_seller(seller)?;
+        // Seed the aggregate row so dashboards never miss.
+        self.mvcc.run(IsolationLevel::Snapshot, 4, |tx| {
+            self.agg.put(tx, id.0, (0, 0));
+            Ok(())
+        })
+    }
+
+    fn ingest_customer(&self, customer: Customer) -> OmResult<()> {
+        self.inner.ingest_customer(customer)
+    }
+
+    fn ingest_product(&self, product: Product, initial_stock: u32) -> OmResult<()> {
+        let replica = ProductReplica {
+            price: product.price,
+            freight_value: product.freight_value,
+            version: product.version,
+            active: product.active,
+        };
+        let id = product.id;
+        self.inner.ingest_product(product, initial_stock)?;
+        self.kv.put(&mut self.writer_session.lock(), id.0, replica);
+        Ok(())
+    }
+
+    /// Cart adds price items from the **causal secondary replica** under
+    /// the customer's session. An unsatisfied session read (replication
+    /// lag) falls back to the primary — counted, because the fallback is
+    /// the cost causal consistency charges.
+    fn add_to_cart(&self, customer: CustomerId, item: CheckoutItem) -> OmResult<()> {
+        let core = self.inner.core();
+        let mut sessions = self.customer_sessions.lock();
+        let session = sessions.entry(customer).or_default();
+        let read = self.kv.get_secondary(session, &item.product.0);
+        let replica = if read.satisfied_session {
+            read.value
+        } else {
+            core.counters.incr("kv_session_fallbacks");
+            self.kv.get_primary(session, &item.product.0)
+        };
+        drop(sessions);
+        let replica =
+            replica.ok_or_else(|| OmError::NotFound(format!("replica of {}", item.product)))?;
+        if !replica.active {
+            return Err(OmError::Rejected(format!("{} deleted", item.product)));
+        }
+        core.counters.incr("cart_adds");
+        core.cluster
+            .call(
+                cart_grain(customer),
+                Msg::CartAdd(om_common::entity::CartItem {
+                    seller: item.seller,
+                    product: item.product,
+                    quantity: item.quantity,
+                    unit_price: replica.price,
+                    freight_value: replica.freight_value,
+                    product_version: replica.version,
+                }),
+            )?
+            .ok()
+    }
+
+    fn checkout(&self, request: CheckoutRequest) -> OmResult<CheckoutOutcome> {
+        let customer = request.customer;
+        let outcome = self.inner.checkout(request)?;
+        if let CheckoutOutcome::Placed {
+            order: Some(order_id),
+            ..
+        } = &outcome
+        {
+            // Offload the dashboard projection to the MVCC store, and
+            // append the audit record (Fig. 1 pipeline).
+            let order = match self
+                .inner
+                .core()
+                .cluster
+                .call(order_grain(customer), Msg::OrderGet(*order_id))?
+            {
+                Reply::Orders(mut v) if !v.is_empty() => v.remove(0),
+                Reply::Orders(_) => {
+                    return Err(OmError::Internal(format!(
+                        "committed order {order_id} not found"
+                    )))
+                }
+                other => return unexpected(other),
+            };
+            self.mvcc_add_order(&order, order.status)?;
+            self.audit_append(format!("checkout customer={customer} order={order_id}"));
+        }
+        Ok(outcome)
+    }
+
+    /// Price updates go to the authoritative product grain **and** the
+    /// causal KV primary, which replicates to the secondary the cart
+    /// reads.
+    fn price_update(&self, seller: SellerId, product: ProductId, price: Money) -> OmResult<()> {
+        self.inner.price_update(seller, product, price)?;
+        let mut session = self.writer_session.lock();
+        let current = self.kv.get_primary(&mut session, &product.0);
+        if let Some(mut replica) = current {
+            let version = replica.version + 1;
+            replica.apply_update(price, version);
+            self.kv.put(&mut session, product.0, replica);
+        }
+        drop(session);
+        self.audit_append(format!("price_update product={product}"));
+        Ok(())
+    }
+
+    fn product_delete(&self, seller: SellerId, product: ProductId) -> OmResult<()> {
+        self.inner.product_delete(seller, product)?;
+        let mut session = self.writer_session.lock();
+        if let Some(mut replica) = self.kv.get_primary(&mut session, &product.0) {
+            let version = replica.version + 1;
+            replica.apply_delete(version);
+            self.kv.put(&mut session, product.0, replica);
+        }
+        drop(session);
+        self.audit_append(format!("product_delete product={product}"));
+        Ok(())
+    }
+
+    fn update_delivery(&self, max_sellers: usize) -> OmResult<u32> {
+        // Snapshot the shipment state before delivery so we can retire the
+        // right MVCC entries afterwards.
+        let before = self.inner.update_delivery_with_detail(max_sellers)?;
+        for (seller, order) in &before.delivered_orders {
+            self.mvcc_retire_order(*seller, *order)?;
+        }
+        self.audit_append(format!(
+            "update_delivery packages={}",
+            before.packages
+        ));
+        Ok(before.packages)
+    }
+
+    /// The consistent dashboard: one MVCC snapshot transaction reads both
+    /// the aggregate and the entries — torn reads are impossible by
+    /// construction (paper: "offloads consistent querying ... to
+    /// PostgreSQL").
+    fn seller_dashboard(&self, seller: SellerId) -> OmResult<SellerDashboard> {
+        let tx = self.mvcc.begin(IsolationLevel::Snapshot);
+        let (amount, count) = self.agg.get(&tx, &seller.0).unwrap_or((0, 0));
+        let entries = self
+            .entries
+            .scan_filter(
+                &tx,
+                (seller.0, 0, 0)..=(seller.0, u64::MAX, u64::MAX),
+                |_, _| true,
+            )
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
+        drop(tx);
+        self.inner.core().counters.incr("dashboards");
+        Ok(SellerDashboard {
+            seller,
+            in_progress_amount: Money::from_cents(amount),
+            in_progress_count: count,
+            entries,
+        })
+    }
+
+    fn quiesce(&self) {
+        self.inner.quiesce();
+        self.kv.quiesce();
+    }
+
+    fn snapshot(&self) -> OmResult<MarketSnapshot> {
+        self.inner.snapshot()
+    }
+
+    fn counters(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut out = self.inner.counters();
+        out.insert("kv.applied".into(), self.kv.stats().applied());
+        out.insert(
+            "kv.causal_inversions".into(),
+            self.kv.stats().causal_inversions(),
+        );
+        out.insert("kv.buffered".into(), self.kv.stats().buffered());
+        out.insert("kv.stale_drops".into(), self.kv.stats().stale_drops());
+        let (commits, aborts) = self.mvcc.stats();
+        out.insert("mvcc.commits".into(), commits);
+        out.insert("mvcc.aborts".into(), aborts);
+        out.insert("audit.records".into(), self.audit.len() as u64);
+        out
+    }
+}

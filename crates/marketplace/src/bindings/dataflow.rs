@@ -1,0 +1,1264 @@
+//! The **Apache Flink Statefun** binding (paper §III): exactly-once
+//! stateful dataflow.
+//!
+//! Every service becomes a keyed stateful function; the checkout workflow
+//! is a message cascade inside the dataflow, and clients observe results
+//! through the committed egress. Exactly-once processing is inherited
+//! from `om-dataflow`'s epoch checkpointing: no event of the workflow is
+//! ever lost or double-applied, even across injected crashes — but there
+//! are **no cross-function transactions**, so the atomicity criterion is
+//! met only in the absence of logic-level rejections, and the dashboard
+//! remains two non-atomic reads (paper: Statefun "shows lower scalability
+//! compared to Orleans Eventual but outperforms Orleans Transactions").
+
+use crossbeam::channel::{bounded, Sender};
+use om_common::entity::{
+    Customer, OrderEntry, OrderStatus, PaymentMethod, Product, Seller, SellerDashboard,
+};
+use om_common::entity::CartItem;
+use om_common::event::OrderLineRef;
+use om_common::ids::*;
+use om_common::stats::CounterSet;
+use om_common::time::EventTime;
+use om_common::{Money, OmError, OmResult};
+use om_dataflow::{Address, Dataflow, Effects};
+use parking_lot::{Mutex, RwLock};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use super::kinds;
+use crate::api::{
+    CheckoutItem, CheckoutOutcome, CheckoutRequest, MarketSnapshot, MarketplacePlatform,
+    PackageSnapshot, PlatformKind, StockSnapshot,
+};
+use crate::domain::{
+    CartService, OrderService, PaymentService, ProductReplica, SellerView,
+    ShipmentService, StockService,
+};
+
+/// Function type for the delivery workflow coordinator.
+const DELIVERY_FN: &str = "delivery";
+
+/// Messages flowing through the dataflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DfMsg {
+    // Ingestion.
+    IngestProduct(Product),
+    IngestStock { key: StockKey, qty: u32 },
+    IngestSeller(Seller),
+    IngestCustomer(Customer),
+
+    // Cart / checkout chain.
+    CartAdd(CartItem),
+    Checkout { tid: TransactionId, method: PaymentMethod, decline_rate_bp: u32, at: EventTime },
+    Reserve {
+        tid: TransactionId,
+        customer: CustomerId,
+        item: CartItem,
+        method: PaymentMethod,
+        decline_rate_bp: u32,
+        at: EventTime,
+    },
+    BeginAssembly { tid: TransactionId, customer: CustomerId, expected: usize, at: EventTime },
+    StockAnswer {
+        tid: TransactionId,
+        customer: CustomerId,
+        item: CartItem,
+        reserved: bool,
+        method: PaymentMethod,
+        decline_rate_bp: u32,
+        at: EventTime,
+    },
+    ProcessPayment {
+        tid: TransactionId,
+        order: OrderId,
+        customer: CustomerId,
+        method: PaymentMethod,
+        amount: Money,
+        decline_rate_bp: u32,
+        lines: Vec<OrderLineRef>,
+        at: EventTime,
+    },
+    CreatePackages {
+        tid: TransactionId,
+        shipment: ShipmentId,
+        order: OrderId,
+        customer: CustomerId,
+        lines: Vec<OrderLineRef>,
+        at: EventTime,
+    },
+    SetStatus { order: OrderId, status: OrderStatus, at: EventTime },
+    PackagesDelivered { order: OrderId, packages: u32, at: EventTime },
+    AddEntry(OrderEntry),
+    ApplyStatus { order: OrderId, status: OrderStatus },
+    PaymentResult { approved: bool, amount: Money },
+    CustomerDelivery,
+
+    // Post-payment stock settlement.
+    StockConfirm { qty: u32 },
+    StockCancel { qty: u32 },
+
+    // Product replication.
+    PriceUpdate { price: Money },
+    ProductDelete,
+    ReplicaUpdate { price: Money, version: u64 },
+    ReplicaDelete { version: u64 },
+    StockDelete { version: u64 },
+
+    // Update-delivery workflow.
+    DeliveryRequest { tid: TransactionId, sellers: Vec<SellerId>, max: u32, at: EventTime },
+    OldestQuery { tid: TransactionId },
+    OldestReply { tid: TransactionId, seller: SellerId, oldest: Option<EventTime> },
+    DeliverOldest { tid: TransactionId, at: EventTime },
+    DeliverReply { tid: TransactionId, seller: SellerId, packages: u32 },
+
+    // Egress records.
+    Egress(Eg),
+}
+
+/// Client-visible completions, released at checkpoint commit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Eg {
+    CheckoutDone {
+        tid: TransactionId,
+        order: Option<OrderId>,
+        total: Option<Money>,
+        accepted: bool,
+        reason: String,
+    },
+    DeliveryDone { tid: TransactionId, packages: u32 },
+}
+
+impl Eg {
+    fn tid(&self) -> TransactionId {
+        match self {
+            Eg::CheckoutDone { tid, .. } | Eg::DeliveryDone { tid, .. } => *tid,
+        }
+    }
+}
+
+/// Completion registry: waiters are registered *before* the triggering
+/// submission, and completions that arrive with no waiter yet are parked
+/// until claimed (the pump races client registration otherwise).
+#[derive(Default)]
+struct WaiterRegistry {
+    waiting: HashMap<u64, Sender<Eg>>,
+    orphaned: HashMap<u64, Eg>,
+}
+
+impl WaiterRegistry {
+    fn complete(&mut self, eg: Eg) {
+        let tid = eg.tid().0;
+        match self.waiting.remove(&tid) {
+            Some(tx) => {
+                let _ = tx.send(eg);
+            }
+            None => {
+                self.orphaned.insert(tid, eg);
+            }
+        }
+    }
+
+    fn register(&mut self, tid: u64, tx: Sender<Eg>) {
+        if let Some(eg) = self.orphaned.remove(&tid) {
+            let _ = tx.send(eg);
+        } else {
+            self.waiting.insert(tid, tx);
+        }
+    }
+}
+
+// Keyed state is encoded with the workspace's compact binary codec: the
+// runtime checkpoints raw bytes, and every invocation pays a decode +
+// encode, so the codec's speed directly bounds function throughput
+// (real Statefun uses binary Protobuf state for the same reason).
+fn load<T: DeserializeOwned>(state: Option<&[u8]>) -> Option<T> {
+    state.map(|b| om_common::codec::from_bytes(b).expect("state deserializes"))
+}
+
+fn save<T: Serialize>(out: &mut Effects<DfMsg>, value: &T) {
+    out.set_state(om_common::codec::to_bytes(value).expect("state serializes"));
+}
+
+fn addr(fn_type: &'static str, key: u64) -> Address {
+    Address::new(fn_type, key)
+}
+
+/// Delivery-workflow coordinator state (keyed by transaction id).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DeliveryState {
+    max: u32,
+    waiting_oldest: usize,
+    ranked: Vec<(EventTime, SellerId)>,
+    waiting_deliver: usize,
+    packages: u32,
+    at: EventTime,
+}
+
+/// Builds the marketplace dataflow topology.
+fn build_dataflow(partitions: usize, max_batch: usize) -> Dataflow<DfMsg> {
+    Dataflow::builder()
+        .partitions(partitions)
+        .max_batch(max_batch)
+        .register(kinds::PRODUCT, product_fn)
+        .register(kinds::REPLICA, replica_fn)
+        .register(kinds::STOCK, stock_fn)
+        .register(kinds::CART, cart_fn)
+        .register(kinds::ORDER, order_fn)
+        .register(kinds::PAYMENT, payment_fn)
+        .register(kinds::SHIPMENT, shipment_fn)
+        .register(kinds::SELLER, seller_fn)
+        .register(kinds::CUSTOMER, customer_fn)
+        .register(DELIVERY_FN, delivery_fn)
+        .build()
+}
+
+fn product_fn(key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfMsg>) {
+    let mut product: Option<Product> = load(state);
+    match msg {
+        DfMsg::IngestProduct(p) => {
+            let replica = ProductReplica {
+                price: p.price,
+                freight_value: p.freight_value,
+                version: p.version,
+                active: p.active,
+            };
+            out.send(
+                addr(kinds::REPLICA, key),
+                DfMsg::ReplicaUpdate {
+                    price: replica.price,
+                    version: replica.version,
+                },
+            );
+            save(out, &p);
+            product = Some(p);
+            let _ = product;
+        }
+        DfMsg::PriceUpdate { price } => {
+            if let Some(p) = product.as_mut() {
+                if p.active {
+                    p.set_price(price);
+                    out.send(
+                        addr(kinds::REPLICA, key),
+                        DfMsg::ReplicaUpdate {
+                            price,
+                            version: p.version,
+                        },
+                    );
+                    save(out, p);
+                }
+            }
+        }
+        DfMsg::ProductDelete => {
+            if let Some(p) = product.as_mut() {
+                if p.active {
+                    p.delete();
+                    out.send(addr(kinds::REPLICA, key), DfMsg::ReplicaDelete { version: p.version });
+                    out.send(addr(kinds::STOCK, key), DfMsg::StockDelete { version: p.version });
+                    save(out, p);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn replica_fn(_key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfMsg>) {
+    let mut replica: ProductReplica =
+        load(state).unwrap_or_else(|| ProductReplica::new(Money::ZERO, Money::ZERO));
+    match msg {
+        DfMsg::ReplicaUpdate { price, version } => {
+            // Version 0 is initial ingestion (always applied).
+            if version == 0 {
+                replica.price = price;
+                save(out, &replica);
+            } else if replica.apply_update(price, version) {
+                save(out, &replica);
+            }
+        }
+        DfMsg::ReplicaDelete { version } => {
+            if replica.apply_delete(version) {
+                save(out, &replica);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn stock_fn(key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfMsg>) {
+    let mut stock: Option<StockService> = load(state);
+    match msg {
+        DfMsg::IngestStock { key: sk, qty } => {
+            let mut s = stock.unwrap_or_else(|| StockService::new(sk, 0));
+            s.item.replenish(qty);
+            save(out, &s);
+        }
+        DfMsg::Reserve {
+            tid,
+            customer,
+            item,
+            method,
+            decline_rate_bp,
+            at,
+        } => {
+            let reserved = match stock.as_mut() {
+                Some(s) => {
+                    let ok = s.reserve(item.quantity).is_ok();
+                    save(out, s);
+                    ok
+                }
+                None => false,
+            };
+            out.send(
+                addr(kinds::ORDER, customer.0),
+                DfMsg::StockAnswer {
+                    tid,
+                    customer,
+                    item,
+                    reserved,
+                    method,
+                    decline_rate_bp,
+                    at,
+                },
+            );
+        }
+        DfMsg::StockConfirm { qty } => {
+            if let Some(s) = stock.as_mut() {
+                s.confirm(qty);
+                save(out, s);
+            }
+        }
+        DfMsg::StockCancel { qty } => {
+            if let Some(s) = stock.as_mut() {
+                s.cancel(qty);
+                save(out, s);
+            }
+        }
+        DfMsg::StockDelete { version } => {
+            if let Some(s) = stock.as_mut() {
+                s.apply_product_delete(version);
+                save(out, s);
+            }
+        }
+        _ => {}
+    }
+    let _ = key;
+}
+
+fn cart_fn(key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfMsg>) {
+    let customer = CustomerId(key);
+    let mut cart: CartService = load(state).unwrap_or_else(|| CartService::new(customer));
+    match msg {
+        DfMsg::CartAdd(item) => {
+            let _ = cart.add_item(item);
+            save(out, &cart);
+        }
+        DfMsg::Checkout {
+            tid,
+            method,
+            decline_rate_bp,
+            at,
+        } => match cart.begin_checkout() {
+            Ok(items) => {
+                out.send(
+                    addr(kinds::ORDER, customer.0),
+                    DfMsg::BeginAssembly {
+                        tid,
+                        customer,
+                        expected: items.len(),
+                        at,
+                    },
+                );
+                for item in items {
+                    out.send(
+                        addr(kinds::STOCK, item.product.0),
+                        DfMsg::Reserve {
+                            tid,
+                            customer,
+                            item: item.clone(),
+                            method,
+                            decline_rate_bp,
+                            at,
+                        },
+                    );
+                }
+                cart.finish_checkout();
+                save(out, &cart);
+            }
+            Err(e) => {
+                out.emit(DfMsg::Egress(Eg::CheckoutDone {
+                    tid,
+                    order: None,
+                    total: None,
+                    accepted: false,
+                    reason: e.to_string(),
+                }));
+            }
+        },
+        DfMsg::ReplicaUpdate { price, version } => {
+            // Price replication also reaches open carts in this topology.
+            let mut changed = false;
+            for item in cart.cart.items.clone() {
+                changed |= cart.apply_price_update(item.product, price, version);
+            }
+            if changed {
+                save(out, &cart);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn order_fn(key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfMsg>) {
+    let customer = CustomerId(key);
+    #[derive(Serialize, Deserialize)]
+    struct OrderFnState {
+        svc: OrderService,
+        delivered: BTreeMap<OrderId, u32>,
+    }
+    let mut st: OrderFnState = load(state).unwrap_or_else(|| OrderFnState {
+        svc: OrderService::new(customer),
+        delivered: BTreeMap::new(),
+    });
+    match msg {
+        DfMsg::BeginAssembly {
+            tid, expected, at, ..
+        } => {
+            st.svc.begin_assembly(tid, expected, at);
+            save(out, &st);
+        }
+        DfMsg::StockAnswer {
+            tid,
+            customer: cust,
+            item,
+            reserved,
+            method,
+            decline_rate_bp,
+            at,
+        } => {
+            let completed = st.svc.record_stock_answer(tid, item, reserved);
+            if let Some(done) = completed {
+                if done.confirmed.is_empty() {
+                    out.emit(DfMsg::Egress(Eg::CheckoutDone {
+                        tid,
+                        order: None,
+                        total: None,
+                        accepted: false,
+                        reason: "no line could be reserved".into(),
+                    }));
+                } else {
+                    let at2 = EventTime(at.0 + 1);
+                    match st.svc.create_order(&done.confirmed, at2) {
+                        Ok(order) => {
+                            for item in &order.items {
+                                out.send(
+                                    addr(kinds::SELLER, item.seller.0),
+                                    DfMsg::AddEntry(OrderEntry {
+                                        order: order.id,
+                                        seller: item.seller,
+                                        product: item.product,
+                                        quantity: item.quantity,
+                                        total_amount: item.total_amount,
+                                        status: OrderStatus::Invoiced,
+                                    }),
+                                );
+                            }
+                            let lines: Vec<OrderLineRef> = order
+                                .items
+                                .iter()
+                                .map(|i| OrderLineRef {
+                                    seller: i.seller,
+                                    product: i.product,
+                                    quantity: i.quantity,
+                                    total_amount: i.total_amount,
+                                    freight_value: i.freight_value,
+                                })
+                                .collect();
+                            out.send(
+                                addr(kinds::PAYMENT, cust.0),
+                                DfMsg::ProcessPayment {
+                                    tid,
+                                    order: order.id,
+                                    customer: cust,
+                                    method,
+                                    amount: order.total_invoice(),
+                                    decline_rate_bp,
+                                    lines,
+                                    at: EventTime(at2.0 + 1),
+                                },
+                            );
+                        }
+                        Err(e) => {
+                            out.emit(DfMsg::Egress(Eg::CheckoutDone {
+                                tid,
+                                order: None,
+                                total: None,
+                                accepted: false,
+                                reason: e.to_string(),
+                            }));
+                        }
+                    }
+                }
+            }
+            save(out, &st);
+        }
+        DfMsg::SetStatus { order, status, at } => {
+            let _ = st.svc.set_status(order, status, at);
+            save(out, &st);
+        }
+        DfMsg::PackagesDelivered { order, packages, at } => {
+            let total = {
+                let e = st.delivered.entry(order).or_insert(0);
+                *e += packages;
+                *e
+            };
+            let expected = st
+                .svc
+                .orders
+                .get(&order)
+                .map(|o| o.items.len() as u32)
+                .unwrap_or(u32::MAX);
+            if total >= expected {
+                let _ = st.svc.set_status(order, OrderStatus::Delivered, at);
+                out.send(addr(kinds::CUSTOMER, customer.0), DfMsg::CustomerDelivery);
+            }
+            save(out, &st);
+        }
+        _ => {}
+    }
+}
+
+fn payment_fn(key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfMsg>) {
+    let customer = CustomerId(key);
+    let mut svc: PaymentService = load(state).unwrap_or_else(|| PaymentService::new(customer));
+    if let DfMsg::ProcessPayment {
+        tid,
+        order,
+        customer: cust,
+        method,
+        amount,
+        decline_rate_bp,
+        lines,
+        at,
+    } = msg
+    {
+        let payment = svc.process(
+            order,
+            method,
+            amount,
+            decline_rate_bp as f64 / 10_000.0,
+            at,
+        );
+        save(out, &svc);
+        let status = if payment.approved {
+            OrderStatus::Paid
+        } else {
+            OrderStatus::PaymentFailed
+        };
+        out.send(
+            addr(kinds::ORDER, cust.0),
+            DfMsg::SetStatus {
+                order,
+                status,
+                at: EventTime(at.0 + 1),
+            },
+        );
+        out.send(
+            addr(kinds::CUSTOMER, cust.0),
+            DfMsg::PaymentResult {
+                approved: payment.approved,
+                amount: payment.amount,
+            },
+        );
+        for line in &lines {
+            out.send(
+                addr(kinds::SELLER, line.seller.0),
+                DfMsg::ApplyStatus { order, status },
+            );
+        }
+        for line in &lines {
+            let settle = if payment.approved {
+                DfMsg::StockConfirm { qty: line.quantity }
+            } else {
+                DfMsg::StockCancel { qty: line.quantity }
+            };
+            out.send(addr(kinds::STOCK, line.product.0), settle);
+        }
+        if payment.approved {
+            let mut by_seller: HashMap<SellerId, Vec<OrderLineRef>> = HashMap::new();
+            for line in lines {
+                by_seller.entry(line.seller).or_default().push(line);
+            }
+            for (seller, seller_lines) in by_seller {
+                out.send(
+                    addr(kinds::SHIPMENT, seller.0),
+                    DfMsg::CreatePackages {
+                        tid,
+                        shipment: ShipmentId(order.0),
+                        order,
+                        customer: cust,
+                        lines: seller_lines,
+                        at: EventTime(at.0 + 2),
+                    },
+                );
+            }
+            out.emit(DfMsg::Egress(Eg::CheckoutDone {
+                tid,
+                order: Some(order),
+                total: Some(payment.amount),
+                accepted: true,
+                reason: String::new(),
+            }));
+        } else {
+            out.emit(DfMsg::Egress(Eg::CheckoutDone {
+                tid,
+                order: Some(order),
+                total: None,
+                accepted: false,
+                reason: "payment declined".into(),
+            }));
+        }
+    }
+}
+
+fn shipment_fn(key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfMsg>) {
+    let seller = SellerId(key);
+    let mut svc: ShipmentService = load(state).unwrap_or_else(|| ShipmentService::new(seller));
+    match msg {
+        DfMsg::CreatePackages {
+            shipment,
+            order,
+            customer,
+            lines,
+            at,
+            ..
+        } => {
+            svc.create_packages(shipment, order, customer, &lines, at);
+            save(out, &svc);
+            out.send(
+                addr(kinds::ORDER, customer.0),
+                DfMsg::SetStatus {
+                    order,
+                    status: OrderStatus::InTransit,
+                    at: EventTime(at.0 + 1),
+                },
+            );
+            out.send(
+                addr(kinds::SELLER, seller.0),
+                DfMsg::ApplyStatus {
+                    order,
+                    status: OrderStatus::InTransit,
+                },
+            );
+        }
+        DfMsg::OldestQuery { tid } => {
+            out.send(
+                addr(DELIVERY_FN, tid.0),
+                DfMsg::OldestReply {
+                    tid,
+                    seller,
+                    oldest: svc.oldest_undelivered(),
+                },
+            );
+        }
+        DfMsg::DeliverOldest { tid, at } => {
+            let mut packages = 0;
+            if let Some((order, pkgs)) = svc.deliver_oldest_order(at) {
+                packages = pkgs.len() as u32;
+                save(out, &svc);
+                out.send(
+                    addr(
+                        kinds::ORDER,
+                        crate::bindings::actor_grains::customer_of_order(order).0,
+                    ),
+                    DfMsg::PackagesDelivered {
+                        order,
+                        packages,
+                        at: EventTime(at.0 + 1),
+                    },
+                );
+                out.send(
+                    addr(kinds::SELLER, seller.0),
+                    DfMsg::ApplyStatus {
+                        order,
+                        status: OrderStatus::Delivered,
+                    },
+                );
+            }
+            out.send(
+                addr(DELIVERY_FN, tid.0),
+                DfMsg::DeliverReply {
+                    tid,
+                    seller,
+                    packages,
+                },
+            );
+        }
+        _ => {}
+    }
+}
+
+fn seller_fn(key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfMsg>) {
+    let seller = SellerId(key);
+    let mut view: Option<SellerView> = load(state);
+    match msg {
+        DfMsg::IngestSeller(s) => {
+            save(out, &SellerView::new(s));
+        }
+        DfMsg::AddEntry(entry) => {
+            if let Some(v) = view.as_mut() {
+                v.add_entry(entry);
+                save(out, v);
+            }
+        }
+        DfMsg::ApplyStatus { order, status } => {
+            if let Some(v) = view.as_mut() {
+                v.apply_status(order, status);
+                save(out, v);
+            }
+        }
+        _ => {}
+    }
+    let _ = seller;
+}
+
+fn customer_fn(key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfMsg>) {
+    let mut customer: Option<Customer> = load(state);
+    match msg {
+        DfMsg::IngestCustomer(c) => {
+            save(out, &c);
+        }
+        DfMsg::PaymentResult { approved, amount } => {
+            if let Some(c) = customer.as_mut() {
+                if approved {
+                    c.success_payment_count += 1;
+                    c.total_spent += amount;
+                } else {
+                    c.failed_payment_count += 1;
+                }
+                save(out, c);
+            }
+        }
+        DfMsg::CustomerDelivery => {
+            if let Some(c) = customer.as_mut() {
+                c.delivery_count += 1;
+                save(out, c);
+            }
+        }
+        _ => {}
+    }
+    let _ = key;
+}
+
+fn delivery_fn(key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfMsg>) {
+    let tid = TransactionId(key);
+    match msg {
+        DfMsg::DeliveryRequest {
+            sellers, max, at, ..
+        } => {
+            if sellers.is_empty() {
+                out.emit(DfMsg::Egress(Eg::DeliveryDone { tid, packages: 0 }));
+                return;
+            }
+            let st = DeliveryState {
+                max,
+                waiting_oldest: sellers.len(),
+                ranked: Vec::new(),
+                waiting_deliver: 0,
+                packages: 0,
+                at,
+            };
+            for s in sellers {
+                out.send(addr(kinds::SHIPMENT, s.0), DfMsg::OldestQuery { tid });
+            }
+            save(out, &st);
+        }
+        DfMsg::OldestReply { seller, oldest, .. } => {
+            let Some(mut st) = load::<DeliveryState>(state) else {
+                return;
+            };
+            st.waiting_oldest -= 1;
+            if let Some(t) = oldest {
+                st.ranked.push((t, seller));
+            }
+            if st.waiting_oldest == 0 {
+                st.ranked.sort();
+                let chosen: Vec<SellerId> = st
+                    .ranked
+                    .iter()
+                    .take(st.max as usize)
+                    .map(|&(_, s)| s)
+                    .collect();
+                if chosen.is_empty() {
+                    out.emit(DfMsg::Egress(Eg::DeliveryDone { tid, packages: 0 }));
+                    out.clear_state();
+                    return;
+                }
+                st.waiting_deliver = chosen.len();
+                let at = st.at;
+                for s in chosen {
+                    out.send(addr(kinds::SHIPMENT, s.0), DfMsg::DeliverOldest { tid, at });
+                }
+            }
+            save(out, &st);
+        }
+        DfMsg::DeliverReply { packages, .. } => {
+            let Some(mut st) = load::<DeliveryState>(state) else {
+                return;
+            };
+            st.packages += packages;
+            st.waiting_deliver -= 1;
+            if st.waiting_deliver == 0 {
+                out.emit(DfMsg::Egress(Eg::DeliveryDone {
+                    tid,
+                    packages: st.packages,
+                }));
+                out.clear_state();
+            } else {
+                save(out, &st);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Configuration for the dataflow platform.
+#[derive(Debug, Clone)]
+pub struct DataflowPlatformConfig {
+    pub partitions: usize,
+    /// Checkpoint interval in ingress records per partition.
+    pub max_batch: usize,
+    pub decline_rate: f64,
+}
+
+impl Default for DataflowPlatformConfig {
+    fn default() -> Self {
+        Self {
+            partitions: 4,
+            max_batch: 64,
+            decline_rate: 0.05,
+        }
+    }
+}
+
+/// The Statefun-like platform: topology + pump thread + completion
+/// registry.
+pub struct DataflowPlatform {
+    df: Arc<Dataflow<DfMsg>>,
+    catalog: super::actor_core::Catalog,
+    tids: IdSequence,
+    clock: om_common::time::LogicalClock,
+    decline_rate: f64,
+    counters: Arc<CounterSet>,
+    waiters: Arc<Mutex<WaiterRegistry>>,
+    /// Number of clients currently blocked in [`Self::await_completion`];
+    /// while nonzero the pump yields epoch-driving to them.
+    active_waiters: Arc<std::sync::atomic::AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    pump: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Serializes dashboard reads against pump commits for the staleness
+    /// experiment; not held during normal operation.
+    _reserved: RwLock<()>,
+}
+
+impl DataflowPlatform {
+    pub fn new(config: DataflowPlatformConfig) -> Self {
+        let df = Arc::new(build_dataflow(config.partitions, config.max_batch));
+        let waiters: Arc<Mutex<WaiterRegistry>> = Arc::new(Mutex::new(WaiterRegistry::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(CounterSet::new());
+        let active_waiters = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let pump = {
+            let df = df.clone();
+            let waiters = waiters.clone();
+            let stop = stop.clone();
+            let counters = counters.clone();
+            let active_waiters = active_waiters.clone();
+            std::thread::Builder::new()
+                .name("om-dataflow-pump".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        // Clients awaiting results drive epochs themselves
+                        // (caller-runs); the pump stands down entirely
+                        // while any are active so two drivers never
+                        // interleave on the epoch mutex.
+                        if active_waiters.load(Ordering::Acquire) == 0
+                            && df.pending_ingress() > 0
+                        {
+                            let started = std::time::Instant::now();
+                            let _ = df.run_epoch();
+                            counters
+                                .add("df.pump_epoch_us", started.elapsed().as_micros() as u64);
+                            for record in df.take_committed_egress() {
+                                if let DfMsg::Egress(eg) = record {
+                                    waiters.lock().complete(eg);
+                                }
+                            }
+                        }
+                        // The pump is only the asynchronous fallback for
+                        // fire-and-forget traffic — clients awaiting a
+                        // result drive epochs themselves (caller-runs).
+                        // Sleeping every iteration keeps the pump from
+                        // competing with those callers for the CPU.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                })
+                .expect("spawn pump")
+        };
+        Self {
+            df,
+            catalog: super::actor_core::Catalog::default(),
+            tids: IdSequence::new(1),
+            clock: om_common::time::LogicalClock::new(),
+            decline_rate: config.decline_rate,
+            counters,
+            waiters,
+            active_waiters,
+            stop,
+            pump: Mutex::new(Some(pump)),
+            _reserved: RwLock::new(()),
+        }
+    }
+
+    /// The underlying dataflow (tests / fault injection).
+    pub fn dataflow(&self) -> &Dataflow<DfMsg> {
+        &self.df
+    }
+
+    /// Registers interest in `tid` *before* the triggering submission so
+    /// the pump can never complete it unseen.
+    fn register_waiter(&self, tid: TransactionId) -> crossbeam::channel::Receiver<Eg> {
+        let (tx, rx) = bounded(1);
+        self.waiters.lock().register(tid.0, tx);
+        rx
+    }
+
+    /// Waits for `tid`'s completion while *helping*: if dataflow work is
+    /// pending, the calling thread drives epochs itself (caller-runs, as
+    /// embedded Statefun deployments do) instead of bouncing to the pump
+    /// thread — on small machines the scheduler round-trip per epoch
+    /// otherwise dominates end-to-end latency. The pump thread remains as
+    /// the asynchronous driver for fire-and-forget traffic.
+    fn await_completion(
+        &self,
+        tid: TransactionId,
+        rx: crossbeam::channel::Receiver<Eg>,
+    ) -> OmResult<Eg> {
+        // While registered, the pump stands down (see the pump loop).
+        struct WaiterGuard<'a>(&'a std::sync::atomic::AtomicUsize);
+        impl Drop for WaiterGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        self.active_waiters.fetch_add(1, Ordering::AcqRel);
+        let _guard = WaiterGuard(&self.active_waiters);
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Ok(eg) = rx.try_recv() {
+                return Ok(eg);
+            }
+            // Become the epoch driver if nobody else is; otherwise block
+            // on the completion channel (the current driver delivers our
+            // result the moment its epoch commits).
+            let drove = self.df.pending_ingress() > 0 && self.drive_one_epoch();
+            if !drove {
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(eg) => return Ok(eg),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        return Err(OmError::Unavailable(format!(
+                            "dataflow completion channel for {tid} closed"
+                        )));
+                    }
+                }
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(OmError::Timeout(format!("dataflow completion for {tid}")));
+            }
+        }
+    }
+
+    /// Runs one epoch from the calling thread (if no other driver is
+    /// active) and routes committed egress to waiting clients. Returns
+    /// whether an epoch was actually driven by this call.
+    fn drive_one_epoch(&self) -> bool {
+        let started = std::time::Instant::now();
+        let drove = matches!(self.df.try_run_epoch(), Ok(Some(_)));
+        if drove {
+            self.counters
+                .add("df.caller_epoch_us", started.elapsed().as_micros() as u64);
+        }
+        for record in self.df.take_committed_egress() {
+            if let DfMsg::Egress(eg) = record {
+                self.waiters.lock().complete(eg);
+            }
+        }
+        drove
+    }
+
+    fn replica_view(&self, product: ProductId) -> Option<ProductReplica> {
+        self.df
+            .state_of(addr(kinds::REPLICA, product.0))
+            .and_then(|b| om_common::codec::from_bytes(&b).ok())
+    }
+
+    fn product_view(&self, product: ProductId) -> Option<Product> {
+        self.df
+            .state_of(addr(kinds::PRODUCT, product.0))
+            .and_then(|b| om_common::codec::from_bytes(&b).ok())
+    }
+
+    fn seller_view(&self, seller: SellerId) -> Option<SellerView> {
+        self.df
+            .state_of(addr(kinds::SELLER, seller.0))
+            .and_then(|b| om_common::codec::from_bytes(&b).ok())
+    }
+}
+
+impl Drop for DataflowPlatform {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.pump.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl MarketplacePlatform for DataflowPlatform {
+    fn kind(&self) -> PlatformKind {
+        PlatformKind::Dataflow
+    }
+
+    fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
+        let id = seller.id;
+        self.df.submit(addr(kinds::SELLER, id.0), DfMsg::IngestSeller(seller));
+        self.catalog.sellers.write().push(id);
+        Ok(())
+    }
+
+    fn ingest_customer(&self, customer: Customer) -> OmResult<()> {
+        let id = customer.id;
+        self.df
+            .submit(addr(kinds::CUSTOMER, id.0), DfMsg::IngestCustomer(customer));
+        self.catalog.customers.write().push(id);
+        Ok(())
+    }
+
+    fn ingest_product(&self, product: Product, initial_stock: u32) -> OmResult<()> {
+        let id = product.id;
+        let key = StockKey::new(product.seller, id);
+        self.df
+            .submit(addr(kinds::PRODUCT, id.0), DfMsg::IngestProduct(product));
+        self.df.submit(
+            addr(kinds::STOCK, id.0),
+            DfMsg::IngestStock {
+                key,
+                qty: initial_stock,
+            },
+        );
+        self.catalog.products.write().push(id);
+        Ok(())
+    }
+
+    fn add_to_cart(&self, customer: CustomerId, item: CheckoutItem) -> OmResult<()> {
+        let replica = self
+            .replica_view(item.product)
+            .ok_or_else(|| OmError::NotFound(format!("replica of {}", item.product)))?;
+        if !replica.active {
+            return Err(OmError::Rejected(format!("{} deleted", item.product)));
+        }
+        if let Some(p) = self.product_view(item.product) {
+            if replica.version < p.version {
+                self.counters.incr("stale_price_reads");
+            }
+        }
+        self.counters.incr("cart_adds");
+        self.df.submit(
+            addr(kinds::CART, customer.0),
+            DfMsg::CartAdd(CartItem {
+                seller: item.seller,
+                product: item.product,
+                quantity: item.quantity,
+                unit_price: replica.price,
+                freight_value: replica.freight_value,
+                product_version: replica.version,
+            }),
+        );
+        Ok(())
+    }
+
+    fn checkout(&self, request: CheckoutRequest) -> OmResult<CheckoutOutcome> {
+        let tid = TransactionId(self.tids.next_raw());
+        let at = self.clock.tick();
+        let rx = self.register_waiter(tid);
+        self.df.submit(
+            addr(kinds::CART, request.customer.0),
+            DfMsg::Checkout {
+                tid,
+                method: request.method,
+                decline_rate_bp: super::actor_msg::to_basis_points(self.decline_rate),
+                at,
+            },
+        );
+        match self.await_completion(tid, rx)? {
+            Eg::CheckoutDone {
+                order,
+                total,
+                accepted,
+                reason,
+                ..
+            } => {
+                if accepted {
+                    self.counters.incr("checkouts_committed");
+                    Ok(CheckoutOutcome::Placed { order, total })
+                } else {
+                    self.counters.incr("checkouts_rejected");
+                    Ok(CheckoutOutcome::Rejected(reason))
+                }
+            }
+            other => Err(OmError::Internal(format!("unexpected egress {other:?}"))),
+        }
+    }
+
+    fn price_update(&self, _seller: SellerId, product: ProductId, price: Money) -> OmResult<()> {
+        self.counters.incr("price_updates");
+        self.df
+            .submit(addr(kinds::PRODUCT, product.0), DfMsg::PriceUpdate { price });
+        Ok(())
+    }
+
+    fn product_delete(&self, _seller: SellerId, product: ProductId) -> OmResult<()> {
+        self.counters.incr("product_deletes");
+        self.df
+            .submit(addr(kinds::PRODUCT, product.0), DfMsg::ProductDelete);
+        Ok(())
+    }
+
+    fn update_delivery(&self, max_sellers: usize) -> OmResult<u32> {
+        let tid = TransactionId(self.tids.next_raw());
+        let sellers: Vec<SellerId> = self.catalog.sellers.read().clone();
+        let at = self.clock.tick();
+        let rx = self.register_waiter(tid);
+        self.df.submit(
+            addr(DELIVERY_FN, tid.0),
+            DfMsg::DeliveryRequest {
+                tid,
+                sellers,
+                max: max_sellers as u32,
+                at,
+            },
+        );
+        match self.await_completion(tid, rx)? {
+            Eg::DeliveryDone { packages, .. } => {
+                self.counters.incr("update_deliveries");
+                Ok(packages)
+            }
+            other => Err(OmError::Internal(format!("unexpected egress {other:?}"))),
+        }
+    }
+
+    /// Two reads of the committed seller state. The pump may commit a
+    /// checkpoint between them, so the halves can disagree — the
+    /// consistent-querying criterion Statefun does not provide.
+    fn seller_dashboard(&self, seller: SellerId) -> OmResult<SellerDashboard> {
+        let v1 = self
+            .seller_view(seller)
+            .ok_or_else(|| OmError::NotFound(format!("{seller}")))?;
+        let (amount, count) = v1.aggregate();
+        let v2 = self
+            .seller_view(seller)
+            .ok_or_else(|| OmError::NotFound(format!("{seller}")))?;
+        self.counters.incr("dashboards");
+        Ok(SellerDashboard {
+            seller: v1.seller.id,
+            in_progress_amount: amount,
+            in_progress_count: count,
+            entries: v2.entry_list(),
+        })
+    }
+
+    fn quiesce(&self) {
+        // Wait until the pump drains the ingress.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while self.df.pending_ingress() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn snapshot(&self) -> OmResult<MarketSnapshot> {
+        let mut snap = MarketSnapshot::default();
+        for &p in self.catalog.products.read().iter() {
+            if let Some(prod) = self.product_view(p) {
+                snap.products.push(prod);
+            }
+            if let Some(b) = self.df.state_of(addr(kinds::STOCK, p.0)) {
+                if let Ok(s) = om_common::codec::from_bytes::<StockService>(&b) {
+                    snap.stock.push(StockSnapshot {
+                        item: s.item.clone(),
+                        qty_sold: s.qty_sold,
+                    });
+                }
+            }
+        }
+        for &c in self.catalog.customers.read().iter() {
+            if let Some(b) = self.df.state_of(addr(kinds::ORDER, c.0)) {
+                // Must mirror order_fn's state exactly: the binary codec
+                // is positional, so partial probe structs cannot skip
+                // fields the way JSON could.
+                #[derive(Deserialize)]
+                struct OrderFnState {
+                    svc: OrderService,
+                    #[allow(dead_code)]
+                    delivered: BTreeMap<OrderId, u32>,
+                }
+                if let Ok(st) = om_common::codec::from_bytes::<OrderFnState>(&b) {
+                    snap.stuck_assemblies += st.svc.stuck_assemblies() as u64;
+                    snap.orders.extend(st.svc.orders.values().cloned());
+                }
+            }
+            if let Some(b) = self.df.state_of(addr(kinds::PAYMENT, c.0)) {
+                if let Ok(svc) = om_common::codec::from_bytes::<PaymentService>(&b) {
+                    snap.payments.extend(svc.payments.values().cloned());
+                }
+            }
+            if let Some(b) = self.df.state_of(addr(kinds::CUSTOMER, c.0)) {
+                if let Ok(profile) = om_common::codec::from_bytes::<Customer>(&b) {
+                    snap.customers.push(profile);
+                }
+            }
+        }
+        for &s in self.catalog.sellers.read().iter() {
+            if let Some(v) = self.seller_view(s) {
+                snap.sellers.push(v.seller.clone());
+            }
+            if let Some(b) = self.df.state_of(addr(kinds::SHIPMENT, s.0)) {
+                if let Ok(svc) = om_common::codec::from_bytes::<ShipmentService>(&b) {
+                    snap.shipments.extend(svc.packages.iter().map(|p| PackageSnapshot {
+                        order: p.order,
+                        seller: p.seller,
+                        product: p.product,
+                        delivered: p.status == om_common::entity::PackageStatus::Delivered,
+                        shipped_at: p.shipped_at.raw(),
+                    }));
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    fn counters(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut out = self.counters.snapshot();
+        let (epochs, replays, invocations, unroutable) = self.df.stats();
+        out.insert("df.epochs".into(), epochs);
+        out.insert("df.replays".into(), replays);
+        out.insert("df.invocations".into(), invocations);
+        out.insert("df.unroutable".into(), unroutable);
+        out
+    }
+}

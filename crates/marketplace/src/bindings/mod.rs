@@ -1,0 +1,35 @@
+//! The four platform bindings of the Online Marketplace (paper §III).
+//!
+//! | module | paper implementation |
+//! |---|---|
+//! | [`eventual`] | Orleans Eventual |
+//! | [`transactional`] | Orleans Transactions |
+//! | [`dataflow`] | Apache Flink Statefun |
+//! | [`customized`] | Customized Orleans (Fig. 1) |
+//!
+//! The two actor-based bindings share one grain message vocabulary
+//! ([`actor_msg`]) and grain kinds; they differ in *how* the checkout
+//! workflow traverses the grains (asynchronous event cascade vs
+//! client-coordinated 2PC) — which is precisely the axis the paper
+//! evaluates.
+
+pub mod actor_core;
+pub mod actor_grains;
+pub mod actor_msg;
+pub mod customized;
+pub mod dataflow;
+pub mod eventual;
+pub mod transactional;
+
+/// Grain kind names shared by the actor bindings.
+pub mod kinds {
+    pub const PRODUCT: &str = "product";
+    pub const REPLICA: &str = "replica";
+    pub const STOCK: &str = "stock";
+    pub const CART: &str = "cart";
+    pub const ORDER: &str = "order";
+    pub const PAYMENT: &str = "payment";
+    pub const SHIPMENT: &str = "shipment";
+    pub const SELLER: &str = "seller";
+    pub const CUSTOMER: &str = "customer";
+}

@@ -1,0 +1,521 @@
+//! The **Orleans Transactions** binding (paper §III): ACID distributed
+//! transactions over grains.
+//!
+//! Checkout runs as a client-coordinated transaction: every state change
+//! (stock reservations, order creation, payment, seller entries, customer
+//! stats, shipment packages) is staged under per-grain write locks
+//! (wait-die) and made visible atomically by two-phase commit. This buys
+//! the all-or-nothing criterion at the cost the paper calls
+//! "considerable overhead" — measured directly by experiment E5.
+
+use om_actor::tx::{Coordinator, Participant};
+use om_actor::{Cluster, GrainId};
+use om_common::entity::{Customer, OrderStatus, Product, Seller, SellerDashboard};
+use om_common::event::OrderLineRef;
+use om_common::ids::*;
+use om_common::{Money, OmError, OmResult};
+use std::collections::HashMap;
+use std::time::Duration;
+
+use super::actor_core::{unexpected, ActorCore, ActorPlatformConfig};
+use super::actor_grains::*;
+use super::actor_msg::{to_basis_points, Msg, Reply};
+use crate::api::{
+    CheckoutItem, CheckoutOutcome, CheckoutRequest, MarketSnapshot, MarketplacePlatform,
+    PlatformKind,
+};
+
+/// How many times a transaction restarts after wait-die kills or lock
+/// waits before giving up.
+const MAX_TX_RESTARTS: usize = 32;
+/// How many times a single lock acquire is retried while waiting.
+const MAX_LOCK_RETRIES: usize = 200;
+const LOCK_RETRY_SLEEP: Duration = Duration::from_micros(100);
+
+/// A grain acting as a 2PC participant.
+struct GrainParticipant<'a> {
+    cluster: &'a Cluster<Msg, Reply>,
+    id: GrainId,
+}
+
+impl Participant for GrainParticipant<'_> {
+    fn prepare(&self, tid: TransactionId) -> OmResult<bool> {
+        match self.cluster.call(self.id, Msg::TxPrepare { tid })? {
+            Reply::Vote(v) => Ok(v),
+            Reply::Err(e) => Err(e),
+            other => unexpected(other),
+        }
+    }
+
+    fn commit(&self, tid: TransactionId) -> OmResult<()> {
+        self.cluster.call(self.id, Msg::TxCommit { tid })?.ok()
+    }
+
+    fn abort(&self, tid: TransactionId) -> OmResult<()> {
+        self.cluster.call(self.id, Msg::TxAbort { tid })?.ok()
+    }
+}
+
+/// Outcome of a transactional Update Delivery.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryDetail {
+    pub packages: u32,
+    /// `(seller, order)` pairs whose packages were delivered.
+    pub delivered_orders: Vec<(SellerId, OrderId)>,
+}
+
+/// The ACID actor platform.
+pub struct TransactionalPlatform {
+    core: ActorCore,
+    coordinator: Coordinator,
+}
+
+impl TransactionalPlatform {
+    pub fn new(config: ActorPlatformConfig) -> Self {
+        Self {
+            core: ActorCore::new(&config),
+            coordinator: Coordinator::new(),
+        }
+    }
+
+    pub fn core(&self) -> &ActorCore {
+        &self.core
+    }
+
+    /// The 2PC decision log (atomicity auditing).
+    pub fn tx_log(&self) -> &om_actor::tx::TxLog {
+        self.coordinator.log()
+    }
+
+    /// Issues a transactional grain op, waiting out lock conflicts.
+    /// `Err(TxWaitDie)` and exhausted waits bubble up to restart the
+    /// enclosing transaction.
+    fn tx_call(&self, id: GrainId, msg: Msg) -> OmResult<Reply> {
+        for _ in 0..MAX_LOCK_RETRIES {
+            match self.core.cluster.call(id, msg.clone())? {
+                Reply::Err(OmError::Conflict(_)) => {
+                    self.core.counters.incr("lock_waits");
+                    std::thread::sleep(LOCK_RETRY_SLEEP);
+                }
+                Reply::Err(e) => return Err(e),
+                reply => return Ok(reply),
+            }
+        }
+        Err(OmError::TxWaitDie("lock wait exhausted".into()))
+    }
+
+    fn abort_all(&self, tid: TransactionId, participants: &[GrainId]) {
+        for &id in participants {
+            let _ = self.core.cluster.call(id, Msg::TxAbort { tid });
+        }
+    }
+
+    /// One checkout attempt under `tid`. On success returns the outcome;
+    /// on a retryable failure the caller restarts with the same tid
+    /// (wait-die keeps its age/priority).
+    fn try_checkout(
+        &self,
+        tid: TransactionId,
+        request: &CheckoutRequest,
+        items: &[om_common::entity::CartItem],
+    ) -> OmResult<CheckoutOutcome> {
+        let mut participants: Vec<GrainId> = Vec::new();
+        let result = (|| -> OmResult<CheckoutOutcome> {
+            // 1. Reserve stock under write locks.
+            let mut reserved: Vec<om_common::entity::CartItem> = Vec::new();
+            for item in items {
+                let stock = stock_grain(item.product);
+                if !participants.contains(&stock) {
+                    participants.push(stock);
+                }
+                match self.tx_call(
+                    stock,
+                    Msg::TxStockReserve {
+                        tid,
+                        qty: item.quantity,
+                    },
+                ) {
+                    Ok(Reply::Ok) => reserved.push(item.clone()),
+                    Ok(Reply::Err(OmError::Rejected(_))) | Err(OmError::Rejected(_)) => {
+                        // Out of stock / deleted: line dropped, lock kept
+                        // until the decision (the participant votes yes on
+                        // an unchanged staged state).
+                        self.core.counters.incr("checkout_lines_rejected");
+                    }
+                    Ok(other) => return unexpected(other),
+                    Err(e) => return Err(e),
+                }
+            }
+            if reserved.is_empty() {
+                // Release the write locks the failed reservations still
+                // hold before surfacing the rejection.
+                self.abort_all(tid, &participants);
+                return Ok(CheckoutOutcome::Rejected("no line could be reserved".into()));
+            }
+
+            // 2. Create the order.
+            let order_g = order_grain(request.customer);
+            participants.push(order_g);
+            let at = om_common::time::EventTime(self.core.cluster.clock().tick().raw());
+            let order = match self.tx_call(
+                order_g,
+                Msg::TxOrderCreate {
+                    tid,
+                    items: reserved.clone(),
+                    at,
+                },
+            )? {
+                Reply::Order(o) => o,
+                other => return unexpected(other),
+            };
+
+            // 3. Process payment.
+            let payment_g = payment_grain(request.customer);
+            participants.push(payment_g);
+            let payment = match self.tx_call(
+                payment_g,
+                Msg::TxPaymentProcess {
+                    tid,
+                    order: order.id,
+                    method: request.method,
+                    amount: order.total_invoice(),
+                    decline_rate_bp: to_basis_points(self.core.decline_rate),
+                },
+            )? {
+                Reply::Payment(p) => p,
+                other => return unexpected(other),
+            };
+            let status = if payment.approved {
+                OrderStatus::Paid
+            } else {
+                OrderStatus::PaymentFailed
+            };
+            match self.tx_call(order_g, Msg::TxOrderSetStatus { tid, order: order.id, status })? {
+                Reply::Ok => {}
+                other => return unexpected(other),
+            }
+
+            // 4. Confirm or release the reservations.
+            for item in &reserved {
+                let msg = if payment.approved {
+                    Msg::TxStockConfirm {
+                        tid,
+                        qty: item.quantity,
+                    }
+                } else {
+                    Msg::TxStockCancel {
+                        tid,
+                        qty: item.quantity,
+                    }
+                };
+                match self.tx_call(stock_grain(item.product), msg)? {
+                    Reply::Ok => {}
+                    other => return unexpected(other),
+                }
+            }
+
+            // 5. Seller dashboard entries + customer stats + shipment.
+            let mut lines_by_seller: HashMap<SellerId, Vec<OrderLineRef>> = HashMap::new();
+            for item in &order.items {
+                lines_by_seller
+                    .entry(item.seller)
+                    .or_default()
+                    .push(OrderLineRef {
+                        seller: item.seller,
+                        product: item.product,
+                        quantity: item.quantity,
+                        total_amount: item.total_amount,
+                        freight_value: item.freight_value,
+                    });
+                let seller_g = seller_grain(item.seller);
+                if !participants.contains(&seller_g) {
+                    participants.push(seller_g);
+                }
+                match self.tx_call(
+                    seller_g,
+                    Msg::TxSellerAddEntry {
+                        tid,
+                        entry: om_common::entity::OrderEntry {
+                            order: order.id,
+                            seller: item.seller,
+                            product: item.product,
+                            quantity: item.quantity,
+                            total_amount: item.total_amount,
+                            status,
+                        },
+                    },
+                )? {
+                    Reply::Ok => {}
+                    other => return unexpected(other),
+                }
+            }
+            let customer_g = customer_grain(request.customer);
+            participants.push(customer_g);
+            match self.tx_call(
+                customer_g,
+                Msg::TxCustomerPaymentResult {
+                    tid,
+                    approved: payment.approved,
+                    amount: payment.amount,
+                },
+            )? {
+                Reply::Ok => {}
+                other => return unexpected(other),
+            }
+            if payment.approved {
+                for (seller, lines) in lines_by_seller {
+                    let ship_g = shipment_grain(seller);
+                    participants.push(ship_g);
+                    match self.tx_call(
+                        ship_g,
+                        Msg::TxShipCreatePackages {
+                            tid,
+                            shipment: ShipmentId(order.id.0),
+                            order: order.id,
+                            customer: request.customer,
+                            lines,
+                        },
+                    )? {
+                        Reply::Count(_) => {}
+                        other => return unexpected(other),
+                    }
+                    // Paid orders with shipments are in transit.
+                    match self.tx_call(
+                        seller_grain(seller),
+                        Msg::TxSellerApplyStatus {
+                            tid,
+                            order: order.id,
+                            status: OrderStatus::InTransit,
+                        },
+                    )? {
+                        Reply::Ok => {}
+                        other => return unexpected(other),
+                    }
+                }
+                match self.tx_call(
+                    order_g,
+                    Msg::TxOrderSetStatus {
+                        tid,
+                        order: order.id,
+                        status: OrderStatus::InTransit,
+                    },
+                )? {
+                    Reply::Ok => {}
+                    other => return unexpected(other),
+                }
+            }
+
+            // 6. Two-phase commit.
+            let handles: Vec<GrainParticipant<'_>> = participants
+                .iter()
+                .map(|&id| GrainParticipant {
+                    cluster: &self.core.cluster,
+                    id,
+                })
+                .collect();
+            let refs: Vec<&dyn Participant> =
+                handles.iter().map(|h| h as &dyn Participant).collect();
+            self.coordinator.run_2pc(tid, &refs)?;
+
+            if payment.approved {
+                Ok(CheckoutOutcome::Placed {
+                    order: Some(order.id),
+                    total: Some(order.total_invoice()),
+                })
+            } else {
+                Ok(CheckoutOutcome::Rejected("payment declined".into()))
+            }
+        })();
+
+        if result.is_err() {
+            // Whatever failed, no lock may outlive the attempt: leaked
+            // write locks would starve every later transaction on the
+            // same grains.
+            self.abort_all(tid, &participants);
+        }
+        result
+    }
+}
+
+impl MarketplacePlatform for TransactionalPlatform {
+    fn kind(&self) -> PlatformKind {
+        PlatformKind::Transactional
+    }
+
+    fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
+        self.core.ingest_seller(seller)
+    }
+
+    fn ingest_customer(&self, customer: Customer) -> OmResult<()> {
+        self.core.ingest_customer(customer)
+    }
+
+    fn ingest_product(&self, product: Product, initial_stock: u32) -> OmResult<()> {
+        self.core.ingest_product(product, initial_stock)
+    }
+
+    fn add_to_cart(&self, customer: CustomerId, item: CheckoutItem) -> OmResult<()> {
+        self.core.add_to_cart(customer, item)
+    }
+
+    fn checkout(&self, request: CheckoutRequest) -> OmResult<CheckoutOutcome> {
+        // Seal the cart and take its items.
+        let items = match self
+            .core
+            .cluster
+            .call(cart_grain(request.customer), Msg::CartBeginCheckout)?
+        {
+            Reply::Items(items) => items,
+            Reply::Err(e) if e.label() == "rejected" => {
+                return Ok(CheckoutOutcome::Rejected(e.to_string()))
+            }
+            Reply::Err(e) => return Err(e),
+            other => return unexpected(other),
+        };
+
+        let tid = TransactionId(self.coordinator.begin().0);
+        let mut restarts = 0;
+        loop {
+            match self.try_checkout(tid, &request, &items) {
+                Ok(outcome) => {
+                    self.core
+                        .cluster
+                        .call(cart_grain(request.customer), Msg::CartFinishCheckout)?
+                        .ok()?;
+                    match &outcome {
+                        CheckoutOutcome::Placed { .. } => {
+                            self.core.counters.incr("checkouts_committed")
+                        }
+                        CheckoutOutcome::Rejected(_) => {
+                            self.core.counters.incr("checkouts_rejected")
+                        }
+                    }
+                    return Ok(outcome);
+                }
+                Err(e) if e.is_retryable() && restarts < MAX_TX_RESTARTS => {
+                    restarts += 1;
+                    self.core.counters.incr("tx_restarts");
+                    std::thread::sleep(LOCK_RETRY_SLEEP * restarts as u32);
+                }
+                Err(e) => {
+                    self.core
+                        .cluster
+                        .call(cart_grain(request.customer), Msg::CartAbortCheckout)?
+                        .ok()?;
+                    self.core.counters.incr("checkouts_failed");
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn price_update(&self, seller: SellerId, product: ProductId, price: Money) -> OmResult<()> {
+        self.core.price_update(seller, product, price)
+    }
+
+    fn product_delete(&self, seller: SellerId, product: ProductId) -> OmResult<()> {
+        self.core.product_delete(seller, product)
+    }
+
+    fn update_delivery(&self, max_sellers: usize) -> OmResult<u32> {
+        Ok(self.update_delivery_with_detail(max_sellers)?.packages)
+    }
+
+    fn seller_dashboard(&self, seller: SellerId) -> OmResult<SellerDashboard> {
+        self.core.seller_dashboard(seller)
+    }
+
+    fn quiesce(&self) {
+        self.core.quiesce();
+    }
+
+    fn snapshot(&self) -> OmResult<MarketSnapshot> {
+        self.core.snapshot()
+    }
+
+    fn counters(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut out = self.core.counters();
+        out.insert("tx_commits".into(), self.coordinator.log().commits());
+        out.insert("tx_aborts".into(), self.coordinator.log().aborts());
+        out
+    }
+}
+
+impl TransactionalPlatform {
+    /// Update Delivery as a transaction across the selected shipment
+    /// grains; order/seller status propagation happens post-commit as
+    /// events (the paper's tx binding cannot make those causally atomic
+    /// either — shipment state is the transactional footprint). Returns
+    /// the delivered `(seller, order)` detail for downstream projections
+    /// (the customized binding retires MVCC entries from it).
+    pub fn update_delivery_with_detail(&self, max_sellers: usize) -> OmResult<DeliveryDetail> {
+        let sellers: Vec<SellerId> = self.core.catalog.sellers.read().clone();
+        let mut ranked: Vec<(om_common::time::EventTime, SellerId)> = Vec::new();
+        for s in sellers {
+            if let Reply::OldestUndelivered(Some(t)) = self
+                .core
+                .cluster
+                .call(shipment_grain(s), Msg::ShipOldest)?
+            {
+                ranked.push((t, s));
+            }
+        }
+        ranked.sort();
+        let chosen: Vec<SellerId> = ranked.into_iter().take(max_sellers).map(|(_, s)| s).collect();
+        if chosen.is_empty() {
+            return Ok(DeliveryDetail::default());
+        }
+
+        let tid = TransactionId(self.coordinator.begin().0);
+        let mut delivered: Vec<(SellerId, OrderId, u32)> = Vec::new();
+        let mut participants = Vec::new();
+        for &s in &chosen {
+            let g = shipment_grain(s);
+            participants.push(g);
+            match self.tx_call(g, Msg::TxShipDeliverOldest { tid }) {
+                Ok(Reply::Delivered {
+                    order: Some(order),
+                    packages,
+                }) => delivered.push((s, order, packages)),
+                Ok(Reply::Delivered { order: None, .. }) => {}
+                Ok(other) => {
+                    self.abort_all(tid, &participants);
+                    return unexpected(other);
+                }
+                Err(e) => {
+                    self.abort_all(tid, &participants);
+                    return Err(e);
+                }
+            }
+        }
+        let handles: Vec<GrainParticipant<'_>> = participants
+            .iter()
+            .map(|&id| GrainParticipant {
+                cluster: &self.core.cluster,
+                id,
+            })
+            .collect();
+        let refs: Vec<&dyn Participant> = handles.iter().map(|h| h as &dyn Participant).collect();
+        self.coordinator.run_2pc(tid, &refs)?;
+
+        // Post-commit propagation to order and seller views.
+        let mut detail = DeliveryDetail::default();
+        for (seller, order, n) in delivered {
+            detail.packages += n;
+            detail.delivered_orders.push((seller, order));
+            self.core.cluster.notify(
+                order_grain(customer_of_order(order)),
+                Msg::OrderPackagesDelivered { order, packages: n },
+            );
+            self.core.cluster.notify(
+                seller_grain(seller),
+                Msg::SellerApplyStatus {
+                    order,
+                    status: OrderStatus::Delivered,
+                },
+            );
+        }
+        self.core.counters.incr("update_deliveries");
+        Ok(detail)
+    }
+}

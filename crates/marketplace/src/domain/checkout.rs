@@ -1,0 +1,117 @@
+//! Checkout price reconciliation (paper §II: Cart "applies updated prices
+//! (received from Product) to items").
+
+use om_common::entity::CartItem;
+use om_common::ids::ProductId;
+use om_common::Money;
+
+/// Where a reconciled price came from — lets the auditor distinguish
+/// fresh reads from stale-replica reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriceSource {
+    /// Replica had a version >= the one in the cart.
+    Fresh,
+    /// Replica was behind the cart's observed version (causal staleness).
+    Stale,
+    /// Product missing from the replica (e.g. deleted).
+    Missing,
+}
+
+/// Reconciles cart items against replicated product prices.
+///
+/// For each item, looks up `(price, version, active)` in the replica via
+/// `lookup`. Items whose product is inactive/missing are dropped
+/// (deleted-product accounting). Returns the reconciled items and, per
+/// item, the [`PriceSource`] observed — `Stale` entries are
+/// read-your-writes violations when the cart had already seen a newer
+/// version.
+pub fn reconcile_prices<F>(
+    items: Vec<CartItem>,
+    mut lookup: F,
+) -> (Vec<CartItem>, Vec<(ProductId, PriceSource)>)
+where
+    F: FnMut(ProductId) -> Option<(Money, u64, bool)>,
+{
+    let mut reconciled = Vec::with_capacity(items.len());
+    let mut sources = Vec::with_capacity(items.len());
+    for mut item in items {
+        match lookup(item.product) {
+            Some((price, version, active)) if active => {
+                let source = if version >= item.product_version {
+                    PriceSource::Fresh
+                } else {
+                    PriceSource::Stale
+                };
+                if version > item.product_version {
+                    item.unit_price = price;
+                    item.product_version = version;
+                }
+                sources.push((item.product, source));
+                reconciled.push(item);
+            }
+            _ => {
+                sources.push((item.product, PriceSource::Missing));
+                // Deleted or unknown product: line dropped from checkout.
+            }
+        }
+    }
+    (reconciled, sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_common::ids::SellerId;
+
+    fn item(product: u64, version: u64, cents: i64) -> CartItem {
+        CartItem {
+            seller: SellerId(1),
+            product: ProductId(product),
+            quantity: 2,
+            unit_price: Money::from_cents(cents),
+            freight_value: Money::ZERO,
+            product_version: version,
+        }
+    }
+
+    #[test]
+    fn fresh_replica_updates_price() {
+        let (out, src) = reconcile_prices(vec![item(1, 1, 100)], |_| {
+            Some((Money::from_cents(150), 3, true))
+        });
+        assert_eq!(out[0].unit_price, Money::from_cents(150));
+        assert_eq!(out[0].product_version, 3);
+        assert_eq!(src[0].1, PriceSource::Fresh);
+    }
+
+    #[test]
+    fn equal_version_is_fresh_and_unchanged() {
+        let (out, src) = reconcile_prices(vec![item(1, 3, 100)], |_| {
+            Some((Money::from_cents(150), 3, true))
+        });
+        assert_eq!(out[0].unit_price, Money::from_cents(100));
+        assert_eq!(src[0].1, PriceSource::Fresh);
+    }
+
+    #[test]
+    fn stale_replica_is_flagged_and_cart_price_kept() {
+        let (out, src) = reconcile_prices(vec![item(1, 5, 100)], |_| {
+            Some((Money::from_cents(90), 2, true))
+        });
+        assert_eq!(out[0].unit_price, Money::from_cents(100), "never go backwards");
+        assert_eq!(src[0].1, PriceSource::Stale);
+    }
+
+    #[test]
+    fn missing_or_deleted_products_are_dropped() {
+        let (out, src) = reconcile_prices(vec![item(1, 0, 100), item(2, 0, 100)], |p| {
+            if p == ProductId(1) {
+                None
+            } else {
+                Some((Money::from_cents(100), 1, false))
+            }
+        });
+        assert!(out.is_empty());
+        assert!(src.iter().all(|(_, s)| *s == PriceSource::Missing));
+    }
+}

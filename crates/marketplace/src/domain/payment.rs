@@ -1,0 +1,169 @@
+//! Payment microservice state (paper §II: "Payment is responsible for
+//! processing different payment methods and possible discounts, and
+//! confirming the order").
+
+use om_common::entity::{Payment, PaymentMethod};
+use om_common::ids::{CustomerId, OrderId, PaymentId};
+use om_common::time::EventTime;
+use om_common::Money;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Deterministic payment approval: hashes the order id so every binding
+/// reaches the same verdict for the same order, independent of timing.
+/// `decline_rate` is the fraction of payments declined (0.0..1.0).
+pub fn payment_decision(order: OrderId, decline_rate: f64) -> bool {
+    let mut z = order.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % 10_000) as f64 >= decline_rate * 10_000.0
+}
+
+/// Per-customer payment service state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PaymentService {
+    pub customer: CustomerId,
+    pub payments: BTreeMap<PaymentId, Payment>,
+    next_seq: u64,
+    pub approved_count: u64,
+    pub declined_count: u64,
+}
+
+/// Space reserved per customer in the payment-id namespace.
+pub const PAYMENTS_PER_CUSTOMER: u64 = 1_000_000;
+
+impl PaymentService {
+    pub fn new(customer: CustomerId) -> Self {
+        Self {
+            customer,
+            payments: BTreeMap::new(),
+            next_seq: 0,
+            approved_count: 0,
+            declined_count: 0,
+        }
+    }
+
+    /// Processes a payment for `order`, applying the voucher discount and
+    /// the deterministic approval decision.
+    pub fn process(
+        &mut self,
+        order: OrderId,
+        method: PaymentMethod,
+        amount: Money,
+        decline_rate: f64,
+        at: EventTime,
+    ) -> Payment {
+        // Vouchers get a flat 5% discount (the "possible discounts" of the
+        // paper's payment description).
+        let charged = if method == PaymentMethod::Voucher {
+            amount.discounted(5)
+        } else {
+            amount
+        };
+        let approved = payment_decision(order, decline_rate);
+        let id = PaymentId(self.customer.0 * PAYMENTS_PER_CUSTOMER + self.next_seq);
+        self.next_seq += 1;
+        let payment = Payment {
+            id,
+            order,
+            customer: self.customer,
+            method,
+            amount: charged,
+            installments: if method == PaymentMethod::CreditCard { 3 } else { 1 },
+            approved,
+            processed_at: at,
+        };
+        if approved {
+            self.approved_count += 1;
+        } else {
+            self.declined_count += 1;
+        }
+        self.payments.insert(id, payment.clone());
+        payment
+    }
+
+    /// Payment recorded for `order`, if any (idempotence check).
+    pub fn payment_for(&self, order: OrderId) -> Option<&Payment> {
+        self.payments.values().find(|p| p.order == order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_is_deterministic_and_rate_scaled() {
+        for order in 0..100u64 {
+            assert_eq!(
+                payment_decision(OrderId(order), 0.1),
+                payment_decision(OrderId(order), 0.1)
+            );
+        }
+        let declined_at_10 = (0..10_000u64)
+            .filter(|&o| !payment_decision(OrderId(o), 0.1))
+            .count();
+        assert!(
+            (800..1200).contains(&declined_at_10),
+            "expected ~10% declines, got {declined_at_10}/10000"
+        );
+        assert!((0..10_000u64).all(|o| payment_decision(OrderId(o), 0.0)));
+        assert!((0..10_000u64).all(|o| !payment_decision(OrderId(o), 1.0)));
+    }
+
+    #[test]
+    fn processing_records_and_counts() {
+        let mut svc = PaymentService::new(CustomerId(2));
+        let p = svc.process(
+            OrderId(7),
+            PaymentMethod::CreditCard,
+            Money::from_cents(1000),
+            0.0,
+            EventTime(1),
+        );
+        assert!(p.approved);
+        assert_eq!(p.amount, Money::from_cents(1000));
+        assert_eq!(p.installments, 3);
+        assert_eq!(svc.approved_count, 1);
+        assert_eq!(svc.payment_for(OrderId(7)).unwrap().id, p.id);
+        assert!(svc.payment_for(OrderId(8)).is_none());
+    }
+
+    #[test]
+    fn voucher_discount_applies() {
+        let mut svc = PaymentService::new(CustomerId(2));
+        let p = svc.process(
+            OrderId(7),
+            PaymentMethod::Voucher,
+            Money::from_cents(1000),
+            0.0,
+            EventTime(1),
+        );
+        assert_eq!(p.amount, Money::from_cents(950));
+        assert_eq!(p.installments, 1);
+    }
+
+    #[test]
+    fn declines_are_counted() {
+        let mut svc = PaymentService::new(CustomerId(2));
+        let p = svc.process(
+            OrderId(7),
+            PaymentMethod::DebitCard,
+            Money::from_cents(100),
+            1.0,
+            EventTime(1),
+        );
+        assert!(!p.approved);
+        assert_eq!(svc.declined_count, 1);
+    }
+
+    #[test]
+    fn payment_ids_unique_per_customer_namespace() {
+        let mut a = PaymentService::new(CustomerId(1));
+        let mut b = PaymentService::new(CustomerId(2));
+        let p1 = a.process(OrderId(1), PaymentMethod::Boleto, Money::ZERO, 0.0, EventTime(1));
+        let p2 = b.process(OrderId(2), PaymentMethod::Boleto, Money::ZERO, 0.0, EventTime(1));
+        assert_ne!(p1.id, p2.id);
+    }
+}

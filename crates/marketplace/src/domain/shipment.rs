@@ -1,0 +1,178 @@
+//! Shipment microservice state (paper §II: "Upon successful payment, the
+//! Shipment creates shipment requests and puts items into packages" and
+//! the *Update Delivery* transaction: "picks the first 10 sellers with
+//! undelivered packages in chronological order and sets their respective
+//! oldest order's packages as delivered").
+//!
+//! Shipments are partitioned **by seller**: each seller's service holds
+//! the packages destined to ship from that seller.
+
+use om_common::entity::{Package, PackageStatus};
+use om_common::event::OrderLineRef;
+use om_common::ids::{CustomerId, OrderId, PackageId, SellerId, ShipmentId};
+use om_common::time::EventTime;
+use serde::{Deserialize, Serialize};
+
+/// Per-seller shipment service state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShipmentService {
+    pub seller: SellerId,
+    pub packages: Vec<Package>,
+    next_package_seq: u64,
+    pub delivered_count: u64,
+}
+
+/// Space reserved per seller in the package-id namespace.
+pub const PACKAGES_PER_SELLER: u64 = 10_000_000;
+
+impl ShipmentService {
+    pub fn new(seller: SellerId) -> Self {
+        Self {
+            seller,
+            packages: Vec::new(),
+            next_package_seq: 0,
+            delivered_count: 0,
+        }
+    }
+
+    /// Creates this seller's packages for a paid order. Returns the ids.
+    pub fn create_packages(
+        &mut self,
+        shipment: ShipmentId,
+        order: OrderId,
+        _customer: CustomerId,
+        lines: &[OrderLineRef],
+        at: EventTime,
+    ) -> Vec<PackageId> {
+        let mut ids = Vec::new();
+        for line in lines.iter().filter(|l| l.seller == self.seller) {
+            let id = PackageId(self.seller.0 * PACKAGES_PER_SELLER + self.next_package_seq);
+            self.next_package_seq += 1;
+            self.packages.push(Package {
+                id,
+                shipment,
+                order,
+                seller: self.seller,
+                product: line.product,
+                quantity: line.quantity,
+                freight_value: line.freight_value,
+                status: PackageStatus::Shipped,
+                shipped_at: at,
+                delivered_at: None,
+            });
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Timestamp of the oldest undelivered package, if any (used to rank
+    /// sellers for Update Delivery).
+    pub fn oldest_undelivered(&self) -> Option<EventTime> {
+        self.packages
+            .iter()
+            .filter(|p| p.status == PackageStatus::Shipped)
+            .map(|p| p.shipped_at)
+            .min()
+    }
+
+    /// Delivers all packages of this seller's **oldest undelivered
+    /// order** (the per-seller step of Update Delivery). Returns
+    /// `(order, delivered package ids)`.
+    pub fn deliver_oldest_order(&mut self, at: EventTime) -> Option<(OrderId, Vec<PackageId>)> {
+        let oldest_order = self
+            .packages
+            .iter()
+            .filter(|p| p.status == PackageStatus::Shipped)
+            .min_by_key(|p| (p.shipped_at, p.order))
+            .map(|p| p.order)?;
+        let mut delivered = Vec::new();
+        for p in &mut self.packages {
+            if p.order == oldest_order && p.status == PackageStatus::Shipped {
+                p.status = PackageStatus::Delivered;
+                p.delivered_at = Some(at);
+                delivered.push(p.id);
+                self.delivered_count += 1;
+            }
+        }
+        Some((oldest_order, delivered))
+    }
+
+    /// True if no package of `order` remains undelivered *at this seller*.
+    pub fn order_fully_delivered(&self, order: OrderId) -> bool {
+        self.packages
+            .iter()
+            .filter(|p| p.order == order)
+            .all(|p| p.status == PackageStatus::Delivered)
+    }
+
+    /// Undelivered package count (diagnostics).
+    pub fn undelivered_count(&self) -> usize {
+        self.packages
+            .iter()
+            .filter(|p| p.status == PackageStatus::Shipped)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_common::ids::ProductId;
+    use om_common::Money;
+
+    fn line(seller: u64, product: u64) -> OrderLineRef {
+        OrderLineRef {
+            seller: SellerId(seller),
+            product: ProductId(product),
+            quantity: 1,
+            total_amount: Money::from_cents(100),
+            freight_value: Money::from_cents(10),
+        }
+    }
+
+    #[test]
+    fn creates_only_own_seller_packages() {
+        let mut svc = ShipmentService::new(SellerId(1));
+        let ids = svc.create_packages(
+            ShipmentId(1),
+            OrderId(1),
+            CustomerId(1),
+            &[line(1, 10), line(2, 20), line(1, 11)],
+            EventTime(5),
+        );
+        assert_eq!(ids.len(), 2, "foreign-seller lines skipped");
+        assert_eq!(svc.undelivered_count(), 2);
+        assert_eq!(svc.oldest_undelivered(), Some(EventTime(5)));
+    }
+
+    #[test]
+    fn delivers_oldest_order_first() {
+        let mut svc = ShipmentService::new(SellerId(1));
+        svc.create_packages(ShipmentId(1), OrderId(10), CustomerId(1), &[line(1, 1)], EventTime(5));
+        svc.create_packages(ShipmentId(2), OrderId(20), CustomerId(2), &[line(1, 2)], EventTime(3));
+        let (order, pkgs) = svc.deliver_oldest_order(EventTime(9)).unwrap();
+        assert_eq!(order, OrderId(20), "chronologically oldest order wins");
+        assert_eq!(pkgs.len(), 1);
+        assert!(svc.order_fully_delivered(OrderId(20)));
+        assert!(!svc.order_fully_delivered(OrderId(10)));
+        let (order2, _) = svc.deliver_oldest_order(EventTime(10)).unwrap();
+        assert_eq!(order2, OrderId(10));
+        assert!(svc.deliver_oldest_order(EventTime(11)).is_none());
+        assert_eq!(svc.delivered_count, 2);
+    }
+
+    #[test]
+    fn multi_package_order_delivers_together() {
+        let mut svc = ShipmentService::new(SellerId(1));
+        svc.create_packages(
+            ShipmentId(1),
+            OrderId(10),
+            CustomerId(1),
+            &[line(1, 1), line(1, 2)],
+            EventTime(5),
+        );
+        let (_, pkgs) = svc.deliver_oldest_order(EventTime(9)).unwrap();
+        assert_eq!(pkgs.len(), 2, "all of the order's packages deliver at once");
+        assert_eq!(svc.undelivered_count(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Stock microservice state: inventory reservation with the benchmark's
+//! integrity constraint ("stock items must always refer to existing
+//! products", paper §II).
+
+use om_common::entity::StockItem;
+use om_common::ids::StockKey;
+use om_common::{OmError, OmResult};
+use serde::{Deserialize, Serialize};
+
+/// One product's stock state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StockService {
+    pub item: StockItem,
+    /// Quantity confirmed (left the warehouse) over the run; together with
+    /// `qty_available`/`qty_reserved` this lets the auditor check
+    /// conservation.
+    pub qty_sold: u64,
+    /// Reservations rejected (insufficient stock / inactive product).
+    pub rejected_count: u64,
+}
+
+impl StockService {
+    pub fn new(key: StockKey, qty: u32) -> Self {
+        Self {
+            item: StockItem::new(key, qty),
+            qty_sold: 0,
+            rejected_count: 0,
+        }
+    }
+
+    /// Attempts to reserve `qty` units for a checkout.
+    pub fn reserve(&mut self, qty: u32) -> OmResult<()> {
+        if self.item.try_reserve(qty) {
+            Ok(())
+        } else {
+            self.rejected_count += 1;
+            Err(OmError::Rejected(format!(
+                "insufficient stock for {} (available {}, requested {qty}, active {})",
+                self.item.key, self.item.qty_available, self.item.active
+            )))
+        }
+    }
+
+    /// Confirms a reservation (order placed). Duplicate confirmations
+    /// (possible under at-least-once event delivery) are absorbed so the
+    /// unit-conservation invariant holds regardless of delivery faults.
+    pub fn confirm(&mut self, qty: u32) {
+        let applied = self.item.confirm(qty);
+        self.qty_sold += applied as u64;
+    }
+
+    /// Cancels a reservation (checkout aborted / payment failed).
+    pub fn cancel(&mut self, qty: u32) {
+        self.item.cancel_reservation(qty);
+    }
+
+    /// Applies a replicated product deletion: deactivates the stock item,
+    /// enforcing the integrity constraint.
+    pub fn apply_product_delete(&mut self, version: u64) {
+        if version > self.item.version {
+            self.item.active = false;
+            self.item.version = version;
+        }
+    }
+
+    /// Total units this service has ever accounted for.
+    pub fn accounted_units(&self) -> u64 {
+        self.item.qty_available as u64 + self.item.qty_reserved as u64 + self.qty_sold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_common::ids::{ProductId, SellerId};
+
+    fn svc(qty: u32) -> StockService {
+        StockService::new(StockKey::new(SellerId(1), ProductId(1)), qty)
+    }
+
+    #[test]
+    fn reserve_confirm_conserves_units() {
+        let mut s = svc(10);
+        s.reserve(4).unwrap();
+        s.confirm(4);
+        assert_eq!(s.qty_sold, 4);
+        assert_eq!(s.accounted_units(), 10);
+        s.reserve(6).unwrap();
+        s.cancel(6);
+        assert_eq!(s.accounted_units(), 10);
+    }
+
+    #[test]
+    fn overdraw_is_rejected_and_counted() {
+        let mut s = svc(3);
+        assert_eq!(s.reserve(5).unwrap_err().label(), "rejected");
+        assert_eq!(s.rejected_count, 1);
+        assert_eq!(s.accounted_units(), 3);
+    }
+
+    #[test]
+    fn deletion_deactivates_with_version_fencing() {
+        let mut s = svc(5);
+        s.apply_product_delete(0); // stale
+        assert!(s.item.active);
+        s.apply_product_delete(2);
+        assert!(!s.item.active);
+        assert_eq!(s.reserve(1).unwrap_err().label(), "rejected");
+    }
+}

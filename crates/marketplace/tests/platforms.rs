@@ -1,0 +1,369 @@
+//! Cross-binding integration tests: every platform must pass the same
+//! functional scenario, while their *consistency* behaviours are allowed
+//! to differ exactly along the axes the paper evaluates.
+
+use om_common::entity::{Customer, PaymentMethod, Product, Seller};
+use om_common::ids::{CustomerId, ProductId, SellerId};
+use om_common::Money;
+use om_marketplace::api::*;
+use om_marketplace::bindings::actor_core::ActorPlatformConfig;
+use om_marketplace::bindings::customized::CustomizedConfig;
+use om_marketplace::bindings::dataflow::DataflowPlatformConfig;
+use om_marketplace::{
+    CustomizedPlatform, DataflowPlatform, EventualPlatform, TransactionalPlatform,
+};
+
+fn product(seller: u64, id: u64, cents: i64) -> Product {
+    Product {
+        id: ProductId(id),
+        seller: SellerId(seller),
+        name: format!("product-{id}"),
+        category: "test".into(),
+        description: String::new(),
+        price: Money::from_cents(cents),
+        freight_value: Money::from_cents(10),
+        version: 0,
+        active: true,
+    }
+}
+
+fn seller(id: u64) -> Seller {
+    Seller::new(SellerId(id), format!("seller-{id}"), "city".into())
+}
+
+fn customer(id: u64) -> Customer {
+    Customer::new(CustomerId(id), format!("customer-{id}"), "addr".into())
+}
+
+/// Ingests a tiny catalogue: 2 sellers × 3 products, 4 customers.
+fn ingest(platform: &dyn MarketplacePlatform) {
+    for s in 1..=2u64 {
+        platform.ingest_seller(seller(s)).unwrap();
+    }
+    for c in 1..=4u64 {
+        platform.ingest_customer(customer(c)).unwrap();
+    }
+    let mut pid = 0;
+    for s in 1..=2u64 {
+        for _ in 0..3 {
+            pid += 1;
+            platform.ingest_product(product(s, pid, 100 * pid as i64), 1000).unwrap();
+        }
+    }
+    platform.quiesce();
+}
+
+fn checkout_items(platform: &dyn MarketplacePlatform, customer: u64, items: &[(u64, u64, u32)]) {
+    for &(s, p, q) in items {
+        platform
+            .add_to_cart(
+                CustomerId(customer),
+                CheckoutItem {
+                    seller: SellerId(s),
+                    product: ProductId(p),
+                    quantity: q,
+                },
+            )
+            .unwrap();
+    }
+}
+
+/// Full lifecycle on one platform: ingest → checkout → delivery →
+/// dashboard → audit snapshot.
+fn exercise(platform: &dyn MarketplacePlatform, expect_sync_order: bool) {
+    ingest(platform);
+
+    // Customer 1 buys from both sellers.
+    checkout_items(platform, 1, &[(1, 1, 2), (2, 4, 1)]);
+    let outcome = platform
+        .checkout(CheckoutRequest {
+            customer: CustomerId(1),
+            items: vec![],
+            method: PaymentMethod::CreditCard,
+        })
+        .unwrap();
+    match &outcome {
+        CheckoutOutcome::Placed { order, .. } => {
+            if expect_sync_order {
+                assert!(order.is_some(), "{:?} must return the order id", platform.kind());
+            }
+        }
+        CheckoutOutcome::Rejected(r) => panic!("checkout rejected: {r}"),
+    }
+
+    // A second checkout by another customer.
+    checkout_items(platform, 2, &[(1, 2, 1)]);
+    platform
+        .checkout(CheckoutRequest {
+            customer: CustomerId(2),
+            items: vec![],
+            method: PaymentMethod::Boleto,
+        })
+        .unwrap();
+
+    platform.quiesce();
+
+    // Snapshot after quiescing: orders exist, stock moved, payments made.
+    let snap = platform.snapshot().unwrap();
+    assert_eq!(snap.products.len(), 6);
+    assert!(
+        snap.orders.len() >= 1,
+        "{:?}: no orders materialized",
+        platform.kind()
+    );
+    assert!(!snap.payments.is_empty(), "{:?}: no payments", platform.kind());
+    // Stock conservation: available + reserved + sold == initial.
+    for s in &snap.stock {
+        assert_eq!(
+            s.item.qty_available as u64 + s.item.qty_reserved as u64 + s.qty_sold,
+            1000,
+            "{:?}: stock conservation broken for {}",
+            platform.kind(),
+            s.item.key
+        );
+    }
+
+    // Price update propagates to future cart adds.
+    platform
+        .price_update(SellerId(1), ProductId(1), Money::from_cents(777))
+        .unwrap();
+    platform.quiesce();
+    checkout_items(platform, 3, &[(1, 1, 1)]);
+
+    // Product delete: subsequent adds are rejected (after propagation).
+    platform.product_delete(SellerId(2), ProductId(6)).unwrap();
+    platform.quiesce();
+    let err = platform
+        .add_to_cart(
+            CustomerId(4),
+            CheckoutItem {
+                seller: SellerId(2),
+                product: ProductId(6),
+                quantity: 1,
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.label(), "rejected", "{:?}", platform.kind());
+
+    // Update delivery moves shipped packages to delivered.
+    let delivered = platform.update_delivery(10).unwrap();
+    assert!(
+        delivered > 0,
+        "{:?}: nothing delivered despite paid orders",
+        platform.kind()
+    );
+    platform.quiesce();
+
+    // Dashboards answer for every seller.
+    for s in 1..=2u64 {
+        let dash = platform.seller_dashboard(SellerId(s)).unwrap();
+        assert_eq!(dash.seller, SellerId(s));
+    }
+
+    let counters = platform.counters();
+    assert!(!counters.is_empty());
+}
+
+#[test]
+fn eventual_platform_lifecycle() {
+    let p = EventualPlatform::new(ActorPlatformConfig {
+        decline_rate: 0.0,
+        ..Default::default()
+    });
+    exercise(&p, false);
+}
+
+#[test]
+fn transactional_platform_lifecycle() {
+    let p = TransactionalPlatform::new(ActorPlatformConfig {
+        decline_rate: 0.0,
+        ..Default::default()
+    });
+    exercise(&p, true);
+    assert!(p.tx_log().is_consistent(), "2PC log must be contradiction-free");
+    assert!(p.tx_log().commits() > 0);
+}
+
+#[test]
+fn dataflow_platform_lifecycle() {
+    let p = DataflowPlatform::new(DataflowPlatformConfig {
+        decline_rate: 0.0,
+        ..Default::default()
+    });
+    exercise(&p, true);
+}
+
+#[test]
+fn customized_platform_lifecycle() {
+    let p = CustomizedPlatform::new(CustomizedConfig {
+        actor: ActorPlatformConfig {
+            decline_rate: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    exercise(&p, true);
+    assert_eq!(
+        p.kv_stats().causal_inversions(),
+        0,
+        "causal replication must never invert"
+    );
+}
+
+#[test]
+fn customized_dashboard_is_always_snapshot_consistent() {
+    let p = CustomizedPlatform::new(CustomizedConfig {
+        actor: ActorPlatformConfig {
+            decline_rate: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    ingest(&p);
+    // Interleave checkouts with dashboard reads from another thread.
+    std::thread::scope(|scope| {
+        let p = &p;
+        let churn = scope.spawn(move || {
+            for i in 0..30 {
+                let c = (i % 4) + 1;
+                checkout_items(p, c, &[(1, 1, 1), (1, 2, 1)]);
+                let _ = p.checkout(CheckoutRequest {
+                    customer: CustomerId(c),
+                    items: vec![],
+                    method: PaymentMethod::CreditCard,
+                });
+                if i % 5 == 0 {
+                    let _ = p.update_delivery(10);
+                }
+            }
+        });
+        let mut checked = 0;
+        while !churn.is_finished() {
+            let dash = p.seller_dashboard(SellerId(1)).unwrap();
+            assert!(
+                dash.is_snapshot_consistent(),
+                "customized dashboard torn: amount={} count={} entries={}",
+                dash.in_progress_amount,
+                dash.in_progress_count,
+                dash.entries.len()
+            );
+            checked += 1;
+        }
+        churn.join().unwrap();
+        assert!(checked > 0);
+    });
+}
+
+#[test]
+fn transactional_checkout_is_atomic_under_contention() {
+    // Many concurrent checkouts on the same hot product: stock must be
+    // conserved exactly (no lost updates, no partial effects).
+    let p = TransactionalPlatform::new(ActorPlatformConfig {
+        decline_rate: 0.0,
+        ..Default::default()
+    });
+    p.ingest_seller(seller(1)).unwrap();
+    for c in 1..=8u64 {
+        p.ingest_customer(customer(c)).unwrap();
+    }
+    p.ingest_product(product(1, 1, 100), 100_000).unwrap();
+    std::thread::scope(|scope| {
+        for c in 1..=8u64 {
+            let p = &p;
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    checkout_items(p, c, &[(1, 1, 1)]);
+                    let outcome = p
+                        .checkout(CheckoutRequest {
+                            customer: CustomerId(c),
+                            items: vec![],
+                            method: PaymentMethod::DebitCard,
+                        })
+                        .unwrap();
+                    assert!(matches!(outcome, CheckoutOutcome::Placed { .. }));
+                }
+            });
+        }
+    });
+    p.quiesce();
+    let snap = p.snapshot().unwrap();
+    assert_eq!(snap.orders.len(), 80);
+    let stock = &snap.stock[0];
+    assert_eq!(stock.qty_sold, 80, "all 80 units sold exactly once");
+    assert_eq!(stock.item.qty_available, 100_000 - 80);
+    assert_eq!(stock.item.qty_reserved, 0, "no reservation leaks");
+    assert!(p.tx_log().is_consistent());
+}
+
+#[test]
+fn eventual_platform_loses_effects_under_message_drops() {
+    use om_actor::FaultConfig;
+    let p = EventualPlatform::new(ActorPlatformConfig {
+        faults: FaultConfig::lossy(0.15, 0.0, 99),
+        decline_rate: 0.0,
+        ..Default::default()
+    });
+    p.ingest_seller(seller(1)).unwrap();
+    for c in 1..=4u64 {
+        p.ingest_customer(customer(c)).unwrap();
+    }
+    p.ingest_product(product(1, 1, 100), 100_000).unwrap();
+    for round in 0..25 {
+        let c = (round % 4) + 1;
+        checkout_items(&p, c, &[(1, 1, 1)]);
+        let _ = p.checkout(CheckoutRequest {
+            customer: CustomerId(c),
+            items: vec![],
+            method: PaymentMethod::CreditCard,
+        });
+    }
+    p.quiesce();
+    let snap = p.snapshot().unwrap();
+    // With 15% event drop across a multi-hop cascade, some checkouts must
+    // have lost at least one downstream effect.
+    let complete = snap.orders.len();
+    assert!(
+        complete < 25 || snap.stuck_assemblies > 0 || snap.payments.len() < complete,
+        "expected partial effects under drops: orders={complete} stuck={} payments={}",
+        snap.stuck_assemblies,
+        snap.payments.len()
+    );
+}
+
+#[test]
+fn dataflow_survives_crash_with_exactly_once_checkouts() {
+    let p = DataflowPlatform::new(DataflowPlatformConfig {
+        decline_rate: 0.0,
+        ..Default::default()
+    });
+    p.ingest_seller(seller(1)).unwrap();
+    for c in 1..=4u64 {
+        p.ingest_customer(customer(c)).unwrap();
+    }
+    p.ingest_product(product(1, 1, 100), 100_000).unwrap();
+    p.quiesce();
+
+    // Inject a crash mid-stream while submitting checkouts.
+    for round in 0..20u64 {
+        let c = (round % 4) + 1;
+        if round == 10 {
+            p.dataflow().inject_crash_after(5);
+        }
+        checkout_items(&p, c, &[(1, 1, 1)]);
+        let outcome = p
+            .checkout(CheckoutRequest {
+                customer: CustomerId(c),
+                items: vec![],
+                method: PaymentMethod::CreditCard,
+            })
+            .unwrap();
+        assert!(matches!(outcome, CheckoutOutcome::Placed { .. }));
+    }
+    p.quiesce();
+    let snap = p.snapshot().unwrap();
+    assert_eq!(snap.orders.len(), 20, "every checkout exactly once");
+    assert_eq!(snap.stock[0].qty_sold, 20);
+    assert_eq!(snap.stuck_assemblies, 0, "exactly-once leaves nothing stuck");
+    let counters = p.counters();
+    assert!(counters["df.replays"] >= 1, "the crash actually happened");
+}

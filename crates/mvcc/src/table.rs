@@ -1,0 +1,262 @@
+//! Versioned tables: typed key→row storage with version chains.
+
+use crate::oracle::Timestamp;
+use crate::tx::{Tx, TxId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::RangeBounds;
+use std::sync::Arc;
+
+/// One version of a row. `data == None` is a deletion tombstone.
+#[derive(Debug, Clone)]
+struct Version<R> {
+    ts: Timestamp,
+    data: Option<R>,
+}
+
+/// Type-erased interface the [`crate::tx::TxManager`] drives at commit,
+/// abort and GC time.
+pub(crate) trait TableCore: Send + Sync {
+    /// First-committer-wins (+ read-set for serializable) validation.
+    fn validate(&self, tx: TxId, snapshot: Timestamp, serializable: bool) -> Result<(), String>;
+    /// Installs the transaction's buffered writes at `commit_ts`.
+    fn install(&self, tx: TxId, commit_ts: Timestamp) -> usize;
+    /// Drops any buffered state for the transaction.
+    fn discard(&self, tx: TxId);
+    /// Collects superseded versions older than `horizon`; returns how many
+    /// versions were dropped.
+    fn gc(&self, horizon: Timestamp) -> usize;
+}
+
+/// A typed, versioned table.
+///
+/// Reads/writes go through a [`Tx`] handle obtained from the
+/// [`crate::tx::TxManager`]; writes are buffered per transaction and only
+/// become visible after a successful commit. Scans observe the
+/// transaction's snapshot — this is what makes the Seller Dashboard's two
+/// queries mutually consistent when issued inside one transaction.
+pub struct Table<K: Ord + Clone, R: Clone> {
+    name: String,
+    rows: RwLock<BTreeMap<K, Vec<Version<R>>>>,
+    /// Buffered writes per open transaction.
+    pending: Mutex<HashMap<TxId, BTreeMap<K, Option<R>>>>,
+    /// Keys read per open serializable transaction.
+    read_sets: Mutex<HashMap<TxId, BTreeSet<K>>>,
+}
+
+impl<K: Ord + Clone + Send + Sync + 'static, R: Clone + Send + Sync + 'static> Table<K, R> {
+    pub(crate) fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            rows: RwLock::new(BTreeMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            read_sets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn visible<'a>(versions: &'a [Version<R>], snapshot: Timestamp) -> Option<&'a Version<R>> {
+        versions.iter().rev().find(|v| v.ts <= snapshot)
+    }
+
+    fn track_read(&self, tx: &Tx, key: &K) {
+        if tx.is_serializable() {
+            self.read_sets
+                .lock()
+                .entry(tx.id())
+                .or_default()
+                .insert(key.clone());
+        }
+    }
+
+    /// Reads `key` as of the transaction's snapshot, observing the
+    /// transaction's own uncommitted writes first.
+    pub fn get(&self, tx: &Tx, key: &K) -> Option<R> {
+        self.track_read(tx, key);
+        if let Some(writes) = self.pending.lock().get(&tx.id()) {
+            if let Some(own) = writes.get(key) {
+                return own.clone();
+            }
+        }
+        let rows = self.rows.read();
+        rows.get(key)
+            .and_then(|chain| Self::visible(chain, tx.snapshot()))
+            .and_then(|v| v.data.clone())
+    }
+
+    /// Buffers an insert/update of `key`.
+    pub fn put(&self, tx: &Tx, key: K, row: R) {
+        tx.assert_open();
+        self.pending
+            .lock()
+            .entry(tx.id())
+            .or_default()
+            .insert(key, Some(row));
+    }
+
+    /// Buffers a deletion of `key`.
+    pub fn delete(&self, tx: &Tx, key: K) {
+        tx.assert_open();
+        self.pending
+            .lock()
+            .entry(tx.id())
+            .or_default()
+            .insert(key, None);
+    }
+
+    /// Snapshot scan over a key range, yielding live rows that satisfy
+    /// `pred`. The transaction's own writes shadow committed rows.
+    pub fn scan_filter<B, F>(&self, tx: &Tx, range: B, mut pred: F) -> Vec<(K, R)>
+    where
+        B: RangeBounds<K>,
+        F: FnMut(&K, &R) -> bool,
+    {
+        let own: BTreeMap<K, Option<R>> = self
+            .pending
+            .lock()
+            .get(&tx.id())
+            .map(|w| w.clone())
+            .unwrap_or_default();
+        let rows = self.rows.read();
+        let mut out = Vec::new();
+        for (k, chain) in rows.range((range.start_bound(), range.end_bound())) {
+            let effective: Option<R> = if let Some(own_write) = own.get(k) {
+                own_write.clone()
+            } else {
+                Self::visible(chain, tx.snapshot()).and_then(|v| v.data.clone())
+            };
+            if let Some(r) = effective {
+                if pred(k, &r) {
+                    self.track_read(tx, k);
+                    out.push((k.clone(), r));
+                }
+            }
+        }
+        // Own inserts on keys never committed are missed by rows.range();
+        // add the ones inside the range here.
+        for (k, v) in own {
+            if range.contains(&k) && !rows.contains_key(&k) {
+                if let Some(r) = v {
+                    if pred(&k, &r) {
+                        out.push((k, r));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Full-table snapshot scan with a predicate.
+    pub fn scan<F: FnMut(&K, &R) -> bool>(&self, tx: &Tx, pred: F) -> Vec<(K, R)> {
+        self.scan_filter(tx, .., pred)
+    }
+
+    /// Number of live rows at the given transaction's snapshot.
+    pub fn count(&self, tx: &Tx) -> usize {
+        self.scan(tx, |_, _| true).len()
+    }
+
+    /// Number of distinct keys with any version (diagnostics; includes
+    /// tombstoned keys until GC removes them).
+    pub fn version_chain_count(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    /// Total number of stored versions (diagnostics / GC tests).
+    pub fn total_versions(&self) -> usize {
+        self.rows.read().values().map(|c| c.len()).sum()
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync + 'static, R: Clone + Send + Sync + 'static> TableCore
+    for Table<K, R>
+{
+    fn validate(&self, tx: TxId, snapshot: Timestamp, serializable: bool) -> Result<(), String> {
+        let pending = self.pending.lock();
+        let rows = self.rows.read();
+        if let Some(writes) = pending.get(&tx) {
+            for key in writes.keys() {
+                if let Some(chain) = rows.get(key) {
+                    if let Some(newest) = chain.last() {
+                        if newest.ts > snapshot {
+                            return Err(format!(
+                                "write-write conflict in {} (version {} > snapshot {})",
+                                self.name, newest.ts, snapshot
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if serializable {
+            if let Some(reads) = self.read_sets.lock().get(&tx) {
+                for key in reads {
+                    if let Some(chain) = rows.get(key) {
+                        if let Some(newest) = chain.last() {
+                            if newest.ts > snapshot {
+                                return Err(format!(
+                                    "read-write conflict in {} (version {} > snapshot {})",
+                                    self.name, newest.ts, snapshot
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn install(&self, tx: TxId, commit_ts: Timestamp) -> usize {
+        let writes = match self.pending.lock().remove(&tx) {
+            Some(w) => w,
+            None => {
+                self.read_sets.lock().remove(&tx);
+                return 0;
+            }
+        };
+        self.read_sets.lock().remove(&tx);
+        let count = writes.len();
+        let mut rows = self.rows.write();
+        for (key, data) in writes {
+            rows.entry(key)
+                .or_default()
+                .push(Version { ts: commit_ts, data });
+        }
+        count
+    }
+
+    fn discard(&self, tx: TxId) {
+        self.pending.lock().remove(&tx);
+        self.read_sets.lock().remove(&tx);
+    }
+
+    fn gc(&self, horizon: Timestamp) -> usize {
+        let mut rows = self.rows.write();
+        let mut dropped = 0;
+        rows.retain(|_, chain| {
+            // Keep the newest version visible at `horizon` and everything
+            // newer; drop older superseded versions.
+            if let Some(keep_idx) = chain.iter().rposition(|v| v.ts <= horizon) {
+                dropped += keep_idx;
+                chain.drain(..keep_idx);
+            }
+            // A chain that is a lone tombstone at/below the horizon can go
+            // entirely: every current and future snapshot sees "absent".
+            if chain.len() == 1 && chain[0].data.is_none() && chain[0].ts <= horizon {
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        dropped
+    }
+}
+
+/// Type-erased handle used by the manager's registry.
+pub(crate) type DynTable = Arc<dyn TableCore>;

@@ -1,0 +1,113 @@
+//! Quickstart: stand up a marketplace platform, load a tiny catalogue,
+//! place an order and watch it flow through the services.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use online_marketplace::common::entity::{Customer, PaymentMethod, Product, Seller};
+use online_marketplace::common::ids::{CustomerId, ProductId, SellerId};
+use online_marketplace::common::Money;
+use online_marketplace::marketplace::api::{
+    CheckoutItem, CheckoutOutcome, CheckoutRequest, MarketplacePlatform,
+};
+use online_marketplace::marketplace::bindings::actor_core::ActorPlatformConfig;
+use online_marketplace::marketplace::TransactionalPlatform;
+
+fn main() {
+    // 1. A transactional (ACID) marketplace on an in-process actor
+    //    cluster: 2 silos, 4 workers each.
+    let platform = TransactionalPlatform::new(ActorPlatformConfig {
+        decline_rate: 0.0,
+        ..Default::default()
+    });
+
+    // 2. Ingest one seller, one customer and two products with stock.
+    platform
+        .ingest_seller(Seller::new(SellerId(1), "acme".into(), "copenhagen".into()))
+        .unwrap();
+    platform
+        .ingest_customer(Customer::new(CustomerId(1), "ada".into(), "street 1".into()))
+        .unwrap();
+    for (id, cents) in [(1u64, 19_99), (2, 5_49)] {
+        platform
+            .ingest_product(
+                Product {
+                    id: ProductId(id),
+                    seller: SellerId(1),
+                    name: format!("widget-{id}"),
+                    category: "widgets".into(),
+                    description: "a fine widget".into(),
+                    price: Money::from_cents(cents),
+                    freight_value: Money::from_cents(100),
+                    version: 0,
+                    active: true,
+                },
+                100,
+            )
+            .unwrap();
+    }
+
+    // 3. Fill the cart and check out — this runs a distributed ACID
+    //    transaction across stock, order, payment, seller, customer and
+    //    shipment grains (2PL + two-phase commit).
+    for (product, qty) in [(1u64, 2), (2, 1)] {
+        platform
+            .add_to_cart(
+                CustomerId(1),
+                CheckoutItem {
+                    seller: SellerId(1),
+                    product: ProductId(product),
+                    quantity: qty,
+                },
+            )
+            .unwrap();
+    }
+    let outcome = platform
+        .checkout(CheckoutRequest {
+            customer: CustomerId(1),
+            items: vec![],
+            method: PaymentMethod::CreditCard,
+        })
+        .unwrap();
+    match outcome {
+        CheckoutOutcome::Placed { order, total } => {
+            println!(
+                "order placed: {} total {}",
+                order.expect("transactional checkout returns the id"),
+                total.unwrap()
+            );
+        }
+        CheckoutOutcome::Rejected(reason) => println!("checkout rejected: {reason}"),
+    }
+
+    // 4. Deliver the packages and read the seller dashboard.
+    let delivered = platform.update_delivery(10).unwrap();
+    platform.quiesce();
+    let dashboard = platform.seller_dashboard(SellerId(1)).unwrap();
+    println!("packages delivered: {delivered}");
+    println!(
+        "seller dashboard: {} in-progress entries worth {}",
+        dashboard.in_progress_count, dashboard.in_progress_amount
+    );
+
+    // 5. Inspect the final state.
+    let snapshot = platform.snapshot().unwrap();
+    println!(
+        "final state: {} orders, {} payments, {} packages, stock sold: {:?}",
+        snapshot.orders.len(),
+        snapshot.payments.len(),
+        snapshot.shipments.len(),
+        snapshot
+            .stock
+            .iter()
+            .map(|s| (s.item.key.to_string(), s.qty_sold))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "2PC decision log: {} commits, {} aborts, consistent: {}",
+        platform.tx_log().commits(),
+        platform.tx_log().aborts(),
+        platform.tx_log().is_consistent()
+    );
+}

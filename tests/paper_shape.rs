@@ -1,0 +1,71 @@
+//! Paper-shape regression tests: tiny-scale versions of the qualitative
+//! claims the reproduction must preserve (§III of the paper). These are
+//! deliberately generous — they assert orderings and existence, not
+//! absolute numbers — so they hold on any machine.
+
+use online_marketplace::common::config::{RunConfig, ScaleConfig, WorkloadMix};
+use online_marketplace::driver::run_benchmark;
+use online_marketplace::marketplace::api::MarketplacePlatform;
+use online_marketplace::marketplace::bindings::actor_core::ActorPlatformConfig;
+use online_marketplace::marketplace::bindings::customized::CustomizedConfig;
+use online_marketplace::marketplace::{
+    CustomizedPlatform, EventualPlatform, TransactionalPlatform,
+};
+
+fn config() -> RunConfig {
+    RunConfig {
+        scale: ScaleConfig {
+            sellers: 4,
+            products_per_seller: 10,
+            customers: 24,
+            initial_stock: 50_000,
+        },
+        mix: WorkloadMix::checkout_only(),
+        workers: 2,
+        ops_per_worker: 80,
+        warmup_ops_per_worker: 10,
+        zipf_theta: 0.5,
+        ..RunConfig::default()
+    }
+}
+
+fn throughput(platform: &dyn MarketplacePlatform) -> f64 {
+    run_benchmark(platform, &config(), true).throughput_per_sec
+}
+
+/// E1/E5 shape: the eventual binding out-runs the transactional one
+/// (paper: transactions come "at a considerable overhead").
+#[test]
+fn eventual_outperforms_transactions() {
+    let actor = ActorPlatformConfig {
+        decline_rate: 0.05,
+        ..Default::default()
+    };
+    let eventual = throughput(&EventualPlatform::new(actor.clone()));
+    let transactional = throughput(&TransactionalPlatform::new(actor));
+    assert!(
+        eventual > transactional,
+        "paper shape violated: eventual {eventual:.0} ops/s <= transactions {transactional:.0} ops/s"
+    );
+}
+
+/// E7 shape: the customized stack stays within a small factor of the
+/// plain transactional binding (paper: "low overhead ... comparable").
+#[test]
+fn customized_overhead_is_bounded() {
+    let actor = ActorPlatformConfig {
+        decline_rate: 0.05,
+        ..Default::default()
+    };
+    let transactional = throughput(&TransactionalPlatform::new(actor.clone()));
+    let customized = throughput(&CustomizedPlatform::new(CustomizedConfig {
+        actor,
+        ..Default::default()
+    }));
+    let ratio = customized / transactional;
+    assert!(
+        ratio > 0.3,
+        "customized should be comparable to transactions, got {ratio:.2}x \
+         (customized {customized:.0} vs transactional {transactional:.0})"
+    );
+}
