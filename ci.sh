@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point for the online-marketplace workspace.
+#
+# Mirrors the tier-1 verify (`cargo build --release && cargo test -q`)
+# and adds the guards that keep non-test targets from rotting:
+#   * benches must keep compiling (`cargo bench --no-run` — never run in
+#     CI; numbers come from dedicated perf runs),
+#   * all examples must keep compiling,
+#   * the shim crates' own unit tests run via --workspace.
+#
+# The environment is fully offline; --offline makes that explicit so a
+# mis-edited manifest fails fast instead of hanging on the network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q --workspace (functional crates + shim self-tests)"
+cargo test -q --offline --workspace
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run --offline
+
+echo "==> cargo build --examples"
+cargo build --examples --offline
+
+echo "CI OK"

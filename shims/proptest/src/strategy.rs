@@ -1,0 +1,481 @@
+//! Core `Strategy` trait, combinators, and scalar strategies.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of test values. Unlike real proptest there is no value
+/// tree / shrinking; `sample` draws one value.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.sample(rng)),
+        }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// Type-erased strategy; cheap to clone.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Self::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary: Sized + Debug {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range integer strategy biased toward edge cases.
+pub struct IntAny<T> {
+    _marker: PhantomData<T>,
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Strategy for IntAny<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                // One draw in eight picks an edge value; extremes find
+                // overflow/roundtrip bugs far faster than uniform bits.
+                if rng.next_u64() % 8 == 0 {
+                    const EDGES: [$ty; 4] = [0 as $ty, 1 as $ty, <$ty>::MIN, <$ty>::MAX];
+                    EDGES[(rng.next_u64() % 4) as usize]
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        }
+
+        impl Arbitrary for $ty {
+            type Strategy = IntAny<$ty>;
+            fn arbitrary() -> IntAny<$ty> {
+                IntAny { _marker: PhantomData }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolAny;
+    fn arbitrary() -> BoolAny {
+        BoolAny
+    }
+}
+
+/// Finite floats only (no NaN/inf), matching proptest's default `ANY`.
+pub struct FloatAny<T> {
+    _marker: PhantomData<T>,
+}
+
+macro_rules! arbitrary_float {
+    ($($ty:ty),*) => {$(
+        impl Strategy for FloatAny<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                if rng.next_u64() % 8 == 0 {
+                    const EDGES: [$ty; 5] =
+                        [0.0, -0.0, 1.0, <$ty>::MIN_POSITIVE, <$ty>::MAX];
+                    EDGES[(rng.next_u64() % 5) as usize]
+                } else {
+                    // Scale a signed integer by a random power of two;
+                    // always finite.
+                    let mantissa = rng.next_u64() as i64 as $ty;
+                    let exp = (rng.next_u64() % 64) as i32 - 32;
+                    let v = mantissa * (2.0 as $ty).powi(exp);
+                    if v.is_finite() { v } else { 0.0 }
+                }
+            }
+        }
+
+        impl Arbitrary for $ty {
+            type Strategy = FloatAny<$ty>;
+            fn arbitrary() -> FloatAny<$ty> {
+                FloatAny { _marker: PhantomData }
+            }
+        }
+    )*};
+}
+
+arbitrary_float!(f32, f64);
+
+pub struct CharAny;
+
+impl Strategy for CharAny {
+    type Value = char;
+    fn sample(&self, rng: &mut TestRng) -> char {
+        crate::test_runner::printable_char(rng)
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = CharAny;
+    fn arbitrary() -> CharAny {
+        CharAny
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $ty
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $ty) * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.next_f64() as $ty) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident)+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 S0),
+    (0 S0 1 S1),
+    (0 S0 1 S1 2 S2),
+    (0 S0 1 S1 2 S2 3 S3),
+    (0 S0 1 S1 2 S2 3 S3 4 S4),
+    (0 S0 1 S1 2 S2 3 S3 4 S4 5 S5),
+    (0 S0 1 S1 2 S2 3 S3 4 S4 5 S5 6 S6),
+    (0 S0 1 S1 2 S2 3 S3 4 S4 5 S5 6 S6 7 S7),
+    (0 S0 1 S1 2 S2 3 S3 4 S4 5 S5 6 S6 7 S7 8 S8),
+    (0 S0 1 S1 2 S2 3 S3 4 S4 5 S5 6 S6 7 S7 8 S8 9 S9),
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategies (`"[a-z0-9]{1,8}"` as a Strategy)
+// ---------------------------------------------------------------------------
+
+/// One parsed pattern atom: a set of candidate chars plus a repeat range.
+struct Atom {
+    /// Inclusive char ranges to draw from.
+    ranges: Vec<(u32, u32)>,
+    /// `true` for `[\PC]` (any printable character).
+    printable: bool,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let mut atom = Atom {
+            ranges: Vec::new(),
+            printable: false,
+            min: 1,
+            max: 1,
+        };
+        if chars[i] == '[' {
+            i += 1;
+            let mut members: Vec<char> = Vec::new();
+            while i < chars.len() && chars[i] != ']' {
+                if chars[i] == '\\' {
+                    // `\PC` (printable: not category C) or an escaped
+                    // literal.
+                    if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                        atom.printable = true;
+                        i += 3;
+                    } else {
+                        members.push(chars[i + 1]);
+                        i += 2;
+                    }
+                } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    atom.ranges.push((chars[i] as u32, chars[i + 2] as u32));
+                    i += 3;
+                } else {
+                    members.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(
+                i < chars.len(),
+                "unterminated char class in pattern {pattern:?}"
+            );
+            i += 1; // skip ']'
+            for m in members {
+                atom.ranges.push((m as u32, m as u32));
+            }
+        } else {
+            // Literal character atom.
+            let c = chars[i];
+            atom.ranges.push((c as u32, c as u32));
+            i += 1;
+        }
+        // Optional {m,n} / {m} repeat.
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repeat in pattern")
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            if let Some((lo, hi)) = spec.split_once(',') {
+                atom.min = lo.trim().parse().expect("bad repeat min");
+                atom.max = hi.trim().parse().expect("bad repeat max");
+            } else {
+                atom.min = spec.trim().parse().expect("bad repeat count");
+                atom.max = atom.min;
+            }
+            i = close + 1;
+        }
+        atoms.push(atom);
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.max <= atom.min {
+                atom.min
+            } else {
+                atom.min + (rng.next_u64() as usize) % (atom.max - atom.min + 1)
+            };
+            for _ in 0..count {
+                if atom.printable {
+                    out.push(crate::test_runner::printable_char(rng));
+                    continue;
+                }
+                // Pick a range weighted by its width, then a char in it.
+                let total: u64 = atom
+                    .ranges
+                    .iter()
+                    .map(|(lo, hi)| (hi - lo + 1) as u64)
+                    .sum();
+                assert!(total > 0, "empty char class in string strategy");
+                let mut pick = rng.next_u64() % total;
+                for (lo, hi) in &atom.ranges {
+                    let width = (hi - lo + 1) as u64;
+                    if pick < width {
+                        if let Some(c) = char::from_u32(lo + pick as u32) {
+                            out.push(c);
+                        }
+                        break;
+                    }
+                    pick -= width;
+                }
+            }
+        }
+        out
+    }
+}

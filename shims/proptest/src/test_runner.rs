@@ -1,0 +1,101 @@
+//! Test-runner pieces: deterministic RNG, config, and case errors.
+
+use std::fmt;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (not panicked) property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Rejection is reported like failure here (no global rejection
+    /// budget in the shim).
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64 — deterministic per test name, so failures reproduce
+/// across runs and machines.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable per-test seed.
+        let mut seed: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A printable (non-control) char: mostly ASCII, sometimes wider
+/// unicode so string handling sees multi-byte encodings.
+pub fn printable_char(rng: &mut TestRng) -> char {
+    match rng.next_u64() % 10 {
+        0 => {
+            // Latin-1 supplement / Latin extended letters.
+            char::from_u32(0xC0 + (rng.next_u64() % 0x100) as u32).unwrap_or('å')
+        }
+        1 => {
+            // CJK ideographs (3-byte UTF-8).
+            char::from_u32(0x4E00 + (rng.next_u64() % 0x1000) as u32).unwrap_or('中')
+        }
+        2 => {
+            // Emoji (4-byte UTF-8).
+            char::from_u32(0x1F600 + (rng.next_u64() % 0x40) as u32).unwrap_or('😀')
+        }
+        _ => (0x20 + (rng.next_u64() % 0x5F) as u8) as char,
+    }
+}

@@ -1,0 +1,1162 @@
+//! Deserialization half of the serde data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// What a deserializer actually encountered, for error messages.
+#[derive(Clone, Copy, Debug)]
+pub enum Unexpected<'a> {
+    Bool(bool),
+    Unsigned(u64),
+    Signed(i64),
+    Float(f64),
+    Char(char),
+    Str(&'a str),
+    Bytes(&'a [u8]),
+    Unit,
+    Option,
+    NewtypeStruct,
+    Seq,
+    Map,
+    Enum,
+    UnitVariant,
+    NewtypeVariant,
+    TupleVariant,
+    StructVariant,
+    Other(&'a str),
+}
+
+impl Display for Unexpected<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Unexpected::*;
+        match self {
+            Bool(b) => write!(f, "boolean `{b}`"),
+            Unsigned(u) => write!(f, "integer `{u}`"),
+            Signed(i) => write!(f, "integer `{i}`"),
+            Float(v) => write!(f, "floating point `{v}`"),
+            Char(c) => write!(f, "character `{c}`"),
+            Str(s) => write!(f, "string {s:?}"),
+            Bytes(_) => write!(f, "byte array"),
+            Unit => write!(f, "unit value"),
+            Option => write!(f, "Option value"),
+            NewtypeStruct => write!(f, "newtype struct"),
+            Seq => write!(f, "sequence"),
+            Map => write!(f, "map"),
+            Enum => write!(f, "enum"),
+            UnitVariant => write!(f, "unit variant"),
+            NewtypeVariant => write!(f, "newtype variant"),
+            TupleVariant => write!(f, "tuple variant"),
+            StructVariant => write!(f, "struct variant"),
+            Other(s) => f.write_str(s),
+        }
+    }
+}
+
+/// What a visitor expected, for error messages.
+pub trait Expected {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<'de, V: Visitor<'de>> Expected for V {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+impl Expected for &str {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        formatter.write_str(self)
+    }
+}
+
+impl Display for dyn Expected + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Expected::fmt(self, f)
+    }
+}
+
+/// Error trait every deserializer's error type implements. Only
+/// `custom` is required; the helpers are provided on top of it.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+
+    fn invalid_type(unexp: Unexpected<'_>, exp: &dyn Expected) -> Self {
+        Self::custom(format_args!("invalid type: {unexp}, expected {exp}"))
+    }
+
+    fn invalid_value(unexp: Unexpected<'_>, exp: &dyn Expected) -> Self {
+        Self::custom(format_args!("invalid value: {unexp}, expected {exp}"))
+    }
+
+    fn invalid_length(len: usize, exp: &dyn Expected) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {exp}"))
+    }
+
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+
+    fn unknown_field(field: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown field `{field}`, expected one of {expected:?}"
+        ))
+    }
+
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    fn duplicate_field(field: &'static str) -> Self {
+        Self::custom(format_args!("duplicate field `{field}`"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core traits
+// ---------------------------------------------------------------------------
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stateful deserialization entry point; `PhantomData<T>` is the
+/// stateless seed that simply deserializes a `T`.
+pub trait DeserializeSeed<'de>: Sized {
+    type Value;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// 128-bit integers are funneled through the 64-bit channel by
+    /// default, matching how the shim's serializers encode them.
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_i64(visitor)
+    }
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_u64(visitor)
+    }
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+pub trait Visitor<'de>: Sized {
+    type Value;
+
+    /// "expected a ..." fragment for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Bool(v), &self))
+    }
+
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Signed(v), &self))
+    }
+
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Unsigned(v), &self))
+    }
+
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Float(v), &self))
+    }
+
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        self.visit_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Str(v), &self))
+    }
+
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Bytes(v), &self))
+    }
+
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Option, &self))
+    }
+
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(D::Error::invalid_type(Unexpected::Option, &self))
+    }
+
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Unit, &self))
+    }
+
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(D::Error::invalid_type(Unexpected::NewtypeStruct, &self))
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type(Unexpected::Seq, &self))
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type(Unexpected::Map, &self))
+    }
+
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type(Unexpected::Enum, &self))
+    }
+}
+
+pub trait SeqAccess<'de> {
+    type Error: Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+pub trait MapAccess<'de> {
+    type Error: Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+pub trait EnumAccess<'de>: Sized {
+    type Error: Error;
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+pub trait VariantAccess<'de>: Sized {
+    type Error: Error;
+
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T)
+        -> Result<T::Value, Self::Error>;
+
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// IgnoredAny — swallow any value (used to skip unknown fields)
+// ---------------------------------------------------------------------------
+
+/// Efficiently discards whatever value comes next.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IgnoredAny;
+
+impl<'de> Visitor<'de> for IgnoredAny {
+    type Value = IgnoredAny;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        formatter.write_str("anything at all")
+    }
+
+    fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_str<E: Error>(self, _: &str) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_bytes<E: Error>(self, _: &[u8]) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_none<E: Error>(self) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_unit<E: Error>(self) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<IgnoredAny, D::Error> {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<IgnoredAny, D::Error> {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<IgnoredAny, A::Error> {
+        while seq.next_element::<IgnoredAny>()?.is_some() {}
+        Ok(IgnoredAny)
+    }
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<IgnoredAny, A::Error> {
+        while map.next_key::<IgnoredAny>()?.is_some() {
+            map.next_value::<IgnoredAny>()?;
+        }
+        Ok(IgnoredAny)
+    }
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<IgnoredAny, A::Error> {
+        data.variant::<IgnoredAny>()?.1.newtype_variant::<IgnoredAny>()
+    }
+}
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IntoDeserializer + value deserializers
+// ---------------------------------------------------------------------------
+
+pub trait IntoDeserializer<'de, E: Error = value::Error> {
+    type Deserializer: Deserializer<'de, Error = E>;
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+pub mod value {
+    use super::*;
+
+    /// Minimal string-backed error for standalone value deserializers.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl super::Error for Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            Error {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    /// Implements every `deserialize_*` method by delegating to
+    /// `deserialize_any`, for scalar-backed value deserializers.
+    macro_rules! forward_to_any {
+        () => {
+            fn deserialize_bool<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_i8<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_i16<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_i32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_i64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_u8<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_u16<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_u32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_u64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_f32<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_f64<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_char<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_str<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_string<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_bytes<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_byte_buf<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_option<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_unit<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_unit_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                v: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_newtype_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                v: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_seq<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_tuple<V: Visitor<'de>>(
+                self,
+                _len: usize,
+                v: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_tuple_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _len: usize,
+                v: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_map<V: Visitor<'de>>(self, v: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _fields: &'static [&'static str],
+                v: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_enum<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _variants: &'static [&'static str],
+                v: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_identifier<V: Visitor<'de>>(
+                self,
+                v: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+            fn deserialize_ignored_any<V: Visitor<'de>>(
+                self,
+                v: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(v)
+            }
+        };
+    }
+
+    macro_rules! scalar_deserializer {
+        ($name:ident, $ty:ty, $visit:ident) => {
+            pub struct $name<E> {
+                value: $ty,
+                marker: PhantomData<E>,
+            }
+
+            impl<E> $name<E> {
+                pub fn new(value: $ty) -> Self {
+                    Self {
+                        value,
+                        marker: PhantomData,
+                    }
+                }
+            }
+
+            impl<'de, E: super::Error> Deserializer<'de> for $name<E> {
+                type Error = E;
+
+                fn deserialize_any<V: Visitor<'de>>(
+                    self,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    visitor.$visit(self.value)
+                }
+
+                forward_to_any!();
+            }
+
+            impl<'de, E: super::Error> IntoDeserializer<'de, E> for $ty {
+                type Deserializer = $name<E>;
+                fn into_deserializer(self) -> $name<E> {
+                    $name::new(self)
+                }
+            }
+        };
+    }
+
+    scalar_deserializer!(BoolDeserializer, bool, visit_bool);
+    scalar_deserializer!(U8Deserializer, u8, visit_u8);
+    scalar_deserializer!(U16Deserializer, u16, visit_u16);
+    scalar_deserializer!(U32Deserializer, u32, visit_u32);
+    scalar_deserializer!(U64Deserializer, u64, visit_u64);
+    scalar_deserializer!(I8Deserializer, i8, visit_i8);
+    scalar_deserializer!(I16Deserializer, i16, visit_i16);
+    scalar_deserializer!(I32Deserializer, i32, visit_i32);
+    scalar_deserializer!(I64Deserializer, i64, visit_i64);
+    scalar_deserializer!(StringDeserializer, String, visit_string);
+
+    pub struct UsizeDeserializer<E> {
+        value: usize,
+        marker: PhantomData<E>,
+    }
+
+    impl<'de, E: super::Error> Deserializer<'de> for UsizeDeserializer<E> {
+        type Error = E;
+
+        fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+            visitor.visit_u64(self.value as u64)
+        }
+
+        forward_to_any!();
+    }
+
+    impl<'de, E: super::Error> IntoDeserializer<'de, E> for usize {
+        type Deserializer = UsizeDeserializer<E>;
+        fn into_deserializer(self) -> UsizeDeserializer<E> {
+            UsizeDeserializer {
+                value: self,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    pub struct StrDeserializer<'a, E> {
+        value: &'a str,
+        marker: PhantomData<E>,
+    }
+
+    impl<'a, E> StrDeserializer<'a, E> {
+        pub fn new(value: &'a str) -> Self {
+            Self {
+                value,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, 'a, E: super::Error> Deserializer<'de> for StrDeserializer<'a, E> {
+        type Error = E;
+
+        fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+            visitor.visit_str(self.value)
+        }
+
+        forward_to_any!();
+    }
+
+    impl<'de, 'a, E: super::Error> IntoDeserializer<'de, E> for &'a str {
+        type Deserializer = StrDeserializer<'a, E>;
+        fn into_deserializer(self) -> StrDeserializer<'a, E> {
+            StrDeserializer::new(self)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a boolean")
+            }
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(V)
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty, $method:ident;)*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str(concat!("an integer fitting ", stringify!($ty)))
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::invalid_value(Unexpected::Signed(v), &concat!("a ", stringify!($ty)))
+                        })
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::invalid_value(
+                                Unexpected::Unsigned(v),
+                                &concat!("a ", stringify!($ty)),
+                            )
+                        })
+                    }
+                }
+                deserializer.$method(V)
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int! {
+    i8, deserialize_i8;
+    i16, deserialize_i16;
+    i32, deserialize_i32;
+    i64, deserialize_i64;
+    u8, deserialize_u8;
+    u16, deserialize_u16;
+    u32, deserialize_u32;
+    u64, deserialize_u64;
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = u128;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an unsigned 128-bit integer")
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<u128, E> {
+                Ok(v as u128)
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<u128, E> {
+                u128::try_from(v)
+                    .map_err(|_| E::invalid_value(Unexpected::Signed(v), &"a u128"))
+            }
+        }
+        deserializer.deserialize_u128(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for i128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = i128;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a signed 128-bit integer")
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<i128, E> {
+                Ok(v as i128)
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<i128, E> {
+                Ok(v as i128)
+            }
+        }
+        deserializer.deserialize_i128(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        u64::deserialize(deserializer).map(|v| v as usize)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        i64::deserialize(deserializer).map(|v| v as isize)
+    }
+}
+
+macro_rules! impl_deserialize_float {
+    ($($ty:ty, $method:ident;)*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a floating-point number")
+                    }
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                }
+                deserializer.$method(V)
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float! {
+    f32, deserialize_f32;
+    f64, deserialize_f64;
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a character")
+            }
+            fn visit_char<E: Error>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::invalid_value(Unexpected::Str(v), &"a single character")),
+                }
+            }
+        }
+        deserializer.deserialize_char(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitV;
+        impl<'de> Visitor<'de> for UnitV {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitV)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an optional value")
+            }
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Into::into)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(PhantomData<(K, V)>);
+        impl<'de, K, V> Visitor<'de> for Vis<K, V>
+        where
+            K: Deserialize<'de> + Ord,
+            V: Deserialize<'de>,
+        {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for Vis<K, V, H>
+        where
+            K: Deserialize<'de> + std::hash::Hash + Eq,
+            V: Deserialize<'de>,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out =
+                    std::collections::HashMap::with_capacity_and_hasher(0, H::default());
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for std::collections::HashSet<T, H>
+where
+    T: Deserialize<'de> + std::hash::Hash + Eq,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($($len:expr => ($($n:tt $t:ident)+),)*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct Vis<$($t),+>(PhantomData<($($t,)+)>);
+                impl<'de, $($t: Deserialize<'de>),+> Visitor<'de> for Vis<$($t),+> {
+                    type Value = ($($t,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a tuple of {} elements", $len)
+                    }
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        Ok(($(
+                            match seq.next_element::<$t>()? {
+                                Some(v) => v,
+                                None => return Err(Error::invalid_length($n, &self)),
+                            },
+                        )+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, Vis(PhantomData))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    1 => (0 T0),
+    2 => (0 T0 1 T1),
+    3 => (0 T0 1 T1 2 T2),
+    4 => (0 T0 1 T1 2 T2 3 T3),
+    5 => (0 T0 1 T1 2 T2 3 T3 4 T4),
+    6 => (0 T0 1 T1 2 T2 3 T3 4 T4 5 T5),
+    7 => (0 T0 1 T1 2 T2 3 T3 4 T4 5 T5 6 T6),
+    8 => (0 T0 1 T1 2 T2 3 T3 4 T4 5 T5 6 T6 7 T7),
+    9 => (0 T0 1 T1 2 T2 3 T3 4 T4 5 T5 6 T6 7 T7 8 T8),
+    10 => (0 T0 1 T1 2 T2 3 T3 4 T4 5 T5 6 T6 7 T7 8 T8 9 T9),
+    11 => (0 T0 1 T1 2 T2 3 T3 4 T4 5 T5 6 T6 7 T7 8 T8 9 T9 10 T10),
+    12 => (0 T0 1 T1 2 T2 3 T3 4 T4 5 T5 6 T6 7 T7 8 T8 9 T9 10 T10 11 T11),
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = std::time::Duration;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a Duration {secs, nanos} struct")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let secs: u64 = seq
+                    .next_element()?
+                    .ok_or_else(|| Error::invalid_length(0, &self))?;
+                let nanos: u32 = seq
+                    .next_element()?
+                    .ok_or_else(|| Error::invalid_length(1, &self))?;
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut secs: Option<u64> = None;
+                let mut nanos: Option<u32> = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "secs" => secs = Some(map.next_value()?),
+                        "nanos" => nanos = Some(map.next_value()?),
+                        _ => {
+                            map.next_value::<IgnoredAny>()?;
+                        }
+                    }
+                }
+                Ok(std::time::Duration::new(
+                    secs.ok_or_else(|| Error::missing_field("secs"))?,
+                    nanos.ok_or_else(|| Error::missing_field("nanos"))?,
+                ))
+            }
+        }
+        deserializer.deserialize_struct("Duration", &["secs", "nanos"], V)
+    }
+}

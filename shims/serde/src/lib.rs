@@ -1,0 +1,19 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no network access, so this crate
+//! reimplements the core serde data model — the `Serialize`/`Serializer`
+//! and `Deserialize`/`Deserializer` trait architecture, visitor-based
+//! deserialization, and impls for the std types this workspace
+//! serializes — plus `serde_derive` proc-macros. Formats written against
+//! real serde (the workspace's binary codec, the JSON shim) compile
+//! unchanged against this shim.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in the same namespace trick real serde uses: the
+// trait and the derive share a name but occupy different namespaces.
+pub use serde_derive::{Deserialize, Serialize};
