@@ -3,6 +3,9 @@
 #
 # Mirrors the tier-1 verify (`cargo build --release && cargo test -q`)
 # and adds the guards that keep non-test targets from rotting:
+#   * clippy runs deny-warnings over every target so refactors cannot
+#     silently accrue dead code (falls back to a -D warnings build if the
+#     toolchain ships without clippy),
 #   * benches must keep compiling (`cargo bench --no-run` — never run in
 #     CI; numbers come from dedicated perf runs),
 #   * all examples must keep compiling,
@@ -18,6 +21,14 @@ cargo build --release --offline
 
 echo "==> cargo test -q --workspace (functional crates + shim self-tests)"
 cargo test -q --offline --workspace
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy unavailable; building with RUSTFLAGS=-Dwarnings instead"
+    RUSTFLAGS="-D warnings" cargo build --offline --workspace --all-targets
+fi
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline

@@ -297,6 +297,7 @@ pub struct ClusterBuilder<M, R> {
     factories: HashMap<&'static str, GrainFactory<M, R>>,
     faults: FaultConfig,
     call_timeout: Duration,
+    storage: Option<Arc<dyn om_storage::StateBackend>>,
 }
 
 impl<M: Payload, R: Send + 'static> ClusterBuilder<M, R> {
@@ -307,6 +308,7 @@ impl<M: Payload, R: Send + 'static> ClusterBuilder<M, R> {
             factories: HashMap::new(),
             faults: FaultConfig::default(),
             call_timeout: Duration::from_secs(10),
+            storage: None,
         }
     }
 
@@ -348,14 +350,25 @@ impl<M: Payload, R: Send + 'static> ClusterBuilder<M, R> {
         self
     }
 
+    /// Injects the [`om_storage::StateBackend`] grain snapshots persist
+    /// to. Defaults to the sharded eventual backend.
+    pub fn storage_backend(mut self, backend: Arc<dyn om_storage::StateBackend>) -> Self {
+        self.storage = Some(backend);
+        self
+    }
+
     /// Builds and starts the cluster.
     pub fn build(self) -> Cluster<M, R> {
         let silos: Vec<_> = (0..self.silos).map(Silo::new).collect();
+        let storage = match self.storage {
+            Some(backend) => StorageMap::with_backend(backend),
+            None => StorageMap::new(),
+        };
         let inner = Arc::new(Inner {
             silos,
             directory: RwLock::new(HashMap::new()),
             factories: self.factories,
-            storage: Arc::new(StorageMap::new()),
+            storage: Arc::new(storage),
             clock: Arc::new(LogicalClock::new()),
             fault_rng: Mutex::new(SplitMix64::new(self.faults.seed)),
             faults: self.faults,

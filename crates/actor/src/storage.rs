@@ -1,49 +1,110 @@
 //! Grain storage: durable state snapshots surviving silo failures.
 //!
 //! Mirrors the "grain storage to manage grain states" box of the paper's
-//! Fig. 1. The map outlives silos; a reactivated grain receives the last
-//! snapshot saved by any previous activation.
+//! Fig. 1. The storage outlives silos; a reactivated grain receives the
+//! last snapshot saved by any previous activation.
+//!
+//! Snapshots live in a pluggable [`StateBackend`] — the sharded eventual
+//! KV by default, or any backend injected through
+//! [`crate::ClusterBuilder::storage_backend`] — replacing the single
+//! `RwLock<HashMap>` this map used to be. Loads go to the backend's
+//! authoritative copy, so reactivation always observes the newest save
+//! regardless of the backend's replication discipline.
 
 use crate::grain::GrainId;
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use om_common::config::BackendKind;
+use om_storage::{make_backend, StateBackend};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Cluster-wide grain state storage.
-#[derive(Debug, Default)]
+/// Shard count for grain-storage backends. Grain saves are the actor hot
+/// path (every persisting grain writes per turn), so this leans high;
+/// power-of-two masking makes routing cheap. Callers injecting their own
+/// backend (the platform bindings) reuse this so the injected and default
+/// configurations agree on lock-domain count.
+pub const GRAIN_STORAGE_SHARDS: usize = 64;
+
+/// Cluster-wide grain state storage over a pluggable backend.
 pub struct StorageMap {
-    states: RwLock<HashMap<GrainId, Vec<u8>>>,
-    saves: std::sync::atomic::AtomicU64,
+    backend: Arc<dyn StateBackend>,
+    saves: AtomicU64,
+}
+
+impl std::fmt::Debug for StorageMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageMap")
+            .field("backend", &self.backend.kind())
+            .field("grains", &self.len())
+            .field("saves", &self.save_count())
+            .finish()
+    }
+}
+
+impl Default for StorageMap {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl StorageMap {
+    /// Storage over the default sharded eventual backend.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_backend(make_backend(BackendKind::Eventual, GRAIN_STORAGE_SHARDS))
+    }
+
+    /// Storage over an injected backend (how the platform bindings thread
+    /// their `RunConfig`-selected backend into the cluster).
+    pub fn with_backend(backend: Arc<dyn StateBackend>) -> Self {
+        Self {
+            backend,
+            saves: AtomicU64::new(0),
+        }
+    }
+
+    /// Encodes a grain id as a backend key: `kind` bytes, a `/` separator
+    /// (grain kinds are static identifiers that never contain one), and
+    /// the big-endian key so sibling grains sort together under scans.
+    fn storage_key(id: &GrainId) -> Vec<u8> {
+        let mut key = Vec::with_capacity(id.kind.len() + 9);
+        key.extend_from_slice(id.kind.as_bytes());
+        key.push(b'/');
+        key.extend_from_slice(&id.key.to_be_bytes());
+        key
     }
 
     /// Saves (overwrites) the snapshot for `id`.
     pub fn save(&self, id: GrainId, snapshot: Vec<u8>) {
-        self.states.write().insert(id, snapshot);
-        self.saves
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.backend.put(&Self::storage_key(&id), &snapshot);
+        self.saves.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Loads the last snapshot for `id`.
+    /// Loads the last snapshot for `id` (authoritative read).
     pub fn load(&self, id: &GrainId) -> Option<Vec<u8>> {
-        self.states.read().get(id).cloned()
+        self.backend.get(&Self::storage_key(id))
     }
 
     /// Number of grains with stored state.
     pub fn len(&self) -> usize {
-        self.states.read().len()
+        self.backend.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.states.read().is_empty()
+        self.backend.is_empty()
     }
 
     /// Total save operations (write-amplification diagnostics).
     pub fn save_count(&self) -> u64 {
-        self.saves.load(std::sync::atomic::Ordering::Relaxed)
+        self.saves.load(Ordering::Relaxed)
+    }
+
+    /// Which storage discipline holds the snapshots.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// The backend itself (diagnostics / backend counters).
+    pub fn backend(&self) -> &Arc<dyn StateBackend> {
+        &self.backend
     }
 }
 
@@ -61,5 +122,30 @@ mod tests {
         assert_eq!(s.load(&id), Some(vec![2, 3]));
         assert_eq!(s.len(), 1);
         assert_eq!(s.save_count(), 2);
+        assert_eq!(s.backend_kind(), BackendKind::Eventual);
+    }
+
+    #[test]
+    fn works_over_every_backend_kind() {
+        for kind in BackendKind::ALL {
+            let s = StorageMap::with_backend(make_backend(kind, 8));
+            let a = GrainId::new("stock", 7);
+            let b = GrainId::new("stock", 8);
+            s.save(a, vec![7]);
+            s.save(b, vec![8]);
+            assert_eq!(s.load(&a), Some(vec![7]), "{kind:?}");
+            assert_eq!(s.load(&b), Some(vec![8]), "{kind:?}");
+            assert_eq!(s.len(), 2, "{kind:?}");
+            assert_eq!(s.backend_kind(), kind);
+        }
+    }
+
+    #[test]
+    fn distinct_kinds_with_same_key_do_not_collide() {
+        let s = StorageMap::new();
+        s.save(GrainId::new("cart", 1), vec![1]);
+        s.save(GrainId::new("order", 1), vec![2]);
+        assert_eq!(s.load(&GrainId::new("cart", 1)), Some(vec![1]));
+        assert_eq!(s.load(&GrainId::new("order", 1)), Some(vec![2]));
     }
 }

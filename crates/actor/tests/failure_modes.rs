@@ -50,7 +50,7 @@ fn silo_kill_mid_traffic_preserves_persisted_state() {
         .map(|w| {
             let c = c.clone();
             std::thread::spawn(move || {
-                let mut acks = vec![0u64; 10];
+                let mut acks = [0u64; 10];
                 for round in 0..30 {
                     let k = w * 10 + round % 10;
                     if let Ok(v) = c.call(GrainId::new("c", k as u64), Msg::IncrPersist) {

@@ -1,0 +1,76 @@
+//! B1 — the **platform × backend matrix** over the checkout workload.
+//!
+//! Sweeps every binding with a pluggable storage layer (eventual,
+//! transactional, customized) over both `StateBackend` disciplines,
+//! timing a fixed checkout-only operation batch per cell. This is the
+//! experiment the unified storage layer unlocks: the same platform code
+//! measured against storage it was not written for.
+//!
+//! The criterion shim reports first-order mean ns/iter with no
+//! statistics — treat single runs as smoke numbers and cite repeated
+//! runs (`cargo bench --bench b1_backend_matrix` several times) for any
+//! perf claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::{make_platform, quick_config, BACKENDS};
+use om_common::config::{RunConfig, WorkloadMix};
+use om_driver::run_benchmark;
+use om_marketplace::api::PlatformKind;
+use om_marketplace::PlatformSpec;
+
+/// The bindings that persist state through the pluggable backend (the
+/// dataflow binding's state is runtime-native, so its cell would not
+/// exercise the matrix axis).
+const BACKED_PLATFORMS: [PlatformKind; 3] = [
+    PlatformKind::Eventual,
+    PlatformKind::Transactional,
+    PlatformKind::Customized,
+];
+
+fn checkout_config(backend: om_common::config::BackendKind) -> RunConfig {
+    RunConfig {
+        mix: WorkloadMix::checkout_only(),
+        backend,
+        ..quick_config()
+    }
+}
+
+fn bench_backend_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_backend_matrix");
+    group.sample_size(10);
+    for kind in BACKED_PLATFORMS {
+        for backend in BACKENDS {
+            // Same cell-id scheme as RunReport::cell_label().
+            let cell = PlatformSpec::new(kind, backend).label();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(cell),
+                &(kind, backend),
+                |b, &(kind, backend)| {
+                    b.iter_with_setup(
+                        || {
+                            let config = checkout_config(backend);
+                            let platform = make_platform(
+                                kind,
+                                backend,
+                                4,
+                                config.payment_decline_rate,
+                                false,
+                            );
+                            (platform, config)
+                        },
+                        |(platform, config)| {
+                            let report = run_benchmark(platform.as_ref(), &config, true);
+                            assert!(report.operations > 0);
+                            assert_eq!(report.backend, config.backend.label());
+                            report
+                        },
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_matrix);
+criterion_main!(benches);

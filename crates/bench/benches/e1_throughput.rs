@@ -22,6 +22,7 @@ fn bench_e1(c: &mut Criterion) {
                         let config: RunConfig = quick_config();
                         let platform = make_platform(
                             kind,
+                            config.backend,
                             4,
                             config.payment_decline_rate,
                             matches!(

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 fn loaded(kind: om_marketplace::api::PlatformKind) -> Box<dyn MarketplacePlatform> {
     let config = quick_config();
-    let platform = make_platform(kind, 4, 0.0, false);
+    let platform = make_platform(kind, config.backend, 4, 0.0, false);
     DataGenerator::new(config.scale, 1)
         .ingest_all(platform.as_ref())
         .expect("ingest");

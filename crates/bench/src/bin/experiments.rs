@@ -210,7 +210,8 @@ fn a3(config: &RunConfig) {
         cfg.mix = WorkloadMix::checkout_only();
         cfg.zipf_theta = theta;
         cfg.scale.products_per_seller = products_per_seller;
-        let platform = make_platform(PlatformKind::Transactional, 4, cfg.payment_decline_rate, false);
+        let platform =
+            make_platform(PlatformKind::Transactional, cfg.backend, 4, cfg.payment_decline_rate, false);
         let report = run_benchmark(platform.as_ref(), &cfg, true);
         println!(
             "  {label:<32} {:>8.0} ops/s, tx_restarts={}, lock_waits={}",
@@ -283,7 +284,7 @@ fn a5() {
     use om_common::ids::SellerId;
     use std::sync::Arc;
 
-    let platform = make_platform(PlatformKind::Eventual, 4, 0.0, false);
+    let platform = make_platform(PlatformKind::Eventual, om_common::config::BackendKind::Eventual, 4, 0.0, false);
     let platform: Arc<dyn MarketplacePlatform> = Arc::from(platform);
     // Minimal catalogue so dashboards have something to aggregate.
     platform
@@ -336,7 +337,13 @@ fn a5_full_stack(config: &RunConfig) {
     let direct = run_platform(PlatformKind::Customized, config, 4, false);
     println!("  {}", direct.throughput_row());
 
-    let inner = make_platform(PlatformKind::Customized, 4, config.payment_decline_rate, false);
+    let inner = make_platform(
+        PlatformKind::Customized,
+        config.backend,
+        4,
+        config.payment_decline_rate,
+        false,
+    );
     let fronted = HttpPlatform::front(Arc::from(inner), 2);
     let mut report = run_benchmark(&fronted, config, true);
     report.platform = "customized_behind_http".into();

@@ -5,15 +5,10 @@
 //! `DESIGN.md` §4 for the mapping to modules.
 
 use om_actor::FaultConfig;
-use om_common::config::{RunConfig, ScaleConfig, WorkloadMix};
+use om_common::config::{BackendKind, RunConfig, ScaleConfig, WorkloadMix};
 use om_driver::{run_benchmark, RunReport};
 use om_marketplace::api::{MarketplacePlatform, PlatformKind};
-use om_marketplace::bindings::actor_core::ActorPlatformConfig;
-use om_marketplace::bindings::customized::CustomizedConfig;
-use om_marketplace::bindings::dataflow::DataflowPlatformConfig;
-use om_marketplace::{
-    CustomizedPlatform, DataflowPlatform, EventualPlatform, TransactionalPlatform,
-};
+use om_marketplace::{build_platform, PlatformSpec};
 
 /// The four platforms in paper order.
 pub const PLATFORMS: [PlatformKind; 4] = [
@@ -23,7 +18,11 @@ pub const PLATFORMS: [PlatformKind; 4] = [
     PlatformKind::Customized,
 ];
 
-/// Builds a platform with `parallelism` internal execution slots.
+/// The pluggable storage backends, the matrix's second axis.
+pub const BACKENDS: [BackendKind; 2] = BackendKind::ALL;
+
+/// Builds a platform with `parallelism` internal execution slots over the
+/// selected storage backend.
 ///
 /// Actor bindings split slots across two silos (Orleans-style multi-host);
 /// the dataflow binding maps slots to partitions. `faulty` arms the
@@ -34,6 +33,7 @@ pub const PLATFORMS: [PlatformKind; 4] = [
 /// construction.
 pub fn make_platform(
     kind: PlatformKind,
+    backend: BackendKind,
     parallelism: usize,
     decline_rate: f64,
     faulty: bool,
@@ -43,25 +43,12 @@ pub fn make_platform(
     } else {
         FaultConfig::reliable()
     };
-    let actor = ActorPlatformConfig {
-        silos: 2,
-        workers_per_silo: parallelism.div_ceil(2).max(1),
-        faults,
-        decline_rate,
-    };
-    match kind {
-        PlatformKind::Eventual => Box::new(EventualPlatform::new(actor)),
-        PlatformKind::Transactional => Box::new(TransactionalPlatform::new(actor)),
-        PlatformKind::Dataflow => Box::new(DataflowPlatform::new(DataflowPlatformConfig {
-            partitions: parallelism.max(1),
-            max_batch: 64,
-            decline_rate,
-        })),
-        PlatformKind::Customized => Box::new(CustomizedPlatform::new(CustomizedConfig {
-            actor,
-            ..Default::default()
-        })),
-    }
+    build_platform(
+        &PlatformSpec::new(kind, backend)
+            .parallelism(parallelism)
+            .decline_rate(decline_rate)
+            .faults(faults),
+    )
 }
 
 /// The standard evaluation scale (kept modest so the full matrix runs in
@@ -82,6 +69,7 @@ pub fn standard_config(scale_factor: u64) -> RunConfig {
         warmup_ops_per_worker: 25,
         max_cart_items: 5,
         payment_decline_rate: 0.05,
+        backend: BackendKind::Eventual,
     }
 }
 
@@ -95,14 +83,21 @@ pub fn quick_config() -> RunConfig {
     }
 }
 
-/// Runs one platform under `config`, returning the report.
+/// Runs one platform under `config` (which selects the storage backend),
+/// returning the report.
 pub fn run_platform(
     kind: PlatformKind,
     config: &RunConfig,
     parallelism: usize,
     faulty: bool,
 ) -> RunReport {
-    let platform = make_platform(kind, parallelism, config.payment_decline_rate, faulty);
+    let platform = make_platform(
+        kind,
+        config.backend,
+        parallelism,
+        config.payment_decline_rate,
+        faulty,
+    );
     run_benchmark(platform.as_ref(), config, true)
 }
 
@@ -120,10 +115,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn factory_builds_every_platform() {
+    fn factory_builds_every_matrix_cell() {
         for kind in PLATFORMS {
-            let p = make_platform(kind, 2, 0.0, false);
-            assert_eq!(p.kind(), kind);
+            for backend in BACKENDS {
+                let p = make_platform(kind, backend, 2, 0.0, false);
+                assert_eq!(p.kind(), kind);
+            }
         }
     }
 

@@ -380,7 +380,7 @@ macro_rules! impl_de_int {
     };
 }
 
-impl<'de, 'a> de::Deserializer<'de> for &'a mut Decoder<'de> {
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
     type Error = CodecError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
@@ -763,7 +763,7 @@ mod tests {
             .map(|i| Row {
                 order: i,
                 seller: i % 10,
-                amount: 100_00 + i as i64,
+                amount: 10_000 + i as i64,
                 status: (i % 3) as u8,
             })
             .collect();

@@ -148,6 +148,32 @@ pub enum EventOrdering {
     Causal,
 }
 
+/// Which pluggable [`StateBackend`](https://docs.rs/om_storage) powers a
+/// platform's storage layer. The benchmark's platform×backend matrix pairs
+/// every binding with every backend, so a platform can be measured against
+/// storage disciplines it was not written for (the axis the paper implies
+/// but its fixed deployments cannot sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Per-key last-writer-wins over the sharded KV store with an
+    /// asynchronous secondary replica (Redis-style, converges on quiesce).
+    Eventual,
+    /// Snapshot-isolated MVCC storage: multi-key commits are atomic and
+    /// never observable half-applied (PostgreSQL-style).
+    SnapshotIsolation,
+}
+
+impl BackendKind {
+    pub const ALL: [BackendKind; 2] = [BackendKind::Eventual, BackendKind::SnapshotIsolation];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Eventual => "eventual_kv",
+            BackendKind::SnapshotIsolation => "snapshot_isolation",
+        }
+    }
+}
+
 /// Full run configuration for the driver.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
@@ -166,6 +192,8 @@ pub struct RunConfig {
     pub max_cart_items: u32,
     /// Probability that a payment is declined.
     pub payment_decline_rate: f64,
+    /// Storage backend the platform under test is constructed with.
+    pub backend: BackendKind,
 }
 
 impl Default for RunConfig {
@@ -180,6 +208,7 @@ impl Default for RunConfig {
             warmup_ops_per_worker: 50,
             max_cart_items: 5,
             payment_decline_rate: 0.05,
+            backend: BackendKind::Eventual,
         }
     }
 }
@@ -234,9 +263,19 @@ mod tests {
 
     #[test]
     fn config_serde_roundtrip() {
-        let c = RunConfig::default();
+        let c = RunConfig {
+            backend: BackendKind::SnapshotIsolation,
+            ..RunConfig::default()
+        };
         let s = serde_json::to_string(&c).unwrap();
         let back: RunConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn backend_kind_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            BackendKind::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels.len(), BackendKind::ALL.len());
     }
 }

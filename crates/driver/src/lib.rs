@@ -26,4 +26,4 @@ pub mod workload;
 pub use audit::{CriteriaReport, CriterionVerdict};
 pub use datagen::DataGenerator;
 pub use report::RunReport;
-pub use runner::run_benchmark;
+pub use runner::{run_benchmark, run_matrix_cell};

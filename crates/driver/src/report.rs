@@ -11,6 +11,9 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     pub platform: String,
+    /// Label of the storage backend the platform ran over
+    /// (`"native"` for platforms without a pluggable backend).
+    pub backend: String,
     pub config: RunConfig,
     /// Completed operations in the measured window.
     pub operations: u64,
@@ -32,11 +35,16 @@ impl RunReport {
         self.latency.get(kind.label())
     }
 
+    /// `platform+backend`, the matrix-cell id of this run.
+    pub fn cell_label(&self) -> String {
+        format!("{}+{}", self.platform, self.backend)
+    }
+
     /// One text row for the E1 throughput table.
     pub fn throughput_row(&self) -> String {
         format!(
-            "{:<22} {:>10.0} ops/s  ({} ops in {:.2}s, {} failed)",
-            self.platform,
+            "{:<42} {:>10.0} ops/s  ({} ops in {:.2}s, {} failed)",
+            self.cell_label(),
             self.throughput_per_sec,
             self.operations,
             self.window_secs,
@@ -94,6 +102,7 @@ mod tests {
         let verdict = CriterionVerdict::Satisfied;
         RunReport {
             platform: "test".into(),
+            backend: "eventual_kv".into(),
             config: RunConfig::smoke(),
             operations: 100,
             failed_operations: 1,
@@ -121,8 +130,10 @@ mod tests {
     fn rows_render() {
         let r = report();
         assert!(r.throughput_row().contains("50"));
+        assert!(r.throughput_row().contains("test+eventual_kv"));
         assert!(r.criteria_row().contains("atomicity=yes"));
         assert!(r.latency_table().contains("p99"));
+        assert_eq!(r.cell_label(), "test+eventual_kv");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::workload::{next_op, Op, WorkloadState};
 use om_common::config::RunConfig;
 use om_common::rng::SplitMix64;
 use om_common::stats::{Histogram, Throughput};
-use om_marketplace::api::{CheckoutItem, CheckoutRequest, MarketplacePlatform};
+use om_marketplace::api::{CheckoutItem, CheckoutRequest, MarketplacePlatform, PlatformKind};
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -157,6 +157,18 @@ fn worker_loop(
     stats
 }
 
+/// Builds the platform for the `(kind, config.backend)` matrix cell
+/// through the factory and runs the full lifecycle on it. This is the
+/// `RunConfig`-driven entry point: selecting a different backend is a
+/// config change, never a code change.
+pub fn run_matrix_cell(kind: PlatformKind, config: &RunConfig) -> RunReport {
+    let spec = om_marketplace::PlatformSpec::new(kind, config.backend)
+        .parallelism(config.workers.max(1))
+        .decline_rate(config.payment_decline_rate);
+    let platform = om_marketplace::build_platform(&spec);
+    run_benchmark(platform.as_ref(), config, true)
+}
+
 /// Runs the full benchmark lifecycle on `platform` and returns the
 /// report. `ingest` controls whether the runner generates and loads data
 /// (pass `false` if the platform is pre-loaded).
@@ -230,6 +242,10 @@ pub fn run_benchmark(
     };
     RunReport {
         platform: platform.kind().label().to_string(),
+        backend: platform
+            .backend()
+            .map(|b| b.label().to_string())
+            .unwrap_or_else(|| "native".to_string()),
         config: config.clone(),
         operations: completed,
         failed_operations: failed,

@@ -96,12 +96,9 @@ impl WorkloadState {
             // as a replacement), so swap out *every* occurrence — a
             // deleted product must never be sampleable again, while the
             // rank space keeps its size and popularity profile.
-            let Some(candidate) = (0..64)
+            let candidate = (0..64)
                 .map(|_| ranks[rng.next_bounded(ranks.len() as u64) as usize])
-                .find(|c| *c != victim && !deleted.contains(c))
-            else {
-                return None;
-            };
+                .find(|c| *c != victim && !deleted.contains(c))?;
             deleted.insert(victim);
             for slot in ranks.iter_mut().filter(|slot| **slot == victim) {
                 *slot = candidate;

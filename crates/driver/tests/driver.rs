@@ -109,6 +109,34 @@ fn reports_are_deterministic_in_shape_and_serializable() {
     let json = report.to_json();
     let back: om_driver::RunReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.platform, "orleans_eventual");
+    assert_eq!(back.backend, "eventual_kv");
     assert!(!report.throughput_row().is_empty());
     assert!(!report.criteria_row().is_empty());
+}
+
+#[test]
+fn backend_is_selectable_from_run_config_and_labeled_in_reports() {
+    use om_common::config::BackendKind;
+    use om_marketplace::PlatformKind;
+
+    // Same platform, both backends — selected purely through RunConfig.
+    for backend in BackendKind::ALL {
+        let config = RunConfig {
+            backend,
+            ..smoke_config()
+        };
+        let report = om_driver::run_matrix_cell(PlatformKind::Transactional, &config);
+        assert!(report.operations > 0, "{backend:?}");
+        assert_eq!(report.backend, backend.label(), "{backend:?}");
+        assert_eq!(
+            report.cell_label(),
+            format!("orleans_transactions+{}", backend.label())
+        );
+        assert_eq!(report.criteria.atomicity_violations, 0, "{backend:?}");
+        assert!(
+            report.counters.get("storage.saves").copied().unwrap_or(0) > 0,
+            "grain snapshots must flow through the backend ({backend:?}): {:?}",
+            report.counters
+        );
+    }
 }

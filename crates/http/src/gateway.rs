@@ -90,6 +90,13 @@ pub struct MarketplaceGateway {
 }
 
 impl MarketplaceGateway {
+    /// Builds the platform for one `(platform, backend)` matrix cell
+    /// through the marketplace factory and wraps it in a gateway — the
+    /// HTTP-layer entry point to the platform×backend matrix.
+    pub fn for_spec(spec: &om_marketplace::PlatformSpec) -> Self {
+        Self::new(Arc::from(om_marketplace::build_platform(spec)))
+    }
+
     pub fn new(platform: Arc<dyn MarketplacePlatform>) -> Self {
         let router = Router::new()
             .route(Method::Post, "/ingest/sellers", Endpoint::IngestSeller)
@@ -182,6 +189,10 @@ impl MarketplaceGateway {
                 &serde_json::json!({
                     "status": "ok",
                     "platform": self.platform.kind().label(),
+                    "backend": match self.platform.backend() {
+                        Some(b) => b.label(),
+                        None => "native",
+                    },
                 }),
             )),
             Endpoint::Counters => {
@@ -348,12 +359,27 @@ mod tests {
     }
 
     #[test]
-    fn health_reports_platform() {
+    fn health_reports_platform_and_backend() {
         let g = gateway();
         let resp = g.handle(&req(Method::Get, "/health", None));
         assert_eq!(resp.status, 200);
         let v: serde_json::Value = resp.json_body().unwrap();
         assert_eq!(v["platform"], "orleans_eventual");
+        assert_eq!(v["backend"], "eventual_kv");
+    }
+
+    #[test]
+    fn gateway_builds_from_matrix_spec() {
+        use om_common::config::BackendKind;
+        use om_marketplace::{PlatformKind, PlatformSpec};
+        let g = MarketplaceGateway::for_spec(
+            &PlatformSpec::new(PlatformKind::Transactional, BackendKind::SnapshotIsolation)
+                .parallelism(2),
+        );
+        let resp = g.handle(&req(Method::Get, "/health", None));
+        let v: serde_json::Value = resp.json_body().unwrap();
+        assert_eq!(v["platform"], "orleans_transactions");
+        assert_eq!(v["backend"], "snapshot_isolation");
     }
 
     #[test]

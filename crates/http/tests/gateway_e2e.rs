@@ -162,7 +162,7 @@ fn dashboard_price_update_and_delete_over_http() {
         .request(
             Method::Patch,
             "/products/2/3/price",
-            Some(&json!({"price": 123_45})),
+            Some(&json!({"price": 12_345})),
         )
         .unwrap();
     assert_eq!(resp.status, 204);

@@ -52,6 +52,8 @@ impl<K: Hash + Eq + Clone> Session<K> {
     }
 }
 
+type ApplierChannel<K, V> = (Sender<ApplierMsg<K, V>>, Receiver<ApplierMsg<K, V>>);
+
 enum ApplierMsg<K, V> {
     Record(ReplicationRecord<K, V>),
     /// Flush buffered records and acknowledge via the enclosed sender.
@@ -86,7 +88,7 @@ impl<K: Hash + Eq + Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'sta
         let primary = Arc::new(Store::new(shards));
         let secondary = Arc::new(Store::new(shards));
         let stats = Arc::new(ReplicationStats::default());
-        let (tx, rx): (Sender<ApplierMsg<K, V>>, Receiver<ApplierMsg<K, V>>) = unbounded();
+        let (tx, rx): ApplierChannel<K, V> = unbounded();
         let applier_secondary = secondary.clone();
         let applier_stats = stats.clone();
         let handle = std::thread::Builder::new()

@@ -25,28 +25,40 @@ impl<V> VersionedValue<V> {
     }
 }
 
-fn shard_index<K: Hash>(key: &K, shards: usize) -> usize {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % shards as u64) as usize
-}
-
 /// A sharded hash map guarded by per-shard `RwLock`s.
 ///
 /// Sharding bounds lock contention under the write-heavy price-update storm
-/// workloads; reads take a shared lock on a single shard.
+/// workloads; reads take a shared lock on a single shard. The shard count
+/// is rounded up to a power of two so routing is a hash-and-mask rather
+/// than a division.
 #[derive(Debug)]
 pub struct Store<K, V> {
     shards: Vec<RwLock<HashMap<K, VersionedValue<V>>>>,
+    /// `shards.len() - 1`; valid because the length is a power of two.
+    mask: u64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Store<K, V> {
-    /// Creates a store with `shards` independent lock domains.
+    /// Creates a store with at least `shards` independent lock domains
+    /// (rounded up to the next power of two).
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0);
+        let shards = shards.next_power_of_two();
         Self {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: shards as u64 - 1,
         }
+    }
+
+    /// Number of shard lock domains (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() & self.mask) as usize
     }
 
     /// Number of live (non-tombstone) keys.
@@ -62,21 +74,34 @@ impl<K: Hash + Eq + Clone, V: Clone> Store<K, V> {
     }
 
     /// Reads the current version of `key` (tombstones are reported).
-    pub fn get_versioned(&self, key: &K) -> Option<VersionedValue<V>> {
-        self.shards[shard_index(key, self.shards.len())]
+    ///
+    /// Borrow-generic so callers holding only a borrowed form of the key
+    /// (`&[u8]` against a `Store<Vec<u8>, _>`) read without allocating.
+    /// The usual `Borrow` contract applies: the borrowed form must hash
+    /// and compare like the owned key.
+    pub fn get_versioned<Q>(&self, key: &Q) -> Option<VersionedValue<V>>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_index(key)]
             .read()
             .get(key)
             .cloned()
     }
 
     /// Reads the live value of `key` (`None` for absent or tombstoned).
-    pub fn get(&self, key: &K) -> Option<V> {
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         self.get_versioned(key).and_then(|v| v.value)
     }
 
     /// Unconditionally installs a version. Returns the previous version.
     pub fn put(&self, key: K, value: VersionedValue<V>) -> Option<VersionedValue<V>> {
-        self.shards[shard_index(&key, self.shards.len())]
+        self.shards[self.shard_index(&key)]
             .write()
             .insert(key, value)
     }
@@ -85,7 +110,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Store<K, V> {
     /// version; stale replicated writes are dropped. Returns whether the
     /// write was applied.
     pub fn put_if_newer(&self, key: K, value: VersionedValue<V>) -> bool {
-        let mut shard = self.shards[shard_index(&key, self.shards.len())].write();
+        let mut shard = self.shards[self.shard_index(&key)].write();
         match shard.get(&key) {
             Some(existing) if existing.key_seq >= value.key_seq => false,
             _ => {
@@ -101,7 +126,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Store<K, V> {
     where
         F: FnOnce(Option<&VersionedValue<V>>) -> VersionedValue<V>,
     {
-        let mut shard = self.shards[shard_index(&key, self.shards.len())].write();
+        let mut shard = self.shards[self.shard_index(&key)].write();
         let next = f(shard.get(&key));
         shard.insert(key, next.clone());
         next
@@ -110,7 +135,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Store<K, V> {
     /// Removes `key` entirely (hard delete; replication uses tombstones
     /// instead — this is for test cleanup).
     pub fn remove(&self, key: &K) -> Option<VersionedValue<V>> {
-        self.shards[shard_index(key, self.shards.len())]
+        self.shards[self.shard_index(key)]
             .write()
             .remove(key)
     }

@@ -142,11 +142,11 @@ proptest! {
             producer.send(*p, *v).unwrap();
             per_partition[*p].push(*v);
         }
-        for p in 0..4 {
+        for (p, expected) in per_partition.iter().enumerate() {
             let entries = topic.read_from(p, 0, usize::MAX);
             let payloads: Vec<u16> = entries.iter().map(|e| e.payload).collect();
-            prop_assert_eq!(&payloads, &per_partition[p]);
-            prop_assert_eq!(topic.end_offset(p), per_partition[p].len() as u64);
+            prop_assert_eq!(&payloads, expected);
+            prop_assert_eq!(topic.end_offset(p), expected.len() as u64);
             for (i, e) in entries.iter().enumerate() {
                 prop_assert_eq!(e.offset, i as u64);
             }

@@ -4,6 +4,7 @@
 use om_common::entity::{
     Customer, Order, Payment, Product, Seller, SellerDashboard, StockItem,
 };
+use om_common::config::BackendKind;
 use om_common::entity::PaymentMethod;
 use om_common::ids::{CustomerId, OrderId, ProductId, SellerId};
 use om_common::{Money, OmResult};
@@ -108,6 +109,14 @@ pub struct PackageSnapshot {
 /// many worker threads concurrently.
 pub trait MarketplacePlatform: Send + Sync {
     fn kind(&self) -> PlatformKind;
+
+    /// Which pluggable [`StateBackend`](om_storage::StateBackend) the
+    /// platform persists state through, or `None` for platforms whose
+    /// state lives only inside their runtime (the dataflow binding's
+    /// checkpointed function state). Reports label runs with this.
+    fn backend(&self) -> Option<BackendKind> {
+        None
+    }
 
     // ---- data ingestion -------------------------------------------------
     fn ingest_seller(&self, seller: Seller) -> OmResult<()>;

@@ -3,6 +3,7 @@
 //! dashboard and snapshot collection.
 
 use om_actor::{Cluster, FaultConfig};
+use om_common::config::BackendKind;
 use om_common::entity::{Customer, Product, Seller, SellerDashboard};
 use om_common::ids::*;
 use om_common::stats::CounterSet;
@@ -23,6 +24,8 @@ pub struct ActorPlatformConfig {
     pub faults: FaultConfig,
     /// Payment decline probability.
     pub decline_rate: f64,
+    /// Storage discipline grain snapshots persist through.
+    pub backend: BackendKind,
 }
 
 impl Default for ActorPlatformConfig {
@@ -32,6 +35,7 @@ impl Default for ActorPlatformConfig {
             workers_per_silo: 4,
             faults: FaultConfig::reliable(),
             decline_rate: 0.05,
+            backend: BackendKind::Eventual,
         }
     }
 }
@@ -51,16 +55,24 @@ pub struct ActorCore {
     pub tids: IdSequence,
     pub decline_rate: f64,
     pub counters: CounterSet,
+    /// The storage discipline the cluster's grain snapshots go through.
+    pub backend: BackendKind,
 }
 
 impl ActorCore {
     pub fn new(config: &ActorPlatformConfig) -> Self {
         Self {
-            cluster: build_cluster(config.silos, config.workers_per_silo, config.faults),
+            cluster: build_cluster(
+                config.silos,
+                config.workers_per_silo,
+                config.faults,
+                config.backend,
+            ),
             catalog: Catalog::default(),
             tids: IdSequence::new(1),
             decline_rate: config.decline_rate,
             counters: CounterSet::new(),
+            backend: config.backend,
         }
     }
 
@@ -298,11 +310,16 @@ impl ActorCore {
         Ok(snap)
     }
 
-    /// Platform + cluster counters merged.
+    /// Platform + cluster + storage-backend counters merged.
     pub fn counters(&self) -> std::collections::BTreeMap<String, u64> {
         let mut out = self.counters.snapshot();
         for (k, v) in self.cluster.counters().snapshot() {
             out.insert(format!("cluster.{k}"), v);
+        }
+        let storage = self.cluster.storage();
+        out.insert("storage.saves".into(), storage.save_count());
+        for (k, v) in storage.backend().counters() {
+            out.insert(format!("storage.{k}"), v);
         }
         out
     }

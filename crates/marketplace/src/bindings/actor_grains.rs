@@ -95,20 +95,28 @@ fn handle_tx_protocol<S: Clone, M>(
 /// Builds the marketplace cluster shared by the actor bindings.
 ///
 /// `decline_rate` only matters for the *event-driven* payment path; the
-/// transactional path carries the rate in its messages.
+/// transactional path carries the rate in its messages. Grain snapshots
+/// persist through the `backend`-selected [`om_storage::StateBackend`];
+/// stock grains (the hottest persisted state — every checkout writes
+/// them) reactivate from their last snapshot after a silo failure.
 pub fn build_cluster(
     silos: usize,
     workers_per_silo: usize,
     faults: FaultConfig,
+    backend: om_common::config::BackendKind,
 ) -> Cluster<Msg, Reply> {
     Cluster::builder()
         .silos(silos)
         .workers_per_silo(workers_per_silo)
         .faults(faults)
         .call_timeout(Duration::from_secs(30))
+        .storage_backend(om_storage::make_backend(
+            backend,
+            om_actor::storage::GRAIN_STORAGE_SHARDS,
+        ))
         .register(kinds::PRODUCT, |_id, _snap| make_product_grain())
         .register(kinds::REPLICA, |_id, _snap| make_replica_grain())
-        .register(kinds::STOCK, |_id, _snap| make_stock_grain())
+        .register(kinds::STOCK, |_id, snap| make_stock_grain(snap))
         .register(kinds::CART, |id, _snap| make_cart_grain(CustomerId(id.key)))
         .register(kinds::ORDER, |id, _snap| make_order_grain(CustomerId(id.key)))
         .register(kinds::PAYMENT, |id, _snap| {
@@ -195,8 +203,21 @@ fn make_replica_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
 // Stock
 // ---------------------------------------------------------------------
 
-fn make_stock_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
-    let mut part: Option<TxParticipant<StockService>> = None;
+/// Persists the stock grain's committed state as a codec snapshot. Stock
+/// is the grain kind the benchmark writes hardest (every checkout), so it
+/// is the state the storage backend is measured against.
+fn persist_stock(ctx: &mut GrainContext<'_, Msg>, svc: &StockService) {
+    if let Ok(bytes) = om_common::codec::to_bytes(svc) {
+        ctx.persist(bytes);
+    }
+}
+
+fn make_stock_grain(snapshot: Option<Vec<u8>>) -> Box<dyn om_actor::Grain<Msg, Reply>> {
+    // Reactivation: restore the last committed state saved by a previous
+    // activation, if the backend holds one.
+    let mut part: Option<TxParticipant<StockService>> = snapshot
+        .and_then(|bytes| om_common::codec::from_bytes::<StockService>(&bytes).ok())
+        .map(TxParticipant::new);
     // A replicated product deletion arriving while a checkout transaction
     // holds the write lock cannot touch committed state; it parks here and
     // applies as soon as the lock is released (commit or abort). Dropping
@@ -205,10 +226,11 @@ fn make_stock_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
     let mut deferred_delete: Option<u64> = None;
     Box::new(move |ctx: &mut GrainContext<'_, Msg>, msg: Msg, _| {
         if let Some(p) = part.as_mut() {
-            if let Some(reply) = handle_tx_protocol(p, &msg, ctx, |_, _| {}) {
+            if let Some(reply) = handle_tx_protocol(p, &msg, ctx, |s, ctx| persist_stock(ctx, s)) {
                 if !p.is_locked() {
                     if let Some(version) = deferred_delete.take() {
                         let _ = p.mutate_committed(|s| s.apply_product_delete(version));
+                        persist_stock(ctx, p.committed());
                     }
                 }
                 return reply;
@@ -223,6 +245,7 @@ fn make_stock_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
                     }
                     None => part = Some(TxParticipant::new(StockService::new(key, qty))),
                 }
+                persist_stock(ctx, part.as_ref().expect("just ingested").committed());
                 Reply::Ok
             }
             Msg::StockReserveEvent {
@@ -236,6 +259,9 @@ fn make_stock_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
                     Some(p) => {
                         let mut ok = false;
                         let _ = p.mutate_committed(|s| ok = s.reserve(item.quantity).is_ok());
+                        if ok {
+                            persist_stock(ctx, p.committed());
+                        }
                         ok
                     }
                     None => false,
@@ -255,6 +281,7 @@ fn make_stock_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
             Msg::StockConfirm { qty } => match part.as_mut() {
                 Some(p) => {
                     let _ = p.mutate_committed(|s| s.confirm(qty));
+                    persist_stock(ctx, p.committed());
                     Reply::Ok
                 }
                 None => Reply::Err(OmError::NotFound("stock".into())),
@@ -262,6 +289,7 @@ fn make_stock_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
             Msg::StockCancel { qty } => match part.as_mut() {
                 Some(p) => {
                     let _ = p.mutate_committed(|s| s.cancel(qty));
+                    persist_stock(ctx, p.committed());
                     Reply::Ok
                 }
                 None => Reply::Err(OmError::NotFound("stock".into())),
@@ -271,6 +299,8 @@ fn make_stock_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
                     if p.mutate_committed(|s| s.apply_product_delete(version)).is_err() {
                         deferred_delete =
                             Some(deferred_delete.map_or(version, |v| v.max(version)));
+                    } else {
+                        persist_stock(ctx, p.committed());
                     }
                     Reply::Ok
                 }

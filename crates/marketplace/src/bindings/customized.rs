@@ -184,6 +184,10 @@ impl MarketplacePlatform for CustomizedPlatform {
         PlatformKind::Customized
     }
 
+    fn backend(&self) -> Option<om_common::config::BackendKind> {
+        Some(self.inner.core().backend)
+    }
+
     fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
         let id = seller.id;
         self.inner.ingest_seller(seller)?;

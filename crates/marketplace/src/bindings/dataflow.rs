@@ -280,10 +280,8 @@ fn replica_fn(_key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfM
                 save(out, &replica);
             }
         }
-        DfMsg::ReplicaDelete { version } => {
-            if replica.apply_delete(version) {
-                save(out, &replica);
-            }
+        DfMsg::ReplicaDelete { version } if replica.apply_delete(version) => {
+            save(out, &replica);
         }
         _ => {}
     }

@@ -43,6 +43,10 @@ impl MarketplacePlatform for EventualPlatform {
         PlatformKind::Eventual
     }
 
+    fn backend(&self) -> Option<om_common::config::BackendKind> {
+        Some(self.core.backend)
+    }
+
     fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
         self.core.ingest_seller(seller)
     }

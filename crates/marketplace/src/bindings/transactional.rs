@@ -342,6 +342,10 @@ impl MarketplacePlatform for TransactionalPlatform {
         PlatformKind::Transactional
     }
 
+    fn backend(&self) -> Option<om_common::config::BackendKind> {
+        Some(self.core.backend)
+    }
+
     fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
         self.core.ingest_seller(seller)
     }

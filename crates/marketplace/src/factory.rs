@@ -1,0 +1,129 @@
+//! The platform factory: one place where `(platform, backend)` pairs
+//! become running platforms.
+//!
+//! The paper measures four fixed deployments; the factory opens the full
+//! **platform × backend matrix** instead — every binding can be
+//! constructed over every [`BackendKind`] without code changes, which is
+//! what lets `RunConfig::backend` select storage end-to-end (driver,
+//! gateway, benches all build through here).
+
+use crate::api::{MarketplacePlatform, PlatformKind};
+use crate::bindings::actor_core::ActorPlatformConfig;
+use crate::bindings::customized::CustomizedConfig;
+use crate::bindings::dataflow::DataflowPlatformConfig;
+use crate::{CustomizedPlatform, DataflowPlatform, EventualPlatform, TransactionalPlatform};
+use om_actor::FaultConfig;
+use om_common::config::BackendKind;
+
+/// Everything needed to build one cell of the platform×backend matrix.
+#[derive(Debug, Clone)]
+pub struct PlatformSpec {
+    pub kind: PlatformKind,
+    pub backend: BackendKind,
+    /// Internal execution slots (actor bindings split them across two
+    /// silos; the dataflow binding maps them to partitions).
+    pub parallelism: usize,
+    /// Payment decline probability.
+    pub decline_rate: f64,
+    /// Event-delivery fault injection (meaningful for the plain actor
+    /// bindings; the dataflow runtime is exactly-once by construction).
+    pub faults: FaultConfig,
+}
+
+impl PlatformSpec {
+    /// A spec with the benchmark's defaults for everything but the matrix
+    /// coordinates.
+    pub fn new(kind: PlatformKind, backend: BackendKind) -> Self {
+        Self {
+            kind,
+            backend,
+            parallelism: 4,
+            decline_rate: 0.05,
+            faults: FaultConfig::reliable(),
+        }
+    }
+
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    pub fn decline_rate(mut self, rate: f64) -> Self {
+        self.decline_rate = rate;
+        self
+    }
+
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The actor-binding configuration this spec maps to.
+    pub fn actor_config(&self) -> ActorPlatformConfig {
+        ActorPlatformConfig {
+            silos: 2,
+            workers_per_silo: self.parallelism.div_ceil(2).max(1),
+            faults: self.faults,
+            decline_rate: self.decline_rate,
+            backend: self.backend,
+        }
+    }
+
+    /// A short `platform+backend` label for reports and bench ids.
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.kind.label(), self.backend.label())
+    }
+}
+
+/// Builds the platform for one matrix cell.
+///
+/// The dataflow binding keeps its state inside the runtime's checkpointed
+/// function state (its [`MarketplacePlatform::backend`] reports `None`);
+/// every other binding persists grain state through the spec's backend.
+pub fn build_platform(spec: &PlatformSpec) -> Box<dyn MarketplacePlatform> {
+    match spec.kind {
+        PlatformKind::Eventual => Box::new(EventualPlatform::new(spec.actor_config())),
+        PlatformKind::Transactional => Box::new(TransactionalPlatform::new(spec.actor_config())),
+        PlatformKind::Dataflow => Box::new(DataflowPlatform::new(DataflowPlatformConfig {
+            partitions: spec.parallelism.max(1),
+            max_batch: 64,
+            decline_rate: spec.decline_rate,
+        })),
+        PlatformKind::Customized => Box::new(CustomizedPlatform::new(CustomizedConfig {
+            actor: spec.actor_config(),
+            ..Default::default()
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_matrix_cell_builds_and_reports_its_coordinates() {
+        for kind in [
+            PlatformKind::Eventual,
+            PlatformKind::Transactional,
+            PlatformKind::Dataflow,
+            PlatformKind::Customized,
+        ] {
+            for backend in BackendKind::ALL {
+                let spec = PlatformSpec::new(kind, backend).parallelism(2);
+                let p = build_platform(&spec);
+                assert_eq!(p.kind(), kind, "{}", spec.label());
+                if kind == PlatformKind::Dataflow {
+                    assert_eq!(p.backend(), None, "dataflow state is runtime-native");
+                } else {
+                    assert_eq!(p.backend(), Some(backend), "{}", spec.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_name_both_axes() {
+        let spec = PlatformSpec::new(PlatformKind::Transactional, BackendKind::SnapshotIsolation);
+        assert_eq!(spec.label(), "orleans_transactions+snapshot_isolation");
+    }
+}

@@ -21,10 +21,12 @@
 pub mod api;
 pub mod bindings;
 pub mod domain;
+pub mod factory;
 
 pub use api::{
     CheckoutOutcome, CheckoutRequest, MarketSnapshot, MarketplacePlatform, PlatformKind,
 };
+pub use factory::{build_platform, PlatformSpec};
 pub use bindings::{
     customized::CustomizedPlatform, dataflow::DataflowPlatform, eventual::EventualPlatform,
     transactional::TransactionalPlatform,

@@ -58,7 +58,7 @@ impl<K: Ord + Clone + Send + Sync + 'static, R: Clone + Send + Sync + 'static> T
         &self.name
     }
 
-    fn visible<'a>(versions: &'a [Version<R>], snapshot: Timestamp) -> Option<&'a Version<R>> {
+    fn visible(versions: &[Version<R>], snapshot: Timestamp) -> Option<&Version<R>> {
         versions.iter().rev().find(|v| v.ts <= snapshot)
     }
 
@@ -118,7 +118,7 @@ impl<K: Ord + Clone + Send + Sync + 'static, R: Clone + Send + Sync + 'static> T
             .pending
             .lock()
             .get(&tx.id())
-            .map(|w| w.clone())
+            .cloned()
             .unwrap_or_default();
         let rows = self.rows.read();
         let mut out = Vec::new();

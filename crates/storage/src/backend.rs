@@ -1,0 +1,201 @@
+//! The `StateBackend` trait: the transactional surface the platform
+//! bindings actually use, captured once so storage is pluggable.
+
+use om_common::config::BackendKind;
+use om_common::OmResult;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One write of a multi-key commit. `value == None` deletes the key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOp {
+    pub key: Vec<u8>,
+    pub value: Option<Vec<u8>>,
+}
+
+/// An ordered batch of writes submitted through [`StateBackend::commit`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    ops: Vec<WriteOp>,
+}
+
+impl WriteBatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages an insert/update of `key`.
+    pub fn put(mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> Self {
+        self.ops.push(WriteOp {
+            key: key.into(),
+            value: Some(value.into()),
+        });
+        self
+    }
+
+    /// Stages a deletion of `key`.
+    pub fn delete(mut self, key: impl Into<Vec<u8>>) -> Self {
+        self.ops.push(WriteOp {
+            key: key.into(),
+            value: None,
+        });
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn ops(&self) -> &[WriteOp] {
+        &self.ops
+    }
+
+    pub fn into_ops(self) -> Vec<WriteOp> {
+        self.ops
+    }
+}
+
+/// A client-scoped handle providing **read-your-writes** over a backend.
+///
+/// Sessions are cheap, single-threaded cursors: the eventual backend uses
+/// them to serve reads from its (possibly lagging) secondary replica while
+/// guaranteeing a session never unsees its own writes; the snapshot
+/// backend satisfies the guarantee trivially because its commits are
+/// synchronous.
+pub trait StateSession: Send {
+    /// Reads `key`, honouring read-your-writes for this session.
+    fn get(&mut self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Writes through the backend, recording the write in the session's
+    /// causal context.
+    fn put(&mut self, key: &[u8], value: &[u8]);
+
+    /// Deletes through the backend, recording the delete in the session's
+    /// causal context.
+    fn delete(&mut self, key: &[u8]);
+
+    /// How many reads could not be served locally and had to fall back to
+    /// the authoritative copy (the cost the weaker discipline charges).
+    fn fallbacks(&self) -> u64;
+}
+
+/// The uniform storage surface behind the platform bindings.
+///
+/// The contract distils what the bindings need from their concrete stores:
+/// point reads and writes, prefix scans, read-your-writes sessions, and an
+/// **atomic multi-key commit with an abort path**. How much of that
+/// contract is honoured — and at what cost — is exactly the axis the
+/// benchmark measures:
+///
+/// | | [`commit`](StateBackend::commit) | [`get_many`](StateBackend::get_many) |
+/// |---|---|---|
+/// | eventual | applied per key (torn states observable) | independent reads |
+/// | snapshot isolation | atomic, aborts on conflict | one consistent snapshot |
+pub trait StateBackend: Send + Sync {
+    /// Which discipline this backend implements.
+    fn kind(&self) -> BackendKind;
+
+    /// Authoritative point read (latest committed value).
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Single-key write, immediately visible to [`StateBackend::get`].
+    fn put(&self, key: &[u8], value: &[u8]);
+
+    /// Single-key delete.
+    fn delete(&self, key: &[u8]);
+
+    /// Multi-key read. The snapshot backend serves all keys from one
+    /// snapshot; the eventual backend reads each key independently, so a
+    /// concurrent commit may be observed half-applied.
+    fn get_many(&self, keys: &[&[u8]]) -> Vec<Option<Vec<u8>>>;
+
+    /// All live `(key, value)` pairs whose key starts with `prefix`,
+    /// ordered by key.
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Applies a multi-key batch. The snapshot backend commits atomically
+    /// and returns `Err` (the abort path — buffered writes discarded) when
+    /// first-committer-wins validation keeps failing; the eventual backend
+    /// applies last-writer-wins per key and cannot abort. Returns the
+    /// number of writes applied.
+    fn commit(&self, batch: WriteBatch) -> OmResult<usize>;
+
+    /// Opens a read-your-writes session.
+    fn session(&self) -> Box<dyn StateSession + '_>;
+
+    /// Blocks until asynchronous work (replication) has drained; after
+    /// quiesce an eventual backend's replicas agree.
+    fn quiesce(&self);
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Backend diagnostic counters (replication lag, commit conflicts, …).
+    fn counters(&self) -> BTreeMap<String, u64>;
+}
+
+/// Constructs the backend for `kind` with at least `shards` lock domains
+/// (rounded up to a power of two). This is the single seam `RunConfig`
+/// drives: everything above it holds an `Arc<dyn StateBackend>`.
+pub fn make_backend(kind: BackendKind, shards: usize) -> Arc<dyn StateBackend> {
+    match kind {
+        BackendKind::Eventual => Arc::new(crate::eventual::EventualBackend::new(shards)),
+        BackendKind::SnapshotIsolation => Arc::new(crate::snapshot::SnapshotBackend::new(shards)),
+    }
+}
+
+/// Routes `key` to one of `1 << bits`-style power-of-two shard arrays.
+/// Shared by both backends so a key lands on the same shard index in
+/// either discipline (useful when comparing shard balance).
+pub(crate) fn shard_of(key: &[u8], mask: u64) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() & mask) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_builder_collects_ops_in_order() {
+        let batch = WriteBatch::new()
+            .put(b"a".to_vec(), b"1".to_vec())
+            .delete(b"b".to_vec())
+            .put(b"c".to_vec(), b"3".to_vec());
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.ops()[0].key, b"a");
+        assert_eq!(batch.ops()[1].value, None);
+        assert_eq!(batch.ops()[2].value.as_deref(), Some(&b"3"[..]));
+    }
+
+    #[test]
+    fn factory_builds_both_disciplines() {
+        for kind in BackendKind::ALL {
+            let b = make_backend(kind, 4);
+            assert_eq!(b.kind(), kind);
+            b.put(b"k", b"v");
+            assert_eq!(b.get(b"k"), Some(b"v".to_vec()));
+            assert_eq!(b.len(), 1);
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_masked() {
+        for mask in [0u64, 1, 3, 7, 63] {
+            let s = shard_of(b"some-key", mask);
+            assert_eq!(s, shard_of(b"some-key", mask));
+            assert!(s as u64 <= mask);
+        }
+    }
+}

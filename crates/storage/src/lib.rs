@@ -1,0 +1,41 @@
+//! # om-storage
+//!
+//! The **unified state-backend layer**: one pluggable storage interface
+//! behind every platform binding of the Online Marketplace benchmark.
+//!
+//! The source paper evaluates each data platform against the storage it
+//! ships with — Orleans grain storage, Flink state, Redis, PostgreSQL.
+//! Factoring the transactional surface those deployments actually use into
+//! a single [`StateBackend`] trait lets the benchmark sweep the full
+//! *platform × backend* matrix instead: any binding can run over any
+//! storage discipline, selected from `RunConfig` without code changes.
+//!
+//! Two disciplines ship today:
+//!
+//! * [`EventualBackend`] — per-key last-writer-wins over `om-kv`'s sharded
+//!   store, with an asynchronous secondary replica (Redis role). Multi-key
+//!   commits are applied key by key: concurrent readers can observe torn
+//!   subsets, and the secondary only converges after [`StateBackend::quiesce`].
+//! * [`SnapshotBackend`] — snapshot isolation over `om-mvcc`'s versioned
+//!   tables and timestamp oracle (PostgreSQL role). Multi-key commits are
+//!   atomic: no reader snapshot ever observes a torn subset, and conflicting
+//!   commits abort with a retryable error.
+//!
+//! Both implementations are **sharded** — a fixed power-of-two shard array
+//! keyed by hash, with per-shard locks — so the backend never reintroduces
+//! the single global `RwLock<HashMap>` hot spot the actor runtime's grain
+//! storage started with.
+
+pub mod backend;
+pub mod eventual;
+pub mod snapshot;
+
+pub use backend::{make_backend, StateBackend, StateSession, WriteBatch, WriteOp};
+pub use eventual::EventualBackend;
+pub use snapshot::SnapshotBackend;
+
+/// Rounds a requested shard count up to a power of two (minimum 1), the
+/// invariant both backends rely on for hash-and-mask routing.
+pub(crate) fn shards_pow2(shards: usize) -> usize {
+    shards.max(1).next_power_of_two()
+}

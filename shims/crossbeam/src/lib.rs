@@ -3,35 +3,82 @@
 //! Provides `crossbeam::channel` — multi-producer multi-consumer
 //! bounded/unbounded channels with the same surface the workspace uses
 //! (`send`, `recv`, `try_recv`, `recv_timeout`, `iter`, clonable ends,
-//! disconnect-on-last-drop semantics). Built on a `Mutex<VecDeque>` and
-//! two condvars rather than crossbeam's lock-free internals; correctness
-//! over raw speed.
+//! disconnect-on-last-drop semantics).
+//!
+//! The **unbounded** flavor — the actor mailbox and replication hot path —
+//! is a two-lock segmented queue: producers append to a tail segment under
+//! the tail lock while consumers drain a head segment under the head lock,
+//! so senders and receivers only collide on the brief segment handoff when
+//! the head runs dry (consumers swap the whole tail segment in, O(1)).
+//! The **bounded** flavor keeps the simpler single Mutex+Condvar design —
+//! its capacity handshake needs one predicate anyway and it only carries
+//! low-rate control traffic (call replies, quiesce acks).
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
     use std::time::{Duration, Instant};
 
-    struct State<T> {
+    // ---------------------------------------------------------------
+    // Bounded flavor: single Mutex + two Condvars (capacity handshake).
+    // ---------------------------------------------------------------
+
+    struct BoundedState<T> {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
     }
 
-    struct Shared<T> {
-        state: Mutex<State<T>>,
+    struct Bounded<T> {
+        state: Mutex<BoundedState<T>>,
         not_empty: Condvar,
         not_full: Condvar,
-        cap: Option<usize>,
+        cap: usize,
+    }
+
+    // ---------------------------------------------------------------
+    // Unbounded flavor: two-lock segmented queue.
+    //
+    // Invariants:
+    // * `len` counts messages in head + tail (fetch_add before the
+    //   notify check in send, fetch_sub on every pop).
+    // * Receivers hold the head lock from their emptiness check until
+    //   `wait()` parks them, and bump `sleepers` under the *tail* lock
+    //   after confirming the tail is empty. A sender therefore either
+    //   pushed before the check (receiver sees the message) or observes
+    //   `sleepers > 0` and acquires the head lock — which it can only
+    //   get once the receiver is parked — so the wakeup cannot be lost.
+    // * Lock order is head → tail; send takes them one at a time.
+    // ---------------------------------------------------------------
+
+    struct Unbounded<T> {
+        /// Consumer-side segment.
+        head: Mutex<VecDeque<T>>,
+        /// Producer-side segment; swapped wholesale into `head` when the
+        /// consumer side runs dry.
+        tail: Mutex<VecDeque<T>>,
+        /// Parked receivers wait here, paired with the `head` mutex.
+        not_empty: Condvar,
+        len: AtomicUsize,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        /// Receivers parked (or committed to parking) on `not_empty`.
+        sleepers: AtomicUsize,
+    }
+
+    enum Flavor<T> {
+        Bounded(Bounded<T>),
+        Unbounded(Unbounded<T>),
     }
 
     pub struct Sender<T> {
-        shared: Arc<Shared<T>>,
+        shared: Arc<Flavor<T>>,
     }
 
     pub struct Receiver<T> {
-        shared: Arc<Shared<T>>,
+        shared: Arc<Flavor<T>>,
     }
 
     #[derive(PartialEq, Eq, Clone, Copy)]
@@ -89,27 +136,17 @@ pub mod channel {
     impl std::error::Error for RecvError {}
     impl std::error::Error for RecvTimeoutError {}
 
-    /// Creates an unbounded MPMC channel.
+    /// Creates an unbounded MPMC channel (two-lock segmented queue).
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        with_cap(None)
-    }
-
-    /// Creates a bounded MPMC channel; `send` blocks while full.
-    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        with_cap(Some(cap))
-    }
-
-    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                senders: 1,
-                receivers: 1,
-            }),
+        let shared = Arc::new(Flavor::Unbounded(Unbounded {
+            head: Mutex::new(VecDeque::new()),
+            tail: Mutex::new(VecDeque::new()),
             not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            cap,
-        });
+            len: AtomicUsize::new(0),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            sleepers: AtomicUsize::new(0),
+        }));
         (
             Sender {
                 shared: shared.clone(),
@@ -118,47 +155,147 @@ pub mod channel {
         )
     }
 
+    /// Creates a bounded MPMC channel; `send` blocks while full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Flavor::Bounded(Bounded {
+            state: Mutex::new(BoundedState {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            // A zero-capacity crossbeam channel is a rendezvous point; we
+            // approximate it with capacity 1 (the sender blocks until the
+            // receiver drains the slot).
+            cap: cap.max(1),
+        }));
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Unbounded<T> {
+        /// Wakes a parked receiver if data was published while any
+        /// receiver was (about to be) asleep. Taking the head lock first
+        /// guarantees the sleeper is parked (its guard released), so the
+        /// notification cannot race past it.
+        fn wake_receiver(&self) {
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                let _head = lock(&self.head);
+                self.not_empty.notify_all();
+            }
+        }
+
+        fn push(&self, value: T) {
+            {
+                let mut tail = lock(&self.tail);
+                tail.push_back(value);
+                // Inside the tail lock: a pop racing the swap must never
+                // observe its decrement before this increment (underflow).
+                self.len.fetch_add(1, Ordering::SeqCst);
+            }
+            self.wake_receiver();
+        }
+
+        /// Pops under an already-held head lock, refilling the head
+        /// segment from the tail when it runs dry. Returns `None` only
+        /// when both segments are empty.
+        fn pop(&self, head: &mut MutexGuard<'_, VecDeque<T>>) -> Option<T> {
+            if let Some(v) = head.pop_front() {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                return Some(v);
+            }
+            let mut tail = lock(&self.tail);
+            if tail.is_empty() {
+                return None;
+            }
+            // O(1) segment handoff: the producers' whole backlog becomes
+            // the new consumer segment.
+            std::mem::swap(&mut **head, &mut *tail);
+            drop(tail);
+            let v = head.pop_front();
+            if v.is_some() {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+            }
+            v
+        }
+    }
+
+    /// Locks a mutex, riding over poisoning (a panicked worker must not
+    /// wedge every other thread on the channel).
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        }
+    }
+
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut st = self.shared.state.lock().unwrap();
-            loop {
-                if st.receivers == 0 {
-                    return Err(SendError(value));
-                }
-                // A zero-capacity crossbeam channel is a rendezvous
-                // point; we approximate it with capacity 1 (the sender
-                // blocks until the receiver drains the slot).
-                match self.shared.cap {
-                    Some(cap) if st.queue.len() >= cap.max(1) => {
-                        st = self.shared.not_full.wait(st).unwrap();
+            match &*self.shared {
+                Flavor::Unbounded(u) => {
+                    if u.receivers.load(Ordering::SeqCst) == 0 {
+                        return Err(SendError(value));
                     }
-                    _ => break,
+                    u.push(value);
+                    Ok(())
+                }
+                Flavor::Bounded(b) => {
+                    let mut st = lock(&b.state);
+                    loop {
+                        if st.receivers == 0 {
+                            return Err(SendError(value));
+                        }
+                        if st.queue.len() < b.cap {
+                            break;
+                        }
+                        st = match b.not_full.wait(st) {
+                            Ok(g) => g,
+                            Err(e) => e.into_inner(),
+                        };
+                    }
+                    st.queue.push_back(value);
+                    drop(st);
+                    b.not_empty.notify_one();
+                    Ok(())
                 }
             }
-            st.queue.push_back(value);
-            drop(st);
-            self.shared.not_empty.notify_one();
-            Ok(())
         }
 
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            let mut st = self.shared.state.lock().unwrap();
-            if st.receivers == 0 {
-                return Err(TrySendError::Disconnected(value));
-            }
-            if let Some(cap) = self.shared.cap {
-                if st.queue.len() >= cap.max(1) {
-                    return Err(TrySendError::Full(value));
+            match &*self.shared {
+                Flavor::Unbounded(u) => {
+                    if u.receivers.load(Ordering::SeqCst) == 0 {
+                        return Err(TrySendError::Disconnected(value));
+                    }
+                    u.push(value);
+                    Ok(())
+                }
+                Flavor::Bounded(b) => {
+                    let mut st = lock(&b.state);
+                    if st.receivers == 0 {
+                        return Err(TrySendError::Disconnected(value));
+                    }
+                    if st.queue.len() >= b.cap {
+                        return Err(TrySendError::Full(value));
+                    }
+                    st.queue.push_back(value);
+                    drop(st);
+                    b.not_empty.notify_one();
+                    Ok(())
                 }
             }
-            st.queue.push_back(value);
-            drop(st);
-            self.shared.not_empty.notify_one();
-            Ok(())
         }
 
         pub fn len(&self) -> usize {
-            self.shared.state.lock().unwrap().queue.len()
+            match &*self.shared {
+                Flavor::Unbounded(u) => u.len.load(Ordering::SeqCst),
+                Flavor::Bounded(b) => lock(&b.state).queue.len(),
+            }
         }
 
         pub fn is_empty(&self) -> bool {
@@ -168,7 +305,14 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.shared.state.lock().unwrap().senders += 1;
+            match &*self.shared {
+                Flavor::Unbounded(u) => {
+                    u.senders.fetch_add(1, Ordering::SeqCst);
+                }
+                Flavor::Bounded(b) => {
+                    lock(&b.state).senders += 1;
+                }
+            }
             Sender {
                 shared: self.shared.clone(),
             }
@@ -177,75 +321,163 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut st = match self.shared.state.lock() {
-                Ok(g) => g,
-                Err(e) => e.into_inner(),
-            };
-            st.senders -= 1;
-            if st.senders == 0 {
-                drop(st);
-                self.shared.not_empty.notify_all();
+            match &*self.shared {
+                Flavor::Unbounded(u) => {
+                    if u.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        // Wake receivers so they observe the disconnect.
+                        let _head = lock(&u.head);
+                        u.not_empty.notify_all();
+                    }
+                }
+                Flavor::Bounded(b) => {
+                    let mut st = lock(&b.state);
+                    st.senders -= 1;
+                    if st.senders == 0 {
+                        drop(st);
+                        b.not_empty.notify_all();
+                    }
+                }
             }
         }
     }
 
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut st = self.shared.state.lock().unwrap();
-            loop {
-                if let Some(v) = st.queue.pop_front() {
-                    drop(st);
-                    self.shared.not_full.notify_one();
-                    return Ok(v);
+            match &*self.shared {
+                Flavor::Unbounded(u) => {
+                    let mut head = lock(&u.head);
+                    loop {
+                        if let Some(v) = u.pop(&mut head) {
+                            return Ok(v);
+                        }
+                        {
+                            // Re-check emptiness and commit to sleeping
+                            // under the tail lock (see struct invariants).
+                            let tail = lock(&u.tail);
+                            if !tail.is_empty() {
+                                continue;
+                            }
+                            if u.senders.load(Ordering::SeqCst) == 0 {
+                                return Err(RecvError);
+                            }
+                            u.sleepers.fetch_add(1, Ordering::SeqCst);
+                        }
+                        head = match u.not_empty.wait(head) {
+                            Ok(g) => g,
+                            Err(e) => e.into_inner(),
+                        };
+                        u.sleepers.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
-                if st.senders == 0 {
-                    return Err(RecvError);
+                Flavor::Bounded(b) => {
+                    let mut st = lock(&b.state);
+                    loop {
+                        if let Some(v) = st.queue.pop_front() {
+                            drop(st);
+                            b.not_full.notify_one();
+                            return Ok(v);
+                        }
+                        if st.senders == 0 {
+                            return Err(RecvError);
+                        }
+                        st = match b.not_empty.wait(st) {
+                            Ok(g) => g,
+                            Err(e) => e.into_inner(),
+                        };
+                    }
                 }
-                st = self.shared.not_empty.wait(st).unwrap();
             }
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut st = self.shared.state.lock().unwrap();
-            if let Some(v) = st.queue.pop_front() {
-                drop(st);
-                self.shared.not_full.notify_one();
-                return Ok(v);
-            }
-            if st.senders == 0 {
-                Err(TryRecvError::Disconnected)
-            } else {
-                Err(TryRecvError::Empty)
+            match &*self.shared {
+                Flavor::Unbounded(u) => {
+                    let mut head = lock(&u.head);
+                    if let Some(v) = u.pop(&mut head) {
+                        return Ok(v);
+                    }
+                    if u.senders.load(Ordering::SeqCst) == 0 {
+                        Err(TryRecvError::Disconnected)
+                    } else {
+                        Err(TryRecvError::Empty)
+                    }
+                }
+                Flavor::Bounded(b) => {
+                    let mut st = lock(&b.state);
+                    if let Some(v) = st.queue.pop_front() {
+                        drop(st);
+                        b.not_full.notify_one();
+                        return Ok(v);
+                    }
+                    if st.senders == 0 {
+                        Err(TryRecvError::Disconnected)
+                    } else {
+                        Err(TryRecvError::Empty)
+                    }
+                }
             }
         }
 
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
-            let mut st = self.shared.state.lock().unwrap();
-            loop {
-                if let Some(v) = st.queue.pop_front() {
-                    drop(st);
-                    self.shared.not_full.notify_one();
-                    return Ok(v);
+            match &*self.shared {
+                Flavor::Unbounded(u) => {
+                    let mut head = lock(&u.head);
+                    loop {
+                        if let Some(v) = u.pop(&mut head) {
+                            return Ok(v);
+                        }
+                        {
+                            let tail = lock(&u.tail);
+                            if !tail.is_empty() {
+                                continue;
+                            }
+                            if u.senders.load(Ordering::SeqCst) == 0 {
+                                return Err(RecvTimeoutError::Disconnected);
+                            }
+                            let now = Instant::now();
+                            if now >= deadline {
+                                return Err(RecvTimeoutError::Timeout);
+                            }
+                            u.sleepers.fetch_add(1, Ordering::SeqCst);
+                        }
+                        let wait = deadline.saturating_duration_since(Instant::now());
+                        head = match u.not_empty.wait_timeout(head, wait) {
+                            Ok((g, _)) => g,
+                            Err(e) => e.into_inner().0,
+                        };
+                        u.sleepers.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
-                if st.senders == 0 {
-                    return Err(RecvTimeoutError::Disconnected);
+                Flavor::Bounded(b) => {
+                    let mut st = lock(&b.state);
+                    loop {
+                        if let Some(v) = st.queue.pop_front() {
+                            drop(st);
+                            b.not_full.notify_one();
+                            return Ok(v);
+                        }
+                        if st.senders == 0 {
+                            return Err(RecvTimeoutError::Disconnected);
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        st = match b.not_empty.wait_timeout(st, deadline - now) {
+                            Ok((g, _)) => g,
+                            Err(e) => e.into_inner().0,
+                        };
+                    }
                 }
-                let now = Instant::now();
-                if now >= deadline {
-                    return Err(RecvTimeoutError::Timeout);
-                }
-                let (g, _) = self
-                    .shared
-                    .not_empty
-                    .wait_timeout(st, deadline - now)
-                    .unwrap();
-                st = g;
             }
         }
 
         pub fn len(&self) -> usize {
-            self.shared.state.lock().unwrap().queue.len()
+            match &*self.shared {
+                Flavor::Unbounded(u) => u.len.load(Ordering::SeqCst),
+                Flavor::Bounded(b) => lock(&b.state).queue.len(),
+            }
         }
 
         pub fn is_empty(&self) -> bool {
@@ -265,7 +497,14 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.shared.state.lock().unwrap().receivers += 1;
+            match &*self.shared {
+                Flavor::Unbounded(u) => {
+                    u.receivers.fetch_add(1, Ordering::SeqCst);
+                }
+                Flavor::Bounded(b) => {
+                    lock(&b.state).receivers += 1;
+                }
+            }
             Receiver {
                 shared: self.shared.clone(),
             }
@@ -274,14 +513,18 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            let mut st = match self.shared.state.lock() {
-                Ok(g) => g,
-                Err(e) => e.into_inner(),
-            };
-            st.receivers -= 1;
-            if st.receivers == 0 {
-                drop(st);
-                self.shared.not_full.notify_all();
+            match &*self.shared {
+                Flavor::Unbounded(u) => {
+                    u.receivers.fetch_sub(1, Ordering::SeqCst);
+                }
+                Flavor::Bounded(b) => {
+                    let mut st = lock(&b.state);
+                    st.receivers -= 1;
+                    if st.receivers == 0 {
+                        drop(st);
+                        b.not_full.notify_all();
+                    }
+                }
             }
         }
     }
@@ -400,5 +643,80 @@ mod tests {
         let a = thread::spawn(move || rx.iter().count());
         let b = thread::spawn(move || rx2.iter().count());
         assert_eq!(a.join().unwrap() + b.join().unwrap(), 100);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn unbounded_wakeup_is_not_lost_under_races() {
+        // Many short ping-pong rounds between a parked receiver and a
+        // sender racing the park/notify protocol.
+        for _ in 0..200 {
+            let (tx, rx) = unbounded::<u32>();
+            let t = thread::spawn(move || rx.recv().unwrap());
+            tx.send(7).unwrap();
+            assert_eq!(t.join().unwrap(), 7);
+        }
+    }
+
+    #[test]
+    fn unbounded_heavy_mpmc_delivers_everything_exactly_once() {
+        const SENDERS: usize = 4;
+        const RECEIVERS: usize = 4;
+        const PER_SENDER: u64 = 5_000;
+        let (tx, rx) = unbounded::<u64>();
+        let mut producers = Vec::new();
+        for s in 0..SENDERS as u64 {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..PER_SENDER {
+                    tx.send(s * PER_SENDER + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..RECEIVERS {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got: Vec<u64> = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..SENDERS as u64 * PER_SENDER).collect();
+        assert_eq!(all, expected, "every message exactly once");
+    }
+
+    #[test]
+    fn unbounded_len_tracks_segment_handoff() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(tx.len(), 10);
+        assert_eq!(rx.recv(), Ok(0)); // forces the head<->tail swap
+        assert_eq!(rx.len(), 9);
+        for _ in 0..9 {
+            rx.recv().unwrap();
+        }
+        assert!(rx.is_empty());
     }
 }

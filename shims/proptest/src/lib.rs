@@ -158,7 +158,7 @@ pub mod option {
     impl<S: Strategy> Strategy for OptionStrategy<S> {
         type Value = Option<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Self::Value {
-            if rng.next_u64() % 5 == 0 {
+            if rng.next_u64().is_multiple_of(5) {
                 None
             } else {
                 Some(self.inner.sample(rng))

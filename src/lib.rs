@@ -11,6 +11,9 @@
 //! * [`kv`] — Redis-like replicated key-value store (eventual/causal).
 //! * [`mvcc`] — PostgreSQL-like multi-version storage engine (snapshot
 //!   isolation).
+//! * [`storage`] — the unified `StateBackend` layer: one sharded,
+//!   pluggable storage interface (eventual KV / snapshot isolation)
+//!   behind every platform binding.
 //! * [`log`] — Kafka-like partitioned event log (idempotent producers).
 //! * [`actor`] — Orleans-like virtual actor runtime with a distributed
 //!   transaction layer (2PL + 2PC).
@@ -34,3 +37,4 @@ pub use om_kv as kv;
 pub use om_log as log;
 pub use om_marketplace as marketplace;
 pub use om_mvcc as mvcc;
+pub use om_storage as storage;
