@@ -9,7 +9,9 @@
 #   * benches must keep compiling (`cargo bench --no-run` — never run in
 #     CI; numbers come from dedicated perf runs),
 #   * all examples must keep compiling,
-#   * the shim crates' own unit tests run via --workspace.
+#   * the shim crates' own unit tests run via --workspace,
+#   * rustdoc must build warning-free (om_storage additionally denies
+#     missing docs at the crate level).
 #
 # The environment is fully offline; --offline makes that explicit so a
 # mis-edited manifest fails fast instead of hanging on the network.
@@ -29,6 +31,9 @@ else
     echo "==> clippy unavailable; building with RUSTFLAGS=-Dwarnings instead"
     RUSTFLAGS="-D warnings" cargo build --offline --workspace --all-targets
 fi
+
+echo "==> RUSTDOCFLAGS=-Dwarnings cargo doc --workspace --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline

@@ -1,14 +1,30 @@
-//! A2 — ablation: checkpoint interval (epoch batch size) vs dataflow
-//! runtime cost. Smaller batches commit more checkpoints per record —
-//! the latency/overhead trade-off a Statefun deployment tunes.
+//! A2 — ablation: checkpointing cost of the dataflow runtime.
+//!
+//! Two axes:
+//!
+//! * **interval** — epoch batch size: smaller batches commit more
+//!   checkpoints per record (the latency/overhead trade-off a Statefun
+//!   deployment tunes);
+//! * **store** — where checkpoints go: the in-memory store (deep copies,
+//!   nothing survives a rebuild) vs the backend-backed store over each
+//!   `StateBackend` discipline (durable: every epoch is one multi-key
+//!   backend commit). The gap is the price of honest crash recovery.
+//!
+//! A third group measures the recovery path itself: crash mid-epoch,
+//! restore from the backend-backed checkpoint, replay to completion.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use om_dataflow::{Address, Dataflow, Effects};
+use om_bench::{make_checkpoint_store, CHECKPOINT_STORES};
+use om_common::config::BackendKind;
+use om_dataflow::{Address, CheckpointStore, Dataflow, Effects};
+use std::sync::Arc;
 
-fn build(max_batch: usize) -> Dataflow<u64> {
-    Dataflow::builder()
-        .partitions(4)
-        .max_batch(max_batch)
+fn build(max_batch: usize, store: Option<Arc<dyn CheckpointStore>>) -> Dataflow<u64> {
+    let mut builder = Dataflow::builder().partitions(4).max_batch(max_batch);
+    if let Some(store) = store {
+        builder = builder.checkpoint_store(store);
+    }
+    builder
         .register(
             "count",
             |_key, state: Option<&[u8]>, msg: u64, out: &mut Effects<u64>| {
@@ -32,7 +48,7 @@ fn bench_checkpoint_interval(c: &mut Criterion) {
             |b, &max_batch| {
                 b.iter_with_setup(
                     || {
-                        let df = build(max_batch);
+                        let df = build(max_batch, None);
                         for i in 0..RECORDS {
                             df.submit(Address::new("count", i % 256), 1);
                         }
@@ -50,5 +66,70 @@ fn bench_checkpoint_interval(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_checkpoint_interval);
+/// In-memory vs backend-backed checkpointing at a fixed interval: what a
+/// durable epoch commit costs per storage discipline.
+fn bench_checkpoint_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_checkpoint_store");
+    group.sample_size(15);
+    const RECORDS: u64 = 2_048;
+    for (label, kind) in CHECKPOINT_STORES {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            b.iter_with_setup(
+                || {
+                    let df = build(64, make_checkpoint_store(kind));
+                    for i in 0..RECORDS {
+                        df.submit(Address::new("count", i % 256), 1);
+                    }
+                    df
+                },
+                |df| {
+                    let epochs = df.run_to_completion().unwrap();
+                    assert!(epochs > 0);
+                    epochs
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Crash mid-run, restore from the backend-backed checkpoint, replay:
+/// the recovery cell per backend.
+fn bench_crash_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_crash_recovery");
+    group.sample_size(10);
+    const RECORDS: u64 = 1_024;
+    for kind in BackendKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter_with_setup(
+                    || {
+                        let df = build(64, make_checkpoint_store(Some(kind)));
+                        for i in 0..RECORDS {
+                            df.submit(Address::new("count", i % 256), 1);
+                        }
+                        df.inject_crash_after(RECORDS / 2);
+                        df
+                    },
+                    |df| {
+                        df.run_to_completion().unwrap();
+                        let (_, replays, _, _) = df.stats();
+                        assert!(replays >= 1, "the injected crash must fire");
+                        replays
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checkpoint_interval,
+    bench_checkpoint_store,
+    bench_crash_recovery
+);
 criterion_main!(benches);

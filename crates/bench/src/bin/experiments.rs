@@ -185,6 +185,7 @@ fn a2(config: &RunConfig) {
             partitions: 4,
             max_batch,
             decline_rate: cfg.payment_decline_rate,
+            ..Default::default()
         });
         let report = run_benchmark(&platform, &cfg, true);
         println!(
@@ -197,6 +198,44 @@ fn a2(config: &RunConfig) {
             report.counters.get("df.epochs").copied().unwrap_or(0),
         );
     }
+    // Second axis: in-memory vs backend-backed checkpoint stores at the
+    // default interval — the cost of durable (restartable) checkpoints.
+    println!("  -- checkpoint store (max_batch=64) --");
+    for (label, kind) in om_bench::CHECKPOINT_STORES {
+        let platform = DataflowPlatform::new(DataflowPlatformConfig {
+            partitions: 4,
+            max_batch: 64,
+            decline_rate: cfg.payment_decline_rate,
+            checkpoint_store: om_bench::make_checkpoint_store(kind),
+            ..Default::default()
+        });
+        let report = run_benchmark(&platform, &cfg, true);
+        println!(
+            "  store={label:<18}: {:>8.0} ops/s, checkpoint_commits={}",
+            report.throughput_per_sec,
+            report
+                .counters
+                .get("df.checkpoint_commits")
+                .copied()
+                .unwrap_or(0),
+        );
+    }
+}
+
+/// A6 — recovery cells of the platform×backend matrix: run each dataflow
+/// cell with the post-run crash drill armed and report restart cost.
+fn a6(config: &RunConfig) {
+    banner("A6", "crash-recovery cells (durable checkpoint restart per backend)");
+    let mut reports = Vec::new();
+    for backend in om_common::config::BackendKind::ALL {
+        let mut cfg = config.clone();
+        cfg.backend = backend;
+        cfg.recovery_drill = true;
+        let report = om_driver::run_matrix_cell(PlatformKind::Dataflow, &cfg);
+        println!("  {}", report.recovery_row());
+        reports.push(report);
+    }
+    save_json("a6_recovery", &reports);
 }
 
 /// A3 — ablation: lock contention (hot vs uniform keys) on the
@@ -383,7 +422,7 @@ fn main() {
         i += 1;
     }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
-        selected = ["e1", "e2", "e3", "e4", "e567", "a1", "a2", "a3", "a4", "a5"]
+        selected = ["e1", "e2", "e3", "e4", "e567", "a1", "a2", "a3", "a4", "a5", "a6"]
             .iter()
             .map(|s| s.to_string())
             .collect();
@@ -416,6 +455,7 @@ fn main() {
                 a5();
                 a5_full_stack(&config);
             }
+            "a6" => a6(&config),
             other => eprintln!("unknown experiment '{other}'"),
         }
     }

@@ -13,6 +13,7 @@ fn fresh_platform() -> DataflowPlatform {
         partitions: 4,
         max_batch: 64,
         decline_rate: 0.0,
+        ..Default::default()
     });
     p.ingest_seller(Seller::new(SellerId(1), "s".into(), "c".into()))
         .unwrap();

@@ -21,6 +21,26 @@ pub const PLATFORMS: [PlatformKind; 4] = [
 /// The pluggable storage backends, the matrix's second axis.
 pub const BACKENDS: [BackendKind; 2] = BackendKind::ALL;
 
+/// The dataflow checkpoint-store variants of the A2 sweep: a display
+/// label plus the backend kind (`None` = the in-memory baseline store).
+pub const CHECKPOINT_STORES: [(&str, Option<BackendKind>); 3] = [
+    ("in_memory", None),
+    ("eventual_kv", Some(BackendKind::Eventual)),
+    ("snapshot_isolation", Some(BackendKind::SnapshotIsolation)),
+];
+
+/// Builds the checkpoint store for one [`CHECKPOINT_STORES`] variant
+/// (`None` lets the runtime fall back to its in-memory default).
+pub fn make_checkpoint_store(
+    kind: Option<BackendKind>,
+) -> Option<std::sync::Arc<dyn om_dataflow::CheckpointStore>> {
+    kind.map(|kind| -> std::sync::Arc<dyn om_dataflow::CheckpointStore> {
+        std::sync::Arc::new(om_dataflow::BackendCheckpointStore::new(
+            om_storage::make_backend(kind, 16),
+        ))
+    })
+}
+
 /// Builds a platform with `parallelism` internal execution slots over the
 /// selected storage backend.
 ///
@@ -70,6 +90,9 @@ pub fn standard_config(scale_factor: u64) -> RunConfig {
         max_cart_items: 5,
         payment_decline_rate: 0.05,
         backend: BackendKind::Eventual,
+        checkpoint_interval: 64,
+        durable_checkpoints: true,
+        recovery_drill: false,
     }
 }
 

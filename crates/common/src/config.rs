@@ -194,6 +194,18 @@ pub struct RunConfig {
     pub payment_decline_rate: f64,
     /// Storage backend the platform under test is constructed with.
     pub backend: BackendKind,
+    /// Checkpoint interval of the dataflow binding, in ingress records
+    /// per partition per epoch (smaller = more frequent checkpoints; the
+    /// A2 ablation knob).
+    pub checkpoint_interval: usize,
+    /// Route the dataflow binding's epoch checkpoints through the
+    /// selected [`BackendKind`] (durable: a rebuilt platform restarts
+    /// from the last committed epoch) instead of the in-memory store.
+    pub durable_checkpoints: bool,
+    /// After the measured window, crash the platform mid-epoch and
+    /// measure recovery; the outcome lands in `RunReport::recovery`.
+    /// Ignored by platforms without a crash-recovery path.
+    pub recovery_drill: bool,
 }
 
 impl Default for RunConfig {
@@ -209,6 +221,9 @@ impl Default for RunConfig {
             max_cart_items: 5,
             payment_decline_rate: 0.05,
             backend: BackendKind::Eventual,
+            checkpoint_interval: 64,
+            durable_checkpoints: true,
+            recovery_drill: false,
         }
     }
 }

@@ -3,7 +3,7 @@
 //! The driver records one latency sample per completed transaction into a
 //! log-bucketed [`Histogram`] (HdrHistogram-style, base-2 buckets with
 //! linear sub-buckets) that supports cheap concurrent-free recording per
-//! worker and lossless merging, plus [`Counter`] sets for
+//! worker and lossless merging, plus [`CounterSet`]s for
 //! throughput/anomaly accounting.
 
 use serde::{Deserialize, Serialize};

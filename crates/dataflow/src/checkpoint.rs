@@ -1,0 +1,493 @@
+//! Durable checkpoint storage for the dataflow runtime.
+//!
+//! The runtime commits one checkpoint per epoch: the epoch number, the
+//! per-partition ingress offsets, and every keyed-state entry the epoch
+//! touched. [`CheckpointStore`] is the seam those commits flow through —
+//! the runtime never cares *where* a checkpoint lives, only that commit
+//! is all-or-nothing enough to restart from.
+//!
+//! Two stores ship:
+//!
+//! * [`InMemoryCheckpointStore`] — deep copies behind a mutex, the
+//!   fastest option and the historical behaviour of the runtime. A crash
+//!   of the *process* loses it; only in-process rollback works.
+//! * [`BackendCheckpointStore`] — persists through any
+//!   [`om_storage::StateBackend`] with one atomic multi-key commit per
+//!   epoch (the meta record is ordered last in the batch, so a torn
+//!   per-key apply on the eventual backend still points at the previous
+//!   epoch). A rebuilt [`Dataflow`](crate::Dataflow) over the same
+//!   backend restarts from the last committed epoch.
+//!
+//! ```
+//! use om_dataflow::{BackendCheckpointStore, CheckpointStore, StateDelta};
+//! use om_storage::make_backend;
+//! use om_common::config::BackendKind;
+//! use std::sync::Arc;
+//!
+//! let backend = make_backend(BackendKind::SnapshotIsolation, 4);
+//! let store = BackendCheckpointStore::new(backend);
+//! store
+//!     .commit_epoch(1, &[3, 0], vec![StateDelta::put(0, "counter", 7, vec![42])])
+//!     .unwrap();
+//! assert_eq!(store.get_state(0, "counter", 7), Some(vec![42]));
+//! let snap = store.load().unwrap().expect("one committed checkpoint");
+//! assert_eq!((snap.epoch, snap.offsets), (1, vec![3, 0]));
+//! ```
+
+use om_common::config::BackendKind;
+use om_common::{OmError, OmResult};
+use om_storage::{StateBackend, WriteOp};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One keyed-state change of an epoch commit. `value == None` means the
+/// function deleted its state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDelta {
+    /// Partition the state lives in.
+    pub partition: usize,
+    /// Registered function type owning the state.
+    pub fn_type: &'static str,
+    /// Function key within the type.
+    pub key: u64,
+    /// New state bytes, or `None` for a deletion.
+    pub value: Option<Vec<u8>>,
+}
+
+impl StateDelta {
+    /// A state write.
+    pub fn put(partition: usize, fn_type: &'static str, key: u64, value: Vec<u8>) -> Self {
+        Self {
+            partition,
+            fn_type,
+            key,
+            value: Some(value),
+        }
+    }
+
+    /// A state deletion.
+    pub fn delete(partition: usize, fn_type: &'static str, key: u64) -> Self {
+        Self {
+            partition,
+            fn_type,
+            key,
+            value: None,
+        }
+    }
+}
+
+/// The last committed checkpoint, as loaded back from a store.
+///
+/// Function types come back as owned strings (a store cannot mint
+/// `&'static str`); the runtime interns them against its registered
+/// function table during recovery.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointSnapshot {
+    /// Last committed epoch number.
+    pub epoch: u64,
+    /// Per-partition ingress offsets as of that epoch.
+    pub offsets: Vec<u64>,
+    /// Every live keyed-state entry: `(partition, fn_type, key, bytes)`.
+    pub states: Vec<(usize, String, u64, Vec<u8>)>,
+}
+
+/// Where epoch checkpoints live.
+///
+/// Implementations must make [`commit_epoch`](Self::commit_epoch)
+/// atomic enough that [`load`](Self::load) never observes a mix of two
+/// epochs' metadata, and must serve [`get_state`](Self::get_state) from
+/// committed data only.
+pub trait CheckpointStore: Send + Sync {
+    /// Short label for reports and bench ids (`"in_memory"`,
+    /// `"eventual_kv"`, `"snapshot_isolation"`).
+    fn label(&self) -> &'static str;
+
+    /// The storage discipline backing this store, if any. `None` for the
+    /// in-memory store ("runtime-native" state).
+    fn backend_kind(&self) -> Option<BackendKind> {
+        None
+    }
+
+    /// Commits one epoch: metadata plus the keyed-state entries the epoch
+    /// touched. Called with monotonically increasing `epoch` under the
+    /// runtime's epoch mutex (never concurrently).
+    fn commit_epoch(&self, epoch: u64, offsets: &[u64], dirty: Vec<StateDelta>) -> OmResult<()>;
+
+    /// Committed keyed state of `(partition, fn_type, key)`.
+    fn get_state(&self, partition: usize, fn_type: &str, key: u64) -> Option<Vec<u8>>;
+
+    /// Loads the last committed checkpoint, or `None` if nothing was ever
+    /// committed.
+    fn load(&self) -> OmResult<Option<CheckpointSnapshot>>;
+
+    /// Number of epochs committed through this store (diagnostics).
+    fn commits(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory store
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct InMemoryInner {
+    committed: bool,
+    epoch: u64,
+    offsets: Vec<u64>,
+    /// fn_type → (partition, key) → bytes. Keying the outer map by the
+    /// registered `&'static str` keeps the commit path allocation-free.
+    states: HashMap<&'static str, HashMap<(usize, u64), Vec<u8>>>,
+}
+
+/// The process-local checkpoint store: deep copies behind a mutex.
+///
+/// This is the runtime's default and reproduces the historical "rollback
+/// of in-memory copies" semantics — cheap, but nothing survives the
+/// process (or even a rebuild of the [`Dataflow`](crate::Dataflow)).
+#[derive(Default)]
+pub struct InMemoryCheckpointStore {
+    inner: Mutex<InMemoryInner>,
+    commits: AtomicU64,
+}
+
+impl InMemoryCheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CheckpointStore for InMemoryCheckpointStore {
+    fn label(&self) -> &'static str {
+        "in_memory"
+    }
+
+    fn commit_epoch(&self, epoch: u64, offsets: &[u64], dirty: Vec<StateDelta>) -> OmResult<()> {
+        let mut inner = self.inner.lock();
+        inner.committed = true;
+        inner.epoch = epoch;
+        inner.offsets = offsets.to_vec();
+        for delta in dirty {
+            let per_fn = inner.states.entry(delta.fn_type).or_default();
+            match delta.value {
+                Some(bytes) => {
+                    per_fn.insert((delta.partition, delta.key), bytes);
+                }
+                None => {
+                    per_fn.remove(&(delta.partition, delta.key));
+                }
+            }
+        }
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn get_state(&self, partition: usize, fn_type: &str, key: u64) -> Option<Vec<u8>> {
+        self.inner
+            .lock()
+            .states
+            .get(fn_type)
+            .and_then(|m| m.get(&(partition, key)))
+            .cloned()
+    }
+
+    fn load(&self) -> OmResult<Option<CheckpointSnapshot>> {
+        let inner = self.inner.lock();
+        if !inner.committed {
+            return Ok(None);
+        }
+        let mut states = Vec::new();
+        for (fn_type, per_fn) in &inner.states {
+            for (&(partition, key), bytes) in per_fn {
+                states.push((partition, (*fn_type).to_string(), key, bytes.clone()));
+            }
+        }
+        Ok(Some(CheckpointSnapshot {
+            epoch: inner.epoch,
+            offsets: inner.offsets.clone(),
+            states,
+        }))
+    }
+
+    fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend-backed store
+// ---------------------------------------------------------------------------
+
+/// Key prefix of every record this store writes (namespaces the
+/// checkpoint inside a backend shared with other subsystems).
+const META_KEY: &[u8] = b"df!/meta";
+const STATE_PREFIX: &[u8] = b"df!/s/";
+
+/// Commit retries before a conflicting epoch commit is surfaced. Epoch
+/// commits are serialized by the runtime, but the backend may be shared
+/// with other writers (grain saves, projections) whose transactions can
+/// win first-committer-wins validation.
+const COMMIT_RETRIES: usize = 8;
+
+/// The durable checkpoint store: epoch checkpoints persisted through a
+/// pluggable [`StateBackend`] with one atomic multi-key commit per epoch.
+///
+/// Layout (all keys under the `df!/` namespace):
+///
+/// * `df!/meta` — `epoch (u64 LE) ++ n (u32 LE) ++ n × offset (u64 LE)`;
+/// * `df!/s/` + partition (u32 BE) + fn-type length (u16 BE) + fn-type
+///   bytes + key (u64 BE) — raw keyed-state bytes.
+///
+/// The meta record is the **last** op of every commit batch. The snapshot
+/// backend applies the batch atomically anyway; the eventual backend
+/// applies per key in order, so a reader racing a commit may see new
+/// state bytes early but never a meta record pointing at offsets whose
+/// state has not landed yet.
+pub struct BackendCheckpointStore {
+    backend: Arc<dyn StateBackend>,
+    commits: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl BackendCheckpointStore {
+    /// A store persisting through `backend`. The backend may be shared
+    /// with other subsystems — everything this store writes lives under
+    /// the `df!/` key namespace.
+    pub fn new(backend: Arc<dyn StateBackend>) -> Self {
+        Self {
+            backend,
+            commits: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+        }
+    }
+
+    /// The backend checkpoints persist through.
+    pub fn backend(&self) -> &Arc<dyn StateBackend> {
+        &self.backend
+    }
+
+    /// Commit attempts that lost first-committer-wins validation and were
+    /// retried (only the snapshot backend can conflict).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    fn state_key(partition: usize, fn_type: &str, key: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(STATE_PREFIX.len() + 4 + 2 + fn_type.len() + 8);
+        out.extend_from_slice(STATE_PREFIX);
+        out.extend_from_slice(&(partition as u32).to_be_bytes());
+        out.extend_from_slice(&(fn_type.len() as u16).to_be_bytes());
+        out.extend_from_slice(fn_type.as_bytes());
+        out.extend_from_slice(&key.to_be_bytes());
+        out
+    }
+
+    /// Decodes a state key back into `(partition, fn_type, key)`.
+    fn parse_state_key(raw: &[u8]) -> Option<(usize, String, u64)> {
+        let rest = raw.strip_prefix(STATE_PREFIX)?;
+        if rest.len() < 4 + 2 + 8 {
+            return None;
+        }
+        let partition = u32::from_be_bytes(rest[0..4].try_into().ok()?) as usize;
+        let fn_len = u16::from_be_bytes(rest[4..6].try_into().ok()?) as usize;
+        let fn_end = 6 + fn_len;
+        if rest.len() != fn_end + 8 {
+            return None;
+        }
+        let fn_type = std::str::from_utf8(&rest[6..fn_end]).ok()?.to_string();
+        let key = u64::from_be_bytes(rest[fn_end..].try_into().ok()?);
+        Some((partition, fn_type, key))
+    }
+
+    fn encode_meta(epoch: u64, offsets: &[u64]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 + offsets.len() * 8);
+        out.extend_from_slice(&epoch.to_le_bytes());
+        out.extend_from_slice(&(offsets.len() as u32).to_le_bytes());
+        for o in offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_meta(raw: &[u8]) -> OmResult<(u64, Vec<u64>)> {
+        let corrupt = || OmError::Internal("corrupt dataflow checkpoint meta record".into());
+        if raw.len() < 12 {
+            return Err(corrupt());
+        }
+        let epoch = u64::from_le_bytes(raw[0..8].try_into().map_err(|_| corrupt())?);
+        let n = u32::from_le_bytes(raw[8..12].try_into().map_err(|_| corrupt())?) as usize;
+        if raw.len() != 12 + n * 8 {
+            return Err(corrupt());
+        }
+        let offsets = (0..n)
+            .map(|i| {
+                let at = 12 + i * 8;
+                u64::from_le_bytes(raw[at..at + 8].try_into().unwrap())
+            })
+            .collect();
+        Ok((epoch, offsets))
+    }
+}
+
+impl CheckpointStore for BackendCheckpointStore {
+    fn label(&self) -> &'static str {
+        self.backend.kind().label()
+    }
+
+    fn backend_kind(&self) -> Option<BackendKind> {
+        Some(self.backend.kind())
+    }
+
+    fn commit_epoch(&self, epoch: u64, offsets: &[u64], dirty: Vec<StateDelta>) -> OmResult<()> {
+        let mut ops = Vec::with_capacity(dirty.len() + 1);
+        for delta in dirty {
+            ops.push(WriteOp {
+                key: Self::state_key(delta.partition, delta.fn_type, delta.key),
+                value: delta.value,
+            });
+        }
+        // Meta last: on a per-key (eventual) apply the previous epoch
+        // stays authoritative until every state write has landed.
+        ops.push(WriteOp {
+            key: META_KEY.to_vec(),
+            value: Some(Self::encode_meta(epoch, offsets)),
+        });
+        let mut last_err = None;
+        for _ in 0..COMMIT_RETRIES {
+            // By-reference commit: the per-epoch hot path never copies
+            // the batch; only an aborted attempt re-reads it.
+            match self.backend.commit_ops(&ops) {
+                Ok(_) => {
+                    self.commits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(e) if e.is_retryable() => {
+                    self.conflicts.fetch_add(1, Ordering::Relaxed);
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| OmError::Internal("checkpoint commit failed".into())))
+    }
+
+    fn get_state(&self, partition: usize, fn_type: &str, key: u64) -> Option<Vec<u8>> {
+        self.backend.get(&Self::state_key(partition, fn_type, key))
+    }
+
+    fn load(&self) -> OmResult<Option<CheckpointSnapshot>> {
+        let Some(meta_raw) = self.backend.get(META_KEY) else {
+            return Ok(None);
+        };
+        let (epoch, offsets) = Self::decode_meta(&meta_raw)?;
+        let mut states = Vec::new();
+        for (raw_key, bytes) in self.backend.scan_prefix(STATE_PREFIX) {
+            if let Some((partition, fn_type, key)) = Self::parse_state_key(&raw_key) {
+                states.push((partition, fn_type, key, bytes));
+            }
+        }
+        Ok(Some(CheckpointSnapshot {
+            epoch,
+            offsets,
+            states,
+        }))
+    }
+
+    fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_storage::make_backend;
+
+    fn stores() -> Vec<Arc<dyn CheckpointStore>> {
+        let mut out: Vec<Arc<dyn CheckpointStore>> =
+            vec![Arc::new(InMemoryCheckpointStore::new())];
+        for kind in BackendKind::ALL {
+            out.push(Arc::new(BackendCheckpointStore::new(make_backend(kind, 4))));
+        }
+        out
+    }
+
+    #[test]
+    fn empty_store_loads_none() {
+        for store in stores() {
+            assert!(store.load().unwrap().is_none(), "{}", store.label());
+            assert_eq!(store.get_state(0, "f", 1), None, "{}", store.label());
+        }
+    }
+
+    #[test]
+    fn commit_then_load_roundtrips_meta_and_state() {
+        for store in stores() {
+            store
+                .commit_epoch(
+                    3,
+                    &[5, 7],
+                    vec![
+                        StateDelta::put(0, "counter", 1, vec![1, 2, 3]),
+                        StateDelta::put(1, "sink", 9, vec![4]),
+                    ],
+                )
+                .unwrap();
+            let snap = store.load().unwrap().expect("committed");
+            assert_eq!(snap.epoch, 3, "{}", store.label());
+            assert_eq!(snap.offsets, vec![5, 7], "{}", store.label());
+            let mut states = snap.states;
+            states.sort();
+            assert_eq!(
+                states,
+                vec![
+                    (0, "counter".to_string(), 1, vec![1, 2, 3]),
+                    (1, "sink".to_string(), 9, vec![4]),
+                ],
+                "{}",
+                store.label()
+            );
+            assert_eq!(store.get_state(0, "counter", 1), Some(vec![1, 2, 3]));
+            assert_eq!(store.commits(), 1, "{}", store.label());
+        }
+    }
+
+    #[test]
+    fn deletions_remove_state_entries() {
+        for store in stores() {
+            store
+                .commit_epoch(1, &[1], vec![StateDelta::put(0, "f", 1, vec![9])])
+                .unwrap();
+            store
+                .commit_epoch(2, &[2], vec![StateDelta::delete(0, "f", 1)])
+                .unwrap();
+            assert_eq!(store.get_state(0, "f", 1), None, "{}", store.label());
+            let snap = store.load().unwrap().unwrap();
+            assert_eq!(snap.epoch, 2);
+            assert!(snap.states.is_empty(), "{}", store.label());
+        }
+    }
+
+    #[test]
+    fn backend_state_keys_roundtrip_odd_fn_names() {
+        for fn_type in ["a", "with/slash", "ünïcode", ""] {
+            let key = BackendCheckpointStore::state_key(7, fn_type, u64::MAX);
+            let (p, f, k) = BackendCheckpointStore::parse_state_key(&key).expect("parses");
+            assert_eq!((p, f.as_str(), k), (7, fn_type, u64::MAX));
+        }
+    }
+
+    #[test]
+    fn backend_store_is_namespaced_alongside_other_keys() {
+        let backend = make_backend(BackendKind::Eventual, 4);
+        backend.put(b"grain/xyz", b"unrelated");
+        let store = BackendCheckpointStore::new(backend.clone());
+        store
+            .commit_epoch(1, &[4], vec![StateDelta::put(0, "f", 2, vec![8])])
+            .unwrap();
+        let snap = store.load().unwrap().unwrap();
+        assert_eq!(snap.states.len(), 1, "foreign keys must not leak in");
+        assert_eq!(backend.get(b"grain/xyz"), Some(b"unrelated".to_vec()));
+    }
+}

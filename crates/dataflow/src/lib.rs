@@ -27,8 +27,27 @@
 //!   same ones a production Statefun deployment pays, which is what makes
 //!   the E1/E6 comparisons meaningful.
 //!
+//! ## Checkpoint durability
+//!
+//! Where checkpoints live is pluggable ([`CheckpointStore`]): the default
+//! [`InMemoryCheckpointStore`] keeps deep copies in process memory (fast,
+//! lost on rebuild), while [`BackendCheckpointStore`] persists every epoch
+//! through an [`om_storage::StateBackend`] with one atomic multi-key
+//! commit — so a rebuilt runtime (or one recovering from an injected
+//! crash) restarts from the last committed epoch instead of rolling back
+//! in-memory copies. See [`Dataflow::recover`].
+//!
 //! See `DESIGN.md` §2 for the substitution argument.
 
+#![deny(missing_docs)]
+
+pub mod checkpoint;
 pub mod runtime;
 
-pub use runtime::{Address, Dataflow, DataflowBuilder, Effects, EpochOutcome, FnLogic};
+pub use checkpoint::{
+    BackendCheckpointStore, CheckpointSnapshot, CheckpointStore, InMemoryCheckpointStore,
+    StateDelta,
+};
+pub use runtime::{
+    Address, Dataflow, DataflowBuilder, Effects, EpochOutcome, FnLogic, RecoveryReport,
+};

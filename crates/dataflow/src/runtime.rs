@@ -1,5 +1,6 @@
 //! The epoch-checkpointed dataflow runtime.
 
+use crate::checkpoint::{CheckpointStore, InMemoryCheckpointStore, StateDelta};
 use crossbeam::channel::unbounded;
 use om_common::OmResult;
 use om_log::Topic;
@@ -11,11 +12,14 @@ use std::sync::Arc;
 /// Address of a stateful function instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Address {
+    /// Registered function type.
     pub fn_type: &'static str,
+    /// Key within the function type (determines the partition).
     pub key: u64,
 }
 
 impl Address {
+    /// Address of `(fn_type, key)`.
     pub const fn new(fn_type: &'static str, key: u64) -> Self {
         Self { fn_type, key }
     }
@@ -69,6 +73,8 @@ impl<M> Effects<M> {
 
 /// A stateful function: logic over `(key, state, message) -> effects`.
 pub trait FnLogic<M>: Send + Sync {
+    /// Processes one message addressed to `(fn_type, key)` given the
+    /// instance's current keyed state.
     fn invoke(&self, key: u64, state: Option<&[u8]>, msg: M, out: &mut Effects<M>);
 }
 
@@ -83,12 +89,12 @@ where
 
 type PartitionState = HashMap<(&'static str, u64), Vec<u8>>;
 
-/// A committed checkpoint: epoch number, ingress offsets and a deep copy
-/// of every partition's keyed state.
-struct Checkpoint {
+/// The committed epoch/offset coordinates — an in-memory mirror of what
+/// the [`CheckpointStore`] holds, so the hot paths (epoch start,
+/// `pending_ingress`) never pay a store read.
+struct CheckpointMeta {
     epoch: u64,
     offsets: Vec<u64>,
-    states: Vec<PartitionState>,
 }
 
 /// Outcome of [`Dataflow::run_epoch`].
@@ -103,9 +109,25 @@ pub enum EpochOutcome {
         /// Total function invocations (ingress + internal messages).
         invocations: u64,
     },
-    /// An injected crash interrupted the epoch; state, offsets and egress
-    /// were rolled back to the last checkpoint. The next epoch replays.
+    /// An injected crash interrupted the epoch; state and offsets were
+    /// restored from the checkpoint store and the buffered egress was
+    /// discarded. The next epoch replays.
     CrashedAndRecovered,
+}
+
+/// What [`Dataflow::recover`] restored from the checkpoint store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch the runtime restarted from (0 = nothing was ever committed).
+    pub epoch: u64,
+    /// Keyed-state entries rebuilt into the live partitions.
+    pub restored_keys: u64,
+    /// Ingress records between the restored offsets and the log end —
+    /// committed upstream but not yet processed; the next epochs replay
+    /// them.
+    pub replayable_ingress: u64,
+    /// Wall-clock cost of the restore.
+    pub duration: std::time::Duration,
 }
 
 /// Builder for [`Dataflow`].
@@ -113,6 +135,8 @@ pub struct DataflowBuilder<M> {
     partitions: usize,
     max_batch: usize,
     functions: HashMap<&'static str, Arc<dyn FnLogic<M>>>,
+    store: Option<Arc<dyn CheckpointStore>>,
+    ingress: Option<Arc<Topic<(Address, M)>>>,
 }
 
 impl<M: Send + Clone + 'static> DataflowBuilder<M> {
@@ -137,18 +161,62 @@ impl<M: Send + Clone + 'static> DataflowBuilder<M> {
         self
     }
 
+    /// Checkpoints flow through `store` instead of the default
+    /// process-local [`InMemoryCheckpointStore`]. Building over a store
+    /// that already holds a committed checkpoint **restarts from it** —
+    /// see [`Dataflow::recover`] for the exact restore semantics.
+    pub fn checkpoint_store(mut self, store: Arc<dyn CheckpointStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Reuses an existing ingress log instead of creating a fresh one.
+    /// Paired with [`checkpoint_store`](Self::checkpoint_store), this is
+    /// the full restart path: committed offsets stay valid against the
+    /// shared log, so records that were in flight when the previous
+    /// runtime died are replayed instead of lost.
+    pub fn ingress_topic(mut self, topic: Arc<Topic<(Address, M)>>) -> Self {
+        self.ingress = Some(topic);
+        self
+    }
+
+    /// Builds the runtime. If the checkpoint store already holds a
+    /// committed checkpoint (a restart), the runtime adopts it before the
+    /// first epoch runs.
     pub fn build(self) -> Dataflow<M> {
         let partitions = self.partitions;
-        Dataflow {
-            ingress: Arc::new(Topic::new("ingress", partitions)),
-            ingress_seq: AtomicU64::new(1),
+        if let Some(topic) = &self.ingress {
+            // Checked here rather than in `ingress_topic` so the check
+            // sees the final partition count regardless of builder-call
+            // order.
+            assert_eq!(
+                topic.partition_count(),
+                partitions,
+                "ingress topic partition count must match the runtime's"
+            );
+        }
+        let ingress = self
+            .ingress
+            .unwrap_or_else(|| Arc::new(Topic::new("ingress", partitions)));
+        // Producer sequences must stay monotonic across restarts on a
+        // shared log, or the idempotence fence would drop fresh records
+        // as retransmissions.
+        let max_seq = (0..partitions)
+            .map(|p| ingress.max_seq(p))
+            .max()
+            .unwrap_or(0);
+        let df = Dataflow {
+            ingress,
+            ingress_seq: AtomicU64::new(max_seq + 1),
             functions: Arc::new(self.functions),
             states: (0..partitions).map(|_| Mutex::new(HashMap::new())).collect(),
-            checkpoint: Mutex::new(Checkpoint {
+            meta: Mutex::new(CheckpointMeta {
                 epoch: 0,
                 offsets: vec![0; partitions],
-                states: vec![HashMap::new(); partitions],
             }),
+            store: self
+                .store
+                .unwrap_or_else(|| Arc::new(InMemoryCheckpointStore::new())),
             committed_egress: Mutex::new(Vec::new()),
             epoch_mutex: Mutex::new(()),
             partitions,
@@ -158,7 +226,12 @@ impl<M: Send + Clone + 'static> DataflowBuilder<M> {
             replays: AtomicU64::new(0),
             invocations_total: AtomicU64::new(0),
             unroutable: AtomicU64::new(0),
-        }
+            recoveries: AtomicU64::new(0),
+            last_recovery_us: AtomicU64::new(0),
+            last_recovery: Mutex::new(None),
+        };
+        df.recover().expect("checkpoint store readable at startup");
+        df
     }
 }
 
@@ -170,7 +243,10 @@ pub struct Dataflow<M> {
     functions: Arc<HashMap<&'static str, Arc<dyn FnLogic<M>>>>,
     /// Live keyed state per partition (== last checkpoint between epochs).
     states: Vec<Mutex<PartitionState>>,
-    checkpoint: Mutex<Checkpoint>,
+    /// Committed epoch/offsets mirror of `store`.
+    meta: Mutex<CheckpointMeta>,
+    /// Where committed checkpoints live (and recovery reads from).
+    store: Arc<dyn CheckpointStore>,
     committed_egress: Mutex<Vec<M>>,
     /// Serializes epochs (one checkpoint in flight at a time).
     epoch_mutex: Mutex<()>,
@@ -183,20 +259,38 @@ pub struct Dataflow<M> {
     replays: AtomicU64,
     invocations_total: AtomicU64,
     unroutable: AtomicU64,
+    recoveries: AtomicU64,
+    last_recovery_us: AtomicU64,
+    last_recovery: Mutex<Option<RecoveryReport>>,
 }
 
 impl<M: Send + Clone + 'static> Dataflow<M> {
+    /// A builder with default partitioning and the in-memory store.
     pub fn builder() -> DataflowBuilder<M> {
         DataflowBuilder {
             partitions: 4,
             max_batch: 256,
             functions: HashMap::new(),
+            store: None,
+            ingress: None,
         }
     }
 
     /// Number of partitions.
     pub fn partitions(&self) -> usize {
         self.partitions
+    }
+
+    /// The checkpoint store this runtime commits through.
+    pub fn checkpoint_store(&self) -> &Arc<dyn CheckpointStore> {
+        &self.store
+    }
+
+    /// The replayable ingress log (share it with
+    /// [`DataflowBuilder::ingress_topic`] to rebuild a runtime without
+    /// losing in-flight records).
+    pub fn ingress_topic(&self) -> Arc<Topic<(Address, M)>> {
+        self.ingress.clone()
     }
 
     /// Appends a message for `to` into the replayable ingress log. The
@@ -210,17 +304,115 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
     }
 
     /// Arms fault injection: the runtime "crashes" after `n` further
-    /// function invocations, rolling back the in-flight epoch.
+    /// function invocations, abandoning the in-flight epoch.
     pub fn inject_crash_after(&self, n: u64) {
         self.crash_countdown.store(n as i64, Ordering::SeqCst);
     }
 
+    /// Disarms a pending [`inject_crash_after`](Self::inject_crash_after)
+    /// that has not fired yet.
+    pub fn disarm_crash(&self) {
+        self.crash_countdown.store(i64::MIN, Ordering::SeqCst);
+    }
+
     /// Ingress records not yet committed (lag).
     pub fn pending_ingress(&self) -> u64 {
-        let ckpt = self.checkpoint.lock();
+        let meta = self.meta.lock();
         (0..self.partitions)
-            .map(|p| self.ingress.end_offset(p) - ckpt.offsets[p])
+            .map(|p| self.ingress.end_offset(p) - meta.offsets[p])
             .sum()
+    }
+
+    /// Restores epoch, offsets and keyed state from the last committed
+    /// checkpoint in the store — the recovery path after a crash, and the
+    /// restart path when a runtime is rebuilt over an existing store.
+    /// Blocks until no epoch is in flight (restoring under a running
+    /// epoch would mix rolled-back and half-applied state).
+    ///
+    /// Live partition state is discarded and rebuilt from the store;
+    /// function types that are no longer registered are dropped (counted
+    /// as unroutable). Offsets are clamped to the current ingress log
+    /// end: on a shared log they always fit, while a runtime rebuilt over
+    /// a **fresh** log keeps its recovered state but rebases to the new
+    /// log's start (the old records are unreachable).
+    pub fn recover(&self) -> OmResult<RecoveryReport> {
+        let _epoch_guard = self.epoch_mutex.lock();
+        self.recover_locked()
+    }
+
+    /// [`recover`](Self::recover) body; caller holds (or is inside) the
+    /// epoch mutex.
+    fn recover_locked(&self) -> OmResult<RecoveryReport> {
+        let started = std::time::Instant::now();
+        let snapshot = self.store.load()?;
+        let mut rebuilt: Vec<PartitionState> =
+            (0..self.partitions).map(|_| HashMap::new()).collect();
+        let mut meta = self.meta.lock();
+        let mut restored_keys = 0u64;
+        match snapshot {
+            Some(snap) => {
+                // The checkpoint encodes one offset per partition; a
+                // runtime with a different partition count would misroute
+                // every restored key (state lives at the old partition
+                // index, lookups hash against the new count). Refuse
+                // loudly instead of silently dropping state.
+                if snap.offsets.len() != self.partitions {
+                    return Err(om_common::OmError::Rejected(format!(
+                        "checkpoint was committed with {} partitions but the runtime has {}; \
+                         rebuild with the original partition count",
+                        snap.offsets.len(),
+                        self.partitions
+                    )));
+                }
+                meta.epoch = snap.epoch;
+                meta.offsets = (0..self.partitions)
+                    .map(|p| snap.offsets[p].min(self.ingress.end_offset(p)))
+                    .collect();
+                for (partition, fn_type, key, bytes) in snap.states {
+                    if partition >= self.partitions {
+                        continue;
+                    }
+                    match self.functions.get_key_value(fn_type.as_str()) {
+                        Some((&interned, _)) => {
+                            rebuilt[partition].insert((interned, key), bytes);
+                            restored_keys += 1;
+                        }
+                        None => {
+                            self.unroutable.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            None => {
+                meta.epoch = 0;
+                meta.offsets = vec![0; self.partitions];
+            }
+        }
+        let epoch = meta.epoch;
+        let replayable_ingress = (0..self.partitions)
+            .map(|p| self.ingress.end_offset(p) - meta.offsets[p])
+            .sum();
+        drop(meta);
+        for (p, slot) in self.states.iter().enumerate() {
+            *slot.lock() = std::mem::take(&mut rebuilt[p]);
+        }
+        let duration = started.elapsed();
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.last_recovery_us
+            .store(duration.as_micros() as u64, Ordering::Relaxed);
+        let report = RecoveryReport {
+            epoch,
+            restored_keys,
+            replayable_ingress,
+            duration,
+        };
+        *self.last_recovery.lock() = Some(report.clone());
+        Ok(report)
+    }
+
+    /// The most recent [`RecoveryReport`] (the build-time restore counts).
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        self.last_recovery.lock().clone()
     }
 
     /// Runs one epoch. See [`EpochOutcome`]. Blocks if another epoch is
@@ -241,13 +433,67 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
         }
     }
 
+    /// Restores from the store after a crash or a failed commit. Called
+    /// from inside an epoch (the epoch mutex is already held).
+    fn crash_restore(&self) -> OmResult<EpochOutcome> {
+        self.crash_countdown.store(i64::MIN, Ordering::SeqCst);
+        self.recover_locked()?;
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        Ok(EpochOutcome::CrashedAndRecovered)
+    }
+
+    /// Folds the epoch's dirty keys into checkpoint deltas and commits
+    /// them (with the advanced offsets) through the store, then updates
+    /// the in-memory meta mirror. On a store-side commit failure the live
+    /// state is rolled back to the last committed checkpoint.
+    fn commit_epoch(
+        &self,
+        offsets: &[u64],
+        batch_lens: &[u64],
+        dirty_sets: &mut [std::collections::HashSet<(&'static str, u64)>],
+        egress_buffers: Vec<Vec<M>>,
+    ) -> OmResult<()> {
+        let next_epoch = self.meta.lock().epoch + 1;
+        let new_offsets: Vec<u64> = (0..self.partitions)
+            // Advance by exactly what this epoch consumed; records
+            // appended mid-epoch belong to the next one.
+            .map(|p| offsets[p] + batch_lens[p])
+            .collect();
+        let mut deltas = Vec::new();
+        for (p, dirty) in dirty_sets.iter_mut().enumerate() {
+            let live = self.states[p].lock();
+            for (fn_type, key) in dirty.drain() {
+                deltas.push(match live.get(&(fn_type, key)) {
+                    Some(bytes) => StateDelta::put(p, fn_type, key, bytes.clone()),
+                    None => StateDelta::delete(p, fn_type, key),
+                });
+            }
+        }
+        if let Err(e) = self.store.commit_epoch(next_epoch, &new_offsets, deltas) {
+            // The epoch's effects never became durable: roll the live
+            // state back to the last committed checkpoint and surface the
+            // store error (offsets unchanged, egress discarded).
+            let _ = self.crash_restore();
+            return Err(e);
+        }
+        {
+            let mut meta = self.meta.lock();
+            meta.epoch = next_epoch;
+            meta.offsets = new_offsets;
+        }
+        let mut egress = self.committed_egress.lock();
+        for buf in egress_buffers {
+            egress.extend(buf);
+        }
+        Ok(())
+    }
+
     fn run_epoch_locked(
         &self,
         _epoch_guard: parking_lot::MutexGuard<'_, ()>,
     ) -> OmResult<EpochOutcome> {
-
         // 1. Pull the input batch per partition from committed offsets.
-        let offsets: Vec<u64> = self.checkpoint.lock().offsets.clone();
+        let offsets: Vec<u64> = self.meta.lock().offsets.clone();
         let batches: Vec<Vec<(Address, M)>> = (0..self.partitions)
             .map(|p| {
                 self.ingress
@@ -342,36 +588,9 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
             self.invocations_total
                 .fetch_add(invocations.load(Ordering::Relaxed), Ordering::Relaxed);
             if crashed.load(Ordering::Acquire) {
-                self.crash_countdown.store(i64::MIN, Ordering::SeqCst);
-                let ckpt = self.checkpoint.lock();
-                for (p, slot) in self.states.iter().enumerate() {
-                    *slot.lock() = ckpt.states[p].clone();
-                }
-                self.replays.fetch_add(1, Ordering::Relaxed);
-                return Ok(EpochOutcome::CrashedAndRecovered);
+                return self.crash_restore();
             }
-            {
-                let mut ckpt = self.checkpoint.lock();
-                ckpt.epoch += 1;
-                for p in 0..self.partitions {
-                    ckpt.offsets[p] = offsets[p] + batch_lens[p];
-                    let live = self.states[p].lock();
-                    for key in dirty_sets[p].drain() {
-                        match live.get(&key) {
-                            Some(bytes) => {
-                                ckpt.states[p].insert(key, bytes.clone());
-                            }
-                            None => {
-                                ckpt.states[p].remove(&key);
-                            }
-                        }
-                    }
-                }
-                let mut egress = self.committed_egress.lock();
-                for buf in egress_buffers {
-                    egress.extend(buf);
-                }
-            }
+            self.commit_epoch(&offsets, &batch_lens, &mut dirty_sets, egress_buffers)?;
             self.epochs.fetch_add(1, Ordering::Relaxed);
             return Ok(EpochOutcome::Committed {
                 ingress: ingress_count,
@@ -479,44 +698,16 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
             .fetch_add(invocations.load(Ordering::Relaxed), Ordering::Relaxed);
 
         if crashed.load(Ordering::Acquire) {
-            // 3a. Roll back: restore state deep-copies from the last
-            // checkpoint; offsets unchanged; buffered egress discarded.
-            self.crash_countdown.store(i64::MIN, Ordering::SeqCst);
-            let ckpt = self.checkpoint.lock();
-            for (p, slot) in self.states.iter().enumerate() {
-                *slot.lock() = ckpt.states[p].clone();
-            }
-            self.replays.fetch_add(1, Ordering::Relaxed);
-            return Ok(EpochOutcome::CrashedAndRecovered);
+            // 3a. Recover: rebuild live state from the last committed
+            // checkpoint in the store; offsets unchanged; buffered egress
+            // discarded.
+            return self.crash_restore();
         }
 
-        // 3b. Commit: fold the dirty keys into the checkpoint, advance
-        // offsets, release egress. Copying only what the epoch touched
-        // keeps commit cost proportional to the batch.
-        {
-            let mut ckpt = self.checkpoint.lock();
-            ckpt.epoch += 1;
-            for p in 0..self.partitions {
-                // Advance by exactly what this epoch consumed; records
-                // appended mid-epoch belong to the next one.
-                ckpt.offsets[p] = offsets[p] + batch_lens[p];
-                let live = self.states[p].lock();
-                for key in dirty_sets[p].drain() {
-                    match live.get(&key) {
-                        Some(bytes) => {
-                            ckpt.states[p].insert(key, bytes.clone());
-                        }
-                        None => {
-                            ckpt.states[p].remove(&key);
-                        }
-                    }
-                }
-            }
-            let mut egress = self.committed_egress.lock();
-            for buf in egress_buffers {
-                egress.extend(buf);
-            }
-        }
+        // 3b. Commit: persist the dirty keys + advanced offsets through
+        // the checkpoint store, release egress. Copying only what the
+        // epoch touched keeps commit cost proportional to the batch.
+        self.commit_epoch(&offsets, &batch_lens, &mut dirty_sets, egress_buffers)?;
         self.epochs.fetch_add(1, Ordering::Relaxed);
         Ok(EpochOutcome::Committed {
             ingress: ingress_count,
@@ -554,12 +745,20 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
     }
 
     /// Committed keyed state of `(fn_type, key)` as of the last
-    /// checkpoint.
+    /// checkpoint (served by the checkpoint store, never live state).
     pub fn state_of(&self, addr: Address) -> Option<Vec<u8>> {
-        let ckpt = self.checkpoint.lock();
-        ckpt.states[addr.partition(self.partitions)]
-            .get(&(addr.fn_type, addr.key))
-            .cloned()
+        self.store
+            .get_state(addr.partition(self.partitions), addr.fn_type, addr.key)
+    }
+
+    /// Committed epoch number.
+    pub fn committed_epoch(&self) -> u64 {
+        self.meta.lock().epoch
+    }
+
+    /// Committed per-partition ingress offsets.
+    pub fn committed_offsets(&self) -> Vec<u64> {
+        self.meta.lock().offsets.clone()
     }
 
     /// (committed epochs, replays after crashes, total invocations,
@@ -570,6 +769,16 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
             self.replays.load(Ordering::Relaxed),
             self.invocations_total.load(Ordering::Relaxed),
             self.unroutable.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (restores from the checkpoint store, duration of the last one in
+    /// microseconds). The build-time restore counts, so a fresh runtime
+    /// reports one recovery.
+    pub fn recovery_stats(&self) -> (u64, u64) {
+        (
+            self.recoveries.load(Ordering::Relaxed),
+            self.last_recovery_us.load(Ordering::Relaxed),
         )
     }
 }

@@ -149,8 +149,12 @@ pub fn audit(
     }
 
     // --- replication --------------------------------------------------------
-    let replication_violations = counters.get("stale_price_reads").copied().unwrap_or(0)
-        + counters.get("kv.causal_inversions").copied().unwrap_or(0);
+    // Stale reads actually *served* to a cart are violations. Repaired
+    // session inversions ("replica_session_inversions_repaired" on the
+    // customized binding) are not: the read fell back to the
+    // authoritative copy, so the customer saw fresh data — that counter
+    // records the cost of the weaker discipline, not an anomaly.
+    let replication_violations = counters.get("stale_price_reads").copied().unwrap_or(0);
 
     // --- ordering ----------------------------------------------------------
     let mut ordering_violations = 0;

@@ -4,6 +4,7 @@
 use crate::audit::CriteriaReport;
 use om_common::config::{RunConfig, TransactionKind};
 use om_common::stats::LatencySummary;
+use om_marketplace::api::RecoveryOutcome;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -27,6 +28,10 @@ pub struct RunReport {
     pub counters: BTreeMap<String, u64>,
     /// The criteria audit.
     pub criteria: CriteriaReport,
+    /// Outcome of the post-run crash-recovery drill, when
+    /// `RunConfig::recovery_drill` was set and the platform supports an
+    /// injectable crash (the dataflow binding).
+    pub recovery: Option<RecoveryOutcome>,
 }
 
 impl RunReport {
@@ -87,6 +92,22 @@ impl RunReport {
         )
     }
 
+    /// One text row for the recovery table (empty when no drill ran).
+    pub fn recovery_row(&self) -> String {
+        match &self.recovery {
+            Some(r) => format!(
+                "{:<42} store={} recovered_epoch={} final_epoch={} recovery={}us replayed={}",
+                self.cell_label(),
+                r.store,
+                r.recovered_epoch,
+                r.final_epoch,
+                r.recovery_us,
+                r.replayed_ingress,
+            ),
+            None => format!("{:<42} (no recovery drill)", self.cell_label()),
+        }
+    }
+
     /// Machine-readable JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serializes")
@@ -123,6 +144,7 @@ mod tests {
                 ordering: verdict,
                 conservation_violations: 0,
             },
+            recovery: None,
         }
     }
 

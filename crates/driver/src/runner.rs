@@ -159,12 +159,15 @@ fn worker_loop(
 
 /// Builds the platform for the `(kind, config.backend)` matrix cell
 /// through the factory and runs the full lifecycle on it. This is the
-/// `RunConfig`-driven entry point: selecting a different backend is a
-/// config change, never a code change.
+/// `RunConfig`-driven entry point: selecting a different backend — or a
+/// different checkpoint discipline, or arming the post-run recovery
+/// drill — is a config change, never a code change.
 pub fn run_matrix_cell(kind: PlatformKind, config: &RunConfig) -> RunReport {
     let spec = om_marketplace::PlatformSpec::new(kind, config.backend)
         .parallelism(config.workers.max(1))
-        .decline_rate(config.payment_decline_rate);
+        .decline_rate(config.payment_decline_rate)
+        .checkpoint_interval(config.checkpoint_interval)
+        .durable_checkpoints(config.durable_checkpoints);
     let platform = om_marketplace::build_platform(&spec);
     run_benchmark(platform.as_ref(), config, true)
 }
@@ -236,6 +239,14 @@ pub fn run_benchmark(
     let snapshot = platform.snapshot().unwrap_or_default();
     let criteria = audit(&snapshot, &counters, &observations, config.scale.initial_stock);
 
+    // 6. Optional recovery cell: crash the quiesced platform mid-epoch
+    // and measure the restart from its durable checkpoint.
+    let recovery = if config.recovery_drill {
+        platform.crash_and_recover()
+    } else {
+        None
+    };
+
     let throughput = Throughput {
         operations: completed,
         window_secs,
@@ -257,5 +268,6 @@ pub fn run_benchmark(
             .collect(),
         counters,
         criteria,
+        recovery,
     }
 }

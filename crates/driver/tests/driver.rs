@@ -84,12 +84,16 @@ fn benchmark_runs_on_dataflow_platform() {
 
 #[test]
 fn benchmark_runs_on_customized_platform_and_satisfies_all_criteria() {
+    // The all-criteria cell is customized+snapshot_isolation: since the
+    // dashboard projection lives in the unified backend, the consistent-
+    // querying guarantee is the snapshot backend's (under eventual_kv the
+    // same binding can serve torn dashboards — by design).
     let platform = CustomizedPlatform::new(CustomizedConfig {
         actor: ActorPlatformConfig {
             decline_rate: 0.05,
+            backend: om_common::config::BackendKind::SnapshotIsolation,
             ..Default::default()
         },
-        ..Default::default()
     });
     let mut config = smoke_config();
     config.mix = WorkloadMix::anomaly_hunting();
@@ -112,6 +116,49 @@ fn reports_are_deterministic_in_shape_and_serializable() {
     assert_eq!(back.backend, "eventual_kv");
     assert!(!report.throughput_row().is_empty());
     assert!(!report.criteria_row().is_empty());
+}
+
+#[test]
+fn recovery_cells_report_restart_from_durable_checkpoints() {
+    use om_common::config::BackendKind;
+    use om_marketplace::PlatformKind;
+
+    for backend in BackendKind::ALL {
+        let config = RunConfig {
+            backend,
+            recovery_drill: true,
+            ..smoke_config()
+        };
+        let report = om_driver::run_matrix_cell(PlatformKind::Dataflow, &config);
+        assert!(report.operations > 0, "{backend:?}");
+        assert_eq!(report.backend, backend.label(), "{backend:?}");
+        let recovery = report
+            .recovery
+            .as_ref()
+            .expect("the dataflow cell runs the recovery drill");
+        assert_eq!(recovery.store, backend.label(), "{backend:?}");
+        assert!(
+            recovery.recovered_epoch > 0,
+            "{backend:?}: the drill restarts from a committed epoch"
+        );
+        assert!(
+            recovery.final_epoch >= recovery.recovered_epoch,
+            "{backend:?}: recovery never loses a committed epoch"
+        );
+        assert!(!report.recovery_row().is_empty());
+        // The drilled report still serializes round-trip.
+        let back: om_driver::RunReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back.recovery, report.recovery);
+    }
+
+    // Platforms without a crash path ignore the drill.
+    let config = RunConfig {
+        recovery_drill: true,
+        ..smoke_config()
+    };
+    let report = om_driver::run_matrix_cell(PlatformKind::Eventual, &config);
+    assert!(report.recovery.is_none());
+    assert!(report.recovery_row().contains("no recovery drill"));
 }
 
 #[test]

@@ -18,6 +18,7 @@
 //! | `PATCH /shipments/delivery` | Update Delivery (`?max_sellers=10`) |
 //! | `GET /sellers/{seller}/dashboard` | Seller Dashboard |
 //! | `GET /health`, `GET /counters` | liveness & diagnostics |
+//! | `POST /admin/recovery-drill` | crash + measured recovery (dataflow cells) |
 
 use crate::request::{Method, Request};
 use crate::response::Response;
@@ -44,6 +45,7 @@ enum Endpoint {
     SellerDashboard,
     Health,
     Counters,
+    RecoveryDrill,
 }
 
 /// Body of `POST /ingest/products`.
@@ -129,7 +131,12 @@ impl MarketplaceGateway {
                 Endpoint::SellerDashboard,
             )
             .route(Method::Get, "/health", Endpoint::Health)
-            .route(Method::Get, "/counters", Endpoint::Counters);
+            .route(Method::Get, "/counters", Endpoint::Counters)
+            .route(
+                Method::Post,
+                "/admin/recovery-drill",
+                Endpoint::RecoveryDrill,
+            );
         MarketplaceGateway {
             platform,
             router,
@@ -211,6 +218,16 @@ impl MarketplaceGateway {
                 );
                 Ok(Response::json(200, &counters))
             }
+            // Crash the platform mid-epoch and restore it from its
+            // durable checkpoint, returning the measured recovery — 501
+            // on platforms without an injectable crash path.
+            Endpoint::RecoveryDrill => match self.platform.crash_and_recover() {
+                Some(outcome) => Ok(Response::json(200, &outcome)),
+                None => Err(Response::text(
+                    501,
+                    "platform has no injectable crash-recovery path",
+                )),
+            },
             Endpoint::IngestSeller => {
                 let seller: Seller = parse_body(req)?;
                 map_platform(self.platform.ingest_seller(seller))?;

@@ -332,6 +332,105 @@ fn concurrent_clients_checkout_in_parallel() {
     server.shutdown();
 }
 
+/// The restart story end-to-end: a gateway cell built over a shared
+/// backend instance persists its dataflow checkpoints into it; a second
+/// gateway built over the same instance serves the first one's state.
+#[test]
+fn gateway_survives_a_platform_rebuild_from_persisted_state() {
+    use om_common::config::BackendKind;
+    use om_marketplace::{PlatformKind, PlatformSpec};
+
+    let backend = om_storage::make_backend(BackendKind::SnapshotIsolation, 8);
+    let spec = PlatformSpec::new(PlatformKind::Dataflow, BackendKind::SnapshotIsolation)
+        .parallelism(2)
+        .decline_rate(0.0)
+        .backend_instance(backend.clone());
+
+    // First life: ingest + checkout over HTTP, then shut everything down.
+    let server = HttpServer::start(Arc::new(MarketplaceGateway::for_spec(&spec)), 2);
+    let mut client = server.connect();
+    assert_eq!(
+        client
+            .request(Method::Post, "/ingest/sellers", Some(&seller_json(1)))
+            .unwrap()
+            .status,
+        201
+    );
+    assert_eq!(
+        client
+            .request(Method::Post, "/ingest/customers", Some(&customer_json(1)))
+            .unwrap()
+            .status,
+        201
+    );
+    assert_eq!(
+        client
+            .request(Method::Post, "/ingest/products", Some(&product_json(1, 1, 2_500)))
+            .unwrap()
+            .status,
+        201
+    );
+    // Dataflow ingestion is asynchronous (records flow through epochs);
+    // drain before pricing the cart from the replica state.
+    server.gateway().platform().quiesce();
+    let resp = add_and_checkout(&mut client, 1, 1, 1);
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    server.gateway().platform().quiesce();
+    let resp = client
+        .request(Method::Get, "/sellers/1/dashboard", None)
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let dash_before: om_common::entity::SellerDashboard = resp.json_body().unwrap();
+    assert!(dash_before.in_progress_count >= 1, "checkout must project");
+    client.close();
+    server.shutdown();
+
+    // Second life: a fresh platform + gateway over the same backend.
+    let server = HttpServer::start(Arc::new(MarketplaceGateway::for_spec(&spec)), 2);
+    let mut client = server.connect();
+    let health = client.request(Method::Get, "/health", None).unwrap();
+    let health: serde_json::Value = health.json_body().unwrap();
+    assert_eq!(health["backend"], serde_json::Value::from("snapshot_isolation"));
+    let resp = client
+        .request(Method::Get, "/sellers/1/dashboard", None)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let dash_after: om_common::entity::SellerDashboard = resp.json_body().unwrap();
+    assert_eq!(
+        dash_after.in_progress_count, dash_before.in_progress_count,
+        "the dashboard must survive the platform rebuild"
+    );
+    assert_eq!(dash_after.entries.len(), dash_before.entries.len());
+
+    // The rebuilt platform still recovers from injected crashes.
+    let drill = client
+        .request(Method::Post, "/admin/recovery-drill", None)
+        .unwrap();
+    assert_eq!(drill.status, 200, "{}", String::from_utf8_lossy(&drill.body));
+    let outcome: serde_json::Value = drill.json_body().unwrap();
+    assert!(
+        outcome["recovered_epoch"].as_u64().unwrap() >= 1,
+        "drill must restart from a committed epoch: {outcome}"
+    );
+    assert_eq!(outcome["store"], serde_json::Value::from("snapshot_isolation"));
+    client.close();
+    server.shutdown();
+}
+
+/// Platforms without an injectable crash path answer the drill with 501.
+#[test]
+fn recovery_drill_is_501_on_platforms_without_a_crash_path() {
+    let platform = Arc::new(EventualPlatform::new(Default::default()));
+    let server = HttpServer::start(Arc::new(MarketplaceGateway::new(platform)), 2);
+    let mut client = server.connect();
+    let resp = client
+        .request(Method::Post, "/admin/recovery-drill", None)
+        .unwrap();
+    assert_eq!(resp.status, 501);
+    client.close();
+    server.shutdown();
+}
+
 #[test]
 fn customized_platform_serves_snapshot_consistent_dashboard_over_http() {
     let platform = Arc::new(CustomizedPlatform::new(Default::default()));

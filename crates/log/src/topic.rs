@@ -138,6 +138,20 @@ impl<T: Clone> Topic<T> {
         self.partitions[partition].lock().entries.len() as u64
     }
 
+    /// Highest producer-assigned sequence number ever appended to
+    /// `partition` (0 when empty). Served from the idempotence fences, so
+    /// no payloads are copied — consumers resuming a shared log use this
+    /// to keep their sequences monotonic.
+    pub fn max_seq(&self, partition: usize) -> u64 {
+        self.partitions[partition]
+            .lock()
+            .producer_fence
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Total records across partitions.
     pub fn len(&self) -> usize {
         self.partitions.iter().map(|p| p.lock().entries.len()).sum()

@@ -102,6 +102,26 @@ pub struct PackageSnapshot {
     pub shipped_at: u64,
 }
 
+/// Outcome of a crash-recovery drill
+/// ([`MarketplacePlatform::crash_and_recover`]): how fast the platform
+/// restarted from its last durable checkpoint and how much work it had
+/// to replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// Label of the checkpoint store recovery read from
+    /// (`"in_memory"`, `"eventual_kv"`, `"snapshot_isolation"`).
+    pub store: String,
+    /// Epoch the platform restarted from.
+    pub recovered_epoch: u64,
+    /// Epoch after the post-crash replay finished (never below
+    /// `recovered_epoch`: recovery loses no committed epoch).
+    pub final_epoch: u64,
+    /// Wall-clock microseconds the state restore took.
+    pub recovery_us: u64,
+    /// Ingress records replayed after the restore.
+    pub replayed_ingress: u64,
+}
+
 /// The uniform platform interface (one impl per paper binding).
 ///
 /// All five workload transactions plus ingestion, quiescing and state
@@ -160,6 +180,18 @@ pub trait MarketplacePlatform: Send + Sync {
     /// Platform-observed anomaly/diagnostic counters (staleness, drops,
     /// replays, tx aborts, ...). Keys are platform-specific.
     fn counters(&self) -> std::collections::BTreeMap<String, u64>;
+
+    /// Crashes the platform mid-epoch and restores it from its last
+    /// durable checkpoint, measuring the restore (the benchmark's
+    /// recovery cell). Returns `None` on platforms without an injectable
+    /// crash-recovery path — the default.
+    ///
+    /// The drill must be *safe*: after it returns, platform state equals
+    /// what it was before (no committed work lost, no drill side
+    /// effects).
+    fn crash_and_recover(&self) -> Option<RecoveryOutcome> {
+        None
+    }
 }
 
 #[cfg(test)]

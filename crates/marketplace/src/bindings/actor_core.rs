@@ -17,7 +17,7 @@ use crate::api::{CheckoutItem, MarketSnapshot};
 use crate::domain::ProductReplica;
 
 /// Configuration for the actor-based platforms.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ActorPlatformConfig {
     pub silos: usize,
     pub workers_per_silo: usize,
@@ -26,6 +26,23 @@ pub struct ActorPlatformConfig {
     pub decline_rate: f64,
     /// Storage discipline grain snapshots persist through.
     pub backend: BackendKind,
+    /// An existing backend instance to persist through instead of a
+    /// fresh one — how a rebuilt platform reattaches to the state a
+    /// previous instance left behind. Must match `backend`'s kind.
+    pub backend_instance: Option<std::sync::Arc<dyn om_storage::StateBackend>>,
+}
+
+impl std::fmt::Debug for ActorPlatformConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorPlatformConfig")
+            .field("silos", &self.silos)
+            .field("workers_per_silo", &self.workers_per_silo)
+            .field("faults", &self.faults)
+            .field("decline_rate", &self.decline_rate)
+            .field("backend", &self.backend)
+            .field("shared_backend_instance", &self.backend_instance.is_some())
+            .finish()
+    }
 }
 
 impl Default for ActorPlatformConfig {
@@ -36,6 +53,29 @@ impl Default for ActorPlatformConfig {
             faults: FaultConfig::reliable(),
             decline_rate: 0.05,
             backend: BackendKind::Eventual,
+            backend_instance: None,
+        }
+    }
+}
+
+impl ActorPlatformConfig {
+    /// The backend instance grain snapshots (and, on the customized
+    /// binding, the dashboard projection and replica cache) persist
+    /// through: the shared instance if one was injected, else a fresh
+    /// backend of the configured kind.
+    pub fn storage_backend(&self) -> std::sync::Arc<dyn om_storage::StateBackend> {
+        match &self.backend_instance {
+            Some(backend) => {
+                // Unconditional: a mismatch would persist through one
+                // discipline while labeling every report with the other.
+                assert_eq!(
+                    backend.kind(),
+                    self.backend,
+                    "injected backend instance does not match the configured backend kind"
+                );
+                backend.clone()
+            }
+            None => om_storage::make_backend(self.backend, om_actor::storage::GRAIN_STORAGE_SHARDS),
         }
     }
 }
@@ -66,7 +106,7 @@ impl ActorCore {
                 config.silos,
                 config.workers_per_silo,
                 config.faults,
-                config.backend,
+                config.storage_backend(),
             ),
             catalog: Catalog::default(),
             tids: IdSequence::new(1),

@@ -103,17 +103,14 @@ pub fn build_cluster(
     silos: usize,
     workers_per_silo: usize,
     faults: FaultConfig,
-    backend: om_common::config::BackendKind,
+    backend: std::sync::Arc<dyn om_storage::StateBackend>,
 ) -> Cluster<Msg, Reply> {
     Cluster::builder()
         .silos(silos)
         .workers_per_silo(workers_per_silo)
         .faults(faults)
         .call_timeout(Duration::from_secs(30))
-        .storage_backend(om_storage::make_backend(
-            backend,
-            om_actor::storage::GRAIN_STORAGE_SHARDS,
-        ))
+        .storage_backend(backend)
         .register(kinds::PRODUCT, |_id, _snap| make_product_grain())
         .register(kinds::REPLICA, |_id, _snap| make_replica_grain())
         .register(kinds::STOCK, |_id, snap| make_stock_grain(snap))

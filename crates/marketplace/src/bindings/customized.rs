@@ -6,25 +6,33 @@
 //!
 //! * the [`TransactionalPlatform`] actor core — all-or-nothing checkout
 //!   via 2PL + 2PC ("solution based on Orleans Transactions");
-//! * `om-kv` in **causal** replication mode for Product→Cart price
-//!   propagation with read-your-writes sessions (the paper's Redis
+//! * a **product replica cache** read through the unified
+//!   [`StateBackend`]'s read-your-writes sessions (the paper's Redis
 //!   primary/secondary deployment);
-//! * `om-mvcc` for **snapshot-consistent seller dashboards** — the order
-//!   entries and the aggregate are maintained in one MVCC transaction per
-//!   business transaction and read back in one snapshot (the paper's
+//! * a **seller dashboard projection** — per-order entries plus a running
+//!   aggregate, maintained with one multi-key backend commit per business
+//!   transaction and read back with one prefix scan (the paper's
 //!   PostgreSQL offload);
 //! * `om-log` as the audit log of committed business transactions
 //!   (Fig. 1's "log storage").
+//!
+//! Since PR 3 the projection and the replica cache live in the **same
+//! pluggable [`StateBackend`] instance as the grain snapshots**, so
+//! `BackendKind` selection is meaningful end-to-end for this platform:
+//! under `snapshot_isolation` the dashboard's multi-key commits are
+//! atomic and a prefix scan reads one snapshot (torn dashboards are
+//! impossible by construction); under `eventual_kv` the same commits
+//! apply per key and a concurrent dashboard can observe a torn subset —
+//! exactly the trade the benchmark's platform×backend matrix measures.
 //!
 //! Per the paper, the extra machinery "introduces low overhead, hence its
 //! performance is comparable to Orleans Transactions" — experiment E7
 //! verifies that ratio.
 
-use om_common::entity::{Customer, OrderStatus, Product, Seller, SellerDashboard};
+use om_common::entity::{Customer, OrderEntry, OrderStatus, Product, Seller, SellerDashboard};
 use om_common::ids::*;
 use om_common::{Money, OmError, OmResult};
-use om_kv::{ReplicatedKv, Session};
-use om_mvcc::{IsolationLevel, Table, TxManager};
+use om_storage::{StateBackend, WriteBatch};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -39,45 +47,97 @@ use crate::api::{
 };
 use crate::domain::ProductReplica;
 
-/// Aggregate row of the dashboard store: (amount cents, entry count).
-type AggRow = (i64, u64);
-/// Entry key: (seller, order, product) — ordered so one seller's entries
-/// form a contiguous range.
-type EntryKey = (u64, u64, u64);
+/// Retries before a conflicting projection commit is surfaced (only the
+/// snapshot-isolation backend can lose first-committer-wins validation).
+const PROJECTION_RETRIES: usize = 32;
 
-/// Configuration for the customized platform.
-#[derive(Debug, Clone)]
-pub struct CustomizedConfig {
-    pub actor: ActorPlatformConfig,
-    /// Shards of the replicated KV store.
-    pub kv_shards: usize,
-    /// Seed for the replication applier.
-    pub seed: u64,
+/// Key of the replica-cache record for `product` (namespaced so it can
+/// never collide with grain-snapshot keys, which are `kind/`-prefixed).
+fn replica_key(product: ProductId) -> Vec<u8> {
+    let mut key = Vec::with_capacity(6 + 8);
+    key.extend_from_slice(b"crep!/");
+    key.extend_from_slice(&product.0.to_be_bytes());
+    key
 }
 
-impl Default for CustomizedConfig {
-    fn default() -> Self {
-        Self {
-            actor: ActorPlatformConfig::default(),
-            kv_shards: 16,
-            seed: 0xC057,
-        }
+/// Prefix under which one seller's whole dashboard lives. The aggregate
+/// row (`…/a`) sorts before the entry rows (`…/e/…`), so a single prefix
+/// scan returns the aggregate followed by its entries — under snapshot
+/// isolation that scan is one consistent snapshot of both halves.
+fn dashboard_prefix(seller: SellerId) -> Vec<u8> {
+    let mut key = Vec::with_capacity(7 + 8 + 1);
+    key.extend_from_slice(b"cdash!/");
+    key.extend_from_slice(&seller.0.to_be_bytes());
+    key.push(b'/');
+    key
+}
+
+/// Key of the seller's aggregate row: (amount cents, entry count).
+fn agg_key(seller: SellerId) -> Vec<u8> {
+    let mut key = dashboard_prefix(seller);
+    key.push(b'a');
+    key
+}
+
+/// Key of one dashboard entry, ordered so one `(seller, order)`'s entries
+/// form a contiguous range.
+fn entry_key(seller: SellerId, order: OrderId, product: ProductId) -> Vec<u8> {
+    let mut key = dashboard_prefix(seller);
+    key.extend_from_slice(b"e/");
+    key.extend_from_slice(&order.0.to_be_bytes());
+    key.extend_from_slice(&product.0.to_be_bytes());
+    key
+}
+
+/// Prefix of every entry of `(seller, order)`.
+fn order_entries_prefix(seller: SellerId, order: OrderId) -> Vec<u8> {
+    let mut key = dashboard_prefix(seller);
+    key.extend_from_slice(b"e/");
+    key.extend_from_slice(&order.0.to_be_bytes());
+    key
+}
+
+fn encode_agg(amount_cents: i64, count: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&amount_cents.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    out
+}
+
+fn decode_agg(raw: &[u8]) -> (i64, u64) {
+    if raw.len() != 16 {
+        return (0, 0);
     }
+    (
+        i64::from_le_bytes(raw[0..8].try_into().unwrap()),
+        u64::from_le_bytes(raw[8..16].try_into().unwrap()),
+    )
+}
+
+/// Configuration for the customized platform.
+#[derive(Debug, Clone, Default)]
+pub struct CustomizedConfig {
+    pub actor: ActorPlatformConfig,
 }
 
 /// The full-featured stack.
 pub struct CustomizedPlatform {
     inner: TransactionalPlatform,
-    /// Causal primary/secondary replica of product state (Redis role).
-    kv: ReplicatedKv<u64, ProductReplica>,
-    /// Writer session used by sellers' product updates.
-    writer_session: Mutex<Session<u64>>,
-    /// Per-customer read sessions (read-your-writes on the secondary).
-    customer_sessions: Mutex<HashMap<CustomerId, Session<u64>>>,
-    /// MVCC store for consistent dashboard queries (PostgreSQL role).
-    mvcc: TxManager,
-    entries: Arc<Table<EntryKey, om_common::entity::OrderEntry>>,
-    agg: Arc<Table<u64, AggRow>>,
+    /// The same pluggable backend instance the grain snapshots use; the
+    /// dashboard projection and replica cache live in their own key
+    /// namespaces inside it.
+    backend: Arc<dyn StateBackend>,
+    /// Serializes the projection's read-modify-write sections (there is
+    /// one projection writer per platform instance). The *visibility* of
+    /// each multi-key commit is still the backend's discipline — atomic
+    /// under snapshot isolation, per-key under eventual.
+    projection_write: Mutex<()>,
+    /// Newest replica version each customer has observed per product —
+    /// the session context that makes customer reads **monotonic**: a
+    /// lagging backend session read below this floor falls back to the
+    /// authoritative copy (counted, because the fallback is the cost the
+    /// weaker replication discipline charges).
+    replica_floors: Mutex<HashMap<(CustomerId, u64), u64>>,
     /// Audit log of committed business transactions (log storage role).
     audit: Arc<om_log::Topic<String>>,
     audit_producer: om_log::ProducerHandle<String>,
@@ -85,24 +145,15 @@ pub struct CustomizedPlatform {
 
 impl CustomizedPlatform {
     pub fn new(config: CustomizedConfig) -> Self {
-        let mvcc = TxManager::new();
-        let entries = mvcc.create_table("order_entries");
-        let agg = mvcc.create_table("seller_aggregates");
+        let inner = TransactionalPlatform::new(config.actor);
+        let backend = inner.core().cluster.storage().backend().clone();
         let audit: Arc<om_log::Topic<String>> = Arc::new(om_log::Topic::new("audit", 1));
         let audit_producer = audit.producer();
         Self {
-            inner: TransactionalPlatform::new(config.actor),
-            kv: ReplicatedKv::new(
-                om_common::config::ReplicationMode::Causal,
-                config.kv_shards,
-                8,
-                config.seed,
-            ),
-            writer_session: Mutex::new(Session::new()),
-            customer_sessions: Mutex::new(HashMap::new()),
-            mvcc,
-            entries,
-            agg,
+            inner,
+            backend,
+            projection_write: Mutex::new(()),
+            replica_floors: Mutex::new(HashMap::new()),
             audit,
             audit_producer,
         }
@@ -112,70 +163,124 @@ impl CustomizedPlatform {
         &self.inner
     }
 
-    /// Replication statistics of the causal KV (criteria auditing).
-    pub fn kv_stats(&self) -> &om_kv::ReplicationStats {
-        self.kv.stats()
-    }
-
-    /// The MVCC store (tests).
-    pub fn mvcc(&self) -> &TxManager {
-        &self.mvcc
+    /// The unified backend holding grain snapshots, the dashboard
+    /// projection and the replica cache (tests / criteria auditing).
+    pub fn state_backend(&self) -> &Arc<dyn StateBackend> {
+        &self.backend
     }
 
     fn audit_append(&self, line: String) {
         let _ = self.audit_producer.send(0, line);
     }
 
-    /// Registers the order's dashboard entries in one MVCC transaction.
-    fn mvcc_add_order(&self, order: &om_common::entity::Order, status: OrderStatus) -> OmResult<()> {
-        self.mvcc.run(IsolationLevel::Snapshot, 16, |tx| {
+    /// Runs one projection read-modify-write: `build` assembles the batch
+    /// from current backend state, and the commit is retried while the
+    /// backend reports retryable (first-committer-wins) conflicts.
+    fn project(&self, build: impl Fn() -> OmResult<WriteBatch>) -> OmResult<()> {
+        let _writer = self.projection_write.lock();
+        let mut last = None;
+        for _ in 0..PROJECTION_RETRIES {
+            let batch = build()?;
+            if batch.is_empty() {
+                return Ok(());
+            }
+            match self.backend.commit(batch) {
+                Ok(_) => return Ok(()),
+                Err(e) if e.is_retryable() => {
+                    self.inner.core().counters.incr("projection_commit_conflicts");
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| OmError::Internal("projection commit failed".into())))
+    }
+
+    /// Registers the order's dashboard entries and bumps the per-seller
+    /// aggregates in one multi-key backend commit.
+    fn project_add_order(
+        &self,
+        order: &om_common::entity::Order,
+        status: OrderStatus,
+    ) -> OmResult<()> {
+        self.project(|| {
+            let mut batch = WriteBatch::new();
+            let mut by_seller: std::collections::BTreeMap<u64, (i64, u64)> = Default::default();
             for item in &order.items {
-                self.entries.put(
-                    tx,
-                    (item.seller.0, order.id.0, item.product.0),
-                    om_common::entity::OrderEntry {
-                        order: order.id,
-                        seller: item.seller,
-                        product: item.product,
-                        quantity: item.quantity,
-                        total_amount: item.total_amount,
-                        status,
-                    },
+                let entry = OrderEntry {
+                    order: order.id,
+                    seller: item.seller,
+                    product: item.product,
+                    quantity: item.quantity,
+                    total_amount: item.total_amount,
+                    status,
+                };
+                batch = batch.put(
+                    entry_key(item.seller, order.id, item.product),
+                    om_common::codec::to_bytes(&entry)
+                        .map_err(|e| OmError::Internal(format!("encode entry: {e}")))?,
                 );
-                let cur = self.agg.get(tx, &item.seller.0).unwrap_or((0, 0));
-                self.agg.put(
-                    tx,
-                    item.seller.0,
-                    (cur.0 + item.total_amount.cents(), cur.1 + 1),
+                let slot = by_seller.entry(item.seller.0).or_insert((0, 0));
+                slot.0 += item.total_amount.cents();
+                slot.1 += 1;
+            }
+            for (seller, (amount, count)) in &by_seller {
+                let seller = SellerId(*seller);
+                let (cur_amount, cur_count) = self
+                    .backend
+                    .get(&agg_key(seller))
+                    .map(|raw| decode_agg(&raw))
+                    .unwrap_or((0, 0));
+                batch = batch.put(
+                    agg_key(seller),
+                    encode_agg(cur_amount + amount, cur_count + count),
                 );
             }
-            Ok(())
+            Ok(batch)
         })
     }
 
     /// Retires an order's entries for one seller (delivery/terminal).
-    fn mvcc_retire_order(&self, seller: SellerId, order: OrderId) -> OmResult<()> {
-        self.mvcc.run(IsolationLevel::Snapshot, 16, |tx| {
-            let rows = self.entries.scan_filter(
-                tx,
-                (seller.0, order.0, 0)..=(seller.0, order.0, u64::MAX),
-                |_, _| true,
-            );
+    fn project_retire_order(&self, seller: SellerId, order: OrderId) -> OmResult<()> {
+        self.project(|| {
+            let rows = self.backend.scan_prefix(&order_entries_prefix(seller, order));
+            let mut batch = WriteBatch::new();
             let mut amount = 0i64;
-            for (key, entry) in &rows {
-                amount += entry.total_amount.cents();
-                self.entries.delete(tx, *key);
+            for (key, raw) in &rows {
+                if let Ok(entry) = om_common::codec::from_bytes::<OrderEntry>(raw) {
+                    amount += entry.total_amount.cents();
+                }
+                batch = batch.delete(key.clone());
             }
             if !rows.is_empty() {
-                let cur = self.agg.get(tx, &seller.0).unwrap_or((0, 0));
-                self.agg.put(
-                    tx,
-                    seller.0,
-                    (cur.0 - amount, cur.1.saturating_sub(rows.len() as u64)),
+                let (cur_amount, cur_count) = self
+                    .backend
+                    .get(&agg_key(seller))
+                    .map(|raw| decode_agg(&raw))
+                    .unwrap_or((0, 0));
+                batch = batch.put(
+                    agg_key(seller),
+                    encode_agg(
+                        cur_amount - amount,
+                        cur_count.saturating_sub(rows.len() as u64),
+                    ),
                 );
             }
-            Ok(())
+            Ok(batch)
         })
+    }
+
+    fn read_replica(&self, product: ProductId) -> Option<ProductReplica> {
+        self.backend
+            .get(&replica_key(product))
+            .and_then(|raw| om_common::codec::from_bytes(&raw).ok())
+    }
+
+    fn write_replica(&self, product: ProductId, replica: &ProductReplica) -> OmResult<()> {
+        let raw = om_common::codec::to_bytes(replica)
+            .map_err(|e| OmError::Internal(format!("encode replica: {e}")))?;
+        self.backend.put(&replica_key(product), &raw);
+        Ok(())
     }
 }
 
@@ -192,10 +297,8 @@ impl MarketplacePlatform for CustomizedPlatform {
         let id = seller.id;
         self.inner.ingest_seller(seller)?;
         // Seed the aggregate row so dashboards never miss.
-        self.mvcc.run(IsolationLevel::Snapshot, 4, |tx| {
-            self.agg.put(tx, id.0, (0, 0));
-            Ok(())
-        })
+        self.backend.put(&agg_key(id), &encode_agg(0, 0));
+        Ok(())
     }
 
     fn ingest_customer(&self, customer: Customer) -> OmResult<()> {
@@ -211,28 +314,53 @@ impl MarketplacePlatform for CustomizedPlatform {
         };
         let id = product.id;
         self.inner.ingest_product(product, initial_stock)?;
-        self.kv.put(&mut self.writer_session.lock(), id.0, replica);
-        Ok(())
+        self.write_replica(id, &replica)
     }
 
-    /// Cart adds price items from the **causal secondary replica** under
-    /// the customer's session. An unsatisfied session read (replication
-    /// lag) falls back to the primary — counted, because the fallback is
-    /// the cost causal consistency charges.
+    /// Cart adds price items from a backend session read (the
+    /// secondary-replica read of the paper's Redis deployment), made
+    /// **monotonic per customer**: a session read below the newest
+    /// replica version this customer has already observed — or a session
+    /// miss — falls back to the authoritative copy. Fallbacks are
+    /// counted, because they are the cost the weaker replication
+    /// discipline charges.
     fn add_to_cart(&self, customer: CustomerId, item: CheckoutItem) -> OmResult<()> {
         let core = self.inner.core();
-        let mut sessions = self.customer_sessions.lock();
-        let session = sessions.entry(customer).or_default();
-        let read = self.kv.get_secondary(session, &item.product.0);
-        let replica = if read.satisfied_session {
-            read.value
-        } else {
-            core.counters.incr("kv_session_fallbacks");
-            self.kv.get_primary(session, &item.product.0)
+        let key = replica_key(item.product);
+        let floor = self
+            .replica_floors
+            .lock()
+            .get(&(customer, item.product.0))
+            .copied()
+            .unwrap_or(0);
+        let mut session = self.backend.session();
+        let session_read: Option<ProductReplica> = session
+            .get(&key)
+            .and_then(|raw| om_common::codec::from_bytes(&raw).ok());
+        drop(session);
+        let replica: ProductReplica = match session_read {
+            Some(replica) if replica.version >= floor => replica,
+            lagging => {
+                // Replication lag: the session's replica has not seen the
+                // key yet, or serves a version older than this customer
+                // has already observed; read the authoritative copy.
+                let raw = self.backend.get(&key);
+                if raw.is_some() {
+                    core.counters.incr(if lagging.is_some() {
+                        "replica_session_inversions_repaired"
+                    } else {
+                        "replica_session_fallbacks"
+                    });
+                }
+                raw.and_then(|raw| om_common::codec::from_bytes(&raw).ok())
+                    .ok_or_else(|| OmError::NotFound(format!("replica of {}", item.product)))?
+            }
         };
-        drop(sessions);
-        let replica =
-            replica.ok_or_else(|| OmError::NotFound(format!("replica of {}", item.product)))?;
+        self.replica_floors
+            .lock()
+            .entry((customer, item.product.0))
+            .and_modify(|v| *v = (*v).max(replica.version))
+            .or_insert(replica.version);
         if !replica.active {
             return Err(OmError::Rejected(format!("{} deleted", item.product)));
         }
@@ -260,8 +388,8 @@ impl MarketplacePlatform for CustomizedPlatform {
             ..
         } = &outcome
         {
-            // Offload the dashboard projection to the MVCC store, and
-            // append the audit record (Fig. 1 pipeline).
+            // Offload the dashboard projection to the backend, and append
+            // the audit record (Fig. 1 pipeline).
             let order = match self
                 .inner
                 .core()
@@ -276,74 +404,69 @@ impl MarketplacePlatform for CustomizedPlatform {
                 }
                 other => return unexpected(other),
             };
-            self.mvcc_add_order(&order, order.status)?;
+            self.project_add_order(&order, order.status)?;
             self.audit_append(format!("checkout customer={customer} order={order_id}"));
         }
         Ok(outcome)
     }
 
     /// Price updates go to the authoritative product grain **and** the
-    /// causal KV primary, which replicates to the secondary the cart
-    /// reads.
+    /// replica cache the cart reads.
     fn price_update(&self, seller: SellerId, product: ProductId, price: Money) -> OmResult<()> {
         self.inner.price_update(seller, product, price)?;
-        let mut session = self.writer_session.lock();
-        let current = self.kv.get_primary(&mut session, &product.0);
-        if let Some(mut replica) = current {
+        if let Some(mut replica) = self.read_replica(product) {
             let version = replica.version + 1;
             replica.apply_update(price, version);
-            self.kv.put(&mut session, product.0, replica);
+            self.write_replica(product, &replica)?;
         }
-        drop(session);
         self.audit_append(format!("price_update product={product}"));
         Ok(())
     }
 
     fn product_delete(&self, seller: SellerId, product: ProductId) -> OmResult<()> {
         self.inner.product_delete(seller, product)?;
-        let mut session = self.writer_session.lock();
-        if let Some(mut replica) = self.kv.get_primary(&mut session, &product.0) {
+        if let Some(mut replica) = self.read_replica(product) {
             let version = replica.version + 1;
             replica.apply_delete(version);
-            self.kv.put(&mut session, product.0, replica);
+            self.write_replica(product, &replica)?;
         }
-        drop(session);
         self.audit_append(format!("product_delete product={product}"));
         Ok(())
     }
 
     fn update_delivery(&self, max_sellers: usize) -> OmResult<u32> {
         // Snapshot the shipment state before delivery so we can retire the
-        // right MVCC entries afterwards.
+        // right projection entries afterwards.
         let before = self.inner.update_delivery_with_detail(max_sellers)?;
         for (seller, order) in &before.delivered_orders {
-            self.mvcc_retire_order(*seller, *order)?;
+            self.project_retire_order(*seller, *order)?;
         }
-        self.audit_append(format!(
-            "update_delivery packages={}",
-            before.packages
-        ));
+        self.audit_append(format!("update_delivery packages={}", before.packages));
         Ok(before.packages)
     }
 
-    /// The consistent dashboard: one MVCC snapshot transaction reads both
-    /// the aggregate and the entries — torn reads are impossible by
-    /// construction (paper: "offloads consistent querying ... to
-    /// PostgreSQL").
+    /// The consistent dashboard: **one prefix scan** returns the seller's
+    /// aggregate row and entry rows together. Under the snapshot-isolation
+    /// backend the scan reads a single MVCC snapshot — torn reads are
+    /// impossible by construction (paper: "offloads consistent querying
+    /// ... to PostgreSQL"). Under the eventual backend the same scan can
+    /// race a per-key commit and observe a torn dashboard — the anomaly
+    /// the criteria audit counts.
     fn seller_dashboard(&self, seller: SellerId) -> OmResult<SellerDashboard> {
-        let tx = self.mvcc.begin(IsolationLevel::Snapshot);
-        let (amount, count) = self.agg.get(&tx, &seller.0).unwrap_or((0, 0));
-        let entries = self
-            .entries
-            .scan_filter(
-                &tx,
-                (seller.0, 0, 0)..=(seller.0, u64::MAX, u64::MAX),
-                |_, _| true,
-            )
-            .into_iter()
-            .map(|(_, e)| e)
-            .collect();
-        drop(tx);
+        let rows = self.backend.scan_prefix(&dashboard_prefix(seller));
+        let agg = agg_key(seller);
+        let mut amount = 0i64;
+        let mut count = 0u64;
+        let mut entries = Vec::new();
+        for (key, raw) in rows {
+            if key == agg {
+                let (a, c) = decode_agg(&raw);
+                amount = a;
+                count = c;
+            } else if let Ok(entry) = om_common::codec::from_bytes::<OrderEntry>(&raw) {
+                entries.push(entry);
+            }
+        }
         self.inner.core().counters.incr("dashboards");
         Ok(SellerDashboard {
             seller,
@@ -355,7 +478,7 @@ impl MarketplacePlatform for CustomizedPlatform {
 
     fn quiesce(&self) {
         self.inner.quiesce();
-        self.kv.quiesce();
+        self.backend.quiesce();
     }
 
     fn snapshot(&self) -> OmResult<MarketSnapshot> {
@@ -364,16 +487,6 @@ impl MarketplacePlatform for CustomizedPlatform {
 
     fn counters(&self) -> std::collections::BTreeMap<String, u64> {
         let mut out = self.inner.counters();
-        out.insert("kv.applied".into(), self.kv.stats().applied());
-        out.insert(
-            "kv.causal_inversions".into(),
-            self.kv.stats().causal_inversions(),
-        );
-        out.insert("kv.buffered".into(), self.kv.stats().buffered());
-        out.insert("kv.stale_drops".into(), self.kv.stats().stale_drops());
-        let (commits, aborts) = self.mvcc.stats();
-        out.insert("mvcc.commits".into(), commits);
-        out.insert("mvcc.aborts".into(), aborts);
         out.insert("audit.records".into(), self.audit.len() as u64);
         out
     }

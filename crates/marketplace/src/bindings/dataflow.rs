@@ -21,7 +21,7 @@ use om_common::ids::*;
 use om_common::stats::CounterSet;
 use om_common::time::EventTime;
 use om_common::{Money, OmError, OmResult};
-use om_dataflow::{Address, Dataflow, Effects};
+use om_dataflow::{Address, CheckpointStore, Dataflow, Effects};
 use parking_lot::{Mutex, RwLock};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
@@ -42,6 +42,11 @@ use crate::domain::{
 
 /// Function type for the delivery workflow coordinator.
 const DELIVERY_FN: &str = "delivery";
+
+/// Function type of the crash-recovery drill: a registered no-op, so a
+/// drill wave burns invocations (arming the injected crash) without ever
+/// touching business state or the unroutable counter.
+const DRILL_FN: &str = "recovery_drill";
 
 /// Messages flowing through the dataflow.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -199,11 +204,24 @@ struct DeliveryState {
     at: EventTime,
 }
 
-/// Builds the marketplace dataflow topology.
-fn build_dataflow(partitions: usize, max_batch: usize) -> Dataflow<DfMsg> {
-    Dataflow::builder()
-        .partitions(partitions)
-        .max_batch(max_batch)
+/// Builds the marketplace dataflow topology. A `store` holding a
+/// committed checkpoint makes this a **restart**: the topology resumes
+/// from the last committed epoch (paired with `ingress`, in-flight
+/// records replay too).
+fn build_dataflow(
+    partitions: usize,
+    max_batch: usize,
+    store: Option<Arc<dyn CheckpointStore>>,
+    ingress: Option<Arc<om_log::Topic<(Address, DfMsg)>>>,
+) -> Dataflow<DfMsg> {
+    let mut builder = Dataflow::builder().partitions(partitions).max_batch(max_batch);
+    if let Some(store) = store {
+        builder = builder.checkpoint_store(store);
+    }
+    if let Some(ingress) = ingress {
+        builder = builder.ingress_topic(ingress);
+    }
+    builder
         .register(kinds::PRODUCT, product_fn)
         .register(kinds::REPLICA, replica_fn)
         .register(kinds::STOCK, stock_fn)
@@ -214,6 +232,7 @@ fn build_dataflow(partitions: usize, max_batch: usize) -> Dataflow<DfMsg> {
         .register(kinds::SELLER, seller_fn)
         .register(kinds::CUSTOMER, customer_fn)
         .register(DELIVERY_FN, delivery_fn)
+        .register(DRILL_FN, |_key, _state: Option<&[u8]>, _msg: DfMsg, _out: &mut Effects<DfMsg>| {})
         .build()
 }
 
@@ -825,12 +844,37 @@ fn delivery_fn(key: u64, state: Option<&[u8]>, msg: DfMsg, out: &mut Effects<DfM
 }
 
 /// Configuration for the dataflow platform.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DataflowPlatformConfig {
     pub partitions: usize,
     /// Checkpoint interval in ingress records per partition.
     pub max_batch: usize,
     pub decline_rate: f64,
+    /// Where epoch checkpoints live; `None` uses the runtime's default
+    /// in-memory store. Passing a [`BackendCheckpointStore`] over a
+    /// shared backend makes the platform restartable: a second platform
+    /// built over the same store resumes from the last committed epoch.
+    ///
+    /// [`BackendCheckpointStore`]: om_dataflow::BackendCheckpointStore
+    pub checkpoint_store: Option<Arc<dyn CheckpointStore>>,
+    /// Reuse an existing ingress log (pairs with `checkpoint_store` for
+    /// full restarts that also replay in-flight records).
+    pub ingress: Option<Arc<om_log::Topic<(Address, DfMsg)>>>,
+}
+
+impl std::fmt::Debug for DataflowPlatformConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataflowPlatformConfig")
+            .field("partitions", &self.partitions)
+            .field("max_batch", &self.max_batch)
+            .field("decline_rate", &self.decline_rate)
+            .field(
+                "checkpoint_store",
+                &self.checkpoint_store.as_ref().map(|s| s.label()),
+            )
+            .field("shared_ingress", &self.ingress.is_some())
+            .finish()
+    }
 }
 
 impl Default for DataflowPlatformConfig {
@@ -839,6 +883,8 @@ impl Default for DataflowPlatformConfig {
             partitions: 4,
             max_batch: 64,
             decline_rate: 0.05,
+            checkpoint_store: None,
+            ingress: None,
         }
     }
 }
@@ -865,7 +911,12 @@ pub struct DataflowPlatform {
 
 impl DataflowPlatform {
     pub fn new(config: DataflowPlatformConfig) -> Self {
-        let df = Arc::new(build_dataflow(config.partitions, config.max_batch));
+        let df = Arc::new(build_dataflow(
+            config.partitions,
+            config.max_batch,
+            config.checkpoint_store,
+            config.ingress,
+        ));
         let waiters: Arc<Mutex<WaiterRegistry>> = Arc::new(Mutex::new(WaiterRegistry::default()));
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(CounterSet::new());
@@ -1031,6 +1082,12 @@ impl Drop for DataflowPlatform {
 impl MarketplacePlatform for DataflowPlatform {
     fn kind(&self) -> PlatformKind {
         PlatformKind::Dataflow
+    }
+
+    /// The backend behind the checkpoint store, when checkpoints are
+    /// durable; `None` with the in-memory store (runtime-native state).
+    fn backend(&self) -> Option<om_common::config::BackendKind> {
+        self.df.checkpoint_store().backend_kind()
     }
 
     fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
@@ -1257,6 +1314,54 @@ impl MarketplacePlatform for DataflowPlatform {
         out.insert("df.replays".into(), replays);
         out.insert("df.invocations".into(), invocations);
         out.insert("df.unroutable".into(), unroutable);
+        let (recoveries, last_recovery_us) = self.df.recovery_stats();
+        out.insert("df.recoveries".into(), recoveries);
+        out.insert("df.last_recovery_us".into(), last_recovery_us);
+        out.insert(
+            "df.checkpoint_commits".into(),
+            self.df.checkpoint_store().commits(),
+        );
         out
+    }
+
+    /// The dataflow recovery cell: crash mid-epoch, restore from the
+    /// checkpoint store, replay. The drill wave targets the registered
+    /// no-op drill function, so it leaves no state behind — only
+    /// committed epochs (meta-only checkpoints) and the measured restore.
+    fn crash_and_recover(&self) -> Option<crate::api::RecoveryOutcome> {
+        // Drain outstanding work so the drill measures only itself.
+        self.quiesce();
+        const DRILL_RECORDS: u64 = 32;
+        let replays_before = self.df.stats().1;
+        // Arm the crash *before* submitting the wave: the pump thread
+        // races this method, and an unarmed wave could be fully committed
+        // first, leaving a countdown that never fires.
+        self.df.inject_crash_after(DRILL_RECORDS / 2);
+        for i in 0..DRILL_RECORDS {
+            self.df.submit(addr(DRILL_FN, i), DfMsg::CustomerDelivery);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while (self.df.pending_ingress() > 0 || self.df.stats().1 == replays_before)
+            && std::time::Instant::now() < deadline
+        {
+            if !self.drive_one_epoch() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        if self.df.stats().1 == replays_before {
+            // Deadline expired without the crash firing (e.g. a starved
+            // pump): disarm and report no drill rather than a misleading
+            // outcome built from the previous (build-time) recovery.
+            self.df.disarm_crash();
+            return None;
+        }
+        let recovery = self.df.last_recovery()?;
+        Some(crate::api::RecoveryOutcome {
+            store: self.df.checkpoint_store().label().to_string(),
+            recovered_epoch: recovery.epoch,
+            final_epoch: self.df.committed_epoch(),
+            recovery_us: recovery.duration.as_micros() as u64,
+            replayed_ingress: recovery.replayable_ingress,
+        })
     }
 }

@@ -6,6 +6,13 @@
 //! constructed over every [`BackendKind`] without code changes, which is
 //! what lets `RunConfig::backend` select storage end-to-end (driver,
 //! gateway, benches all build through here).
+//!
+//! Since PR 3 the matrix covers the dataflow binding too: its epoch
+//! checkpoints persist through the spec's backend by default
+//! ([`PlatformSpec::durable_checkpoints`]), and a spec can carry an
+//! existing backend *instance* ([`PlatformSpec::backend_instance`]) so a
+//! rebuilt platform restarts from the state a previous instance
+//! persisted.
 
 use crate::api::{MarketplacePlatform, PlatformKind};
 use crate::bindings::actor_core::ActorPlatformConfig;
@@ -14,9 +21,12 @@ use crate::bindings::dataflow::DataflowPlatformConfig;
 use crate::{CustomizedPlatform, DataflowPlatform, EventualPlatform, TransactionalPlatform};
 use om_actor::FaultConfig;
 use om_common::config::BackendKind;
+use om_dataflow::BackendCheckpointStore;
+use om_storage::StateBackend;
+use std::sync::Arc;
 
 /// Everything needed to build one cell of the platform×backend matrix.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PlatformSpec {
     pub kind: PlatformKind,
     pub backend: BackendKind,
@@ -28,6 +38,31 @@ pub struct PlatformSpec {
     /// Event-delivery fault injection (meaningful for the plain actor
     /// bindings; the dataflow runtime is exactly-once by construction).
     pub faults: FaultConfig,
+    /// Dataflow checkpoint interval (ingress records per partition per
+    /// epoch).
+    pub checkpoint_interval: usize,
+    /// Route the dataflow binding's epoch checkpoints through the spec's
+    /// backend (default) instead of the in-memory store.
+    pub durable_checkpoints: bool,
+    /// An existing backend instance to build over instead of a fresh
+    /// one — the restart path: a platform built over the backend a
+    /// previous platform persisted into resumes from that state.
+    pub backend_instance: Option<Arc<dyn StateBackend>>,
+}
+
+impl std::fmt::Debug for PlatformSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlatformSpec")
+            .field("kind", &self.kind)
+            .field("backend", &self.backend)
+            .field("parallelism", &self.parallelism)
+            .field("decline_rate", &self.decline_rate)
+            .field("faults", &self.faults)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("durable_checkpoints", &self.durable_checkpoints)
+            .field("shared_backend_instance", &self.backend_instance.is_some())
+            .finish()
+    }
 }
 
 impl PlatformSpec {
@@ -40,6 +75,9 @@ impl PlatformSpec {
             parallelism: 4,
             decline_rate: 0.05,
             faults: FaultConfig::reliable(),
+            checkpoint_interval: 64,
+            durable_checkpoints: true,
+            backend_instance: None,
         }
     }
 
@@ -58,6 +96,36 @@ impl PlatformSpec {
         self
     }
 
+    /// Sets the dataflow checkpoint interval (epoch batch size).
+    pub fn checkpoint_interval(mut self, records: usize) -> Self {
+        self.checkpoint_interval = records.max(1);
+        self
+    }
+
+    /// Selects durable (backend-backed) vs in-memory dataflow
+    /// checkpoints.
+    pub fn durable_checkpoints(mut self, durable: bool) -> Self {
+        self.durable_checkpoints = durable;
+        self
+    }
+
+    /// Builds over an existing backend instance (its kind must match
+    /// `backend`). This is how a platform "restarts": persist into a
+    /// backend, drop the platform, build a new spec over the same
+    /// instance.
+    pub fn backend_instance(mut self, backend: Arc<dyn StateBackend>) -> Self {
+        self.backend_instance = Some(backend);
+        self
+    }
+
+    /// The backend instance this spec's platform will persist through:
+    /// the shared instance if one was injected, else a fresh backend of
+    /// the spec's kind (one decision, shared with the actor bindings via
+    /// [`ActorPlatformConfig::storage_backend`]).
+    pub fn storage_backend(&self) -> Arc<dyn StateBackend> {
+        self.actor_config().storage_backend()
+    }
+
     /// The actor-binding configuration this spec maps to.
     pub fn actor_config(&self) -> ActorPlatformConfig {
         ActorPlatformConfig {
@@ -66,6 +134,7 @@ impl PlatformSpec {
             faults: self.faults,
             decline_rate: self.decline_rate,
             backend: self.backend,
+            backend_instance: self.backend_instance.clone(),
         }
     }
 
@@ -77,21 +146,29 @@ impl PlatformSpec {
 
 /// Builds the platform for one matrix cell.
 ///
-/// The dataflow binding keeps its state inside the runtime's checkpointed
-/// function state (its [`MarketplacePlatform::backend`] reports `None`);
-/// every other binding persists grain state through the spec's backend.
+/// Every binding persists through the spec's backend: the actor bindings
+/// route grain snapshots (and, on the customized stack, the dashboard
+/// projection and replica cache) through it, and the dataflow binding
+/// commits its epoch checkpoints through it unless
+/// [`PlatformSpec::durable_checkpoints`] is switched off (in which case
+/// its [`MarketplacePlatform::backend`] reports `None`).
 pub fn build_platform(spec: &PlatformSpec) -> Box<dyn MarketplacePlatform> {
     match spec.kind {
         PlatformKind::Eventual => Box::new(EventualPlatform::new(spec.actor_config())),
         PlatformKind::Transactional => Box::new(TransactionalPlatform::new(spec.actor_config())),
         PlatformKind::Dataflow => Box::new(DataflowPlatform::new(DataflowPlatformConfig {
             partitions: spec.parallelism.max(1),
-            max_batch: 64,
+            max_batch: spec.checkpoint_interval,
             decline_rate: spec.decline_rate,
+            checkpoint_store: spec
+                .durable_checkpoints
+                .then(|| -> Arc<dyn om_dataflow::CheckpointStore> {
+                    Arc::new(BackendCheckpointStore::new(spec.storage_backend()))
+                }),
+            ingress: None,
         })),
         PlatformKind::Customized => Box::new(CustomizedPlatform::new(CustomizedConfig {
             actor: spec.actor_config(),
-            ..Default::default()
         })),
     }
 }
@@ -112,18 +189,53 @@ mod tests {
                 let spec = PlatformSpec::new(kind, backend).parallelism(2);
                 let p = build_platform(&spec);
                 assert_eq!(p.kind(), kind, "{}", spec.label());
-                if kind == PlatformKind::Dataflow {
-                    assert_eq!(p.backend(), None, "dataflow state is runtime-native");
-                } else {
-                    assert_eq!(p.backend(), Some(backend), "{}", spec.label());
-                }
+                assert_eq!(
+                    p.backend(),
+                    Some(backend),
+                    "{}: every binding persists through the spec's backend",
+                    spec.label()
+                );
             }
         }
+    }
+
+    #[test]
+    fn dataflow_without_durable_checkpoints_is_runtime_native() {
+        let spec = PlatformSpec::new(PlatformKind::Dataflow, BackendKind::Eventual)
+            .parallelism(2)
+            .durable_checkpoints(false);
+        let p = build_platform(&spec);
+        assert_eq!(p.backend(), None, "in-memory checkpoints report no backend");
     }
 
     #[test]
     fn labels_name_both_axes() {
         let spec = PlatformSpec::new(PlatformKind::Transactional, BackendKind::SnapshotIsolation);
         assert_eq!(spec.label(), "orleans_transactions+snapshot_isolation");
+    }
+
+    #[test]
+    fn platform_rebuilt_over_the_same_backend_restarts_from_its_state() {
+        let backend = om_storage::make_backend(BackendKind::SnapshotIsolation, 8);
+        let spec = PlatformSpec::new(PlatformKind::Dataflow, BackendKind::SnapshotIsolation)
+            .parallelism(2)
+            .backend_instance(backend.clone());
+        let first = build_platform(&spec);
+        first
+            .ingest_seller(om_common::entity::Seller::new(
+                om_common::ids::SellerId(1),
+                "s".into(),
+                "c".into(),
+            ))
+            .unwrap();
+        first.quiesce();
+        drop(first);
+        let second = build_platform(&spec);
+        // The seller's dashboard state survived the rebuild (served from
+        // the checkpointed function state in the shared backend).
+        let dash = second
+            .seller_dashboard(om_common::ids::SellerId(1))
+            .expect("seller state survives the rebuild");
+        assert_eq!(dash.seller, om_common::ids::SellerId(1));
     }
 }

@@ -9,7 +9,9 @@ use std::sync::Arc;
 /// One write of a multi-key commit. `value == None` deletes the key.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WriteOp {
+    /// Key the write targets.
     pub key: Vec<u8>,
+    /// New value, or `None` for a deletion.
     pub value: Option<Vec<u8>>,
 }
 
@@ -20,8 +22,14 @@ pub struct WriteBatch {
 }
 
 impl WriteBatch {
+    /// An empty batch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A batch over pre-built ops (applied in order).
+    pub fn from_ops(ops: Vec<WriteOp>) -> Self {
+        Self { ops }
     }
 
     /// Stages an insert/update of `key`.
@@ -42,18 +50,22 @@ impl WriteBatch {
         self
     }
 
+    /// Number of staged writes.
     pub fn len(&self) -> usize {
         self.ops.len()
     }
 
+    /// Whether the batch stages no writes.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
 
+    /// The staged writes, in submission order.
     pub fn ops(&self) -> &[WriteOp] {
         &self.ops
     }
 
+    /// Consumes the batch into its writes.
     pub fn into_ops(self) -> Vec<WriteOp> {
         self.ops
     }
@@ -95,6 +107,30 @@ pub trait StateSession: Send {
 /// |---|---|---|
 /// | eventual | applied per key (torn states observable) | independent reads |
 /// | snapshot isolation | atomic, aborts on conflict | one consistent snapshot |
+///
+/// ```
+/// use om_common::config::BackendKind;
+/// use om_storage::{make_backend, WriteBatch};
+///
+/// let backend = make_backend(BackendKind::SnapshotIsolation, 4);
+/// backend.put(b"stock/1", b"5");
+/// assert_eq!(backend.get(b"stock/1"), Some(b"5".to_vec()));
+///
+/// // Atomic multi-key commit: place the order and consume the stock
+/// // together (under snapshot isolation, no reader sees one without
+/// // the other).
+/// let batch = WriteBatch::new()
+///     .put(b"order/7".to_vec(), b"placed".to_vec())
+///     .delete(b"stock/1".to_vec());
+/// backend.commit(batch).unwrap();
+/// assert_eq!(backend.get(b"stock/1"), None);
+///
+/// // Read-your-writes session: a session never unsees its own write,
+/// // even when the backend serves reads from a lagging replica.
+/// let mut session = backend.session();
+/// session.put(b"cart/9", b"item");
+/// assert_eq!(session.get(b"cart/9"), Some(b"item".to_vec()));
+/// ```
 pub trait StateBackend: Send + Sync {
     /// Which discipline this backend implements.
     fn kind(&self) -> BackendKind;
@@ -124,6 +160,15 @@ pub trait StateBackend: Send + Sync {
     /// number of writes applied.
     fn commit(&self, batch: WriteBatch) -> OmResult<usize>;
 
+    /// [`commit`](StateBackend::commit) **by reference**: identical
+    /// semantics without consuming the ops, so retry loops (and per-epoch
+    /// checkpoint commits) pay no copy on the common first-attempt
+    /// success path. The default clones into a batch; both shipped
+    /// backends override it copy-free.
+    fn commit_ops(&self, ops: &[WriteOp]) -> OmResult<usize> {
+        self.commit(WriteBatch::from_ops(ops.to_vec()))
+    }
+
     /// Opens a read-your-writes session.
     fn session(&self) -> Box<dyn StateSession + '_>;
 
@@ -134,6 +179,7 @@ pub trait StateBackend: Send + Sync {
     /// Number of live keys.
     fn len(&self) -> usize;
 
+    /// Whether the backend holds no live keys.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }

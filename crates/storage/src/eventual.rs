@@ -176,13 +176,15 @@ impl StateBackend for EventualBackend {
     }
 
     fn commit(&self, batch: WriteBatch) -> OmResult<usize> {
-        let ops = batch.into_ops();
-        let applied = ops.len();
+        self.commit_ops(batch.ops())
+    }
+
+    fn commit_ops(&self, ops: &[WriteOp]) -> OmResult<usize> {
         for WriteOp { key, value } in ops {
-            self.write_one(&key, value.as_deref());
+            self.write_one(key, value.as_deref());
         }
         self.commits.fetch_add(1, Ordering::Relaxed);
-        Ok(applied)
+        Ok(ops.len())
     }
 
     fn session(&self) -> Box<dyn StateSession + '_> {

@@ -25,6 +25,14 @@
 //! keyed by hash, with per-shard locks — so the backend never reintroduces
 //! the single global `RwLock<HashMap>` hot spot the actor runtime's grain
 //! storage started with.
+//!
+//! Everything stateful in the workspace persists through this layer:
+//! actor grain snapshots (`om-actor`), the customized binding's dashboard
+//! projection and replica cache (`om-marketplace`), and the dataflow
+//! runtime's epoch checkpoints (`om-dataflow`'s `BackendCheckpointStore`).
+//! See `docs/ARCHITECTURE.md` for the full picture.
+
+#![deny(missing_docs)]
 
 pub mod backend;
 pub mod eventual;

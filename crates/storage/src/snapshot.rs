@@ -144,6 +144,10 @@ impl StateBackend for SnapshotBackend {
         self.run_batch(batch.ops())
     }
 
+    fn commit_ops(&self, ops: &[WriteOp]) -> OmResult<usize> {
+        self.run_batch(ops)
+    }
+
     fn session(&self) -> Box<dyn StateSession + '_> {
         Box::new(SnapshotSession {
             backend: self,

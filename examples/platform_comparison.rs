@@ -57,7 +57,6 @@ fn main() {
             PlatformKind::Customized => run_benchmark(
                 &CustomizedPlatform::new(CustomizedConfig {
                     actor,
-                    ..Default::default()
                 }),
                 &config,
                 true,

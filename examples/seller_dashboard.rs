@@ -103,18 +103,22 @@ fn main() {
         100.0 * torn as f64 / probes.max(1) as f64
     );
 
+    // The customized stack's dashboard projection lives in the unified
+    // StateBackend; its consistency guarantee is the backend's. Run the
+    // snapshot-isolation cell (the paper's PostgreSQL offload).
     let customized = CustomizedPlatform::new(CustomizedConfig {
         actor: ActorPlatformConfig {
             decline_rate: 0.0,
+            backend: online_marketplace::common::config::BackendKind::SnapshotIsolation,
             ..Default::default()
         },
-        ..Default::default()
     });
     let (probes, torn) = probe(&customized, 400);
     println!(
-        "customized       : {probes} probes, {torn} torn dashboards ({:.2}%)",
+        "customized+snapshot_isolation : {probes} probes, {torn} torn dashboards ({:.2}%)",
         100.0 * torn as f64 / probes.max(1) as f64
     );
-    println!("\nthe MVCC-backed dashboard must report 0 torn reads — that is the");
-    println!("consistent-querying criterion only the customized stack satisfies.");
+    println!("\nover the snapshot-isolation backend the dashboard scan reads one MVCC");
+    println!("snapshot — 0 torn reads, the consistent-querying criterion. The same");
+    println!("binding over eventual_kv gives that guarantee up (the matrix's trade).");
 }

@@ -26,11 +26,11 @@ fn platform(kind: PlatformKind) -> Arc<dyn MarketplacePlatform> {
             partitions: 2,
             max_batch: 64,
             decline_rate: 0.0,
+            ..Default::default()
         })),
         PlatformKind::Customized => Arc::new(CustomizedPlatform::new(
             online_marketplace::marketplace::bindings::customized::CustomizedConfig {
                 actor,
-                ..Default::default()
             },
         )),
     }

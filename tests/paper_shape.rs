@@ -60,7 +60,6 @@ fn customized_overhead_is_bounded() {
     let transactional = throughput(&TransactionalPlatform::new(actor.clone()));
     let customized = throughput(&CustomizedPlatform::new(CustomizedConfig {
         actor,
-        ..Default::default()
     }));
     let ratio = customized / transactional;
     assert!(
