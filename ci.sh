@@ -8,10 +8,12 @@
 #     toolchain ships without clippy),
 #   * benches must keep compiling (`cargo bench --no-run` — never run in
 #     CI; numbers come from dedicated perf runs),
-#   * all examples must keep compiling,
+#   * all examples must keep compiling, and failure_recovery *runs* as a
+#     smoke step (it asserts zero lost epochs across a disk-backed
+#     platform rebuild),
 #   * the shim crates' own unit tests run via --workspace,
-#   * rustdoc must build warning-free (om_storage additionally denies
-#     missing docs at the crate level).
+#   * rustdoc must build warning-free (om_storage, om_dataflow, om_log
+#     and om_kv additionally deny missing docs at the crate level).
 #
 # The environment is fully offline; --offline makes that explicit so a
 # mis-edited manifest fails fast instead of hanging on the network.
@@ -40,5 +42,8 @@ cargo bench --no-run --offline
 
 echo "==> cargo build --examples"
 cargo build --examples --offline
+
+echo "==> smoke: failure_recovery example (disk-backed recovery, asserts 0 lost epochs)"
+cargo run --release --offline --example failure_recovery >/dev/null
 
 echo "CI OK"

@@ -1,0 +1,147 @@
+//! B2 — **durability cost and recovery speed** across the three storage
+//! backends.
+//!
+//! Two questions the file-durable backend raises, measured head to head:
+//!
+//! * `b2_commit_latency` — what a 16-key atomic commit costs per
+//!   discipline. The file backend pays a framed WAL append + flush per
+//!   commit; the memory backends pay locks (eventual) or MVCC
+//!   validation (snapshot isolation) only.
+//! * `b2_checkpoint_restart` — how fast a rebuilt dataflow reads back
+//!   its last committed checkpoint (`CheckpointStore::load`). For the
+//!   memory backends this is the **shared-instance** restart — their
+//!   best case, since a genuinely cold process loses them entirely; the
+//!   file backend serves the same load after a real process boundary.
+//! * `b2_cold_recovery_file` — the file backend's true cold start:
+//!   open a populated data directory from disk alone (snapshot load +
+//!   WAL replay + torn-tail scan).
+//!
+//! The criterion shim reports first-order mean ns/iter with no
+//! statistics — cite repeated runs for any perf claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::{make_checkpoint_store, BACKENDS, CHECKPOINT_STORES};
+use om_dataflow::StateDelta;
+use om_storage::{make_backend, FileBackend, FileBackendOptions, StateBackend, WriteOp};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn commit_ops(round: u64) -> Vec<WriteOp> {
+    (0..16u64)
+        .map(|k| WriteOp {
+            key: format!("b2/key/{k}").into_bytes(),
+            value: Some(round.to_le_bytes().to_vec()),
+        })
+        .collect()
+}
+
+fn bench_commit_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_commit_latency");
+    group.sample_size(20);
+    for backend_kind in BACKENDS {
+        let backend = make_backend(backend_kind, 16);
+        let round = AtomicU64::new(0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend_kind.label()),
+            &backend_kind,
+            |b, _| {
+                b.iter_with_setup(
+                    || commit_ops(round.fetch_add(1, Ordering::Relaxed)),
+                    |ops| backend.commit_ops(&ops).expect("sequential commits"),
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Commits `epochs` checkpoint epochs (32 dirty keys each) through the
+/// given store, mimicking what the dataflow runtime persists.
+fn populate_checkpoints(store: &dyn om_dataflow::CheckpointStore, epochs: u64) {
+    for epoch in 1..=epochs {
+        let dirty: Vec<StateDelta> = (0..32u64)
+            .map(|k| StateDelta::put(
+                (k % 4) as usize,
+                "counter",
+                k,
+                epoch.to_le_bytes().to_vec(),
+            ))
+            .collect();
+        store
+            .commit_epoch(epoch, &[epoch, epoch, epoch, epoch], dirty)
+            .expect("checkpoint commit");
+    }
+}
+
+fn bench_checkpoint_restart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_checkpoint_restart");
+    group.sample_size(15);
+    const EPOCHS: u64 = 64;
+    for (label, kind) in CHECKPOINT_STORES {
+        let store = match make_checkpoint_store(kind) {
+            Some(store) => store,
+            None => std::sync::Arc::new(om_dataflow::InMemoryCheckpointStore::new()),
+        };
+        populate_checkpoints(store.as_ref(), EPOCHS);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter_with_setup(
+                || (),
+                |()| {
+                    let snap = store.load().expect("load").expect("committed");
+                    assert_eq!(snap.epoch, EPOCHS);
+                    snap.states.len()
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn scratch_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "om-b2-bench-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn bench_cold_recovery_file(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_cold_recovery_file");
+    group.sample_size(10);
+    // Populate once: 1024 keys across WAL + snapshot, then time reopens.
+    for commits in [256u64, 2_048] {
+        let dir = scratch_dir();
+        {
+            let backend = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
+            for round in 0..commits {
+                backend.commit_ops(&commit_ops(round)).unwrap();
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{commits}_commits")),
+            &commits,
+            |b, _| {
+                b.iter_with_setup(
+                    || (),
+                    |()| {
+                        let reborn =
+                            FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
+                        assert_eq!(reborn.len(), 16);
+                        reborn.len()
+                    },
+                );
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    b2,
+    bench_commit_latency,
+    bench_checkpoint_restart,
+    bench_cold_recovery_file
+);
+criterion_main!(b2);

@@ -19,14 +19,15 @@ pub const PLATFORMS: [PlatformKind; 4] = [
 ];
 
 /// The pluggable storage backends, the matrix's second axis.
-pub const BACKENDS: [BackendKind; 2] = BackendKind::ALL;
+pub const BACKENDS: [BackendKind; 3] = BackendKind::ALL;
 
-/// The dataflow checkpoint-store variants of the A2 sweep: a display
+/// The dataflow checkpoint-store variants of the A2/B2 sweeps: a display
 /// label plus the backend kind (`None` = the in-memory baseline store).
-pub const CHECKPOINT_STORES: [(&str, Option<BackendKind>); 3] = [
+pub const CHECKPOINT_STORES: [(&str, Option<BackendKind>); 4] = [
     ("in_memory", None),
     ("eventual_kv", Some(BackendKind::Eventual)),
     ("snapshot_isolation", Some(BackendKind::SnapshotIsolation)),
+    ("file_durable", Some(BackendKind::FileDurable)),
 ];
 
 /// Builds the checkpoint store for one [`CHECKPOINT_STORES`] variant
@@ -93,6 +94,7 @@ pub fn standard_config(scale_factor: u64) -> RunConfig {
         checkpoint_interval: 64,
         durable_checkpoints: true,
         recovery_drill: false,
+        data_dir: None,
     }
 }
 

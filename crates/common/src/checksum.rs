@@ -1,0 +1,125 @@
+//! CRC-32 checksums and the length-prefixed **frame** encoding shared by
+//! every durable store in the workspace.
+//!
+//! Both `om-storage`'s file backend (WAL batches, snapshot entries) and
+//! `om-log`'s persistent topic (log-segment records) write their records
+//! as frames:
+//!
+//! ```text
+//! payload_len: u32 LE  ++  crc32(payload): u32 LE  ++  payload
+//! ```
+//!
+//! The frame is the unit of **torn-tail recovery**: a process dying
+//! mid-append leaves a final frame whose length or checksum no longer
+//! validates, and [`parse_frame`] reports the exact byte offset where
+//! the valid prefix ends so the store can truncate there. The formats
+//! built on top of frames are documented in `docs/DURABILITY.md`.
+
+/// Bytes of a frame header (`u32` length + `u32` CRC).
+pub const FRAME_HEADER: usize = 8;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE polynomial — the checksum in every frame).
+///
+/// ```
+/// // The standard test vector.
+/// assert_eq!(om_common::checksum::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Appends `payload` to `out` as one frame (header + payload).
+pub fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Parses the frame starting at byte `at` of `bytes`.
+///
+/// * `Ok(Some((payload, next_at)))` — a valid frame; continue at `next_at`.
+/// * `Ok(None)` — `at` is exactly the end of the buffer (clean end).
+/// * `Err(at)` — the bytes from `at` on are not one whole valid frame
+///   (truncated header, truncated payload, or checksum mismatch): the
+///   torn-tail truncation point.
+pub fn parse_frame(bytes: &[u8], at: usize) -> Result<Option<(&[u8], usize)>, usize> {
+    if at == bytes.len() {
+        return Ok(None);
+    }
+    if bytes.len() - at < FRAME_HEADER {
+        return Err(at);
+    }
+    let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+    let start = at + FRAME_HEADER;
+    if bytes.len() - start < len {
+        return Err(at);
+    }
+    let payload = &bytes[start..start + len];
+    if crc32(payload) != crc {
+        return Err(at);
+    }
+    Ok(Some((payload, start + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_and_report_torn_tails() {
+        let mut buf = Vec::new();
+        push_frame(&mut buf, b"first");
+        push_frame(&mut buf, b"second record");
+        let (p1, at) = parse_frame(&buf, 0).unwrap().unwrap();
+        assert_eq!(p1, b"first");
+        let (p2, at) = parse_frame(&buf, at).unwrap().unwrap();
+        assert_eq!(p2, b"second record");
+        assert!(parse_frame(&buf, at).unwrap().is_none(), "clean end");
+
+        // Any truncation of the second frame reports the torn tail at
+        // its start; flipping a payload bit fails the checksum the same
+        // way.
+        let first_end = FRAME_HEADER + 5;
+        for cut in first_end + 1..buf.len() {
+            assert_eq!(parse_frame(&buf[..cut], first_end), Err(first_end), "cut={cut}");
+        }
+        let mut corrupt = buf.clone();
+        *corrupt.last_mut().unwrap() ^= 0x01;
+        assert_eq!(parse_frame(&corrupt, first_end), Err(first_end));
+    }
+
+    #[test]
+    fn empty_payload_frames_are_valid() {
+        let mut buf = Vec::new();
+        push_frame(&mut buf, b"");
+        let (p, at) = parse_frame(&buf, 0).unwrap().unwrap();
+        assert!(p.is_empty());
+        assert_eq!(at, FRAME_HEADER);
+    }
+}

@@ -161,16 +161,33 @@ pub enum BackendKind {
     /// Snapshot-isolated MVCC storage: multi-key commits are atomic and
     /// never observable half-applied (PostgreSQL-style).
     SnapshotIsolation,
+    /// File-backed durable storage: a write-ahead log plus periodic
+    /// snapshots on disk (RocksDB-style). Multi-key commits are written
+    /// as one framed WAL batch, so recovery never observes a torn
+    /// commit, and the store survives a full process crash — the only
+    /// backend whose state outlives the process. See `docs/DURABILITY.md`.
+    FileDurable,
 }
 
 impl BackendKind {
-    pub const ALL: [BackendKind; 2] = [BackendKind::Eventual, BackendKind::SnapshotIsolation];
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Eventual,
+        BackendKind::SnapshotIsolation,
+        BackendKind::FileDurable,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
             BackendKind::Eventual => "eventual_kv",
             BackendKind::SnapshotIsolation => "snapshot_isolation",
+            BackendKind::FileDurable => "file_durable",
         }
+    }
+
+    /// Whether state written through this backend survives a process
+    /// crash (reports tag runs with this; see `RunReport::durability`).
+    pub fn is_durable(self) -> bool {
+        matches!(self, BackendKind::FileDurable)
     }
 }
 
@@ -206,6 +223,14 @@ pub struct RunConfig {
     /// measure recovery; the outcome lands in `RunReport::recovery`.
     /// Ignored by platforms without a crash-recovery path.
     pub recovery_drill: bool,
+    /// Directory the platform's durable state lives in, for the
+    /// [`BackendKind::FileDurable`] backend (WAL + snapshots) and the
+    /// dataflow binding's persistent ingress log. `None` places
+    /// file-durable state in a scratch directory that is removed when
+    /// the backend drops; a concrete path is the cold-restart seam — a
+    /// platform rebuilt over the same `data_dir` recovers from disk.
+    /// Ignored by the memory-only backends.
+    pub data_dir: Option<String>,
 }
 
 impl Default for RunConfig {
@@ -224,6 +249,7 @@ impl Default for RunConfig {
             checkpoint_interval: 64,
             durable_checkpoints: true,
             recovery_drill: false,
+            data_dir: None,
         }
     }
 }

@@ -1,0 +1,55 @@
+//! Exclusive data-directory locking shared by the durable stores
+//! (`om-storage`'s file backend, `om-log`'s persistent topic).
+//!
+//! Both stores append to files with no coordination beyond their own
+//! process, so **one directory belongs to at most one live store**.
+//! [`lock_dir`] enforces that with an OS file lock on `<dir>/LOCK`:
+//! a second open in any process fails cleanly instead of interleaving
+//! appends and corrupting the files. The operating system releases the
+//! lock when the holding process dies — `kill -9` included — so a
+//! crash can never leave a stale lock that bricks recovery.
+
+use crate::{OmError, OmResult};
+use std::fs::{File, OpenOptions, TryLockError};
+use std::path::Path;
+
+/// Takes the exclusive lock on `<dir>/LOCK` (creating the file if
+/// needed) and returns the open handle. The lock lives exactly as long
+/// as the handle — keep it alive for the store's lifetime.
+pub fn lock_dir(dir: &Path) -> OmResult<File> {
+    let path = dir.join("LOCK");
+    let file = OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(&path)
+        .map_err(|e| OmError::Internal(format!("lock file {path:?}: {e}")))?;
+    match file.try_lock() {
+        Ok(()) => Ok(file),
+        Err(TryLockError::WouldBlock) => Err(OmError::Conflict(format!(
+            "data directory {dir:?} is already open in a live process \
+             (durable stores are single-writer)"
+        ))),
+        Err(TryLockError::Error(e)) => {
+            Err(OmError::Internal(format!("lock file {path:?}: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lock_conflicts_until_the_first_drops() {
+        let dir = std::env::temp_dir().join(format!("om-dirlock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let first = lock_dir(&dir).unwrap();
+        let err = lock_dir(&dir).unwrap_err();
+        assert_eq!(err.label(), "conflict");
+        drop(first);
+        let again = lock_dir(&dir).unwrap();
+        drop(again);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -22,7 +22,9 @@
 //! every stochastic choice flows from [`rng::SplitMix64`] seeded by the
 //! experiment configuration, which makes runs reproducible.
 
+pub mod checksum;
 pub mod codec;
+pub mod dirlock;
 pub mod config;
 pub mod entity;
 pub mod error;

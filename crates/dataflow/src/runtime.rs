@@ -3,7 +3,7 @@
 use crate::checkpoint::{CheckpointStore, InMemoryCheckpointStore, StateDelta};
 use crossbeam::channel::unbounded;
 use om_common::OmResult;
-use om_log::Topic;
+use om_log::{EventLog, Topic};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -136,7 +136,7 @@ pub struct DataflowBuilder<M> {
     max_batch: usize,
     functions: HashMap<&'static str, Arc<dyn FnLogic<M>>>,
     store: Option<Arc<dyn CheckpointStore>>,
-    ingress: Option<Arc<Topic<(Address, M)>>>,
+    ingress: Option<Arc<dyn EventLog<(Address, M)>>>,
 }
 
 impl<M: Send + Clone + 'static> DataflowBuilder<M> {
@@ -170,12 +170,16 @@ impl<M: Send + Clone + 'static> DataflowBuilder<M> {
         self
     }
 
-    /// Reuses an existing ingress log instead of creating a fresh one.
-    /// Paired with [`checkpoint_store`](Self::checkpoint_store), this is
-    /// the full restart path: committed offsets stay valid against the
-    /// shared log, so records that were in flight when the previous
-    /// runtime died are replayed instead of lost.
-    pub fn ingress_topic(mut self, topic: Arc<Topic<(Address, M)>>) -> Self {
+    /// Reuses an existing ingress log instead of creating a fresh one —
+    /// any [`EventLog`]: a shared in-memory [`Topic`], or an
+    /// `om_log::PersistentTopic` whose records live on disk. Paired with
+    /// [`checkpoint_store`](Self::checkpoint_store), this is the full
+    /// restart path: committed offsets stay valid against the shared
+    /// log, so records that were in flight when the previous runtime
+    /// died are replayed instead of lost. With a persistent topic *and*
+    /// a durable checkpoint store, the restart works from a **cold
+    /// process** — nothing in memory is shared; see `docs/DURABILITY.md`.
+    pub fn ingress_topic(mut self, topic: Arc<dyn EventLog<(Address, M)>>) -> Self {
         self.ingress = Some(topic);
         self
     }
@@ -195,9 +199,9 @@ impl<M: Send + Clone + 'static> DataflowBuilder<M> {
                 "ingress topic partition count must match the runtime's"
             );
         }
-        let ingress = self
-            .ingress
-            .unwrap_or_else(|| Arc::new(Topic::new("ingress", partitions)));
+        let ingress = self.ingress.unwrap_or_else(|| {
+            Arc::new(Topic::new("ingress", partitions)) as Arc<dyn EventLog<(Address, M)>>
+        });
         // Producer sequences must stay monotonic across restarts on a
         // shared log, or the idempotence fence would drop fresh records
         // as retransmissions.
@@ -238,7 +242,7 @@ impl<M: Send + Clone + 'static> DataflowBuilder<M> {
 /// The dataflow runtime. See the crate docs for the model and the
 /// exactly-once argument.
 pub struct Dataflow<M> {
-    ingress: Arc<Topic<(Address, M)>>,
+    ingress: Arc<dyn EventLog<(Address, M)>>,
     ingress_seq: AtomicU64,
     functions: Arc<HashMap<&'static str, Arc<dyn FnLogic<M>>>>,
     /// Live keyed state per partition (== last checkpoint between epochs).
@@ -289,7 +293,7 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
     /// The replayable ingress log (share it with
     /// [`DataflowBuilder::ingress_topic`] to rebuild a runtime without
     /// losing in-flight records).
-    pub fn ingress_topic(&self) -> Arc<Topic<(Address, M)>> {
+    pub fn ingress_topic(&self) -> Arc<dyn EventLog<(Address, M)>> {
         self.ingress.clone()
     }
 

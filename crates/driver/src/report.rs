@@ -15,6 +15,12 @@ pub struct RunReport {
     /// Label of the storage backend the platform ran over
     /// (`"native"` for platforms without a pluggable backend).
     pub backend: String,
+    /// What a process crash would do to the platform's state: `"disk"`
+    /// (file-durable backend — survives), `"memory"` (backend-held but
+    /// memory-only) or `"ephemeral"` (runtime-native state). Part of
+    /// [`cell_label`](Self::cell_label) so a6/b2 rows distinguish
+    /// durable-store flavours.
+    pub durability: String,
     pub config: RunConfig,
     /// Completed operations in the measured window.
     pub operations: u64,
@@ -40,9 +46,12 @@ impl RunReport {
         self.latency.get(kind.label())
     }
 
-    /// `platform+backend`, the matrix-cell id of this run.
+    /// `platform+backend+durability`, the matrix-cell id of this run —
+    /// e.g. `statefun+file_durable+disk` vs `statefun+eventual_kv+memory`,
+    /// so rows that differ only in durable-store flavour stay
+    /// unambiguous in experiment output.
     pub fn cell_label(&self) -> String {
-        format!("{}+{}", self.platform, self.backend)
+        format!("{}+{}+{}", self.platform, self.backend, self.durability)
     }
 
     /// One text row for the E1 throughput table.
@@ -124,6 +133,7 @@ mod tests {
         RunReport {
             platform: "test".into(),
             backend: "eventual_kv".into(),
+            durability: "memory".into(),
             config: RunConfig::smoke(),
             operations: 100,
             failed_operations: 1,
@@ -152,10 +162,10 @@ mod tests {
     fn rows_render() {
         let r = report();
         assert!(r.throughput_row().contains("50"));
-        assert!(r.throughput_row().contains("test+eventual_kv"));
+        assert!(r.throughput_row().contains("test+eventual_kv+memory"));
         assert!(r.criteria_row().contains("atomicity=yes"));
         assert!(r.latency_table().contains("p99"));
-        assert_eq!(r.cell_label(), "test+eventual_kv");
+        assert_eq!(r.cell_label(), "test+eventual_kv+memory");
     }
 
     #[test]

@@ -163,11 +163,14 @@ fn worker_loop(
 /// different checkpoint discipline, or arming the post-run recovery
 /// drill — is a config change, never a code change.
 pub fn run_matrix_cell(kind: PlatformKind, config: &RunConfig) -> RunReport {
-    let spec = om_marketplace::PlatformSpec::new(kind, config.backend)
+    let mut spec = om_marketplace::PlatformSpec::new(kind, config.backend)
         .parallelism(config.workers.max(1))
         .decline_rate(config.payment_decline_rate)
         .checkpoint_interval(config.checkpoint_interval)
         .durable_checkpoints(config.durable_checkpoints);
+    if let Some(dir) = &config.data_dir {
+        spec = spec.data_dir(dir);
+    }
     let platform = om_marketplace::build_platform(&spec);
     run_benchmark(platform.as_ref(), config, true)
 }
@@ -257,6 +260,12 @@ pub fn run_benchmark(
             .backend()
             .map(|b| b.label().to_string())
             .unwrap_or_else(|| "native".to_string()),
+        durability: match platform.backend() {
+            Some(kind) if kind.is_durable() => "disk",
+            Some(_) => "memory",
+            None => "ephemeral",
+        }
+        .to_string(),
         config: config.clone(),
         operations: completed,
         failed_operations: failed,

@@ -177,7 +177,11 @@ fn backend_is_selectable_from_run_config_and_labeled_in_reports() {
         assert_eq!(report.backend, backend.label(), "{backend:?}");
         assert_eq!(
             report.cell_label(),
-            format!("orleans_transactions+{}", backend.label())
+            format!(
+                "orleans_transactions+{}+{}",
+                backend.label(),
+                if backend.is_durable() { "disk" } else { "memory" }
+            )
         );
         assert_eq!(report.criteria.atomicity_violations, 0, "{backend:?}");
         assert!(

@@ -200,6 +200,9 @@ impl MarketplaceGateway {
                         Some(b) => b.label(),
                         None => "native",
                     },
+                    // Whether platform state would survive a process
+                    // crash (true only over the file-durable backend).
+                    "durable": self.platform.backend().is_some_and(|b| b.is_durable()),
                 }),
             )),
             Endpoint::Counters => {
@@ -383,6 +386,23 @@ mod tests {
         let v: serde_json::Value = resp.json_body().unwrap();
         assert_eq!(v["platform"], "orleans_eventual");
         assert_eq!(v["backend"], "eventual_kv");
+        assert_eq!(v["durable"], false, "eventual_kv is memory-only");
+    }
+
+    #[test]
+    fn health_reports_durability_of_the_file_backend() {
+        use om_common::config::BackendKind;
+        use om_marketplace::{PlatformKind, PlatformSpec};
+        let g = MarketplaceGateway::for_spec(
+            &PlatformSpec::new(PlatformKind::Transactional, BackendKind::FileDurable)
+                .parallelism(2),
+        );
+        let v: serde_json::Value = g
+            .handle(&req(Method::Get, "/health", None))
+            .json_body()
+            .unwrap();
+        assert_eq!(v["backend"], "file_durable");
+        assert_eq!(v["durable"], true);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //!   inversions it observes, so the criteria auditor can quantify (rather
 //!   than merely assert) the difference between the two modes.
 
+#![deny(missing_docs)]
+
 pub mod replicated;
 pub mod replication;
 pub mod store;

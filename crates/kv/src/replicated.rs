@@ -37,6 +37,7 @@ impl<K: Hash + Eq + Clone> Default for Session<K> {
 }
 
 impl<K: Hash + Eq + Clone> Session<K> {
+    /// A fresh session with an empty causal context.
     pub fn new() -> Self {
         Self::default()
     }
@@ -121,6 +122,7 @@ impl<K: Hash + Eq + Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'sta
         }
     }
 
+    /// The replication discipline records are applied with.
     pub fn mode(&self) -> ReplicationMode {
         self.mode
     }
@@ -208,6 +210,7 @@ impl<K: Hash + Eq + Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'sta
         }
     }
 
+    /// Replication anomaly/throughput counters.
     pub fn stats(&self) -> &ReplicationStats {
         &self.stats
     }
@@ -217,6 +220,7 @@ impl<K: Hash + Eq + Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'sta
         &self.primary
     }
 
+    /// The (possibly lagging) secondary replica.
     pub fn secondary_store(&self) -> &Store<K, V> {
         &self.secondary
     }
@@ -234,6 +238,7 @@ impl<K: Hash + Eq + Clone + Send + Sync + 'static, V: Clone + Send + Sync + 'sta
 /// Result of a secondary read.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SecondaryRead<V> {
+    /// The value the secondary currently holds (`None` = absent).
     pub value: Option<V>,
     /// False when the session had already observed a newer causal context
     /// than the replica offers — a read-your-writes / monotonic-reads

@@ -27,6 +27,7 @@ use std::sync::Arc;
 pub struct ReplicationRecord<K, V> {
     /// Global stream sequence number assigned by the primary (gap-free).
     pub seq: u64,
+    /// The key the write targets.
     pub key: K,
     /// `None` replicates a delete (tombstone).
     pub value: Option<V>,
@@ -53,15 +54,19 @@ pub struct ReplicationStats {
 }
 
 impl ReplicationStats {
+    /// Records applied to the secondary.
     pub fn applied(&self) -> u64 {
         self.applied.load(Ordering::Relaxed)
     }
+    /// Records applied before their causal dependencies were visible.
     pub fn causal_inversions(&self) -> u64 {
         self.causal_inversions.load(Ordering::Relaxed)
     }
+    /// Records dropped as stale by last-writer-wins.
     pub fn stale_drops(&self) -> u64 {
         self.stale_drops.load(Ordering::Relaxed)
     }
+    /// Records the causal applier had to buffer at least once.
     pub fn buffered(&self) -> u64 {
         self.buffered.load(Ordering::Relaxed)
     }
@@ -84,6 +89,8 @@ pub struct Applier<K, V> {
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Applier<K, V> {
+    /// An applier over `secondary`, reordering (eventual) or
+    /// dependency-buffering (causal) within `reorder_window` records.
     pub fn new(
         mode: ReplicationMode,
         secondary: Arc<Store<K, V>>,

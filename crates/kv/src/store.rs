@@ -20,6 +20,7 @@ pub struct VersionedValue<V> {
 }
 
 impl<V> VersionedValue<V> {
+    /// Whether this version records a delete.
     pub fn is_tombstone(&self) -> bool {
         self.value.is_none()
     }
@@ -69,6 +70,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Store<K, V> {
             .sum()
     }
 
+    /// Whether no live (non-tombstone) keys exist.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

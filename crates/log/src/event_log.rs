@@ -1,0 +1,84 @@
+//! The [`EventLog`] abstraction: what a replayable ingress/egress
+//! transport must provide, regardless of where the records live.
+//!
+//! `om-dataflow`'s runtime consumes its ingress through this trait, so a
+//! dataflow can run over the in-memory [`Topic`] (fast, dies with the
+//! process) or the file-backed [`PersistentTopic`](crate::PersistentTopic)
+//! (records survive a process crash and replay on a cold restart)
+//! without code changes.
+
+use crate::topic::{Entry, Topic};
+use om_common::OmResult;
+
+/// A partitioned, append-only, offset-addressed record log with
+/// idempotent appends — the contract shared by [`Topic`] and
+/// [`PersistentTopic`](crate::PersistentTopic).
+///
+/// Appends carry an explicit `(producer, seq)` pair; a partition
+/// remembers the highest sequence per producer and deduplicates
+/// retransmissions, which is what lets at-least-once producers achieve
+/// effectively-once appends. Offsets are dense per partition and never
+/// change once assigned, so a consumer that checkpoints `(partition,
+/// offset)` can always resume by replay.
+pub trait EventLog<T>: Send + Sync {
+    /// Fixed number of partitions.
+    fn partition_count(&self) -> usize;
+
+    /// Appends `(producer, seq, payload)` to `partition`, deduplicating
+    /// retransmissions; returns the offset of the (existing or new)
+    /// record. Durable implementations persist the record *before*
+    /// acknowledging.
+    fn append_raw(&self, partition: usize, producer: u64, seq: u64, payload: T) -> OmResult<u64>;
+
+    /// Reads up to `max` records of `partition` starting at `offset`.
+    fn read_from(&self, partition: usize, offset: u64, max: usize) -> Vec<Entry<T>>;
+
+    /// Exclusive end offset of `partition` (== number of records).
+    fn end_offset(&self, partition: usize) -> u64;
+
+    /// Highest producer-assigned sequence number ever appended to
+    /// `partition` (0 when empty) — consumers resuming a shared log use
+    /// this to keep their sequences monotonic across restarts.
+    fn max_seq(&self, partition: usize) -> u64;
+
+    /// Total records across partitions.
+    fn len(&self) -> usize;
+
+    /// Whether the log holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of deduplicated (dropped) appends so far.
+    fn duplicate_count(&self) -> u64;
+}
+
+impl<T: Clone + Send> EventLog<T> for Topic<T> {
+    fn partition_count(&self) -> usize {
+        Topic::partition_count(self)
+    }
+
+    fn append_raw(&self, partition: usize, producer: u64, seq: u64, payload: T) -> OmResult<u64> {
+        Topic::append_raw(self, partition, producer, seq, payload)
+    }
+
+    fn read_from(&self, partition: usize, offset: u64, max: usize) -> Vec<Entry<T>> {
+        Topic::read_from(self, partition, offset, max)
+    }
+
+    fn end_offset(&self, partition: usize) -> u64 {
+        Topic::end_offset(self, partition)
+    }
+
+    fn max_seq(&self, partition: usize) -> u64 {
+        Topic::max_seq(self, partition)
+    }
+
+    fn len(&self) -> usize {
+        Topic::len(self)
+    }
+
+    fn duplicate_count(&self) -> u64 {
+        Topic::duplicate_count(self)
+    }
+}

@@ -8,20 +8,39 @@
 //! * the audit-log storage of the *Customized* binding (paper Fig. 1,
 //!   "log storage to store audit logging").
 //!
-//! Semantics:
+//! Two flavours implement the [`EventLog`] contract:
 //!
-//! * **Partitioned topics** — each [`Topic`] has a fixed number of
+//! * [`Topic`] — in-memory partitions; fast, but records die with the
+//!   process.
+//! * [`PersistentTopic`] — segment files + offset index per partition;
+//!   appends are CRC-framed and flushed before they are acknowledged, a
+//!   cold reopen replays the segments (truncating a torn tail), so a
+//!   rebuilt consumer can replay in-flight records from disk alone. See
+//!   `docs/DURABILITY.md` for the file formats.
+//!
+//! Semantics common to both:
+//!
+//! * **Partitioned topics** — each topic has a fixed number of
 //!   partitions; an entry's partition is chosen by the producer (typically
 //!   by key hash) and ordering is guaranteed *within* a partition only.
 //! * **Idempotent producers** — every append carries a `(producer, seq)`
 //!   pair; a partition remembers the highest sequence per producer and
 //!   silently deduplicates retransmissions, which is what makes
-//!   at-least-once retries upgrade to effectively-once appends.
+//!   at-least-once retries upgrade to effectively-once appends. The
+//!   persistent topic checks the fence *before* writing, so
+//!   retransmissions never hit disk, and rebuilds the fence from the
+//!   segments on reopen — the guarantee holds across restarts.
 //! * **Consumer offsets** — consumer groups commit offsets explicitly;
 //!   a crash before commit re-delivers (at-least-once). Exactly-once
 //!   processing is layered on top by `om-dataflow`, which commits offsets
 //!   atomically with its state checkpoint.
 
+#![deny(missing_docs)]
+
+pub mod event_log;
+pub mod persistent;
 pub mod topic;
 
+pub use event_log::EventLog;
+pub use persistent::{PersistentTopic, PersistentTopicOptions, RecordCodec, SerdeCodec};
 pub use topic::{Entry, OffsetStore, ProducerHandle, Topic};

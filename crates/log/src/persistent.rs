@@ -1,0 +1,704 @@
+//! [`PersistentTopic`]: the file-backed topic — segment files plus an
+//! offset index per partition, so the ingress log itself survives a
+//! process crash and a cold-started consumer can replay in-flight
+//! records without sharing any in-memory handle.
+//!
+//! On-disk layout under the topic directory (byte-level formats in
+//! `docs/DURABILITY.md`):
+//!
+//! ```text
+//! <dir>/topic.meta            name + partition count (validated on open)
+//! <dir>/p<i>/seg-<base>.log   framed records, <base> = offset of the first
+//! <dir>/p<i>/seg-<base>.idx   8-byte LE file position per record
+//! ```
+//!
+//! Every record is appended as one CRC-framed blob (`om_common::checksum`)
+//! containing `(producer, seq, payload)` and is flushed **before** the
+//! append is acknowledged or mirrored in memory — so an offset a consumer
+//! has seen can never point at a record that would vanish in a crash.
+//! Retransmissions are deduplicated *before* touching disk; the
+//! idempotence fence therefore holds across restarts too, because it is
+//! rebuilt from the persisted records themselves.
+//!
+//! Recovery on [`PersistentTopic::open`] replays all segments in order,
+//! truncating a torn tail of the final segment exactly like the file
+//! backend's WAL, and rebuilds a stale or missing offset index.
+//!
+//! ```
+//! use om_log::{EventLog, PersistentTopic};
+//!
+//! let dir = std::env::temp_dir().join(format!("om-doc-topic-{}", std::process::id()));
+//! let topic: PersistentTopic<String> =
+//!     PersistentTopic::open_serde(&dir, "orders", 2).unwrap();
+//! topic.append_raw(0, 1, 1, "checkout".to_string()).unwrap();
+//! drop(topic);
+//!
+//! // A cold restart replays the segments: the record is still there.
+//! let reborn: PersistentTopic<String> =
+//!     PersistentTopic::open_serde(&dir, "orders", 2).unwrap();
+//! assert_eq!(reborn.read_from(0, 0, 10)[0].payload, "checkout");
+//! # drop(reborn);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::event_log::EventLog;
+use crate::topic::{Entry, Topic};
+use om_common::checksum::{parse_frame, push_frame};
+use om_common::{OmError, OmResult};
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Serializes one record type to and from segment-file bytes.
+///
+/// The blanket [`SerdeCodec`] covers any `Serialize + DeserializeOwned`
+/// payload; hand-written codecs exist for records that embed
+/// non-serializable types (the marketplace dataflow binding's function
+/// addresses hold `&'static str` function types, which its codec interns
+/// back against the registered function table on decode).
+pub trait RecordCodec<T>: Send + Sync {
+    /// Encodes `record` into bytes.
+    fn encode(&self, record: &T) -> OmResult<Vec<u8>>;
+    /// Decodes bytes written by [`encode`](Self::encode).
+    fn decode(&self, bytes: &[u8]) -> OmResult<T>;
+}
+
+/// The default codec: `om_common::codec` (compact binary serde) over any
+/// serializable record type.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SerdeCodec;
+
+impl<T: Serialize + DeserializeOwned> RecordCodec<T> for SerdeCodec {
+    fn encode(&self, record: &T) -> OmResult<Vec<u8>> {
+        om_common::codec::to_bytes(record)
+            .map_err(|e| OmError::Internal(format!("record encode: {e:?}")))
+    }
+
+    fn decode(&self, bytes: &[u8]) -> OmResult<T> {
+        om_common::codec::from_bytes(bytes)
+            .map_err(|e| OmError::Internal(format!("record decode: {e:?}")))
+    }
+}
+
+/// Tuning knobs of a [`PersistentTopic`].
+#[derive(Debug, Clone, Copy)]
+pub struct PersistentTopicOptions {
+    /// Segment roll threshold in bytes per partition.
+    pub segment_bytes: u64,
+}
+
+impl Default for PersistentTopicOptions {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Per-partition append state: the open segment pair.
+struct PartFiles {
+    log: BufWriter<File>,
+    idx: BufWriter<File>,
+    /// Offset of the first record in the open segment.
+    seg_base: u64,
+    /// Bytes written to the open segment so far.
+    seg_len: u64,
+}
+
+/// A [`Topic`] whose records live in segment files: the durable flavour
+/// of the event log. See the module docs for layout and recovery rules.
+pub struct PersistentTopic<T> {
+    /// In-memory mirror (read path + idempotence fences), rebuilt from
+    /// the segments on open.
+    mem: Topic<T>,
+    parts: Vec<Mutex<PartFiles>>,
+    /// Exclusive OS lock on `<dir>/LOCK` for the topic's lifetime (two
+    /// live processes must never interleave segment appends); released
+    /// by the OS on process death, so it cannot go stale.
+    _lock: std::fs::File,
+    dir: PathBuf,
+    codec: Arc<dyn RecordCodec<T>>,
+    options: PersistentTopicOptions,
+    duplicates: AtomicU64,
+    appended_bytes: AtomicU64,
+    segments_rolled: AtomicU64,
+    recovered_records: AtomicU64,
+    torn_tail_bytes: AtomicU64,
+}
+
+impl<T> std::fmt::Debug for PersistentTopic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentTopic")
+            .field("dir", &self.dir)
+            .field("partitions", &self.parts.len())
+            .finish()
+    }
+}
+
+impl<T: Clone + Send> PersistentTopic<T> {
+    /// Opens (or initialises) the topic at `dir` with the default
+    /// options, replaying any records a previous process persisted.
+    /// `name` and `partitions` must match what the directory was created
+    /// with.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        name: impl Into<String>,
+        partitions: usize,
+        codec: Arc<dyn RecordCodec<T>>,
+    ) -> OmResult<Self> {
+        Self::open_with(dir, name, partitions, codec, PersistentTopicOptions::default())
+    }
+
+    /// [`open`](Self::open) with explicit [`PersistentTopicOptions`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        name: impl Into<String>,
+        partitions: usize,
+        codec: Arc<dyn RecordCodec<T>>,
+        options: PersistentTopicOptions,
+    ) -> OmResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let name = name.into();
+        assert!(partitions > 0, "topic needs at least one partition");
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let lock = om_common::dirlock::lock_dir(&dir)?;
+        check_meta(&dir, &name, partitions)?;
+        let mut topic = Self {
+            mem: Topic::new(name, partitions),
+            parts: Vec::new(),
+            _lock: lock,
+            codec,
+            options,
+            duplicates: AtomicU64::new(0),
+            appended_bytes: AtomicU64::new(0),
+            segments_rolled: AtomicU64::new(0),
+            recovered_records: AtomicU64::new(0),
+            torn_tail_bytes: AtomicU64::new(0),
+            dir,
+        };
+        for p in 0..partitions {
+            let files = topic.recover_partition(p)?;
+            topic.parts.push(Mutex::new(files));
+        }
+        Ok(topic)
+    }
+
+    /// [`open`](Self::open) with the blanket [`SerdeCodec`] — for record
+    /// types that are plain serde values.
+    pub fn open_serde(
+        dir: impl AsRef<Path>,
+        name: impl Into<String>,
+        partitions: usize,
+    ) -> OmResult<Self>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        Self::open(dir, name, partitions, Arc::new(SerdeCodec))
+    }
+
+    /// The directory the segments live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The topic's name.
+    pub fn name(&self) -> &str {
+        self.mem.name()
+    }
+
+    fn part_dir(&self, partition: usize) -> PathBuf {
+        self.dir.join(format!("p{partition}"))
+    }
+
+    /// `seg-<base>.log` files of one partition directory, sorted by
+    /// base offset — the single definition of which segments exist
+    /// (recovery and disk reads must agree).
+    fn list_segments(pdir: &Path) -> OmResult<Vec<(u64, PathBuf)>> {
+        let mut segments = Vec::new();
+        for entry in fs::read_dir(pdir).map_err(|e| io_err(pdir, e))? {
+            let entry = entry.map_err(|e| io_err(pdir, e))?;
+            let fname = entry.file_name();
+            let fname = fname.to_string_lossy();
+            if let Some(base) = fname
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                segments.push((base, entry.path()));
+            }
+        }
+        segments.sort();
+        Ok(segments)
+    }
+
+    /// Replays one partition's segments into the in-memory mirror and
+    /// returns the appender positioned after the last valid record.
+    fn recover_partition(&mut self, partition: usize) -> OmResult<PartFiles> {
+        let pdir = self.part_dir(partition);
+        fs::create_dir_all(&pdir).map_err(|e| io_err(&pdir, e))?;
+        let segments = Self::list_segments(&pdir)?;
+        let last_index = segments.len().wrapping_sub(1);
+        let mut tail: Option<(u64, PathBuf, u64)> = None;
+        for (i, (base, path)) in segments.iter().enumerate() {
+            let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+            let mut positions: Vec<u64> = Vec::new();
+            let mut at = 0usize;
+            let mut truncated = false;
+            loop {
+                match parse_frame(&bytes, at) {
+                    Ok(Some((payload, next))) => {
+                        if payload.len() < 16 {
+                            return Err(corrupt(path, at));
+                        }
+                        let producer = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                        let seq = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+                        let record = self.codec.decode(&payload[16..])?;
+                        let offset = self.mem.append_raw(partition, producer, seq, record)?;
+                        if offset != base + positions.len() as u64 {
+                            return Err(corrupt(path, at));
+                        }
+                        positions.push(at as u64);
+                        at = next;
+                    }
+                    Ok(None) => break,
+                    Err(torn_at) => {
+                        if i != last_index {
+                            return Err(OmError::Internal(format!(
+                                "persistent topic segment {path:?} is corrupt at byte \
+                                 {torn_at} but is not the final segment"
+                            )));
+                        }
+                        // Torn tail: the previous process died mid-append.
+                        self.torn_tail_bytes
+                            .fetch_add((bytes.len() - torn_at) as u64, Ordering::Relaxed);
+                        let f = OpenOptions::new()
+                            .write(true)
+                            .open(path)
+                            .map_err(|e| io_err(path, e))?;
+                        f.set_len(torn_at as u64).map_err(|e| io_err(path, e))?;
+                        f.sync_data().map_err(|e| io_err(path, e))?;
+                        at = torn_at;
+                        truncated = true;
+                        break;
+                    }
+                }
+            }
+            self.recovered_records
+                .fetch_add(positions.len() as u64, Ordering::Relaxed);
+            // The offset index is advisory: rebuild it whenever it does
+            // not exactly cover the valid records (missing, stale, or
+            // truncated along with the tail).
+            let idx_path = path.with_extension("idx");
+            let expected = positions.len() as u64 * 8;
+            let stale = fs::metadata(&idx_path).map(|m| m.len() != expected).unwrap_or(true);
+            if stale || truncated {
+                let mut buf = Vec::with_capacity(expected as usize);
+                for pos in &positions {
+                    buf.extend_from_slice(&pos.to_le_bytes());
+                }
+                fs::write(&idx_path, buf).map_err(|e| io_err(&idx_path, e))?;
+            }
+            if i == last_index {
+                tail = Some((*base, path.clone(), at as u64));
+            }
+        }
+        let (seg_base, log_path, seg_len) = match tail {
+            Some(t) => t,
+            None => (0, pdir.join("seg-0.log"), 0),
+        };
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(|e| io_err(&log_path, e))?;
+        let idx_path = log_path.with_extension("idx");
+        let idx = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&idx_path)
+            .map_err(|e| io_err(&idx_path, e))?;
+        Ok(PartFiles {
+            log: BufWriter::new(log),
+            idx: BufWriter::new(idx),
+            seg_base,
+            seg_len,
+        })
+    }
+
+    /// Appends `(producer, seq, payload)` to `partition`: deduplicated
+    /// against the fence first (retransmissions never touch disk), then
+    /// written as one frame and flushed **before** the record becomes
+    /// readable. Returns the record's offset.
+    pub fn append_raw(
+        &self,
+        partition: usize,
+        producer: u64,
+        seq: u64,
+        payload: T,
+    ) -> OmResult<u64> {
+        let part = self
+            .parts
+            .get(partition)
+            .ok_or_else(|| OmError::NotFound(format!("partition {partition}")))?;
+        let mut files = part.lock();
+        if let Some(offset) = self.mem.duplicate_of(partition, producer, seq)? {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            return Ok(offset);
+        }
+        let body = self.codec.encode(&payload)?;
+        let mut record = Vec::with_capacity(16 + body.len());
+        record.extend_from_slice(&producer.to_le_bytes());
+        record.extend_from_slice(&seq.to_le_bytes());
+        record.extend_from_slice(&body);
+        let mut frame = Vec::new();
+        push_frame(&mut frame, &record);
+        let pos = files.seg_len;
+        files
+            .log
+            .write_all(&frame)
+            .and_then(|()| files.log.flush())
+            .map_err(|e| io_err(&self.dir, e))?;
+        files
+            .idx
+            .write_all(&pos.to_le_bytes())
+            .and_then(|()| files.idx.flush())
+            .map_err(|e| io_err(&self.dir, e))?;
+        files.seg_len += frame.len() as u64;
+        self.appended_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let offset = self.mem.append_raw(partition, producer, seq, payload)?;
+        if files.seg_len >= self.options.segment_bytes {
+            self.roll_segment(partition, &mut files)?;
+        }
+        Ok(offset)
+    }
+
+    /// Starts a fresh segment pair named after the next offset.
+    fn roll_segment(&self, partition: usize, files: &mut PartFiles) -> OmResult<()> {
+        let base = self.mem.end_offset(partition);
+        let log_path = self.part_dir(partition).join(format!("seg-{base}.log"));
+        let idx_path = log_path.with_extension("idx");
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(|e| io_err(&log_path, e))?;
+        let idx = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&idx_path)
+            .map_err(|e| io_err(&idx_path, e))?;
+        files.log = BufWriter::new(log);
+        files.idx = BufWriter::new(idx);
+        files.seg_base = base;
+        files.seg_len = 0;
+        self.segments_rolled.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads up to `max` records of `partition` starting at `offset`
+    /// **from the segment files** (not the in-memory mirror), seeking via
+    /// the offset index — the read path a cold consumer with no mirror
+    /// would use, and what the recovery tests exercise.
+    pub fn read_from_disk(
+        &self,
+        partition: usize,
+        offset: u64,
+        max: usize,
+    ) -> OmResult<Vec<Entry<T>>> {
+        let part = self
+            .parts
+            .get(partition)
+            .ok_or_else(|| OmError::NotFound(format!("partition {partition}")))?;
+        // Hold the appender lock so no frame is mid-write while we read.
+        let _files = part.lock();
+        let segments = Self::list_segments(&self.part_dir(partition))?;
+        let mut out = Vec::new();
+        for (i, (base, path)) in segments.iter().enumerate() {
+            if out.len() >= max {
+                break;
+            }
+            let idx_path = path.with_extension("idx");
+            let idx_bytes = fs::read(&idx_path).map_err(|e| io_err(&idx_path, e))?;
+            let count = (idx_bytes.len() / 8) as u64;
+            // A later segment starts where this one ends; skip segments
+            // fully below the requested offset.
+            if base + count <= offset && i + 1 < segments.len() {
+                continue;
+            }
+            let mut cursor = (*base).max(offset);
+            if cursor >= base + count {
+                continue;
+            }
+            let start_pos =
+                u64::from_le_bytes(idx_bytes[((cursor - base) * 8) as usize..][..8].try_into().unwrap());
+            let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+            let mut at = start_pos as usize;
+            while out.len() < max {
+                match parse_frame(&bytes, at) {
+                    Ok(Some((payload, next))) => {
+                        if payload.len() < 16 {
+                            return Err(corrupt(path, at));
+                        }
+                        out.push(Entry {
+                            offset: cursor,
+                            producer: u64::from_le_bytes(payload[..8].try_into().unwrap()),
+                            seq: u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+                            payload: self.codec.decode(&payload[16..])?,
+                        });
+                        cursor += 1;
+                        at = next;
+                    }
+                    // A torn in-flight tail reads as end-of-log.
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Durability/diagnostic counters of this topic.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        out.insert("log.appended_bytes".into(), self.appended_bytes.load(Ordering::Relaxed));
+        out.insert(
+            "log.recovered_records".into(),
+            self.recovered_records.load(Ordering::Relaxed),
+        );
+        out.insert(
+            "log.torn_tail_bytes".into(),
+            self.torn_tail_bytes.load(Ordering::Relaxed),
+        );
+        out.insert(
+            "log.segments_rolled".into(),
+            self.segments_rolled.load(Ordering::Relaxed),
+        );
+        out.insert("log.duplicates".into(), self.duplicates.load(Ordering::Relaxed));
+        out
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> OmError {
+    OmError::Internal(format!("persistent topic {path:?}: {e}"))
+}
+
+fn corrupt(path: &Path, at: usize) -> OmError {
+    OmError::Internal(format!(
+        "persistent topic segment {path:?} holds an undecodable record at byte {at}"
+    ))
+}
+
+/// Validates (or writes) `topic.meta`: a reopened directory must agree on
+/// name and partition count, otherwise offsets would be meaningless.
+fn check_meta(dir: &Path, name: &str, partitions: usize) -> OmResult<()> {
+    let meta_path = dir.join("topic.meta");
+    let expected = format!("om-topic-v1\n{name}\n{partitions}\n");
+    match fs::read_to_string(&meta_path) {
+        Ok(existing) => {
+            if existing != expected {
+                return Err(OmError::Rejected(format!(
+                    "persistent topic {dir:?} was created as {:?} but opened as \
+                     name={name} partitions={partitions}",
+                    existing.trim().replace('\n', " / ")
+                )));
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            fs::write(&meta_path, expected).map_err(|e| io_err(&meta_path, e))
+        }
+        Err(e) => Err(io_err(&meta_path, e)),
+    }
+}
+
+impl<T: Clone + Send> EventLog<T> for PersistentTopic<T> {
+    fn partition_count(&self) -> usize {
+        self.mem.partition_count()
+    }
+
+    fn append_raw(&self, partition: usize, producer: u64, seq: u64, payload: T) -> OmResult<u64> {
+        PersistentTopic::append_raw(self, partition, producer, seq, payload)
+    }
+
+    fn read_from(&self, partition: usize, offset: u64, max: usize) -> Vec<Entry<T>> {
+        self.mem.read_from(partition, offset, max)
+    }
+
+    fn end_offset(&self, partition: usize) -> u64 {
+        self.mem.end_offset(partition)
+    }
+
+    fn max_seq(&self, partition: usize) -> u64 {
+        self.mem.max_seq(partition)
+    }
+
+    fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    fn duplicate_count(&self) -> u64 {
+        self.duplicates.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "om-ptopic-test-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    struct DirGuard(PathBuf);
+    impl Drop for DirGuard {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn open(dir: &Path, partitions: usize) -> PersistentTopic<u64> {
+        PersistentTopic::open_serde(dir, "t", partitions).unwrap()
+    }
+
+    #[test]
+    fn records_survive_a_reopen_with_fences_and_offsets() {
+        let dir = scratch("reopen");
+        let _guard = DirGuard(dir.clone());
+        {
+            let t = open(&dir, 2);
+            for i in 0..10u64 {
+                t.append_raw((i % 2) as usize, 1, i + 1, i * 7).unwrap();
+            }
+        }
+        let t = open(&dir, 2);
+        assert_eq!(EventLog::len(&t), 10);
+        assert_eq!(t.counters()["log.recovered_records"], 10);
+        let read = t.read_from(0, 0, 100);
+        assert_eq!(read.len(), 5);
+        assert_eq!(read[0].payload, 0);
+        assert_eq!(read[4].payload, 56);
+        assert!(read.iter().enumerate().all(|(i, e)| e.offset == i as u64));
+        // Fences were rebuilt: the old sequences are still deduplicated,
+        // and max_seq lets a resuming producer stay monotonic.
+        assert_eq!(t.max_seq(0), 9);
+        let again = t.append_raw(0, 1, 9, 999).unwrap();
+        assert_eq!(again, 4, "retransmission resolves to the original offset");
+        assert_eq!(EventLog::len(&t), 10, "no duplicate record");
+        assert_eq!(t.duplicate_count(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_index_rebuilt() {
+        let dir = scratch("torn");
+        let _guard = DirGuard(dir.clone());
+        {
+            let t = open(&dir, 1);
+            for i in 0..4u64 {
+                t.append_raw(0, 1, i + 1, i).unwrap();
+            }
+        }
+        let seg = dir.join("p0").join("seg-0.log");
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 5]).unwrap();
+
+        let t = open(&dir, 1);
+        assert_eq!(EventLog::len(&t), 3, "torn final record discarded");
+        assert!(t.counters()["log.torn_tail_bytes"] > 0);
+        // Index shrank to match the surviving records.
+        assert_eq!(fs::metadata(dir.join("p0").join("seg-0.idx")).unwrap().len(), 24);
+        // The log keeps working past the truncation point.
+        t.append_raw(0, 9, 1, 77).unwrap();
+        drop(t);
+        let t = open(&dir, 1);
+        let read = t.read_from(0, 0, 10);
+        assert_eq!(read.len(), 4);
+        assert_eq!(read[3].payload, 77);
+    }
+
+    #[test]
+    fn disk_reads_follow_the_offset_index_across_segments() {
+        let dir = scratch("disk-read");
+        let _guard = DirGuard(dir.clone());
+        let t: PersistentTopic<u64> = PersistentTopic::open_with(
+            &dir,
+            "t",
+            1,
+            Arc::new(SerdeCodec),
+            PersistentTopicOptions { segment_bytes: 64 },
+        )
+        .unwrap();
+        for i in 0..20u64 {
+            t.append_raw(0, 1, i + 1, i * 3).unwrap();
+        }
+        assert!(t.counters()["log.segments_rolled"] >= 2);
+        let read = t.read_from_disk(0, 7, 5).unwrap();
+        assert_eq!(read.len(), 5);
+        assert_eq!(
+            read.iter().map(|e| (e.offset, e.payload)).collect::<Vec<_>>(),
+            (7..12).map(|i| (i, i * 3)).collect::<Vec<_>>()
+        );
+        assert!(t.read_from_disk(0, 19, 10).unwrap().len() == 1);
+        assert!(t.read_from_disk(0, 20, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multi_segment_replay_restores_everything() {
+        let dir = scratch("multi-seg");
+        let _guard = DirGuard(dir.clone());
+        {
+            let t: PersistentTopic<u64> = PersistentTopic::open_with(
+                &dir,
+                "t",
+                2,
+                Arc::new(SerdeCodec),
+                PersistentTopicOptions { segment_bytes: 48 },
+            )
+            .unwrap();
+            for i in 0..30u64 {
+                t.append_raw((i % 2) as usize, 1, i + 1, i).unwrap();
+            }
+        }
+        let t = open(&dir, 2);
+        assert_eq!(EventLog::len(&t), 30);
+        let all: Vec<u64> = (0..2)
+            .flat_map(|p| t.read_from(p, 0, 100))
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(all.len(), 30);
+    }
+
+    #[test]
+    fn mismatched_reopen_is_rejected() {
+        let dir = scratch("meta");
+        let _guard = DirGuard(dir.clone());
+        drop(open(&dir, 2));
+        let err = PersistentTopic::<u64>::open_serde(&dir, "t", 3).unwrap_err();
+        assert_eq!(err.label(), "rejected");
+        let err = PersistentTopic::<u64>::open_serde(&dir, "other", 2).unwrap_err();
+        assert_eq!(err.label(), "rejected");
+    }
+
+    #[test]
+    fn retransmissions_never_reach_disk() {
+        let dir = scratch("dedup");
+        let _guard = DirGuard(dir.clone());
+        let t = open(&dir, 1);
+        t.append_raw(0, 1, 1, 42).unwrap();
+        let bytes_after_first = t.counters()["log.appended_bytes"];
+        for _ in 0..5 {
+            assert_eq!(t.append_raw(0, 1, 1, 42).unwrap(), 0);
+        }
+        assert_eq!(t.counters()["log.appended_bytes"], bytes_after_first);
+        assert_eq!(t.duplicate_count(), 5);
+    }
+}

@@ -15,6 +15,7 @@ pub struct Entry<T> {
     pub producer: u64,
     /// Producer-assigned sequence number (dedup key).
     pub seq: u64,
+    /// The record itself.
     pub payload: T,
 }
 
@@ -35,26 +36,32 @@ impl<T> Default for Partition<T> {
 }
 
 impl<T: Clone> Partition<T> {
+    /// Offset of the already-appended `(producer, seq)` record, or `None`
+    /// when appending it would not be a duplicate (the idempotence
+    /// check). The fence is only a fast filter: a sequence at or below
+    /// it that is **not actually present** is an out-of-order first
+    /// transmission (two threads of one logical producer raced seq
+    /// assignment against the partition lock), not a retransmission —
+    /// it must be appended, never dropped.
+    fn duplicate_of(&self, producer: u64, seq: u64) -> Option<u64> {
+        match self.producer_fence.get(&producer) {
+            Some(&last) if seq <= last => self
+                .entries
+                .iter()
+                .rev()
+                .find(|e| e.producer == producer && e.seq == seq)
+                .map(|e| e.offset),
+            _ => None,
+        }
+    }
+
     /// Appends unless `(producer, seq)` was already seen. Returns the
     /// offset of the (existing or new) record and whether it was a
     /// duplicate.
     fn append(&mut self, producer: u64, seq: u64, payload: T) -> (u64, bool) {
-        match self.producer_fence.get(&producer) {
-            Some(&last) if seq <= last => {
-                // Duplicate retransmission: find its offset (scan from the
-                // back; retransmissions target recent records).
-                let offset = self
-                    .entries
-                    .iter()
-                    .rev()
-                    .find(|e| e.producer == producer && e.seq == seq)
-                    .map(|e| e.offset)
-                    // Sequence was fenced but the record predates fence
-                    // tracking (cannot happen in practice); report the end.
-                    .unwrap_or(self.entries.len() as u64);
-                (offset, true)
-            }
-            _ => {
+        match self.duplicate_of(producer, seq) {
+            Some(offset) => (offset, true),
+            None => {
                 let offset = self.entries.len() as u64;
                 self.entries.push(Entry {
                     offset,
@@ -62,7 +69,8 @@ impl<T: Clone> Partition<T> {
                     seq,
                     payload,
                 });
-                self.producer_fence.insert(producer, seq);
+                let fence = self.producer_fence.entry(producer).or_insert(0);
+                *fence = (*fence).max(seq);
                 (offset, false)
             }
         }
@@ -78,6 +86,7 @@ pub struct Topic<T> {
 }
 
 impl<T: Clone> Topic<T> {
+    /// An empty in-memory topic with `partitions` partitions.
     pub fn new(name: impl Into<String>, partitions: usize) -> Self {
         assert!(partitions > 0, "topic needs at least one partition");
         Self {
@@ -88,12 +97,31 @@ impl<T: Clone> Topic<T> {
         }
     }
 
+    /// The topic's name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// Fixed number of partitions.
     pub fn partition_count(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// Offset of the already-appended `(producer, seq)` record of
+    /// `partition`, or `None` when appending it would not be a duplicate.
+    /// The persistent topic asks this *before* writing to disk so
+    /// retransmissions are never persisted twice.
+    pub(crate) fn duplicate_of(
+        &self,
+        partition: usize,
+        producer: u64,
+        seq: u64,
+    ) -> OmResult<Option<u64>> {
+        let p = self
+            .partitions
+            .get(partition)
+            .ok_or_else(|| OmError::NotFound(format!("partition {partition}")))?;
+        Ok(p.lock().duplicate_of(producer, seq))
     }
 
     /// Registers a new producer with its own sequence counter.
@@ -157,6 +185,7 @@ impl<T: Clone> Topic<T> {
         self.partitions.iter().map(|p| p.lock().entries.len()).sum()
     }
 
+    /// Whether the topic holds no records at all.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -175,6 +204,7 @@ pub struct ProducerHandle<T> {
 }
 
 impl<T: Clone> ProducerHandle<T> {
+    /// The topic-assigned producer id (the dedup namespace).
     pub fn id(&self) -> u64 {
         self.id
     }
@@ -202,6 +232,7 @@ pub struct OffsetStore {
 }
 
 impl OffsetStore {
+    /// An empty offset store.
     pub fn new() -> Self {
         Self::default()
     }
@@ -279,6 +310,26 @@ mod tests {
         }
         assert_eq!(t.len(), 1, "no duplicate records");
         assert_eq!(t.duplicate_count(), 3);
+    }
+
+    #[test]
+    fn out_of_order_first_appends_are_not_dropped_as_duplicates() {
+        // Two threads of one logical producer can race sequence
+        // assignment against the partition lock: seq 2 lands before
+        // seq 1. Seq 1 is below the fence but was never appended — it
+        // is a first transmission and must be stored, while a real
+        // retransmission of either seq still deduplicates.
+        let t: Arc<Topic<&'static str>> = Arc::new(Topic::new("t", 1));
+        t.append_raw(0, 7, 2, "second").unwrap();
+        let offset = t.append_raw(0, 7, 1, "first").unwrap();
+        assert_eq!(offset, 1, "late-arriving first transmission appended");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.duplicate_count(), 0);
+        assert_eq!(t.append_raw(0, 7, 1, "first").unwrap(), 1, "true dup resolves");
+        assert_eq!(t.append_raw(0, 7, 2, "second").unwrap(), 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.duplicate_count(), 2);
+        assert_eq!(t.max_seq(0), 2);
     }
 
     #[test]

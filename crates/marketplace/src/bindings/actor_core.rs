@@ -30,6 +30,10 @@ pub struct ActorPlatformConfig {
     /// fresh one — how a rebuilt platform reattaches to the state a
     /// previous instance left behind. Must match `backend`'s kind.
     pub backend_instance: Option<std::sync::Arc<dyn om_storage::StateBackend>>,
+    /// Directory durable state lives in, consulted only by the
+    /// file-durable backend (which opens `<data_dir>/state` and keeps it
+    /// on drop — the cold-restart seam). Memory-only backends ignore it.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl std::fmt::Debug for ActorPlatformConfig {
@@ -41,6 +45,7 @@ impl std::fmt::Debug for ActorPlatformConfig {
             .field("decline_rate", &self.decline_rate)
             .field("backend", &self.backend)
             .field("shared_backend_instance", &self.backend_instance.is_some())
+            .field("data_dir", &self.data_dir)
             .finish()
     }
 }
@@ -54,6 +59,7 @@ impl Default for ActorPlatformConfig {
             decline_rate: 0.05,
             backend: BackendKind::Eventual,
             backend_instance: None,
+            data_dir: None,
         }
     }
 }
@@ -75,7 +81,12 @@ impl ActorPlatformConfig {
                 );
                 backend.clone()
             }
-            None => om_storage::make_backend(self.backend, om_actor::storage::GRAIN_STORAGE_SHARDS),
+            None => om_storage::make_backend_at(
+                self.backend,
+                om_actor::storage::GRAIN_STORAGE_SHARDS,
+                self.data_dir.as_ref().map(|d| d.join("state")).as_deref(),
+            )
+            .expect("open the durable state backend"),
         }
     }
 }
@@ -86,6 +97,33 @@ pub struct Catalog {
     pub sellers: RwLock<Vec<SellerId>>,
     pub customers: RwLock<Vec<CustomerId>>,
     pub products: RwLock<Vec<ProductId>>,
+}
+
+impl Catalog {
+    /// Records a seller id unless already present — ingestion after a
+    /// recovery-rebuilt catalog must not double-count entities.
+    pub fn add_seller(&self, id: SellerId) {
+        let mut list = self.sellers.write();
+        if !list.contains(&id) {
+            list.push(id);
+        }
+    }
+
+    /// Records a customer id unless already present.
+    pub fn add_customer(&self, id: CustomerId) {
+        let mut list = self.customers.write();
+        if !list.contains(&id) {
+            list.push(id);
+        }
+    }
+
+    /// Records a product id unless already present.
+    pub fn add_product(&self, id: ProductId) {
+        let mut list = self.products.write();
+        if !list.contains(&id) {
+            list.push(id);
+        }
+    }
 }
 
 /// The grain cluster plus the bookkeeping both actor bindings share.

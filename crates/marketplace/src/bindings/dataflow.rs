@@ -204,6 +204,81 @@ struct DeliveryState {
     at: EventTime,
 }
 
+/// Every function type the marketplace topology registers — the closed
+/// set [`DfRecordCodec`] interns persisted addresses against.
+const FN_TYPES: [&str; 11] = [
+    kinds::PRODUCT,
+    kinds::REPLICA,
+    kinds::STOCK,
+    kinds::CART,
+    kinds::ORDER,
+    kinds::PAYMENT,
+    kinds::SHIPMENT,
+    kinds::SELLER,
+    kinds::CUSTOMER,
+    DELIVERY_FN,
+    DRILL_FN,
+];
+
+/// Codec for persisted ingress records. [`Address::fn_type`] is a
+/// `&'static str`, which no deserializer can mint — so the codec writes
+/// the name as bytes and interns it back against the topology's closed
+/// function set ([`FN_TYPES`]) on decode, exactly as the checkpoint
+/// store interns function types during state recovery.
+struct DfRecordCodec;
+
+fn intern_fn_type(name: &str) -> Option<&'static str> {
+    FN_TYPES.iter().copied().find(|k| *k == name)
+}
+
+impl om_log::RecordCodec<(Address, DfMsg)> for DfRecordCodec {
+    fn encode(&self, (addr, msg): &(Address, DfMsg)) -> OmResult<Vec<u8>> {
+        let body = om_common::codec::to_bytes(msg)
+            .map_err(|e| OmError::Internal(format!("ingress record encode: {e:?}")))?;
+        let mut out = Vec::with_capacity(2 + addr.fn_type.len() + 8 + body.len());
+        out.extend_from_slice(&(addr.fn_type.len() as u16).to_be_bytes());
+        out.extend_from_slice(addr.fn_type.as_bytes());
+        out.extend_from_slice(&addr.key.to_le_bytes());
+        out.extend_from_slice(&body);
+        Ok(out)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> OmResult<(Address, DfMsg)> {
+        let corrupt = || OmError::Internal("corrupt persisted ingress record".into());
+        if bytes.len() < 2 {
+            return Err(corrupt());
+        }
+        let fn_len = u16::from_be_bytes(bytes[..2].try_into().unwrap()) as usize;
+        if bytes.len() < 2 + fn_len + 8 {
+            return Err(corrupt());
+        }
+        let name = std::str::from_utf8(&bytes[2..2 + fn_len]).map_err(|_| corrupt())?;
+        let fn_type = intern_fn_type(name).ok_or_else(|| {
+            OmError::Internal(format!("persisted ingress record targets unknown function {name:?}"))
+        })?;
+        let key = u64::from_le_bytes(bytes[2 + fn_len..10 + fn_len].try_into().unwrap());
+        let msg = om_common::codec::from_bytes(&bytes[10 + fn_len..])
+            .map_err(|e| OmError::Internal(format!("ingress record decode: {e:?}")))?;
+        Ok((Address::new(fn_type, key), msg))
+    }
+}
+
+/// Opens (or recovers) the dataflow binding's **persistent ingress
+/// topic** at `dir` — segment files + offset index per partition, so a
+/// cold-started platform can replay in-flight records from disk alone.
+/// The factory calls this when a `PlatformSpec` carries a `data_dir`.
+pub fn persistent_ingress(
+    dir: impl AsRef<std::path::Path>,
+    partitions: usize,
+) -> OmResult<Arc<om_log::PersistentTopic<(Address, DfMsg)>>> {
+    Ok(Arc::new(om_log::PersistentTopic::open(
+        dir,
+        "ingress",
+        partitions,
+        Arc::new(DfRecordCodec),
+    )?))
+}
+
 /// Builds the marketplace dataflow topology. A `store` holding a
 /// committed checkpoint makes this a **restart**: the topology resumes
 /// from the last committed epoch (paired with `ingress`, in-flight
@@ -212,7 +287,7 @@ fn build_dataflow(
     partitions: usize,
     max_batch: usize,
     store: Option<Arc<dyn CheckpointStore>>,
-    ingress: Option<Arc<om_log::Topic<(Address, DfMsg)>>>,
+    ingress: Option<Arc<dyn om_log::EventLog<(Address, DfMsg)>>>,
 ) -> Dataflow<DfMsg> {
     let mut builder = Dataflow::builder().partitions(partitions).max_batch(max_batch);
     if let Some(store) = store {
@@ -858,8 +933,10 @@ pub struct DataflowPlatformConfig {
     /// [`BackendCheckpointStore`]: om_dataflow::BackendCheckpointStore
     pub checkpoint_store: Option<Arc<dyn CheckpointStore>>,
     /// Reuse an existing ingress log (pairs with `checkpoint_store` for
-    /// full restarts that also replay in-flight records).
-    pub ingress: Option<Arc<om_log::Topic<(Address, DfMsg)>>>,
+    /// full restarts that also replay in-flight records). Any
+    /// [`om_log::EventLog`] works: a shared in-memory topic, or the
+    /// [`persistent_ingress`] topic for restarts from a cold process.
+    pub ingress: Option<Arc<dyn om_log::EventLog<(Address, DfMsg)>>>,
 }
 
 impl std::fmt::Debug for DataflowPlatformConfig {
@@ -917,6 +994,36 @@ impl DataflowPlatform {
             config.checkpoint_store,
             config.ingress,
         ));
+        // A restarted platform rebuilds its entity catalog — snapshots,
+        // dashboards and the delivery fan-out must see the pre-crash
+        // entities even though the catalog itself is process-local. Two
+        // sources: the recovered checkpoint's function states, and
+        // ingest records still in flight in the (persistent or shared)
+        // ingress log — durably appended but not yet checkpointed, they
+        // will replay into function state, so they belong in the
+        // catalog too.
+        let catalog = super::actor_core::Catalog::default();
+        if let Ok(Some(snap)) = df.checkpoint_store().load() {
+            for (_, fn_type, key, _) in &snap.states {
+                match fn_type.as_str() {
+                    kinds::SELLER => catalog.add_seller(SellerId(*key)),
+                    kinds::CUSTOMER => catalog.add_customer(CustomerId(*key)),
+                    kinds::PRODUCT => catalog.add_product(ProductId(*key)),
+                    _ => {}
+                }
+            }
+        }
+        let ingress = df.ingress_topic();
+        for (partition, &from) in df.committed_offsets().iter().enumerate() {
+            for entry in ingress.read_from(partition, from, usize::MAX) {
+                match entry.payload.1 {
+                    DfMsg::IngestSeller(s) => catalog.add_seller(s.id),
+                    DfMsg::IngestCustomer(c) => catalog.add_customer(c.id),
+                    DfMsg::IngestProduct(p) => catalog.add_product(p.id),
+                    _ => {}
+                }
+            }
+        }
         let waiters: Arc<Mutex<WaiterRegistry>> = Arc::new(Mutex::new(WaiterRegistry::default()));
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(CounterSet::new());
@@ -960,7 +1067,7 @@ impl DataflowPlatform {
         };
         Self {
             df,
-            catalog: super::actor_core::Catalog::default(),
+            catalog,
             tids: IdSequence::new(1),
             clock: om_common::time::LogicalClock::new(),
             decline_rate: config.decline_rate,
@@ -1093,7 +1200,7 @@ impl MarketplacePlatform for DataflowPlatform {
     fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
         let id = seller.id;
         self.df.submit(addr(kinds::SELLER, id.0), DfMsg::IngestSeller(seller));
-        self.catalog.sellers.write().push(id);
+        self.catalog.add_seller(id);
         Ok(())
     }
 
@@ -1101,7 +1208,7 @@ impl MarketplacePlatform for DataflowPlatform {
         let id = customer.id;
         self.df
             .submit(addr(kinds::CUSTOMER, id.0), DfMsg::IngestCustomer(customer));
-        self.catalog.customers.write().push(id);
+        self.catalog.add_customer(id);
         Ok(())
     }
 
@@ -1117,7 +1224,7 @@ impl MarketplacePlatform for DataflowPlatform {
                 qty: initial_stock,
             },
         );
-        self.catalog.products.write().push(id);
+        self.catalog.add_product(id);
         Ok(())
     }
 

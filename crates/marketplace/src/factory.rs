@@ -48,6 +48,15 @@ pub struct PlatformSpec {
     /// one — the restart path: a platform built over the backend a
     /// previous platform persisted into resumes from that state.
     pub backend_instance: Option<Arc<dyn StateBackend>>,
+    /// Directory durable state lives in: the file-durable backend opens
+    /// `<data_dir>/state` there, and the dataflow binding's ingress log
+    /// persists to `<data_dir>/ingress` (segment files + offset index).
+    /// This is the **cold-restart seam** — a platform rebuilt over the
+    /// same `data_dir` recovers grain snapshots, projections,
+    /// checkpoints and in-flight ingress records from disk alone, with
+    /// no shared in-memory handles. Memory-only backends ignore the
+    /// state half; the ingress half applies whenever it is set.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl std::fmt::Debug for PlatformSpec {
@@ -61,6 +70,7 @@ impl std::fmt::Debug for PlatformSpec {
             .field("checkpoint_interval", &self.checkpoint_interval)
             .field("durable_checkpoints", &self.durable_checkpoints)
             .field("shared_backend_instance", &self.backend_instance.is_some())
+            .field("data_dir", &self.data_dir)
             .finish()
     }
 }
@@ -78,6 +88,7 @@ impl PlatformSpec {
             checkpoint_interval: 64,
             durable_checkpoints: true,
             backend_instance: None,
+            data_dir: None,
         }
     }
 
@@ -118,6 +129,14 @@ impl PlatformSpec {
         self
     }
 
+    /// Roots durable state at `dir` (see [`PlatformSpec::data_dir`]) —
+    /// with [`BackendKind::FileDurable`], rebuilding a platform from the
+    /// same spec recovers everything from disk, even in a fresh process.
+    pub fn data_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
     /// The backend instance this spec's platform will persist through:
     /// the shared instance if one was injected, else a fresh backend of
     /// the spec's kind (one decision, shared with the actor bindings via
@@ -135,6 +154,7 @@ impl PlatformSpec {
             decline_rate: self.decline_rate,
             backend: self.backend,
             backend_instance: self.backend_instance.clone(),
+            data_dir: self.data_dir.clone(),
         }
     }
 
@@ -165,7 +185,19 @@ pub fn build_platform(spec: &PlatformSpec) -> Box<dyn MarketplacePlatform> {
                 .then(|| -> Arc<dyn om_dataflow::CheckpointStore> {
                     Arc::new(BackendCheckpointStore::new(spec.storage_backend()))
                 }),
-            ingress: None,
+            // A spec rooted at a data_dir persists the ingress log too,
+            // so the rebuilt platform replays in-flight records from
+            // disk instead of needing a shared topic handle.
+            ingress: match &spec.data_dir {
+                Some(dir) => Some(
+                    crate::bindings::dataflow::persistent_ingress(
+                        dir.join("ingress"),
+                        spec.parallelism.max(1),
+                    )
+                    .expect("open the persistent ingress topic"),
+                ),
+                None => None,
+            },
         })),
         PlatformKind::Customized => Box::new(CustomizedPlatform::new(CustomizedConfig {
             actor: spec.actor_config(),

@@ -191,11 +191,40 @@ pub trait StateBackend: Send + Sync {
 /// Constructs the backend for `kind` with at least `shards` lock domains
 /// (rounded up to a power of two). This is the single seam `RunConfig`
 /// drives: everything above it holds an `Arc<dyn StateBackend>`.
+///
+/// A [`BackendKind::FileDurable`] backend built here lives in a scratch
+/// directory that is removed when the backend drops; pass a concrete
+/// directory through [`make_backend_at`] to get restartable state.
 pub fn make_backend(kind: BackendKind, shards: usize) -> Arc<dyn StateBackend> {
-    match kind {
+    make_backend_at(kind, shards, None).expect("backend construction")
+}
+
+/// [`make_backend`] with an explicit durable-state directory.
+///
+/// Only [`BackendKind::FileDurable`] consults `data_dir` — it opens (or
+/// initialises) the store there, recovering whatever a previous process
+/// left behind, and keeps the directory on drop. The memory-only
+/// backends ignore it. `None` falls back to a self-cleaning scratch
+/// directory for the file backend.
+pub fn make_backend_at(
+    kind: BackendKind,
+    shards: usize,
+    data_dir: Option<&std::path::Path>,
+) -> OmResult<Arc<dyn StateBackend>> {
+    Ok(match kind {
         BackendKind::Eventual => Arc::new(crate::eventual::EventualBackend::new(shards)),
         BackendKind::SnapshotIsolation => Arc::new(crate::snapshot::SnapshotBackend::new(shards)),
-    }
+        BackendKind::FileDurable => match data_dir {
+            Some(dir) => Arc::new(crate::file::FileBackend::open(
+                dir,
+                crate::file::FileBackendOptions {
+                    shards,
+                    ..Default::default()
+                },
+            )?),
+            None => Arc::new(crate::file::FileBackend::scratch(shards)?),
+        },
+    })
 }
 
 /// Routes `key` to one of `1 << bits`-style power-of-two shard arrays.

@@ -1,0 +1,922 @@
+//! The file-backed durable backend: a sharded write-ahead-log +
+//! periodic-snapshot store whose state survives a full process crash.
+//!
+//! This is the only [`StateBackend`] whose contents outlive the process:
+//! every commit — single-key writes included — is appended to an
+//! append-only WAL segment as **one framed, checksummed batch** before it
+//! becomes visible, so recovery can never observe half of a multi-key
+//! commit. Periodically the full live state is written as a snapshot file
+//! (via atomic rename) and fully-covered WAL segments are pruned.
+//!
+//! On-disk layout under the store's directory (formats are specified
+//! byte-for-byte in `docs/DURABILITY.md`):
+//!
+//! ```text
+//! <dir>/wal/wal-<first_seq>.log   append-only framed commit batches
+//! <dir>/snap/snap-<seq>.snap      full state as of commit <seq>
+//! ```
+//!
+//! Recovery ([`FileBackend::open`] over an existing directory) loads the
+//! newest snapshot, replays every WAL frame with a higher commit
+//! sequence, and **truncates a torn tail**: the first frame of the last
+//! segment that fails its length or CRC check marks the point where the
+//! previous process died mid-append — everything from there on is
+//! discarded, landing the store exactly on the last fully-committed
+//! batch. A torn frame in any non-final segment is real corruption and
+//! refuses to open.
+//!
+//! ```
+//! use om_storage::{FileBackend, FileBackendOptions, StateBackend, WriteBatch};
+//!
+//! let dir = std::env::temp_dir().join(format!("om-doc-file-{}", std::process::id()));
+//! let backend = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
+//! let batch = WriteBatch::new().put(b"order/1".to_vec(), b"placed".to_vec());
+//! backend.commit(batch).unwrap();
+//! drop(backend);
+//!
+//! // A cold restart recovers the committed state from the files alone.
+//! let reborn = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
+//! assert_eq!(reborn.get(b"order/1"), Some(b"placed".to_vec()));
+//! # drop(reborn);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::backend::{shard_of, StateBackend, StateSession, WriteBatch, WriteOp};
+use crate::shards_pow2;
+use om_common::checksum::{parse_frame, push_frame};
+use om_common::config::BackendKind;
+use om_common::{OmError, OmResult};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tuning knobs of a [`FileBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct FileBackendOptions {
+    /// In-memory shard (lock-domain) count, rounded up to a power of two.
+    pub shards: usize,
+    /// Commits between full-state snapshots (`0` = never snapshot; the
+    /// WAL then grows unboundedly — useful only for tests that inspect
+    /// the raw log).
+    pub snapshot_every: u64,
+    /// WAL segment roll threshold in bytes: an append that leaves the
+    /// current segment beyond this size starts a new one.
+    pub segment_bytes: u64,
+    /// `fsync` every commit. Off by default: a commit is pushed to the
+    /// operating system before it is acknowledged, which survives a
+    /// **process** crash (the durability this store claims); syncing
+    /// additionally survives kernel/power failure at a large latency
+    /// cost.
+    pub sync_commits: bool,
+}
+
+impl Default for FileBackendOptions {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            snapshot_every: 1_024,
+            segment_bytes: 1 << 20,
+            sync_commits: false,
+        }
+    }
+}
+
+// -- batch payload codec ----------------------------------------------------
+// (frames come from `om_common::checksum` — the encoding shared with
+// om-log's persistent topic)
+
+fn encode_batch(seq: u64, ops: &[WriteOp]) -> Vec<u8> {
+    let mut cap = 12;
+    for op in ops {
+        cap += 5 + op.key.len() + op.value.as_ref().map(|v| 4 + v.len()).unwrap_or(0);
+    }
+    let mut out = Vec::with_capacity(cap);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match &op.value {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&(op.key.len() as u32).to_le_bytes());
+                out.extend_from_slice(&op.key);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&(op.key.len() as u32).to_le_bytes());
+                out.extend_from_slice(&op.key);
+            }
+        }
+    }
+    out
+}
+
+fn decode_batch(payload: &[u8]) -> Option<(u64, Vec<WriteOp>)> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        if payload.len() - *at < n {
+            return None;
+        }
+        let s = &payload[*at..*at + n];
+        *at += n;
+        Some(s)
+    };
+    let seq = u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
+    let n = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = take(&mut at, 1)?[0];
+        let key_len = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        let key = take(&mut at, key_len)?.to_vec();
+        let value = match tag {
+            1 => {
+                let val_len = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+                Some(take(&mut at, val_len)?.to_vec())
+            }
+            0 => None,
+            _ => return None,
+        };
+        ops.push(WriteOp { key, value });
+    }
+    if at != payload.len() {
+        return None;
+    }
+    Some((seq, ops))
+}
+
+// -- the backend ------------------------------------------------------------
+
+/// Magic payload of a snapshot file's header frame.
+const SNAP_MAGIC: &[u8; 8] = b"OMSNAP01";
+
+/// State behind the appender mutex: the open WAL segment and the commit
+/// sequencing/snapshot bookkeeping. Holding this lock is what serializes
+/// commits (and therefore WAL append order == commit order).
+struct Appender {
+    writer: BufWriter<File>,
+    seg_path: PathBuf,
+    seg_len: u64,
+    /// Next commit sequence number to assign.
+    next_seq: u64,
+    commits_since_snapshot: u64,
+}
+
+/// The file-backed durable implementation of [`StateBackend`] — see the
+/// module docs for formats and the recovery rules.
+pub struct FileBackend {
+    dir: PathBuf,
+    options: FileBackendOptions,
+    /// Power-of-two in-memory mirror of the on-disk state (the read
+    /// path); rebuilt from snapshot + WAL on open.
+    shards: Vec<RwLock<HashMap<Vec<u8>, Vec<u8>>>>,
+    mask: u64,
+    /// Serializes WAL appends and snapshot writes.
+    appender: Mutex<Appender>,
+    /// Multi-key visibility gate: commits apply to the shard array under
+    /// the write side, multi-key reads take the read side — so live
+    /// readers never observe a torn batch either (the on-disk guarantee,
+    /// mirrored in memory).
+    multi: RwLock<()>,
+    /// Exclusive OS lock on `<dir>/LOCK`, held for the store's lifetime
+    /// so two live processes can never interleave WAL appends. The OS
+    /// releases it when the process dies (kill -9 included), so a stale
+    /// lock can never brick recovery.
+    _lock: File,
+    /// Remove the directory on drop (scratch stores only).
+    owns_dir: bool,
+    commits: AtomicU64,
+    wal_bytes: AtomicU64,
+    snapshots: AtomicU64,
+    segments_rolled: AtomicU64,
+    recovered_commits: AtomicU64,
+    torn_tail_bytes: AtomicU64,
+    maintenance_errors: AtomicU64,
+}
+
+impl FileBackend {
+    /// Opens (or initialises) a durable store in `dir`, recovering any
+    /// state a previous process left there: newest snapshot + WAL
+    /// replay + torn-tail truncation. The directory is created if absent
+    /// and is **kept** on drop.
+    pub fn open(dir: impl AsRef<Path>, options: FileBackendOptions) -> OmResult<Self> {
+        Self::build(dir.as_ref().to_path_buf(), options, false)
+    }
+
+    /// A store in a fresh scratch directory under the system temp dir,
+    /// **removed when the backend drops** — what
+    /// [`make_backend`](crate::make_backend) uses when no `data_dir` is
+    /// configured, so matrix sweeps never leak files.
+    pub fn scratch(shards: usize) -> OmResult<Self> {
+        static SCRATCH: AtomicU64 = AtomicU64::new(0);
+        let nonce = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let dir = std::env::temp_dir().join(format!(
+            "om-file-backend-{}-{}-{}",
+            std::process::id(),
+            nonce,
+            SCRATCH.fetch_add(1, Ordering::Relaxed),
+        ));
+        let options = FileBackendOptions {
+            shards,
+            ..FileBackendOptions::default()
+        };
+        Self::build(dir, options, true)
+    }
+
+    fn build(dir: PathBuf, options: FileBackendOptions, owns_dir: bool) -> OmResult<Self> {
+        fn io(dir: &Path, e: std::io::Error) -> OmError {
+            OmError::Internal(format!("file backend {dir:?}: {e}"))
+        }
+        fs::create_dir_all(dir.join("wal")).map_err(|e| io(&dir, e))?;
+        fs::create_dir_all(dir.join("snap")).map_err(|e| io(&dir, e))?;
+        let lock = om_common::dirlock::lock_dir(&dir)?;
+        // Bootstrap appender (replaced by `recover` once it has decided
+        // which segment to continue appending to; the scratch file is
+        // removed there).
+        let bootstrap = dir.join("wal").join(".bootstrap");
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&bootstrap)
+            .map_err(|e| io(&dir, e))?;
+        let shard_count = shards_pow2(options.shards);
+        let mut backend = Self {
+            shards: (0..shard_count).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: shard_count as u64 - 1,
+            appender: Mutex::new(Appender {
+                writer: BufWriter::new(file),
+                seg_path: bootstrap,
+                seg_len: 0,
+                next_seq: 1,
+                commits_since_snapshot: 0,
+            }),
+            multi: RwLock::new(()),
+            _lock: lock,
+            owns_dir,
+            dir,
+            options,
+            commits: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            segments_rolled: AtomicU64::new(0),
+            recovered_commits: AtomicU64::new(0),
+            torn_tail_bytes: AtomicU64::new(0),
+            maintenance_errors: AtomicU64::new(0),
+        };
+        backend.recover()?;
+        Ok(backend)
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn shard(&self, key: &[u8]) -> &RwLock<HashMap<Vec<u8>, Vec<u8>>> {
+        &self.shards[shard_of(key, self.mask)]
+    }
+
+    fn io_err(&self, e: std::io::Error) -> OmError {
+        OmError::Internal(format!("file backend {:?}: {e}", self.dir))
+    }
+
+    // -- recovery ----------------------------------------------------------
+
+    /// Numeric suffix of `name` under `prefix` + `.` + `ext`.
+    fn file_seq(name: &str, prefix: &str, ext: &str) -> Option<u64> {
+        name.strip_prefix(prefix)?.strip_suffix(ext)?.parse().ok()
+    }
+
+    fn sorted_files(&self, sub: &str, prefix: &str, ext: &str) -> OmResult<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        let dir = self.dir.join(sub);
+        for entry in fs::read_dir(&dir).map_err(|e| self.io_err(e))? {
+            let entry = entry.map_err(|e| self.io_err(e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(seq) = Self::file_seq(&name, prefix, ext) {
+                out.push((seq, entry.path()));
+            } else if name.ends_with(".tmp") {
+                // A snapshot the dying process never finished writing:
+                // the atomic rename never happened, so it is garbage.
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Loads the newest snapshot (if any) into the shard array and
+    /// returns its commit sequence.
+    fn load_snapshot(&mut self) -> OmResult<u64> {
+        let snaps = self.sorted_files("snap", "snap-", ".snap")?;
+        let Some((seq, path)) = snaps.last() else {
+            return Ok(0);
+        };
+        let bytes = fs::read(path).map_err(|e| self.io_err(e))?;
+        let corrupt = || {
+            OmError::Internal(format!(
+                "file backend {:?}: snapshot {path:?} is corrupt",
+                self.dir
+            ))
+        };
+        let mut at = 0usize;
+        let (header, next) = parse_frame(&bytes, at).map_err(|_| corrupt())?.ok_or_else(corrupt)?;
+        at = next;
+        if header.len() != 8 + 8 + 8 || &header[..8] != SNAP_MAGIC {
+            return Err(corrupt());
+        }
+        let snap_seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let n_entries = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        if snap_seq != *seq {
+            return Err(corrupt());
+        }
+        let mut loaded = 0u64;
+        while let Some((payload, next)) = parse_frame(&bytes, at).map_err(|_| corrupt())? {
+            at = next;
+            let (key, value) = decode_snapshot_entry(payload).ok_or_else(corrupt)?;
+            let slot = shard_of(&key, self.mask);
+            self.shards[slot].get_mut().insert(key, value);
+            loaded += 1;
+        }
+        if loaded != n_entries {
+            return Err(corrupt());
+        }
+        Ok(snap_seq)
+    }
+
+    /// Replays WAL segments past `snap_seq`, truncating a torn tail of
+    /// the final segment, and leaves the appender positioned after the
+    /// last valid frame.
+    fn recover(&mut self) -> OmResult<()> {
+        let snap_seq = self.load_snapshot()?;
+        let mut last_seq = snap_seq;
+        let segments = self.sorted_files("wal", "wal-", ".log")?;
+        let mut recovered = 0u64;
+        let last_index = segments.len().wrapping_sub(1);
+        let mut tail: Option<(PathBuf, u64)> = None;
+        for (i, (_, path)) in segments.iter().enumerate() {
+            let bytes = fs::read(path).map_err(|e| self.io_err(e))?;
+            let mut at = 0usize;
+            loop {
+                match parse_frame(&bytes, at) {
+                    Ok(Some((payload, next))) => {
+                        let Some((seq, ops)) = decode_batch(payload) else {
+                            // Framed correctly but undecodable: corrupt.
+                            return Err(OmError::Internal(format!(
+                                "file backend {:?}: WAL segment {path:?} holds an \
+                                 undecodable batch at byte {at}",
+                                self.dir
+                            )));
+                        };
+                        if seq > last_seq {
+                            for op in &ops {
+                                let mut shard = self.shard(&op.key).write();
+                                match &op.value {
+                                    Some(v) => {
+                                        shard.insert(op.key.clone(), v.clone());
+                                    }
+                                    None => {
+                                        shard.remove(&op.key);
+                                    }
+                                }
+                            }
+                            last_seq = seq;
+                            recovered += 1;
+                        }
+                        at = next;
+                    }
+                    Ok(None) => break,
+                    Err(torn_at) => {
+                        if i != last_index {
+                            return Err(OmError::Internal(format!(
+                                "file backend {:?}: WAL segment {path:?} is corrupt at \
+                                 byte {torn_at} but is not the final segment",
+                                self.dir
+                            )));
+                        }
+                        // Torn tail: the previous process died mid-append.
+                        // Everything before `torn_at` is fully committed;
+                        // drop the rest.
+                        self.torn_tail_bytes
+                            .fetch_add((bytes.len() - torn_at) as u64, Ordering::Relaxed);
+                        let f = OpenOptions::new()
+                            .write(true)
+                            .open(path)
+                            .map_err(|e| self.io_err(e))?;
+                        f.set_len(torn_at as u64).map_err(|e| self.io_err(e))?;
+                        f.sync_data().map_err(|e| self.io_err(e))?;
+                        at = torn_at;
+                        break;
+                    }
+                }
+            }
+            if i == last_index {
+                tail = Some((path.clone(), at as u64));
+            }
+        }
+        self.recovered_commits.store(recovered, Ordering::Relaxed);
+        // Continue appending to the last segment, or start the first one.
+        let (seg_path, seg_len) = match tail {
+            Some(t) => t,
+            None => (self.dir.join("wal").join(format!("wal-{}.log", last_seq + 1)), 0),
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&seg_path)
+            .map_err(|e| self.io_err(e))?;
+        *self.appender.get_mut() = Appender {
+            writer: BufWriter::new(file),
+            seg_path,
+            seg_len,
+            next_seq: last_seq + 1,
+            commits_since_snapshot: 0,
+        };
+        let _ = fs::remove_file(self.dir.join("wal").join(".bootstrap"));
+        Ok(())
+    }
+
+    // -- commit path -------------------------------------------------------
+
+    /// Appends the batch as one WAL frame (flushing to the OS), then
+    /// applies it to the in-memory shards under the visibility gate.
+    fn commit_durable(&self, ops: &[WriteOp]) -> OmResult<usize> {
+        let mut appender = self.appender.lock();
+        let seq = appender.next_seq;
+        let mut frame = Vec::new();
+        push_frame(&mut frame, &encode_batch(seq, ops));
+        appender
+            .writer
+            .write_all(&frame)
+            .and_then(|()| appender.writer.flush())
+            .map_err(|e| self.io_err(e))?;
+        if self.options.sync_commits {
+            appender
+                .writer
+                .get_ref()
+                .sync_data()
+                .map_err(|e| self.io_err(e))?;
+        }
+        appender.next_seq = seq + 1;
+        appender.seg_len += frame.len() as u64;
+        appender.commits_since_snapshot += 1;
+        self.wal_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+
+        {
+            // The batch is durable; make it visible atomically with
+            // respect to multi-key readers.
+            let _gate = self.multi.write();
+            for op in ops {
+                let mut shard = self.shard(&op.key).write();
+                match &op.value {
+                    Some(v) => {
+                        shard.insert(op.key.clone(), v.clone());
+                    }
+                    None => {
+                        shard.remove(&op.key);
+                    }
+                }
+            }
+        }
+        self.commits.fetch_add(1, Ordering::Relaxed);
+
+        // Post-commit maintenance. The batch above is already durable in
+        // the WAL and visible in memory, so a snapshot/roll failure must
+        // NOT be reported as a failed commit — it is counted and retried
+        // on a later commit (`commits_since_snapshot` keeps growing, and
+        // an unrolled segment just keeps receiving appends).
+        let snapshot_due = self.options.snapshot_every > 0
+            && appender.commits_since_snapshot >= self.options.snapshot_every;
+        let maintenance = if snapshot_due {
+            self.write_snapshot(&mut appender)
+        } else if appender.seg_len >= self.options.segment_bytes {
+            self.roll_segment(&mut appender)
+        } else {
+            Ok(())
+        };
+        if maintenance.is_err() {
+            self.maintenance_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(ops.len())
+    }
+
+    /// Starts a new WAL segment named after the next commit sequence.
+    fn roll_segment(&self, appender: &mut Appender) -> OmResult<()> {
+        let path = self
+            .dir
+            .join("wal")
+            .join(format!("wal-{}.log", appender.next_seq));
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| self.io_err(e))?;
+        appender.writer = BufWriter::new(file);
+        appender.seg_path = path;
+        appender.seg_len = 0;
+        self.segments_rolled.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes the full live state as `snap-<seq>.snap` (tmp + atomic
+    /// rename), then prunes snapshots and WAL segments it supersedes and
+    /// rolls to a fresh segment. Runs under the appender lock, so no
+    /// commit can interleave with the state it captures.
+    fn write_snapshot(&self, appender: &mut Appender) -> OmResult<()> {
+        let seq = appender.next_seq - 1;
+        let mut out = Vec::new();
+        let mut n_entries = 0u64;
+        let mut body = Vec::new();
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                let mut payload = Vec::with_capacity(8 + k.len() + v.len());
+                payload.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                payload.extend_from_slice(k);
+                payload.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                payload.extend_from_slice(v);
+                push_frame(&mut body, &payload);
+                n_entries += 1;
+            }
+        }
+        let mut header = Vec::with_capacity(24);
+        header.extend_from_slice(SNAP_MAGIC);
+        header.extend_from_slice(&seq.to_le_bytes());
+        header.extend_from_slice(&n_entries.to_le_bytes());
+        push_frame(&mut out, &header);
+        out.extend_from_slice(&body);
+
+        let tmp = self.dir.join("snap").join(format!("snap-{seq}.tmp"));
+        let fin = self.dir.join("snap").join(format!("snap-{seq}.snap"));
+        let mut f = File::create(&tmp).map_err(|e| self.io_err(e))?;
+        f.write_all(&out).map_err(|e| self.io_err(e))?;
+        f.sync_data().map_err(|e| self.io_err(e))?;
+        drop(f);
+        fs::rename(&tmp, &fin).map_err(|e| self.io_err(e))?;
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        appender.commits_since_snapshot = 0;
+
+        // Everything at or below `seq` is covered by the snapshot: prune
+        // older snapshots and every WAL segment whose records are all
+        // covered (a segment named `wal-<first>` with a successor whose
+        // first sequence is <= seq+1 holds only covered records).
+        for (s, path) in self.sorted_files("snap", "snap-", ".snap")? {
+            if s < seq {
+                let _ = fs::remove_file(path);
+            }
+        }
+        self.roll_segment(appender)?;
+        let segments = self.sorted_files("wal", "wal-", ".log")?;
+        for window in segments.windows(2) {
+            let (_, ref path) = window[0];
+            let (next_first, _) = window[1];
+            if next_first <= seq + 1 {
+                let _ = fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces a snapshot + WAL prune right now (maintenance hook; the
+    /// commit path does this automatically every
+    /// [`FileBackendOptions::snapshot_every`] commits).
+    pub fn snapshot_now(&self) -> OmResult<()> {
+        let mut appender = self.appender.lock();
+        self.write_snapshot(&mut appender)
+    }
+}
+
+fn decode_snapshot_entry(payload: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+    if payload.len() < 4 {
+        return None;
+    }
+    let key_len = u32::from_le_bytes(payload[..4].try_into().ok()?) as usize;
+    if payload.len() < 4 + key_len + 4 {
+        return None;
+    }
+    let key = payload[4..4 + key_len].to_vec();
+    let val_len =
+        u32::from_le_bytes(payload[4 + key_len..8 + key_len].try_into().ok()?) as usize;
+    if payload.len() != 8 + key_len + val_len {
+        return None;
+    }
+    Some((key, payload[8 + key_len..].to_vec()))
+}
+
+impl Drop for FileBackend {
+    fn drop(&mut self) {
+        if self.owns_dir {
+            let _ = fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+impl StateBackend for FileBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::FileDurable
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.commit_ops(&[WriteOp {
+            key: key.to_vec(),
+            value: Some(value.to_vec()),
+        }])
+        .expect("file backend write");
+    }
+
+    fn delete(&self, key: &[u8]) {
+        self.commit_ops(&[WriteOp {
+            key: key.to_vec(),
+            value: None,
+        }])
+        .expect("file backend delete");
+    }
+
+    fn get_many(&self, keys: &[&[u8]]) -> Vec<Option<Vec<u8>>> {
+        // Under the visibility gate no commit can apply halfway through
+        // this read: multi-key reads are never torn, matching what
+        // recovery guarantees for the on-disk state.
+        let _gate = self.multi.read();
+        keys.iter()
+            .map(|k| self.shard(k).read().get(*k).cloned())
+            .collect()
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let _gate = self.multi.read();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                shard
+                    .read()
+                    .iter()
+                    .filter(|(k, _)| k.starts_with(prefix))
+                    .map(|(k, v)| (k.clone(), v.clone())),
+            );
+        }
+        out.sort();
+        out
+    }
+
+    fn commit(&self, batch: WriteBatch) -> OmResult<usize> {
+        self.commit_durable(batch.ops())
+    }
+
+    fn commit_ops(&self, ops: &[WriteOp]) -> OmResult<usize> {
+        self.commit_durable(ops)
+    }
+
+    fn session(&self) -> Box<dyn StateSession + '_> {
+        Box::new(FileSession { backend: self })
+    }
+
+    fn quiesce(&self) {
+        // Commits flush before acknowledging; nothing is asynchronous.
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn counters(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        out.insert("backend.commits".into(), self.commits.load(Ordering::Relaxed));
+        out.insert("backend.wal_bytes".into(), self.wal_bytes.load(Ordering::Relaxed));
+        out.insert("backend.snapshots".into(), self.snapshots.load(Ordering::Relaxed));
+        out.insert(
+            "backend.segments_rolled".into(),
+            self.segments_rolled.load(Ordering::Relaxed),
+        );
+        out.insert(
+            "backend.recovered_commits".into(),
+            self.recovered_commits.load(Ordering::Relaxed),
+        );
+        out.insert(
+            "backend.torn_tail_bytes".into(),
+            self.torn_tail_bytes.load(Ordering::Relaxed),
+        );
+        out.insert(
+            "backend.maintenance_errors".into(),
+            self.maintenance_errors.load(Ordering::Relaxed),
+        );
+        out.insert("backend.shards".into(), self.shards.len() as u64);
+        out
+    }
+}
+
+/// Sessions are trivial here: every write is durable and visible before
+/// `put` returns, so a later authoritative read always observes it.
+struct FileSession<'a> {
+    backend: &'a FileBackend,
+}
+
+impl StateSession for FileSession<'_> {
+    fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.backend.get(key)
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.backend.put(key, value);
+    }
+
+    fn delete(&mut self, key: &[u8]) {
+        self.backend.delete(key);
+    }
+
+    fn fallbacks(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_path(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "om-file-test-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    struct DirGuard(PathBuf);
+    impl Drop for DirGuard {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_committed_state() {
+        let dir = scratch_path("reopen");
+        let _guard = DirGuard(dir.clone());
+        {
+            let b = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
+            b.put(b"a", b"1");
+            let batch = WriteBatch::new()
+                .put(b"b".to_vec(), b"2".to_vec())
+                .put(b"c".to_vec(), b"3".to_vec());
+            b.commit(batch).unwrap();
+            b.delete(b"a");
+        }
+        let b = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
+        assert_eq!(b.get(b"a"), None);
+        assert_eq!(b.get(b"b"), Some(b"2".to_vec()));
+        assert_eq!(b.get(b"c"), Some(b"3".to_vec()));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.counters()["backend.recovered_commits"], 3);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_last_full_commit() {
+        let dir = scratch_path("torn");
+        let _guard = DirGuard(dir.clone());
+        let opts = FileBackendOptions {
+            snapshot_every: 0,
+            ..FileBackendOptions::default()
+        };
+        {
+            let b = FileBackend::open(&dir, opts).unwrap();
+            b.put(b"k1", b"v1");
+            b.put(b"k2", b"v2");
+        }
+        // Chop bytes off the single WAL segment: a torn final append.
+        let seg = fs::read_dir(dir.join("wal"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "log"))
+            .unwrap();
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+        let b = FileBackend::open(&dir, opts).unwrap();
+        assert_eq!(b.get(b"k1"), Some(b"v1".to_vec()), "first commit intact");
+        assert_eq!(b.get(b"k2"), None, "torn commit discarded");
+        assert!(b.counters()["backend.torn_tail_bytes"] > 0);
+        // The truncated tail was physically removed: a further reopen is
+        // clean and the next commit lands after the valid prefix.
+        b.put(b"k3", b"v3");
+        drop(b);
+        let b = FileBackend::open(&dir, opts).unwrap();
+        assert_eq!(b.get(b"k1"), Some(b"v1".to_vec()));
+        assert_eq!(b.get(b"k3"), Some(b"v3".to_vec()));
+        assert_eq!(b.counters()["backend.torn_tail_bytes"], 0);
+    }
+
+    #[test]
+    fn snapshot_compacts_wal_and_survives_reopen() {
+        let dir = scratch_path("snap");
+        let _guard = DirGuard(dir.clone());
+        let opts = FileBackendOptions {
+            snapshot_every: 4,
+            ..FileBackendOptions::default()
+        };
+        {
+            let b = FileBackend::open(&dir, opts).unwrap();
+            for i in 0..10u8 {
+                b.put(&[b'k', i], &[i]);
+            }
+            assert!(b.counters()["backend.snapshots"] >= 2);
+        }
+        // Only the newest snapshot plus the short post-snapshot WAL tail
+        // remain on disk.
+        let snaps = fs::read_dir(dir.join("snap")).unwrap().count();
+        assert_eq!(snaps, 1);
+        let b = FileBackend::open(&dir, opts).unwrap();
+        for i in 0..10u8 {
+            assert_eq!(b.get(&[b'k', i]), Some(vec![i]));
+        }
+    }
+
+    #[test]
+    fn deletes_survive_snapshot_and_replay() {
+        let dir = scratch_path("del");
+        let _guard = DirGuard(dir.clone());
+        {
+            let b = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
+            b.put(b"gone", b"x");
+            b.put(b"kept", b"y");
+            b.delete(b"gone");
+            b.snapshot_now().unwrap();
+            b.put(b"late", b"z");
+        }
+        let b = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
+        assert_eq!(b.get(b"gone"), None);
+        assert_eq!(b.get(b"kept"), Some(b"y".to_vec()));
+        assert_eq!(b.get(b"late"), Some(b"z".to_vec()));
+    }
+
+    #[test]
+    fn scratch_backend_cleans_up_its_directory() {
+        let b = FileBackend::scratch(4).unwrap();
+        let dir = b.dir().to_path_buf();
+        b.put(b"k", b"v");
+        assert!(dir.exists());
+        drop(b);
+        assert!(!dir.exists(), "scratch dir must be removed on drop");
+    }
+
+    #[test]
+    fn concurrent_multi_reads_never_observe_torn_batches() {
+        let b = std::sync::Arc::new(FileBackend::scratch(8).unwrap());
+        let keys: Vec<Vec<u8>> = (0..8u8).map(|i| vec![b'k', i]).collect();
+        {
+            let mut batch = WriteBatch::new();
+            for k in &keys {
+                batch = batch.put(k.clone(), 0u16.to_le_bytes().to_vec());
+            }
+            b.commit(batch).unwrap();
+        }
+        let writer = {
+            let b = b.clone();
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                for round in 1..=100u16 {
+                    let mut batch = WriteBatch::new();
+                    for k in &keys {
+                        batch = batch.put(k.clone(), round.to_le_bytes().to_vec());
+                    }
+                    b.commit(batch).unwrap();
+                }
+            })
+        };
+        let key_refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        for _ in 0..300 {
+            let values = b.get_many(&key_refs);
+            let distinct: std::collections::HashSet<_> = values.iter().collect();
+            assert_eq!(distinct.len(), 1, "torn batch observed: {values:?}");
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn segments_roll_at_the_size_threshold() {
+        let dir = scratch_path("roll");
+        let _guard = DirGuard(dir.clone());
+        let opts = FileBackendOptions {
+            snapshot_every: 0,
+            segment_bytes: 256,
+            ..FileBackendOptions::default()
+        };
+        let b = FileBackend::open(&dir, opts).unwrap();
+        for i in 0..32u32 {
+            b.put(&i.to_be_bytes(), &[0u8; 64]);
+        }
+        assert!(b.counters()["backend.segments_rolled"] >= 2);
+        drop(b);
+        let b = FileBackend::open(&dir, opts).unwrap();
+        assert_eq!(b.len(), 32, "multi-segment replay restores everything");
+    }
+}

@@ -10,7 +10,7 @@
 //! *platform × backend* matrix instead: any binding can run over any
 //! storage discipline, selected from `RunConfig` without code changes.
 //!
-//! Two disciplines ship today:
+//! Three disciplines ship today:
 //!
 //! * [`EventualBackend`] — per-key last-writer-wins over `om-kv`'s sharded
 //!   store, with an asynchronous secondary replica (Redis role). Multi-key
@@ -20,6 +20,12 @@
 //!   tables and timestamp oracle (PostgreSQL role). Multi-key commits are
 //!   atomic: no reader snapshot ever observes a torn subset, and conflicting
 //!   commits abort with a retryable error.
+//! * [`FileBackend`] — file-backed durability (RocksDB role): every commit
+//!   is one framed, checksummed write-ahead-log batch on disk, full-state
+//!   snapshots bound replay, and a cold restart over the same directory
+//!   recovers exactly the committed state (torn tails are truncated). The
+//!   only backend whose state survives a process crash; see
+//!   `docs/DURABILITY.md` for the file formats and recovery rules.
 //!
 //! Both implementations are **sharded** — a fixed power-of-two shard array
 //! keyed by hash, with per-shard locks — so the backend never reintroduces
@@ -36,10 +42,12 @@
 
 pub mod backend;
 pub mod eventual;
+pub mod file;
 pub mod snapshot;
 
-pub use backend::{make_backend, StateBackend, StateSession, WriteBatch, WriteOp};
+pub use backend::{make_backend, make_backend_at, StateBackend, StateSession, WriteBatch, WriteOp};
 pub use eventual::EventualBackend;
+pub use file::{FileBackend, FileBackendOptions};
 pub use snapshot::SnapshotBackend;
 
 /// Rounds a requested shard count up to a power of two (minimum 1), the

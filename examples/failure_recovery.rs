@@ -4,10 +4,11 @@
 //! * The dataflow platform takes an injected crash mid-epoch, restores
 //!   the last checkpoint and replays — every checkout lands exactly
 //!   once.
-//! * With **backend-backed checkpoints** the same recovery survives a
-//!   full platform rebuild: a second platform over the same backend
-//!   restarts from the last committed epoch (recovered epochs vs lost
-//!   epochs printed below).
+//! * With the **file-durable backend + persistent ingress log** the same
+//!   recovery survives losing the *entire process image*: the platform
+//!   is dropped wholesale and rebuilt from its `data_dir` files alone
+//!   (recovered epochs vs lost epochs printed below) — the `kill -9`
+//!   walkthrough in the README is this section against a live gateway.
 //! * The eventual actor platform with lossy event delivery (the
 //!   at-most-once semantics of raw one-way messages) strands workflows.
 //!
@@ -99,46 +100,66 @@ fn main() {
     );
     assert_eq!(snap.orders.len() as u64, CHECKOUTS, "exactly once, even across a crash");
 
-    // --- durable checkpoints: crash mid-epoch, then a full restart -------
+    // --- disk-backed durability: crash mid-epoch, drop EVERYTHING, then
+    // --- rebuild the whole platform from the data_dir files alone -------
     use online_marketplace::dataflow::BackendCheckpointStore;
+    use online_marketplace::marketplace::bindings::dataflow::persistent_ingress;
     use std::sync::Arc;
 
-    let backend = online_marketplace::storage::make_backend(BackendKind::SnapshotIsolation, 16);
-    let durable = DataflowPlatform::new(DataflowPlatformConfig {
-        decline_rate: 0.0,
-        checkpoint_store: Some(Arc::new(BackendCheckpointStore::new(backend.clone()))),
-        ..Default::default()
-    });
+    let data_dir = std::env::temp_dir().join(format!(
+        "om-failure-recovery-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let build_durable = || {
+        let backend = online_marketplace::storage::make_backend_at(
+            BackendKind::FileDurable,
+            16,
+            Some(&data_dir.join("state")),
+        )
+        .expect("open durable state backend");
+        DataflowPlatform::new(DataflowPlatformConfig {
+            partitions: 4,
+            max_batch: 64,
+            decline_rate: 0.0,
+            checkpoint_store: Some(Arc::new(BackendCheckpointStore::new(backend))),
+            ingress: Some(
+                persistent_ingress(data_dir.join("ingress"), 4)
+                    .expect("open persistent ingress topic"),
+            ),
+        })
+    };
+
+    let durable = build_durable();
     ingest(&durable);
     durable.dataflow().inject_crash_after(25); // crash mid-epoch
     run_checkouts(&durable, CHECKOUTS);
     let epochs_before = durable.dataflow().committed_epoch();
     let (recoveries, recovery_us) = durable.dataflow().recovery_stats();
     let snap = durable.snapshot().unwrap();
-    println!("\nstatefun + backend-backed checkpoints (crash mid-epoch):");
+    println!("\nstatefun + file_durable backend + persistent ingress (crash mid-epoch):");
     println!(
-        "  orders={} committed_epoch={} recoveries={} last_recovery={}us",
+        "  orders={} committed_epoch={} recoveries={} last_recovery={}us data_dir={}",
         snap.orders.len(),
         epochs_before,
         recoveries,
         recovery_us,
+        data_dir.display(),
     );
     assert_eq!(snap.orders.len() as u64, CHECKOUTS);
-    drop(durable);
+    drop(durable); // the whole platform dies — nothing in memory survives
 
-    // Rebuild a brand-new platform over the same backend: it restarts
-    // from the last committed checkpoint instead of empty state.
-    let reborn = DataflowPlatform::new(DataflowPlatformConfig {
-        decline_rate: 0.0,
-        checkpoint_store: Some(Arc::new(BackendCheckpointStore::new(backend))),
-        ..Default::default()
-    });
+    // Rebuild a brand-new platform from the directory alone: WAL +
+    // snapshot recovery restores the checkpoints, the segment files
+    // restore the ingress log, and the runtime restarts from the last
+    // committed epoch instead of empty state.
+    let reborn = build_durable();
     let recovered_epoch = reborn.dataflow().committed_epoch();
     let recovery = reborn
         .dataflow()
         .last_recovery()
-        .expect("rebuild restores from the store");
-    println!("  after rebuild: recovered_epochs={recovered_epoch} lost_epochs={} restored_keys={} ({}us)",
+        .expect("rebuild restores from the files");
+    println!("  after rebuild from files: recovered_epochs={recovered_epoch} lost_epochs={} restored_keys={} ({}us)",
         epochs_before - recovered_epoch,
         recovery.restored_keys,
         recovery.duration.as_micros(),
@@ -150,6 +171,8 @@ fn main() {
         .seller_dashboard(SellerId(1))
         .expect("seller state survives the rebuild");
     assert_eq!(dash.seller, SellerId(1));
+    drop(reborn);
+    let _ = std::fs::remove_dir_all(&data_dir);
 
     // --- eventual actors with lossy events -------------------------------
     let eventual = EventualPlatform::new(ActorPlatformConfig {
