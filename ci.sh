@@ -6,8 +6,13 @@
 #   * clippy runs deny-warnings over every target so refactors cannot
 #     silently accrue dead code (falls back to a -D warnings build if the
 #     toolchain ships without clippy),
-#   * benches must keep compiling (`cargo bench --no-run` — never run in
-#     CI; numbers come from dedicated perf runs),
+#   * benches must keep compiling (`cargo bench --no-run`; full numbers
+#     come from dedicated perf runs),
+#   * a short b2_durability slice RUNS as a perf smoke
+#     (`OM_BENCH_SMOKE=1`): the contended durable-commit cell is
+#     compared against the checked-in floor in results/b2_floor.json and
+#     CI fails on a >3x regression (bench_guard) — coarse on purpose,
+#     the shim stats are medians over a handful of samples,
 #   * all examples must keep compiling, and failure_recovery *runs* as a
 #     smoke step (it asserts zero lost epochs across a disk-backed
 #     platform rebuild),
@@ -39,6 +44,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
+
+echo "==> bench smoke: b2 group-commit slice + regression guard (3x floor)"
+# (the criterion shim resolves results/ against the workspace root)
+OM_BENCH_SMOKE=1 cargo bench --offline --bench b2_durability
+cargo run --release --offline -p om_bench --bin bench_guard
 
 echo "==> cargo build --examples"
 cargo build --examples --offline

@@ -15,16 +15,36 @@
 //! * `b2_cold_recovery_file` — the file backend's true cold start:
 //!   open a populated data directory from disk alone (snapshot load +
 //!   WAL replay + torn-tail scan).
+//! * `b2_group_commit` — the tentpole cell: 1/4/16 concurrent writers
+//!   committing under `sync_commits`, group commit on vs off. One
+//!   iteration = every writer performing 32 commits; with the barrier
+//!   off each of those commits pays its own fsync, with it on a cohort
+//!   leader pays one fsync for everyone parked.
+//! * `b2_snapshot_mode` — snapshot cost vs state size: 64 dirty keys
+//!   over stores of 1k/16k keys, full vs incremental. Incremental cost
+//!   must track the churn (flat across state sizes), full must track
+//!   the store.
+//! * `b2_snapshot_mode_recovery` — cold-open cost of the two snapshot
+//!   disciplines (one base vs base + delta chain).
 //!
-//! The criterion shim reports first-order mean ns/iter with no
-//! statistics — cite repeated runs for any perf claim.
+//! The criterion shim reports min/median/p95 over repeated samples and
+//! records every group to `results/bench_<group>.json` — cite the
+//! medians.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use om_bench::{make_checkpoint_store, BACKENDS, CHECKPOINT_STORES};
+use om_common::config::SnapshotMode;
 use om_dataflow::StateDelta;
 use om_storage::{make_backend, FileBackend, FileBackendOptions, StateBackend, WriteOp};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// `OM_BENCH_SMOKE=1` shrinks the sweep to the CI guard slice: only the
+/// contended group-commit cells, fewer samples.
+fn smoke() -> bool {
+    std::env::var("OM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 fn commit_ops(round: u64) -> Vec<WriteOp> {
     (0..16u64)
@@ -138,10 +158,164 @@ fn bench_cold_recovery_file(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole measurement: concurrent committers under `sync_commits`
+/// with and without the group-commit barrier. One iteration = `writers`
+/// threads × 32 commits each, so the barrier-off cell pays
+/// `writers * 32` serialized fsyncs and the barrier-on cell pays one per
+/// cohort.
+fn bench_group_commit(c: &mut Criterion) {
+    const COMMITS_PER_WRITER: u64 = 32;
+    let mut group = c.benchmark_group("b2_group_commit");
+    group.sample_size(if smoke() { 7 } else { 12 });
+    group.measurement_time(Duration::from_millis(if smoke() { 400 } else { 1_500 }));
+    let writer_counts: &[usize] = if smoke() { &[16] } else { &[1, 4, 16] };
+    for &writers in writer_counts {
+        for (label, window) in [
+            ("group_on", Some(Duration::ZERO)),
+            ("group_off", None),
+        ] {
+            let opts = FileBackendOptions {
+                shards: 16,
+                sync_commits: true,
+                group_commit_window: window,
+                ..FileBackendOptions::default()
+            };
+            let backend =
+                std::sync::Arc::new(FileBackend::scratch_with(opts).expect("scratch backend"));
+            let round = AtomicU64::new(0);
+            group.bench_function(format!("w{writers}_{label}"), |b| {
+                b.iter(|| {
+                    let r = round.fetch_add(1, Ordering::Relaxed);
+                    std::thread::scope(|scope| {
+                        for w in 0..writers {
+                            let backend = backend.clone();
+                            scope.spawn(move || {
+                                for i in 0..COMMITS_PER_WRITER {
+                                    let ops = [WriteOp {
+                                        key: format!("w{w}/k{i}").into_bytes(),
+                                        value: Some(r.to_le_bytes().to_vec()),
+                                    }];
+                                    backend.commit_ops(&ops).expect("grouped commit");
+                                }
+                            });
+                        }
+                    });
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Snapshot cost vs state size at fixed churn: every iteration dirties
+/// 64 keys and forces a snapshot. Incremental snapshots must price the
+/// churn (flat across store sizes); full snapshots price the store.
+fn bench_snapshot_mode(c: &mut Criterion) {
+    const CHURN: u64 = 64;
+    let mut group = c.benchmark_group("b2_snapshot_mode");
+    group.sample_size(10);
+    for state_keys in [1_000u64, 16_000] {
+        for (label, mode) in [
+            ("full", SnapshotMode::Full),
+            ("incremental", SnapshotMode::Incremental),
+        ] {
+            let opts = FileBackendOptions {
+                shards: 16,
+                snapshot_every: 0, // snapshots forced by the bench only
+                snapshot_mode: mode,
+                // Never compact here: measure the pure delta path.
+                compact_max_deltas: u64::MAX,
+                compact_ratio_pct: u64::MAX,
+                ..FileBackendOptions::default()
+            };
+            let backend = FileBackend::scratch_with(opts).expect("scratch backend");
+            for k in 0..state_keys {
+                backend.put(format!("state/{k:08}").as_bytes(), &[7u8; 64]);
+            }
+            // Seed the chain with a base so incremental iterations
+            // measure deltas, not the first base write.
+            backend.snapshot_now().expect("seed snapshot");
+            let round = AtomicU64::new(0);
+            group.bench_function(format!("{label}_{state_keys}_keys"), |b| {
+                b.iter(|| {
+                    let r = round.fetch_add(1, Ordering::Relaxed);
+                    for k in 0..CHURN {
+                        backend.put(format!("state/{k:08}").as_bytes(), &r.to_le_bytes());
+                    }
+                    backend.snapshot_now().expect("forced snapshot");
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Cold-open cost of the two snapshot disciplines over the same
+/// history: a lone full base vs a base plus a delta chain.
+fn bench_snapshot_mode_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_snapshot_mode_recovery");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("full", SnapshotMode::Full),
+        ("incremental", SnapshotMode::Incremental),
+    ] {
+        let dir = scratch_dir();
+        {
+            let opts = FileBackendOptions {
+                shards: 16,
+                snapshot_every: 0,
+                snapshot_mode: mode,
+                compact_max_deltas: u64::MAX,
+                compact_ratio_pct: u64::MAX,
+                ..FileBackendOptions::default()
+            };
+            let backend = FileBackend::open(&dir, opts).expect("open");
+            for k in 0..2_048u64 {
+                backend.put(format!("state/{k:08}").as_bytes(), &[3u8; 64]);
+            }
+            backend.snapshot_now().expect("base");
+            for round in 0..8u64 {
+                for k in 0..64u64 {
+                    backend.put(format!("state/{k:08}").as_bytes(), &round.to_le_bytes());
+                }
+                backend.snapshot_now().expect("delta or base");
+            }
+        }
+        let opts = FileBackendOptions {
+            snapshot_mode: mode,
+            ..FileBackendOptions::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter_with_setup(
+                || (),
+                |()| {
+                    let reborn = FileBackend::open(&dir, opts).expect("cold open");
+                    assert_eq!(reborn.len(), 2_048);
+                    reborn.len()
+                },
+            );
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
 criterion_group!(
     b2,
     bench_commit_latency,
     bench_checkpoint_restart,
-    bench_cold_recovery_file
+    bench_cold_recovery_file,
+    bench_group_commit,
+    bench_snapshot_mode,
+    bench_snapshot_mode_recovery
 );
-criterion_main!(b2);
+criterion_group!(b2_smoke, bench_group_commit);
+
+fn main() {
+    if smoke() {
+        // CI guard slice: just the contended group-commit cells.
+        b2_smoke();
+    } else {
+        b2();
+    }
+}

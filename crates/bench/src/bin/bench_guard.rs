@@ -1,0 +1,99 @@
+//! CI guard over the durable-commit cell: compares the freshly-measured
+//! `b2_group_commit` median against a checked-in floor and fails when
+//! the cell has regressed beyond the allowed factor.
+//!
+//! ```text
+//! OM_BENCH_SMOKE=1 cargo bench --bench b2_durability   # writes results/bench_b2_group_commit.json
+//! cargo run -p om_bench --bin bench_guard              # compares against results/b2_floor.json
+//! ```
+//!
+//! The floor file records the baseline median (shim statistics, see
+//! `shims/criterion`) and the tolerated regression factor — coarse on
+//! purpose: the guard exists to catch "someone made every durable
+//! commit pay its own fsync again", not 5% noise.
+//!
+//! Usage: `bench_guard [results.json] [floor.json]`.
+
+use serde_json::Value;
+
+fn median_of(results: &Value, id: &str) -> Option<f64> {
+    for entry in results["entries"].as_array()? {
+        if entry["id"].as_str() == Some(id) {
+            return entry["median_ns"].as_f64();
+        }
+    }
+    None
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let results_path = args
+        .next()
+        .unwrap_or_else(|| "results/bench_b2_group_commit.json".into());
+    let floor_path = args.next().unwrap_or_else(|| "results/b2_floor.json".into());
+
+    let read = |path: &str| -> Value {
+        let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_guard: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::from_str(&body).unwrap_or_else(|e| {
+            eprintln!("bench_guard: cannot parse {path}: {e:?}");
+            std::process::exit(2);
+        })
+    };
+    let results = read(&results_path);
+    let floor = read(&floor_path);
+
+    let cell = floor["cell"].as_str().unwrap_or("w16_group_on");
+    let floor_median = floor["floor_median_ns"].as_f64().unwrap_or_else(|| {
+        eprintln!("bench_guard: {floor_path} lacks floor_median_ns");
+        std::process::exit(2);
+    });
+    let factor = floor["max_regression_factor"].as_f64().unwrap_or(3.0);
+    let Some(measured) = median_of(&results, cell) else {
+        eprintln!("bench_guard: {results_path} holds no entry for cell {cell:?}");
+        std::process::exit(2);
+    };
+
+    let mut failed = false;
+    let limit = floor_median * factor;
+    let ratio = measured / floor_median.max(1.0);
+    println!(
+        "bench_guard: cell={cell} measured_median={measured:.0}ns floor={floor_median:.0}ns \
+         ratio={ratio:.2}x (limit {factor:.1}x)"
+    );
+    if measured > limit {
+        eprintln!(
+            "bench_guard: FAIL — durable-commit cell regressed {ratio:.2}x over the floor \
+             (allowed {factor:.1}x). Did the group-commit path stop amortizing fsyncs?"
+        );
+        failed = true;
+    }
+
+    // Machine-relative check: the on-cell must beat the off-cell from
+    // the SAME run by min_speedup_x — robust to host fsync latency,
+    // which the absolute floor above is not.
+    let min_speedup = floor["min_speedup_x"].as_f64().unwrap_or(0.0);
+    let off_cell = cell.replace("_on", "_off");
+    if min_speedup > 0.0 && off_cell != cell {
+        if let Some(off_median) = median_of(&results, &off_cell) {
+            let speedup = off_median / measured.max(1.0);
+            println!(
+                "bench_guard: speedup {off_cell}/{cell} = {speedup:.2}x (min {min_speedup:.1}x)"
+            );
+            if speedup < min_speedup {
+                eprintln!(
+                    "bench_guard: FAIL — group commit only {speedup:.2}x faster than \
+                     per-commit sync on this host (floor requires {min_speedup:.1}x)"
+                );
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("bench_guard: OK");
+}

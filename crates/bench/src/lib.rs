@@ -5,7 +5,7 @@
 //! `DESIGN.md` §4 for the mapping to modules.
 
 use om_actor::FaultConfig;
-use om_common::config::{BackendKind, RunConfig, ScaleConfig, WorkloadMix};
+use om_common::config::{BackendKind, DurableOptions, RunConfig, ScaleConfig, WorkloadMix};
 use om_driver::{run_benchmark, RunReport};
 use om_marketplace::api::{MarketplacePlatform, PlatformKind};
 use om_marketplace::{build_platform, PlatformSpec};
@@ -95,6 +95,7 @@ pub fn standard_config(scale_factor: u64) -> RunConfig {
         durable_checkpoints: true,
         recovery_drill: false,
         data_dir: None,
+        durable: DurableOptions::default(),
     }
 }
 

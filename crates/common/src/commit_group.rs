@@ -1,0 +1,252 @@
+//! The commit barrier behind **group commit**: N concurrent writers
+//! share one flush/fsync instead of paying N.
+//!
+//! Writers append their record under their own appender lock, obtain a
+//! monotone *ticket*, then park on [`CommitGroup::wait_durable`]. At any
+//! moment at most one parked writer is elected **leader**: it runs the
+//! caller-supplied flush closure exactly once — which must make every
+//! ticket appended so far durable and report the highest ticket it
+//! covered — and every writer whose ticket the flush covered is
+//! released together. Writers that appended while the leader was mid-
+//! flush stay parked and are picked up by the next leader, so the
+//! cohort size adapts to contention automatically.
+//!
+//! The barrier is storage-agnostic: `om_storage::FileBackend` uses it
+//! to batch WAL fsyncs, and `om_log::PersistentTopic` uses it to batch
+//! the per-record segment flush the dataflow ingress otherwise pays.
+//!
+//! ```
+//! use om_common::commit_group::CommitGroup;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let group = CommitGroup::new(std::time::Duration::ZERO);
+//! let written = AtomicU64::new(0);
+//! // "Append" ticket 1, then wait for a leader (ourselves) to flush it.
+//! written.store(1, Ordering::SeqCst);
+//! group
+//!     .wait_durable(1, || Ok(written.load(Ordering::SeqCst)))
+//!     .unwrap();
+//! assert_eq!(group.stats().flushes, 1);
+//! ```
+
+use crate::OmResult;
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Point-in-time counters of a [`CommitGroup`] (see
+/// [`CommitGroup::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitGroupStats {
+    /// Leader flushes performed (each is one flush+fsync shared by a
+    /// whole cohort).
+    pub flushes: u64,
+    /// Tickets released across all flushes; `released / flushes` is the
+    /// mean commits-per-sync the group achieved.
+    pub released: u64,
+    /// Largest single cohort released by one flush.
+    pub max_cohort: u64,
+}
+
+impl CommitGroupStats {
+    /// Mean tickets released per leader flush, the headline
+    /// group-commit metric (1 = no batching happened).
+    pub fn commits_per_flush(&self) -> u64 {
+        self.released.checked_div(self.flushes).unwrap_or(0)
+    }
+}
+
+struct GroupState {
+    /// Highest durable (released) ticket.
+    durable: u64,
+    /// A leader is currently running the flush closure.
+    leader_active: bool,
+    stats: CommitGroupStats,
+}
+
+/// The commit barrier. See the module docs for the protocol.
+pub struct CommitGroup {
+    state: Mutex<GroupState>,
+    released: Condvar,
+    window: Duration,
+}
+
+impl std::fmt::Debug for CommitGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitGroup")
+            .field("window", &self.window)
+            .finish()
+    }
+}
+
+impl CommitGroup {
+    /// A barrier whose leaders wait up to `window` after election for
+    /// the cohort to grow before flushing. `Duration::ZERO` flushes as
+    /// soon as leadership is acquired — under contention that still
+    /// batches every ticket that queued while the previous leader was
+    /// flushing.
+    pub fn new(window: Duration) -> Self {
+        Self {
+            state: Mutex::new(GroupState {
+                durable: 0,
+                leader_active: false,
+                stats: CommitGroupStats::default(),
+            }),
+            released: Condvar::new(),
+            window,
+        }
+    }
+
+    /// Parks until `ticket` is durable. The caller must have already
+    /// staged its record such that a subsequent `flush()` covers it;
+    /// tickets are monotone starting at 1 (0 is the "nothing durable
+    /// yet" floor).
+    ///
+    /// `flush` is the leader duty: make everything staged so far
+    /// durable and return the highest ticket covered. It runs with no
+    /// barrier lock held, on exactly one thread at a time. A flush
+    /// error is returned to the leader; other parked writers re-elect
+    /// and retry, so one failed leader never wedges the cohort.
+    pub fn wait_durable<F>(&self, ticket: u64, mut flush: F) -> OmResult<()>
+    where
+        F: FnMut() -> OmResult<u64>,
+    {
+        let mut st = self.state.lock();
+        loop {
+            if st.durable >= ticket {
+                return Ok(());
+            }
+            if st.leader_active {
+                self.released.wait(&mut st);
+                continue;
+            }
+            st.leader_active = true;
+            drop(st);
+            if !self.window.is_zero() {
+                // Let the cohort grow: appenders keep staging while the
+                // leader waits out the window.
+                std::thread::sleep(self.window);
+            }
+            let result = flush();
+            st = self.state.lock();
+            st.leader_active = false;
+            match result {
+                Ok(upto) => {
+                    if upto > st.durable {
+                        let cohort = upto - st.durable;
+                        st.stats.flushes += 1;
+                        st.stats.released += cohort;
+                        st.stats.max_cohort = st.stats.max_cohort.max(cohort);
+                        st.durable = upto;
+                    }
+                    self.released.notify_all();
+                }
+                Err(e) => {
+                    // Wake the cohort so another writer can retry as
+                    // leader (or fail on its own terms).
+                    self.released.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Highest durable ticket (0 before any flush).
+    pub fn durable(&self) -> u64 {
+        self.state.lock().durable
+    }
+
+    /// Raises the durable floor without a flush. Recovery calls this
+    /// with the last recovered ticket so that tickets resuming above
+    /// pre-crash sequence numbers do not count the whole recovered
+    /// history as one giant released cohort (which would inflate
+    /// `commits_per_sync`-style stats by the recovered count).
+    pub fn reset_floor(&self, floor: u64) {
+        let mut st = self.state.lock();
+        st.durable = st.durable.max(floor);
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CommitGroupStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OmError;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_writer_leads_itself() {
+        let group = CommitGroup::new(Duration::ZERO);
+        let staged = AtomicU64::new(3);
+        group
+            .wait_durable(3, || Ok(staged.load(Ordering::SeqCst)))
+            .unwrap();
+        assert_eq!(group.durable(), 3);
+        let stats = group.stats();
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.released, 3);
+    }
+
+    #[test]
+    fn cohort_shares_flushes_under_contention() {
+        const WRITERS: u64 = 8;
+        const ROUNDS: u64 = 50;
+        let group = Arc::new(CommitGroup::new(Duration::ZERO));
+        let staged = Arc::new(AtomicU64::new(0));
+        let flushed = Arc::new(AtomicU64::new(0));
+        let next = Arc::new(AtomicU64::new(1));
+        let mut handles = Vec::new();
+        for _ in 0..WRITERS {
+            let (group, staged, flushed, next) =
+                (group.clone(), staged.clone(), flushed.clone(), next.clone());
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    let ticket = next.fetch_add(1, Ordering::SeqCst);
+                    staged.fetch_max(ticket, Ordering::SeqCst);
+                    group
+                        .wait_durable(ticket, || {
+                            // Simulate a sync: every staged ticket
+                            // becomes durable.
+                            flushed.fetch_add(1, Ordering::SeqCst);
+                            std::thread::yield_now();
+                            Ok(staged.load(Ordering::SeqCst))
+                        })
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = group.stats();
+        assert_eq!(stats.released, WRITERS * ROUNDS, "every ticket released");
+        assert_eq!(stats.flushes, flushed.load(Ordering::SeqCst));
+        assert!(
+            stats.flushes <= WRITERS * ROUNDS,
+            "never more flushes than commits"
+        );
+        assert_eq!(group.durable(), WRITERS * ROUNDS);
+    }
+
+    #[test]
+    fn failed_leader_does_not_wedge_the_cohort() {
+        let group = Arc::new(CommitGroup::new(Duration::ZERO));
+        let fail_once = Arc::new(AtomicU64::new(1));
+        // Ticket 1: first flush attempt fails; the retry (same caller —
+        // single-threaded here) succeeds.
+        let err = group.wait_durable(1, || {
+            if fail_once.swap(0, Ordering::SeqCst) == 1 {
+                Err(OmError::Internal("disk on fire".into()))
+            } else {
+                Ok(1)
+            }
+        });
+        assert!(err.is_err(), "the leader sees its own flush error");
+        group.wait_durable(1, || Ok(1)).unwrap();
+        assert_eq!(group.durable(), 1);
+    }
+}

@@ -191,6 +191,85 @@ impl BackendKind {
     }
 }
 
+/// Snapshot discipline of the file-durable backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnapshotMode {
+    /// Every snapshot rewrites the full live state — cost proportional
+    /// to total state size, but recovery reads exactly one file before
+    /// WAL replay.
+    Full,
+    /// Snapshots write only the keys dirtied since the previous
+    /// snapshot as a `delta-<seq>` file chained from the last full
+    /// base — cost proportional to churn, not state size. Compaction
+    /// folds a long or heavy chain back into a full base (see
+    /// [`DurableOptions::compact_max_deltas`] /
+    /// [`DurableOptions::compact_ratio_pct`]).
+    Incremental,
+}
+
+impl SnapshotMode {
+    /// Stable label for reports and bench ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            SnapshotMode::Full => "full",
+            SnapshotMode::Incremental => "incremental",
+        }
+    }
+}
+
+/// Durability tuning of the [`BackendKind::FileDurable`] backend (and
+/// the persistent ingress log), threaded from `RunConfig` through
+/// `PlatformSpec` so every matrix cell can select its write-path
+/// discipline. Ignored by the memory-only backends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurableOptions {
+    /// `fsync` commits before acknowledging them (power-loss
+    /// durability). Off by default: commits are flushed to the OS and
+    /// survive a *process* crash only.
+    pub sync_commits: bool,
+    /// Group-commit window in microseconds: `Some(w)` parks committers
+    /// on a commit barrier and lets a single leader perform ONE
+    /// flush+fsync for the whole cohort (waiting up to `w` µs for the
+    /// cohort to grow; `Some(0)` = flush as soon as leadership is
+    /// acquired, batching whatever queued meanwhile). `None` disables
+    /// the barrier: every commit pays its own flush+fsync (the PR 4
+    /// behaviour).
+    pub group_commit_window_us: Option<u64>,
+    /// Full vs incremental snapshots.
+    pub snapshot_mode: SnapshotMode,
+    /// Incremental mode: fold the delta chain into a fresh full base
+    /// once it holds this many deltas.
+    pub compact_max_deltas: u64,
+    /// Incremental mode: fold the chain once accumulated delta bytes
+    /// exceed this percentage of the base snapshot's size.
+    pub compact_ratio_pct: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        Self {
+            sync_commits: false,
+            group_commit_window_us: Some(0),
+            snapshot_mode: SnapshotMode::Incremental,
+            compact_max_deltas: 16,
+            compact_ratio_pct: 100,
+        }
+    }
+}
+
+impl DurableOptions {
+    /// The PR 4 write path: per-commit flush/fsync, full-state
+    /// snapshots. The baseline the b2 group-commit cells compare
+    /// against.
+    pub fn legacy() -> Self {
+        Self {
+            group_commit_window_us: None,
+            snapshot_mode: SnapshotMode::Full,
+            ..Self::default()
+        }
+    }
+}
+
 /// Full run configuration for the driver.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
@@ -231,6 +310,10 @@ pub struct RunConfig {
     /// platform rebuilt over the same `data_dir` recovers from disk.
     /// Ignored by the memory-only backends.
     pub data_dir: Option<String>,
+    /// Write-path tuning of the file-durable backend: fsync policy,
+    /// group-commit window, snapshot mode and compaction thresholds.
+    /// Ignored by the memory-only backends.
+    pub durable: DurableOptions,
 }
 
 impl Default for RunConfig {
@@ -250,6 +333,7 @@ impl Default for RunConfig {
             durable_checkpoints: true,
             recovery_drill: false,
             data_dir: None,
+            durable: DurableOptions::default(),
         }
     }
 }
@@ -311,6 +395,27 @@ mod tests {
         let s = serde_json::to_string(&c).unwrap();
         let back: RunConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn durable_options_roundtrip_and_legacy() {
+        let d = DurableOptions {
+            sync_commits: true,
+            group_commit_window_us: Some(250),
+            snapshot_mode: SnapshotMode::Incremental,
+            ..DurableOptions::default()
+        };
+        let c = RunConfig {
+            durable: d,
+            ..RunConfig::default()
+        };
+        let s = serde_json::to_string(&c).unwrap();
+        let back: RunConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.durable, d);
+        let legacy = DurableOptions::legacy();
+        assert_eq!(legacy.group_commit_window_us, None);
+        assert_eq!(legacy.snapshot_mode, SnapshotMode::Full);
+        assert_ne!(SnapshotMode::Full.label(), SnapshotMode::Incremental.label());
     }
 
     #[test]

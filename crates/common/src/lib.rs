@@ -24,6 +24,7 @@
 
 pub mod checksum;
 pub mod codec;
+pub mod commit_group;
 pub mod dirlock;
 pub mod config;
 pub mod entity;

@@ -124,6 +124,14 @@ pub trait CheckpointStore: Send + Sync {
 
     /// Number of epochs committed through this store (diagnostics).
     fn commits(&self) -> u64;
+
+    /// Diagnostic counters of the backing storage (the `backend.*`
+    /// namespace — group-commit amortization, snapshot-delta bytes,
+    /// compactions, …). Empty for the in-memory store, which has no
+    /// storage layer underneath.
+    fn backend_counters(&self) -> std::collections::BTreeMap<String, u64> {
+        std::collections::BTreeMap::new()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -337,6 +345,10 @@ impl CheckpointStore for BackendCheckpointStore {
 
     fn backend_kind(&self) -> Option<BackendKind> {
         Some(self.backend.kind())
+    }
+
+    fn backend_counters(&self) -> std::collections::BTreeMap<String, u64> {
+        self.backend.counters()
     }
 
     fn commit_epoch(&self, epoch: u64, offsets: &[u64], dirty: Vec<StateDelta>) -> OmResult<()> {

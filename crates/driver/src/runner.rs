@@ -167,7 +167,8 @@ pub fn run_matrix_cell(kind: PlatformKind, config: &RunConfig) -> RunReport {
         .parallelism(config.workers.max(1))
         .decline_rate(config.payment_decline_rate)
         .checkpoint_interval(config.checkpoint_interval)
-        .durable_checkpoints(config.durable_checkpoints);
+        .durable_checkpoints(config.durable_checkpoints)
+        .durable_options(config.durable);
     if let Some(dir) = &config.data_dir {
         spec = spec.data_dir(dir);
     }

@@ -191,20 +191,39 @@ impl MarketplaceGateway {
         req: &Request,
     ) -> Result<Response, Response> {
         match endpoint {
-            Endpoint::Health => Ok(Response::json(
-                200,
-                &serde_json::json!({
-                    "status": "ok",
-                    "platform": self.platform.kind().label(),
-                    "backend": match self.platform.backend() {
-                        Some(b) => b.label(),
-                        None => "native",
-                    },
-                    // Whether platform state would survive a process
-                    // crash (true only over the file-durable backend).
-                    "durable": self.platform.backend().is_some_and(|b| b.is_durable()),
-                }),
-            )),
+            Endpoint::Health => {
+                // Durable write-path health: how well group commit is
+                // amortizing syncs and what the snapshot chain costs.
+                // All zero on memory-only backends.
+                let counters = self.platform.counters();
+                let metric = |name: &str| {
+                    counters
+                        .get(&format!("storage.backend.{name}"))
+                        .copied()
+                        .unwrap_or(0)
+                };
+                Ok(Response::json(
+                    200,
+                    &serde_json::json!({
+                        "status": "ok",
+                        "platform": self.platform.kind().label(),
+                        "backend": match self.platform.backend() {
+                            Some(b) => b.label(),
+                            None => "native",
+                        },
+                        // Whether platform state would survive a process
+                        // crash (true only over the file-durable backend).
+                        "durable": self.platform.backend().is_some_and(|b| b.is_durable()),
+                        "storage": {
+                            "commits_per_sync": metric("commits_per_sync"),
+                            "group_flushes": metric("group_flushes"),
+                            "snapshot_delta_bytes": metric("snapshot_delta_bytes"),
+                            "compactions": metric("compactions"),
+                            "maintenance_errors": metric("maintenance_errors"),
+                        },
+                    }),
+                ))
+            }
             Endpoint::Counters => {
                 let mut counters = self.platform.counters();
                 counters.insert(
@@ -403,6 +422,53 @@ mod tests {
             .unwrap();
         assert_eq!(v["backend"], "file_durable");
         assert_eq!(v["durable"], true);
+    }
+
+    #[test]
+    fn health_exposes_group_commit_and_snapshot_metrics() {
+        use om_common::config::BackendKind;
+        use om_marketplace::{PlatformKind, PlatformSpec};
+        let g = MarketplaceGateway::for_spec(
+            &PlatformSpec::new(PlatformKind::Transactional, BackendKind::FileDurable)
+                .parallelism(2),
+        );
+        // Drive one durable write through the platform so the write
+        // path has something to report.
+        let seller = om_common::entity::Seller::new(
+            om_common::ids::SellerId(1),
+            "s".into(),
+            "cph".into(),
+        );
+        let body: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&seller).unwrap()).unwrap();
+        assert_eq!(
+            g.handle(&req(Method::Post, "/ingest/sellers", Some(body))).status,
+            201
+        );
+        let v: serde_json::Value = g
+            .handle(&req(Method::Get, "/health", None))
+            .json_body()
+            .unwrap();
+        let storage = &v["storage"];
+        for metric in [
+            "commits_per_sync",
+            "group_flushes",
+            "snapshot_delta_bytes",
+            "compactions",
+            "maintenance_errors",
+        ] {
+            assert!(
+                storage[metric].as_u64().is_some(),
+                "health must expose storage.{metric}: {storage:?}"
+            );
+        }
+        assert_eq!(storage["maintenance_errors"], 0);
+        // The raw counter namespace carries the same numbers.
+        let counters: std::collections::BTreeMap<String, u64> = g
+            .handle(&req(Method::Get, "/counters", None))
+            .json_body()
+            .unwrap();
+        assert!(counters.contains_key("storage.backend.commits_per_sync"));
     }
 
     #[test]

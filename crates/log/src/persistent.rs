@@ -44,16 +44,18 @@
 use crate::event_log::EventLog;
 use crate::topic::{Entry, Topic};
 use om_common::checksum::{parse_frame, push_frame};
+use om_common::commit_group::CommitGroup;
 use om_common::{OmError, OmResult};
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Serializes one record type to and from segment-file bytes.
 ///
@@ -91,24 +93,61 @@ impl<T: Serialize + DeserializeOwned> RecordCodec<T> for SerdeCodec {
 pub struct PersistentTopicOptions {
     /// Segment roll threshold in bytes per partition.
     pub segment_bytes: u64,
+    /// Group-flush window per partition: `Some(w)` batches the
+    /// per-record segment write through a commit barrier
+    /// (`om_common::commit_group`) — appenders stage their frame into
+    /// an in-memory buffer (never blocking on an in-flight write) and
+    /// park; a cohort leader performs ONE segment write for everyone
+    /// staged (waiting up to `w` for the cohort to grow) and only then
+    /// mirrors the cohort into memory, preserving the "written before
+    /// readable" guarantee. `None` (the default) writes every append
+    /// individually — the PR 4 behaviour.
+    pub group_commit_window: Option<Duration>,
 }
 
 impl Default for PersistentTopicOptions {
     fn default() -> Self {
         Self {
             segment_bytes: 1 << 20,
+            group_commit_window: None,
         }
     }
 }
 
-/// Per-partition append state: the open segment pair.
+/// Per-partition staging state, guarded by the stage mutex: everything
+/// here is memory-only and cheap, so staging a record never waits on an
+/// in-flight segment write — the same appender/flusher split the file
+/// backend's WAL uses.
+struct PartStage<T> {
+    /// Encoded record frames staged since the last leader flush, in
+    /// append order — written by the next leader as one `write_all`.
+    buf: Vec<u8>,
+    /// The matching index entries (one 8-byte position per record).
+    idx_buf: Vec<u8>,
+    /// Staged `(producer, seq, payload)` records. The leader leaves
+    /// them here while their bytes are being written (so a racing
+    /// retransmission still finds them for dedup) and mirrors them
+    /// into memory only after the write succeeds. Always empty without
+    /// group flush. The offset of `staged[i]` is
+    /// `next_offset - staged.len() + i`.
+    staged: Vec<(u64, u64, T)>,
+    /// Offset the next staged record will take (`mem.end_offset` plus
+    /// the staged count — assigned here so offsets stay dense while
+    /// the mirror lags the stage).
+    next_offset: u64,
+    /// Bytes in the open segment **including** staged-but-unwritten
+    /// bytes.
+    seg_len: u64,
+}
+
+/// Per-partition durable state, guarded by the files mutex: the open
+/// segment pair. Held by cohort leaders (and, with group flush off, by
+/// every append) — never while merely staging.
 struct PartFiles {
-    log: BufWriter<File>,
-    idx: BufWriter<File>,
+    log: File,
+    idx: File,
     /// Offset of the first record in the open segment.
     seg_base: u64,
-    /// Bytes written to the open segment so far.
-    seg_len: u64,
 }
 
 /// A [`Topic`] whose records live in segment files: the durable flavour
@@ -117,7 +156,19 @@ pub struct PersistentTopic<T> {
     /// In-memory mirror (read path + idempotence fences), rebuilt from
     /// the segments on open.
     mem: Topic<T>,
+    /// Cheap staging half, per partition. Lock order: files before
+    /// stage, never the reverse.
+    stages: Vec<Mutex<PartStage<T>>>,
+    /// Durable half (open segment pair), per partition.
     parts: Vec<Mutex<PartFiles>>,
+    /// One commit barrier per partition for the group-flush path.
+    groups: Vec<CommitGroup>,
+    /// Set when a segment write failed after bytes were staged: the
+    /// log can no longer tell which acknowledged records a partial
+    /// frame would cut off at the next replay, so every further append
+    /// fails fast instead of acknowledging records that a torn-tail
+    /// truncation would silently drop.
+    wedged: std::sync::atomic::AtomicBool,
     /// Exclusive OS lock on `<dir>/LOCK` for the topic's lifetime (two
     /// live processes must never interleave segment appends); released
     /// by the OS on process death, so it cannot go stale.
@@ -171,7 +222,12 @@ impl<T: Clone + Send> PersistentTopic<T> {
         check_meta(&dir, &name, partitions)?;
         let mut topic = Self {
             mem: Topic::new(name, partitions),
+            stages: Vec::new(),
             parts: Vec::new(),
+            groups: (0..partitions)
+                .map(|_| CommitGroup::new(options.group_commit_window.unwrap_or(Duration::ZERO)))
+                .collect(),
+            wedged: std::sync::atomic::AtomicBool::new(false),
             _lock: lock,
             codec,
             options,
@@ -183,8 +239,13 @@ impl<T: Clone + Send> PersistentTopic<T> {
             dir,
         };
         for p in 0..partitions {
-            let files = topic.recover_partition(p)?;
+            let (files, stage) = topic.recover_partition(p)?;
             topic.parts.push(Mutex::new(files));
+            topic.stages.push(Mutex::new(stage));
+            // Tickets are offsets + 1 and resume above the recovered
+            // records; floor the barrier so the first flush does not
+            // count the replayed history as one giant cohort.
+            topic.groups[p].reset_floor(topic.mem.end_offset(p));
         }
         Ok(topic)
     }
@@ -239,7 +300,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
 
     /// Replays one partition's segments into the in-memory mirror and
     /// returns the appender positioned after the last valid record.
-    fn recover_partition(&mut self, partition: usize) -> OmResult<PartFiles> {
+    fn recover_partition(&mut self, partition: usize) -> OmResult<(PartFiles, PartStage<T>)> {
         let pdir = self.part_dir(partition);
         fs::create_dir_all(&pdir).map_err(|e| io_err(&pdir, e))?;
         let segments = Self::list_segments(&pdir)?;
@@ -323,18 +384,31 @@ impl<T: Clone + Send> PersistentTopic<T> {
             .append(true)
             .open(&idx_path)
             .map_err(|e| io_err(&idx_path, e))?;
-        Ok(PartFiles {
-            log: BufWriter::new(log),
-            idx: BufWriter::new(idx),
-            seg_base,
-            seg_len,
-        })
+        Ok((
+            PartFiles {
+                log,
+                idx,
+                seg_base,
+            },
+            PartStage {
+                buf: Vec::new(),
+                idx_buf: Vec::new(),
+                staged: Vec::new(),
+                next_offset: self.mem.end_offset(partition),
+                seg_len,
+            },
+        ))
     }
 
     /// Appends `(producer, seq, payload)` to `partition`: deduplicated
     /// against the fence first (retransmissions never touch disk), then
     /// written as one frame and flushed **before** the record becomes
-    /// readable. Returns the record's offset.
+    /// readable. With [`PersistentTopicOptions::group_commit_window`]
+    /// the flush is batched: the record is staged into the buffered
+    /// writer and the caller parks on the partition's commit barrier
+    /// until a cohort leader has flushed (and mirrored) it — one flush
+    /// syscall shared by every record staged meanwhile. Returns the
+    /// record's offset.
     pub fn append_raw(
         &self,
         partition: usize,
@@ -342,44 +416,213 @@ impl<T: Clone + Send> PersistentTopic<T> {
         seq: u64,
         payload: T,
     ) -> OmResult<u64> {
-        let part = self
-            .parts
+        if self.wedged.load(Ordering::Relaxed) {
+            return Err(OmError::Internal(format!(
+                "persistent topic {:?}: a previous segment write failed; the log is wedged",
+                self.dir
+            )));
+        }
+        let stage_lock = self
+            .stages
             .get(partition)
             .ok_or_else(|| OmError::NotFound(format!("partition {partition}")))?;
-        let mut files = part.lock();
+        if self.options.group_commit_window.is_none() {
+            return self.append_unbatched(partition, producer, seq, payload);
+        }
+
+        let offset = {
+            let mut stage = stage_lock.lock();
+            if let Some(offset) = self.mem.duplicate_of(partition, producer, seq)? {
+                // Mirrored implies flushed: no need to wait.
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                return Ok(offset);
+            }
+            // A retransmission can also race its original while the
+            // original is still staged (or mid-write — the leader
+            // leaves records staged until their bytes are down):
+            // resolve it to the staged offset and wait for the same
+            // flush, so it is never written twice (which would derail
+            // replay's offset accounting).
+            if let Some(i) = stage
+                .staged
+                .iter()
+                .position(|(p, s, _)| *p == producer && *s == seq)
+            {
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                let offset = stage.next_offset - stage.staged.len() as u64 + i as u64;
+                drop(stage);
+                self.groups[partition]
+                    .wait_durable(offset + 1, || self.flush_partition(partition))?;
+                return Ok(offset);
+            }
+            let frame = self.encode_frame(producer, seq, &payload)?;
+            let pos = stage.seg_len;
+            stage.buf.extend_from_slice(&frame);
+            stage.idx_buf.extend_from_slice(&pos.to_le_bytes());
+            stage.seg_len += frame.len() as u64;
+            self.appended_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+            stage.staged.push((producer, seq, payload));
+            let offset = stage.next_offset;
+            stage.next_offset += 1;
+            offset
+        };
+        // Park: a cohort leader writes every staged byte as one unit,
+        // then mirrors the cohort (making its offsets readable).
+        self.groups[partition].wait_durable(offset + 1, || self.flush_partition(partition))?;
+        Ok(offset)
+    }
+
+    /// The barrier-free path (`group_commit_window: None`): every
+    /// record pays its own segment write before becoming readable.
+    fn append_unbatched(
+        &self,
+        partition: usize,
+        producer: u64,
+        seq: u64,
+        payload: T,
+    ) -> OmResult<u64> {
+        let mut files = self.parts[partition].lock();
+        let mut stage = self.stages[partition].lock();
         if let Some(offset) = self.mem.duplicate_of(partition, producer, seq)? {
             self.duplicates.fetch_add(1, Ordering::Relaxed);
             return Ok(offset);
         }
-        let body = self.codec.encode(&payload)?;
+        let frame = self.encode_frame(producer, seq, &payload)?;
+        let pos = stage.seg_len;
+        let written = files
+            .log
+            .write_all(&frame)
+            .and_then(|()| files.idx.write_all(&pos.to_le_bytes()));
+        if let Err(e) = written {
+            self.wedged.store(true, Ordering::Relaxed);
+            return Err(io_err(&self.dir, e));
+        }
+        stage.seg_len += frame.len() as u64;
+        self.appended_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let offset = self.mem.append_raw(partition, producer, seq, payload)?;
+        stage.next_offset = self.mem.end_offset(partition);
+        if stage.seg_len >= self.options.segment_bytes {
+            self.roll_segment(partition, &mut files, &mut stage)?;
+        }
+        Ok(offset)
+    }
+
+    /// `(producer ++ seq ++ codec bytes)` as one CRC frame.
+    fn encode_frame(&self, producer: u64, seq: u64, payload: &T) -> OmResult<Vec<u8>> {
+        let body = self.codec.encode(payload)?;
         let mut record = Vec::with_capacity(16 + body.len());
         record.extend_from_slice(&producer.to_le_bytes());
         record.extend_from_slice(&seq.to_le_bytes());
         record.extend_from_slice(&body);
         let mut frame = Vec::new();
         push_frame(&mut frame, &record);
-        let pos = files.seg_len;
-        files
-            .log
-            .write_all(&frame)
-            .and_then(|()| files.log.flush())
-            .map_err(|e| io_err(&self.dir, e))?;
-        files
-            .idx
-            .write_all(&pos.to_le_bytes())
-            .and_then(|()| files.idx.flush())
-            .map_err(|e| io_err(&self.dir, e))?;
-        files.seg_len += frame.len() as u64;
-        self.appended_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
-        let offset = self.mem.append_raw(partition, producer, seq, payload)?;
-        if files.seg_len >= self.options.segment_bytes {
-            self.roll_segment(partition, &mut files)?;
-        }
-        Ok(offset)
+        Ok(frame)
     }
 
-    /// Starts a fresh segment pair named after the next offset.
-    fn roll_segment(&self, partition: usize, files: &mut PartFiles) -> OmResult<()> {
+    /// Cohort-leader duty of the group-flush path: swap the staged
+    /// bytes out (staging stays open — appenders keep building the
+    /// next cohort), write them as ONE `write_all` per file, then
+    /// mirror the covered records into memory in append order (making
+    /// their offsets readable) and roll the segment if due. Returns the
+    /// barrier ticket covered (`end_offset` after the mirror — tickets
+    /// are `offset + 1`).
+    fn flush_partition(&self, partition: usize) -> OmResult<u64> {
+        if self.wedged.load(Ordering::Relaxed) {
+            return Err(OmError::Internal(format!(
+                "persistent topic {:?}: a previous segment write failed; the log is wedged",
+                self.dir
+            )));
+        }
+        let mut files = self.parts[partition].lock();
+        // Swap bytes out but LEAVE the staged records in place: a
+        // racing retransmission must still find them for dedup while
+        // their bytes are in flight. `covered` marks how many staged
+        // records these bytes complete.
+        let (bytes, idx_bytes, covered) = {
+            let mut stage = self.stages[partition].lock();
+            (
+                std::mem::take(&mut stage.buf),
+                std::mem::take(&mut stage.idx_buf),
+                stage.staged.len(),
+            )
+        };
+        if !bytes.is_empty() {
+            let written = files
+                .log
+                .write_all(&bytes)
+                .and_then(|()| files.idx.write_all(&idx_bytes));
+            if let Err(e) = written {
+                // The staged prefix can never be mirrored now; refuse
+                // everything from here on rather than acknowledge
+                // records a torn-tail replay would drop.
+                self.wedged.store(true, Ordering::Relaxed);
+                return Err(io_err(&self.dir, e));
+            }
+        }
+        let mut stage = self.stages[partition].lock();
+        for (producer, seq, payload) in stage.staged.drain(..covered) {
+            if let Err(e) = self.mem.append_raw(partition, producer, seq, payload) {
+                // Dropping the drain would discard the unmirrored tail
+                // whose bytes are already durable; without the wedge,
+                // waiters would re-elect leaders forever over a flush
+                // that can no longer make progress.
+                self.wedged.store(true, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        if stage.seg_len >= self.options.segment_bytes {
+            // Records staged during the write above belong to the old
+            // segment too: drain them under both locks (appends block
+            // briefly — rolls are rare) so the roll happens now instead
+            // of starving behind sustained traffic.
+            if !stage.buf.is_empty() {
+                let bytes = std::mem::take(&mut stage.buf);
+                let idx_bytes = std::mem::take(&mut stage.idx_buf);
+                let residual = files
+                    .log
+                    .write_all(&bytes)
+                    .and_then(|()| files.idx.write_all(&idx_bytes));
+                if let Err(e) = residual {
+                    self.wedged.store(true, Ordering::Relaxed);
+                    return Err(io_err(&self.dir, e));
+                }
+                for (producer, seq, payload) in stage.staged.drain(..) {
+                    if let Err(e) = self.mem.append_raw(partition, producer, seq, payload) {
+                        self.wedged.store(true, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+            }
+            self.roll_segment(partition, &mut files, &mut stage)?;
+        }
+        Ok(self.mem.end_offset(partition))
+    }
+
+    /// Group-flush statistics summed over all partitions (zero without
+    /// a group window): `(flushes, records_released, max_cohort)`.
+    pub fn group_flush_stats(&self) -> (u64, u64, u64) {
+        let mut flushes = 0;
+        let mut released = 0;
+        let mut max_cohort = 0u64;
+        for g in &self.groups {
+            let s = g.stats();
+            flushes += s.flushes;
+            released += s.released;
+            max_cohort = max_cohort.max(s.max_cohort);
+        }
+        (flushes, released, max_cohort)
+    }
+
+    /// Starts a fresh segment pair named after the next offset. Callers
+    /// hold both partition locks with every staged byte already written
+    /// to the old segment, so the name is exact.
+    fn roll_segment(
+        &self,
+        partition: usize,
+        files: &mut PartFiles,
+        stage: &mut PartStage<T>,
+    ) -> OmResult<()> {
+        debug_assert!(stage.buf.is_empty(), "roll with staged bytes would split a segment");
         let base = self.mem.end_offset(partition);
         let log_path = self.part_dir(partition).join(format!("seg-{base}.log"));
         let idx_path = log_path.with_extension("idx");
@@ -393,10 +636,10 @@ impl<T: Clone + Send> PersistentTopic<T> {
             .append(true)
             .open(&idx_path)
             .map_err(|e| io_err(&idx_path, e))?;
-        files.log = BufWriter::new(log);
-        files.idx = BufWriter::new(idx);
+        files.log = log;
+        files.idx = idx;
         files.seg_base = base;
-        files.seg_len = 0;
+        stage.seg_len = 0;
         self.segments_rolled.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -479,6 +722,10 @@ impl<T: Clone + Send> PersistentTopic<T> {
             self.segments_rolled.load(Ordering::Relaxed),
         );
         out.insert("log.duplicates".into(), self.duplicates.load(Ordering::Relaxed));
+        let (flushes, released, max_cohort) = self.group_flush_stats();
+        out.insert("log.group_flushes".into(), flushes);
+        out.insert("log.group_records".into(), released);
+        out.insert("log.max_flush_cohort".into(), max_cohort);
         out
     }
 }
@@ -634,7 +881,7 @@ mod tests {
             "t",
             1,
             Arc::new(SerdeCodec),
-            PersistentTopicOptions { segment_bytes: 64 },
+            PersistentTopicOptions { segment_bytes: 64, ..Default::default() },
         )
         .unwrap();
         for i in 0..20u64 {
@@ -661,7 +908,7 @@ mod tests {
                 "t",
                 2,
                 Arc::new(SerdeCodec),
-                PersistentTopicOptions { segment_bytes: 48 },
+                PersistentTopicOptions { segment_bytes: 48, ..Default::default() },
             )
             .unwrap();
             for i in 0..30u64 {
@@ -686,6 +933,52 @@ mod tests {
         assert_eq!(err.label(), "rejected");
         let err = PersistentTopic::<u64>::open_serde(&dir, "other", 2).unwrap_err();
         assert_eq!(err.label(), "rejected");
+    }
+
+    #[test]
+    fn group_flush_batches_appends_and_survives_reopen() {
+        let dir = scratch("group");
+        let _guard = DirGuard(dir.clone());
+        let opts = PersistentTopicOptions {
+            group_commit_window: Some(Duration::ZERO),
+            ..PersistentTopicOptions::default()
+        };
+        {
+            let t: Arc<PersistentTopic<u64>> =
+                Arc::new(PersistentTopic::open_with(&dir, "t", 1, Arc::new(SerdeCodec), opts).unwrap());
+            const WRITERS: u64 = 4;
+            const RECORDS: u64 = 25;
+            let mut handles = Vec::new();
+            for w in 0..WRITERS {
+                let t = t.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..RECORDS {
+                        t.append_raw(0, w + 1, i + 1, w * 1000 + i).unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(EventLog::len(&*t), (WRITERS * RECORDS) as usize);
+            let (flushes, released, _) = t.group_flush_stats();
+            assert_eq!(released, WRITERS * RECORDS, "every append released");
+            assert!(flushes <= released, "never more flushes than appends");
+            // Offsets are dense and every record readable once acked.
+            let read = t.read_from(0, 0, 1000);
+            assert_eq!(read.len(), (WRITERS * RECORDS) as usize);
+            assert!(read.iter().enumerate().all(|(i, e)| e.offset == i as u64));
+            // A retransmission resolves to the original offset and
+            // never grows the log.
+            let off = t.append_raw(0, 1, 1, 0).unwrap();
+            assert!(off < WRITERS * RECORDS);
+            assert_eq!(EventLog::len(&*t), (WRITERS * RECORDS) as usize);
+        }
+        // Cold reopen recovers everything the group path flushed.
+        let t: PersistentTopic<u64> =
+            PersistentTopic::open_with(&dir, "t", 1, Arc::new(SerdeCodec), opts).unwrap();
+        assert_eq!(EventLog::len(&t), 100);
+        assert_eq!(t.counters()["log.recovered_records"], 100);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! dashboard and snapshot collection.
 
 use om_actor::{Cluster, FaultConfig};
-use om_common::config::BackendKind;
+use om_common::config::{BackendKind, DurableOptions};
 use om_common::entity::{Customer, Product, Seller, SellerDashboard};
 use om_common::ids::*;
 use om_common::stats::CounterSet;
@@ -34,6 +34,10 @@ pub struct ActorPlatformConfig {
     /// file-durable backend (which opens `<data_dir>/state` and keeps it
     /// on drop — the cold-restart seam). Memory-only backends ignore it.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Write-path tuning of the file-durable backend (fsync policy,
+    /// group-commit window, snapshot mode). Memory-only backends ignore
+    /// it.
+    pub durable: DurableOptions,
 }
 
 impl std::fmt::Debug for ActorPlatformConfig {
@@ -46,6 +50,7 @@ impl std::fmt::Debug for ActorPlatformConfig {
             .field("backend", &self.backend)
             .field("shared_backend_instance", &self.backend_instance.is_some())
             .field("data_dir", &self.data_dir)
+            .field("durable", &self.durable)
             .finish()
     }
 }
@@ -60,6 +65,7 @@ impl Default for ActorPlatformConfig {
             backend: BackendKind::Eventual,
             backend_instance: None,
             data_dir: None,
+            durable: DurableOptions::default(),
         }
     }
 }
@@ -81,10 +87,11 @@ impl ActorPlatformConfig {
                 );
                 backend.clone()
             }
-            None => om_storage::make_backend_at(
+            None => om_storage::make_backend_with(
                 self.backend,
                 om_actor::storage::GRAIN_STORAGE_SHARDS,
                 self.data_dir.as_ref().map(|d| d.join("state")).as_deref(),
+                &self.durable,
             )
             .expect("open the durable state backend"),
         }

@@ -271,11 +271,24 @@ pub fn persistent_ingress(
     dir: impl AsRef<std::path::Path>,
     partitions: usize,
 ) -> OmResult<Arc<om_log::PersistentTopic<(Address, DfMsg)>>> {
-    Ok(Arc::new(om_log::PersistentTopic::open(
+    persistent_ingress_with(dir, partitions, om_log::PersistentTopicOptions::default())
+}
+
+/// [`persistent_ingress`] with explicit topic options — how the factory
+/// threads the spec's group-flush window down to the ingress log, so
+/// durable matrix cells batch the per-record segment flush the same way
+/// the state WAL batches fsyncs.
+pub fn persistent_ingress_with(
+    dir: impl AsRef<std::path::Path>,
+    partitions: usize,
+    options: om_log::PersistentTopicOptions,
+) -> OmResult<Arc<om_log::PersistentTopic<(Address, DfMsg)>>> {
+    Ok(Arc::new(om_log::PersistentTopic::open_with(
         dir,
         "ingress",
         partitions,
         Arc::new(DfRecordCodec),
+        options,
     )?))
 }
 
@@ -1428,6 +1441,12 @@ impl MarketplacePlatform for DataflowPlatform {
             "df.checkpoint_commits".into(),
             self.df.checkpoint_store().commits(),
         );
+        // Storage-layer counters of the checkpoint store's backend
+        // (group-commit amortization, snapshot deltas), prefixed the
+        // same way the actor bindings prefix theirs.
+        for (k, v) in self.df.checkpoint_store().backend_counters() {
+            out.insert(format!("storage.{k}"), v);
+        }
         out
     }
 

@@ -20,7 +20,7 @@ use crate::bindings::customized::CustomizedConfig;
 use crate::bindings::dataflow::DataflowPlatformConfig;
 use crate::{CustomizedPlatform, DataflowPlatform, EventualPlatform, TransactionalPlatform};
 use om_actor::FaultConfig;
-use om_common::config::BackendKind;
+use om_common::config::{BackendKind, DurableOptions};
 use om_dataflow::BackendCheckpointStore;
 use om_storage::StateBackend;
 use std::sync::Arc;
@@ -57,6 +57,11 @@ pub struct PlatformSpec {
     /// no shared in-memory handles. Memory-only backends ignore the
     /// state half; the ingress half applies whenever it is set.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Write-path tuning of the durable pieces: the file backend's
+    /// fsync policy, group-commit window, snapshot mode and compaction
+    /// thresholds, and the persistent ingress log's group-flush window.
+    /// Memory-only cells ignore it.
+    pub durable: DurableOptions,
 }
 
 impl std::fmt::Debug for PlatformSpec {
@@ -71,6 +76,7 @@ impl std::fmt::Debug for PlatformSpec {
             .field("durable_checkpoints", &self.durable_checkpoints)
             .field("shared_backend_instance", &self.backend_instance.is_some())
             .field("data_dir", &self.data_dir)
+            .field("durable", &self.durable)
             .finish()
     }
 }
@@ -89,6 +95,7 @@ impl PlatformSpec {
             durable_checkpoints: true,
             backend_instance: None,
             data_dir: None,
+            durable: DurableOptions::default(),
         }
     }
 
@@ -137,6 +144,13 @@ impl PlatformSpec {
         self
     }
 
+    /// Selects the durable write path (fsync, group-commit window,
+    /// snapshot mode) for the file-backed pieces of this cell.
+    pub fn durable_options(mut self, durable: DurableOptions) -> Self {
+        self.durable = durable;
+        self
+    }
+
     /// The backend instance this spec's platform will persist through:
     /// the shared instance if one was injected, else a fresh backend of
     /// the spec's kind (one decision, shared with the actor bindings via
@@ -155,6 +169,7 @@ impl PlatformSpec {
             backend: self.backend,
             backend_instance: self.backend_instance.clone(),
             data_dir: self.data_dir.clone(),
+            durable: self.durable,
         }
     }
 
@@ -190,9 +205,16 @@ pub fn build_platform(spec: &PlatformSpec) -> Box<dyn MarketplacePlatform> {
             // disk instead of needing a shared topic handle.
             ingress: match &spec.data_dir {
                 Some(dir) => Some(
-                    crate::bindings::dataflow::persistent_ingress(
+                    crate::bindings::dataflow::persistent_ingress_with(
                         dir.join("ingress"),
                         spec.parallelism.max(1),
+                        om_log::PersistentTopicOptions {
+                            group_commit_window: spec
+                                .durable
+                                .group_commit_window_us
+                                .map(std::time::Duration::from_micros),
+                            ..Default::default()
+                        },
                     )
                     .expect("open the persistent ingress topic"),
                 ),

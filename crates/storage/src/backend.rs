@@ -211,19 +211,35 @@ pub fn make_backend_at(
     shards: usize,
     data_dir: Option<&std::path::Path>,
 ) -> OmResult<Arc<dyn StateBackend>> {
+    make_backend_with(
+        kind,
+        shards,
+        data_dir,
+        &om_common::config::DurableOptions::default(),
+    )
+}
+
+/// [`make_backend_at`] with explicit
+/// [`DurableOptions`](om_common::config::DurableOptions) — the full
+/// config-driven seam: `RunConfig::durable` / `PlatformSpec::durable`
+/// select the file backend's fsync policy, group-commit window and
+/// snapshot mode here. The memory-only backends ignore `durable`.
+pub fn make_backend_with(
+    kind: BackendKind,
+    shards: usize,
+    data_dir: Option<&std::path::Path>,
+    durable: &om_common::config::DurableOptions,
+) -> OmResult<Arc<dyn StateBackend>> {
     Ok(match kind {
         BackendKind::Eventual => Arc::new(crate::eventual::EventualBackend::new(shards)),
         BackendKind::SnapshotIsolation => Arc::new(crate::snapshot::SnapshotBackend::new(shards)),
-        BackendKind::FileDurable => match data_dir {
-            Some(dir) => Arc::new(crate::file::FileBackend::open(
-                dir,
-                crate::file::FileBackendOptions {
-                    shards,
-                    ..Default::default()
-                },
-            )?),
-            None => Arc::new(crate::file::FileBackend::scratch(shards)?),
-        },
+        BackendKind::FileDurable => {
+            let options = crate::file::FileBackendOptions::from_durable(shards, durable);
+            match data_dir {
+                Some(dir) => Arc::new(crate::file::FileBackend::open(dir, options)?),
+                None => Arc::new(crate::file::FileBackend::scratch_with(options)?),
+            }
+        }
     })
 }
 

@@ -1,29 +1,43 @@
 //! The file-backed durable backend: a sharded write-ahead-log +
-//! periodic-snapshot store whose state survives a full process crash.
+//! snapshot store whose state survives a full process crash.
 //!
 //! This is the only [`StateBackend`] whose contents outlive the process:
 //! every commit — single-key writes included — is appended to an
 //! append-only WAL segment as **one framed, checksummed batch** before it
 //! becomes visible, so recovery can never observe half of a multi-key
-//! commit. Periodically the full live state is written as a snapshot file
-//! (via atomic rename) and fully-covered WAL segments are pruned.
+//! commit. The write path is built around **group commit**
+//! ([`crate::group_commit`]): committers stage their frame under the
+//! appender lock and park on a commit barrier; a single cohort leader
+//! performs ONE flush (+`fsync` under
+//! [`FileBackendOptions::sync_commits`]) for everyone staged, so N
+//! concurrent committers share one sync instead of paying N.
+//!
+//! Snapshots bound WAL replay. In [`SnapshotMode::Full`] each snapshot
+//! rewrites the whole state; in [`SnapshotMode::Incremental`] (the
+//! default) only the keys dirtied since the previous snapshot are
+//! written as a `delta-<seq>` file chained from the last full base, and
+//! compaction folds a long or heavy chain back into a base — snapshot
+//! cost scales with churn, not state size.
 //!
 //! On-disk layout under the store's directory (formats are specified
 //! byte-for-byte in `docs/DURABILITY.md`):
 //!
 //! ```text
-//! <dir>/wal/wal-<first_seq>.log   append-only framed commit batches
-//! <dir>/snap/snap-<seq>.snap      full state as of commit <seq>
+//! <dir>/wal/wal-<first_seq>.log     append-only framed commit batches
+//! <dir>/snap/snap-<seq>.snap       full state as of commit <seq>
+//! <dir>/snap/delta-<seq>.delta     keys dirtied since the previous
+//!                                  snapshot file, chained on the base
 //! ```
 //!
 //! Recovery ([`FileBackend::open`] over an existing directory) loads the
-//! newest snapshot, replays every WAL frame with a higher commit
-//! sequence, and **truncates a torn tail**: the first frame of the last
-//! segment that fails its length or CRC check marks the point where the
-//! previous process died mid-append — everything from there on is
-//! discarded, landing the store exactly on the last fully-committed
-//! batch. A torn frame in any non-final segment is real corruption and
-//! refuses to open.
+//! newest base snapshot, applies the deltas chained above it in order,
+//! replays every WAL frame with a higher commit sequence, and
+//! **truncates a torn tail**: the first frame of the last segment that
+//! fails its length or CRC check marks the point where the previous
+//! process died mid-append — everything from there on is discarded,
+//! landing the store exactly on the last fully-committed batch. A torn
+//! frame in any non-final segment is real corruption and refuses to
+//! open.
 //!
 //! ```
 //! use om_storage::{FileBackend, FileBackendOptions, StateBackend, WriteBatch};
@@ -42,35 +56,52 @@
 //! ```
 
 use crate::backend::{shard_of, StateBackend, StateSession, WriteBatch, WriteOp};
+use crate::group_commit::{ChainState, CommitGroup, SegmentFile, StagedBatch, StagedWal};
 use crate::shards_pow2;
 use om_common::checksum::{parse_frame, push_frame};
-use om_common::config::BackendKind;
+use om_common::config::{BackendKind, DurableOptions, SnapshotMode};
 use om_common::{OmError, OmResult};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Tuning knobs of a [`FileBackend`].
 #[derive(Debug, Clone, Copy)]
 pub struct FileBackendOptions {
     /// In-memory shard (lock-domain) count, rounded up to a power of two.
     pub shards: usize,
-    /// Commits between full-state snapshots (`0` = never snapshot; the
-    /// WAL then grows unboundedly — useful only for tests that inspect
-    /// the raw log).
+    /// Commits between snapshots (`0` = never snapshot; the WAL then
+    /// grows unboundedly — useful only for tests that inspect the raw
+    /// log).
     pub snapshot_every: u64,
     /// WAL segment roll threshold in bytes: an append that leaves the
     /// current segment beyond this size starts a new one.
     pub segment_bytes: u64,
-    /// `fsync` every commit. Off by default: a commit is pushed to the
-    /// operating system before it is acknowledged, which survives a
-    /// **process** crash (the durability this store claims); syncing
-    /// additionally survives kernel/power failure at a large latency
-    /// cost.
+    /// `fsync` every commit cohort before acknowledging it. Off by
+    /// default: a commit is pushed to the operating system before it is
+    /// acknowledged, which survives a **process** crash (the durability
+    /// this store claims); syncing additionally survives kernel/power
+    /// failure at a latency cost that group commit amortizes.
     pub sync_commits: bool,
+    /// Group-commit window: `Some(w)` routes commits through the cohort
+    /// barrier (a leader waits up to `w` for the cohort to grow, then
+    /// performs one flush+fsync for all of it; `Duration::ZERO` flushes
+    /// as soon as leadership is acquired). `None` disables the barrier
+    /// entirely — every commit pays its own flush+fsync, serialized
+    /// (the PR 4 write path, kept as the bench baseline).
+    pub group_commit_window: Option<Duration>,
+    /// Full vs incremental snapshots.
+    pub snapshot_mode: SnapshotMode,
+    /// Incremental mode: fold the delta chain into a fresh base once it
+    /// holds this many deltas.
+    pub compact_max_deltas: u64,
+    /// Incremental mode: fold the chain once cumulative delta bytes
+    /// exceed this percentage of the base size.
+    pub compact_ratio_pct: u64,
 }
 
 impl Default for FileBackendOptions {
@@ -80,6 +111,27 @@ impl Default for FileBackendOptions {
             snapshot_every: 1_024,
             segment_bytes: 1 << 20,
             sync_commits: false,
+            group_commit_window: Some(Duration::ZERO),
+            snapshot_mode: SnapshotMode::Incremental,
+            compact_max_deltas: 16,
+            compact_ratio_pct: 100,
+        }
+    }
+}
+
+impl FileBackendOptions {
+    /// Maps the run-config level [`DurableOptions`] onto backend
+    /// options — the seam `RunConfig`/`PlatformSpec` select the write
+    /// path through.
+    pub fn from_durable(shards: usize, durable: &DurableOptions) -> Self {
+        Self {
+            shards,
+            sync_commits: durable.sync_commits,
+            group_commit_window: durable.group_commit_window_us.map(Duration::from_micros),
+            snapshot_mode: durable.snapshot_mode,
+            compact_max_deltas: durable.compact_max_deltas,
+            compact_ratio_pct: durable.compact_ratio_pct,
+            ..Self::default()
         }
     }
 }
@@ -87,6 +139,49 @@ impl Default for FileBackendOptions {
 // -- batch payload codec ----------------------------------------------------
 // (frames come from `om_common::checksum` — the encoding shared with
 // om-log's persistent topic)
+
+/// `tag ++ key_len ++ key [++ val_len ++ value]` — the op encoding
+/// shared by WAL batches and delta-snapshot entries.
+fn encode_op(out: &mut Vec<u8>, key: &[u8], value: Option<&[u8]>) {
+    match value {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(key);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        None => {
+            out.push(0);
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(key);
+        }
+    }
+}
+
+/// Decodes one op starting at `*at`, advancing the cursor.
+fn decode_op(payload: &[u8], at: &mut usize) -> Option<(Vec<u8>, Option<Vec<u8>>)> {
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        if payload.len() - *at < n {
+            return None;
+        }
+        let s = &payload[*at..*at + n];
+        *at += n;
+        Some(s)
+    };
+    let tag = take(at, 1)?[0];
+    let key_len = u32::from_le_bytes(take(at, 4)?.try_into().ok()?) as usize;
+    let key = take(at, key_len)?.to_vec();
+    let value = match tag {
+        1 => {
+            let val_len = u32::from_le_bytes(take(at, 4)?.try_into().ok()?) as usize;
+            Some(take(at, val_len)?.to_vec())
+        }
+        0 => None,
+        _ => return None,
+    };
+    Some((key, value))
+}
 
 fn encode_batch(seq: u64, ops: &[WriteOp]) -> Vec<u8> {
     let mut cap = 12;
@@ -97,49 +192,21 @@ fn encode_batch(seq: u64, ops: &[WriteOp]) -> Vec<u8> {
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
     for op in ops {
-        match &op.value {
-            Some(v) => {
-                out.push(1);
-                out.extend_from_slice(&(op.key.len() as u32).to_le_bytes());
-                out.extend_from_slice(&op.key);
-                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
-                out.extend_from_slice(v);
-            }
-            None => {
-                out.push(0);
-                out.extend_from_slice(&(op.key.len() as u32).to_le_bytes());
-                out.extend_from_slice(&op.key);
-            }
-        }
+        encode_op(&mut out, &op.key, op.value.as_deref());
     }
     out
 }
 
 fn decode_batch(payload: &[u8]) -> Option<(u64, Vec<WriteOp>)> {
-    let mut at = 0usize;
-    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
-        if payload.len() - *at < n {
-            return None;
-        }
-        let s = &payload[*at..*at + n];
-        *at += n;
-        Some(s)
-    };
-    let seq = u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
-    let n = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+    if payload.len() < 12 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().ok()?);
+    let n = u32::from_le_bytes(payload[8..12].try_into().ok()?) as usize;
+    let mut at = 12usize;
     let mut ops = Vec::with_capacity(n);
     for _ in 0..n {
-        let tag = take(&mut at, 1)?[0];
-        let key_len = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
-        let key = take(&mut at, key_len)?.to_vec();
-        let value = match tag {
-            1 => {
-                let val_len = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
-                Some(take(&mut at, val_len)?.to_vec())
-            }
-            0 => None,
-            _ => return None,
-        };
+        let (key, value) = decode_op(payload, &mut at)?;
         ops.push(WriteOp { key, value });
     }
     if at != payload.len() {
@@ -150,19 +217,18 @@ fn decode_batch(payload: &[u8]) -> Option<(u64, Vec<WriteOp>)> {
 
 // -- the backend ------------------------------------------------------------
 
-/// Magic payload of a snapshot file's header frame.
+/// Magic payload of a full base snapshot's header frame.
 const SNAP_MAGIC: &[u8; 8] = b"OMSNAP01";
+/// Magic payload of a delta snapshot's header frame.
+const DELTA_MAGIC: &[u8; 8] = b"OMDELT01";
 
-/// State behind the appender mutex: the open WAL segment and the commit
-/// sequencing/snapshot bookkeeping. Holding this lock is what serializes
-/// commits (and therefore WAL append order == commit order).
-struct Appender {
-    writer: BufWriter<File>,
-    seg_path: PathBuf,
-    seg_len: u64,
-    /// Next commit sequence number to assign.
-    next_seq: u64,
-    commits_since_snapshot: u64,
+/// One in-memory shard: the live map plus the keys dirtied since the
+/// last snapshot file (base or delta) — what the next incremental
+/// snapshot writes.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Vec<u8>, Vec<u8>>,
+    dirty: HashSet<Vec<u8>>,
 }
 
 /// The file-backed durable implementation of [`StateBackend`] — see the
@@ -171,12 +237,23 @@ pub struct FileBackend {
     dir: PathBuf,
     options: FileBackendOptions,
     /// Power-of-two in-memory mirror of the on-disk state (the read
-    /// path); rebuilt from snapshot + WAL on open.
-    shards: Vec<RwLock<HashMap<Vec<u8>, Vec<u8>>>>,
+    /// path); rebuilt from snapshots + WAL on open.
+    shards: Vec<RwLock<Shard>>,
     mask: u64,
-    /// Serializes WAL appends and snapshot writes.
-    appender: Mutex<Appender>,
-    /// Multi-key visibility gate: commits apply to the shard array under
+    /// The cheap staging half of the write path (see
+    /// [`crate::group_commit`]). Held for microseconds per commit.
+    appender: Mutex<StagedWal>,
+    /// The expensive durable half: open segment + snapshot chain. Held
+    /// by cohort leaders (or by every commit when group commit is off).
+    /// Lock order: flusher before appender, never the reverse.
+    flusher: Mutex<SegmentFile>,
+    /// The commit barrier cohort leaders are elected through.
+    group: CommitGroup,
+    /// Set when a WAL write/sync failed after staging was drained: the
+    /// store can no longer tell what is durable, so every further
+    /// commit fails fast instead of silently acknowledging lost data.
+    wedged: AtomicBool,
+    /// Multi-key visibility gate: batches apply to the shard array under
     /// the write side, multi-key reads take the read side — so live
     /// readers never observe a torn batch either (the on-disk guarantee,
     /// mirrored in memory).
@@ -191,6 +268,9 @@ pub struct FileBackend {
     commits: AtomicU64,
     wal_bytes: AtomicU64,
     snapshots: AtomicU64,
+    deltas_written: AtomicU64,
+    snapshot_delta_bytes: AtomicU64,
+    compactions: AtomicU64,
     segments_rolled: AtomicU64,
     recovered_commits: AtomicU64,
     torn_tail_bytes: AtomicU64,
@@ -199,9 +279,9 @@ pub struct FileBackend {
 
 impl FileBackend {
     /// Opens (or initialises) a durable store in `dir`, recovering any
-    /// state a previous process left there: newest snapshot + WAL
-    /// replay + torn-tail truncation. The directory is created if absent
-    /// and is **kept** on drop.
+    /// state a previous process left there: newest base snapshot +
+    /// delta chain + WAL replay + torn-tail truncation. The directory
+    /// is created if absent and is **kept** on drop.
     pub fn open(dir: impl AsRef<Path>, options: FileBackendOptions) -> OmResult<Self> {
         Self::build(dir.as_ref().to_path_buf(), options, false)
     }
@@ -211,6 +291,15 @@ impl FileBackend {
     /// [`make_backend`](crate::make_backend) uses when no `data_dir` is
     /// configured, so matrix sweeps never leak files.
     pub fn scratch(shards: usize) -> OmResult<Self> {
+        Self::scratch_with(FileBackendOptions {
+            shards,
+            ..FileBackendOptions::default()
+        })
+    }
+
+    /// [`scratch`](Self::scratch) with explicit options (bench sweeps
+    /// select sync/window/snapshot-mode per cell).
+    pub fn scratch_with(options: FileBackendOptions) -> OmResult<Self> {
         static SCRATCH: AtomicU64 = AtomicU64::new(0);
         let nonce = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
@@ -222,10 +311,6 @@ impl FileBackend {
             nonce,
             SCRATCH.fetch_add(1, Ordering::Relaxed),
         ));
-        let options = FileBackendOptions {
-            shards,
-            ..FileBackendOptions::default()
-        };
         Self::build(dir, options, true)
     }
 
@@ -236,9 +321,9 @@ impl FileBackend {
         fs::create_dir_all(dir.join("wal")).map_err(|e| io(&dir, e))?;
         fs::create_dir_all(dir.join("snap")).map_err(|e| io(&dir, e))?;
         let lock = om_common::dirlock::lock_dir(&dir)?;
-        // Bootstrap appender (replaced by `recover` once it has decided
-        // which segment to continue appending to; the scratch file is
-        // removed there).
+        // Bootstrap segment handle (replaced by `recover` once it has
+        // decided which segment to continue appending to; the scratch
+        // file is removed there).
         let bootstrap = dir.join("wal").join(".bootstrap");
         let file = OpenOptions::new()
             .create(true)
@@ -247,15 +332,24 @@ impl FileBackend {
             .map_err(|e| io(&dir, e))?;
         let shard_count = shards_pow2(options.shards);
         let mut backend = Self {
-            shards: (0..shard_count).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shard_count).map(|_| RwLock::new(Shard::default())).collect(),
             mask: shard_count as u64 - 1,
-            appender: Mutex::new(Appender {
-                writer: BufWriter::new(file),
-                seg_path: bootstrap,
-                seg_len: 0,
+            appender: Mutex::new(StagedWal {
+                buf: Vec::new(),
+                pending: Vec::new(),
                 next_seq: 1,
+                seg_len: 0,
                 commits_since_snapshot: 0,
             }),
+            flusher: Mutex::new(SegmentFile {
+                file,
+                path: bootstrap,
+                chain: ChainState::default(),
+            }),
+            group: CommitGroup::new(
+                options.group_commit_window.unwrap_or(Duration::ZERO),
+            ),
+            wedged: AtomicBool::new(false),
             multi: RwLock::new(()),
             _lock: lock,
             owns_dir,
@@ -264,6 +358,9 @@ impl FileBackend {
             commits: AtomicU64::new(0),
             wal_bytes: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
+            deltas_written: AtomicU64::new(0),
+            snapshot_delta_bytes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
             segments_rolled: AtomicU64::new(0),
             recovered_commits: AtomicU64::new(0),
             torn_tail_bytes: AtomicU64::new(0),
@@ -278,7 +375,7 @@ impl FileBackend {
         &self.dir
     }
 
-    fn shard(&self, key: &[u8]) -> &RwLock<HashMap<Vec<u8>, Vec<u8>>> {
+    fn shard(&self, key: &[u8]) -> &RwLock<Shard> {
         &self.shards[shard_of(key, self.mask)]
     }
 
@@ -312,50 +409,73 @@ impl FileBackend {
         Ok(out)
     }
 
-    /// Loads the newest snapshot (if any) into the shard array and
-    /// returns its commit sequence.
-    fn load_snapshot(&mut self) -> OmResult<u64> {
-        let snaps = self.sorted_files("snap", "snap-", ".snap")?;
-        let Some((seq, path)) = snaps.last() else {
-            return Ok(0);
+    /// Loads the newest base snapshot plus the deltas chained above it
+    /// into the shard array; returns the last covered commit sequence
+    /// and records the chain state on the flusher.
+    fn load_snapshot_chain(&mut self) -> OmResult<u64> {
+        let bases = self.sorted_files("snap", "snap-", ".snap")?;
+        let deltas = self.sorted_files("snap", "delta-", ".delta")?;
+        let mask = self.mask;
+        let (base_seq, base_bytes) = match bases.last() {
+            Some((seq, path)) => {
+                let size = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                let shards = &mut self.shards;
+                load_snapshot_file(&self.dir, path, SNAP_MAGIC, *seq, |payload| {
+                    let (key, value) = decode_snapshot_entry(payload)?;
+                    let slot = shard_of(&key, mask);
+                    shards[slot].get_mut().map.insert(key, value);
+                    Some(())
+                })?;
+                (*seq, size)
+            }
+            None => (0, 0),
         };
-        let bytes = fs::read(path).map_err(|e| self.io_err(e))?;
-        let corrupt = || {
-            OmError::Internal(format!(
-                "file backend {:?}: snapshot {path:?} is corrupt",
-                self.dir
-            ))
+        let mut covered = base_seq;
+        let mut chain = ChainState {
+            base_seq,
+            base_bytes,
+            deltas: 0,
+            delta_bytes: 0,
         };
-        let mut at = 0usize;
-        let (header, next) = parse_frame(&bytes, at).map_err(|_| corrupt())?.ok_or_else(corrupt)?;
-        at = next;
-        if header.len() != 8 + 8 + 8 || &header[..8] != SNAP_MAGIC {
-            return Err(corrupt());
+        for (seq, path) in &deltas {
+            if *seq <= base_seq {
+                // Superseded by the base; leftover of a crash between
+                // rename and prune.
+                let _ = fs::remove_file(path);
+                continue;
+            }
+            let size = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            let shards = &mut self.shards;
+            load_snapshot_file(&self.dir, path, DELTA_MAGIC, *seq, |payload| {
+                let mut at = 0usize;
+                let (key, value) = decode_op(payload, &mut at)?;
+                if at != payload.len() {
+                    return None;
+                }
+                let slot = shard_of(&key, mask);
+                match value {
+                    Some(v) => {
+                        shards[slot].get_mut().map.insert(key, v);
+                    }
+                    None => {
+                        shards[slot].get_mut().map.remove(&key);
+                    }
+                }
+                Some(())
+            })?;
+            chain.chain_delta(*seq, size);
+            covered = *seq;
         }
-        let snap_seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
-        let n_entries = u64::from_le_bytes(header[16..24].try_into().unwrap());
-        if snap_seq != *seq {
-            return Err(corrupt());
-        }
-        let mut loaded = 0u64;
-        while let Some((payload, next)) = parse_frame(&bytes, at).map_err(|_| corrupt())? {
-            at = next;
-            let (key, value) = decode_snapshot_entry(payload).ok_or_else(corrupt)?;
-            let slot = shard_of(&key, self.mask);
-            self.shards[slot].get_mut().insert(key, value);
-            loaded += 1;
-        }
-        if loaded != n_entries {
-            return Err(corrupt());
-        }
-        Ok(snap_seq)
+        self.flusher.get_mut().chain = chain;
+        Ok(covered)
     }
 
-    /// Replays WAL segments past `snap_seq`, truncating a torn tail of
-    /// the final segment, and leaves the appender positioned after the
-    /// last valid frame.
+    /// Replays WAL segments past the snapshot chain, truncating a torn
+    /// tail of the final segment, and leaves the appender positioned
+    /// after the last valid frame. Replayed keys are marked dirty (they
+    /// changed since the last snapshot file).
     fn recover(&mut self) -> OmResult<()> {
-        let snap_seq = self.load_snapshot()?;
+        let snap_seq = self.load_snapshot_chain()?;
         let mut last_seq = snap_seq;
         let segments = self.sorted_files("wal", "wal-", ".log")?;
         let mut recovered = 0u64;
@@ -376,14 +496,17 @@ impl FileBackend {
                             )));
                         };
                         if seq > last_seq {
-                            for op in &ops {
-                                let mut shard = self.shard(&op.key).write();
-                                match &op.value {
+                            for op in ops {
+                                let slot = shard_of(&op.key, self.mask);
+                                let shard = self.shards[slot].get_mut();
+                                match op.value {
                                     Some(v) => {
-                                        shard.insert(op.key.clone(), v.clone());
+                                        shard.dirty.insert(op.key.clone());
+                                        shard.map.insert(op.key, v);
                                     }
                                     None => {
-                                        shard.remove(&op.key);
+                                        shard.map.remove(&op.key);
+                                        shard.dirty.insert(op.key);
                                     }
                                 }
                             }
@@ -432,110 +555,369 @@ impl FileBackend {
             .append(true)
             .open(&seg_path)
             .map_err(|e| self.io_err(e))?;
-        *self.appender.get_mut() = Appender {
-            writer: BufWriter::new(file),
-            seg_path,
-            seg_len,
+        {
+            let fl = self.flusher.get_mut();
+            fl.file = file;
+            fl.path = seg_path;
+        }
+        if self.options.sync_commits {
+            // The tail segment may have just been created; its directory
+            // entry must be durable before fsynced commits land in it.
+            self.sync_dir("wal")?;
+        }
+        *self.appender.get_mut() = StagedWal {
+            buf: Vec::new(),
+            pending: Vec::new(),
             next_seq: last_seq + 1,
+            seg_len,
             commits_since_snapshot: 0,
         };
+        // Tickets resume above the recovered sequence numbers; without
+        // the floor the first flush would count the whole recovered
+        // history as one cohort and wreck commits_per_sync.
+        self.group.reset_floor(last_seq);
         let _ = fs::remove_file(self.dir.join("wal").join(".bootstrap"));
         Ok(())
     }
 
     // -- commit path -------------------------------------------------------
 
-    /// Appends the batch as one WAL frame (flushing to the OS), then
-    /// applies it to the in-memory shards under the visibility gate.
     fn commit_durable(&self, ops: &[WriteOp]) -> OmResult<usize> {
-        let mut appender = self.appender.lock();
-        let seq = appender.next_seq;
-        let mut frame = Vec::new();
-        push_frame(&mut frame, &encode_batch(seq, ops));
-        appender
-            .writer
-            .write_all(&frame)
-            .and_then(|()| appender.writer.flush())
-            .map_err(|e| self.io_err(e))?;
-        if self.options.sync_commits {
-            appender
-                .writer
-                .get_ref()
-                .sync_data()
-                .map_err(|e| self.io_err(e))?;
+        if self.wedged.load(Ordering::Relaxed) {
+            return Err(OmError::Internal(format!(
+                "file backend {:?}: a previous WAL write failed; the store is wedged",
+                self.dir
+            )));
         }
-        appender.next_seq = seq + 1;
-        appender.seg_len += frame.len() as u64;
-        appender.commits_since_snapshot += 1;
-        self.wal_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
-
-        {
-            // The batch is durable; make it visible atomically with
-            // respect to multi-key readers.
-            let _gate = self.multi.write();
-            for op in ops {
-                let mut shard = self.shard(&op.key).write();
-                match &op.value {
-                    Some(v) => {
-                        shard.insert(op.key.clone(), v.clone());
-                    }
-                    None => {
-                        shard.remove(&op.key);
-                    }
-                }
-            }
+        match self.options.group_commit_window {
+            Some(_) => self.commit_grouped(ops),
+            None => self.commit_inline(ops),
         }
-        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
 
-        // Post-commit maintenance. The batch above is already durable in
-        // the WAL and visible in memory, so a snapshot/roll failure must
-        // NOT be reported as a failed commit — it is counted and retried
-        // on a later commit (`commits_since_snapshot` keeps growing, and
-        // an unrolled segment just keeps receiving appends).
-        let snapshot_due = self.options.snapshot_every > 0
-            && appender.commits_since_snapshot >= self.options.snapshot_every;
-        let maintenance = if snapshot_due {
-            self.write_snapshot(&mut appender)
-        } else if appender.seg_len >= self.options.segment_bytes {
-            self.roll_segment(&mut appender)
-        } else {
-            Ok(())
+    /// The group-commit path: stage under the appender lock (cheap),
+    /// then park on the barrier until a cohort leader has made the
+    /// staged frame durable and applied it.
+    fn commit_grouped(&self, ops: &[WriteOp]) -> OmResult<usize> {
+        let ticket = {
+            let mut ap = self.appender.lock();
+            let seq = ap.next_seq;
+            let before = ap.buf.len();
+            let batch = encode_batch(seq, ops);
+            push_frame(&mut ap.buf, &batch);
+            let frame_len = (ap.buf.len() - before) as u64;
+            ap.next_seq = seq + 1;
+            ap.seg_len += frame_len;
+            ap.commits_since_snapshot += 1;
+            ap.pending.push((seq, ops.to_vec()));
+            self.wal_bytes.fetch_add(frame_len, Ordering::Relaxed);
+            seq
         };
-        if maintenance.is_err() {
-            self.maintenance_errors.fetch_add(1, Ordering::Relaxed);
-        }
+        self.group.wait_durable(ticket, || self.flush_cohort())?;
+        self.commits.fetch_add(1, Ordering::Relaxed);
         Ok(ops.len())
     }
 
+    /// Leader duty: swap the staged cohort out (appenders keep staging
+    /// into the next one), write+sync it as one unit, apply it in
+    /// sequence order, then run any due maintenance. Returns the
+    /// highest durable sequence.
+    fn flush_cohort(&self) -> OmResult<u64> {
+        // A prior leader's write failed: its cohort's staged batches are
+        // gone, so a fresh leader seeing an empty stage must not release
+        // those waiters as successful. Fail every re-elected leader.
+        if self.wedged.load(Ordering::Relaxed) {
+            return Err(OmError::Internal(format!(
+                "file backend {:?}: a previous WAL write failed; the store is wedged",
+                self.dir
+            )));
+        }
+        let mut fl = self.flusher.lock();
+        let (bytes, pending, mut upto) = self.appender.lock().take();
+        self.write_staged(&mut fl, &bytes, pending)?;
+        if let Some(drained) = self.run_maintenance(&mut fl) {
+            upto = upto.max(drained);
+        }
+        Ok(upto)
+    }
+
+    /// Writes `bytes` to the open segment (one `write_all`), fsyncs the
+    /// cohort when configured, and applies the staged batches in
+    /// sequence order under the visibility gate — durability strictly
+    /// before visibility. A write/sync failure wedges the store: the
+    /// staged batches are gone and acknowledging anything later would
+    /// reorder the WAL.
+    fn write_staged(
+        &self,
+        fl: &mut SegmentFile,
+        bytes: &[u8],
+        pending: Vec<StagedBatch>,
+    ) -> OmResult<()> {
+        if !bytes.is_empty() {
+            let written = fl
+                .file
+                .write_all(bytes)
+                .and_then(|()| {
+                    if self.options.sync_commits {
+                        fl.file.sync_data()
+                    } else {
+                        Ok(())
+                    }
+                });
+            if let Err(e) = written {
+                self.wedged.store(true, Ordering::Relaxed);
+                return Err(self.io_err(e));
+            }
+        }
+        if !pending.is_empty() {
+            let _gate = self.multi.write();
+            for (_, ops) in pending {
+                self.apply_owned(ops);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one durable batch to the shard array, marking the keys
+    /// dirty for the next incremental snapshot. Callers hold the
+    /// visibility gate.
+    fn apply_owned(&self, ops: Vec<WriteOp>) {
+        for op in ops {
+            let slot = shard_of(&op.key, self.mask);
+            let mut shard = self.shards[slot].write();
+            match op.value {
+                Some(v) => {
+                    shard.dirty.insert(op.key.clone());
+                    shard.map.insert(op.key, v);
+                }
+                None => {
+                    shard.map.remove(&op.key);
+                    shard.dirty.insert(op.key);
+                }
+            }
+        }
+    }
+
+    /// The barrier-free path (`group_commit_window: None`): the PR 4
+    /// behaviour — every commit writes, flushes and fsyncs its own
+    /// frame under the flusher lock, serialized.
+    fn commit_inline(&self, ops: &[WriteOp]) -> OmResult<usize> {
+        let mut fl = self.flusher.lock();
+        let frame = {
+            let mut ap = self.appender.lock();
+            let seq = ap.next_seq;
+            let mut frame = Vec::new();
+            push_frame(&mut frame, &encode_batch(seq, ops));
+            ap.next_seq = seq + 1;
+            ap.seg_len += frame.len() as u64;
+            ap.commits_since_snapshot += 1;
+            frame
+        };
+        self.wal_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.write_staged(&mut fl, &frame, Vec::new())?;
+        {
+            let _gate = self.multi.write();
+            self.apply_owned(ops.to_vec());
+        }
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.run_maintenance(&mut fl);
+        Ok(ops.len())
+    }
+
+    /// Post-commit maintenance (snapshot / segment roll), run by
+    /// whoever holds the flusher. The commit it follows is already
+    /// durable and visible, so a failure here must NOT be reported as a
+    /// failed commit — it is counted and retried on a later commit.
+    /// Returns the highest sequence drained by the maintenance pass, if
+    /// one ran.
+    fn run_maintenance(&self, fl: &mut SegmentFile) -> Option<u64> {
+        let due = {
+            let ap = self.appender.lock();
+            (self.options.snapshot_every > 0
+                && ap.commits_since_snapshot >= self.options.snapshot_every)
+                || ap.seg_len >= self.options.segment_bytes
+        };
+        if !due {
+            return None;
+        }
+        match self.maintain(fl) {
+            Ok(upto) => Some(upto),
+            Err(_) => {
+                self.maintenance_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Holding the flusher: re-drains the stage **under the appender
+    /// lock** (so the segment and shard state sit exactly on a commit
+    /// boundary and no append can interleave), then snapshots or rolls.
+    fn maintain(&self, fl: &mut SegmentFile) -> OmResult<u64> {
+        let mut ap = self.appender.lock();
+        let (bytes, pending, upto) = ap.take();
+        self.write_staged(fl, &bytes, pending)?;
+        let snapshot_due = self.options.snapshot_every > 0
+            && ap.commits_since_snapshot >= self.options.snapshot_every;
+        if snapshot_due {
+            self.write_snapshot_locked(fl, &mut ap)?;
+        } else if ap.seg_len >= self.options.segment_bytes {
+            self.roll_segment_locked(fl, &mut ap)?;
+        }
+        Ok(upto)
+    }
+
     /// Starts a new WAL segment named after the next commit sequence.
-    fn roll_segment(&self, appender: &mut Appender) -> OmResult<()> {
+    /// Callers hold both locks (or are in recovery), so every staged
+    /// byte has been written to the old segment and the name is exact.
+    fn roll_segment_locked(&self, fl: &mut SegmentFile, ap: &mut StagedWal) -> OmResult<()> {
+        debug_assert!(ap.buf.is_empty(), "roll with staged bytes would split a segment");
         let path = self
             .dir
             .join("wal")
-            .join(format!("wal-{}.log", appender.next_seq));
+            .join(format!("wal-{}.log", ap.next_seq));
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)
             .map_err(|e| self.io_err(e))?;
-        appender.writer = BufWriter::new(file);
-        appender.seg_path = path;
-        appender.seg_len = 0;
+        fl.file = file;
+        fl.path = path;
+        ap.seg_len = 0;
+        if self.options.sync_commits {
+            // Make the new segment's directory entry durable: fsyncing
+            // record data into a file whose entry power loss could
+            // erase would sync nothing.
+            self.sync_dir("wal")?;
+        }
         self.segments_rolled.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Writes the full live state as `snap-<seq>.snap` (tmp + atomic
-    /// rename), then prunes snapshots and WAL segments it supersedes and
-    /// rolls to a fresh segment. Runs under the appender lock, so no
-    /// commit can interleave with the state it captures.
-    fn write_snapshot(&self, appender: &mut Appender) -> OmResult<()> {
-        let seq = appender.next_seq - 1;
-        let mut out = Vec::new();
+    /// Writes a snapshot-family file via tmp + fsync + atomic rename +
+    /// directory fsync. The directory fsync is what orders the rename
+    /// against the WAL prune that follows it: without it, power loss
+    /// could undo the (metadata-only) rename while the unlinks survive,
+    /// leaving the pruned commits in neither the chain nor the WAL.
+    fn persist_snapshot_file(&self, tmp: &Path, fin: &Path, out: &[u8]) -> OmResult<u64> {
+        let mut f = File::create(tmp).map_err(|e| self.io_err(e))?;
+        f.write_all(out).map_err(|e| self.io_err(e))?;
+        f.sync_data().map_err(|e| self.io_err(e))?;
+        drop(f);
+        fs::rename(tmp, fin).map_err(|e| self.io_err(e))?;
+        self.sync_dir("snap")?;
+        Ok(out.len() as u64)
+    }
+
+    /// Fsyncs one of the store's subdirectories, making renames,
+    /// creations and unlinks inside it durable against power loss.
+    fn sync_dir(&self, sub: &str) -> OmResult<()> {
+        File::open(self.dir.join(sub))
+            .and_then(|d| d.sync_all())
+            .map_err(|e| self.io_err(e))
+    }
+
+    /// Prunes WAL segments fully covered by a snapshot at `seq` (a
+    /// segment named `wal-<first>` with a successor whose first
+    /// sequence is <= seq+1 holds only covered records).
+    fn prune_wal(&self, seq: u64) -> OmResult<()> {
+        let segments = self.sorted_files("wal", "wal-", ".log")?;
+        let mut pruned = false;
+        for window in segments.windows(2) {
+            let (_, ref path) = window[0];
+            let (next_first, _) = window[1];
+            if next_first <= seq + 1 {
+                let _ = fs::remove_file(path);
+                pruned = true;
+            }
+        }
+        if pruned {
+            self.sync_dir("wal")?;
+        }
+        Ok(())
+    }
+
+    /// Writes the due snapshot — a full base, or (incremental mode with
+    /// a live base and a young chain) a delta of the keys dirtied since
+    /// the last snapshot file — then prunes covered WAL segments and
+    /// rolls to a fresh one. Runs under both locks at a commit
+    /// boundary: every staged batch has been written and applied.
+    fn write_snapshot_locked(&self, fl: &mut SegmentFile, ap: &mut StagedWal) -> OmResult<()> {
+        let seq = ap.next_seq - 1;
+        // Keys drained out of the dirty sets for this snapshot attempt.
+        // They must go BACK on any failure path: losing them would make
+        // a later delta omit their changes while the WAL prune deletes
+        // the only durable copy — silent loss of acknowledged commits.
+        let mut drained: Vec<Vec<u8>> = Vec::new();
+        if self.options.snapshot_mode == SnapshotMode::Incremental && fl.chain.base_seq > 0 {
+            if seq == fl.chain.base_seq {
+                // Nothing committed since the base: nothing to write.
+                ap.commits_since_snapshot = 0;
+                return Ok(());
+            }
+            // Delta body: one frame per dirtied key — a put of its live
+            // value, or a tombstone if it no longer exists.
+            let mut body = Vec::new();
+            let mut n_entries = 0u64;
+            for shard in &self.shards {
+                let mut shard = shard.write();
+                let dirty: Vec<Vec<u8>> = shard.dirty.drain().collect();
+                for key in dirty {
+                    let mut payload = Vec::new();
+                    encode_op(&mut payload, &key, shard.map.get(&key).map(|v| v.as_slice()));
+                    push_frame(&mut body, &payload);
+                    n_entries += 1;
+                    drained.push(key);
+                }
+            }
+            if n_entries == 0 {
+                // Commits happened but every key settled back... cannot
+                // actually occur (commits always dirty keys), kept for
+                // robustness: just reset the trigger.
+                ap.commits_since_snapshot = 0;
+                return Ok(());
+            }
+            let mut out = Vec::with_capacity(40 + body.len());
+            let mut header = Vec::with_capacity(24);
+            header.extend_from_slice(DELTA_MAGIC);
+            header.extend_from_slice(&seq.to_le_bytes());
+            header.extend_from_slice(&n_entries.to_le_bytes());
+            push_frame(&mut out, &header);
+            out.extend_from_slice(&body);
+            if fl.chain.compaction_due(
+                out.len() as u64,
+                self.options.compact_max_deltas,
+                self.options.compact_ratio_pct,
+            ) {
+                // Chain too long/heavy: fold into a fresh base instead
+                // (fall through to the full-base write below, which
+                // restores `drained` if it fails).
+                self.compactions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let tmp = self.dir.join("snap").join(format!("delta-{seq}.tmp"));
+                let fin = self.dir.join("snap").join(format!("delta-{seq}.delta"));
+                let written = match self.persist_snapshot_file(&tmp, &fin, &out) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        self.remark_dirty(drained);
+                        return Err(e);
+                    }
+                };
+                fl.chain.chain_delta(seq, written);
+                self.deltas_written.fetch_add(1, Ordering::Relaxed);
+                self.snapshot_delta_bytes.fetch_add(written, Ordering::Relaxed);
+                ap.commits_since_snapshot = 0;
+                self.roll_segment_locked(fl, ap)?;
+                return self.prune_wal(seq);
+            }
+        }
+
+        // Full base: the whole live state, one frame per entry. Dirty
+        // sets are cleared only once the base is durably on disk.
         let mut n_entries = 0u64;
         let mut body = Vec::new();
         for shard in &self.shards {
-            for (k, v) in shard.read().iter() {
+            let shard = shard.read();
+            for (k, v) in shard.map.iter() {
                 let mut payload = Vec::with_capacity(8 + k.len() + v.len());
                 payload.extend_from_slice(&(k.len() as u32).to_le_bytes());
                 payload.extend_from_slice(k);
@@ -549,47 +931,109 @@ impl FileBackend {
         header.extend_from_slice(SNAP_MAGIC);
         header.extend_from_slice(&seq.to_le_bytes());
         header.extend_from_slice(&n_entries.to_le_bytes());
+        let mut out = Vec::with_capacity(40 + body.len());
         push_frame(&mut out, &header);
         out.extend_from_slice(&body);
-
         let tmp = self.dir.join("snap").join(format!("snap-{seq}.tmp"));
         let fin = self.dir.join("snap").join(format!("snap-{seq}.snap"));
-        let mut f = File::create(&tmp).map_err(|e| self.io_err(e))?;
-        f.write_all(&out).map_err(|e| self.io_err(e))?;
-        f.sync_data().map_err(|e| self.io_err(e))?;
-        drop(f);
-        fs::rename(&tmp, &fin).map_err(|e| self.io_err(e))?;
+        let written = match self.persist_snapshot_file(&tmp, &fin, &out) {
+            Ok(n) => n,
+            Err(e) => {
+                // A failed compaction attempt must put the chain back
+                // where it was: the drained keys stay pending for the
+                // next delta.
+                self.remark_dirty(drained);
+                return Err(e);
+            }
+        };
+        // The base covers everything; dirty tracking restarts.
+        for shard in &self.shards {
+            shard.write().dirty.clear();
+        }
         self.snapshots.fetch_add(1, Ordering::Relaxed);
-        appender.commits_since_snapshot = 0;
+        fl.chain.rebase(seq, written);
+        ap.commits_since_snapshot = 0;
 
-        // Everything at or below `seq` is covered by the snapshot: prune
-        // older snapshots and every WAL segment whose records are all
-        // covered (a segment named `wal-<first>` with a successor whose
-        // first sequence is <= seq+1 holds only covered records).
+        // Everything at or below `seq` is covered by the base: prune
+        // older bases, every delta (the base subsumes the chain), and
+        // covered WAL segments.
         for (s, path) in self.sorted_files("snap", "snap-", ".snap")? {
             if s < seq {
                 let _ = fs::remove_file(path);
             }
         }
-        self.roll_segment(appender)?;
-        let segments = self.sorted_files("wal", "wal-", ".log")?;
-        for window in segments.windows(2) {
-            let (_, ref path) = window[0];
-            let (next_first, _) = window[1];
-            if next_first <= seq + 1 {
+        for (s, path) in self.sorted_files("snap", "delta-", ".delta")? {
+            if s <= seq {
                 let _ = fs::remove_file(path);
             }
         }
-        Ok(())
+        self.roll_segment_locked(fl, ap)?;
+        self.prune_wal(seq)
     }
 
-    /// Forces a snapshot + WAL prune right now (maintenance hook; the
-    /// commit path does this automatically every
-    /// [`FileBackendOptions::snapshot_every`] commits).
-    pub fn snapshot_now(&self) -> OmResult<()> {
-        let mut appender = self.appender.lock();
-        self.write_snapshot(&mut appender)
+    /// Puts keys back on their shards' dirty sets — the rollback for a
+    /// snapshot attempt whose file never made it to disk.
+    fn remark_dirty(&self, drained: Vec<Vec<u8>>) {
+        for key in drained {
+            self.shards[shard_of(&key, self.mask)].write().dirty.insert(key);
+        }
     }
+
+    /// Forces a snapshot (base or delta, per the configured mode) + WAL
+    /// prune right now (maintenance hook; the commit path does this
+    /// automatically every [`FileBackendOptions::snapshot_every`]
+    /// commits).
+    pub fn snapshot_now(&self) -> OmResult<()> {
+        let mut fl = self.flusher.lock();
+        let mut ap = self.appender.lock();
+        let (bytes, pending, _) = ap.take();
+        self.write_staged(&mut fl, &bytes, pending)?;
+        self.write_snapshot_locked(&mut fl, &mut ap)
+    }
+
+    /// Group-commit statistics of this store's barrier (all zero when
+    /// the barrier is disabled).
+    pub fn group_stats(&self) -> crate::group_commit::CommitGroupStats {
+        self.group.stats()
+    }
+}
+
+/// Parses a snapshot-family file (base or delta): validates the header
+/// frame (`magic ++ seq ++ n_entries`) and hands every entry payload to
+/// `apply`, checking the count. A validation failure refuses the open
+/// rather than silently serving partial state.
+fn load_snapshot_file(
+    dir: &Path,
+    path: &Path,
+    magic: &[u8; 8],
+    expect_seq: u64,
+    mut apply: impl FnMut(&[u8]) -> Option<()>,
+) -> OmResult<()> {
+    let bytes = fs::read(path)
+        .map_err(|e| OmError::Internal(format!("file backend {dir:?}: {e}")))?;
+    let corrupt =
+        || OmError::Internal(format!("file backend {dir:?}: snapshot {path:?} is corrupt"));
+    let mut at = 0usize;
+    let (header, next) = parse_frame(&bytes, at).map_err(|_| corrupt())?.ok_or_else(corrupt)?;
+    at = next;
+    if header.len() != 8 + 8 + 8 || &header[..8] != magic {
+        return Err(corrupt());
+    }
+    let seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let n_entries = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    if seq != expect_seq {
+        return Err(corrupt());
+    }
+    let mut loaded = 0u64;
+    while let Some((payload, next)) = parse_frame(&bytes, at).map_err(|_| corrupt())? {
+        at = next;
+        apply(payload).ok_or_else(corrupt)?;
+        loaded += 1;
+    }
+    if loaded != n_entries {
+        return Err(corrupt());
+    }
+    Ok(())
 }
 
 fn decode_snapshot_entry(payload: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
@@ -623,7 +1067,7 @@ impl StateBackend for FileBackend {
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        self.shard(key).read().get(key).cloned()
+        self.shard(key).read().map.get(key).cloned()
     }
 
     fn put(&self, key: &[u8], value: &[u8]) {
@@ -648,7 +1092,7 @@ impl StateBackend for FileBackend {
         // recovery guarantees for the on-disk state.
         let _gate = self.multi.read();
         keys.iter()
-            .map(|k| self.shard(k).read().get(*k).cloned())
+            .map(|k| self.shard(k).read().map.get(*k).cloned())
             .collect()
     }
 
@@ -659,6 +1103,7 @@ impl StateBackend for FileBackend {
             out.extend(
                 shard
                     .read()
+                    .map
                     .iter()
                     .filter(|(k, _)| k.starts_with(prefix))
                     .map(|(k, v)| (k.clone(), v.clone())),
@@ -681,18 +1126,40 @@ impl StateBackend for FileBackend {
     }
 
     fn quiesce(&self) {
-        // Commits flush before acknowledging; nothing is asynchronous.
+        // Commits are durable and applied before acknowledging; nothing
+        // is asynchronous.
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.read().map.len()).sum()
     }
 
     fn counters(&self) -> BTreeMap<String, u64> {
         let mut out = BTreeMap::new();
-        out.insert("backend.commits".into(), self.commits.load(Ordering::Relaxed));
+        let commits = self.commits.load(Ordering::Relaxed);
+        out.insert("backend.commits".into(), commits);
         out.insert("backend.wal_bytes".into(), self.wal_bytes.load(Ordering::Relaxed));
         out.insert("backend.snapshots".into(), self.snapshots.load(Ordering::Relaxed));
+        out.insert("backend.deltas".into(), self.deltas_written.load(Ordering::Relaxed));
+        out.insert(
+            "backend.snapshot_delta_bytes".into(),
+            self.snapshot_delta_bytes.load(Ordering::Relaxed),
+        );
+        out.insert("backend.compactions".into(), self.compactions.load(Ordering::Relaxed));
+        let group = self.group.stats();
+        out.insert("backend.group_flushes".into(), group.flushes);
+        out.insert("backend.max_commit_cohort".into(), group.max_cohort);
+        // Mean commits amortized per sync: the headline group-commit
+        // number. 1 when the barrier is off (each commit pays its own
+        // sync), 0 before any commit.
+        out.insert(
+            "backend.commits_per_sync".into(),
+            if group.flushes > 0 {
+                group.commits_per_flush()
+            } else {
+                u64::from(commits > 0)
+            },
+        );
         out.insert(
             "backend.segments_rolled".into(),
             self.segments_rolled.load(Ordering::Relaxed),
@@ -816,11 +1283,12 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_compacts_wal_and_survives_reopen() {
+    fn full_mode_snapshot_compacts_wal_and_survives_reopen() {
         let dir = scratch_path("snap");
         let _guard = DirGuard(dir.clone());
         let opts = FileBackendOptions {
             snapshot_every: 4,
+            snapshot_mode: SnapshotMode::Full,
             ..FileBackendOptions::default()
         };
         {
@@ -841,21 +1309,100 @@ mod tests {
     }
 
     #[test]
-    fn deletes_survive_snapshot_and_replay() {
-        let dir = scratch_path("del");
+    fn incremental_snapshots_write_deltas_proportional_to_churn() {
+        let dir = scratch_path("incr");
         let _guard = DirGuard(dir.clone());
-        {
-            let b = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
-            b.put(b"gone", b"x");
-            b.put(b"kept", b"y");
-            b.delete(b"gone");
-            b.snapshot_now().unwrap();
-            b.put(b"late", b"z");
+        let opts = FileBackendOptions {
+            snapshot_every: 0,
+            compact_max_deltas: 100,
+            compact_ratio_pct: 10_000,
+            ..FileBackendOptions::default()
+        };
+        let b = FileBackend::open(&dir, opts).unwrap();
+        // Large base: 256 keys.
+        for i in 0..256u16 {
+            b.put(format!("key/{i:04}").as_bytes(), &[0u8; 64]);
         }
-        let b = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
-        assert_eq!(b.get(b"gone"), None);
-        assert_eq!(b.get(b"kept"), Some(b"y".to_vec()));
-        assert_eq!(b.get(b"late"), Some(b"z".to_vec()));
+        b.snapshot_now().unwrap();
+        assert_eq!(b.counters()["backend.snapshots"], 1, "first snapshot is a base");
+        // Touch only 3 keys; the next snapshot must be a small delta.
+        b.put(b"key/0001", b"new");
+        b.delete(b"key/0002");
+        b.put(b"hot", b"x");
+        b.snapshot_now().unwrap();
+        let counters = b.counters();
+        assert_eq!(counters["backend.deltas"], 1);
+        let delta_bytes = counters["backend.snapshot_delta_bytes"];
+        assert!(
+            delta_bytes < 512,
+            "3-key delta must not rewrite the 256-key base (got {delta_bytes} bytes)"
+        );
+        drop(b);
+        // Recovery = base + delta (+ empty WAL tail).
+        let b = FileBackend::open(&dir, opts).unwrap();
+        assert_eq!(b.get(b"key/0001"), Some(b"new".to_vec()));
+        assert_eq!(b.get(b"key/0002"), None, "tombstone recovered");
+        assert_eq!(b.get(b"hot"), Some(b"x".to_vec()));
+        assert_eq!(b.len(), 256, "255 base survivors + hot");
+    }
+
+    #[test]
+    fn delta_chain_compacts_back_into_a_base() {
+        let dir = scratch_path("compact");
+        let _guard = DirGuard(dir.clone());
+        let opts = FileBackendOptions {
+            snapshot_every: 0,
+            compact_max_deltas: 3,
+            compact_ratio_pct: 100_000,
+            ..FileBackendOptions::default()
+        };
+        let b = FileBackend::open(&dir, opts).unwrap();
+        b.put(b"seed", b"v");
+        b.snapshot_now().unwrap(); // base
+        for round in 0..5u8 {
+            b.put(b"churn", &[round]);
+            b.snapshot_now().unwrap();
+        }
+        let counters = b.counters();
+        assert!(counters["backend.compactions"] >= 1, "chain length 3 trips compaction");
+        assert!(counters["backend.snapshots"] >= 2, "compaction writes a fresh base");
+        // After compaction, old deltas are pruned: at most
+        // compact_max_deltas delta files remain.
+        let deltas_on_disk = fs::read_dir(dir.join("snap"))
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().file_name().to_string_lossy().ends_with(".delta")
+            })
+            .count();
+        assert!(deltas_on_disk <= 3, "stale deltas pruned (got {deltas_on_disk})");
+        drop(b);
+        let b = FileBackend::open(&dir, opts).unwrap();
+        assert_eq!(b.get(b"churn"), Some(vec![4]));
+        assert_eq!(b.get(b"seed"), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn deletes_survive_snapshot_and_replay() {
+        for mode in [SnapshotMode::Full, SnapshotMode::Incremental] {
+            let dir = scratch_path("del");
+            let _guard = DirGuard(dir.clone());
+            let opts = FileBackendOptions {
+                snapshot_mode: mode,
+                ..FileBackendOptions::default()
+            };
+            {
+                let b = FileBackend::open(&dir, opts).unwrap();
+                b.put(b"gone", b"x");
+                b.put(b"kept", b"y");
+                b.delete(b"gone");
+                b.snapshot_now().unwrap();
+                b.put(b"late", b"z");
+            }
+            let b = FileBackend::open(&dir, opts).unwrap();
+            assert_eq!(b.get(b"gone"), None, "{:?}", mode);
+            assert_eq!(b.get(b"kept"), Some(b"y".to_vec()));
+            assert_eq!(b.get(b"late"), Some(b"z".to_vec()));
+        }
     }
 
     #[test]
@@ -902,6 +1449,54 @@ mod tests {
     }
 
     #[test]
+    fn grouped_commits_share_syncs_under_contention() {
+        let opts = FileBackendOptions {
+            shards: 8,
+            sync_commits: true,
+            group_commit_window: Some(Duration::ZERO),
+            ..FileBackendOptions::default()
+        };
+        let b = std::sync::Arc::new(FileBackend::scratch_with(opts).unwrap());
+        const WRITERS: u64 = 8;
+        const COMMITS: u64 = 40;
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..COMMITS {
+                    b.put(format!("w{w}/k{i}").as_bytes(), &i.to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let counters = b.counters();
+        assert_eq!(counters["backend.commits"], WRITERS * COMMITS);
+        assert_eq!(b.len() as u64, WRITERS * COMMITS);
+        let stats = b.group_stats();
+        assert_eq!(stats.released, WRITERS * COMMITS, "every commit released");
+        assert!(
+            stats.flushes <= stats.released,
+            "never more syncs than commits"
+        );
+        assert!(counters["backend.commits_per_sync"] >= 1);
+    }
+
+    #[test]
+    fn inline_mode_reports_one_commit_per_sync() {
+        let opts = FileBackendOptions {
+            group_commit_window: None,
+            ..FileBackendOptions::default()
+        };
+        let b = FileBackend::scratch_with(opts).unwrap();
+        b.put(b"k", b"v");
+        let counters = b.counters();
+        assert_eq!(counters["backend.commits_per_sync"], 1);
+        assert_eq!(counters["backend.group_flushes"], 0);
+    }
+
+    #[test]
     fn segments_roll_at_the_size_threshold() {
         let dir = scratch_path("roll");
         let _guard = DirGuard(dir.clone());
@@ -918,5 +1513,24 @@ mod tests {
         drop(b);
         let b = FileBackend::open(&dir, opts).unwrap();
         assert_eq!(b.len(), 32, "multi-segment replay restores everything");
+    }
+
+    #[test]
+    fn options_map_from_durable_config() {
+        let durable = DurableOptions {
+            sync_commits: true,
+            group_commit_window_us: Some(150),
+            snapshot_mode: SnapshotMode::Full,
+            compact_max_deltas: 5,
+            compact_ratio_pct: 50,
+        };
+        let opts = FileBackendOptions::from_durable(4, &durable);
+        assert!(opts.sync_commits);
+        assert_eq!(opts.group_commit_window, Some(Duration::from_micros(150)));
+        assert_eq!(opts.snapshot_mode, SnapshotMode::Full);
+        assert_eq!(opts.compact_max_deltas, 5);
+        assert_eq!(opts.compact_ratio_pct, 50);
+        let legacy = FileBackendOptions::from_durable(4, &DurableOptions::legacy());
+        assert_eq!(legacy.group_commit_window, None);
     }
 }

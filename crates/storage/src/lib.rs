@@ -43,11 +43,16 @@
 pub mod backend;
 pub mod eventual;
 pub mod file;
+pub mod group_commit;
 pub mod snapshot;
 
-pub use backend::{make_backend, make_backend_at, StateBackend, StateSession, WriteBatch, WriteOp};
+pub use backend::{
+    make_backend, make_backend_at, make_backend_with, StateBackend, StateSession, WriteBatch,
+    WriteOp,
+};
 pub use eventual::EventualBackend;
 pub use file::{FileBackend, FileBackendOptions};
+pub use group_commit::{CommitGroup, CommitGroupStats};
 pub use snapshot::SnapshotBackend;
 
 /// Rounds a requested shard count up to a power of two (minimum 1), the

@@ -1,13 +1,21 @@
 //! Offline shim for the `criterion` crate.
 //!
 //! Compiles the workspace's benches unchanged and, when actually run
-//! (`cargo bench`), times each benchmark with a simple
-//! warmup-then-measure loop and prints mean ns/iter. No statistical
-//! analysis, plotting, or baseline comparison — the point is that
-//! `cargo bench --no-run` keeps benches compiling in CI and `cargo
-//! bench` gives a usable first-order number.
+//! (`cargo bench`), times each benchmark with a warmup pass followed by
+//! **repeated samples**, reporting min / median / p95 ns-per-iter (plus
+//! the mean) instead of a single first-order mean — the repeated-run
+//! statistics perf claims should cite. No plotting or baseline
+//! comparison; `cargo bench --no-run` keeps benches compiling in CI.
+//!
+//! Every benchmark result is also appended to a per-group JSON file
+//! under `$OM_BENCH_RESULTS_DIR` (default `results/`, created on
+//! demand): `results/bench_<group>.json`, schema `om-bench-stats-v1`,
+//! one entry per benchmark id with the sample statistics — the repo's
+//! machine-readable perf trajectory. Set `OM_BENCH_RESULTS_DIR=` (empty)
+//! to disable recording.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Returns the input unchanged while defeating constant-propagation.
@@ -61,6 +69,14 @@ impl Default for Criterion {
     }
 }
 
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        // Benches registered directly on the Criterion (no group) land
+        // in the "misc" bucket; flush it when the harness winds down.
+        flush_group("misc");
+    }
+}
+
 impl Criterion {
     pub fn configure_from_args(self) -> Self {
         self
@@ -77,7 +93,7 @@ impl Criterion {
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_one(name, self.sample_size, self.measurement_time, &mut f);
+        run_one("", name, self.sample_size, self.measurement_time, &mut f);
         self
     }
 
@@ -88,6 +104,7 @@ impl Criterion {
         mut f: F,
     ) -> &mut Self {
         run_one(
+            "",
             &id.to_string(),
             self.sample_size,
             self.measurement_time,
@@ -137,8 +154,8 @@ impl BenchmarkGroup<'_> {
         id: impl IntoBenchmarkId,
         mut f: F,
     ) -> &mut Self {
-        let full = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_one(&full, self.sample_size, self.measurement_time, &mut f);
+        let id = id.into_benchmark_id().to_string();
+        run_one(&self.name, &id, self.sample_size, self.measurement_time, &mut f);
         self
     }
 
@@ -148,14 +165,18 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        let full = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_one(&full, self.sample_size, self.measurement_time, &mut |b| {
+        let id = id.into_benchmark_id().to_string();
+        run_one(&self.name, &id, self.sample_size, self.measurement_time, &mut |b| {
             f(b, input)
         });
         self
     }
 
-    pub fn finish(self) {}
+    /// Writes the group's recorded statistics to
+    /// `results/bench_<group>.json`.
+    pub fn finish(self) {
+        flush_group(&self.name);
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -236,7 +257,90 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Per-iteration statistics of one benchmark over repeated samples.
+#[derive(Clone, Debug)]
+pub struct BenchStats {
+    /// Benchmark id within its group.
+    pub id: String,
+    /// Samples taken (each sample times `iters_per_sample` iterations).
+    pub samples: u64,
+    /// Iterations timed per sample.
+    pub iters_per_sample: u64,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub p95_ns: f64,
+    pub mean_ns: f64,
+}
+
+impl BenchStats {
+    fn json(&self) -> String {
+        format!(
+            "{{\"id\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+             \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"mean_ns\": {:.1}}}",
+            self.id.replace('\\', "\\\\").replace('"', "\\\""),
+            self.samples,
+            self.iters_per_sample,
+            self.min_ns,
+            self.median_ns,
+            self.p95_ns,
+            self.mean_ns,
+        )
+    }
+}
+
+/// Benchmarks recorded so far, keyed by group, flushed to
+/// `results/bench_<group>.json` as groups finish.
+static RESULTS: Mutex<Vec<(String, BenchStats)>> = Mutex::new(Vec::new());
+
+fn results_dir() -> Option<std::path::PathBuf> {
+    match std::env::var("OM_BENCH_RESULTS_DIR") {
+        Ok(dir) if dir.is_empty() => None,
+        Ok(dir) => Some(dir.into()),
+        // Default: `<workspace root>/results`. Cargo runs bench binaries
+        // with the *package* as the working directory, so walk up to the
+        // outermost ancestor holding a Cargo.lock — the workspace root —
+        // before appending `results/`.
+        Err(_) => {
+            let cwd = std::env::current_dir().ok()?;
+            let root = cwd
+                .ancestors()
+                .filter(|dir| dir.join("Cargo.lock").is_file())
+                .last()
+                .unwrap_or(&cwd);
+            Some(root.join("results"))
+        }
+    }
+}
+
+/// Writes (or rewrites) the JSON result file of `group` from everything
+/// recorded for it so far.
+fn flush_group(group: &str) {
+    let Some(dir) = results_dir() else { return };
+    let entries: Vec<String> = RESULTS
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|(g, _)| g == group)
+        .map(|(_, s)| format!("    {}", s.json()))
+        .collect();
+    if entries.is_empty() {
+        return;
+    }
+    let safe: String = group
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect();
+    let body = format!(
+        "{{\n  \"schema\": \"om-bench-stats-v1\",\n  \"group\": \"{group}\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("bench_{safe}.json")), body);
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
     name: &str,
     sample_size: usize,
     measurement_time: Duration,
@@ -250,19 +354,53 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f(&mut warm);
     let per_iter = warm.elapsed.max(Duration::from_nanos(1));
 
-    // Aim for roughly `measurement_time` total across `sample_size`
-    // iterations, bounded to keep pathological benches from hanging.
-    let target_iters = (measurement_time.as_nanos() / per_iter.as_nanos().max(1)).max(1);
-    let iterations = target_iters.min(sample_size as u128 * 10).max(1) as u64;
+    // Split roughly `measurement_time` across `sample_size` samples,
+    // bounded to keep pathological benches from hanging.
+    let samples = sample_size.max(2) as u64;
+    let target_iters =
+        (measurement_time.as_nanos() / per_iter.as_nanos().max(1) / samples as u128).max(1);
+    let iterations = target_iters.min(1_000) as u64;
 
-    let mut bencher = Bencher {
-        iterations,
-        elapsed: Duration::ZERO,
+    let mut per_sample_ns: Vec<f64> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_sample_ns.push(bencher.elapsed.as_nanos() as f64 / iterations.max(1) as f64);
+    }
+    per_sample_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = per_sample_ns.len();
+    let min_ns = per_sample_ns[0];
+    let median_ns = if n.is_multiple_of(2) {
+        (per_sample_ns[n / 2 - 1] + per_sample_ns[n / 2]) / 2.0
+    } else {
+        per_sample_ns[n / 2]
     };
-    f(&mut bencher);
-    let total_iters = bencher.iterations.max(1);
-    let mean_ns = bencher.elapsed.as_nanos() as f64 / total_iters as f64;
-    println!("bench {name:<50} {mean_ns:>14.1} ns/iter ({total_iters} iters)");
+    let p95_ns = per_sample_ns[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+    let mean_ns = per_sample_ns.iter().sum::<f64>() / n as f64;
+
+    let full = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!(
+        "bench {full:<50} median {median_ns:>12.1} ns/iter  (min {min_ns:.1}, p95 {p95_ns:.1}, {n} samples x {iterations} iters)"
+    );
+    RESULTS.lock().unwrap().push((
+        (if group.is_empty() { "misc" } else { group }).to_string(),
+        BenchStats {
+            id: name.to_string(),
+            samples: n as u64,
+            iters_per_sample: iterations,
+            min_ns,
+            median_ns,
+            p95_ns,
+            mean_ns,
+        },
+    ));
 }
 
 #[macro_export]
