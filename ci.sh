@@ -13,6 +13,9 @@
 #     compared against the checked-in floor in results/b2_floor.json and
 #     CI fails on a >3x regression (bench_guard) — coarse on purpose,
 #     the shim stats are medians over a handful of samples,
+#   * a short b3_gateway slice RUNS the same way: the event-driven HTTP
+#     engine's 64-connection cell is held to 3x of results/b3_floor.json
+#     and its single-connection cost to 1.5x of the threaded baseline,
 #   * all examples must keep compiling, and failure_recovery *runs* as a
 #     smoke step (it asserts zero lost epochs across a disk-backed
 #     platform rebuild),
@@ -49,6 +52,10 @@ echo "==> bench smoke: b2 group-commit slice + regression guard (3x floor)"
 # (the criterion shim resolves results/ against the workspace root)
 OM_BENCH_SMOKE=1 cargo bench --offline --bench b2_durability
 cargo run --release --offline -p om_bench --bin bench_guard
+
+echo "==> bench smoke: b3 gateway slice + regression guard (3x floor, event_c1 <= 1.5x threaded_c1)"
+OM_BENCH_SMOKE=1 cargo bench --offline --bench b3_gateway
+cargo run --release --offline -p om_bench --bin bench_guard -- results/bench_b3_gateway.json results/b3_floor.json
 
 echo "==> cargo build --examples"
 cargo build --examples --offline

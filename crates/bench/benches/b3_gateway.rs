@@ -1,0 +1,225 @@
+//! B3 — **gateway concurrency sweep**: how many keep-alive connections
+//! each HTTP engine sustains, and what each costs in OS threads.
+//!
+//! The thread-per-connection engine burns one serving thread per open
+//! connection — fine at 64, pathological at 4096. The event-driven
+//! engine multiplexes every connection over one poll loop plus a fixed
+//! worker pool (`O(workers + 1)` threads regardless of fan-in). This
+//! bench opens N keep-alive connections, drives one `/health` request
+//! per connection per iteration, and sweeps N from 1 to 4096:
+//!
+//! * `threaded_c{1,64,1024}` — the retained baseline. Not run at 4096:
+//!   a thread per connection at that scale measures the scheduler, not
+//!   the server.
+//! * `event_c{1,64,1024,4096}` — the tentpole cells. `event_c4096`
+//!   existing at all is the capacity claim; `event_c1` vs `threaded_c1`
+//!   is the low-concurrency overhead claim (guarded at ≤1.5x by
+//!   `bench_guard` via `results/b3_floor.json`).
+//!
+//! Requests are driven by at most [`DRIVERS`] client threads regardless
+//! of N, so measured thread counts are dominated by the *server's*
+//! model. Alongside the criterion shim's timing JSON the bench writes
+//! `results/b3_gateway_threads.json`: process-thread delta and peak
+//! live connections per cell — the machine-readable form of the
+//! "O(workers+1) threads" claim.
+//!
+//! `OM_BENCH_SMOKE=1` shrinks the sweep to {1, 64} per engine for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use om_http::gateway::MarketplaceGateway;
+use om_http::server::{HttpClient, HttpServer};
+use om_http::{EventConfig, Method};
+use om_marketplace::bindings::actor_core::ActorPlatformConfig;
+use om_marketplace::EventualPlatform;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Client threads driving requests for the large cells. Kept small and
+/// fixed so the server's threading model dominates the measurement.
+const DRIVERS: usize = 8;
+
+fn smoke() -> bool {
+    std::env::var("OM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Current thread count of this process, from `/proc/self/status`.
+/// Returns 0 where procfs is unavailable (the cell still times fine).
+fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn gateway() -> Arc<MarketplaceGateway> {
+    Arc::new(MarketplaceGateway::new(Arc::new(EventualPlatform::new(
+        ActorPlatformConfig {
+            decline_rate: 0.0,
+            ..Default::default()
+        },
+    ))))
+}
+
+struct CellReport {
+    cell: String,
+    conns: usize,
+    thread_delta: u64,
+    engine_threads: usize,
+    max_live_connections: usize,
+}
+
+impl CellReport {
+    fn json(&self) -> String {
+        format!(
+            "{{\"cell\": \"{}\", \"conns\": {}, \"process_thread_delta\": {}, \
+             \"engine_threads\": {}, \"max_live_connections\": {}}}",
+            self.cell, self.conns, self.thread_delta, self.engine_threads, self.max_live_connections
+        )
+    }
+}
+
+/// Opens `conns` keep-alive clients against `server`, warms each with
+/// one request, runs the cell, and reports the thread cost.
+fn run_cell(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    reports: &mut Vec<CellReport>,
+    server: &HttpServer,
+    label: &str,
+    conns: usize,
+) {
+    let baseline_threads = process_threads();
+    let mut clients: Vec<HttpClient> = (0..conns)
+        .map(|_| {
+            let mut c = server.connect();
+            let resp = c.request(Method::Get, "/health", None).unwrap();
+            assert_eq!(resp.status, 200);
+            c
+        })
+        .collect();
+
+    // Thread cost of holding `conns` live connections: measured before
+    // any driver threads exist, so the delta is engine + serving
+    // threads only. (baseline already includes the engine's fixed
+    // threads for every cell after the first on this server — the
+    // interesting signal is growth with `conns`.)
+    let held_threads = process_threads();
+    let stats = server.stats();
+    let cell = format!("{label}_c{conns}");
+    eprintln!(
+        "b3_gateway: {cell}: +{} process threads while holding {} conns \
+         (engine_threads={}, live={})",
+        held_threads.saturating_sub(baseline_threads),
+        conns,
+        stats.engine_threads,
+        stats.live_connections,
+    );
+    reports.push(CellReport {
+        cell: cell.clone(),
+        conns,
+        thread_delta: held_threads.saturating_sub(baseline_threads),
+        engine_threads: stats.engine_threads,
+        max_live_connections: stats.max_live_connections,
+    });
+
+    // One iteration = one request on every open connection. Small cells
+    // run on the bench thread itself (no spawn noise — these back the
+    // low-concurrency overhead comparison); large cells split the
+    // clients across DRIVERS scoped threads.
+    group.bench_function(cell, |b| {
+        if conns <= 64 {
+            b.iter(|| {
+                for client in clients.iter_mut() {
+                    let resp = client.request(Method::Get, "/health", None).unwrap();
+                    assert_eq!(resp.status, 200);
+                }
+            });
+        } else {
+            let chunk = conns.div_ceil(DRIVERS);
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for part in clients.chunks_mut(chunk) {
+                        s.spawn(move || {
+                            for client in part {
+                                let resp =
+                                    client.request(Method::Get, "/health", None).unwrap();
+                                assert_eq!(resp.status, 200);
+                            }
+                        });
+                    }
+                });
+            });
+        }
+    });
+
+    for client in clients {
+        client.close();
+    }
+}
+
+fn write_thread_report(reports: &[CellReport]) {
+    let dir = match std::env::var("OM_BENCH_RESULTS_DIR") {
+        Ok(d) if d.is_empty() => return,
+        Ok(d) => std::path::PathBuf::from(d),
+        Err(_) => {
+            let cwd = std::env::current_dir().unwrap_or_default();
+            cwd.ancestors()
+                .filter(|d| d.join("Cargo.lock").is_file())
+                .last()
+                .unwrap_or(&cwd)
+                .join("results")
+        }
+    };
+    let entries: Vec<String> = reports.iter().map(|r| format!("    {}", r.json())).collect();
+    let body = format!(
+        "{{\n  \"schema\": \"om-bench-threads-v1\",\n  \"group\": \"b3_gateway\",\n  \
+         \"entries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join("b3_gateway_threads.json"), body);
+    }
+}
+
+fn bench_gateway_sweep(c: &mut Criterion) {
+    let threaded_sweep: &[usize] = if smoke() { &[1, 64] } else { &[1, 64, 1024] };
+    let event_sweep: &[usize] = if smoke() { &[1, 64] } else { &[1, 64, 1024, 4096] };
+
+    let mut group = c.benchmark_group("b3_gateway");
+    group.sample_size(if smoke() { 10 } else { 15 });
+    group.measurement_time(Duration::from_millis(if smoke() { 200 } else { 400 }));
+    let mut reports = Vec::new();
+
+    let server = HttpServer::start(gateway(), 4);
+    for &conns in threaded_sweep {
+        run_cell(&mut group, &mut reports, &server, "threaded", conns);
+    }
+    server.shutdown();
+
+    let server = HttpServer::start_event_driven(
+        gateway(),
+        EventConfig {
+            accept_queue: 8192,
+            ..Default::default()
+        },
+    );
+    for &conns in event_sweep {
+        run_cell(&mut group, &mut reports, &server, "event", conns);
+    }
+    let final_stats = server.stats();
+    eprintln!(
+        "b3_gateway: event engine served peak {} live connections on {} threads",
+        final_stats.max_live_connections, final_stats.engine_threads
+    );
+    server.shutdown();
+
+    group.finish();
+    write_thread_report(&reports);
+}
+
+criterion_group!(benches, bench_gateway_sweep);
+criterion_main!(benches);

@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use om_http::gateway::MarketplaceGateway;
 use om_http::request::{parse_request, ParserConfig};
 use om_http::server::HttpServer;
-use om_http::Method;
+use om_http::{EventConfig, Method};
 use om_marketplace::api::{CheckoutItem, MarketplacePlatform};
 use om_marketplace::bindings::actor_core::ActorPlatformConfig;
 use om_marketplace::EventualPlatform;
@@ -136,6 +136,33 @@ fn bench_server_roundtrip(c: &mut Criterion) {
         });
     });
     c.bench_function("http/server_dashboard_roundtrip", |b| {
+        b.iter(|| {
+            let resp = client
+                .request(Method::Get, "/sellers/1/dashboard", None)
+                .unwrap();
+            assert_eq!(resp.status, 200);
+            resp
+        });
+    });
+    client.close();
+    server.shutdown();
+
+    // Same two round-trips over the event-driven engine: one shared
+    // poll loop + worker pool instead of a thread per connection. The
+    // single-client cost should stay within the same order.
+    let server = HttpServer::start_event_driven(
+        Arc::new(MarketplaceGateway::new(seeded_platform())),
+        EventConfig::default(),
+    );
+    let mut client = server.connect();
+    c.bench_function("http/event_server_health_roundtrip", |b| {
+        b.iter(|| {
+            let resp = client.request(Method::Get, "/health", None).unwrap();
+            assert_eq!(resp.status, 200);
+            resp
+        });
+    });
+    c.bench_function("http/event_server_dashboard_roundtrip", |b| {
         b.iter(|| {
             let resp = client
                 .request(Method::Get, "/sellers/1/dashboard", None)

@@ -1,10 +1,13 @@
-//! CI guard over the durable-commit cell: compares the freshly-measured
-//! `b2_group_commit` median against a checked-in floor and fails when
-//! the cell has regressed beyond the allowed factor.
+//! CI guard over a benchmark cell: compares a freshly-measured median
+//! against a checked-in floor file and fails when the cell has
+//! regressed beyond the allowed factor. Defaults to the durable-commit
+//! cell; pass paths to guard others (the b3 HTTP sweep uses
+//! `results/b3_floor.json`).
 //!
 //! ```text
 //! OM_BENCH_SMOKE=1 cargo bench --bench b2_durability   # writes results/bench_b2_group_commit.json
 //! cargo run -p om_bench --bin bench_guard              # compares against results/b2_floor.json
+//! cargo run -p om_bench --bin bench_guard -- results/bench_b3_gateway.json results/b3_floor.json
 //! ```
 //!
 //! The floor file records the baseline median (shim statistics, see
@@ -86,6 +89,38 @@ fn main() {
                 eprintln!(
                     "bench_guard: FAIL — group commit only {speedup:.2}x faster than \
                      per-commit sync on this host (floor requires {min_speedup:.1}x)"
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Generic machine-relative ratio cap: `ratio_num_cell` must cost at
+    // most `max_ratio_x` times `ratio_den_cell` from the SAME run. The
+    // b3 floor uses it to bound the event engine's single-connection
+    // overhead against the thread-per-connection baseline.
+    let max_ratio = floor["max_ratio_x"].as_f64().unwrap_or(0.0);
+    if max_ratio > 0.0 {
+        let num_cell = floor["ratio_num_cell"].as_str().unwrap_or_default();
+        let den_cell = floor["ratio_den_cell"].as_str().unwrap_or_default();
+        match (median_of(&results, num_cell), median_of(&results, den_cell)) {
+            (Some(num), Some(den)) => {
+                let ratio = num / den.max(1.0);
+                println!(
+                    "bench_guard: ratio {num_cell}/{den_cell} = {ratio:.2}x (max {max_ratio:.1}x)"
+                );
+                if ratio > max_ratio {
+                    eprintln!(
+                        "bench_guard: FAIL — {num_cell} costs {ratio:.2}x of {den_cell} \
+                         on this host (floor allows {max_ratio:.1}x)"
+                    );
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!(
+                    "bench_guard: FAIL — floor requests ratio {num_cell}/{den_cell} but \
+                     {results_path} lacks one of the cells"
                 );
                 failed = true;
             }

@@ -59,11 +59,27 @@ pub struct HttpPlatform {
 }
 
 impl HttpPlatform {
-    /// Fronts `platform` with an HTTP server of `workers` threads.
+    /// Fronts `platform` with a threaded HTTP server of `workers`
+    /// accept threads (the historical constructor).
     pub fn front(platform: Arc<dyn MarketplacePlatform>, workers: usize) -> Self {
-        let server = Arc::new(HttpServer::start(
+        Self::front_with_options(
+            platform,
+            crate::server::ServerOptions {
+                engine: crate::server::EngineKind::Threaded { acceptors: workers },
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Fronts `platform` with an HTTP server built from `opts` — the way
+    /// to put the event-driven engine under the benchmark driver.
+    pub fn front_with_options(
+        platform: Arc<dyn MarketplacePlatform>,
+        opts: crate::server::ServerOptions,
+    ) -> Self {
+        let server = Arc::new(HttpServer::start_with_options(
             Arc::new(MarketplaceGateway::new(platform.clone())),
-            workers,
+            opts,
         ));
         HttpPlatform {
             inner: platform,
@@ -327,6 +343,27 @@ mod tests {
     fn dashboard_roundtrips_structurally() {
         let p = adapter();
         seed(&p);
+        let dash = p.seller_dashboard(SellerId(1)).unwrap();
+        assert_eq!(dash.seller, SellerId(1));
+    }
+
+    #[test]
+    fn adapter_works_over_the_event_driven_engine() {
+        let inner = Arc::new(EventualPlatform::new(
+            om_marketplace::bindings::actor_core::ActorPlatformConfig {
+                decline_rate: 0.0,
+                ..Default::default()
+            },
+        ));
+        let p = HttpPlatform::front_with_options(
+            inner,
+            crate::server::ServerOptions {
+                engine: crate::server::EngineKind::EventDriven(Default::default()),
+                ..Default::default()
+            },
+        );
+        seed(&p);
+        assert_eq!(p.server().engine_name(), "event");
         let dash = p.seller_dashboard(SellerId(1)).unwrap();
         assert_eq!(dash.seller, SellerId(1));
     }

@@ -149,11 +149,21 @@ impl MarketplaceGateway {
         &self.platform
     }
 
+    /// The load-shed response both connection engines emit when a
+    /// request cannot even be queued for a worker: `503` with a
+    /// `retry-after` hint, mirroring how the gateway maps a saturated
+    /// platform.
+    pub fn overloaded() -> Response {
+        Response::text(503, "server overloaded: dispatch queue full")
+            .with_header("retry-after", "1")
+    }
+
     /// Handles one parsed request, producing a response. Never panics on
     /// user input; all failures map to 4xx/5xx.
     pub fn handle(&self, req: &Request) -> Response {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        // HEAD is answered like GET; the server truncates the body.
+        // HEAD is answered like GET; the server keeps the entity headers
+        // (including content-length) and suppresses only the body bytes.
         let method = if req.method == Method::Head {
             Method::Get
         } else {

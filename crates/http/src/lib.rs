@@ -11,9 +11,17 @@
 //! * [`gateway`] — the REST surface of the benchmark's five business
 //!   transactions, dispatching onto any
 //!   [`MarketplacePlatform`](om_marketplace::api::MarketplacePlatform);
-//! * [`server`] — an in-memory byte-pipe transport with a worker pool and
-//!   a blocking client, so the whole stack exercises real wire framing
-//!   without sockets.
+//! * [`pipe`] — the in-memory duplex byte-pipe transport (blocking and
+//!   non-blocking modes), so the whole stack exercises real wire
+//!   framing without sockets;
+//! * [`poller`] — a readiness/interest/deadline abstraction (the seam
+//!   where an epoll backend would plug in);
+//! * [`conn`] — the event-driven connection engine: one readiness loop
+//!   multiplexing every connection, a bounded gateway worker pool, and
+//!   end-to-end backpressure (bounded accept + dispatch queues with
+//!   load-shed, capped per-connection buffers, idle timeouts);
+//! * [`server`] — [`HttpServer`] over either engine (thread-per-
+//!   connection baseline or event-driven) plus a blocking client.
 //!
 //! ```
 //! use om_http::{gateway::MarketplaceGateway, server::HttpServer, Method};
@@ -30,17 +38,23 @@
 //! ```
 
 pub mod adapter;
+pub mod conn;
 pub mod error;
 pub mod gateway;
+pub mod pipe;
+pub mod poller;
 pub mod request;
 pub mod response;
 pub mod router;
 pub mod server;
 
 pub use adapter::HttpPlatform;
+pub use conn::{EventConfig, ServerStats};
 pub use error::HttpError;
 pub use gateway::MarketplaceGateway;
+pub use pipe::Connection;
+pub use poller::{Interest, Poller, Readiness, Token};
 pub use request::{parse_request, Headers, Method, ParserConfig, Request, Version};
-pub use response::{parse_response, Response};
+pub use response::{parse_head_response, parse_response, Response};
 pub use router::{PathParams, RouteError, Router};
-pub use server::{Connection, HttpClient, HttpServer};
+pub use server::{EngineKind, HttpClient, HttpServer, ServerOptions};

@@ -71,6 +71,21 @@ impl Response {
     /// Serializes the response into wire format with explicit
     /// `Content-Length` framing.
     pub fn write_to(&self, out: &mut BytesMut) {
+        self.write_head_lines(out);
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serializes the response to a HEAD request: identical status line
+    /// and headers — including the *entity's* `content-length`, per RFC
+    /// 9110 §9.3.2 — but no body bytes on the wire.
+    pub fn write_head_to(&self, out: &mut BytesMut) {
+        self.write_head_lines(out);
+    }
+
+    /// Status line + headers + blank line, with `content-length` set to
+    /// the entity length (shared by GET and HEAD serialization, which is
+    /// exactly what gives the two header parity).
+    fn write_head_lines(&self, out: &mut BytesMut) {
         use std::fmt::Write as _;
         let mut head = String::with_capacity(96);
         let _ = write!(
@@ -88,7 +103,6 @@ impl Response {
         }
         let _ = write!(head, "content-length: {}\r\n\r\n", self.body.len());
         out.extend_from_slice(head.as_bytes());
-        out.extend_from_slice(&self.body);
     }
 }
 
@@ -100,7 +114,7 @@ pub fn parse_response(
     buf: &mut BytesMut,
     cfg: &ParserConfig,
 ) -> Result<Option<Response>, HttpError> {
-    match parse_response_inner(&buf[..], cfg)? {
+    match parse_response_inner(&buf[..], cfg, true)? {
         Step::Done(resp, consumed) => {
             buf.advance(consumed);
             Ok(Some(resp))
@@ -109,7 +123,28 @@ pub fn parse_response(
     }
 }
 
-fn parse_response_inner(input: &[u8], cfg: &ParserConfig) -> Result<Step<Response>, HttpError> {
+/// Parses a response to a **HEAD** request: `content-length` describes
+/// the entity the server *would* have sent, but no body bytes follow on
+/// the wire (RFC 9110 §9.3.2), so only the head is consumed and the
+/// returned body is always empty.
+pub fn parse_head_response(
+    buf: &mut BytesMut,
+    cfg: &ParserConfig,
+) -> Result<Option<Response>, HttpError> {
+    match parse_response_inner(&buf[..], cfg, false)? {
+        Step::Done(resp, consumed) => {
+            buf.advance(consumed);
+            Ok(Some(resp))
+        }
+        Step::Partial => Ok(None),
+    }
+}
+
+fn parse_response_inner(
+    input: &[u8],
+    cfg: &ParserConfig,
+    body_follows: bool,
+) -> Result<Step<Response>, HttpError> {
     let Some(head_end) = find_head_end(input, cfg.max_head_bytes)? else {
         return Ok(Step::Partial);
     };
@@ -143,7 +178,11 @@ fn parse_response_inner(input: &[u8], cfg: &ParserConfig) -> Result<Step<Respons
         .any(|v| v.to_ascii_lowercase().contains("chunked"));
     let content_lengths: Vec<&str> = headers.get_all("content-length").collect();
 
-    let (body, consumed) = if te_chunked {
+    let (body, consumed) = if !body_follows {
+        // HEAD semantics: framing headers describe the entity, the wire
+        // carries no body bytes.
+        (Bytes::new(), body_start)
+    } else if te_chunked {
         match decode_chunked(&input[body_start..], cfg, &mut headers)? {
             Step::Done(body, n) => (body, body_start + n),
             Step::Partial => return Ok(Step::Partial),
@@ -258,6 +297,45 @@ mod tests {
             assert_ne!(reason_phrase(s), "Unknown", "status {s} needs a phrase");
         }
         assert_eq!(reason_phrase(599), "Unknown");
+    }
+
+    #[test]
+    fn head_serialization_keeps_entity_content_length() {
+        let resp = Response::text(200, "hello world").with_header("x-trace", "9");
+        let mut get_wire = BytesMut::new();
+        resp.write_to(&mut get_wire);
+        let mut head_wire = BytesMut::new();
+        resp.write_head_to(&mut head_wire);
+        // The HEAD wire is exactly the GET wire minus the body bytes.
+        assert_eq!(&get_wire[..head_wire.len()], &head_wire[..]);
+        assert_eq!(get_wire.len(), head_wire.len() + resp.body.len());
+        let head = std::str::from_utf8(&head_wire).unwrap();
+        assert!(
+            head.contains("content-length: 11\r\n"),
+            "HEAD must advertise the entity length, got:\n{head}"
+        );
+        let parsed = parse_head_response(&mut head_wire, &ParserConfig::default())
+            .unwrap()
+            .unwrap();
+        assert!(parsed.body.is_empty());
+        assert_eq!(parsed.headers.get("content-length"), Some("11"));
+        assert!(head_wire.is_empty(), "head fully consumed");
+    }
+
+    #[test]
+    fn head_parse_does_not_eat_following_response() {
+        // A HEAD response immediately followed by a pipelined GET
+        // response: the HEAD parse must stop at its blank line.
+        let mut buf = BytesMut::from(
+            &b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\nHTTP/1.1 204 No Content\r\ncontent-length: 0\r\n\r\n"[..],
+        );
+        let cfg = ParserConfig::default();
+        let head = parse_head_response(&mut buf, &cfg).unwrap().unwrap();
+        assert_eq!(head.status, 200);
+        assert!(head.body.is_empty());
+        let next = parse_response(&mut buf, &cfg).unwrap().unwrap();
+        assert_eq!(next.status, 204);
+        assert!(buf.is_empty());
     }
 
     #[test]

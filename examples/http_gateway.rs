@@ -10,16 +10,21 @@
 //! cargo run --release --example http_gateway
 //! ```
 
-use online_marketplace::http::{HttpServer, MarketplaceGateway, Method};
+use online_marketplace::http::{EventConfig, HttpServer, MarketplaceGateway, Method};
 use online_marketplace::marketplace::CustomizedPlatform;
 use serde_json::json;
 use std::sync::Arc;
 
 fn main() {
     // 1. The full-featured platform (transactions + MVCC dashboard +
-    //    causal replication + audit log) behind a 4-worker HTTP server.
+    //    causal replication + audit log) behind the event-driven HTTP
+    //    engine: one poll loop + a fixed worker pool serves every
+    //    connection, instead of a thread per connection.
     let platform = Arc::new(CustomizedPlatform::new(Default::default()));
-    let server = HttpServer::start(Arc::new(MarketplaceGateway::new(platform)), 4);
+    let server = HttpServer::start_event_driven(
+        Arc::new(MarketplaceGateway::new(platform)),
+        EventConfig::default(),
+    );
     let mut client = server.connect();
 
     println!("== health ==");
@@ -148,6 +153,16 @@ fn main() {
     for (k, v) in counters {
         println!("{k:<40} {v}");
     }
+
+    // 7. Engine stats: the whole session ran on O(workers + 1) threads.
+    let stats = server.stats();
+    println!(
+        "\n== engine ==\n{} engine: {} threads, peak {} live connection(s), {} accepted",
+        server.engine_name(),
+        stats.engine_threads,
+        stats.max_live_connections,
+        stats.accepted,
+    );
 
     client.close();
     server.shutdown();
