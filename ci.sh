@@ -12,7 +12,13 @@
 #     (`OM_BENCH_SMOKE=1`): the contended durable-commit cell is
 #     compared against the checked-in floor in results/b2_floor.json and
 #     CI fails on a >3x regression (bench_guard) — coarse on purpose,
-#     the shim stats are medians over a handful of samples,
+#     the shim stats are medians over a handful of samples. The floor's
+#     `checks` array additionally gates the adaptive group-commit policy
+#     against Fixed(0) at 1 and 16 writers, parallel vs serial cold
+#     recovery (the >=2x speedup check is core-aware and skips on small
+#     hosts), and indexed vs full-scan cold point-gets. The smoke run
+#     also prints informational drift lines against the PR 7 reference
+#     medians in BENCH_PR7.json (OM_BENCH_BASELINE),
 #   * a short b3_gateway slice RUNS the same way: the event-driven HTTP
 #     engine's 64-connection cell is held to 3x of results/b3_floor.json
 #     and its single-connection cost to 1.5x of the threaded baseline,
@@ -48,9 +54,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 echo "==> cargo bench --no-run"
 cargo bench --no-run --offline
 
-echo "==> bench smoke: b2 group-commit slice + regression guard (3x floor)"
+echo "==> bench smoke: b2 durability slice + regression guard (3x floor + policy/recovery/index checks)"
 # (the criterion shim resolves results/ against the workspace root)
-OM_BENCH_SMOKE=1 cargo bench --offline --bench b2_durability
+OM_BENCH_SMOKE=1 OM_BENCH_BASELINE=BENCH_PR7.json cargo bench --offline --bench b2_durability
 cargo run --release --offline -p om_bench --bin bench_guard
 
 echo "==> bench smoke: b3 gateway slice + regression guard (3x floor, event_c1 <= 1.5x threaded_c1)"

@@ -12,14 +12,25 @@
 //!   memory backends this is the **shared-instance** restart — their
 //!   best case, since a genuinely cold process loses them entirely; the
 //!   file backend serves the same load after a real process boundary.
-//! * `b2_cold_recovery_file` — the file backend's true cold start:
-//!   open a populated data directory from disk alone (snapshot load +
-//!   WAL replay + torn-tail scan).
+//! * `b2_cold_recovery` — the file backend's true cold start as a
+//!   first-class **state-size axis**: open a data directory holding
+//!   10×/100× the 1× reference state (2k keys) from disk alone, with
+//!   serial (1 thread) vs parallel (4 threads) snapshot-section
+//!   loading. The parallel cell can only beat serial on multi-core
+//!   hosts; the guard enforces "never slower" everywhere and ≥2×
+//!   where cores allow.
 //! * `b2_group_commit` — the tentpole cell: 1/4/16 concurrent writers
-//!   committing under `sync_commits`, group commit on vs off. One
-//!   iteration = every writer performing 32 commits; with the barrier
-//!   off each of those commits pays its own fsync, with it on a cohort
-//!   leader pays one fsync for everyone parked.
+//!   committing under `sync_commits`, sweeping the whole policy axis:
+//!   off (per-commit fsync), fixed 0/50/200µs windows, and the
+//!   adaptive controller (`GroupCommitPolicy::adaptive_default()`),
+//!   which must match the best fixed window at 1 writer (no pointless
+//!   stalling) AND at 16 writers (full cohorts). One iteration = every
+//!   writer performing 32 commits.
+//! * `b2_cold_point_get` — indexed delta chains: point gets through
+//!   `ColdReader` over chains of 1/16/64 delta files, sidecar index on
+//!   (`indexed`) vs the full-chain-scan baseline (`fullscan`). Indexed
+//!   gets must stay near-flat as the chain grows; the baseline prices
+//!   every file on every miss.
 //! * `b2_snapshot_mode` — snapshot cost vs state size: 64 dirty keys
 //!   over stores of 1k/16k keys, full vs incremental. Incremental cost
 //!   must track the churn (flat across state sizes), full must track
@@ -33,9 +44,12 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use om_bench::{make_checkpoint_store, BACKENDS, CHECKPOINT_STORES};
-use om_common::config::SnapshotMode;
+use om_common::config::{GroupCommitPolicy, SnapshotMode};
 use om_dataflow::StateDelta;
-use om_storage::{make_backend, FileBackend, FileBackendOptions, StateBackend, WriteOp};
+use om_storage::{
+    make_backend, ColdReader, ColdReaderOptions, FileBackend, FileBackendOptions, StateBackend,
+    WriteOp,
+};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -126,33 +140,140 @@ fn scratch_dir() -> PathBuf {
     ))
 }
 
-fn bench_cold_recovery_file(c: &mut Criterion) {
-    let mut group = c.benchmark_group("b2_cold_recovery_file");
-    group.sample_size(10);
-    // Populate once: 1024 keys across WAL + snapshot, then time reopens.
-    for commits in [256u64, 2_048] {
+/// Bulk-loads `keys` distinct keys (64-byte values) in 512-key batches.
+fn populate_state(backend: &FileBackend, keys: u64) {
+    let mut batch: Vec<WriteOp> = Vec::with_capacity(512);
+    for k in 0..keys {
+        batch.push(WriteOp {
+            key: format!("state/{k:010}").into_bytes(),
+            value: Some(vec![7u8; 64]),
+        });
+        if batch.len() == 512 {
+            backend.commit_ops(&batch).unwrap();
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        backend.commit_ops(&batch).unwrap();
+    }
+}
+
+/// Cold recovery as a state-size axis: the 1× reference state is 2k
+/// keys; the sweep opens 10×/100× directories (snapshot base + one
+/// delta + a WAL tail, so every recovery phase runs) with serial vs
+/// parallel snapshot-section loading.
+fn bench_cold_recovery(c: &mut Criterion) {
+    const BASE_KEYS: u64 = 2_000; // the 1x reference state
+    let mut group = c.benchmark_group("b2_cold_recovery");
+    group.sample_size(if smoke() { 5 } else { 10 });
+    group.measurement_time(Duration::from_millis(if smoke() { 300 } else { 1_000 }));
+    let scales: &[u64] = if smoke() { &[10] } else { &[10, 100] };
+    for &scale in scales {
+        let keys = BASE_KEYS * scale;
         let dir = scratch_dir();
+        let write_opts = FileBackendOptions {
+            shards: 8,
+            snapshot_every: 0, // snapshots forced below
+            compact_max_deltas: u64::MAX,
+            compact_ratio_pct: u64::MAX,
+            ..FileBackendOptions::default()
+        };
         {
-            let backend = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
-            for round in 0..commits {
-                backend.commit_ops(&commit_ops(round)).unwrap();
+            let backend = FileBackend::open(&dir, write_opts).unwrap();
+            populate_state(&backend, keys);
+            backend.snapshot_now().unwrap(); // v2 base, 8 sections
+            for round in 0..(keys / 20).min(2_048) {
+                backend.put(format!("state/{round:010}").as_bytes(), &round.to_le_bytes());
+            }
+            backend.snapshot_now().unwrap(); // delta on top
+            for round in 0..256u64 {
+                backend.commit_ops(&commit_ops(round)).unwrap(); // WAL tail
             }
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{commits}_commits")),
-            &commits,
-            |b, _| {
+        for (label, threads) in [("serial", 1usize), ("parallel", 4)] {
+            let opts = FileBackendOptions {
+                recovery_threads: threads,
+                ..write_opts
+            };
+            group.bench_function(format!("scale{scale}_{label}"), |b| {
                 b.iter_with_setup(
                     || (),
                     |()| {
-                        let reborn =
-                            FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
-                        assert_eq!(reborn.len(), 16);
+                        let reborn = FileBackend::open(&dir, opts).unwrap();
+                        assert_eq!(reborn.len() as u64, keys + 16);
                         reborn.len()
                     },
                 );
-            },
-        );
+            });
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+/// Indexed delta chains: cold point gets over a 1/16/64-file delta
+/// chain, with the sidecar index on vs the full-chain-scan baseline.
+/// The get mix is 3/4 churned keys (land in some delta), 1/8 base-only
+/// keys and 1/8 misses — misses are where un-indexed chains pay the
+/// whole file list.
+fn bench_cold_point_get(c: &mut Criterion) {
+    const KEYS: u64 = 4_000;
+    const CHURN_PER_DELTA: u64 = 512;
+    let mut group = c.benchmark_group("b2_cold_point_get");
+    group.sample_size(if smoke() { 5 } else { 10 });
+    group.measurement_time(Duration::from_millis(if smoke() { 300 } else { 1_000 }));
+    let chains: &[u64] = if smoke() { &[1, 64] } else { &[1, 16, 64] };
+    for &chain in chains {
+        let dir = scratch_dir();
+        {
+            let opts = FileBackendOptions {
+                shards: 8,
+                snapshot_every: 0,
+                compact_max_deltas: u64::MAX, // keep the whole chain
+                compact_ratio_pct: u64::MAX,
+                ..FileBackendOptions::default()
+            };
+            let backend = FileBackend::open(&dir, opts).unwrap();
+            populate_state(&backend, KEYS);
+            backend.snapshot_now().unwrap(); // base
+            for d in 0..chain {
+                for i in 0..CHURN_PER_DELTA {
+                    // Each delta rewrites a distinct slice of the key
+                    // space (wrapping), so chains carry real churn.
+                    let k = (d * CHURN_PER_DELTA + i) % (KEYS / 2);
+                    backend.put(format!("state/{k:010}").as_bytes(), &d.to_le_bytes());
+                }
+                backend.snapshot_now().unwrap(); // one more delta file
+            }
+        }
+        for (label, use_index) in [("indexed", true), ("fullscan", false)] {
+            let reader = ColdReader::open_with(&dir, ColdReaderOptions { use_index }).unwrap();
+            assert_eq!(reader.chain_len() as u64, chain + 1);
+            let round = AtomicU64::new(0);
+            group.bench_function(format!("chain{chain}_{label}"), |b| {
+                b.iter(|| {
+                    let r = round.fetch_add(1, Ordering::Relaxed);
+                    let mut found = 0u64;
+                    for i in 0..64u64 {
+                        let key = match i % 8 {
+                            // Churned keys: present in some delta.
+                            0..=5 => format!("state/{:010}", (r * 64 + i * 37) % (KEYS / 2)),
+                            // Base-only keys: every delta must be skipped
+                            // (index) or scanned (baseline).
+                            6 => format!("state/{:010}", KEYS / 2 + (r * 64 + i) % (KEYS / 2)),
+                            // Misses: the worst case for un-indexed chains.
+                            _ => format!("zzz/{:010}", r * 64 + i),
+                        };
+                        if reader.get(key.as_bytes()).unwrap().is_some() {
+                            found += 1;
+                        }
+                    }
+                    assert!(found >= 48, "present keys must resolve");
+                    found
+                });
+            });
+            drop(reader);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
     group.finish();
@@ -168,16 +289,31 @@ fn bench_group_commit(c: &mut Criterion) {
     let mut group = c.benchmark_group("b2_group_commit");
     group.sample_size(if smoke() { 7 } else { 12 });
     group.measurement_time(Duration::from_millis(if smoke() { 400 } else { 1_500 }));
-    let writer_counts: &[usize] = if smoke() { &[16] } else { &[1, 4, 16] };
+    let writer_counts: &[usize] = if smoke() { &[1, 16] } else { &[1, 4, 16] };
+    // The policy axis: no barrier, fixed windows (0 = flush as soon as
+    // the leader drains, 50/200µs = park hoping for company), and the
+    // adaptive controller that sizes its wait from observed cohorts.
+    let policies: &[(&str, GroupCommitPolicy)] = if smoke() {
+        &[
+            ("group_on", GroupCommitPolicy::Fixed(0)),
+            ("group_off", GroupCommitPolicy::Off),
+            ("adaptive", GroupCommitPolicy::adaptive_default()),
+        ]
+    } else {
+        &[
+            ("group_on", GroupCommitPolicy::Fixed(0)),
+            ("group_off", GroupCommitPolicy::Off),
+            ("fixed50", GroupCommitPolicy::Fixed(50)),
+            ("fixed200", GroupCommitPolicy::Fixed(200)),
+            ("adaptive", GroupCommitPolicy::adaptive_default()),
+        ]
+    };
     for &writers in writer_counts {
-        for (label, window) in [
-            ("group_on", Some(Duration::ZERO)),
-            ("group_off", None),
-        ] {
+        for &(label, policy) in policies {
             let opts = FileBackendOptions {
                 shards: 16,
                 sync_commits: true,
-                group_commit_window: window,
+                group_commit: policy,
                 ..FileBackendOptions::default()
             };
             let backend =
@@ -304,16 +440,18 @@ criterion_group!(
     b2,
     bench_commit_latency,
     bench_checkpoint_restart,
-    bench_cold_recovery_file,
+    bench_cold_recovery,
+    bench_cold_point_get,
     bench_group_commit,
     bench_snapshot_mode,
     bench_snapshot_mode_recovery
 );
-criterion_group!(b2_smoke, bench_group_commit);
+criterion_group!(b2_smoke, bench_group_commit, bench_cold_recovery, bench_cold_point_get);
 
 fn main() {
     if smoke() {
-        // CI guard slice: just the contended group-commit cells.
+        // CI guard slice: the group-commit policy cells plus the
+        // recovery/point-get cells the multi-check floor gates on.
         b2_smoke();
     } else {
         b2();

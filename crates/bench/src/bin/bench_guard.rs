@@ -15,6 +15,22 @@
 //! purpose: the guard exists to catch "someone made every durable
 //! commit pay its own fsync again", not 5% noise.
 //!
+//! Besides the legacy top-level fields, a floor file may carry a
+//! `checks` array — each entry is one machine-relative gate, optionally
+//! against a different results file and optionally **core-aware**
+//! (skipped below `min_cores`, for cells like parallel recovery that
+//! physically cannot win on a single-core host):
+//!
+//! ```json
+//! { "name": "...", "kind": "ratio_max",   "num_cell": "a", "den_cell": "b",
+//!   "limit": 1.3, "results": "results/bench_x.json", "min_cores": 0 }
+//! { "name": "...", "kind": "speedup_min", "num_cell": "slow", "den_cell": "fast",
+//!   "limit": 2.0, "min_cores": 4 }
+//! ```
+//!
+//! `ratio_max` fails when `num/den > limit`; `speedup_min` fails when
+//! `num/den < limit` (num is the cell that should be slower).
+//!
 //! Usage: `bench_guard [results.json] [floor.json]`.
 
 use serde_json::Value;
@@ -123,6 +139,79 @@ fn main() {
                      {results_path} lacks one of the cells"
                 );
                 failed = true;
+            }
+        }
+    }
+
+    // Multi-check schema: independent machine-relative gates, each
+    // optionally against its own results file and optionally gated on a
+    // minimum core count (cells whose win needs real parallelism).
+    if let Some(checks) = floor["checks"].as_array() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        for check in checks {
+            let name = check["name"].as_str().unwrap_or("<unnamed>");
+            let min_cores = check["min_cores"].as_u64().unwrap_or(0) as usize;
+            if cores < min_cores {
+                println!(
+                    "bench_guard: SKIP {name} — host has {cores} core(s), check needs \
+                     {min_cores} (the cell cannot win without real parallelism)"
+                );
+                continue;
+            }
+            let own_results;
+            let results = match check["results"].as_str() {
+                Some(path) => {
+                    own_results = read(path);
+                    &own_results
+                }
+                None => &results,
+            };
+            let kind = check["kind"].as_str().unwrap_or_default();
+            let num_cell = check["num_cell"].as_str().unwrap_or_default();
+            let den_cell = check["den_cell"].as_str().unwrap_or_default();
+            let limit = check["limit"].as_f64().unwrap_or(0.0);
+            let (Some(num), Some(den)) =
+                (median_of(results, num_cell), median_of(results, den_cell))
+            else {
+                eprintln!(
+                    "bench_guard: FAIL — check {name} needs cells {num_cell:?} and \
+                     {den_cell:?}, but the results lack one of them"
+                );
+                failed = true;
+                continue;
+            };
+            let ratio = num / den.max(1.0);
+            match kind {
+                "ratio_max" => {
+                    println!(
+                        "bench_guard: check {name}: {num_cell}/{den_cell} = {ratio:.2}x \
+                         (max {limit:.2}x)"
+                    );
+                    if ratio > limit {
+                        eprintln!(
+                            "bench_guard: FAIL — {name}: {num_cell} costs {ratio:.2}x of \
+                             {den_cell} (floor allows {limit:.2}x)"
+                        );
+                        failed = true;
+                    }
+                }
+                "speedup_min" => {
+                    println!(
+                        "bench_guard: check {name}: {num_cell}/{den_cell} = {ratio:.2}x \
+                         speedup (min {limit:.2}x)"
+                    );
+                    if ratio < limit {
+                        eprintln!(
+                            "bench_guard: FAIL — {name}: only {ratio:.2}x faster than \
+                             {num_cell} (floor requires {limit:.2}x)"
+                        );
+                        failed = true;
+                    }
+                }
+                other => {
+                    eprintln!("bench_guard: FAIL — check {name} has unknown kind {other:?}");
+                    failed = true;
+                }
             }
         }
     }

@@ -29,9 +29,10 @@
 //! assert_eq!(group.stats().flushes, 1);
 //! ```
 
+use crate::config::GroupCommitPolicy;
 use crate::OmResult;
-use parking_lot::{Condvar, Mutex};
-use std::time::Duration;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Point-in-time counters of a [`CommitGroup`] (see
 /// [`CommitGroup::stats`]).
@@ -45,6 +46,10 @@ pub struct CommitGroupStats {
     pub released: u64,
     /// Largest single cohort released by one flush.
     pub max_cohort: u64,
+    /// Leader elections in which the adaptive policy observed
+    /// concurrency and waited for the cohort to grow (always 0 under
+    /// `Off`/`Fixed` policies).
+    pub adaptive_waits: u64,
 }
 
 impl CommitGroupStats {
@@ -58,22 +63,42 @@ impl CommitGroupStats {
 struct GroupState {
     /// Highest durable (released) ticket.
     durable: u64,
+    /// Highest ticket any writer has announced via `wait_durable`.
+    /// `highest - durable` is the cohort the adaptive leader can see;
+    /// a flush may cover tickets staged but not yet announced, so
+    /// `durable` can momentarily run ahead of `highest`.
+    highest: u64,
     /// A leader is currently running the flush closure.
     leader_active: bool,
     stats: CommitGroupStats,
+}
+
+/// How an elected leader spends the moment between election and flush.
+#[derive(Debug, Clone, Copy)]
+enum WaitPlan {
+    /// Flush as soon as leadership is acquired.
+    Immediate,
+    /// Sleep a fixed window, blind to arrivals.
+    FixedSleep(Duration),
+    /// Watch arrivals; flush at `target` pending tickets, on arrival
+    /// stall, or at the `max_window` deadline — whichever is first.
+    Adaptive { target: u64, max_window: Duration },
 }
 
 /// The commit barrier. See the module docs for the protocol.
 pub struct CommitGroup {
     state: Mutex<GroupState>,
     released: Condvar,
-    window: Duration,
+    /// Wakes a leader parked in the adaptive wait when a new ticket is
+    /// announced.
+    arrivals: Condvar,
+    plan: WaitPlan,
 }
 
 impl std::fmt::Debug for CommitGroup {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CommitGroup")
-            .field("window", &self.window)
+            .field("plan", &self.plan)
             .finish()
     }
 }
@@ -85,14 +110,42 @@ impl CommitGroup {
     /// batches every ticket that queued while the previous leader was
     /// flushing.
     pub fn new(window: Duration) -> Self {
+        Self::with_plan(if window.is_zero() {
+            WaitPlan::Immediate
+        } else {
+            WaitPlan::FixedSleep(window)
+        })
+    }
+
+    /// A barrier driven by a [`GroupCommitPolicy`]. `Off` degenerates to
+    /// an immediate-flush barrier (callers that want *no* barrier at all
+    /// should not route commits through a `CommitGroup`).
+    pub fn with_policy(policy: GroupCommitPolicy) -> Self {
+        Self::with_plan(match policy {
+            GroupCommitPolicy::Off => WaitPlan::Immediate,
+            GroupCommitPolicy::Fixed(0) => WaitPlan::Immediate,
+            GroupCommitPolicy::Fixed(us) => WaitPlan::FixedSleep(Duration::from_micros(us)),
+            GroupCommitPolicy::Adaptive {
+                target_cohort,
+                max_window_us,
+            } => WaitPlan::Adaptive {
+                target: target_cohort.max(2),
+                max_window: Duration::from_micros(max_window_us),
+            },
+        })
+    }
+
+    fn with_plan(plan: WaitPlan) -> Self {
         Self {
             state: Mutex::new(GroupState {
                 durable: 0,
+                highest: 0,
                 leader_active: false,
                 stats: CommitGroupStats::default(),
             }),
             released: Condvar::new(),
-            window,
+            arrivals: Condvar::new(),
+            plan,
         }
     }
 
@@ -111,6 +164,12 @@ impl CommitGroup {
         F: FnMut() -> OmResult<u64>,
     {
         let mut st = self.state.lock();
+        if ticket > st.highest {
+            st.highest = ticket;
+            // Wake a leader parked in the adaptive wait: the cohort
+            // just grew.
+            self.arrivals.notify_one();
+        }
         loop {
             if st.durable >= ticket {
                 return Ok(());
@@ -120,11 +179,18 @@ impl CommitGroup {
                 continue;
             }
             st.leader_active = true;
-            drop(st);
-            if !self.window.is_zero() {
-                // Let the cohort grow: appenders keep staging while the
-                // leader waits out the window.
-                std::thread::sleep(self.window);
+            match self.plan {
+                WaitPlan::Immediate => drop(st),
+                WaitPlan::FixedSleep(window) => {
+                    drop(st);
+                    // Let the cohort grow: appenders keep staging while
+                    // the leader waits out the window.
+                    std::thread::sleep(window);
+                }
+                WaitPlan::Adaptive { target, max_window } => {
+                    self.adaptive_wait(&mut st, target, max_window);
+                    drop(st);
+                }
             }
             let result = flush();
             st = self.state.lock();
@@ -150,6 +216,51 @@ impl CommitGroup {
         }
     }
 
+    /// The adaptive leader duty between election and flush, run with
+    /// the state lock held (released while parked on `arrivals`).
+    ///
+    /// The controller keys off *observed concurrency*, not a modelled
+    /// arrival rate: `pending = highest - durable` counts the writers
+    /// that have already announced tickets this cohort. A lone
+    /// closed-loop writer always observes `pending == 1` — it cannot
+    /// generate arrivals while it is the one parked here — so it
+    /// flushes immediately and pays zero window. With `pending >= 2`
+    /// there is real concurrency worth waiting for: park on the
+    /// `arrivals` condvar in short slices until the cohort reaches
+    /// `target`, the arrival stream stalls (a full slice passes with no
+    /// new ticket), or `max_window` expires.
+    fn adaptive_wait(&self, st: &mut MutexGuard<'_, GroupState>, target: u64, max_window: Duration) {
+        let pending = st.highest.saturating_sub(st.durable);
+        if pending <= 1 || pending >= target || max_window.is_zero() {
+            return;
+        }
+        st.stats.adaptive_waits += 1;
+        let deadline = Instant::now() + max_window;
+        // Stall-detection granularity: an eighth of the window, clamped
+        // so it neither spins (>=20us) nor sleeps past idleness (<=200us).
+        let slice = (max_window / 8).clamp(Duration::from_micros(20), Duration::from_micros(200));
+        let mut last_highest = st.highest;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let timed_out = self
+                .arrivals
+                .wait_for(st, (deadline - now).min(slice))
+                .timed_out();
+            if st.highest.saturating_sub(st.durable) >= target {
+                return;
+            }
+            if timed_out && st.highest == last_highest {
+                // A whole slice passed without a single arrival: the
+                // burst is over, flush what we have.
+                return;
+            }
+            last_highest = st.highest;
+        }
+    }
+
     /// Highest durable ticket (0 before any flush).
     pub fn durable(&self) -> u64 {
         self.state.lock().durable
@@ -163,6 +274,7 @@ impl CommitGroup {
     pub fn reset_floor(&self, floor: u64) {
         let mut st = self.state.lock();
         st.durable = st.durable.max(floor);
+        st.highest = st.highest.max(floor);
     }
 
     /// Counters accumulated so far.
@@ -174,6 +286,7 @@ impl CommitGroup {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::GroupCommitPolicy;
     use crate::OmError;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
@@ -230,6 +343,104 @@ mod tests {
             "never more flushes than commits"
         );
         assert_eq!(group.durable(), WRITERS * ROUNDS);
+    }
+
+    #[test]
+    fn adaptive_lone_writer_never_waits() {
+        let group = CommitGroup::with_policy(GroupCommitPolicy::Adaptive {
+            target_cohort: 8,
+            max_window_us: 50_000,
+        });
+        let staged = AtomicU64::new(0);
+        for ticket in 1..=32u64 {
+            staged.store(ticket, Ordering::SeqCst);
+            group
+                .wait_durable(ticket, || Ok(staged.load(Ordering::SeqCst)))
+                .unwrap();
+        }
+        let stats = group.stats();
+        assert_eq!(stats.released, 32);
+        assert_eq!(
+            stats.adaptive_waits, 0,
+            "a lone writer observes pending == 1 and must not wait out the window"
+        );
+    }
+
+    #[test]
+    fn adaptive_contended_builds_cohorts() {
+        const WRITERS: u64 = 8;
+        const ROUNDS: u64 = 50;
+        let group = Arc::new(CommitGroup::with_policy(GroupCommitPolicy::Adaptive {
+            target_cohort: 4,
+            max_window_us: 2_000,
+        }));
+        let staged = Arc::new(AtomicU64::new(0));
+        let next = Arc::new(AtomicU64::new(1));
+        let mut handles = Vec::new();
+        for _ in 0..WRITERS {
+            let (group, staged, next) = (group.clone(), staged.clone(), next.clone());
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    let ticket = next.fetch_add(1, Ordering::SeqCst);
+                    staged.fetch_max(ticket, Ordering::SeqCst);
+                    group
+                        .wait_durable(ticket, || {
+                            // Simulate the fsync the leader pays: long
+                            // enough for other writers to queue behind.
+                            std::thread::sleep(Duration::from_micros(200));
+                            Ok(staged.load(Ordering::SeqCst))
+                        })
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = group.stats();
+        assert_eq!(stats.released, WRITERS * ROUNDS, "every ticket released");
+        assert!(
+            stats.flushes < WRITERS * ROUNDS,
+            "adaptive leaders must amortize flushes under contention \
+             (got {} flushes for {} commits)",
+            stats.flushes,
+            WRITERS * ROUNDS
+        );
+        assert!(stats.max_cohort >= 2);
+        assert_eq!(group.durable(), WRITERS * ROUNDS);
+    }
+
+    #[test]
+    fn adaptive_pending_cohort_waits_then_stall_flushes() {
+        // Announcing ticket 2 against durable floor 0 means the leader
+        // observes pending == 2: real concurrency, so it must enter the
+        // adaptive wait — and with no further arrivals the stall
+        // detector must flush long before the (deliberately huge)
+        // max_window deadline.
+        let group = CommitGroup::with_policy(GroupCommitPolicy::Adaptive {
+            target_cohort: 8,
+            max_window_us: 2_000_000,
+        });
+        let start = Instant::now();
+        group.wait_durable(2, || Ok(2)).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(group.durable(), 2);
+        assert_eq!(group.stats().adaptive_waits, 1);
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "stall detection must flush well before the 2s window (took {elapsed:?})"
+        );
+    }
+
+    #[test]
+    fn adaptive_zero_window_flushes_immediately() {
+        let group = CommitGroup::with_policy(GroupCommitPolicy::Adaptive {
+            target_cohort: 8,
+            max_window_us: 0,
+        });
+        group.wait_durable(1, || Ok(1)).unwrap();
+        assert_eq!(group.durable(), 1);
+        assert_eq!(group.stats().adaptive_waits, 0);
     }
 
     #[test]

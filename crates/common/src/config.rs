@@ -217,6 +217,58 @@ impl SnapshotMode {
     }
 }
 
+/// Group-commit discipline of the durable write path: how long an
+/// elected cohort leader waits for more committers to queue before it
+/// performs the single flush+fsync that covers the whole cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupCommitPolicy {
+    /// No commit barrier: every commit pays its own flush+fsync (the
+    /// PR 4 behaviour; the b2 `group_off` baseline).
+    Off,
+    /// Fixed window in microseconds: the leader sleeps this long before
+    /// flushing (0 = flush as soon as leadership is acquired, batching
+    /// whatever queued meanwhile). Trades single-writer latency for
+    /// cohort size blindly.
+    Fixed(u64),
+    /// Adaptive window: the leader watches the cohort grow and flushes
+    /// as soon as `target_cohort` commits are pending, commit arrivals
+    /// stall, or `max_window_us` elapses — whichever comes first. A
+    /// lone writer observes no concurrency and pays (close to) zero
+    /// window; contended writers amortize one fsync over ~target_cohort
+    /// commits without hand-tuning a window per host.
+    Adaptive {
+        /// Cohort size the leader waits for before flushing.
+        target_cohort: u64,
+        /// Hard cap on the wait, in microseconds.
+        max_window_us: u64,
+    },
+}
+
+impl GroupCommitPolicy {
+    /// Default adaptive shape: aim for 8-commit cohorts, never delay a
+    /// flush by more than 500 µs.
+    pub fn adaptive_default() -> Self {
+        GroupCommitPolicy::Adaptive {
+            target_cohort: 8,
+            max_window_us: 500,
+        }
+    }
+
+    /// Whether commits go through the cohort barrier at all.
+    pub fn is_grouped(self) -> bool {
+        !matches!(self, GroupCommitPolicy::Off)
+    }
+
+    /// Stable label for reports and bench ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            GroupCommitPolicy::Off => "off",
+            GroupCommitPolicy::Fixed(_) => "fixed",
+            GroupCommitPolicy::Adaptive { .. } => "adaptive",
+        }
+    }
+}
+
 /// Durability tuning of the [`BackendKind::FileDurable`] backend (and
 /// the persistent ingress log), threaded from `RunConfig` through
 /// `PlatformSpec` so every matrix cell can select its write-path
@@ -227,14 +279,9 @@ pub struct DurableOptions {
     /// durability). Off by default: commits are flushed to the OS and
     /// survive a *process* crash only.
     pub sync_commits: bool,
-    /// Group-commit window in microseconds: `Some(w)` parks committers
-    /// on a commit barrier and lets a single leader perform ONE
-    /// flush+fsync for the whole cohort (waiting up to `w` µs for the
-    /// cohort to grow; `Some(0)` = flush as soon as leadership is
-    /// acquired, batching whatever queued meanwhile). `None` disables
-    /// the barrier: every commit pays its own flush+fsync (the PR 4
-    /// behaviour).
-    pub group_commit_window_us: Option<u64>,
+    /// Group-commit policy: off (per-commit fsync), fixed window, or
+    /// adaptive cohort targeting. See [`GroupCommitPolicy`].
+    pub group_commit: GroupCommitPolicy,
     /// Full vs incremental snapshots.
     pub snapshot_mode: SnapshotMode,
     /// Incremental mode: fold the delta chain into a fresh full base
@@ -243,16 +290,21 @@ pub struct DurableOptions {
     /// Incremental mode: fold the chain once accumulated delta bytes
     /// exceed this percentage of the base snapshot's size.
     pub compact_ratio_pct: u64,
+    /// Worker threads used to load snapshot/delta partitions during
+    /// cold recovery. `0` = auto (one per core, capped at 8); `1`
+    /// forces the serial path. WAL replay is sequential regardless.
+    pub recovery_threads: usize,
 }
 
 impl Default for DurableOptions {
     fn default() -> Self {
         Self {
             sync_commits: false,
-            group_commit_window_us: Some(0),
+            group_commit: GroupCommitPolicy::Fixed(0),
             snapshot_mode: SnapshotMode::Incremental,
             compact_max_deltas: 16,
             compact_ratio_pct: 100,
+            recovery_threads: 0,
         }
     }
 }
@@ -263,7 +315,7 @@ impl DurableOptions {
     /// against.
     pub fn legacy() -> Self {
         Self {
-            group_commit_window_us: None,
+            group_commit: GroupCommitPolicy::Off,
             snapshot_mode: SnapshotMode::Full,
             ..Self::default()
         }
@@ -401,7 +453,7 @@ mod tests {
     fn durable_options_roundtrip_and_legacy() {
         let d = DurableOptions {
             sync_commits: true,
-            group_commit_window_us: Some(250),
+            group_commit: GroupCommitPolicy::Fixed(250),
             snapshot_mode: SnapshotMode::Incremental,
             ..DurableOptions::default()
         };
@@ -413,9 +465,39 @@ mod tests {
         let back: RunConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(back.durable, d);
         let legacy = DurableOptions::legacy();
-        assert_eq!(legacy.group_commit_window_us, None);
+        assert_eq!(legacy.group_commit, GroupCommitPolicy::Off);
         assert_eq!(legacy.snapshot_mode, SnapshotMode::Full);
         assert_ne!(SnapshotMode::Full.label(), SnapshotMode::Incremental.label());
+    }
+
+    #[test]
+    fn group_commit_policy_roundtrip_and_labels() {
+        for p in [
+            GroupCommitPolicy::Off,
+            GroupCommitPolicy::Fixed(0),
+            GroupCommitPolicy::Fixed(250),
+            GroupCommitPolicy::adaptive_default(),
+            GroupCommitPolicy::Adaptive {
+                target_cohort: 32,
+                max_window_us: 2_000,
+            },
+        ] {
+            let s = serde_json::to_string(&p).unwrap();
+            let back: GroupCommitPolicy = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, p);
+        }
+        assert!(!GroupCommitPolicy::Off.is_grouped());
+        assert!(GroupCommitPolicy::Fixed(0).is_grouped());
+        assert!(GroupCommitPolicy::adaptive_default().is_grouped());
+        let labels: std::collections::HashSet<_> = [
+            GroupCommitPolicy::Off,
+            GroupCommitPolicy::Fixed(1),
+            GroupCommitPolicy::adaptive_default(),
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        assert_eq!(labels.len(), 3);
     }
 
     #[test]

@@ -45,6 +45,7 @@ use crate::event_log::EventLog;
 use crate::topic::{Entry, Topic};
 use om_common::checksum::{parse_frame, push_frame};
 use om_common::commit_group::CommitGroup;
+use om_common::config::GroupCommitPolicy;
 use om_common::{OmError, OmResult};
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
@@ -55,7 +56,6 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Serializes one record type to and from segment-file bytes.
 ///
@@ -93,23 +93,24 @@ impl<T: Serialize + DeserializeOwned> RecordCodec<T> for SerdeCodec {
 pub struct PersistentTopicOptions {
     /// Segment roll threshold in bytes per partition.
     pub segment_bytes: u64,
-    /// Group-flush window per partition: `Some(w)` batches the
-    /// per-record segment write through a commit barrier
-    /// (`om_common::commit_group`) — appenders stage their frame into
-    /// an in-memory buffer (never blocking on an in-flight write) and
-    /// park; a cohort leader performs ONE segment write for everyone
-    /// staged (waiting up to `w` for the cohort to grow) and only then
-    /// mirrors the cohort into memory, preserving the "written before
-    /// readable" guarantee. `None` (the default) writes every append
-    /// individually — the PR 4 behaviour.
-    pub group_commit_window: Option<Duration>,
+    /// Group-flush policy per partition: anything but
+    /// [`GroupCommitPolicy::Off`] batches the per-record segment write
+    /// through a commit barrier (`om_common::commit_group`) — appenders
+    /// stage their frame into an in-memory buffer (never blocking on an
+    /// in-flight write) and park; a cohort leader performs ONE segment
+    /// write for everyone staged (growing the cohort per the policy:
+    /// fixed window or adaptive target) and only then mirrors the
+    /// cohort into memory, preserving the "written before readable"
+    /// guarantee. `Off` (the default) writes every append individually
+    /// — the PR 4 behaviour.
+    pub group_commit: GroupCommitPolicy,
 }
 
 impl Default for PersistentTopicOptions {
     fn default() -> Self {
         Self {
             segment_bytes: 1 << 20,
-            group_commit_window: None,
+            group_commit: GroupCommitPolicy::Off,
         }
     }
 }
@@ -225,7 +226,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
             stages: Vec::new(),
             parts: Vec::new(),
             groups: (0..partitions)
-                .map(|_| CommitGroup::new(options.group_commit_window.unwrap_or(Duration::ZERO)))
+                .map(|_| CommitGroup::with_policy(options.group_commit))
                 .collect(),
             wedged: std::sync::atomic::AtomicBool::new(false),
             _lock: lock,
@@ -403,7 +404,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
     /// Appends `(producer, seq, payload)` to `partition`: deduplicated
     /// against the fence first (retransmissions never touch disk), then
     /// written as one frame and flushed **before** the record becomes
-    /// readable. With [`PersistentTopicOptions::group_commit_window`]
+    /// readable. With [`PersistentTopicOptions::group_commit`]
     /// the flush is batched: the record is staged into the buffered
     /// writer and the caller parks on the partition's commit barrier
     /// until a cohort leader has flushed (and mirrored) it — one flush
@@ -426,7 +427,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
             .stages
             .get(partition)
             .ok_or_else(|| OmError::NotFound(format!("partition {partition}")))?;
-        if self.options.group_commit_window.is_none() {
+        if !self.options.group_commit.is_grouped() {
             return self.append_unbatched(partition, producer, seq, payload);
         }
 
@@ -472,7 +473,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
         Ok(offset)
     }
 
-    /// The barrier-free path (`group_commit_window: None`): every
+    /// The barrier-free path ([`GroupCommitPolicy::Off`]): every
     /// record pays its own segment write before becoming readable.
     fn append_unbatched(
         &self,
@@ -940,7 +941,7 @@ mod tests {
         let dir = scratch("group");
         let _guard = DirGuard(dir.clone());
         let opts = PersistentTopicOptions {
-            group_commit_window: Some(Duration::ZERO),
+            group_commit: GroupCommitPolicy::Fixed(0),
             ..PersistentTopicOptions::default()
         };
         {

@@ -131,6 +131,42 @@ impl Catalog {
             list.push(id);
         }
     }
+
+    /// Rebuilds the catalog from the grain snapshots a storage backend
+    /// already holds — the cold-start path. Entity grains persist their
+    /// state under `<kind>/<id be64>` keys, so one ordered prefix scan
+    /// per catalog kind recovers every id ingested before a restart; a
+    /// memory-backed (fresh) backend simply yields empty scans.
+    pub fn recover_from(backend: &dyn om_storage::StateBackend) -> Self {
+        let catalog = Catalog::default();
+        for id in scan_grain_ids(backend, super::kinds::SELLER) {
+            catalog.add_seller(SellerId(id));
+        }
+        for id in scan_grain_ids(backend, super::kinds::CUSTOMER) {
+            catalog.add_customer(CustomerId(id));
+        }
+        for id in scan_grain_ids(backend, super::kinds::PRODUCT) {
+            catalog.add_product(ProductId(id));
+        }
+        catalog
+    }
+}
+
+/// Decodes the grain ids persisted under `<kind>/<id be64>` storage keys
+/// (the `om_actor::storage` key scheme).
+fn scan_grain_ids(backend: &dyn om_storage::StateBackend, kind: &str) -> Vec<u64> {
+    let mut prefix = Vec::with_capacity(kind.len() + 1);
+    prefix.extend_from_slice(kind.as_bytes());
+    prefix.push(b'/');
+    backend
+        .scan_prefix(&prefix)
+        .into_iter()
+        .filter_map(|(key, _)| {
+            key.get(prefix.len()..)
+                .and_then(|raw| <[u8; 8]>::try_from(raw).ok())
+                .map(u64::from_be_bytes)
+        })
+        .collect()
 }
 
 /// The grain cluster plus the bookkeeping both actor bindings share.
@@ -146,14 +182,20 @@ pub struct ActorCore {
 
 impl ActorCore {
     pub fn new(config: &ActorPlatformConfig) -> Self {
+        // One backend decision for both uses: the catalog rebuild scans
+        // the same instance the cluster persists through, so a platform
+        // built over a durable (or shared) backend lists every entity a
+        // previous instance ingested without any in-memory handoff.
+        let backend = config.storage_backend();
+        let catalog = Catalog::recover_from(backend.as_ref());
         Self {
             cluster: build_cluster(
                 config.silos,
                 config.workers_per_silo,
                 config.faults,
-                config.storage_backend(),
+                backend,
             ),
-            catalog: Catalog::default(),
+            catalog,
             tids: IdSequence::new(1),
             decline_rate: config.decline_rate,
             counters: CounterSet::new(),
@@ -172,7 +214,7 @@ impl ActorCore {
         self.cluster
             .call(seller_grain(id), Msg::SellerIngest(seller))?
             .ok()?;
-        self.catalog.sellers.write().push(id);
+        self.catalog.add_seller(id);
         Ok(())
     }
 
@@ -181,7 +223,7 @@ impl ActorCore {
         self.cluster
             .call(customer_grain(id), Msg::CustomerIngest(customer))?
             .ok()?;
-        self.catalog.customers.write().push(id);
+        self.catalog.add_customer(id);
         Ok(())
     }
 
@@ -209,7 +251,7 @@ impl ActorCore {
                 },
             )?
             .ok()?;
-        self.catalog.products.write().push(id);
+        self.catalog.add_product(id);
         Ok(())
     }
 

@@ -96,9 +96,13 @@ fn handle_tx_protocol<S: Clone, M>(
 ///
 /// `decline_rate` only matters for the *event-driven* payment path; the
 /// transactional path carries the rate in its messages. Grain snapshots
-/// persist through the `backend`-selected [`om_storage::StateBackend`];
+/// persist through the `backend`-selected [`om_storage::StateBackend`]:
 /// stock grains (the hottest persisted state — every checkout writes
-/// them) reactivate from their last snapshot after a silo failure.
+/// them) plus the catalog entities — products, replicas, sellers,
+/// customers — so a platform rebuilt over a durable backend reactivates
+/// them from their last committed snapshot and
+/// [`super::actor_core::Catalog::recover_from`] can re-list them on a
+/// cold start.
 pub fn build_cluster(
     silos: usize,
     workers_per_silo: usize,
@@ -111,8 +115,8 @@ pub fn build_cluster(
         .faults(faults)
         .call_timeout(Duration::from_secs(30))
         .storage_backend(backend)
-        .register(kinds::PRODUCT, |_id, _snap| make_product_grain())
-        .register(kinds::REPLICA, |_id, _snap| make_replica_grain())
+        .register(kinds::PRODUCT, |_id, snap| make_product_grain(snap))
+        .register(kinds::REPLICA, |_id, snap| make_replica_grain(snap))
         .register(kinds::STOCK, |_id, snap| make_stock_grain(snap))
         .register(kinds::CART, |id, _snap| make_cart_grain(CustomerId(id.key)))
         .register(kinds::ORDER, |id, _snap| make_order_grain(CustomerId(id.key)))
@@ -122,21 +126,38 @@ pub fn build_cluster(
         .register(kinds::SHIPMENT, |id, _snap| {
             make_shipment_grain(SellerId(id.key))
         })
-        .register(kinds::SELLER, |id, _snap| make_seller_grain(SellerId(id.key)))
-        .register(kinds::CUSTOMER, |id, _snap| {
-            make_customer_grain(CustomerId(id.key))
+        .register(kinds::SELLER, |id, snap| {
+            make_seller_grain(SellerId(id.key), snap)
+        })
+        .register(kinds::CUSTOMER, |id, snap| {
+            make_customer_grain(CustomerId(id.key), snap)
         })
         .build()
+}
+
+/// Persists any serializable grain state as its snapshot (catalog
+/// entities persist their full committed state so cold restarts rebuild
+/// the catalog from the backend alone).
+fn persist_state<S: serde::Serialize>(ctx: &mut GrainContext<'_, Msg>, state: &S) {
+    if let Ok(bytes) = om_common::codec::to_bytes(state) {
+        ctx.persist(bytes);
+    }
+}
+
+/// Decodes a reactivation snapshot, if one was stored.
+fn restore<S: serde::de::DeserializeOwned>(snapshot: Option<Vec<u8>>) -> Option<S> {
+    snapshot.and_then(|bytes| om_common::codec::from_bytes::<S>(&bytes).ok())
 }
 
 // ---------------------------------------------------------------------
 // Product
 // ---------------------------------------------------------------------
 
-fn make_product_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
-    let mut state: Option<om_common::entity::Product> = None;
+fn make_product_grain(snapshot: Option<Vec<u8>>) -> Box<dyn om_actor::Grain<Msg, Reply>> {
+    let mut state: Option<om_common::entity::Product> = restore(snapshot);
     Box::new(move |ctx: &mut GrainContext<'_, Msg>, msg: Msg, _| match msg {
         Msg::ProductIngest(p) => {
+            persist_state(ctx, &p);
             state = Some(p);
             Reply::Ok
         }
@@ -146,6 +167,7 @@ fn make_product_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
                 p.set_price(price);
                 let at = ctx.tick();
                 let _ = at;
+                persist_state(ctx, p);
                 ctx.send(
                     replica_grain(p.id),
                     Msg::ReplicaApplyUpdate {
@@ -161,6 +183,7 @@ fn make_product_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
         Msg::ProductDelete => match state.as_mut() {
             Some(p) if p.active => {
                 p.delete();
+                persist_state(ctx, p);
                 ctx.send(replica_grain(p.id), Msg::ReplicaApplyDelete { version: p.version });
                 ctx.send(stock_grain(p.id), Msg::StockApplyDelete { version: p.version });
                 Reply::Count(p.version)
@@ -176,19 +199,32 @@ fn make_product_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
 // Replica (cart-side product view)
 // ---------------------------------------------------------------------
 
-fn make_replica_grain() -> Box<dyn om_actor::Grain<Msg, Reply>> {
-    let mut state: Option<ProductReplica> = None;
+fn make_replica_grain(snapshot: Option<Vec<u8>>) -> Box<dyn om_actor::Grain<Msg, Reply>> {
+    let mut state: Option<ProductReplica> = restore(snapshot);
     Box::new(move |ctx: &mut GrainContext<'_, Msg>, msg: Msg, _| match msg {
         Msg::ReplicaIngest(r) => {
+            persist_state(ctx, &r);
             state = Some(r);
             Reply::Ok
         }
         Msg::ReplicaApplyUpdate { price, version } => match state.as_mut() {
-            Some(r) => Reply::Bool(r.apply_update(price, version)),
+            Some(r) => {
+                let applied = r.apply_update(price, version);
+                if applied {
+                    persist_state(ctx, r);
+                }
+                Reply::Bool(applied)
+            }
             None => Reply::Err(OmError::NotFound("replica".into())),
         },
         Msg::ReplicaApplyDelete { version } => match state.as_mut() {
-            Some(r) => Reply::Bool(r.apply_delete(version)),
+            Some(r) => {
+                let applied = r.apply_delete(version);
+                if applied {
+                    persist_state(ctx, r);
+                }
+                Reply::Bool(applied)
+            }
             None => Reply::Err(OmError::NotFound("replica".into())),
         },
         Msg::ReplicaGet => Reply::Replica(state.clone()),
@@ -812,22 +848,29 @@ fn make_shipment_grain(seller: SellerId) -> Box<dyn om_actor::Grain<Msg, Reply>>
 // Seller
 // ---------------------------------------------------------------------
 
-fn make_seller_grain(seller: SellerId) -> Box<dyn om_actor::Grain<Msg, Reply>> {
-    let mut part: Option<TxParticipant<SellerView>> = None;
+fn make_seller_grain(
+    seller: SellerId,
+    snapshot: Option<Vec<u8>>,
+) -> Box<dyn om_actor::Grain<Msg, Reply>> {
+    let mut part: Option<TxParticipant<SellerView>> =
+        restore::<SellerView>(snapshot).map(TxParticipant::new);
     Box::new(move |ctx: &mut GrainContext<'_, Msg>, msg: Msg, _| {
         if let Some(p) = part.as_mut() {
-            if let Some(reply) = handle_tx_protocol(p, &msg, ctx, |_, _| {}) {
+            if let Some(reply) = handle_tx_protocol(p, &msg, ctx, |s, ctx| persist_state(ctx, s)) {
                 return reply;
             }
         }
         match msg {
             Msg::SellerIngest(s) => {
-                part = Some(TxParticipant::new(SellerView::new(s)));
+                let view = SellerView::new(s);
+                persist_state(ctx, &view);
+                part = Some(TxParticipant::new(view));
                 Reply::Ok
             }
             Msg::SellerAddEntry(entry) => match part.as_mut() {
                 Some(p) => {
                     let _ = p.mutate_committed(|v| v.add_entry(entry));
+                    persist_state(ctx, p.committed());
                     Reply::Ok
                 }
                 None => Reply::Err(OmError::NotFound(format!("seller {seller}"))),
@@ -835,6 +878,7 @@ fn make_seller_grain(seller: SellerId) -> Box<dyn om_actor::Grain<Msg, Reply>> {
             Msg::SellerApplyStatus { order, status } => match part.as_mut() {
                 Some(p) => {
                     let _ = p.mutate_committed(|v| v.apply_status(order, status));
+                    persist_state(ctx, p.committed());
                     Reply::Ok
                 }
                 None => Reply::Err(OmError::NotFound(format!("seller {seller}"))),
@@ -874,16 +918,21 @@ fn make_seller_grain(seller: SellerId) -> Box<dyn om_actor::Grain<Msg, Reply>> {
 // Customer
 // ---------------------------------------------------------------------
 
-fn make_customer_grain(customer: CustomerId) -> Box<dyn om_actor::Grain<Msg, Reply>> {
-    let mut part: Option<TxParticipant<Customer>> = None;
+fn make_customer_grain(
+    customer: CustomerId,
+    snapshot: Option<Vec<u8>>,
+) -> Box<dyn om_actor::Grain<Msg, Reply>> {
+    let mut part: Option<TxParticipant<Customer>> =
+        restore::<Customer>(snapshot).map(TxParticipant::new);
     Box::new(move |ctx: &mut GrainContext<'_, Msg>, msg: Msg, _| {
         if let Some(p) = part.as_mut() {
-            if let Some(reply) = handle_tx_protocol(p, &msg, ctx, |_, _| {}) {
+            if let Some(reply) = handle_tx_protocol(p, &msg, ctx, |s, ctx| persist_state(ctx, s)) {
                 return reply;
             }
         }
         match msg {
             Msg::CustomerIngest(c) => {
+                persist_state(ctx, &c);
                 part = Some(TxParticipant::new(c));
                 Reply::Ok
             }
@@ -897,6 +946,7 @@ fn make_customer_grain(customer: CustomerId) -> Box<dyn om_actor::Grain<Msg, Rep
                             c.failed_payment_count += 1;
                         }
                     });
+                    persist_state(ctx, p.committed());
                     Reply::Ok
                 }
                 None => Reply::Err(OmError::NotFound(format!("customer {customer}"))),
@@ -904,6 +954,7 @@ fn make_customer_grain(customer: CustomerId) -> Box<dyn om_actor::Grain<Msg, Rep
             Msg::CustomerDelivery => match part.as_mut() {
                 Some(p) => {
                     let _ = p.mutate_committed(|c| c.delivery_count += 1);
+                    persist_state(ctx, p.committed());
                     Reply::Ok
                 }
                 None => Reply::Err(OmError::NotFound(format!("customer {customer}"))),

@@ -209,10 +209,7 @@ pub fn build_platform(spec: &PlatformSpec) -> Box<dyn MarketplacePlatform> {
                         dir.join("ingress"),
                         spec.parallelism.max(1),
                         om_log::PersistentTopicOptions {
-                            group_commit_window: spec
-                                .durable
-                                .group_commit_window_us
-                                .map(std::time::Duration::from_micros),
+                            group_commit: spec.durable.group_commit,
                             ..Default::default()
                         },
                     )

@@ -1,0 +1,925 @@
+//! Sidecar indexes over the snapshot chain, and the **cold reader**
+//! that uses them.
+//!
+//! PR 5's incremental snapshots made the write path cheap but left cold
+//! reads paying O(chain): answering a single `get` from disk meant
+//! scanning the base plus *every* delta file. This module closes that
+//! gap with a per-file sidecar index (`snap/<stem>-<seq>.idx`) written
+//! alongside every v2 base/delta, holding:
+//!
+//! * a **bloom filter** over the file's keys — a cold point-`get`
+//!   skips every delta whose bloom rejects the key, so the number of
+//!   files *read* stops growing with chain length, and
+//! * **sparse key samples** per partition section (every
+//!   `SAMPLE_EVERY`-th key with its absolute byte offset) — a file
+//!   that may contain the key is scanned from the greatest sample at or
+//!   below it, not from byte 0.
+//!
+//! The index is **advisory**: it is rebuilt from the data file whenever
+//! it is missing or fails validation (creation-crash, truncation, bit
+//! rot — the sidecar carries the same CRC-framed encoding as everything
+//! else), so a damaged `.idx` can degrade a read back to a chain scan
+//! but can never change its result. `docs/DURABILITY.md` specifies the
+//! byte format.
+//!
+//! [`ColdReader`] is the consumer: it opens a store directory
+//! *read-only* (taking the same directory lock a live backend would),
+//! parses only headers, indexes and the WAL tail, and then answers
+//! point-`get`s and prefix scans straight from the files — the
+//! "recovery-lite" path a point lookup after a crash actually needs,
+//! measured by the `b2_cold_read` bench cells.
+
+use crate::backend::{shard_of, WriteOp};
+use crate::file::{
+    decode_batch, decode_op_payload, decode_snapshot_entry, parse_snap_header, sorted_files_in,
+    SnapHeader,
+};
+use om_common::checksum::{parse_frame, push_frame};
+use om_common::{OmError, OmResult};
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic payload prefix of an index sidecar's header frame.
+pub(crate) const INDEX_MAGIC: &[u8; 8] = b"OMDIDX01";
+
+/// One key in every `SAMPLE_EVERY` is sampled into the sparse index
+/// (the first key of every partition always is), bounding a region scan
+/// to at most this many entry frames.
+pub(crate) const SAMPLE_EVERY: usize = 16;
+
+// -- bloom filter -----------------------------------------------------------
+
+/// Split-and-mix of an FNV-1a seed: two independent 64-bit hashes drive
+/// the double-hashing scheme `h1 + i*h2`.
+fn bloom_hashes(key: &[u8]) -> (u64, u64) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (h, (z ^ (z >> 31)) | 1)
+}
+
+const BLOOM_HASHES: u32 = 6;
+
+#[derive(Debug, Clone)]
+struct Bloom {
+    bits: Vec<u8>,
+    /// Power of two, so `hash & (n_bits-1)` replaces the modulo.
+    n_bits: u64,
+}
+
+impl Bloom {
+    /// ~10 bits per key (≈1% false positives at 6 hashes), floor 64.
+    fn with_capacity(n_keys: u64) -> Self {
+        let n_bits = (n_keys.saturating_mul(10)).next_power_of_two().max(64);
+        Self {
+            bits: vec![0u8; (n_bits / 8) as usize],
+            n_bits,
+        }
+    }
+
+    fn from_bits(bits: Vec<u8>, n_bits: u64) -> Option<Self> {
+        if !n_bits.is_power_of_two() || n_bits < 8 || bits.len() as u64 != n_bits / 8 {
+            return None;
+        }
+        Some(Self { bits, n_bits })
+    }
+
+    fn insert_hashes(&mut self, h1: u64, h2: u64) {
+        for i in 0..u64::from(BLOOM_HASHES) {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) & (self.n_bits - 1);
+            self.bits[(bit / 8) as usize] |= 1 << (bit % 8);
+        }
+    }
+
+    fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = bloom_hashes(key);
+        (0..u64::from(BLOOM_HASHES)).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) & (self.n_bits - 1);
+            self.bits[(bit / 8) as usize] & (1 << (bit % 8)) != 0
+        })
+    }
+}
+
+// -- the index --------------------------------------------------------------
+
+/// Per-partition build output: the sparse samples plus the bloom hashes
+/// of every key seen, produced while walking one partition section in
+/// key order (recovery workers build these concurrently).
+#[derive(Debug, Default)]
+pub(crate) struct PartBuild {
+    samples: Vec<(Vec<u8>, u64)>,
+    hashes: Vec<(u64, u64)>,
+}
+
+impl PartBuild {
+    /// Records `key` (at absolute file offset `off`) as the next entry
+    /// of this partition. Keys must arrive in ascending order — the
+    /// order v2 sections are written in.
+    pub(crate) fn add(&mut self, key: &[u8], off: u64) {
+        if self.hashes.len().is_multiple_of(SAMPLE_EVERY) {
+            self.samples.push((key.to_vec(), off));
+        }
+        self.hashes.push(bloom_hashes(key));
+    }
+
+    fn n_keys(&self) -> usize {
+        self.hashes.len()
+    }
+}
+
+/// The decoded sidecar index of one base or delta file: a bloom filter
+/// over its keys plus sparse `(key, offset)` samples per partition
+/// section. Built by the snapshot writer, rebuilt from the data file on
+/// open when the sidecar is missing or damaged.
+#[derive(Debug, Clone)]
+pub struct DeltaIndex {
+    seq: u64,
+    n_entries: u64,
+    bloom: Bloom,
+    parts: Vec<Vec<(Vec<u8>, u64)>>,
+}
+
+impl DeltaIndex {
+    /// Assembles the index from per-partition builds (one per section,
+    /// in section order).
+    pub(crate) fn assemble(seq: u64, builds: Vec<PartBuild>) -> Self {
+        let n_entries = builds.iter().map(|b| b.n_keys() as u64).sum();
+        let mut bloom = Bloom::with_capacity(n_entries);
+        for b in &builds {
+            for &(h1, h2) in &b.hashes {
+                bloom.insert_hashes(h1, h2);
+            }
+        }
+        Self {
+            seq,
+            n_entries,
+            bloom,
+            parts: builds.into_iter().map(|b| b.samples).collect(),
+        }
+    }
+
+    /// The commit sequence of the data file this index covers.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of partition sections the index covers.
+    pub fn parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// `false` means the key is definitely absent from the data file;
+    /// `true` means it *may* be present (≈1% false positives).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.may_contain(key)
+    }
+
+    /// The partition section `key` would live in (sections are
+    /// hash-partitioned with the writer's power-of-two shard mask).
+    pub fn part_of(&self, key: &[u8]) -> usize {
+        shard_of(key, self.parts.len() as u64 - 1)
+    }
+
+    /// Absolute file offset a region scan for `key` should start at:
+    /// the greatest sample at or below it (`None` when the partition is
+    /// empty or every sample sorts above `key` — scan from the section
+    /// start, where the very first entry will already sort above it).
+    pub fn region_start(&self, part: usize, key: &[u8]) -> Option<u64> {
+        let samples = self.parts.get(part)?;
+        match samples.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => Some(samples[i].1),
+            Err(0) => None,
+            Err(i) => Some(samples[i - 1].1),
+        }
+    }
+
+    /// Serializes the sidecar: three CRC frames (header, bloom bitset,
+    /// samples) — see `docs/DURABILITY.md`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut header = Vec::with_capacity(36);
+        header.extend_from_slice(INDEX_MAGIC);
+        header.extend_from_slice(&self.seq.to_le_bytes());
+        header.extend_from_slice(&self.n_entries.to_le_bytes());
+        header.extend_from_slice(&self.bloom.n_bits.to_le_bytes());
+        header.extend_from_slice(&(self.parts.len() as u32).to_le_bytes());
+        let mut samples = Vec::new();
+        for part in &self.parts {
+            samples.extend_from_slice(&(part.len() as u32).to_le_bytes());
+            for (key, off) in part {
+                samples.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                samples.extend_from_slice(key);
+                samples.extend_from_slice(&off.to_le_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(24 + header.len() + self.bloom.bits.len() + samples.len());
+        push_frame(&mut out, &header);
+        push_frame(&mut out, &self.bloom.bits);
+        push_frame(&mut out, &samples);
+        out
+    }
+
+    /// Parses and validates a sidecar. `None` on any damage — a missing
+    /// byte, a CRC mismatch, an inconsistent count — in which case the
+    /// caller rebuilds from the data file instead.
+    pub fn decode(bytes: &[u8]) -> Option<DeltaIndex> {
+        let (header, at) = parse_frame(bytes, 0).ok()??;
+        // magic(8) ++ seq(8) ++ n_entries(8) ++ n_bits(8) ++ parts(4)
+        if header.len() != 36 || &header[..8] != INDEX_MAGIC {
+            return None;
+        }
+        let seq = u64::from_le_bytes(header[8..16].try_into().ok()?);
+        let n_entries = u64::from_le_bytes(header[16..24].try_into().ok()?);
+        let n_bits = u64::from_le_bytes(header[24..32].try_into().ok()?);
+        let n_parts = u32::from_le_bytes(header[32..36].try_into().ok()?) as usize;
+        if n_parts == 0 || !n_parts.is_power_of_two() {
+            return None;
+        }
+        let (bits, at) = parse_frame(bytes, at).ok()??;
+        let bloom = Bloom::from_bits(bits.to_vec(), n_bits)?;
+        let (samples, at) = parse_frame(bytes, at).ok()??;
+        if parse_frame(bytes, at).ok()? .is_some() || at != bytes.len() {
+            return None;
+        }
+        let mut parts = Vec::with_capacity(n_parts);
+        let mut cur = 0usize;
+        let take = |cur: &mut usize, n: usize| -> Option<&[u8]> {
+            if samples.len() - *cur < n {
+                return None;
+            }
+            let s = &samples[*cur..*cur + n];
+            *cur += n;
+            Some(s)
+        };
+        for _ in 0..n_parts {
+            let n_samples = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
+            let mut part = Vec::with_capacity(n_samples);
+            let mut last: Option<Vec<u8>> = None;
+            for _ in 0..n_samples {
+                let key_len = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
+                let key = take(&mut cur, key_len)?.to_vec();
+                let off = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
+                if let Some(prev) = &last {
+                    if *prev >= key {
+                        return None;
+                    }
+                }
+                last = Some(key.clone());
+                part.push((key, off));
+            }
+            parts.push(part);
+        }
+        if cur != samples.len() {
+            return None;
+        }
+        Some(DeltaIndex {
+            seq,
+            n_entries,
+            bloom,
+            parts,
+        })
+    }
+}
+
+// -- the cold reader --------------------------------------------------------
+
+/// Knobs of a [`ColdReader`].
+#[derive(Debug, Clone, Copy)]
+pub struct ColdReaderOptions {
+    /// Use the sidecar indexes (bloom skip + sparse region scans),
+    /// rebuilding them in memory when missing or damaged. `false` is
+    /// the O(chain) baseline: every read scans every file fully — the
+    /// behaviour the `b2_cold_read` bench compares against.
+    pub use_index: bool,
+}
+
+impl Default for ColdReaderOptions {
+    fn default() -> Self {
+        Self { use_index: true }
+    }
+}
+
+/// Counters a [`ColdReader`] accumulates across reads (see
+/// [`ColdReader::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColdReadStats {
+    /// Chain files a point-`get` skipped entirely because the bloom
+    /// filter rejected the key.
+    pub files_skipped: u64,
+    /// Chain files a read actually scanned (a region or the whole
+    /// file).
+    pub files_scanned: u64,
+    /// Bytes read off disk by region/full scans.
+    pub bytes_scanned: u64,
+}
+
+/// One chain file the reader serves from: an open handle, its parsed
+/// header, and (when available) its sidecar index.
+struct ChainFile {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    header: SnapHeader,
+    body_start: u64,
+    index: Option<DeltaIndex>,
+}
+
+/// Read-only point/prefix access to a [`FileBackend`] directory
+/// **without replaying it into memory**: headers, sidecar indexes and
+/// the WAL tail are parsed up front; `get`/`scan_prefix` then touch
+/// only the file regions the indexes select. Holds the store's
+/// directory lock, so it never races a live writer.
+///
+/// [`FileBackend`]: crate::FileBackend
+pub struct ColdReader {
+    _lock: File,
+    base: Option<ChainFile>,
+    /// Ascending chain order; reads consult them newest-first.
+    deltas: Vec<ChainFile>,
+    /// Committed WAL batches past the chain, ascending, torn tail
+    /// dropped — exactly what recovery would replay.
+    wal: Vec<(u64, Vec<WriteOp>)>,
+    files_skipped: AtomicU64,
+    files_scanned: AtomicU64,
+    bytes_scanned: AtomicU64,
+}
+
+impl ColdReader {
+    /// Opens `dir` read-only with default options.
+    pub fn open(dir: impl AsRef<Path>) -> OmResult<Self> {
+        Self::open_with(dir, ColdReaderOptions::default())
+    }
+
+    /// Opens `dir` read-only. Fails if the directory does not exist, is
+    /// locked by a live backend, or holds a damaged chain; a damaged
+    /// *index* never fails the open (it is rebuilt from the data).
+    pub fn open_with(dir: impl AsRef<Path>, options: ColdReaderOptions) -> OmResult<Self> {
+        let dir = dir.as_ref();
+        if !dir.join("snap").is_dir() || !dir.join("wal").is_dir() {
+            return Err(OmError::NotFound(format!(
+                "no durable store at {dir:?} (missing snap/ or wal/)"
+            )));
+        }
+        let lock = om_common::dirlock::lock_dir(dir)?;
+        let io = |e: std::io::Error| OmError::Internal(format!("cold reader {dir:?}: {e}"));
+        let bases = sorted_files_in(&dir.join("snap"), "snap-", ".snap").map_err(io)?;
+        let deltas = sorted_files_in(&dir.join("snap"), "delta-", ".delta").map_err(io)?;
+        let base = match bases.last() {
+            Some((seq, path)) => Some(Self::open_chain_file(dir, path, true, *seq, options)?),
+            None => None,
+        };
+        let base_seq = base.as_ref().map(|b| b.header.seq).unwrap_or(0);
+        let mut chain = Vec::new();
+        let mut covered = base_seq;
+        for (seq, path) in &deltas {
+            if *seq <= base_seq {
+                continue; // superseded by the base (read-only: left in place)
+            }
+            let cf = Self::open_chain_file(dir, path, false, *seq, options)?;
+            covered = cf.header.seq;
+            chain.push(cf);
+        }
+        let wal = Self::read_wal_tail(dir, covered)?;
+        Ok(Self {
+            _lock: lock,
+            base,
+            deltas: chain,
+            wal,
+            files_skipped: AtomicU64::new(0),
+            files_scanned: AtomicU64::new(0),
+            bytes_scanned: AtomicU64::new(0),
+        })
+    }
+
+    fn open_chain_file(
+        dir: &Path,
+        path: &Path,
+        is_base: bool,
+        seq: u64,
+        options: ColdReaderOptions,
+    ) -> OmResult<ChainFile> {
+        let io = |e: std::io::Error| OmError::Internal(format!("cold reader {path:?}: {e}"));
+        let corrupt = || OmError::Internal(format!("cold reader: chain file {path:?} is corrupt"));
+        let file = File::open(path).map_err(io)?;
+        let len = file.metadata().map_err(io)?.len();
+        // Header frame: length-prefixed, so two bounded reads suffice.
+        let mut prefix = [0u8; 8];
+        file.read_exact_at(&mut prefix, 0).map_err(|_| corrupt())?;
+        let payload_len = u32::from_le_bytes(prefix[..4].try_into().unwrap()) as usize;
+        let mut head = vec![0u8; (8 + payload_len).min(len as usize)];
+        file.read_exact_at(&mut head, 0).map_err(|_| corrupt())?;
+        let (header, body_start) = parse_snap_header(&head).ok_or_else(corrupt)?;
+        if header.is_base != is_base || header.seq != seq {
+            return Err(corrupt());
+        }
+        let index = if options.use_index && !header.legacy {
+            let sidecar = path.with_extension("idx");
+            let decoded = fs::read(&sidecar)
+                .ok()
+                .and_then(|bytes| DeltaIndex::decode(&bytes))
+                .filter(|idx| {
+                    idx.seq == header.seq
+                        && idx.n_entries == header.n_entries
+                        && idx.parts.len() == header.sections.len()
+                });
+            match decoded {
+                Some(idx) => Some(idx),
+                // Missing or damaged: rebuild from the data file (one
+                // full scan now buys indexed reads afterwards). Never
+                // an error — the data file is the source of truth.
+                None => Some(rebuild_index(dir, &file, &header, is_base, path)?),
+            }
+        } else {
+            None
+        };
+        Ok(ChainFile {
+            file,
+            path: path.to_path_buf(),
+            len,
+            header,
+            body_start: body_start as u64,
+            index,
+        })
+    }
+
+    /// Reads the committed WAL batches past `covered`, in order,
+    /// dropping a torn tail of the final segment (what recovery would
+    /// truncate).
+    fn read_wal_tail(dir: &Path, covered: u64) -> OmResult<Vec<(u64, Vec<WriteOp>)>> {
+        let io = |e: std::io::Error| OmError::Internal(format!("cold reader {dir:?}: {e}"));
+        let segments = sorted_files_in(&dir.join("wal"), "wal-", ".log").map_err(io)?;
+        let mut out = Vec::new();
+        let last_index = segments.len().wrapping_sub(1);
+        for (i, (_, path)) in segments.iter().enumerate() {
+            let bytes = fs::read(path).map_err(io)?;
+            let mut at = 0usize;
+            loop {
+                match parse_frame(&bytes, at) {
+                    Ok(Some((payload, next))) => {
+                        let (seq, ops) = decode_batch(payload).ok_or_else(|| {
+                            OmError::Internal(format!(
+                                "cold reader: WAL segment {path:?} holds an undecodable batch"
+                            ))
+                        })?;
+                        if seq > covered {
+                            out.push((seq, ops));
+                        }
+                        at = next;
+                    }
+                    Ok(None) => break,
+                    Err(torn_at) => {
+                        if i != last_index {
+                            return Err(OmError::Internal(format!(
+                                "cold reader: WAL segment {path:?} is corrupt at byte \
+                                 {torn_at} but is not the final segment"
+                            )));
+                        }
+                        break; // torn tail: uncommitted, ignore
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Point lookup straight off the files: WAL tail first (newest
+    /// wins), then deltas newest-first — each consulted file's bloom
+    /// filter can reject the key without any further IO — then the
+    /// base. A delta tombstone resolves to `None` immediately.
+    pub fn get(&self, key: &[u8]) -> OmResult<Option<Vec<u8>>> {
+        for (_, ops) in self.wal.iter().rev() {
+            for op in ops.iter().rev() {
+                if op.key == key {
+                    return Ok(op.value.clone());
+                }
+            }
+        }
+        for cf in self.deltas.iter().rev() {
+            if let Some(outcome) = self.file_get(cf, key, false)? {
+                return Ok(outcome);
+            }
+        }
+        if let Some(base) = &self.base {
+            if let Some(outcome) = self.file_get(base, key, true)? {
+                return Ok(outcome);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Looks `key` up in one chain file. `Ok(None)` = not present here,
+    /// keep walking the chain; `Ok(Some(v))` = resolved (`v == None` is
+    /// a tombstone).
+    #[allow(clippy::type_complexity)]
+    fn file_get(
+        &self,
+        cf: &ChainFile,
+        key: &[u8],
+        is_base: bool,
+    ) -> OmResult<Option<Option<Vec<u8>>>> {
+        if let Some(idx) = &cf.index {
+            if !idx.may_contain(key) {
+                self.files_skipped.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+            let part = idx.part_of(key);
+            let Some(section) = cf.header.sections.get(part) else {
+                return Ok(None);
+            };
+            if section.n == 0 {
+                return Ok(None);
+            }
+            let start = idx.region_start(part, key).unwrap_or(section.off);
+            let end = section.off + section.len;
+            let bytes = self.read_range(cf, start, end)?;
+            let mut at = 0usize;
+            while let Some((payload, next)) = parse_frame(&bytes, at)
+                .map_err(|_| self.corrupt(cf))?
+            {
+                at = next;
+                let (k, v) = decode_entry(payload, is_base).ok_or_else(|| self.corrupt(cf))?;
+                match k.as_slice().cmp(key) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => return Ok(Some(v)),
+                    // Sections are key-sorted: passed the slot.
+                    std::cmp::Ordering::Greater => return Ok(None),
+                }
+            }
+            Ok(None)
+        } else {
+            // No index (disabled, or a legacy v1 file): scan the whole
+            // body — the O(chain) baseline.
+            let bytes = self.read_range(cf, cf.body_start, cf.len)?;
+            let mut at = 0usize;
+            let mut found = None;
+            while let Some((payload, next)) = parse_frame(&bytes, at)
+                .map_err(|_| self.corrupt(cf))?
+            {
+                at = next;
+                let (k, v) = decode_entry(payload, is_base).ok_or_else(|| self.corrupt(cf))?;
+                if k == key {
+                    // Legacy files are unsorted; the last occurrence
+                    // wins (v2 keys are unique per file anyway).
+                    found = Some(v);
+                }
+            }
+            Ok(found)
+        }
+    }
+
+    /// All live `(key, value)` pairs under `prefix`, sorted — the cold
+    /// analogue of `StateBackend::scan_prefix`. Sections being
+    /// key-sorted, an indexed file contributes one bounded region scan
+    /// per partition instead of a full read.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> OmResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut acc: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        if let Some(base) = &self.base {
+            self.file_scan_prefix(base, prefix, true, &mut acc)?;
+        }
+        for cf in &self.deltas {
+            self.file_scan_prefix(cf, prefix, false, &mut acc)?;
+        }
+        for (_, ops) in &self.wal {
+            for op in ops {
+                if op.key.starts_with(prefix) {
+                    acc.insert(op.key.clone(), op.value.clone());
+                }
+            }
+        }
+        Ok(acc
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    fn file_scan_prefix(
+        &self,
+        cf: &ChainFile,
+        prefix: &[u8],
+        is_base: bool,
+        acc: &mut BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    ) -> OmResult<()> {
+        if let Some(idx) = &cf.index {
+            for (part, section) in cf.header.sections.iter().enumerate() {
+                if section.n == 0 {
+                    continue;
+                }
+                let start = idx.region_start(part, prefix).unwrap_or(section.off);
+                let end = section.off + section.len;
+                let bytes = self.read_range(cf, start, end)?;
+                let mut at = 0usize;
+                while let Some((payload, next)) = parse_frame(&bytes, at)
+                    .map_err(|_| self.corrupt(cf))?
+                {
+                    at = next;
+                    let (k, v) = decode_entry(payload, is_base).ok_or_else(|| self.corrupt(cf))?;
+                    if k.starts_with(prefix) {
+                        acc.insert(k, v);
+                    } else if k.as_slice() > prefix {
+                        // Sorted: no later key in this section matches.
+                        break;
+                    }
+                }
+            }
+        } else {
+            let bytes = self.read_range(cf, cf.body_start, cf.len)?;
+            let mut at = 0usize;
+            while let Some((payload, next)) = parse_frame(&bytes, at)
+                .map_err(|_| self.corrupt(cf))?
+            {
+                at = next;
+                let (k, v) = decode_entry(payload, is_base).ok_or_else(|| self.corrupt(cf))?;
+                if k.starts_with(prefix) {
+                    acc.insert(k, v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_range(&self, cf: &ChainFile, start: u64, end: u64) -> OmResult<Vec<u8>> {
+        let end = end.min(cf.len);
+        if start >= end {
+            return Ok(Vec::new());
+        }
+        let mut buf = vec![0u8; (end - start) as usize];
+        cf.file
+            .read_exact_at(&mut buf, start)
+            .map_err(|_| self.corrupt(cf))?;
+        self.files_scanned.fetch_add(1, Ordering::Relaxed);
+        self.bytes_scanned.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(buf)
+    }
+
+    fn corrupt(&self, cf: &ChainFile) -> OmError {
+        OmError::Internal(format!("cold reader: chain file {:?} is corrupt", cf.path))
+    }
+
+    /// Number of chain files behind the newest base (the chain length
+    /// reads would pay without the indexes).
+    pub fn chain_len(&self) -> usize {
+        self.deltas.len() + usize::from(self.base.is_some())
+    }
+
+    /// Counters accumulated across reads so far.
+    pub fn stats(&self) -> ColdReadStats {
+        ColdReadStats {
+            files_skipped: self.files_skipped.load(Ordering::Relaxed),
+            files_scanned: self.files_scanned.load(Ordering::Relaxed),
+            bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Decodes one entry payload: base entries carry `key ++ value`, delta
+/// entries the tagged op encoding (tombstones allowed).
+fn decode_entry(payload: &[u8], is_base: bool) -> Option<(Vec<u8>, Option<Vec<u8>>)> {
+    if is_base {
+        decode_snapshot_entry(payload).map(|(k, v)| (k, Some(v)))
+    } else {
+        decode_op_payload(payload)
+    }
+}
+
+/// Rebuilds the sidecar index by scanning the data file's sections
+/// (exact same walk the snapshot writer indexed them with). Used when
+/// the `.idx` is missing or fails validation.
+fn rebuild_index(
+    dir: &Path,
+    file: &File,
+    header: &SnapHeader,
+    is_base: bool,
+    path: &Path,
+) -> OmResult<DeltaIndex> {
+    let corrupt = || OmError::Internal(format!("cold reader {dir:?}: chain file {path:?} is corrupt"));
+    let mut builds = Vec::with_capacity(header.sections.len());
+    for section in &header.sections {
+        let mut build = PartBuild::default();
+        if section.n > 0 {
+            let mut bytes = vec![0u8; section.len as usize];
+            file.read_exact_at(&mut bytes, section.off).map_err(|_| corrupt())?;
+            let mut at = 0usize;
+            while let Some((payload, next)) = parse_frame(&bytes, at).map_err(|_| corrupt())? {
+                let (k, _) = decode_entry(payload, is_base).ok_or_else(corrupt)?;
+                build.add(&k, section.off + at as u64);
+                at = next;
+            }
+        }
+        builds.push(build);
+    }
+    Ok(DeltaIndex::assemble(header.seq, builds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileBackend, FileBackendOptions, StateBackend};
+
+    fn scratch_path(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "om-coldread-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    struct DirGuard(PathBuf);
+    impl Drop for DirGuard {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Builds a store with a base, several deltas and a WAL tail;
+    /// returns the expected live state.
+    fn seed_store(dir: &Path) -> BTreeMap<Vec<u8>, Vec<u8>> {
+        let opts = FileBackendOptions {
+            snapshot_every: 0,
+            compact_max_deltas: 100,
+            compact_ratio_pct: 100_000,
+            ..FileBackendOptions::default()
+        };
+        let b = FileBackend::open(dir, opts).unwrap();
+        for i in 0..200u32 {
+            b.put(format!("base/{i:04}").as_bytes(), &i.to_le_bytes());
+        }
+        b.snapshot_now().unwrap();
+        for round in 0..4u32 {
+            for i in 0..10u32 {
+                b.put(format!("hot/{round}/{i}").as_bytes(), &[round as u8, i as u8]);
+            }
+            b.delete(format!("base/{:04}", round * 7).as_bytes());
+            b.snapshot_now().unwrap();
+        }
+        b.put(b"tail/a", b"1"); // WAL tail past the chain
+        b.delete(b"base/0100");
+        let expected = b.scan_prefix(b"").into_iter().collect();
+        drop(b);
+        expected
+    }
+
+    #[test]
+    fn cold_reader_matches_live_state_with_and_without_index() {
+        let dir = scratch_path("match");
+        let _guard = DirGuard(dir.clone());
+        let expected = seed_store(&dir);
+        for use_index in [true, false] {
+            let r = ColdReader::open_with(&dir, ColdReaderOptions { use_index }).unwrap();
+            assert!(r.chain_len() >= 5, "base + 4 deltas on disk");
+            for (k, v) in &expected {
+                assert_eq!(
+                    r.get(k).unwrap().as_ref(),
+                    Some(v),
+                    "use_index={use_index}, key {k:?}"
+                );
+            }
+            // Deleted and never-written keys resolve to None.
+            assert_eq!(r.get(b"base/0000").unwrap(), None, "tombstoned in a delta");
+            assert_eq!(r.get(b"base/0100").unwrap(), None, "tombstoned in the WAL tail");
+            assert_eq!(r.get(b"never/written").unwrap(), None);
+            // Prefix scans equal the live backend's.
+            let all: BTreeMap<Vec<u8>, Vec<u8>> = r.scan_prefix(b"").unwrap().into_iter().collect();
+            assert_eq!(all, expected, "use_index={use_index}");
+            let hot = r.scan_prefix(b"hot/2/").unwrap();
+            assert_eq!(hot.len(), 10);
+        }
+    }
+
+    #[test]
+    fn indexed_point_gets_skip_chain_files() {
+        let dir = scratch_path("skip");
+        let _guard = DirGuard(dir.clone());
+        seed_store(&dir);
+        let r = ColdReader::open(&dir).unwrap();
+        // A key living only in the base: every delta's bloom filter
+        // should reject it (modulo ~1% false positives across 4 files).
+        assert!(r.get(b"base/0150").unwrap().is_some());
+        let stats = r.stats();
+        assert!(
+            stats.files_skipped >= 2,
+            "bloom filters must skip most deltas for a base-only key: {stats:?}"
+        );
+        // A missing key is (almost always) answered without scanning
+        // anything — and never by reading every file.
+        let before = r.stats();
+        for i in 0..50u32 {
+            assert_eq!(r.get(format!("absent/{i}").as_bytes()).unwrap(), None);
+        }
+        let after = r.stats();
+        let scanned = after.files_scanned - before.files_scanned;
+        let skipped = after.files_skipped - before.files_skipped;
+        assert!(
+            skipped > scanned * 10,
+            "absent keys should be bloom-rejected, not scanned: {after:?}"
+        );
+    }
+
+    #[test]
+    fn cold_reader_ignores_missing_index_and_never_serves_wrong_data() {
+        let dir = scratch_path("noidx");
+        let _guard = DirGuard(dir.clone());
+        let expected = seed_store(&dir);
+        // Delete one sidecar, truncate another: the reader rebuilds in
+        // memory and answers identically.
+        let mut idx_files: Vec<PathBuf> = fs::read_dir(dir.join("snap"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "idx"))
+            .collect();
+        idx_files.sort();
+        assert!(idx_files.len() >= 3);
+        fs::remove_file(&idx_files[0]).unwrap();
+        let bytes = fs::read(&idx_files[1]).unwrap();
+        fs::write(&idx_files[1], &bytes[..bytes.len() / 3]).unwrap();
+        let r = ColdReader::open(&dir).unwrap();
+        let all: BTreeMap<Vec<u8>, Vec<u8>> = r.scan_prefix(b"").unwrap().into_iter().collect();
+        assert_eq!(all, expected, "damaged sidecars never change results");
+    }
+
+    #[test]
+    fn cold_reader_holds_the_directory_lock() {
+        let dir = scratch_path("lock");
+        let _guard = DirGuard(dir.clone());
+        seed_store(&dir);
+        let r = ColdReader::open(&dir).unwrap();
+        assert!(
+            FileBackend::open(&dir, FileBackendOptions::default()).is_err(),
+            "a live backend cannot open under a cold reader"
+        );
+        drop(r);
+        assert!(FileBackend::open(&dir, FileBackendOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn bloom_never_false_negative() {
+        let keys: Vec<Vec<u8>> = (0..500u32).map(|i| format!("key/{i}").into_bytes()).collect();
+        let mut bloom = Bloom::with_capacity(keys.len() as u64);
+        for k in &keys {
+            let (h1, h2) = bloom_hashes(k);
+            bloom.insert_hashes(h1, h2);
+        }
+        for k in &keys {
+            assert!(bloom.may_contain(k), "inserted key rejected: {k:?}");
+        }
+        let false_positives = (0..500u32)
+            .filter(|i| bloom.may_contain(format!("absent/{i}").as_bytes()))
+            .count();
+        assert!(
+            false_positives < 50,
+            "bloom at 10 bits/key should reject most absent keys, fp={false_positives}/500"
+        );
+    }
+
+    #[test]
+    fn index_roundtrip_and_region_lookup() {
+        let mut builds = Vec::new();
+        for part in 0..4 {
+            let mut b = PartBuild::default();
+            for i in 0..100u32 {
+                b.add(format!("p{part}/k{i:04}").as_bytes(), u64::from(i) * 32);
+            }
+            builds.push(b);
+        }
+        let idx = DeltaIndex::assemble(7, builds);
+        let bytes = idx.encode();
+        let back = DeltaIndex::decode(&bytes).expect("roundtrip");
+        assert_eq!(back.seq(), 7);
+        assert_eq!(back.n_entries, 400);
+        assert!(back.may_contain(b"p0/k0000"));
+        // Sampled keys map to their exact offsets; in-between keys to
+        // the sample below.
+        assert_eq!(back.region_start(1, b"p1/k0000"), Some(0));
+        assert_eq!(back.region_start(1, b"p1/k0016"), Some(16 * 32));
+        assert_eq!(back.region_start(1, b"p1/k0017"), Some(16 * 32));
+        // Keys below the first sample scan from the section start.
+        assert_eq!(back.region_start(1, b"p1/a"), None);
+    }
+
+    #[test]
+    fn truncated_or_damaged_index_fails_validation() {
+        let mut b = PartBuild::default();
+        b.add(b"k1", 0);
+        b.add(b"k2", 40);
+        let idx = DeltaIndex::assemble(3, vec![b]);
+        let bytes = idx.encode();
+        assert!(DeltaIndex::decode(&bytes).is_some());
+        for cut in [1, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                DeltaIndex::decode(&bytes[..cut]).is_none(),
+                "truncation at {cut} must fail validation"
+            );
+        }
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        assert!(DeltaIndex::decode(&flipped).is_none(), "bit flip must fail CRC");
+    }
+}

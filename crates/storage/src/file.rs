@@ -27,7 +27,18 @@
 //! <dir>/snap/snap-<seq>.snap       full state as of commit <seq>
 //! <dir>/snap/delta-<seq>.delta     keys dirtied since the previous
 //!                                  snapshot file, chained on the base
+//! <dir>/snap/<stem>-<seq>.idx      advisory sidecar index (bloom +
+//!                                  sparse key samples) of the base or
+//!                                  delta next to it
 //! ```
+//!
+//! Since PR 7 bases and deltas are written in the **v2 partitioned
+//! format** (`OMSNAP02`/`OMDELT02`): a section table in the header maps
+//! each in-memory shard to a key-sorted region of the file, so recovery
+//! loads sections in parallel ([`FileBackendOptions::recovery_threads`])
+//! and the sidecar indexes give [`crate::delta_index::ColdReader`]
+//! point access without replay. v1 monolithic files from older stores
+//! still load (the header magic selects the parser).
 //!
 //! Recovery ([`FileBackend::open`] over an existing directory) loads the
 //! newest base snapshot, applies the deltas chained above it in order,
@@ -56,18 +67,18 @@
 //! ```
 
 use crate::backend::{shard_of, StateBackend, StateSession, WriteBatch, WriteOp};
+use crate::delta_index::{DeltaIndex, PartBuild};
 use crate::group_commit::{ChainState, CommitGroup, SegmentFile, StagedBatch, StagedWal};
 use crate::shards_pow2;
 use om_common::checksum::{parse_frame, push_frame};
-use om_common::config::{BackendKind, DurableOptions, SnapshotMode};
+use om_common::config::{BackendKind, DurableOptions, GroupCommitPolicy, SnapshotMode};
 use om_common::{OmError, OmResult};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Tuning knobs of a [`FileBackend`].
 #[derive(Debug, Clone, Copy)]
@@ -87,13 +98,15 @@ pub struct FileBackendOptions {
     /// this store claims); syncing additionally survives kernel/power
     /// failure at a latency cost that group commit amortizes.
     pub sync_commits: bool,
-    /// Group-commit window: `Some(w)` routes commits through the cohort
-    /// barrier (a leader waits up to `w` for the cohort to grow, then
-    /// performs one flush+fsync for all of it; `Duration::ZERO` flushes
-    /// as soon as leadership is acquired). `None` disables the barrier
-    /// entirely — every commit pays its own flush+fsync, serialized
-    /// (the PR 4 write path, kept as the bench baseline).
-    pub group_commit_window: Option<Duration>,
+    /// Group-commit policy: [`GroupCommitPolicy::Off`] disables the
+    /// barrier entirely — every commit pays its own flush+fsync,
+    /// serialized (the PR 4 write path, kept as the bench baseline).
+    /// `Fixed(w)` routes commits through the cohort barrier with a
+    /// fixed leader window of `w` µs (`0` flushes as soon as leadership
+    /// is acquired). `Adaptive{..}` lets the leader watch the cohort
+    /// grow and flush at the target size, on arrival stall, or at the
+    /// window cap — whichever is first.
+    pub group_commit: GroupCommitPolicy,
     /// Full vs incremental snapshots.
     pub snapshot_mode: SnapshotMode,
     /// Incremental mode: fold the delta chain into a fresh base once it
@@ -102,6 +115,10 @@ pub struct FileBackendOptions {
     /// Incremental mode: fold the chain once cumulative delta bytes
     /// exceed this percentage of the base size.
     pub compact_ratio_pct: u64,
+    /// Worker threads used to load snapshot/delta partitions on cold
+    /// recovery (`0` = auto: one per core, capped at 8; `1` forces the
+    /// serial path). WAL replay stays sequential regardless.
+    pub recovery_threads: usize,
 }
 
 impl Default for FileBackendOptions {
@@ -111,10 +128,11 @@ impl Default for FileBackendOptions {
             snapshot_every: 1_024,
             segment_bytes: 1 << 20,
             sync_commits: false,
-            group_commit_window: Some(Duration::ZERO),
+            group_commit: GroupCommitPolicy::Fixed(0),
             snapshot_mode: SnapshotMode::Incremental,
             compact_max_deltas: 16,
             compact_ratio_pct: 100,
+            recovery_threads: 0,
         }
     }
 }
@@ -127,10 +145,11 @@ impl FileBackendOptions {
         Self {
             shards,
             sync_commits: durable.sync_commits,
-            group_commit_window: durable.group_commit_window_us.map(Duration::from_micros),
+            group_commit: durable.group_commit,
             snapshot_mode: durable.snapshot_mode,
             compact_max_deltas: durable.compact_max_deltas,
             compact_ratio_pct: durable.compact_ratio_pct,
+            recovery_threads: durable.recovery_threads,
             ..Self::default()
         }
     }
@@ -160,7 +179,7 @@ fn encode_op(out: &mut Vec<u8>, key: &[u8], value: Option<&[u8]>) {
 }
 
 /// Decodes one op starting at `*at`, advancing the cursor.
-fn decode_op(payload: &[u8], at: &mut usize) -> Option<(Vec<u8>, Option<Vec<u8>>)> {
+pub(crate) fn decode_op(payload: &[u8], at: &mut usize) -> Option<(Vec<u8>, Option<Vec<u8>>)> {
     let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
         if payload.len() - *at < n {
             return None;
@@ -197,7 +216,7 @@ fn encode_batch(seq: u64, ops: &[WriteOp]) -> Vec<u8> {
     out
 }
 
-fn decode_batch(payload: &[u8]) -> Option<(u64, Vec<WriteOp>)> {
+pub(crate) fn decode_batch(payload: &[u8]) -> Option<(u64, Vec<WriteOp>)> {
     if payload.len() < 12 {
         return None;
     }
@@ -215,12 +234,214 @@ fn decode_batch(payload: &[u8]) -> Option<(u64, Vec<WriteOp>)> {
     Some((seq, ops))
 }
 
-// -- the backend ------------------------------------------------------------
+/// Decodes a payload that holds exactly one op (a delta-snapshot
+/// entry).
+pub(crate) fn decode_op_payload(payload: &[u8]) -> Option<(Vec<u8>, Option<Vec<u8>>)> {
+    let mut at = 0usize;
+    let op = decode_op(payload, &mut at)?;
+    (at == payload.len()).then_some(op)
+}
 
-/// Magic payload of a full base snapshot's header frame.
+// -- snapshot-family headers -------------------------------------------------
+
+/// Magic payload prefix of a v1 (monolithic) base snapshot header.
 const SNAP_MAGIC: &[u8; 8] = b"OMSNAP01";
-/// Magic payload of a delta snapshot's header frame.
+/// Magic payload prefix of a v1 (monolithic) delta snapshot header.
 const DELTA_MAGIC: &[u8; 8] = b"OMDELT01";
+/// Magic payload prefix of a v2 (partitioned) base snapshot header.
+const SNAP_MAGIC_V2: &[u8; 8] = b"OMSNAP02";
+/// Magic payload prefix of a v2 (partitioned) delta snapshot header.
+const DELTA_MAGIC_V2: &[u8; 8] = b"OMDELT02";
+
+/// One partition section of a v2 snapshot-family file: `n` key-sorted
+/// entry frames occupying the absolute byte range `[off, off+len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Section {
+    pub off: u64,
+    pub len: u64,
+    pub n: u64,
+}
+
+/// The parsed header frame of a base or delta file (v1 or v2).
+#[derive(Debug, Clone)]
+pub(crate) struct SnapHeader {
+    /// Base snapshot (`OMSNAP*`) vs delta (`OMDELT*`).
+    pub is_base: bool,
+    /// v1 monolithic file: no section table, entries unsorted.
+    pub legacy: bool,
+    /// Commit sequence the file covers up to.
+    pub seq: u64,
+    /// Total entry frames in the body.
+    pub n_entries: u64,
+    /// v2 section table (empty for v1).
+    pub sections: Vec<Section>,
+}
+
+/// Byte length of a v2 header frame with `parts` sections — the body
+/// therefore starts at this absolute offset.
+fn v2_header_len(parts: usize) -> usize {
+    // frame(8) ++ magic(8) ++ seq(8) ++ n_entries(8) ++ parts(4) ++
+    // parts × (off(8) ++ len(8) ++ n(8))
+    8 + 28 + parts * 24
+}
+
+/// Parses the header frame at the start of a snapshot-family file
+/// (either version), returning it plus the body's start offset. `None`
+/// on any structural damage.
+pub(crate) fn parse_snap_header(bytes: &[u8]) -> Option<(SnapHeader, usize)> {
+    let (payload, body_start) = parse_frame(bytes, 0).ok()??;
+    if payload.len() < 24 {
+        return None;
+    }
+    let magic: &[u8; 8] = payload[..8].try_into().ok()?;
+    let (is_base, legacy) = match magic {
+        m if m == SNAP_MAGIC => (true, true),
+        m if m == DELTA_MAGIC => (false, true),
+        m if m == SNAP_MAGIC_V2 => (true, false),
+        m if m == DELTA_MAGIC_V2 => (false, false),
+        _ => return None,
+    };
+    let seq = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+    let n_entries = u64::from_le_bytes(payload[16..24].try_into().ok()?);
+    let sections = if legacy {
+        if payload.len() != 24 {
+            return None;
+        }
+        Vec::new()
+    } else {
+        if payload.len() < 28 {
+            return None;
+        }
+        let parts = u32::from_le_bytes(payload[24..28].try_into().ok()?) as usize;
+        if parts == 0 || !parts.is_power_of_two() || payload.len() != 28 + parts * 24 {
+            return None;
+        }
+        let mut sections = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let at = 28 + p * 24;
+            sections.push(Section {
+                off: u64::from_le_bytes(payload[at..at + 8].try_into().ok()?),
+                len: u64::from_le_bytes(payload[at + 8..at + 16].try_into().ok()?),
+                n: u64::from_le_bytes(payload[at + 16..at + 24].try_into().ok()?),
+            });
+        }
+        if sections.iter().map(|s| s.n).sum::<u64>() != n_entries {
+            return None;
+        }
+        sections
+    };
+    Some((
+        SnapHeader {
+            is_base,
+            legacy,
+            seq,
+            n_entries,
+            sections,
+        },
+        body_start,
+    ))
+}
+
+/// One v2 partition's entries in key order (`None` value = tombstone;
+/// bases hold only puts).
+type PartEntries = Vec<(Vec<u8>, Option<Vec<u8>>)>;
+
+/// Builds a complete v2 snapshot-family file — header frame with a
+/// section table, then one key-sorted entry section per partition —
+/// together with its sidecar index (built from the exact offsets being
+/// written). `parts[i]` must already be key-sorted; base files encode
+/// `key ++ value` entries (values must be `Some`), deltas the tagged op
+/// encoding (tombstones allowed).
+fn build_v2_file(is_base: bool, seq: u64, parts: &[PartEntries]) -> (Vec<u8>, DeltaIndex) {
+    let body_start = v2_header_len(parts.len()) as u64;
+    let mut body = Vec::new();
+    let mut sections = Vec::with_capacity(parts.len());
+    let mut builds = Vec::with_capacity(parts.len());
+    let mut n_entries = 0u64;
+    let mut abs = body_start;
+    for part in parts {
+        let off = abs;
+        let mut build = PartBuild::default();
+        for (key, value) in part {
+            let mut payload = Vec::with_capacity(9 + key.len());
+            if is_base {
+                let v = value.as_ref().expect("base snapshot entries are puts");
+                payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                payload.extend_from_slice(key);
+                payload.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                payload.extend_from_slice(v);
+            } else {
+                encode_op(&mut payload, key, value.as_deref());
+            }
+            build.add(key, abs);
+            let before = body.len();
+            push_frame(&mut body, &payload);
+            abs += (body.len() - before) as u64;
+        }
+        n_entries += part.len() as u64;
+        sections.push(Section {
+            off,
+            len: abs - off,
+            n: part.len() as u64,
+        });
+        builds.push(build);
+    }
+    let mut header = Vec::with_capacity(28 + parts.len() * 24);
+    header.extend_from_slice(if is_base { SNAP_MAGIC_V2 } else { DELTA_MAGIC_V2 });
+    header.extend_from_slice(&seq.to_le_bytes());
+    header.extend_from_slice(&n_entries.to_le_bytes());
+    header.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+    for s in &sections {
+        header.extend_from_slice(&s.off.to_le_bytes());
+        header.extend_from_slice(&s.len.to_le_bytes());
+        header.extend_from_slice(&s.n.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(body_start as usize + body.len());
+    push_frame(&mut out, &header);
+    debug_assert_eq!(out.len() as u64, body_start);
+    out.extend_from_slice(&body);
+    (out, DeltaIndex::assemble(seq, builds))
+}
+
+/// Lists `prefix<seq>ext` files in `dir`, ascending by sequence (the
+/// raw listing shared by recovery and the cold reader; tmp-file cleanup
+/// is the live backend's job).
+pub(crate) fn sorted_files_in(
+    dir: &Path,
+    prefix: &str,
+    ext: &str,
+) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix(prefix)
+            .and_then(|n| n.strip_suffix(ext))
+            .and_then(|n| n.parse().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Worker threads a recovery with `configured` resolves to: `0` = one
+/// per available core, capped at 8.
+fn resolved_recovery_threads(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
+// -- the backend ------------------------------------------------------------
 
 /// One in-memory shard: the live map plus the keys dirtied since the
 /// last snapshot file (base or delta) — what the next incremental
@@ -275,6 +496,8 @@ pub struct FileBackend {
     recovered_commits: AtomicU64,
     torn_tail_bytes: AtomicU64,
     maintenance_errors: AtomicU64,
+    indexes_written: AtomicU64,
+    index_rebuilds: AtomicU64,
 }
 
 impl FileBackend {
@@ -346,9 +569,7 @@ impl FileBackend {
                 path: bootstrap,
                 chain: ChainState::default(),
             }),
-            group: CommitGroup::new(
-                options.group_commit_window.unwrap_or(Duration::ZERO),
-            ),
+            group: CommitGroup::with_policy(options.group_commit),
             wedged: AtomicBool::new(false),
             multi: RwLock::new(()),
             _lock: lock,
@@ -365,6 +586,8 @@ impl FileBackend {
             recovered_commits: AtomicU64::new(0),
             torn_tail_bytes: AtomicU64::new(0),
             maintenance_errors: AtomicU64::new(0),
+            indexes_written: AtomicU64::new(0),
+            index_rebuilds: AtomicU64::new(0),
         };
         backend.recover()?;
         Ok(backend)
@@ -385,49 +608,30 @@ impl FileBackend {
 
     // -- recovery ----------------------------------------------------------
 
-    /// Numeric suffix of `name` under `prefix` + `.` + `ext`.
-    fn file_seq(name: &str, prefix: &str, ext: &str) -> Option<u64> {
-        name.strip_prefix(prefix)?.strip_suffix(ext)?.parse().ok()
-    }
-
     fn sorted_files(&self, sub: &str, prefix: &str, ext: &str) -> OmResult<Vec<(u64, PathBuf)>> {
-        let mut out = Vec::new();
         let dir = self.dir.join(sub);
+        // A `.tmp` is a snapshot/index the dying process never finished
+        // writing: the atomic rename never happened, so it is garbage.
         for entry in fs::read_dir(&dir).map_err(|e| self.io_err(e))? {
             let entry = entry.map_err(|e| self.io_err(e))?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if let Some(seq) = Self::file_seq(&name, prefix, ext) {
-                out.push((seq, entry.path()));
-            } else if name.ends_with(".tmp") {
-                // A snapshot the dying process never finished writing:
-                // the atomic rename never happened, so it is garbage.
+            if entry.file_name().to_string_lossy().ends_with(".tmp") {
                 let _ = fs::remove_file(entry.path());
             }
         }
-        out.sort();
-        Ok(out)
+        sorted_files_in(&dir, prefix, ext).map_err(|e| self.io_err(e))
     }
 
     /// Loads the newest base snapshot plus the deltas chained above it
     /// into the shard array; returns the last covered commit sequence
-    /// and records the chain state on the flusher.
+    /// and records the chain state on the flusher. v2 files load their
+    /// partition sections on a bounded worker pool
+    /// ([`FileBackendOptions::recovery_threads`]).
     fn load_snapshot_chain(&mut self) -> OmResult<u64> {
         let bases = self.sorted_files("snap", "snap-", ".snap")?;
         let deltas = self.sorted_files("snap", "delta-", ".delta")?;
-        let mask = self.mask;
+        let threads = resolved_recovery_threads(self.options.recovery_threads);
         let (base_seq, base_bytes) = match bases.last() {
-            Some((seq, path)) => {
-                let size = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-                let shards = &mut self.shards;
-                load_snapshot_file(&self.dir, path, SNAP_MAGIC, *seq, |payload| {
-                    let (key, value) = decode_snapshot_entry(payload)?;
-                    let slot = shard_of(&key, mask);
-                    shards[slot].get_mut().map.insert(key, value);
-                    Some(())
-                })?;
-                (*seq, size)
-            }
+            Some((seq, path)) => (*seq, self.load_chain_file(path, true, *seq, threads)?),
             None => (0, 0),
         };
         let mut covered = base_seq;
@@ -441,33 +645,188 @@ impl FileBackend {
             if *seq <= base_seq {
                 // Superseded by the base; leftover of a crash between
                 // rename and prune.
-                let _ = fs::remove_file(path);
+                remove_with_index(path);
                 continue;
             }
-            let size = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-            let shards = &mut self.shards;
-            load_snapshot_file(&self.dir, path, DELTA_MAGIC, *seq, |payload| {
-                let mut at = 0usize;
-                let (key, value) = decode_op(payload, &mut at)?;
-                if at != payload.len() {
-                    return None;
-                }
-                let slot = shard_of(&key, mask);
-                match value {
-                    Some(v) => {
-                        shards[slot].get_mut().map.insert(key, v);
-                    }
-                    None => {
-                        shards[slot].get_mut().map.remove(&key);
-                    }
-                }
-                Some(())
-            })?;
+            let size = self.load_chain_file(path, false, *seq, threads)?;
             chain.chain_delta(*seq, size);
             covered = *seq;
         }
         self.flusher.get_mut().chain = chain;
         Ok(covered)
+    }
+
+    /// Loads one base or delta file into the shard array, dispatching on
+    /// the header version, and returns its byte size. A v2 file missing
+    /// its sidecar index gets one rebuilt (the recovery walk sees every
+    /// entry anyway) and persisted best-effort.
+    fn load_chain_file(
+        &mut self,
+        path: &Path,
+        expect_base: bool,
+        expect_seq: u64,
+        threads: usize,
+    ) -> OmResult<u64> {
+        let corrupt =
+            || OmError::Internal(format!("file backend {:?}: snapshot {path:?} is corrupt", self.dir));
+        let bytes = fs::read(path).map_err(|e| self.io_err(e))?;
+        let (header, body_start) = parse_snap_header(&bytes).ok_or_else(corrupt)?;
+        if header.is_base != expect_base || header.seq != expect_seq {
+            return Err(corrupt());
+        }
+        if header.legacy {
+            // v1 monolithic file: one sequential pass.
+            let mut at = body_start;
+            let mut loaded = 0u64;
+            while let Some((payload, next)) = parse_frame(&bytes, at).map_err(|_| corrupt())? {
+                at = next;
+                let (key, value) = if header.is_base {
+                    decode_snapshot_entry(payload).map(|(k, v)| (k, Some(v)))
+                } else {
+                    decode_op_payload(payload)
+                }
+                .ok_or_else(corrupt)?;
+                let shard = self.shards[shard_of(&key, self.mask)].get_mut();
+                match value {
+                    Some(v) => {
+                        shard.map.insert(key, v);
+                    }
+                    None => {
+                        shard.map.remove(&key);
+                    }
+                }
+                loaded += 1;
+            }
+            if loaded != header.n_entries {
+                return Err(corrupt());
+            }
+        } else {
+            self.load_v2_sections(&bytes, &header, path, threads)?;
+        }
+        Ok(bytes.len() as u64)
+    }
+
+    /// Loads a v2 file's partition sections across `threads` workers
+    /// (each claims whole sections off a shared counter). When the file
+    /// was written with the current shard count — the common case — a
+    /// section maps 1:1 onto one in-memory shard, so each worker takes
+    /// one uncontended write lock per section; otherwise entries are
+    /// re-routed per key. Rebuilds the sidecar index if it is missing or
+    /// fails validation.
+    fn load_v2_sections(
+        &self,
+        bytes: &[u8],
+        header: &SnapHeader,
+        path: &Path,
+        threads: usize,
+    ) -> OmResult<()> {
+        let corrupt =
+            || OmError::Internal(format!("file backend {:?}: snapshot {path:?} is corrupt", self.dir));
+        for s in &header.sections {
+            if s.off < v2_header_len(header.sections.len()) as u64
+                || s.off + s.len > bytes.len() as u64
+            {
+                return Err(corrupt());
+            }
+        }
+        let idx_path = path.with_extension("idx");
+        let need_rebuild = !fs::read(&idx_path)
+            .ok()
+            .and_then(|b| DeltaIndex::decode(&b))
+            .is_some_and(|idx| {
+                idx.seq() == header.seq && idx.parts() == header.sections.len()
+            });
+        let builds: Mutex<Vec<Option<PartBuild>>> =
+            Mutex::new((0..header.sections.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = threads.clamp(1, header.sections.len().max(1));
+        let worker = |_: usize| -> OmResult<()> {
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(section) = header.sections.get(i) else {
+                    return Ok(());
+                };
+                let slice = &bytes[section.off as usize..(section.off + section.len) as usize];
+                let mut build = need_rebuild.then(PartBuild::default);
+                let mut at = 0usize;
+                let mut loaded = 0u64;
+                let mut last_key: Option<Vec<u8>> = None;
+                // One write guard per run of same-shard keys: with the
+                // writer's layout that is one guard for the whole
+                // section.
+                let mut guard: Option<(usize, parking_lot::RwLockWriteGuard<'_, Shard>)> = None;
+                while let Some((payload, next_at)) = parse_frame(slice, at).map_err(|_| corrupt())?
+                {
+                    let (key, value) = if header.is_base {
+                        decode_snapshot_entry(payload).map(|(k, v)| (k, Some(v)))
+                    } else {
+                        decode_op_payload(payload)
+                    }
+                    .ok_or_else(corrupt)?;
+                    if let Some(prev) = &last_key {
+                        if *prev >= key {
+                            // Sections must be strictly key-sorted; the
+                            // cold reader's region scans rely on it.
+                            return Err(corrupt());
+                        }
+                    }
+                    if let Some(b) = &mut build {
+                        b.add(&key, section.off + at as u64);
+                    }
+                    last_key = Some(key.clone());
+                    let slot = shard_of(&key, self.mask);
+                    if guard.as_ref().map(|(s, _)| *s) != Some(slot) {
+                        guard = Some((slot, self.shards[slot].write()));
+                    }
+                    let shard = &mut guard.as_mut().expect("guard just set").1;
+                    match value {
+                        Some(v) => {
+                            shard.map.insert(key, v);
+                        }
+                        None => {
+                            shard.map.remove(&key);
+                        }
+                    }
+                    loaded += 1;
+                    at = next_at;
+                }
+                if loaded != section.n {
+                    return Err(corrupt());
+                }
+                if let Some(b) = build {
+                    builds.lock()[i] = Some(b);
+                }
+            }
+        };
+        if workers <= 1 {
+            worker(0)?;
+        } else {
+            std::thread::scope(|scope| {
+                let worker = &worker;
+                let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || worker(w))).collect();
+                let mut first_err = None;
+                for h in handles {
+                    if let Err(e) = h.join().expect("recovery worker panicked") {
+                        first_err.get_or_insert(e);
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            })?;
+        }
+        if need_rebuild {
+            let builds = builds
+                .into_inner()
+                .into_iter()
+                .map(|b| b.expect("every section built"))
+                .collect();
+            let index = DeltaIndex::assemble(header.seq, builds);
+            self.persist_index(path, &index);
+            self.index_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Replays WAL segments past the snapshot chain, truncating a torn
@@ -589,9 +948,10 @@ impl FileBackend {
                 self.dir
             )));
         }
-        match self.options.group_commit_window {
-            Some(_) => self.commit_grouped(ops),
-            None => self.commit_inline(ops),
+        if self.options.group_commit.is_grouped() {
+            self.commit_grouped(ops)
+        } else {
+            self.commit_inline(ops)
         }
     }
 
@@ -698,7 +1058,7 @@ impl FileBackend {
         }
     }
 
-    /// The barrier-free path (`group_commit_window: None`): the PR 4
+    /// The barrier-free path ([`GroupCommitPolicy::Off`]): the PR 4
     /// behaviour — every commit writes, flushes and fsyncs its own
     /// frame under the flusher lock, serialized.
     fn commit_inline(&self, ops: &[WriteOp]) -> OmResult<usize> {
@@ -854,20 +1214,22 @@ impl FileBackend {
                 ap.commits_since_snapshot = 0;
                 return Ok(());
             }
-            // Delta body: one frame per dirtied key — a put of its live
-            // value, or a tombstone if it no longer exists.
-            let mut body = Vec::new();
+            // Delta sections: per shard, the dirtied keys in key order —
+            // a put of the live value, or a tombstone if the key no
+            // longer exists.
+            let mut parts: Vec<PartEntries> = Vec::with_capacity(self.shards.len());
             let mut n_entries = 0u64;
             for shard in &self.shards {
                 let mut shard = shard.write();
-                let dirty: Vec<Vec<u8>> = shard.dirty.drain().collect();
+                let mut dirty: Vec<Vec<u8>> = shard.dirty.drain().collect();
+                dirty.sort_unstable();
+                let mut part = Vec::with_capacity(dirty.len());
                 for key in dirty {
-                    let mut payload = Vec::new();
-                    encode_op(&mut payload, &key, shard.map.get(&key).map(|v| v.as_slice()));
-                    push_frame(&mut body, &payload);
-                    n_entries += 1;
+                    part.push((key.clone(), shard.map.get(&key).cloned()));
                     drained.push(key);
                 }
+                n_entries += part.len() as u64;
+                parts.push(part);
             }
             if n_entries == 0 {
                 // Commits happened but every key settled back... cannot
@@ -876,13 +1238,7 @@ impl FileBackend {
                 ap.commits_since_snapshot = 0;
                 return Ok(());
             }
-            let mut out = Vec::with_capacity(40 + body.len());
-            let mut header = Vec::with_capacity(24);
-            header.extend_from_slice(DELTA_MAGIC);
-            header.extend_from_slice(&seq.to_le_bytes());
-            header.extend_from_slice(&n_entries.to_le_bytes());
-            push_frame(&mut out, &header);
-            out.extend_from_slice(&body);
+            let (out, index) = build_v2_file(false, seq, &parts);
             if fl.chain.compaction_due(
                 out.len() as u64,
                 self.options.compact_max_deltas,
@@ -902,6 +1258,7 @@ impl FileBackend {
                         return Err(e);
                     }
                 };
+                self.persist_index(&fin, &index);
                 fl.chain.chain_delta(seq, written);
                 self.deltas_written.fetch_add(1, Ordering::Relaxed);
                 self.snapshot_delta_bytes.fetch_add(written, Ordering::Relaxed);
@@ -911,29 +1268,21 @@ impl FileBackend {
             }
         }
 
-        // Full base: the whole live state, one frame per entry. Dirty
-        // sets are cleared only once the base is durably on disk.
-        let mut n_entries = 0u64;
-        let mut body = Vec::new();
+        // Full base: the whole live state, one key-sorted section per
+        // shard. Dirty sets are cleared only once the base is durably on
+        // disk.
+        let mut parts: Vec<PartEntries> = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let shard = shard.read();
-            for (k, v) in shard.map.iter() {
-                let mut payload = Vec::with_capacity(8 + k.len() + v.len());
-                payload.extend_from_slice(&(k.len() as u32).to_le_bytes());
-                payload.extend_from_slice(k);
-                payload.extend_from_slice(&(v.len() as u32).to_le_bytes());
-                payload.extend_from_slice(v);
-                push_frame(&mut body, &payload);
-                n_entries += 1;
-            }
+            let mut part: PartEntries = shard
+                .map
+                .iter()
+                .map(|(k, v)| (k.clone(), Some(v.clone())))
+                .collect();
+            part.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            parts.push(part);
         }
-        let mut header = Vec::with_capacity(24);
-        header.extend_from_slice(SNAP_MAGIC);
-        header.extend_from_slice(&seq.to_le_bytes());
-        header.extend_from_slice(&n_entries.to_le_bytes());
-        let mut out = Vec::with_capacity(40 + body.len());
-        push_frame(&mut out, &header);
-        out.extend_from_slice(&body);
+        let (out, index) = build_v2_file(true, seq, &parts);
         let tmp = self.dir.join("snap").join(format!("snap-{seq}.tmp"));
         let fin = self.dir.join("snap").join(format!("snap-{seq}.snap"));
         let written = match self.persist_snapshot_file(&tmp, &fin, &out) {
@@ -946,6 +1295,7 @@ impl FileBackend {
                 return Err(e);
             }
         };
+        self.persist_index(&fin, &index);
         // The base covers everything; dirty tracking restarts.
         for shard in &self.shards {
             shard.write().dirty.clear();
@@ -955,20 +1305,37 @@ impl FileBackend {
         ap.commits_since_snapshot = 0;
 
         // Everything at or below `seq` is covered by the base: prune
-        // older bases, every delta (the base subsumes the chain), and
-        // covered WAL segments.
+        // older bases, every delta (the base subsumes the chain), their
+        // index sidecars, and covered WAL segments.
         for (s, path) in self.sorted_files("snap", "snap-", ".snap")? {
             if s < seq {
-                let _ = fs::remove_file(path);
+                remove_with_index(&path);
             }
         }
         for (s, path) in self.sorted_files("snap", "delta-", ".delta")? {
             if s <= seq {
-                let _ = fs::remove_file(path);
+                remove_with_index(&path);
             }
         }
         self.roll_segment_locked(fl, ap)?;
         self.prune_wal(seq)
+    }
+
+    /// Persists the sidecar index next to the data file `fin` with the
+    /// same tmp + fsync + rename + directory-fsync discipline.
+    /// Best-effort: a failure costs an index rebuild on the next open,
+    /// never durability — the data file is already on disk.
+    fn persist_index(&self, fin: &Path, index: &DeltaIndex) {
+        let tmp = fin.with_extension("idx.tmp");
+        let idx = fin.with_extension("idx");
+        match self.persist_snapshot_file(&tmp, &idx, &index.encode()) {
+            Ok(_) => {
+                self.indexes_written.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.maintenance_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Puts keys back on their shards' dirty sets — the rollback for a
@@ -998,45 +1365,14 @@ impl FileBackend {
     }
 }
 
-/// Parses a snapshot-family file (base or delta): validates the header
-/// frame (`magic ++ seq ++ n_entries`) and hands every entry payload to
-/// `apply`, checking the count. A validation failure refuses the open
-/// rather than silently serving partial state.
-fn load_snapshot_file(
-    dir: &Path,
-    path: &Path,
-    magic: &[u8; 8],
-    expect_seq: u64,
-    mut apply: impl FnMut(&[u8]) -> Option<()>,
-) -> OmResult<()> {
-    let bytes = fs::read(path)
-        .map_err(|e| OmError::Internal(format!("file backend {dir:?}: {e}")))?;
-    let corrupt =
-        || OmError::Internal(format!("file backend {dir:?}: snapshot {path:?} is corrupt"));
-    let mut at = 0usize;
-    let (header, next) = parse_frame(&bytes, at).map_err(|_| corrupt())?.ok_or_else(corrupt)?;
-    at = next;
-    if header.len() != 8 + 8 + 8 || &header[..8] != magic {
-        return Err(corrupt());
-    }
-    let seq = u64::from_le_bytes(header[8..16].try_into().unwrap());
-    let n_entries = u64::from_le_bytes(header[16..24].try_into().unwrap());
-    if seq != expect_seq {
-        return Err(corrupt());
-    }
-    let mut loaded = 0u64;
-    while let Some((payload, next)) = parse_frame(&bytes, at).map_err(|_| corrupt())? {
-        at = next;
-        apply(payload).ok_or_else(corrupt)?;
-        loaded += 1;
-    }
-    if loaded != n_entries {
-        return Err(corrupt());
-    }
-    Ok(())
+/// Removes a snapshot-family file together with its `.idx` sidecar (an
+/// orphaned sidecar would otherwise shadow a later rebuild).
+fn remove_with_index(path: &Path) {
+    let _ = fs::remove_file(path.with_extension("idx"));
+    let _ = fs::remove_file(path);
 }
 
-fn decode_snapshot_entry(payload: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+pub(crate) fn decode_snapshot_entry(payload: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
     if payload.len() < 4 {
         return None;
     }
@@ -1176,6 +1512,14 @@ impl StateBackend for FileBackend {
             "backend.maintenance_errors".into(),
             self.maintenance_errors.load(Ordering::Relaxed),
         );
+        out.insert(
+            "backend.indexes_written".into(),
+            self.indexes_written.load(Ordering::Relaxed),
+        );
+        out.insert(
+            "backend.index_rebuilds".into(),
+            self.index_rebuilds.load(Ordering::Relaxed),
+        );
         out.insert("backend.shards".into(), self.shards.len() as u64);
         out
     }
@@ -1298,9 +1642,14 @@ mod tests {
             }
             assert!(b.counters()["backend.snapshots"] >= 2);
         }
-        // Only the newest snapshot plus the short post-snapshot WAL tail
-        // remain on disk.
-        let snaps = fs::read_dir(dir.join("snap")).unwrap().count();
+        // Only the newest snapshot (plus its index sidecar) and the
+        // short post-snapshot WAL tail remain on disk.
+        let snaps = fs::read_dir(dir.join("snap"))
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().file_name().to_string_lossy().ends_with(".snap")
+            })
+            .count();
         assert_eq!(snaps, 1);
         let b = FileBackend::open(&dir, opts).unwrap();
         for i in 0..10u8 {
@@ -1453,7 +1802,7 @@ mod tests {
         let opts = FileBackendOptions {
             shards: 8,
             sync_commits: true,
-            group_commit_window: Some(Duration::ZERO),
+            group_commit: GroupCommitPolicy::Fixed(0),
             ..FileBackendOptions::default()
         };
         let b = std::sync::Arc::new(FileBackend::scratch_with(opts).unwrap());
@@ -1486,7 +1835,7 @@ mod tests {
     #[test]
     fn inline_mode_reports_one_commit_per_sync() {
         let opts = FileBackendOptions {
-            group_commit_window: None,
+            group_commit: GroupCommitPolicy::Off,
             ..FileBackendOptions::default()
         };
         let b = FileBackend::scratch_with(opts).unwrap();
@@ -1515,22 +1864,172 @@ mod tests {
         assert_eq!(b.len(), 32, "multi-segment replay restores everything");
     }
 
+    /// Writes a v1 (monolithic, unsorted) snapshot-family file the way
+    /// PR 5's writer did.
+    fn write_v1_file(path: &Path, magic: &[u8; 8], seq: u64, payloads: &[Vec<u8>]) {
+        let mut header = Vec::with_capacity(24);
+        header.extend_from_slice(magic);
+        header.extend_from_slice(&seq.to_le_bytes());
+        header.extend_from_slice(&(payloads.len() as u64).to_le_bytes());
+        let mut out = Vec::new();
+        push_frame(&mut out, &header);
+        for p in payloads {
+            push_frame(&mut out, p);
+        }
+        fs::write(path, out).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_files_still_recover() {
+        let dir = scratch_path("v1compat");
+        let _guard = DirGuard(dir.clone());
+        fs::create_dir_all(dir.join("snap")).unwrap();
+        fs::create_dir_all(dir.join("wal")).unwrap();
+        // v1 base at seq 2: {a: 1, b: 2} — entries deliberately unsorted.
+        let base: Vec<Vec<u8>> = [(b"b", 2u8), (b"a", 1u8)]
+            .iter()
+            .map(|(k, v)| {
+                let mut p = Vec::new();
+                p.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                p.extend_from_slice(*k);
+                p.extend_from_slice(&1u32.to_le_bytes());
+                p.push(*v);
+                p
+            })
+            .collect();
+        write_v1_file(&dir.join("snap").join("snap-2.snap"), SNAP_MAGIC, 2, &base);
+        // v1 delta at seq 4: put c=3, tombstone a.
+        let mut put = Vec::new();
+        encode_op(&mut put, b"c", Some(&[3u8]));
+        let mut del = Vec::new();
+        encode_op(&mut del, b"a", None);
+        write_v1_file(&dir.join("snap").join("delta-4.delta"), DELTA_MAGIC, 4, &[put, del]);
+        let b = FileBackend::open(&dir, FileBackendOptions::default()).unwrap();
+        assert_eq!(b.get(b"a"), None, "v1 delta tombstone applied");
+        assert_eq!(b.get(b"b"), Some(vec![2]));
+        assert_eq!(b.get(b"c"), Some(vec![3]));
+        // Legacy files carry no sections, so no index is rebuilt for
+        // them; the next snapshot upgrades the store to v2 + index.
+        assert_eq!(b.counters()["backend.index_rebuilds"], 0);
+        b.put(b"d", b"4");
+        b.snapshot_now().unwrap();
+        assert!(b.counters()["backend.indexes_written"] >= 1, "v2 upgrade writes an index");
+    }
+
+    #[test]
+    fn parallel_and_serial_recovery_agree() {
+        let dir = scratch_path("parrec");
+        let _guard = DirGuard(dir.clone());
+        let opts = FileBackendOptions {
+            shards: 8,
+            snapshot_every: 0,
+            compact_max_deltas: 100,
+            compact_ratio_pct: 100_000,
+            ..FileBackendOptions::default()
+        };
+        {
+            let b = FileBackend::open(&dir, opts).unwrap();
+            for i in 0..300u32 {
+                b.put(format!("key/{i:04}").as_bytes(), &i.to_le_bytes());
+            }
+            b.snapshot_now().unwrap(); // v2 base
+            for i in 0..50u32 {
+                b.put(format!("key/{:04}", i * 3).as_bytes(), b"churn");
+            }
+            b.delete(b"key/0001");
+            b.snapshot_now().unwrap(); // v2 delta
+            b.put(b"tail", b"wal"); // WAL tail past the chain
+        }
+        let serial = FileBackend::open(
+            &dir,
+            FileBackendOptions {
+                recovery_threads: 1,
+                ..opts
+            },
+        )
+        .unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> = serial.scan_prefix(b"");
+        drop(serial);
+        let parallel = FileBackend::open(
+            &dir,
+            FileBackendOptions {
+                recovery_threads: 4,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(parallel.scan_prefix(b""), expected, "parallel load = serial load");
+        assert_eq!(parallel.get(b"key/0001"), None);
+        assert_eq!(parallel.get(b"tail"), Some(b"wal".to_vec()));
+        drop(parallel);
+        // A different shard count than the writer's still recovers (the
+        // per-key re-routing path).
+        let resharded = FileBackend::open(
+            &dir,
+            FileBackendOptions {
+                shards: 2,
+                recovery_threads: 4,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(resharded.scan_prefix(b""), expected, "re-sharded load = serial load");
+    }
+
+    #[test]
+    fn recovery_rebuilds_missing_or_damaged_indexes() {
+        let dir = scratch_path("idxrebuild");
+        let _guard = DirGuard(dir.clone());
+        let opts = FileBackendOptions {
+            snapshot_every: 0,
+            ..FileBackendOptions::default()
+        };
+        {
+            let b = FileBackend::open(&dir, opts).unwrap();
+            for i in 0..64u32 {
+                b.put(format!("k/{i}").as_bytes(), &i.to_le_bytes());
+            }
+            b.snapshot_now().unwrap();
+            assert_eq!(b.counters()["backend.indexes_written"], 1);
+        }
+        let idx_files: Vec<PathBuf> = fs::read_dir(dir.join("snap"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "idx"))
+            .collect();
+        assert_eq!(idx_files.len(), 1, "one sidecar per chain file");
+        fs::remove_file(&idx_files[0]).unwrap();
+        let b = FileBackend::open(&dir, opts).unwrap();
+        assert_eq!(b.counters()["backend.index_rebuilds"], 1, "missing sidecar rebuilt");
+        assert!(idx_files[0].exists(), "rebuilt sidecar persisted");
+        assert_eq!(b.len(), 64);
+        drop(b);
+        // Damage (truncate) the sidecar: validation fails, rebuild again.
+        let bytes = fs::read(&idx_files[0]).unwrap();
+        fs::write(&idx_files[0], &bytes[..bytes.len() / 2]).unwrap();
+        let b = FileBackend::open(&dir, opts).unwrap();
+        assert_eq!(b.counters()["backend.index_rebuilds"], 1, "damaged sidecar rebuilt");
+        assert_eq!(b.len(), 64);
+    }
+
     #[test]
     fn options_map_from_durable_config() {
         let durable = DurableOptions {
             sync_commits: true,
-            group_commit_window_us: Some(150),
+            group_commit: GroupCommitPolicy::Fixed(150),
             snapshot_mode: SnapshotMode::Full,
             compact_max_deltas: 5,
             compact_ratio_pct: 50,
+            recovery_threads: 2,
         };
         let opts = FileBackendOptions::from_durable(4, &durable);
         assert!(opts.sync_commits);
-        assert_eq!(opts.group_commit_window, Some(Duration::from_micros(150)));
+        assert_eq!(opts.group_commit, GroupCommitPolicy::Fixed(150));
         assert_eq!(opts.snapshot_mode, SnapshotMode::Full);
         assert_eq!(opts.compact_max_deltas, 5);
         assert_eq!(opts.compact_ratio_pct, 50);
+        assert_eq!(opts.recovery_threads, 2);
         let legacy = FileBackendOptions::from_durable(4, &DurableOptions::legacy());
-        assert_eq!(legacy.group_commit_window, None);
+        assert_eq!(legacy.group_commit, GroupCommitPolicy::Off);
     }
 }

@@ -41,6 +41,7 @@
 #![deny(missing_docs)]
 
 pub mod backend;
+pub mod delta_index;
 pub mod eventual;
 pub mod file;
 pub mod group_commit;
@@ -50,6 +51,7 @@ pub use backend::{
     make_backend, make_backend_at, make_backend_with, StateBackend, StateSession, WriteBatch,
     WriteOp,
 };
+pub use delta_index::{ColdReadStats, ColdReader, ColdReaderOptions, DeltaIndex};
 pub use eventual::EventualBackend;
 pub use file::{FileBackend, FileBackendOptions};
 pub use group_commit::{CommitGroup, CommitGroupStats};

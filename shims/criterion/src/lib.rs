@@ -13,6 +13,12 @@
 //! one entry per benchmark id with the sample statistics — the repo's
 //! machine-readable perf trajectory. Set `OM_BENCH_RESULTS_DIR=` (empty)
 //! to disable recording.
+//!
+//! Set `OM_BENCH_BASELINE=<path>` to diff each finished group against a
+//! checked-in stats file (e.g. `BENCH_PR7.json`): entries are matched by
+//! `"<group>/<id>"` and every hit prints `baseline -> current (ratio)`,
+//! so a bench run shows its drift from the recorded reference without
+//! any external tooling.
 
 use std::fmt;
 use std::sync::Mutex;
@@ -292,37 +298,42 @@ impl BenchStats {
 /// `results/bench_<group>.json` as groups finish.
 static RESULTS: Mutex<Vec<(String, BenchStats)>> = Mutex::new(Vec::new());
 
+/// Cargo runs bench binaries with the *package* as the working
+/// directory; paths meant to be workspace-relative (results/, checked-in
+/// baselines) resolve against the outermost ancestor holding a
+/// Cargo.lock — the workspace root.
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    let root = cwd
+        .ancestors()
+        .filter(|dir| dir.join("Cargo.lock").is_file())
+        .last()
+        .unwrap_or(&cwd);
+    Some(root.to_path_buf())
+}
+
 fn results_dir() -> Option<std::path::PathBuf> {
     match std::env::var("OM_BENCH_RESULTS_DIR") {
         Ok(dir) if dir.is_empty() => None,
         Ok(dir) => Some(dir.into()),
-        // Default: `<workspace root>/results`. Cargo runs bench binaries
-        // with the *package* as the working directory, so walk up to the
-        // outermost ancestor holding a Cargo.lock — the workspace root —
-        // before appending `results/`.
-        Err(_) => {
-            let cwd = std::env::current_dir().ok()?;
-            let root = cwd
-                .ancestors()
-                .filter(|dir| dir.join("Cargo.lock").is_file())
-                .last()
-                .unwrap_or(&cwd);
-            Some(root.join("results"))
-        }
+        Err(_) => Some(workspace_root()?.join("results")),
     }
 }
 
 /// Writes (or rewrites) the JSON result file of `group` from everything
-/// recorded for it so far.
+/// recorded for it so far, then diffs the group against the checked-in
+/// baseline if one is configured.
 fn flush_group(group: &str) {
-    let Some(dir) = results_dir() else { return };
-    let entries: Vec<String> = RESULTS
+    let stats: Vec<BenchStats> = RESULTS
         .lock()
         .unwrap()
         .iter()
         .filter(|(g, _)| g == group)
-        .map(|(_, s)| format!("    {}", s.json()))
+        .map(|(_, s)| s.clone())
         .collect();
+    diff_against_baseline(group, &stats);
+    let Some(dir) = results_dir() else { return };
+    let entries: Vec<String> = stats.iter().map(|s| format!("    {}", s.json())).collect();
     if entries.is_empty() {
         return;
     }
@@ -337,6 +348,54 @@ fn flush_group(group: &str) {
     if std::fs::create_dir_all(&dir).is_ok() {
         let _ = std::fs::write(dir.join(format!("bench_{safe}.json")), body);
     }
+}
+
+/// Prints a baseline diff for every entry of `group` when
+/// `OM_BENCH_BASELINE` names a checked-in stats file: entries match by
+/// `"<group>/<id>"` and each hit reports the current median as a ratio
+/// of the recorded one. Missing entries are silently skipped — a
+/// baseline covers whatever slice its reference run recorded.
+fn diff_against_baseline(group: &str, stats: &[BenchStats]) {
+    let Ok(path) = std::env::var("OM_BENCH_BASELINE") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    // Relative baseline paths are workspace-relative, like results/.
+    let mut resolved = std::path::PathBuf::from(&path);
+    if resolved.is_relative() && !resolved.is_file() {
+        if let Some(root) = workspace_root() {
+            resolved = root.join(&path);
+        }
+    }
+    let Ok(body) = std::fs::read_to_string(&resolved) else {
+        eprintln!("criterion-shim: cannot read baseline {path}");
+        return;
+    };
+    for s in stats {
+        let full = format!("{group}/{}", s.id);
+        if let Some(base) = baseline_median(&body, &full) {
+            let ratio = s.median_ns / base.max(1.0);
+            println!(
+                "bench baseline {full:<50} {base:>12.1} -> {:>12.1} ns/iter ({ratio:.2}x)",
+                s.median_ns
+            );
+        }
+    }
+}
+
+/// Extracts the `median_ns` of the entry whose `"id"` equals `full_id`
+/// from a stats-JSON body (the shim's own output format — scanned
+/// textually, the shim carries no JSON dependency).
+fn baseline_median(body: &str, full_id: &str) -> Option<f64> {
+    let needle = format!("\"id\": \"{full_id}\"");
+    let rest = &body[body.find(&needle)?..];
+    let tail = rest[rest.find("\"median_ns\":")? + "\"median_ns\":".len()..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(
@@ -426,4 +485,18 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod baseline_tests {
+    #[test]
+    fn baseline_median_finds_the_matching_entry() {
+        let body = r#"{"entries": [
+            {"id": "g/w1_adaptive", "median_ns": 1500.5, "p95_ns": 2.0},
+            {"id": "g/w16_adaptive", "median_ns": 300.0}
+        ]}"#;
+        assert_eq!(super::baseline_median(body, "g/w1_adaptive"), Some(1500.5));
+        assert_eq!(super::baseline_median(body, "g/w16_adaptive"), Some(300.0));
+        assert_eq!(super::baseline_median(body, "g/absent"), None);
+    }
 }
