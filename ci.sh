@@ -22,6 +22,11 @@
 #   * a short b3_gateway slice RUNS the same way: the event-driven HTTP
 #     engine's 64-connection cell is held to 3x of results/b3_floor.json
 #     and its single-connection cost to 1.5x of the threaded baseline,
+#   * a short a2_checkpoint slice RUNS the same way: the serial dataflow
+#     epoch cell (a2_workers/w1) is held to 3x of results/a2_floor.json,
+#     and on hosts with >= 4 cores the 4-worker pool must be
+#     parallel-not-slower and >= 1.5x faster than serial (core-aware
+#     checks; single-core CI prints SKIP),
 #   * all examples must keep compiling, and failure_recovery *runs* as a
 #     smoke step (it asserts zero lost epochs across a disk-backed
 #     platform rebuild),
@@ -62,6 +67,10 @@ cargo run --release --offline -p om_bench --bin bench_guard
 echo "==> bench smoke: b3 gateway slice + regression guard (3x floor, event_c1 <= 1.5x threaded_c1)"
 OM_BENCH_SMOKE=1 cargo bench --offline --bench b3_gateway
 cargo run --release --offline -p om_bench --bin bench_guard -- results/bench_b3_gateway.json results/b3_floor.json
+
+echo "==> bench smoke: a2 dataflow worker slice + regression guard (3x serial floor, core-aware parallel checks)"
+OM_BENCH_SMOKE=1 cargo bench --offline --bench a2_checkpoint
+cargo run --release --offline -p om_bench --bin bench_guard -- results/bench_a2_workers.json results/a2_floor.json
 
 echo "==> cargo build --examples"
 cargo build --examples --offline

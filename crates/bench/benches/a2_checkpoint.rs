@@ -12,12 +12,22 @@
 //!
 //! A third group measures the recovery path itself: crash mid-epoch,
 //! restore from the backend-backed checkpoint, replay to completion.
+//!
+//! A fourth group (`a2_workers`) sweeps the partition-parallel worker
+//! pool over a CPU-weighted workload, past the host's core count —
+//! `w1` is the serial baseline every parallel cell is judged against
+//! (`results/a2_floor.json`, `min_cores`-gated so single-core CI skips
+//! the speedup check). `OM_BENCH_SMOKE=1` shrinks the sweep to {1, 4}.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use om_bench::{make_checkpoint_store, CHECKPOINT_STORES};
 use om_common::config::BackendKind;
 use om_dataflow::{Address, CheckpointStore, Dataflow, Effects};
 use std::sync::Arc;
+
+fn smoke() -> bool {
+    std::env::var("OM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 fn build(max_batch: usize, store: Option<Arc<dyn CheckpointStore>>) -> Dataflow<u64> {
     let mut builder = Dataflow::builder().partitions(4).max_batch(max_batch);
@@ -126,10 +136,65 @@ fn bench_crash_recovery(c: &mut Criterion) {
     group.finish();
 }
 
+/// Partition-parallel epoch execution: the same CPU-weighted workload at
+/// each worker count, including one past any reasonable core count. The
+/// per-record work (a short hash chain) is heavy enough that fan-out
+/// wins on multi-core hosts and the pool handoff shows up honestly on
+/// single-core ones.
+fn bench_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_workers");
+    group.sample_size(10);
+    let records: u64 = if smoke() { 512 } else { 1_024 };
+    let sweep: &[usize] = if smoke() { &[1, 4] } else { &[1, 2, 4, 8] };
+    for &workers in sweep {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{workers}")),
+            &workers,
+            |b, &workers| {
+                b.iter_with_setup(
+                    || {
+                        let df = Dataflow::builder()
+                            .partitions(8)
+                            .max_batch(128)
+                            .workers(workers)
+                            .register(
+                                "work",
+                                |_key, state: Option<&[u8]>, msg: u64, out: &mut Effects<u64>| {
+                                    // CPU-weighted: a hash chain per record.
+                                    let mut h = msg.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                                    for _ in 0..2_000 {
+                                        h ^= h >> 33;
+                                        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                                    }
+                                    let cur = state
+                                        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                                        .unwrap_or(0);
+                                    out.set_state((cur ^ h).to_le_bytes().to_vec());
+                                },
+                            )
+                            .build();
+                        for i in 0..records {
+                            df.submit(Address::new("work", i % 64), i);
+                        }
+                        df
+                    },
+                    |df| {
+                        let epochs = df.run_to_completion().unwrap();
+                        assert!(epochs > 0);
+                        epochs
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_checkpoint_interval,
     bench_checkpoint_store,
-    bench_crash_recovery
+    bench_crash_recovery,
+    bench_workers
 );
 criterion_main!(benches);

@@ -2,12 +2,18 @@
 //! timing a fixed checkout-heavy operation batch on each of the four
 //! implementations. The *relative* ordering (eventual > statefun >
 //! transactions ≈ customized) is the reproduced result.
+//!
+//! A second group sweeps the dataflow platform's epoch worker pool
+//! (`df_workers`) under the same workload: the end-to-end view of
+//! partition-parallel execution, complementing the runtime-only
+//! `a2_workers` microbench.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use om_bench::{make_platform, quick_config, PLATFORMS};
 use om_common::config::RunConfig;
 use om_driver::run_benchmark;
 use om_marketplace::api::PlatformKind;
+use om_marketplace::{build_platform, PlatformSpec};
 
 fn bench_e1(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_throughput");
@@ -44,5 +50,39 @@ fn bench_e1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_e1);
+/// The dataflow platform at each epoch-worker count, one cell past any
+/// plausible core count. `w1` pins the serial baseline; the others show
+/// what partition-parallel epochs buy (or cost) end to end.
+fn bench_e1_dataflow_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_dataflow_workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{workers}")),
+            &workers,
+            |b, &workers| {
+                b.iter_with_setup(
+                    || {
+                        let config: RunConfig = quick_config();
+                        let platform = build_platform(
+                            &PlatformSpec::new(PlatformKind::Dataflow, config.backend)
+                                .parallelism(8)
+                                .df_workers(workers)
+                                .decline_rate(config.payment_decline_rate),
+                        );
+                        (platform, config)
+                    },
+                    |(platform, config)| {
+                        let report = run_benchmark(platform.as_ref(), &config, true);
+                        assert!(report.operations > 0);
+                        report
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1, bench_e1_dataflow_workers);
 criterion_main!(benches);

@@ -93,6 +93,7 @@ pub fn standard_config(scale_factor: u64) -> RunConfig {
         backend: BackendKind::Eventual,
         checkpoint_interval: 64,
         durable_checkpoints: true,
+        df_workers: 0,
         recovery_drill: false,
         data_dir: None,
         durable: DurableOptions::default(),

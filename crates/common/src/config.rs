@@ -350,6 +350,13 @@ pub struct RunConfig {
     /// selected [`BackendKind`] (durable: a rebuilt platform restarts
     /// from the last committed epoch) instead of the in-memory store.
     pub durable_checkpoints: bool,
+    /// Epoch worker threads of the dataflow binding's runtime: `0`
+    /// (default) resolves to the host core count, `1` is the serial
+    /// baseline, `n > 1` fans every epoch out over `n` long-lived
+    /// worker threads (capped at the partition count). Distinct from
+    /// [`workers`](Self::workers), which sizes the *driver's* closed
+    /// loop. Ignored by the actor bindings.
+    pub df_workers: usize,
     /// After the measured window, crash the platform mid-epoch and
     /// measure recovery; the outcome lands in `RunReport::recovery`.
     /// Ignored by platforms without a crash-recovery path.
@@ -383,6 +390,7 @@ impl Default for RunConfig {
             backend: BackendKind::Eventual,
             checkpoint_interval: 64,
             durable_checkpoints: true,
+            df_workers: 0,
             recovery_drill: false,
             data_dir: None,
             durable: DurableOptions::default(),

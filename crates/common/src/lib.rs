@@ -32,6 +32,7 @@ pub mod error;
 pub mod event;
 pub mod ids;
 pub mod money;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,173 @@
+//! A small fixed-size pool of long-lived named worker threads.
+//!
+//! The dataflow runtime fans each epoch's partition work out over this
+//! pool instead of spawning scoped threads per epoch: the threads are
+//! created once (named `<prefix>-<i>` so they are identifiable in
+//! profiles and stack dumps) and jobs are handed to them over a shared
+//! MPMC channel. A panicking job is contained by the worker — counted,
+//! never propagated, and never fatal to the thread — because the
+//! submitter is expected to observe the failure through its own shared
+//! state (the dataflow runtime poisons the epoch it was running).
+//!
+//! Dropping the pool closes the job channel and joins every worker;
+//! jobs already queued still run to completion first, so a submitted
+//! job is never silently discarded.
+//!
+//! ```
+//! use om_common::pool::WorkerPool;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let pool = WorkerPool::named("doc-worker", 2);
+//! let hits = Arc::new(AtomicU64::new(0));
+//! for _ in 0..8 {
+//!     let hits = hits.clone();
+//!     pool.execute(move || {
+//!         hits.fetch_add(1, Ordering::SeqCst);
+//!     });
+//! }
+//! drop(pool); // joins: all queued jobs have run
+//! assert_eq!(hits.load(Ordering::SeqCst), 8);
+//! ```
+
+use crossbeam::channel::{unbounded, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size pool of long-lived named worker threads. See the module
+/// docs for the lifecycle and panic containment.
+pub struct WorkerPool {
+    /// `Some` for the pool's lifetime; taken in `Drop` so the workers
+    /// observe the disconnect and exit.
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+    panics: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawns `size` worker threads named `<prefix>-0` .. `<prefix>-N`.
+    pub fn named(prefix: &str, size: usize) -> Self {
+        assert!(size > 0, "a worker pool needs at least one thread");
+        let (tx, rx) = unbounded::<Job>();
+        let panics = Arc::new(AtomicU64::new(0));
+        let handles = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                let panics = panics.clone();
+                std::thread::Builder::new()
+                    .name(format!("{prefix}-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            // Contain the panic: the thread survives to
+                            // serve later jobs, the submitter learns of
+                            // the failure through its own channels.
+                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker thread")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            handles,
+            size,
+            panics,
+        }
+    }
+
+    /// Queues a job; some pool thread runs it as soon as one is free.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool channel open until drop")
+            .send(Box::new(job))
+            .expect("pool workers outlive the channel");
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Jobs that panicked (and were contained) so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker drain the remaining queue
+        // and exit; join so no job outlives the pool handle.
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_on_named_threads() {
+        let pool = WorkerPool::named("pool-test", 3);
+        assert_eq!(pool.size(), 3);
+        let (tx, rx) = unbounded();
+        for _ in 0..6 {
+            let tx = tx.clone();
+            pool.execute(move || {
+                let name = std::thread::current().name().unwrap_or("").to_string();
+                tx.send(name).unwrap();
+            });
+        }
+        for _ in 0..6 {
+            let name = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert!(
+                name.starts_with("pool-test-"),
+                "job ran on a named pool thread, got {name:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_joins_after_queued_jobs_complete() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::named("pool-drop", 2);
+        for _ in 0..16 {
+            let done = done.clone();
+            pool.execute(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 16, "no queued job discarded");
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_counted() {
+        let pool = WorkerPool::named("pool-panic", 1);
+        pool.execute(|| panic!("job exploded"));
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        // The same (only) thread must survive to run the next job.
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        while done.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.panics(), 1);
+    }
+}

@@ -1,12 +1,68 @@
 //! The epoch-checkpointed dataflow runtime.
+//!
+//! ## Epoch execution and the worker pool
+//!
+//! An epoch pulls a bounded batch per partition from the replayable
+//! ingress log, processes it to quiescence (including cross-partition
+//! sends), and commits **once**: offsets, dirty state deltas and the
+//! epoch number go through the [`CheckpointStore`] atomically, and only
+//! then is the buffered egress released. [`DataflowBuilder::workers`]
+//! selects how the per-partition pull→apply→dirty-tracking loop runs:
+//!
+//! * `workers(1)` — the serial baseline: one thread walks the
+//!   partitions round-robin. Committed results of this path are the
+//!   reference the parallel path is tested against.
+//! * `workers(n > 1)` — partitions are split into `min(n, partitions)`
+//!   groups, each processed by a long-lived `om-df-worker-N` pool
+//!   thread ([`om_common::pool::WorkerPool`]). The epoch-aligned join
+//!   before the commit is an `om_common::commit_group::CommitGroup`
+//!   cohort barrier: every worker stages its group's results and parks
+//!   on a barrier ticket; the elected leader waits for all groups,
+//!   runs the single atomic checkpoint commit, and releases the whole
+//!   cohort together (same primitive the WAL uses for group commit).
+//! * `workers(0)` — auto: one worker per core (capped at the partition
+//!   count); small epochs (≤ 8 records) skip the fan-out because the
+//!   handoff costs more than the work.
+//!
+//! ## Epoch poisoning
+//!
+//! A worker panic or an `OmError` inside the parallel epoch poisons it
+//! deterministically: **no** partition's staged state or egress is
+//! committed (even for partitions that finished cleanly), live state is
+//! rebuilt from the last committed checkpoint, offsets stay untouched,
+//! and the next epoch replays the same batch. An injected crash
+//! (`inject_crash_after`) follows the same discard path but reports
+//! [`EpochOutcome::CrashedAndRecovered`]; a panic surfaces as an
+//! `OmError::Internal` to the epoch's driver.
+//!
+//! ## Lock discipline
+//!
+//! The runtime's locks are ordered; every path follows it, and
+//! `tests/concurrency.rs` hammers the orderings:
+//!
+//! 1. `epoch_mutex` is outermost — epochs and recovery serialize on it.
+//! 2. `states[p]` are only ever acquired in **ascending partition
+//!    order**, and a thread holds either its partitions' state locks
+//!    *or* `meta`/`committed_egress`, never both. Workers take their
+//!    group's state locks once (ascending), process, and **release
+//!    them before staging results at the barrier**, so the committing
+//!    leader (which re-acquires each `states[p]` transiently, ascending,
+//!    to fold dirty keys) never contends with a processing worker.
+//! 3. `committed_egress` is acquired last and alone. Egress is staged
+//!    per partition and concatenated in **partition index order** at
+//!    commit time — never appended by workers as they finish — so the
+//!    committed egress order is independent of which partition
+//!    completes first, and a late poison can still discard all of it.
 
 use crate::checkpoint::{CheckpointStore, InMemoryCheckpointStore, StateDelta};
-use crossbeam::channel::unbounded;
-use om_common::OmResult;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use om_common::commit_group::{CommitGroup, CommitGroupStats};
+use om_common::pool::WorkerPool;
+use om_common::{OmError, OmResult};
 use om_log::{EventLog, Topic};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Address of a stateful function instance.
@@ -134,13 +190,14 @@ pub struct RecoveryReport {
 pub struct DataflowBuilder<M> {
     partitions: usize,
     max_batch: usize,
+    workers: usize,
     functions: HashMap<&'static str, Arc<dyn FnLogic<M>>>,
     store: Option<Arc<dyn CheckpointStore>>,
     ingress: Option<Arc<dyn EventLog<(Address, M)>>>,
 }
 
 impl<M: Send + Clone + 'static> DataflowBuilder<M> {
-    /// Number of parallel partitions (worker threads per epoch).
+    /// Number of parallel partitions.
     pub fn partitions(mut self, n: usize) -> Self {
         assert!(n > 0);
         self.partitions = n;
@@ -152,6 +209,18 @@ impl<M: Send + Clone + 'static> DataflowBuilder<M> {
     pub fn max_batch(mut self, n: usize) -> Self {
         assert!(n > 0);
         self.max_batch = n;
+        self
+    }
+
+    /// Epoch worker threads: `0` (the default) resolves to the core
+    /// count, `1` is the serial baseline, `n > 1` spawns `n` long-lived
+    /// `om-df-worker-N` pool threads (capped at the partition count —
+    /// more workers than partitions cannot help). An **explicit**
+    /// `n > 1` always fans out, even for tiny epochs or on a single
+    /// core; the auto setting skips the fan-out for epochs of ≤ 8
+    /// records, where the handoff costs more than the work.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
         self
     }
 
@@ -209,7 +278,14 @@ impl<M: Send + Clone + 'static> DataflowBuilder<M> {
             .map(|p| ingress.max_seq(p))
             .max()
             .unwrap_or(0);
-        let df = Dataflow {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers_auto = self.workers == 0;
+        let workers = if workers_auto { cores } else { self.workers }
+            .min(partitions)
+            .max(1);
+        let core = Arc::new(DfCore {
             ingress,
             ingress_seq: AtomicU64::new(max_seq + 1),
             functions: Arc::new(self.functions),
@@ -225,6 +301,13 @@ impl<M: Send + Clone + 'static> DataflowBuilder<M> {
             epoch_mutex: Mutex::new(()),
             partitions,
             max_batch: self.max_batch,
+            workers,
+            workers_auto,
+            // An immediate-flush barrier: the epoch leader never waits
+            // out a window — the cohort is exactly this epoch's workers
+            // plus the driver, all parked before the flush runs.
+            barrier: CommitGroup::new(std::time::Duration::ZERO),
+            barrier_ticket: AtomicU64::new(0),
             crash_countdown: AtomicI64::new(i64::MIN),
             epochs: AtomicU64::new(0),
             replays: AtomicU64::new(0),
@@ -233,15 +316,84 @@ impl<M: Send + Clone + 'static> DataflowBuilder<M> {
             recoveries: AtomicU64::new(0),
             last_recovery_us: AtomicU64::new(0),
             last_recovery: Mutex::new(None),
+        });
+        let df = Dataflow {
+            // Declared before `core` so Drop joins the pool (flushing
+            // any in-flight jobs and their Arc<DfCore> clones) first.
+            pool: (workers > 1).then(|| WorkerPool::named("om-df-worker", workers)),
+            core,
         };
         df.recover().expect("checkpoint store readable at startup");
         df
     }
 }
 
-/// The dataflow runtime. See the crate docs for the model and the
-/// exactly-once argument.
+/// One partition's staged epoch results, held back until the barrier
+/// commit (see the module docs on lock discipline: staged per partition,
+/// concatenated in partition order, never appended on completion).
+struct PartitionStage<M> {
+    dirty: HashSet<(&'static str, u64)>,
+    egress: Vec<M>,
+}
+
+impl<M> Default for PartitionStage<M> {
+    fn default() -> Self {
+        Self {
+            dirty: HashSet::new(),
+            egress: Vec::new(),
+        }
+    }
+}
+
+/// Shared state of one in-flight parallel epoch. Workers and the driver
+/// all hold an `Arc` of this; the epoch's verdict is recorded once in
+/// `result` and read by every barrier participant.
+struct EpochCtx<M> {
+    /// Worker groups this epoch fanned out to (`min(workers, partitions)`).
+    groups: usize,
+    /// Barrier tickets: worker `g` parks on `base_ticket + 1 + g`, the
+    /// driver on `top_ticket = base_ticket + groups + 1`; one flush
+    /// releases the whole cohort.
+    base_ticket: u64,
+    top_ticket: u64,
+    offsets: Vec<u64>,
+    batch_lens: Vec<u64>,
+    ingress_count: u64,
+    senders: Vec<Sender<(Address, M)>>,
+    receivers: Vec<Receiver<(Address, M)>>,
+    /// Messages pulled but not yet fully processed (sends count until
+    /// their cascade lands); quiescence is `in_flight == 0`.
+    in_flight: AtomicI64,
+    /// Injected crash fired (or a worker observed poison).
+    crashed: AtomicBool,
+    /// A worker panicked: the epoch is poisoned with this message.
+    poison: Mutex<Option<String>>,
+    invocations: AtomicU64,
+    /// Per-partition staged results, written by the owning group only.
+    staged: Mutex<Vec<Option<PartitionStage<M>>>>,
+    /// Groups that finished staging; the commit leader waits for all of
+    /// them — the epoch-aligned barrier before the atomic commit.
+    staged_groups: AtomicUsize,
+    /// The epoch's verdict, recorded exactly once by the first leader
+    /// to run the finalize; re-elected leaders and the driver read it.
+    result: Mutex<Option<OmResult<EpochOutcome>>>,
+}
+
+/// The dataflow runtime. See the module docs for the model, the
+/// worker-pool/barrier design and the exactly-once argument.
 pub struct Dataflow<M> {
+    /// Long-lived `om-df-worker-N` threads (absent when `workers == 1`).
+    /// Field order matters: dropped before `core`, so pool jobs (which
+    /// hold `Arc<DfCore>` clones) finish before the core is torn down —
+    /// a job must never be the one to drop the core, or the pool would
+    /// join its own thread.
+    pool: Option<WorkerPool>,
+    core: Arc<DfCore<M>>,
+}
+
+/// The runtime state proper, shared between the public handle and the
+/// pool workers (jobs capture `Arc<DfCore>`).
+struct DfCore<M> {
     ingress: Arc<dyn EventLog<(Address, M)>>,
     ingress_seq: AtomicU64,
     functions: Arc<HashMap<&'static str, Arc<dyn FnLogic<M>>>>,
@@ -256,6 +408,15 @@ pub struct Dataflow<M> {
     epoch_mutex: Mutex<()>,
     partitions: usize,
     max_batch: usize,
+    /// Resolved epoch worker count (≥ 1; capped at `partitions`).
+    workers: usize,
+    /// `true` when the count came from the core-count default, which
+    /// also enables the small-epoch serial shortcut.
+    workers_auto: bool,
+    /// The epoch-aligned join: workers and driver park on tickets, one
+    /// leader runs the atomic commit for the whole cohort.
+    barrier: CommitGroup,
+    barrier_ticket: AtomicU64,
     /// Fault injection: crash after this many further invocations
     /// (`i64::MIN` = disabled).
     crash_countdown: AtomicI64,
@@ -269,11 +430,13 @@ pub struct Dataflow<M> {
 }
 
 impl<M: Send + Clone + 'static> Dataflow<M> {
-    /// A builder with default partitioning and the in-memory store.
+    /// A builder with default partitioning, auto worker count and the
+    /// in-memory store.
     pub fn builder() -> DataflowBuilder<M> {
         DataflowBuilder {
             partitions: 4,
             max_batch: 256,
+            workers: 0,
             functions: HashMap::new(),
             store: None,
             ingress: None,
@@ -282,27 +445,40 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
 
     /// Number of partitions.
     pub fn partitions(&self) -> usize {
-        self.partitions
+        self.core.partitions
+    }
+
+    /// Resolved epoch worker count (1 = serial baseline).
+    pub fn workers(&self) -> usize {
+        self.core.workers
+    }
+
+    /// Counters of the epoch barrier: one flush per parallel epoch, the
+    /// cohort being that epoch's workers + driver. Serial epochs never
+    /// touch the barrier.
+    pub fn barrier_stats(&self) -> CommitGroupStats {
+        self.core.barrier.stats()
     }
 
     /// The checkpoint store this runtime commits through.
     pub fn checkpoint_store(&self) -> &Arc<dyn CheckpointStore> {
-        &self.store
+        &self.core.store
     }
 
     /// The replayable ingress log (share it with
     /// [`DataflowBuilder::ingress_topic`] to rebuild a runtime without
     /// losing in-flight records).
     pub fn ingress_topic(&self) -> Arc<dyn EventLog<(Address, M)>> {
-        self.ingress.clone()
+        self.core.ingress.clone()
     }
 
     /// Appends a message for `to` into the replayable ingress log. The
     /// record is processed by a subsequent epoch.
     pub fn submit(&self, to: Address, msg: M) {
-        let partition = to.partition(self.partitions);
-        let seq = self.ingress_seq.fetch_add(1, Ordering::Relaxed);
-        self.ingress
+        let partition = to.partition(self.core.partitions);
+        let seq = self.core.ingress_seq.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .ingress
             .append_raw(partition, 0, seq, (to, msg))
             .expect("ingress partition exists");
     }
@@ -310,20 +486,20 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
     /// Arms fault injection: the runtime "crashes" after `n` further
     /// function invocations, abandoning the in-flight epoch.
     pub fn inject_crash_after(&self, n: u64) {
-        self.crash_countdown.store(n as i64, Ordering::SeqCst);
+        self.core.crash_countdown.store(n as i64, Ordering::SeqCst);
     }
 
     /// Disarms a pending [`inject_crash_after`](Self::inject_crash_after)
     /// that has not fired yet.
     pub fn disarm_crash(&self) {
-        self.crash_countdown.store(i64::MIN, Ordering::SeqCst);
+        self.core.crash_countdown.store(i64::MIN, Ordering::SeqCst);
     }
 
     /// Ingress records not yet committed (lag).
     pub fn pending_ingress(&self) -> u64 {
-        let meta = self.meta.lock();
-        (0..self.partitions)
-            .map(|p| self.ingress.end_offset(p) - meta.offsets[p])
+        let meta = self.core.meta.lock();
+        (0..self.core.partitions)
+            .map(|p| self.core.ingress.end_offset(p) - meta.offsets[p])
             .sum()
     }
 
@@ -340,11 +516,258 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
     /// a **fresh** log keeps its recovered state but rebases to the new
     /// log's start (the old records are unreachable).
     pub fn recover(&self) -> OmResult<RecoveryReport> {
-        let _epoch_guard = self.epoch_mutex.lock();
-        self.recover_locked()
+        let _epoch_guard = self.core.epoch_mutex.lock();
+        self.core.recover_locked()
     }
 
-    /// [`recover`](Self::recover) body; caller holds (or is inside) the
+    /// The most recent [`RecoveryReport`] (the build-time restore counts).
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        self.core.last_recovery.lock().clone()
+    }
+
+    /// Runs one epoch. See [`EpochOutcome`]. Blocks if another epoch is
+    /// in flight.
+    pub fn run_epoch(&self) -> OmResult<EpochOutcome> {
+        let guard = self.core.epoch_mutex.lock();
+        self.run_epoch_locked(guard)
+    }
+
+    /// Runs one epoch only if no other epoch is in flight; returns
+    /// `Ok(None)` when another thread is already driving. Lets clients
+    /// *help* (caller-runs) without queueing up redundant epochs behind
+    /// the epoch mutex.
+    pub fn try_run_epoch(&self) -> OmResult<Option<EpochOutcome>> {
+        match self.core.epoch_mutex.try_lock() {
+            Some(guard) => self.run_epoch_locked(guard).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn run_epoch_locked(
+        &self,
+        _epoch_guard: parking_lot::MutexGuard<'_, ()>,
+    ) -> OmResult<EpochOutcome> {
+        let core = &self.core;
+        // 1. Pull the input batch per partition from committed offsets.
+        let offsets: Vec<u64> = core.meta.lock().offsets.clone();
+        let batches: Vec<Vec<(Address, M)>> = (0..core.partitions)
+            .map(|p| {
+                core.ingress
+                    .read_from(p, offsets[p], core.max_batch)
+                    .into_iter()
+                    .map(|e| e.payload)
+                    .collect()
+            })
+            .collect();
+        let batch_lens: Vec<u64> = batches.iter().map(|b| b.len() as u64).collect();
+        let ingress_count: u64 = batch_lens.iter().sum();
+        if ingress_count == 0 {
+            return Ok(EpochOutcome::Idle);
+        }
+
+        // 2. One unbounded channel per partition carries its batch and
+        // any cross-partition sends cascading within the epoch.
+        let channels: Vec<_> = (0..core.partitions).map(|_| unbounded()).collect();
+        let senders: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        for (p, batch) in batches.into_iter().enumerate() {
+            for rec in batch {
+                senders[p].send(rec).expect("receiver alive");
+            }
+        }
+
+        // An explicitly sized pool always fans out; the auto default
+        // additionally skips tiny epochs, where the handoff costs more
+        // than sequential processing (and spin-waits starve single-core
+        // machines).
+        let fan_out = self.pool.is_some() && (!core.workers_auto || ingress_count > 8);
+        if let Some(pool) = self.pool.as_ref().filter(|_| fan_out) {
+            let groups = pool.size().min(core.partitions);
+            let base_ticket = core
+                .barrier_ticket
+                .fetch_add(groups as u64 + 1, Ordering::Relaxed);
+            let receivers: Vec<_> = channels.iter().map(|(_, rx)| rx.clone()).collect();
+            let ctx = Arc::new(EpochCtx {
+                groups,
+                base_ticket,
+                top_ticket: base_ticket + groups as u64 + 1,
+                offsets,
+                batch_lens,
+                ingress_count,
+                senders,
+                receivers,
+                in_flight: AtomicI64::new(ingress_count as i64),
+                crashed: AtomicBool::new(false),
+                poison: Mutex::new(None),
+                invocations: AtomicU64::new(0),
+                staged: Mutex::new((0..core.partitions).map(|_| None).collect()),
+                staged_groups: AtomicUsize::new(0),
+                result: Mutex::new(None),
+            });
+            for g in 0..groups {
+                let core = Arc::clone(core);
+                let ctx = Arc::clone(&ctx);
+                pool.execute(move || core.epoch_worker(&ctx, g));
+            }
+            // The driver parks on the cohort's highest ticket; whichever
+            // participant is elected leader runs the epoch-aligned
+            // finalize (barrier wait + single atomic commit) for all.
+            let _ = core
+                .barrier
+                .wait_durable(ctx.top_ticket, || core.finalize_epoch(&ctx));
+            return ctx
+                .result
+                .lock()
+                .clone()
+                .expect("finalize recorded the epoch verdict before releasing the barrier");
+        }
+
+        // Serial baseline (`workers(1)` / small auto epochs): one thread
+        // walks the partitions round-robin. This path is the reference
+        // the parallel path's committed results are tested against.
+        let crashed = AtomicBool::new(false);
+        let invocations = AtomicU64::new(0);
+        let mut egress_buffers: Vec<Vec<M>> = Vec::new();
+        // Incremental checkpointing: commits copy only the keys an epoch
+        // touched, so checkpoint cost scales with the batch, not with the
+        // total accumulated state (the Flink/RocksDB approach).
+        let mut dirty_sets: Vec<HashSet<(&'static str, u64)>> =
+            (0..core.partitions).map(|_| Default::default()).collect();
+        // Lock discipline: all partition state locks taken upfront in
+        // ascending order, released before the commit re-acquires them.
+        let mut states: Vec<_> = core.states.iter().map(|m| m.lock()).collect();
+        for _ in 0..core.partitions {
+            egress_buffers.push(Vec::new());
+        }
+        'outer: loop {
+            let mut progressed = false;
+            for p in 0..core.partitions {
+                while let Ok((to, msg)) = channels[p].1.try_recv() {
+                    progressed = true;
+                    let cd = core.crash_countdown.fetch_sub(1, Ordering::SeqCst);
+                    if cd == 0 {
+                        crashed.store(true, Ordering::Release);
+                        break 'outer;
+                    }
+                    let Some(logic) = core.functions.get(to.fn_type).cloned() else {
+                        core.unroutable.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    let state = &mut states[p];
+                    let mut effects = Effects::new();
+                    let state_key = (to.fn_type, to.key);
+                    logic.invoke(
+                        to.key,
+                        state.get(&state_key).map(|v| v.as_slice()),
+                        msg,
+                        &mut effects,
+                    );
+                    invocations.fetch_add(1, Ordering::Relaxed);
+                    if let Some(update) = effects.state {
+                        dirty_sets[p].insert(state_key);
+                        match update {
+                            Some(bytes) => {
+                                state.insert(state_key, bytes);
+                            }
+                            None => {
+                                state.remove(&state_key);
+                            }
+                        }
+                    }
+                    egress_buffers[p].extend(effects.egress);
+                    for (addr, m) in effects.sends {
+                        let _ = senders[addr.partition(core.partitions)].send((addr, m));
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        drop(states);
+        core.invocations_total
+            .fetch_add(invocations.load(Ordering::Relaxed), Ordering::Relaxed);
+        if crashed.load(Ordering::Acquire) {
+            return core.crash_restore();
+        }
+        core.commit_epoch(&offsets, &batch_lens, &mut dirty_sets, egress_buffers)?;
+        core.epochs.fetch_add(1, Ordering::Relaxed);
+        Ok(EpochOutcome::Committed {
+            ingress: ingress_count,
+            invocations: invocations.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Runs epochs until the ingress lag is zero; returns the number of
+    /// committed epochs (crashes are recovered and replayed).
+    pub fn run_to_completion(&self) -> OmResult<u64> {
+        let mut committed = 0;
+        while self.pending_ingress() > 0 {
+            match self.run_epoch()? {
+                EpochOutcome::Committed { .. } => committed += 1,
+                EpochOutcome::CrashedAndRecovered => {}
+                EpochOutcome::Idle => break,
+            }
+        }
+        Ok(committed)
+    }
+
+    /// Committed egress records so far (exactly-once output).
+    pub fn committed_egress(&self) -> Vec<M> {
+        self.core.committed_egress.lock().clone()
+    }
+
+    /// Number of committed egress records without cloning.
+    pub fn committed_egress_len(&self) -> usize {
+        self.core.committed_egress.lock().len()
+    }
+
+    /// Drains the committed egress (consumer semantics for the driver).
+    pub fn take_committed_egress(&self) -> Vec<M> {
+        std::mem::take(&mut *self.core.committed_egress.lock())
+    }
+
+    /// Committed keyed state of `(fn_type, key)` as of the last
+    /// checkpoint (served by the checkpoint store, never live state).
+    pub fn state_of(&self, addr: Address) -> Option<Vec<u8>> {
+        self.core
+            .store
+            .get_state(addr.partition(self.core.partitions), addr.fn_type, addr.key)
+    }
+
+    /// Committed epoch number.
+    pub fn committed_epoch(&self) -> u64 {
+        self.core.meta.lock().epoch
+    }
+
+    /// Committed per-partition ingress offsets.
+    pub fn committed_offsets(&self) -> Vec<u64> {
+        self.core.meta.lock().offsets.clone()
+    }
+
+    /// (committed epochs, replays after crashes, total invocations,
+    /// unroutable messages).
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.core.epochs.load(Ordering::Relaxed),
+            self.core.replays.load(Ordering::Relaxed),
+            self.core.invocations_total.load(Ordering::Relaxed),
+            self.core.unroutable.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (restores from the checkpoint store, duration of the last one in
+    /// microseconds). The build-time restore counts, so a fresh runtime
+    /// reports one recovery.
+    pub fn recovery_stats(&self) -> (u64, u64) {
+        (
+            self.core.recoveries.load(Ordering::Relaxed),
+            self.core.last_recovery_us.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl<M: Send + Clone + 'static> DfCore<M> {
+    /// [`Dataflow::recover`] body; the caller holds (or is inside) the
     /// epoch mutex.
     fn recover_locked(&self) -> OmResult<RecoveryReport> {
         let started = std::time::Instant::now();
@@ -396,6 +819,7 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
         let replayable_ingress = (0..self.partitions)
             .map(|p| self.ingress.end_offset(p) - meta.offsets[p])
             .sum();
+        // Lock discipline: meta released before any state lock is taken.
         drop(meta);
         for (p, slot) in self.states.iter().enumerate() {
             *slot.lock() = std::mem::take(&mut rebuilt[p]);
@@ -412,29 +836,6 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
         };
         *self.last_recovery.lock() = Some(report.clone());
         Ok(report)
-    }
-
-    /// The most recent [`RecoveryReport`] (the build-time restore counts).
-    pub fn last_recovery(&self) -> Option<RecoveryReport> {
-        self.last_recovery.lock().clone()
-    }
-
-    /// Runs one epoch. See [`EpochOutcome`]. Blocks if another epoch is
-    /// in flight.
-    pub fn run_epoch(&self) -> OmResult<EpochOutcome> {
-        let guard = self.epoch_mutex.lock();
-        self.run_epoch_locked(guard)
-    }
-
-    /// Runs one epoch only if no other epoch is in flight; returns
-    /// `Ok(None)` when another thread is already driving. Lets clients
-    /// *help* (caller-runs) without queueing up redundant epochs behind
-    /// the epoch mutex.
-    pub fn try_run_epoch(&self) -> OmResult<Option<EpochOutcome>> {
-        match self.epoch_mutex.try_lock() {
-            Some(guard) => self.run_epoch_locked(guard).map(Some),
-            None => Ok(None),
-        }
     }
 
     /// Restores from the store after a crash or a failed commit. Called
@@ -454,7 +855,7 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
         &self,
         offsets: &[u64],
         batch_lens: &[u64],
-        dirty_sets: &mut [std::collections::HashSet<(&'static str, u64)>],
+        dirty_sets: &mut [HashSet<(&'static str, u64)>],
         egress_buffers: Vec<Vec<M>>,
     ) -> OmResult<()> {
         let next_epoch = self.meta.lock().epoch + 1;
@@ -465,6 +866,8 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
             .collect();
         let mut deltas = Vec::new();
         for (p, dirty) in dirty_sets.iter_mut().enumerate() {
+            // Lock discipline: states re-acquired transiently, one at a
+            // time, in ascending partition order, with meta released.
             let live = self.states[p].lock();
             for (fn_type, key) in dirty.drain() {
                 deltas.push(match live.get(&(fn_type, key)) {
@@ -485,6 +888,8 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
             meta.epoch = next_epoch;
             meta.offsets = new_offsets;
         }
+        // Lock discipline: egress last and alone; buffers concatenated
+        // in partition index order, independent of completion order.
         let mut egress = self.committed_egress.lock();
         for buf in egress_buffers {
             egress.extend(buf);
@@ -492,297 +897,211 @@ impl<M: Send + Clone + 'static> Dataflow<M> {
         Ok(())
     }
 
-    fn run_epoch_locked(
-        &self,
-        _epoch_guard: parking_lot::MutexGuard<'_, ()>,
-    ) -> OmResult<EpochOutcome> {
-        // 1. Pull the input batch per partition from committed offsets.
-        let offsets: Vec<u64> = self.meta.lock().offsets.clone();
-        let batches: Vec<Vec<(Address, M)>> = (0..self.partitions)
-            .map(|p| {
-                self.ingress
-                    .read_from(p, offsets[p], self.max_batch)
-                    .into_iter()
-                    .map(|e| e.payload)
-                    .collect()
-            })
-            .collect();
-        let batch_lens: Vec<u64> = batches.iter().map(|b| b.len() as u64).collect();
-        let ingress_count: u64 = batch_lens.iter().sum();
-        if ingress_count == 0 {
-            return Ok(EpochOutcome::Idle);
-        }
-
-        // 2. Process to quiescence with one worker per partition.
-        let in_flight = AtomicI64::new(ingress_count as i64);
-        let crashed = AtomicBool::new(false);
-        let invocations = AtomicU64::new(0);
-        let channels: Vec<_> = (0..self.partitions).map(|_| unbounded()).collect();
-        let senders: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
-        for (p, batch) in batches.into_iter().enumerate() {
-            for rec in batch {
-                senders[p].send(rec).expect("receiver alive");
+    /// One pool job: process worker group `g`'s partitions to
+    /// quiescence, stage the results, then park on the epoch barrier.
+    /// Stages **unconditionally** — even after a panic or crash — so the
+    /// finalize's all-groups wait always terminates.
+    fn epoch_worker(&self, ctx: &EpochCtx<M>, g: usize) {
+        // Static group assignment: group g owns partitions p ≡ g (mod G).
+        let own: Vec<usize> = (g..self.partitions).step_by(ctx.groups).collect();
+        let stages = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.process_group(ctx, &own)
+        })) {
+            Ok(stages) => stages,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".into());
+                ctx.poison.lock().get_or_insert(msg);
+                // Other groups stop pulling instead of spinning on
+                // in_flight the dead group will never drain.
+                ctx.crashed.store(true, Ordering::Release);
+                own.iter().map(|&p| (p, PartitionStage::default())).collect()
+            }
+        };
+        {
+            let mut staged = ctx.staged.lock();
+            for (p, stage) in stages {
+                staged[p] = Some(stage);
             }
         }
+        ctx.staged_groups.fetch_add(1, Ordering::AcqRel);
+        // Park on this group's ticket; the error (if the epoch was
+        // poisoned) is delivered to the driver via ctx.result, so the
+        // worker itself has nothing to do with it.
+        let _ = self
+            .barrier
+            .wait_durable(ctx.base_ticket + 1 + g as u64, || self.finalize_epoch(ctx));
+    }
 
-        let mut egress_buffers: Vec<Vec<M>> = Vec::new();
-        // Incremental checkpointing: commits copy only the keys an epoch
-        // touched, so checkpoint cost scales with the batch, not with the
-        // total accumulated state (the Flink/RocksDB approach).
-        let mut dirty_sets: Vec<std::collections::HashSet<(&'static str, u64)>> =
-            (0..self.partitions).map(|_| Default::default()).collect();
-        // Small epochs skip the thread fan-out: spawning one worker per
-        // partition costs more than sequential processing for a handful of
-        // records (and spin-waits starve single-core machines).
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let sequential = ingress_count <= 8 || self.partitions == 1 || cores < 2;
-        if sequential {
-            let mut states: Vec<_> = self.states.iter().map(|m| m.lock()).collect();
-            for _ in 0..self.partitions {
-                egress_buffers.push(Vec::new());
-            }
-            'outer: loop {
-                let mut progressed = false;
-                for p in 0..self.partitions {
-                    while let Ok((to, msg)) = channels[p].1.try_recv() {
-                        progressed = true;
-                        let cd = self.crash_countdown.fetch_sub(1, Ordering::SeqCst);
-                        if cd == 0 {
-                            crashed.store(true, Ordering::Release);
-                            break 'outer;
-                        }
-                        let Some(logic) = self.functions.get(to.fn_type).cloned() else {
+    /// The processing loop of one worker group: pull → apply → track
+    /// dirty keys, over the group's own partitions only.
+    fn process_group(&self, ctx: &EpochCtx<M>, own: &[usize]) -> Vec<(usize, PartitionStage<M>)> {
+        // Lock discipline: the group's state locks, taken once in
+        // ascending partition order (own is ascending by construction),
+        // held for the whole processing phase, released before staging.
+        let mut guards: Vec<_> = own.iter().map(|&p| self.states[p].lock()).collect();
+        let mut stages: Vec<PartitionStage<M>> =
+            own.iter().map(|_| PartitionStage::default()).collect();
+        let mut idle_polls = 0u32;
+        'epoch: loop {
+            let mut progressed = false;
+            for (i, &p) in own.iter().enumerate() {
+                loop {
+                    if ctx.crashed.load(Ordering::Acquire) {
+                        break 'epoch;
+                    }
+                    let (to, msg) = match ctx.receivers[p].try_recv() {
+                        Ok(rec) => rec,
+                        Err(_) => break,
+                    };
+                    progressed = true;
+                    idle_polls = 0;
+                    // Fault injection: decrement the countdown; the
+                    // invocation that hits zero "crashes" the runtime —
+                    // deliberately racing partitions that already
+                    // finished their batch.
+                    let cd = self.crash_countdown.fetch_sub(1, Ordering::SeqCst);
+                    if cd == 0 {
+                        ctx.crashed.store(true, Ordering::Release);
+                        break 'epoch;
+                    }
+                    let logic = match self.functions.get(to.fn_type) {
+                        Some(l) => l.clone(),
+                        None => {
                             self.unroutable.fetch_add(1, Ordering::Relaxed);
+                            ctx.in_flight.fetch_sub(1, Ordering::AcqRel);
                             continue;
-                        };
-                        let state = &mut states[p];
-                        let mut effects = Effects::new();
-                        let state_key = (to.fn_type, to.key);
-                        logic.invoke(
-                            to.key,
-                            state.get(&state_key).map(|v| v.as_slice()),
-                            msg,
-                            &mut effects,
-                        );
-                        invocations.fetch_add(1, Ordering::Relaxed);
-                        if let Some(update) = effects.state {
-                            dirty_sets[p].insert(state_key);
-                            match update {
-                                Some(bytes) => {
-                                    state.insert(state_key, bytes);
-                                }
-                                None => {
-                                    state.remove(&state_key);
-                                }
+                        }
+                    };
+                    let state = &mut guards[i];
+                    let mut effects = Effects::new();
+                    let state_key = (to.fn_type, to.key);
+                    logic.invoke(
+                        to.key,
+                        state.get(&state_key).map(|v| v.as_slice()),
+                        msg,
+                        &mut effects,
+                    );
+                    ctx.invocations.fetch_add(1, Ordering::Relaxed);
+                    if let Some(update) = effects.state {
+                        stages[i].dirty.insert(state_key);
+                        match update {
+                            Some(bytes) => {
+                                state.insert(state_key, bytes);
+                            }
+                            None => {
+                                state.remove(&state_key);
                             }
                         }
-                        egress_buffers[p].extend(effects.egress);
-                        for (addr, m) in effects.sends {
-                            let _ = senders[addr.partition(self.partitions)].send((addr, m));
-                        }
                     }
+                    stages[i].egress.extend(effects.egress);
+                    // Route internal sends before declaring this message
+                    // done so in_flight never dips to zero while
+                    // cascades are pending.
+                    for (addr, m) in effects.sends {
+                        ctx.in_flight.fetch_add(1, Ordering::AcqRel);
+                        let _ = ctx.senders[addr.partition(self.partitions)].send((addr, m));
+                    }
+                    ctx.in_flight.fetch_sub(1, Ordering::AcqRel);
                 }
-                if !progressed {
+            }
+            if ctx.crashed.load(Ordering::Acquire) {
+                break;
+            }
+            if !progressed {
+                if ctx.in_flight.load(Ordering::Acquire) <= 0 {
                     break;
                 }
+                // Escalating backoff: spinning starves the busy groups
+                // on small machines.
+                idle_polls += 1;
+                if idle_polls > 64 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                } else {
+                    std::thread::yield_now();
+                }
             }
-            drop(states);
-            self.invocations_total
-                .fetch_add(invocations.load(Ordering::Relaxed), Ordering::Relaxed);
-            if crashed.load(Ordering::Acquire) {
+        }
+        // Lock discipline: state released before the barrier, so the
+        // committing leader never contends with a processing worker.
+        drop(guards);
+        own.iter().copied().zip(stages).collect()
+    }
+
+    /// The barrier leader's duty, run by exactly one participant at a
+    /// time inside `CommitGroup::wait_durable`: wait until every group
+    /// has staged (the epoch-aligned barrier), then either commit the
+    /// epoch atomically or poison it. **Idempotent** — the verdict is
+    /// recorded once in `ctx.result`; a late or re-elected leader
+    /// returns the recorded verdict instead of redoing the commit.
+    ///
+    /// The flush ALWAYS reports `Ok(top_ticket)`, even for a poisoned
+    /// epoch: the verdict (including the poison error) travels through
+    /// `ctx.result`, never through the barrier. Failing the flush
+    /// instead would leave `durable` behind this epoch's tickets, so
+    /// parked workers would each have to self-elect as leader to learn
+    /// the error — and the driver, released first, could start the next
+    /// epoch and enqueue `pool.size()` jobs while a straggler still
+    /// occupies its pool thread: the queued job's group never stages,
+    /// the new leader spin-waits for it, and the straggler waits for
+    /// that leader's flush. One advancing flush releases everyone and
+    /// makes the cycle impossible.
+    fn finalize_epoch(&self, ctx: &EpochCtx<M>) -> OmResult<u64> {
+        if ctx.result.lock().is_some() {
+            return Ok(ctx.top_ticket);
+        }
+        // Epoch-aligned barrier: every group staged (or poisoned) before
+        // anything commits. Terminates because workers stage
+        // unconditionally, panic or not.
+        let mut idle_polls = 0u32;
+        while ctx.staged_groups.load(Ordering::Acquire) < ctx.groups {
+            idle_polls += 1;
+            if idle_polls > 64 {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        self.invocations_total
+            .fetch_add(ctx.invocations.load(Ordering::Relaxed), Ordering::Relaxed);
+        let verdict: OmResult<EpochOutcome> = (|| {
+            if let Some(msg) = ctx.poison.lock().take() {
+                // A worker panicked: every partition's staged state and
+                // egress is discarded (live state rebuilt from the last
+                // committed checkpoint), offsets untouched — the next
+                // epoch replays the same batch.
+                self.recover_locked()?;
+                self.replays.fetch_add(1, Ordering::Relaxed);
+                return Err(OmError::Internal(format!(
+                    "dataflow epoch poisoned by worker panic: {msg}"
+                )));
+            }
+            if ctx.crashed.load(Ordering::Acquire) {
+                // Injected crash: same discard, reported as an outcome.
                 return self.crash_restore();
             }
-            self.commit_epoch(&offsets, &batch_lens, &mut dirty_sets, egress_buffers)?;
+            let mut dirty_sets: Vec<HashSet<(&'static str, u64)>> =
+                Vec::with_capacity(self.partitions);
+            let mut egress_buffers: Vec<Vec<M>> = Vec::with_capacity(self.partitions);
+            {
+                let mut staged = ctx.staged.lock();
+                for slot in staged.iter_mut() {
+                    let stage = slot.take().expect("every partition staged by its group");
+                    dirty_sets.push(stage.dirty);
+                    egress_buffers.push(stage.egress);
+                }
+            }
+            self.commit_epoch(&ctx.offsets, &ctx.batch_lens, &mut dirty_sets, egress_buffers)?;
             self.epochs.fetch_add(1, Ordering::Relaxed);
-            return Ok(EpochOutcome::Committed {
-                ingress: ingress_count,
-                invocations: invocations.load(Ordering::Relaxed),
-            });
-        }
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (p, (_, rx)) in channels.iter().enumerate() {
-                let senders = &senders;
-                let in_flight = &in_flight;
-                let crashed = &crashed;
-                let invocations = &invocations;
-                let state_slot = &self.states[p];
-                let functions = &self.functions;
-                let crash_countdown = &self.crash_countdown;
-                let unroutable = &self.unroutable;
-                let n_partitions = self.partitions;
-                handles.push(scope.spawn(move || {
-                    let mut state = state_slot.lock();
-                    let mut egress: Vec<M> = Vec::new();
-                    let mut dirty: std::collections::HashSet<(&'static str, u64)> =
-                        Default::default();
-                    let mut idle_polls = 0u32;
-                    loop {
-                        if crashed.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let (to, msg) = match rx.try_recv() {
-                            Ok(rec) => {
-                                idle_polls = 0;
-                                rec
-                            }
-                            Err(_) => {
-                                if in_flight.load(Ordering::Acquire) <= 0 {
-                                    break;
-                                }
-                                // Escalating backoff: spinning starves the
-                                // busy partitions on small machines.
-                                idle_polls += 1;
-                                if idle_polls > 64 {
-                                    std::thread::sleep(std::time::Duration::from_micros(50));
-                                } else {
-                                    std::thread::yield_now();
-                                }
-                                continue;
-                            }
-                        };
-                        // Fault injection: decrement the countdown; the
-                        // invocation that hits zero "crashes" the runtime.
-                        let cd = crash_countdown.fetch_sub(1, Ordering::SeqCst);
-                        if cd == 0 {
-                            crashed.store(true, Ordering::Release);
-                            break;
-                        }
-                        let logic = match functions.get(to.fn_type) {
-                            Some(l) => l.clone(),
-                            None => {
-                                unroutable.fetch_add(1, Ordering::Relaxed);
-                                in_flight.fetch_sub(1, Ordering::AcqRel);
-                                continue;
-                            }
-                        };
-                        let mut effects = Effects::new();
-                        let state_key = (to.fn_type, to.key);
-                        logic.invoke(
-                            to.key,
-                            state.get(&state_key).map(|v| v.as_slice()),
-                            msg,
-                            &mut effects,
-                        );
-                        invocations.fetch_add(1, Ordering::Relaxed);
-                        if let Some(update) = effects.state {
-                            dirty.insert(state_key);
-                            match update {
-                                Some(bytes) => {
-                                    state.insert(state_key, bytes);
-                                }
-                                None => {
-                                    state.remove(&state_key);
-                                }
-                            }
-                        }
-                        egress.extend(effects.egress);
-                        // Route internal sends before declaring this
-                        // message done so in_flight never dips to zero
-                        // while cascades are pending.
-                        for (addr, m) in effects.sends {
-                            in_flight.fetch_add(1, Ordering::AcqRel);
-                            let _ = senders[addr.partition(n_partitions)].send((addr, m));
-                        }
-                        in_flight.fetch_sub(1, Ordering::AcqRel);
-                    }
-                    (egress, dirty)
-                }));
-            }
-            for (p, h) in handles.into_iter().enumerate() {
-                let (egress, dirty) = h.join().expect("worker panicked");
-                egress_buffers.push(egress);
-                dirty_sets[p] = dirty;
-            }
-        });
-
-        self.invocations_total
-            .fetch_add(invocations.load(Ordering::Relaxed), Ordering::Relaxed);
-
-        if crashed.load(Ordering::Acquire) {
-            // 3a. Recover: rebuild live state from the last committed
-            // checkpoint in the store; offsets unchanged; buffered egress
-            // discarded.
-            return self.crash_restore();
-        }
-
-        // 3b. Commit: persist the dirty keys + advanced offsets through
-        // the checkpoint store, release egress. Copying only what the
-        // epoch touched keeps commit cost proportional to the batch.
-        self.commit_epoch(&offsets, &batch_lens, &mut dirty_sets, egress_buffers)?;
-        self.epochs.fetch_add(1, Ordering::Relaxed);
-        Ok(EpochOutcome::Committed {
-            ingress: ingress_count,
-            invocations: invocations.load(Ordering::Relaxed),
-        })
-    }
-
-    /// Runs epochs until the ingress lag is zero; returns the number of
-    /// committed epochs (crashes are recovered and replayed).
-    pub fn run_to_completion(&self) -> OmResult<u64> {
-        let mut committed = 0;
-        while self.pending_ingress() > 0 {
-            match self.run_epoch()? {
-                EpochOutcome::Committed { .. } => committed += 1,
-                EpochOutcome::CrashedAndRecovered => {}
-                EpochOutcome::Idle => break,
-            }
-        }
-        Ok(committed)
-    }
-
-    /// Committed egress records so far (exactly-once output).
-    pub fn committed_egress(&self) -> Vec<M> {
-        self.committed_egress.lock().clone()
-    }
-
-    /// Number of committed egress records without cloning.
-    pub fn committed_egress_len(&self) -> usize {
-        self.committed_egress.lock().len()
-    }
-
-    /// Drains the committed egress (consumer semantics for the driver).
-    pub fn take_committed_egress(&self) -> Vec<M> {
-        std::mem::take(&mut *self.committed_egress.lock())
-    }
-
-    /// Committed keyed state of `(fn_type, key)` as of the last
-    /// checkpoint (served by the checkpoint store, never live state).
-    pub fn state_of(&self, addr: Address) -> Option<Vec<u8>> {
-        self.store
-            .get_state(addr.partition(self.partitions), addr.fn_type, addr.key)
-    }
-
-    /// Committed epoch number.
-    pub fn committed_epoch(&self) -> u64 {
-        self.meta.lock().epoch
-    }
-
-    /// Committed per-partition ingress offsets.
-    pub fn committed_offsets(&self) -> Vec<u64> {
-        self.meta.lock().offsets.clone()
-    }
-
-    /// (committed epochs, replays after crashes, total invocations,
-    /// unroutable messages).
-    pub fn stats(&self) -> (u64, u64, u64, u64) {
-        (
-            self.epochs.load(Ordering::Relaxed),
-            self.replays.load(Ordering::Relaxed),
-            self.invocations_total.load(Ordering::Relaxed),
-            self.unroutable.load(Ordering::Relaxed),
-        )
-    }
-
-    /// (restores from the checkpoint store, duration of the last one in
-    /// microseconds). The build-time restore counts, so a fresh runtime
-    /// reports one recovery.
-    pub fn recovery_stats(&self) -> (u64, u64) {
-        (
-            self.recoveries.load(Ordering::Relaxed),
-            self.last_recovery_us.load(Ordering::Relaxed),
-        )
+            Ok(EpochOutcome::Committed {
+                ingress: ctx.ingress_count,
+                invocations: ctx.invocations.load(Ordering::Relaxed),
+            })
+        })();
+        *ctx.result.lock() = Some(verdict);
+        Ok(ctx.top_ticket)
     }
 }

@@ -1,12 +1,22 @@
 //! Backend-backed checkpoint recovery: a crashed or rebuilt runtime must
 //! restart from the last committed epoch — never replaying a committed
 //! epoch's effects, never losing one — on both storage disciplines.
+//!
+//! Every case is parametrized over worker counts (serial, small pool,
+//! pool past the partition count): crash injection races the partition
+//! groups mid-epoch, and after every outcome the [`CheckpointStore`] is
+//! probed directly to prove no partial epoch is ever visible through it.
 
 use om_common::config::BackendKind;
-use om_dataflow::{Address, BackendCheckpointStore, Dataflow, Effects, EpochOutcome};
+use om_dataflow::{
+    Address, BackendCheckpointStore, CheckpointStore, Dataflow, Effects, EpochOutcome,
+};
 use om_storage::make_backend;
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// Worker counts every recovery guarantee is proven at.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Msg {
@@ -23,10 +33,11 @@ fn counter_state(bytes: Option<&[u8]>) -> u64 {
 /// `counter` keeps a per-key sum, forwards each new total to `sink`,
 /// which emits it — so every committed ingress record produces exactly
 /// one egress record.
-fn builder(partitions: usize, max_batch: usize) -> om_dataflow::DataflowBuilder<Msg> {
+fn builder(partitions: usize, max_batch: usize, workers: usize) -> om_dataflow::DataflowBuilder<Msg> {
     Dataflow::builder()
         .partitions(partitions)
         .max_batch(max_batch)
+        .workers(workers)
         .register(
             "counter",
             |key: u64, state: Option<&[u8]>, msg: Msg, out: &mut Effects<Msg>| {
@@ -51,159 +62,213 @@ fn durable_store(kind: BackendKind) -> Arc<BackendCheckpointStore> {
     Arc::new(BackendCheckpointStore::new(make_backend(kind, 4)))
 }
 
-#[test]
-fn crash_mid_epoch_restores_committed_state_from_backend() {
-    for kind in BackendKind::ALL {
-        let store = durable_store(kind);
-        let df = builder(2, 4).checkpoint_store(store.clone()).build();
-
-        // Commit a first wave cleanly.
-        for k in 0..8u64 {
-            df.submit(Address::new("counter", k), Msg::Add(1));
-        }
-        df.run_to_completion().unwrap();
-        let committed_epoch = df.committed_epoch();
-        let committed_offsets = df.committed_offsets();
-        assert!(committed_epoch > 0, "{kind:?}");
-
-        // Second wave crashes mid-epoch.
-        for k in 0..8u64 {
-            df.submit(Address::new("counter", k), Msg::Add(1));
-        }
-        df.inject_crash_after(3);
-        let mut crashed = false;
-        while df.pending_ingress() > 0 {
-            match df.run_epoch().unwrap() {
-                EpochOutcome::CrashedAndRecovered => {
-                    crashed = true;
-                    // Straight after the restore, epoch/offsets/state must
-                    // equal the last durable checkpoint.
-                    assert_eq!(df.committed_epoch(), committed_epoch, "{kind:?}");
-                    assert_eq!(df.committed_offsets(), committed_offsets, "{kind:?}");
-                    for k in 0..8u64 {
-                        assert_eq!(
-                            counter_state(df.state_of(Address::new("counter", k)).as_deref()),
-                            1,
-                            "{kind:?}: committed state of key {k} must survive the crash"
-                        );
-                    }
-                }
-                EpochOutcome::Committed { .. } | EpochOutcome::Idle => {}
-            }
-        }
-        assert!(crashed, "{kind:?}: the injected crash must fire");
-
-        // Replay finished the second wave exactly once.
-        for k in 0..8u64 {
+/// Probes `store` directly and asserts the snapshot it serves is a
+/// complete epoch matching the runtime's committed view: same epoch,
+/// same offsets, and every keyed total a whole multiple of a per-key
+/// increment — i.e. never a torn mix of two epochs.
+fn assert_store_serves_whole_epoch(
+    store: &BackendCheckpointStore,
+    df: &Dataflow<Msg>,
+    context: &str,
+) {
+    let snapshot = store
+        .load()
+        .expect("store readable")
+        .expect("a commit exists");
+    assert_eq!(snapshot.epoch, df.committed_epoch(), "{context}: store epoch");
+    assert_eq!(
+        snapshot.offsets,
+        df.committed_offsets(),
+        "{context}: store offsets"
+    );
+    for (_, func, key, bytes) in &snapshot.states {
+        if func == "counter" {
             assert_eq!(
-                counter_state(df.state_of(Address::new("counter", k)).as_deref()),
-                2,
-                "{kind:?}"
+                counter_state(Some(bytes)),
+                counter_state(df.state_of(Address::new("counter", *key)).as_deref()),
+                "{context}: store state for key {key} diverges from the committed runtime view"
             );
         }
-        let (_, replays, _, _) = df.stats();
-        assert!(replays >= 1, "{kind:?}");
-        let (recoveries, _) = df.recovery_stats();
-        assert!(recoveries >= 2, "{kind:?}: build-time + crash restore");
+    }
+}
+
+#[test]
+fn crash_mid_epoch_restores_committed_state_from_backend() {
+    for workers in WORKER_COUNTS {
+        for kind in BackendKind::ALL {
+            let store = durable_store(kind);
+            let df = builder(2, 4, workers).checkpoint_store(store.clone()).build();
+
+            // Commit a first wave cleanly.
+            for k in 0..8u64 {
+                df.submit(Address::new("counter", k), Msg::Add(1));
+            }
+            df.run_to_completion().unwrap();
+            let committed_epoch = df.committed_epoch();
+            let committed_offsets = df.committed_offsets();
+            assert!(committed_epoch > 0, "{kind:?}/w{workers}");
+
+            // Second wave crashes mid-epoch, racing the partition groups.
+            for k in 0..8u64 {
+                df.submit(Address::new("counter", k), Msg::Add(1));
+            }
+            df.inject_crash_after(3);
+            let mut crashed = false;
+            while df.pending_ingress() > 0 {
+                match df.run_epoch().unwrap() {
+                    EpochOutcome::CrashedAndRecovered => {
+                        crashed = true;
+                        // Straight after the restore, epoch/offsets/state must
+                        // equal the last durable checkpoint.
+                        assert_eq!(df.committed_epoch(), committed_epoch, "{kind:?}/w{workers}");
+                        assert_eq!(df.committed_offsets(), committed_offsets, "{kind:?}/w{workers}");
+                        for k in 0..8u64 {
+                            assert_eq!(
+                                counter_state(df.state_of(Address::new("counter", k)).as_deref()),
+                                1,
+                                "{kind:?}/w{workers}: committed state of key {k} must survive the crash"
+                            );
+                        }
+                        // The store itself never exposed the torn epoch.
+                        assert_store_serves_whole_epoch(
+                            &store,
+                            &df,
+                            &format!("{kind:?}/w{workers} post-crash"),
+                        );
+                    }
+                    EpochOutcome::Committed { .. } | EpochOutcome::Idle => {}
+                }
+            }
+            assert!(crashed, "{kind:?}/w{workers}: the injected crash must fire");
+
+            // Replay finished the second wave exactly once.
+            for k in 0..8u64 {
+                assert_eq!(
+                    counter_state(df.state_of(Address::new("counter", k)).as_deref()),
+                    2,
+                    "{kind:?}/w{workers}"
+                );
+            }
+            let (_, replays, _, _) = df.stats();
+            assert!(replays >= 1, "{kind:?}/w{workers}");
+            let (recoveries, _) = df.recovery_stats();
+            assert!(recoveries >= 2, "{kind:?}/w{workers}: build-time + crash restore");
+            assert_store_serves_whole_epoch(&store, &df, &format!("{kind:?}/w{workers} final"));
+        }
     }
 }
 
 #[test]
 fn rebuilt_runtime_restarts_from_last_committed_epoch() {
-    for kind in BackendKind::ALL {
-        let store = durable_store(kind);
-        let first = builder(2, 8).checkpoint_store(store.clone()).build();
-        for k in 0..6u64 {
-            first.submit(Address::new("counter", k), Msg::Add(5));
-        }
-        first.run_to_completion().unwrap();
-        let epoch = first.committed_epoch();
-        // Three records are appended but never processed — in flight at
-        // the "failure".
-        for k in 0..3u64 {
-            first.submit(Address::new("counter", k), Msg::Add(1));
-        }
-        let ingress = first.ingress_topic();
-        drop(first);
+    for workers in WORKER_COUNTS {
+        for kind in BackendKind::ALL {
+            let store = durable_store(kind);
+            let first = builder(2, 8, workers).checkpoint_store(store.clone()).build();
+            for k in 0..6u64 {
+                first.submit(Address::new("counter", k), Msg::Add(5));
+            }
+            first.run_to_completion().unwrap();
+            let epoch = first.committed_epoch();
+            // Three records are appended but never processed — in flight at
+            // the "failure".
+            for k in 0..3u64 {
+                first.submit(Address::new("counter", k), Msg::Add(1));
+            }
+            let ingress = first.ingress_topic();
+            drop(first);
 
-        // A fresh runtime over the same store + shared ingress log.
-        let second = builder(2, 8)
-            .checkpoint_store(store.clone())
-            .ingress_topic(ingress)
-            .build();
-        assert_eq!(second.committed_epoch(), epoch, "{kind:?}");
-        assert_eq!(second.pending_ingress(), 3, "{kind:?}: in-flight records replayable");
-        for k in 0..6u64 {
+            // A fresh runtime over the same store + shared ingress log —
+            // recovery works regardless of the worker count it restarts
+            // with (serial writer, parallel reader and vice versa).
+            let second = builder(2, 8, workers.wrapping_sub(1).max(1))
+                .checkpoint_store(store.clone())
+                .ingress_topic(ingress)
+                .build();
+            assert_eq!(second.committed_epoch(), epoch, "{kind:?}/w{workers}");
             assert_eq!(
-                counter_state(second.state_of(Address::new("counter", k)).as_deref()),
-                5,
-                "{kind:?}: committed state must survive the rebuild"
+                second.pending_ingress(),
+                3,
+                "{kind:?}/w{workers}: in-flight records replayable"
             );
-        }
-        second.run_to_completion().unwrap();
-        assert!(second.committed_epoch() > epoch, "{kind:?}");
-        for k in 0..3u64 {
+            for k in 0..6u64 {
+                assert_eq!(
+                    counter_state(second.state_of(Address::new("counter", k)).as_deref()),
+                    5,
+                    "{kind:?}/w{workers}: committed state must survive the rebuild"
+                );
+            }
+            second.run_to_completion().unwrap();
+            assert!(second.committed_epoch() > epoch, "{kind:?}/w{workers}");
+            for k in 0..3u64 {
+                assert_eq!(
+                    counter_state(second.state_of(Address::new("counter", k)).as_deref()),
+                    6,
+                    "{kind:?}/w{workers}: in-flight records applied exactly once"
+                );
+            }
+            // New submissions keep working (producer sequences stayed
+            // monotonic across the restart).
+            second.submit(Address::new("counter", 0), Msg::Add(1));
+            second.run_to_completion().unwrap();
             assert_eq!(
-                counter_state(second.state_of(Address::new("counter", k)).as_deref()),
-                6,
-                "{kind:?}: in-flight records applied exactly once"
+                counter_state(second.state_of(Address::new("counter", 0)).as_deref()),
+                7,
+                "{kind:?}/w{workers}"
             );
+            assert_store_serves_whole_epoch(&store, &second, &format!("{kind:?}/w{workers}"));
         }
-        // New submissions keep working (producer sequences stayed
-        // monotonic across the restart).
-        second.submit(Address::new("counter", 0), Msg::Add(1));
-        second.run_to_completion().unwrap();
-        assert_eq!(
-            counter_state(second.state_of(Address::new("counter", 0)).as_deref()),
-            7,
-            "{kind:?}"
-        );
     }
 }
 
 #[test]
 fn rebuild_over_fresh_ingress_rebases_offsets_but_keeps_state() {
-    let store = durable_store(BackendKind::SnapshotIsolation);
-    let first = builder(2, 8).checkpoint_store(store.clone()).build();
-    for k in 0..4u64 {
-        first.submit(Address::new("counter", k), Msg::Add(2));
-    }
-    first.run_to_completion().unwrap();
-    let epoch = first.committed_epoch();
-    drop(first);
+    for workers in WORKER_COUNTS {
+        let store = durable_store(BackendKind::SnapshotIsolation);
+        let first = builder(2, 8, workers).checkpoint_store(store.clone()).build();
+        for k in 0..4u64 {
+            first.submit(Address::new("counter", k), Msg::Add(2));
+        }
+        first.run_to_completion().unwrap();
+        let epoch = first.committed_epoch();
+        drop(first);
 
-    // No shared ingress log: offsets rebase to the fresh log's start.
-    let second = builder(2, 8).checkpoint_store(store).build();
-    assert_eq!(second.committed_epoch(), epoch);
-    assert_eq!(second.pending_ingress(), 0);
-    assert_eq!(second.committed_offsets(), vec![0, 0]);
-    for k in 0..4u64 {
+        // No shared ingress log: offsets rebase to the fresh log's start.
+        let second = builder(2, 8, workers).checkpoint_store(store).build();
+        assert_eq!(second.committed_epoch(), epoch, "w{workers}");
+        assert_eq!(second.pending_ingress(), 0, "w{workers}");
+        assert_eq!(second.committed_offsets(), vec![0, 0], "w{workers}");
+        for k in 0..4u64 {
+            assert_eq!(
+                counter_state(second.state_of(Address::new("counter", k)).as_deref()),
+                2,
+                "w{workers}"
+            );
+        }
+        second.submit(Address::new("counter", 0), Msg::Add(1));
+        second.run_to_completion().unwrap();
         assert_eq!(
-            counter_state(second.state_of(Address::new("counter", k)).as_deref()),
-            2
+            counter_state(second.state_of(Address::new("counter", 0)).as_deref()),
+            3,
+            "w{workers}"
         );
     }
-    second.submit(Address::new("counter", 0), Msg::Add(1));
-    second.run_to_completion().unwrap();
-    assert_eq!(
-        counter_state(second.state_of(Address::new("counter", 0)).as_deref()),
-        3
-    );
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Exactly-once across injected crashes and a mid-run rebuild: for a
-    /// random workload and crash schedule, every submitted record is
-    /// applied exactly once (state == sum, one egress per record) and no
-    /// committed epoch is replayed or lost — on both backends.
+    /// random workload, crash schedule and worker count, every submitted
+    /// record is applied exactly once (state == sum, one egress per
+    /// record), no committed epoch is replayed or lost, and the
+    /// checkpoint store never serves a partial epoch — on both backends.
     #[test]
     fn recovered_dataflow_never_replays_nor_loses_a_committed_epoch(
         records in 9u64..60,
         keys in 1u64..6,
         max_batch in 1usize..12,
         crash_at in 1u64..20,
+        workers in 1usize..5,
         rebuild_mid_run in any::<bool>(),
         backend_si in any::<bool>(),
     ) {
@@ -213,7 +278,7 @@ proptest! {
             BackendKind::Eventual
         };
         let store = durable_store(kind);
-        let mut df = builder(2, max_batch).checkpoint_store(store.clone()).build();
+        let mut df = builder(2, max_batch, workers).checkpoint_store(store.clone()).build();
         for i in 0..records {
             df.submit(Address::new("counter", i % keys), Msg::Add(1));
         }
@@ -237,6 +302,11 @@ proptest! {
                 }
                 EpochOutcome::Idle => {}
             }
+            // The store never exposes a half-committed epoch, crash or not.
+            if let Some(snapshot) = store.load().unwrap() {
+                prop_assert_eq!(snapshot.epoch, epoch, "store serves exactly the committed epoch");
+                prop_assert_eq!(snapshot.offsets, df.committed_offsets());
+            }
             last_epoch = epoch;
             egress_total += df.take_committed_egress().len() as u64;
             if rebuild_mid_run && !rebuilt && df.pending_ingress() > 0 {
@@ -244,7 +314,7 @@ proptest! {
                 rebuilt = true;
                 let ingress = df.ingress_topic();
                 drop(df);
-                df = builder(2, max_batch)
+                df = builder(2, max_batch, workers)
                     .checkpoint_store(store.clone())
                     .ingress_topic(ingress)
                     .build();

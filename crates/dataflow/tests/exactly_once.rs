@@ -1,9 +1,20 @@
 //! Integration tests for the dataflow runtime: epoch processing, per-key
 //! state, internal messaging, crash recovery and the exactly-once
 //! guarantee.
+//!
+//! Every case runs at each worker count in [`WORKER_COUNTS`]: the serial
+//! baseline (`workers(1)`), a two-thread pool and a pool past the
+//! partition count — the guarantees must hold identically whether the
+//! epoch is pumped by one thread or raced by many.
 
 use om_dataflow::{Address, Dataflow, Effects};
 use std::sync::Arc;
+
+/// Worker counts every guarantee is proven at: serial baseline, small
+/// pool, pool at/above core count. An explicit `workers(n > 1)` always
+/// fans out (even on a single-core host), so the parallel path is
+/// exercised regardless of the machine.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Messages used by the test topology.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,10 +36,11 @@ fn counter_state(bytes: Option<&[u8]>) -> u64 {
 
 /// Builds a two-function topology: `counter` keeps a per-key running sum;
 /// `sink` emits every received total to the egress.
-fn build(partitions: usize, max_batch: usize) -> Dataflow<Msg> {
+fn build(partitions: usize, max_batch: usize, workers: usize) -> Dataflow<Msg> {
     Dataflow::builder()
         .partitions(partitions)
         .max_batch(max_batch)
+        .workers(workers)
         .register("counter", |key: u64, state: Option<&[u8]>, msg: Msg, out: &mut Effects<Msg>| {
             let mut total = counter_state(state);
             match msg {
@@ -53,182 +65,280 @@ fn build(partitions: usize, max_batch: usize) -> Dataflow<Msg> {
 }
 
 #[test]
+fn worker_count_resolution() {
+    // Explicit counts are honored (capped at the partition count);
+    // workers(0) auto-resolves to something >= 1.
+    assert_eq!(build(4, 16, 1).workers(), 1);
+    assert_eq!(build(4, 16, 2).workers(), 2);
+    assert_eq!(build(4, 16, 4).workers(), 4);
+    assert_eq!(build(2, 16, 8).workers(), 2, "capped at partitions");
+    assert!(build(4, 16, 0).workers() >= 1, "auto resolves to >= 1");
+}
+
+#[test]
 fn empty_runtime_is_idle() {
-    let df = build(2, 16);
-    assert_eq!(df.run_epoch().unwrap(), om_dataflow::EpochOutcome::Idle);
-    assert_eq!(df.pending_ingress(), 0);
+    for workers in WORKER_COUNTS {
+        let df = build(2, 16, workers);
+        assert_eq!(df.run_epoch().unwrap(), om_dataflow::EpochOutcome::Idle);
+        assert_eq!(df.pending_ingress(), 0);
+    }
 }
 
 #[test]
 fn single_epoch_processes_and_commits_state() {
-    let df = build(4, 64);
-    for i in 0..10 {
-        df.submit(Address::new("counter", i % 3), Msg::Add(1));
-    }
-    let outcome = df.run_epoch().unwrap();
-    match outcome {
-        om_dataflow::EpochOutcome::Committed { ingress, invocations } => {
-            assert_eq!(ingress, 10);
-            assert_eq!(invocations, 10);
+    for workers in WORKER_COUNTS {
+        let df = build(4, 64, workers);
+        for i in 0..10 {
+            df.submit(Address::new("counter", i % 3), Msg::Add(1));
         }
-        other => panic!("expected commit, got {other:?}"),
+        let outcome = df.run_epoch().unwrap();
+        match outcome {
+            om_dataflow::EpochOutcome::Committed { ingress, invocations } => {
+                assert_eq!(ingress, 10, "workers={workers}");
+                assert_eq!(invocations, 10, "workers={workers}");
+            }
+            other => panic!("expected commit, got {other:?} (workers={workers})"),
+        }
+        let totals: u64 = (0..3)
+            .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
+            .sum();
+        assert_eq!(totals, 10, "workers={workers}");
     }
-    let totals: u64 = (0..3)
-        .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
-        .sum();
-    assert_eq!(totals, 10);
 }
 
 #[test]
 fn per_key_state_is_independent() {
-    let df = build(4, 64);
-    df.submit(Address::new("counter", 1), Msg::Add(5));
-    df.submit(Address::new("counter", 2), Msg::Add(7));
-    df.run_to_completion().unwrap();
-    assert_eq!(counter_state(df.state_of(Address::new("counter", 1)).as_deref()), 5);
-    assert_eq!(counter_state(df.state_of(Address::new("counter", 2)).as_deref()), 7);
-    assert_eq!(df.state_of(Address::new("counter", 3)), None);
+    for workers in WORKER_COUNTS {
+        let df = build(4, 64, workers);
+        df.submit(Address::new("counter", 1), Msg::Add(5));
+        df.submit(Address::new("counter", 2), Msg::Add(7));
+        df.run_to_completion().unwrap();
+        assert_eq!(counter_state(df.state_of(Address::new("counter", 1)).as_deref()), 5);
+        assert_eq!(counter_state(df.state_of(Address::new("counter", 2)).as_deref()), 7);
+        assert_eq!(df.state_of(Address::new("counter", 3)), None);
+    }
 }
 
 #[test]
 fn internal_sends_are_processed_within_the_epoch() {
-    let df = build(4, 64);
-    for _ in 0..20 {
-        df.submit(Address::new("counter", 9), Msg::AddAndReport(1));
-    }
-    let outcome = df.run_epoch().unwrap();
-    match outcome {
-        om_dataflow::EpochOutcome::Committed { ingress, invocations } => {
-            assert_eq!(ingress, 20);
-            assert_eq!(invocations, 40, "each ingress spawns one sink invocation");
+    for workers in WORKER_COUNTS {
+        let df = build(4, 64, workers);
+        for _ in 0..20 {
+            df.submit(Address::new("counter", 9), Msg::AddAndReport(1));
         }
-        other => panic!("{other:?}"),
+        let outcome = df.run_epoch().unwrap();
+        match outcome {
+            om_dataflow::EpochOutcome::Committed { ingress, invocations } => {
+                assert_eq!(ingress, 20, "workers={workers}");
+                assert_eq!(
+                    invocations, 40,
+                    "each ingress spawns one sink invocation (workers={workers})"
+                );
+            }
+            other => panic!("{other:?} (workers={workers})"),
+        }
+        let egress = df.committed_egress();
+        assert_eq!(egress.len(), 20, "workers={workers}");
+        // Per-key FIFO: totals for key 9 must be 1..=20 in order, no
+        // matter how many workers raced the epoch.
+        let totals: Vec<u64> = egress
+            .iter()
+            .map(|m| match m {
+                Msg::Total(9, t) => *t,
+                other => panic!("unexpected egress {other:?}"),
+            })
+            .collect();
+        assert_eq!(totals, (1..=20).collect::<Vec<_>>(), "workers={workers}");
     }
-    let egress = df.committed_egress();
-    assert_eq!(egress.len(), 20);
-    // Per-key FIFO: totals for key 9 must be 1..=20 in order.
-    let totals: Vec<u64> = egress
-        .iter()
-        .map(|m| match m {
-            Msg::Total(9, t) => *t,
-            other => panic!("unexpected egress {other:?}"),
-        })
-        .collect();
-    assert_eq!(totals, (1..=20).collect::<Vec<_>>());
 }
 
 #[test]
 fn multiple_epochs_respect_batch_limit() {
-    let df = build(2, 8);
-    for i in 0..100 {
-        df.submit(Address::new("counter", i), Msg::Add(1));
+    for workers in WORKER_COUNTS {
+        let df = build(2, 8, workers);
+        for i in 0..100 {
+            df.submit(Address::new("counter", i), Msg::Add(1));
+        }
+        let epochs = df.run_to_completion().unwrap();
+        assert!(epochs >= 100 / (8 * 2), "expected several epochs, got {epochs}");
+        assert_eq!(df.pending_ingress(), 0);
+        let (committed, replays, invocations, unroutable) = df.stats();
+        assert_eq!(committed, epochs);
+        assert_eq!(replays, 0);
+        assert_eq!(invocations, 100, "workers={workers}");
+        assert_eq!(unroutable, 0);
     }
-    let epochs = df.run_to_completion().unwrap();
-    assert!(epochs >= 100 / (8 * 2), "expected several epochs, got {epochs}");
-    assert_eq!(df.pending_ingress(), 0);
-    let (committed, replays, invocations, unroutable) = df.stats();
-    assert_eq!(committed, epochs);
-    assert_eq!(replays, 0);
-    assert_eq!(invocations, 100);
-    assert_eq!(unroutable, 0);
 }
 
 #[test]
 fn unroutable_messages_are_counted_not_fatal() {
-    let df = build(2, 8);
-    df.submit(Address::new("ghost", 1), Msg::Add(1));
-    df.submit(Address::new("counter", 1), Msg::Add(1));
-    df.run_to_completion().unwrap();
-    let (_, _, _, unroutable) = df.stats();
-    assert_eq!(unroutable, 1);
-    assert_eq!(counter_state(df.state_of(Address::new("counter", 1)).as_deref()), 1);
+    for workers in WORKER_COUNTS {
+        let df = build(2, 8, workers);
+        df.submit(Address::new("ghost", 1), Msg::Add(1));
+        df.submit(Address::new("counter", 1), Msg::Add(1));
+        df.run_to_completion().unwrap();
+        let (_, _, _, unroutable) = df.stats();
+        assert_eq!(unroutable, 1, "workers={workers}");
+        assert_eq!(counter_state(df.state_of(Address::new("counter", 1)).as_deref()), 1);
+    }
 }
 
 #[test]
 fn crash_rolls_back_and_replay_is_exactly_once() {
-    let df = build(4, 32);
-    for i in 0..30 {
-        df.submit(Address::new("counter", i % 5), Msg::AddAndReport(1));
-    }
-    // Crash mid-epoch.
-    df.inject_crash_after(10);
-    let outcome = df.run_epoch().unwrap();
-    assert_eq!(outcome, om_dataflow::EpochOutcome::CrashedAndRecovered);
-    // Nothing leaked: state and egress rolled back.
-    assert_eq!(df.committed_egress_len(), 0);
-    let sum_after_crash: u64 = (0..5)
-        .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
-        .sum();
-    assert_eq!(sum_after_crash, 0, "state rollback incomplete");
+    for workers in WORKER_COUNTS {
+        let df = build(4, 32, workers);
+        for i in 0..30 {
+            df.submit(Address::new("counter", i % 5), Msg::AddAndReport(1));
+        }
+        // Crash mid-epoch.
+        df.inject_crash_after(10);
+        let outcome = df.run_epoch().unwrap();
+        assert_eq!(
+            outcome,
+            om_dataflow::EpochOutcome::CrashedAndRecovered,
+            "workers={workers}"
+        );
+        // Nothing leaked: state and egress rolled back.
+        assert_eq!(df.committed_egress_len(), 0, "workers={workers}");
+        let sum_after_crash: u64 = (0..5)
+            .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
+            .sum();
+        assert_eq!(sum_after_crash, 0, "state rollback incomplete (workers={workers})");
 
-    // Replay to completion: exactly 30 additions and 30 egress records.
-    df.run_to_completion().unwrap();
-    let sum: u64 = (0..5)
-        .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
-        .sum();
-    assert_eq!(sum, 30, "every input applied exactly once");
-    assert_eq!(df.committed_egress_len(), 30, "no lost or duplicated egress");
-    let (_, replays, _, _) = df.stats();
-    assert_eq!(replays, 1);
+        // Replay to completion: exactly 30 additions and 30 egress records.
+        df.run_to_completion().unwrap();
+        let sum: u64 = (0..5)
+            .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
+            .sum();
+        assert_eq!(sum, 30, "every input applied exactly once (workers={workers})");
+        assert_eq!(
+            df.committed_egress_len(),
+            30,
+            "no lost or duplicated egress (workers={workers})"
+        );
+        let (_, replays, _, _) = df.stats();
+        assert_eq!(replays, 1, "workers={workers}");
+    }
 }
 
 #[test]
 fn repeated_crashes_still_converge_exactly_once() {
-    let df = build(2, 16);
-    for i in 0..40 {
-        df.submit(Address::new("counter", i % 4), Msg::AddAndReport(1));
-    }
-    let mut crashes = 0;
-    for n in [3u64, 7, 11] {
-        df.inject_crash_after(n);
-        if df.run_epoch().unwrap() == om_dataflow::EpochOutcome::CrashedAndRecovered {
-            crashes += 1;
+    for workers in WORKER_COUNTS {
+        let df = build(2, 16, workers);
+        for i in 0..40 {
+            df.submit(Address::new("counter", i % 4), Msg::AddAndReport(1));
         }
+        let mut crashes = 0;
+        for n in [3u64, 7, 11] {
+            df.inject_crash_after(n);
+            if df.run_epoch().unwrap() == om_dataflow::EpochOutcome::CrashedAndRecovered {
+                crashes += 1;
+            }
+        }
+        assert!(crashes >= 2, "crash injection mostly fired ({crashes}, workers={workers})");
+        df.run_to_completion().unwrap();
+        let sum: u64 = (0..4)
+            .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
+            .sum();
+        assert_eq!(sum, 40, "workers={workers}");
+        assert_eq!(df.committed_egress_len(), 40, "workers={workers}");
     }
-    assert!(crashes >= 2, "crash injection mostly fired ({crashes})");
-    df.run_to_completion().unwrap();
-    let sum: u64 = (0..4)
-        .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
-        .sum();
-    assert_eq!(sum, 40);
-    assert_eq!(df.committed_egress_len(), 40);
+}
+
+/// Crash injection firing **while partitions race**: the batch is skewed
+/// so most partitions hold one record (their group finishes and stages
+/// almost immediately) while one hot key carries a long cascade; the
+/// countdown is armed to fire deep into that cascade — i.e. after other
+/// partitions are already done and parked at the epoch barrier. The
+/// poisoned epoch must discard the finished partitions' staged work too.
+#[test]
+fn crash_firing_while_some_partitions_are_already_done_discards_everything() {
+    for workers in [2usize, 4] {
+        let df = build(8, 256, workers);
+        // One record per key across many partitions: cheap groups.
+        for k in 0..16 {
+            df.submit(Address::new("counter", k), Msg::AddAndReport(1));
+        }
+        // One hot key with a deep cascade: 64 ingress records, each
+        // spawning a sink invocation (128 invocations on this key alone).
+        for _ in 0..64 {
+            df.submit(Address::new("counter", 1000), Msg::AddAndReport(1));
+        }
+        // Fire near the end of the total invocation budget (16*2 + 64*2
+        // = 160): by then the cheap groups have long staged their work.
+        df.inject_crash_after(150);
+        let outcome = df.run_epoch().unwrap();
+        assert_eq!(
+            outcome,
+            om_dataflow::EpochOutcome::CrashedAndRecovered,
+            "workers={workers}"
+        );
+        // No partition's work survived — not even the ones that finished
+        // cleanly before the crash fired.
+        assert_eq!(df.committed_egress_len(), 0, "workers={workers}");
+        assert_eq!(df.committed_epoch(), 0, "workers={workers}");
+        for k in (0..16).chain([1000]) {
+            assert_eq!(
+                df.state_of(Address::new("counter", k)),
+                None,
+                "partition state leaked through the poisoned epoch (key {k}, workers={workers})"
+            );
+        }
+        assert_eq!(
+            df.committed_offsets(),
+            vec![0; 8],
+            "offsets advanced through a poisoned epoch (workers={workers})"
+        );
+        // Replay: exactly-once totals as if the crash never happened.
+        df.run_to_completion().unwrap();
+        assert_eq!(
+            counter_state(df.state_of(Address::new("counter", 1000)).as_deref()),
+            64,
+            "workers={workers}"
+        );
+        assert_eq!(df.committed_egress_len(), 16 + 64, "workers={workers}");
+    }
 }
 
 #[test]
 fn submissions_during_epoch_are_deferred_not_lost() {
-    let df = Arc::new(build(2, 4));
-    for i in 0..8 {
-        df.submit(Address::new("counter", i), Msg::Add(1));
-    }
-    // Concurrent submitter racing with epochs.
-    let df2 = df.clone();
-    let submitter = std::thread::spawn(move || {
-        for i in 8..48 {
-            df2.submit(Address::new("counter", i), Msg::Add(1));
-            if i % 5 == 0 {
-                std::thread::yield_now();
+    for workers in WORKER_COUNTS {
+        let df = Arc::new(build(2, 4, workers));
+        for i in 0..8 {
+            df.submit(Address::new("counter", i), Msg::Add(1));
+        }
+        // Concurrent submitter racing with epochs.
+        let df2 = df.clone();
+        let submitter = std::thread::spawn(move || {
+            for i in 8..48 {
+                df2.submit(Address::new("counter", i), Msg::Add(1));
+                if i % 5 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut committed = 0;
+        while committed < 20 && df.pending_ingress() > 0 || !submitter.is_finished() {
+            if let om_dataflow::EpochOutcome::Committed { .. } = df.run_epoch().unwrap() {
+                committed += 1;
             }
         }
-    });
-    let mut committed = 0;
-    while committed < 20 && df.pending_ingress() > 0 || !submitter.is_finished() {
-        if let om_dataflow::EpochOutcome::Committed { .. } = df.run_epoch().unwrap() {
-            committed += 1;
-        }
+        submitter.join().unwrap();
+        df.run_to_completion().unwrap();
+        let total: u64 = (0..48)
+            .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
+            .sum();
+        assert_eq!(total, 48, "all racing submissions eventually processed (workers={workers})");
     }
-    submitter.join().unwrap();
-    df.run_to_completion().unwrap();
-    let total: u64 = (0..48)
-        .map(|k| counter_state(df.state_of(Address::new("counter", k)).as_deref()))
-        .sum();
-    assert_eq!(total, 48, "all racing submissions eventually processed");
 }
 
 #[test]
 fn take_committed_egress_drains() {
-    let df = build(2, 16);
-    df.submit(Address::new("counter", 1), Msg::AddAndReport(1));
-    df.run_to_completion().unwrap();
-    assert_eq!(df.take_committed_egress().len(), 1);
-    assert_eq!(df.committed_egress_len(), 0);
+    for workers in WORKER_COUNTS {
+        let df = build(2, 16, workers);
+        df.submit(Address::new("counter", 1), Msg::AddAndReport(1));
+        df.run_to_completion().unwrap();
+        assert_eq!(df.take_committed_egress().len(), 1, "workers={workers}");
+        assert_eq!(df.committed_egress_len(), 0);
+    }
 }

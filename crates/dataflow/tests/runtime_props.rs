@@ -1,15 +1,17 @@
 //! Property tests for the dataflow runtime: exactly-once under arbitrary
-//! crash points, and state equivalence with a sequential model.
+//! crash points, state equivalence with a sequential model, and
+//! parallel ≡ serial execution equivalence across worker counts.
 
 use om_dataflow::{Address, Dataflow, Effects};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
-fn counter_df(partitions: usize, max_batch: usize) -> Dataflow<(u64, u64)> {
+fn counter_df(partitions: usize, max_batch: usize, workers: usize) -> Dataflow<(u64, u64)> {
     // Message: (key, increment); state: running sum; egress: every update.
     Dataflow::builder()
         .partitions(partitions)
         .max_batch(max_batch)
+        .workers(workers)
         .register(
             "sum",
             |key: u64, state: Option<&[u8]>, msg: (u64, u64), out: &mut Effects<(u64, u64)>| {
@@ -27,16 +29,18 @@ fn counter_df(partitions: usize, max_batch: usize) -> Dataflow<(u64, u64)> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Whatever the crash schedule, the final states equal the sequential
-    /// model and the egress contains each update exactly once.
+    /// Whatever the crash schedule or worker count, the final states
+    /// equal the sequential model and the egress contains each update
+    /// exactly once.
     #[test]
     fn prop_exactly_once_under_crashes(
         increments in proptest::collection::vec((0u64..8, 1u64..5), 1..80),
         crash_points in proptest::collection::vec(1u64..40, 0..4),
         partitions in 1usize..5,
         max_batch in 1usize..40,
+        workers in 1usize..5,
     ) {
-        let df = counter_df(partitions, max_batch);
+        let df = counter_df(partitions, max_batch, workers);
         for (k, inc) in &increments {
             df.submit(Address::new("sum", *k), (*k, *inc));
         }
@@ -56,7 +60,7 @@ proptest! {
                 .state_of(Address::new("sum", *k))
                 .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
                 .unwrap_or(0);
-            prop_assert_eq!(got, *expected, "key {} diverged", k);
+            prop_assert_eq!(got, *expected, "key {} diverged (workers {})", k, workers);
         }
         prop_assert_eq!(df.committed_egress_len(), increments.len(), "egress not exactly-once");
     }
@@ -69,7 +73,7 @@ proptest! {
     ) {
         let mut reference: Option<BTreeMap<u64, u64>> = None;
         for partitions in [1usize, 2, 4] {
-            let df = counter_df(partitions, 16);
+            let df = counter_df(partitions, 16, 1);
             for (k, inc) in &increments {
                 df.submit(Address::new("sum", *k), (*k, *inc));
             }
@@ -83,6 +87,60 @@ proptest! {
             match &reference {
                 None => reference = Some(state),
                 Some(expected) => prop_assert_eq!(&state, expected),
+            }
+        }
+    }
+
+    /// Parallel execution is observationally equivalent to serial: for
+    /// any workload, running the same input at workers ∈ {1, 2, cores}
+    /// commits identical epoch counts, identical keyed state, identical
+    /// ingress offsets, and identical per-key egress order.
+    #[test]
+    fn prop_parallel_equals_serial(
+        increments in proptest::collection::vec((0u64..12, 1u64..5), 1..70),
+        partitions in 1usize..6,
+        max_batch in 1usize..24,
+    ) {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2);
+        #[derive(Debug, PartialEq)]
+        struct Observed {
+            epochs: u64,
+            offsets: Vec<u64>,
+            state: BTreeMap<u64, u64>,
+            per_key_egress: BTreeMap<u64, Vec<u64>>,
+        }
+        let mut reference: Option<Observed> = None;
+        for workers in [1usize, 2, cores] {
+            let df = counter_df(partitions, max_batch, workers);
+            for (k, inc) in &increments {
+                df.submit(Address::new("sum", *k), (*k, *inc));
+            }
+            df.run_to_completion().unwrap();
+            let state: BTreeMap<u64, u64> = (0..12)
+                .filter_map(|k| {
+                    df.state_of(Address::new("sum", k))
+                        .map(|b| (k, u64::from_le_bytes(b.try_into().unwrap())))
+                })
+                .collect();
+            let mut per_key_egress: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            for (k, total) in df.take_committed_egress() {
+                per_key_egress.entry(k).or_default().push(total);
+            }
+            let observed = Observed {
+                epochs: df.committed_epoch(),
+                offsets: df.committed_offsets(),
+                state,
+                per_key_egress,
+            };
+            match &reference {
+                None => reference = Some(observed),
+                Some(expected) => prop_assert_eq!(
+                    &observed, expected,
+                    "workers {} diverged from the serial baseline", workers
+                ),
             }
         }
     }

@@ -231,6 +231,16 @@ impl MarketplaceGateway {
                             "compactions": metric("compactions"),
                             "maintenance_errors": metric("maintenance_errors"),
                         },
+                        // Epoch execution of the dataflow binding: pool
+                        // size and barrier traffic (all zero on the
+                        // actor bindings, workers == 1 means serial).
+                        "dataflow": {
+                            "workers": counters.get("df.workers").copied().unwrap_or(0),
+                            "barrier_epochs":
+                                counters.get("df.barrier_epochs").copied().unwrap_or(0),
+                            "barrier_max_cohort":
+                                counters.get("df.barrier_max_cohort").copied().unwrap_or(0),
+                        },
                     }),
                 ))
             }
@@ -479,6 +489,39 @@ mod tests {
             .json_body()
             .unwrap();
         assert!(counters.contains_key("storage.backend.commits_per_sync"));
+    }
+
+    #[test]
+    fn health_exposes_dataflow_worker_and_barrier_metrics() {
+        use om_common::config::BackendKind;
+        use om_marketplace::{PlatformKind, PlatformSpec};
+        let g = MarketplaceGateway::for_spec(
+            &PlatformSpec::new(PlatformKind::Dataflow, BackendKind::Eventual)
+                .parallelism(4)
+                .df_workers(2),
+        );
+        let v: serde_json::Value = g
+            .handle(&req(Method::Get, "/health", None))
+            .json_body()
+            .unwrap();
+        assert_eq!(
+            v["dataflow"]["workers"], 2,
+            "health reports the resolved epoch worker count: {v:?}"
+        );
+        for metric in ["barrier_epochs", "barrier_max_cohort"] {
+            assert!(
+                v["dataflow"][metric].as_u64().is_some(),
+                "health must expose dataflow.{metric}: {v:?}"
+            );
+        }
+        // Actor bindings have no dataflow runtime: the section is all
+        // zeros, not absent (a scraper can rely on the shape).
+        let g = gateway();
+        let v: serde_json::Value = g
+            .handle(&req(Method::Get, "/health", None))
+            .json_body()
+            .unwrap();
+        assert_eq!(v["dataflow"]["workers"], 0);
     }
 
     #[test]

@@ -299,10 +299,14 @@ pub fn persistent_ingress_with(
 fn build_dataflow(
     partitions: usize,
     max_batch: usize,
+    workers: usize,
     store: Option<Arc<dyn CheckpointStore>>,
     ingress: Option<Arc<dyn om_log::EventLog<(Address, DfMsg)>>>,
 ) -> Dataflow<DfMsg> {
-    let mut builder = Dataflow::builder().partitions(partitions).max_batch(max_batch);
+    let mut builder = Dataflow::builder()
+        .partitions(partitions)
+        .max_batch(max_batch)
+        .workers(workers);
     if let Some(store) = store {
         builder = builder.checkpoint_store(store);
     }
@@ -937,6 +941,10 @@ pub struct DataflowPlatformConfig {
     pub partitions: usize,
     /// Checkpoint interval in ingress records per partition.
     pub max_batch: usize,
+    /// Epoch worker threads of the runtime: 0 = core count, 1 = serial
+    /// baseline, n > 1 = fan epochs out over n long-lived
+    /// `om-df-worker-N` threads (capped at `partitions`).
+    pub workers: usize,
     pub decline_rate: f64,
     /// Where epoch checkpoints live; `None` uses the runtime's default
     /// in-memory store. Passing a [`BackendCheckpointStore`] over a
@@ -957,6 +965,7 @@ impl std::fmt::Debug for DataflowPlatformConfig {
         f.debug_struct("DataflowPlatformConfig")
             .field("partitions", &self.partitions)
             .field("max_batch", &self.max_batch)
+            .field("workers", &self.workers)
             .field("decline_rate", &self.decline_rate)
             .field(
                 "checkpoint_store",
@@ -972,6 +981,7 @@ impl Default for DataflowPlatformConfig {
         Self {
             partitions: 4,
             max_batch: 64,
+            workers: 0,
             decline_rate: 0.05,
             checkpoint_store: None,
             ingress: None,
@@ -1004,6 +1014,7 @@ impl DataflowPlatform {
         let df = Arc::new(build_dataflow(
             config.partitions,
             config.max_batch,
+            config.workers,
             config.checkpoint_store,
             config.ingress,
         ));
@@ -1441,6 +1452,13 @@ impl MarketplacePlatform for DataflowPlatform {
             "df.checkpoint_commits".into(),
             self.df.checkpoint_store().commits(),
         );
+        // Worker-pool / epoch-barrier counters: pool size and how many
+        // parallel epochs went through the CommitGroup barrier (serial
+        // epochs never touch it, so barrier_epochs == 0 at workers(1)).
+        out.insert("df.workers".into(), self.df.workers() as u64);
+        let barrier = self.df.barrier_stats();
+        out.insert("df.barrier_epochs".into(), barrier.flushes);
+        out.insert("df.barrier_max_cohort".into(), barrier.max_cohort);
         // Storage-layer counters of the checkpoint store's backend
         // (group-commit amortization, snapshot deltas), prefixed the
         // same way the actor bindings prefix theirs.

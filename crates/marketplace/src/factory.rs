@@ -41,6 +41,10 @@ pub struct PlatformSpec {
     /// Dataflow checkpoint interval (ingress records per partition per
     /// epoch).
     pub checkpoint_interval: usize,
+    /// Epoch worker threads of the dataflow binding (0 = core count,
+    /// 1 = serial baseline, n > 1 = fan epochs out over n long-lived
+    /// `om-df-worker-N` threads). Ignored by the actor bindings.
+    pub df_workers: usize,
     /// Route the dataflow binding's epoch checkpoints through the spec's
     /// backend (default) instead of the in-memory store.
     pub durable_checkpoints: bool,
@@ -73,6 +77,7 @@ impl std::fmt::Debug for PlatformSpec {
             .field("decline_rate", &self.decline_rate)
             .field("faults", &self.faults)
             .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("df_workers", &self.df_workers)
             .field("durable_checkpoints", &self.durable_checkpoints)
             .field("shared_backend_instance", &self.backend_instance.is_some())
             .field("data_dir", &self.data_dir)
@@ -92,6 +97,7 @@ impl PlatformSpec {
             decline_rate: 0.05,
             faults: FaultConfig::reliable(),
             checkpoint_interval: 64,
+            df_workers: 0,
             durable_checkpoints: true,
             backend_instance: None,
             data_dir: None,
@@ -117,6 +123,13 @@ impl PlatformSpec {
     /// Sets the dataflow checkpoint interval (epoch batch size).
     pub fn checkpoint_interval(mut self, records: usize) -> Self {
         self.checkpoint_interval = records.max(1);
+        self
+    }
+
+    /// Sets the dataflow binding's epoch worker count (0 = core count,
+    /// 1 = serial baseline).
+    pub fn df_workers(mut self, n: usize) -> Self {
+        self.df_workers = n;
         self
     }
 
@@ -194,6 +207,7 @@ pub fn build_platform(spec: &PlatformSpec) -> Box<dyn MarketplacePlatform> {
         PlatformKind::Dataflow => Box::new(DataflowPlatform::new(DataflowPlatformConfig {
             partitions: spec.parallelism.max(1),
             max_batch: spec.checkpoint_interval,
+            workers: spec.df_workers,
             decline_rate: spec.decline_rate,
             checkpoint_store: spec
                 .durable_checkpoints

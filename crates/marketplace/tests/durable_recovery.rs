@@ -234,6 +234,7 @@ fn cold_rebuild_loses_no_committed_epoch_and_replays_none() {
         DataflowPlatform::new(DataflowPlatformConfig {
             partitions: 2,
             max_batch: 8,
+            workers: 0,
             decline_rate: 0.0,
             checkpoint_store: Some(Arc::new(BackendCheckpointStore::new(backend))),
             ingress: Some(persistent_ingress(dir.join("ingress"), 2).unwrap()),

@@ -121,6 +121,7 @@ fn main() {
         DataflowPlatform::new(DataflowPlatformConfig {
             partitions: 4,
             max_batch: 64,
+            workers: 0,
             decline_rate: 0.0,
             checkpoint_store: Some(Arc::new(BackendCheckpointStore::new(backend))),
             ingress: Some(
