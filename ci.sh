@@ -27,6 +27,12 @@
 #     and on hosts with >= 4 cores the 4-worker pool must be
 #     parallel-not-slower and >= 1.5x faster than serial (core-aware
 #     checks; single-core CI prints SKIP),
+#   * a short b5_scenarios slice RUNS the same way: the closed-loop
+#     flash-sale cell is held to 3x of results/b5_floor.json, and the
+#     open-loop SLO sweep (results/b5_slo.json) must keep
+#     achieved/offered >= 0.75 below saturation, p99 <= 100ms there,
+#     and show >= 2x p99 divergence at 2x capacity — the
+#     queueing-collapse signal the open-loop harness exists to measure,
 #   * all examples must keep compiling, and failure_recovery *runs* as a
 #     smoke step (it asserts zero lost epochs across a disk-backed
 #     platform rebuild),
@@ -71,6 +77,10 @@ cargo run --release --offline -p om_bench --bin bench_guard -- results/bench_b3_
 echo "==> bench smoke: a2 dataflow worker slice + regression guard (3x serial floor, core-aware parallel checks)"
 OM_BENCH_SMOKE=1 cargo bench --offline --bench a2_checkpoint
 cargo run --release --offline -p om_bench --bin bench_guard -- results/bench_a2_workers.json results/a2_floor.json
+
+echo "==> bench smoke: b5 scenario slice + SLO guard (3x flash-sale floor, open-loop achieved/offered + collapse checks)"
+OM_BENCH_SMOKE=1 OM_BENCH_BASELINE=BENCH_PR9.json cargo bench --offline --bench b5_scenarios
+cargo run --release --offline -p om_bench --bin bench_guard -- results/bench_b5_scenarios.json results/b5_floor.json
 
 echo "==> cargo build --examples"
 cargo build --examples --offline

@@ -1,0 +1,184 @@
+//! B5 — **adversarial scenario sweep + open-loop SLO harness**.
+//!
+//! Two kinds of cells:
+//!
+//! * `b5_scenarios/<scenario>` — closed-loop criterion timing of one
+//!   small benchmark run per named scenario (flash_sale, price_storm,
+//!   dashboard_storm, cart_churn) on the transactional binding over
+//!   snapshot isolation. These are the "how much does skew cost" cells;
+//!   `results/b5_floor.json` holds the flash-sale floor.
+//!
+//! * the **open-loop SLO sweep** — not criterion-timed. The harness
+//!   first measures closed-loop capacity on the same cell, then offers
+//!   flash-sale traffic at 0.5×, 1×, and 2× that rate on a
+//!   deterministic arrival schedule and records the SLO row per rate
+//!   (offered vs achieved, drop/late, p50/p99/p999 from *scheduled*
+//!   arrival). Results land in `results/b5_slo.json` as a `metrics`
+//!   object the guard's `metric_min`/`metric_max` checks gate:
+//!   under-saturation traffic must keep `achieved/offered` high and a
+//!   sane p99, and the over-saturation p99 must diverge (queueing
+//!   collapse — the signal the closed loop structurally cannot see,
+//!   because it throttles its own offered rate to the completion rate).
+//!
+//! `OM_BENCH_SMOKE=1` shrinks sample counts and the sweep window for CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::{quick_config, run_platform};
+use om_common::config::{OpenLoopConfig, RunConfig, ScenarioConfig, WorkloadMix};
+use om_driver::{saturation_point, SloRow};
+use om_marketplace::api::PlatformKind;
+
+fn smoke() -> bool {
+    std::env::var("OM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The scenario cell every b5 measurement runs on: the transactional
+/// binding over snapshot isolation — the cell with real concurrency
+/// control, where hot-key contention actually queues.
+fn scenario_config(scenario: ScenarioConfig) -> RunConfig {
+    RunConfig {
+        backend: om_common::config::BackendKind::SnapshotIsolation,
+        scenario: Some(scenario),
+        // Deep stock so a flash sale is contention-bound, not
+        // sellout-bound, and no deletes so the hot product survives.
+        mix: WorkloadMix {
+            product_delete: 0,
+            ..Default::default()
+        },
+        ..quick_config()
+    }
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_scenarios");
+    group.sample_size(if smoke() { 10 } else { 20 });
+    for kind in om_common::config::ScenarioKind::ALL {
+        let config = scenario_config(ScenarioConfig::named(kind));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &config,
+            |b, config| {
+                b.iter(|| run_platform(PlatformKind::Transactional, config, config.workers, false));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One open-loop flash-sale run at `rate` requests/s for roughly
+/// `window_secs`, returning the SLO row.
+fn slo_at(rate: f64, window_secs: f64) -> SloRow {
+    let arrivals = ((rate * window_secs) as u64).max(200);
+    let config = RunConfig {
+        open_loop: Some(OpenLoopConfig::at_rate(rate, arrivals)),
+        warmup_ops_per_worker: 10,
+        ..scenario_config(ScenarioConfig::flash_sale())
+    };
+    let report = run_platform(PlatformKind::Transactional, &config, config.workers, false);
+    report.slo.expect("open-loop run carries an SLO row")
+}
+
+/// The open-loop sweep: calibrate closed-loop, probe down to a rate the
+/// cell genuinely sustains, push far past it, and write
+/// `results/b5_slo.json`.
+fn run_slo_sweep() {
+    let window_secs = if smoke() { 0.5 } else { 2.0 };
+
+    // Closed-loop calibration: the completion rate the cell settles at
+    // when every worker immediately re-offers. This is the rate a
+    // closed-loop harness would *report as fine* at any load — and an
+    // optimistic ceiling for open-loop arrivals, which pay queueing
+    // delay instead of throttling the offered rate.
+    let calib = run_platform(
+        PlatformKind::Transactional,
+        &scenario_config(ScenarioConfig::flash_sale()),
+        quick_config().workers,
+        false,
+    );
+    let capacity = calib.throughput_per_sec.max(500.0);
+
+    // Probe downward from the closed-loop ceiling until a rate truly
+    // sustains (>=90% achieved). Collapsed probes stay in the curve —
+    // they ARE the over-saturation data. This keeps the floor checks
+    // about the mechanism (collapse visible, sustained cell healthy)
+    // rather than about the host's absolute speed.
+    let mut rows: Vec<SloRow> = Vec::new();
+    let mut rate = capacity;
+    let mut under = slo_at(rate, window_secs);
+    for _ in 0..4 {
+        if under.achieved_ratio() >= 0.9 {
+            break;
+        }
+        rows.push(under);
+        rate /= 2.0;
+        under = slo_at(rate, window_secs);
+    }
+    // Far past the sustained rate: if even the closed-loop ceiling
+    // sustained, 4x of it certainly does not.
+    let over = slo_at(rate * 4.0, window_secs);
+    rows.push(under.clone());
+    rows.push(over.clone());
+    rows.sort_by(|a, b| a.offered_per_sec.total_cmp(&b.offered_per_sec));
+    let saturation = saturation_point(&rows, 0.9).unwrap_or(0.0);
+
+    for row in &rows {
+        eprintln!(
+            "b5_slo: offered={:.0}/s achieved={:.0}/s ({:.0}%) p99={}us p999={}us drop={} late={}",
+            row.offered_per_sec,
+            row.achieved_per_sec,
+            row.achieved_ratio() * 100.0,
+            row.latency.p99_us,
+            row.latency.p999_us,
+            row.dropped,
+            row.late,
+        );
+    }
+
+    let metrics = serde_json::json!({
+        "schema": "om-bench-slo-v1",
+        "comment": "Open-loop flash-sale SLO sweep on transactional+snapshot_isolation: \
+                    closed-loop capacity calibration, downward probe to the highest \
+                    genuinely-sustained rate, then 4x past it. The metrics object is \
+                    gated by results/b5_floor.json via bench_guard's metric_min/metric_max \
+                    checks.",
+        "closed_loop_capacity_per_sec": capacity,
+        "closed_loop_p99_us": calib.latency.get("checkout").map(|l| l.p99_us).unwrap_or(0),
+        "sustained_per_sec": rate,
+        "saturation_per_sec": saturation,
+        "rows": rows,
+        "metrics": {
+            "achieved_ratio_under": under.achieved_ratio(),
+            "p99_us_under": under.latency.p99_us as f64,
+            "p99_us_over": over.latency.p99_us as f64,
+            "collapse_p99_ratio": over.latency.p99_us as f64 / (under.latency.p99_us as f64).max(1.0),
+        },
+    });
+    // Workspace-relative results/, like the criterion shim resolves it.
+    let dir = match std::env::var("OM_BENCH_RESULTS_DIR") {
+        Ok(d) if !d.is_empty() => std::path::PathBuf::from(d),
+        _ => {
+            let cwd = std::env::current_dir().unwrap_or_default();
+            cwd.ancestors()
+                .filter(|d| d.join("Cargo.lock").is_file())
+                .last()
+                .unwrap_or(&cwd)
+                .join("results")
+        }
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("b5_slo.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&metrics).unwrap())
+        .expect("write results/b5_slo.json");
+    eprintln!(
+        "b5_slo: capacity={capacity:.0}/s saturation={saturation:.0}/s -> {}",
+        path.display()
+    );
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_scenarios(c);
+    run_slo_sweep();
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

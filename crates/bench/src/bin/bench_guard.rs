@@ -29,7 +29,16 @@
 //! ```
 //!
 //! `ratio_max` fails when `num/den > limit`; `speedup_min` fails when
-//! `num/den < limit` (num is the cell that should be slower).
+//! `num/den < limit` (num is the cell that should be slower). Two more
+//! kinds gate a named scalar from the results file's `metrics` object
+//! (written by the b5 open-loop SLO sweep) instead of cell medians:
+//!
+//! ```json
+//! { "name": "...", "kind": "metric_min", "metric": "achieved_ratio_under",
+//!   "limit": 0.75, "results": "results/b5_slo.json" }
+//! { "name": "...", "kind": "metric_max", "metric": "p99_us_under",
+//!   "limit": 100000, "results": "results/b5_slo.json" }
+//! ```
 //!
 //! Usage: `bench_guard [results.json] [floor.json]`.
 
@@ -167,9 +176,40 @@ fn main() {
                 None => &results,
             };
             let kind = check["kind"].as_str().unwrap_or_default();
+            let limit = check["limit"].as_f64().unwrap_or(0.0);
+
+            // Metric checks gate a named scalar from the results file's
+            // `metrics` object (the SLO harness writes these) instead of
+            // a cell-median ratio: `metric_min` fails when the value
+            // drops below `limit`, `metric_max` when it exceeds it.
+            if kind == "metric_min" || kind == "metric_max" {
+                let metric = check["metric"].as_str().unwrap_or_default();
+                let Some(value) = results["metrics"][metric].as_f64() else {
+                    eprintln!(
+                        "bench_guard: FAIL — check {name} needs metric {metric:?}, but \
+                         the results lack it"
+                    );
+                    failed = true;
+                    continue;
+                };
+                let (cmp, ok) = if kind == "metric_min" {
+                    ("min", value >= limit)
+                } else {
+                    ("max", value <= limit)
+                };
+                println!("bench_guard: check {name}: {metric} = {value:.3} ({cmp} {limit:.3})");
+                if !ok {
+                    eprintln!(
+                        "bench_guard: FAIL — {name}: {metric} = {value:.3} violates the \
+                         floor's {cmp} of {limit:.3}"
+                    );
+                    failed = true;
+                }
+                continue;
+            }
+
             let num_cell = check["num_cell"].as_str().unwrap_or_default();
             let den_cell = check["den_cell"].as_str().unwrap_or_default();
-            let limit = check["limit"].as_f64().unwrap_or(0.0);
             let (Some(num), Some(den)) =
                 (median_of(results, num_cell), median_of(results, den_cell))
             else {

@@ -394,6 +394,98 @@ fn a5_full_stack(config: &RunConfig) {
     save_json("a5_full_stack", &[direct, report]);
 }
 
+/// A7 — adversarial traffic: every named scenario closed-loop across
+/// the four platforms, the open-loop flash-sale SLO sweep (offered-rate
+/// ladder, saturation point, queueing collapse vs the closed-loop view
+/// of the same cell), and the chaos drill fired mid-flash-sale.
+fn a7(config: &RunConfig) {
+    use om_common::config::{BackendKind, OpenLoopConfig, ScenarioConfig, ScenarioKind};
+
+    banner("A7", "adversarial scenarios, open-loop SLO sweep, chaos under load");
+    let scenario_base = |scenario: ScenarioKind| RunConfig {
+        backend: BackendKind::SnapshotIsolation,
+        // No deletes: the hot product must survive the whole storm.
+        mix: WorkloadMix {
+            product_delete: 0,
+            ..config.mix
+        },
+        scenario: Some(ScenarioConfig::named(scenario)),
+        ..config.clone()
+    };
+
+    // Closed-loop scenario × platform table.
+    let mut reports = Vec::new();
+    println!(
+        "  {:<22} {:>16} {:>10} {:>12} {:>12}",
+        "platform", "scenario", "ops/s", "checkout p99", "conservation"
+    );
+    for kind in PLATFORMS {
+        for scenario in ScenarioKind::ALL {
+            let cfg = scenario_base(scenario);
+            let report = run_platform(kind, &cfg, 4, kind_is_faulty(kind));
+            println!(
+                "  {:<22} {:>16} {:>10.0} {:>10}us {:>12}",
+                report.platform,
+                scenario.label(),
+                report.throughput_per_sec,
+                report
+                    .latency
+                    .get("checkout")
+                    .map(|l| l.p99_us)
+                    .unwrap_or(0),
+                report.criteria.conservation_violations,
+            );
+            reports.push(report);
+        }
+    }
+
+    // Open-loop SLO sweep on the transactional flash-sale cell: offer
+    // fractions of the measured closed-loop capacity on a deterministic
+    // schedule. The closed-loop row above reports a healthy p99 at ANY
+    // load (it throttles itself); the open-loop rows expose where the
+    // cell actually saturates and how the tail collapses past it.
+    let calib = run_platform(PlatformKind::Transactional, &scenario_base(ScenarioKind::FlashSale), 4, false);
+    let capacity = calib.throughput_per_sec.max(500.0);
+    println!("  -- open-loop flash-sale sweep (closed-loop capacity {capacity:.0}/s) --");
+    let mut rows = Vec::new();
+    for fraction in [0.25, 0.5, 1.0, 1.5, 2.0] {
+        let rate = capacity * fraction;
+        let cfg = RunConfig {
+            open_loop: Some(OpenLoopConfig::at_rate(rate, ((rate * 2.0) as u64).max(200))),
+            ..scenario_base(ScenarioKind::FlashSale)
+        };
+        let report = run_platform(PlatformKind::Transactional, &cfg, 4, false);
+        println!("  x{fraction:<4} {}", report.slo_row());
+        if let Some(slo) = report.slo.clone() {
+            rows.push(slo);
+        }
+        reports.push(report);
+    }
+    match om_driver::saturation_point(&rows, 0.9) {
+        Some(sat) => println!("  saturation point (>=90% achieved): {sat:.0}/s"),
+        None => println!("  saturation point: below the lowest offered rate"),
+    }
+
+    // Chaos under load: the recovery drill fired mid-flash-sale on the
+    // durable dataflow cell.
+    let chaos_cfg = RunConfig {
+        backend: BackendKind::FileDurable,
+        chaos_drill: true,
+        ..scenario_base(ScenarioKind::FlashSale)
+    };
+    let report = om_driver::run_matrix_cell(PlatformKind::Dataflow, &chaos_cfg);
+    println!("  -- chaos drill mid-flash-sale --");
+    println!("  {}", report.recovery_row());
+    println!(
+        "  audit: conservation={} atomicity={} ordering={}",
+        report.criteria.conservation_violations,
+        report.criteria.atomicity_violations,
+        report.criteria.ordering_violations,
+    );
+    reports.push(report);
+    save_json("a7_scenarios", &reports);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale_factor = 1u64;
@@ -422,7 +514,7 @@ fn main() {
         i += 1;
     }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
-        selected = ["e1", "e2", "e3", "e4", "e567", "a1", "a2", "a3", "a4", "a5", "a6"]
+        selected = ["e1", "e2", "e3", "e4", "e567", "a1", "a2", "a3", "a4", "a5", "a6", "a7"]
             .iter()
             .map(|s| s.to_string())
             .collect();
@@ -456,6 +548,7 @@ fn main() {
                 a5_full_stack(&config);
             }
             "a6" => a6(&config),
+            "a7" => a7(&config),
             other => eprintln!("unknown experiment '{other}'"),
         }
     }

@@ -97,6 +97,9 @@ pub fn standard_config(scale_factor: u64) -> RunConfig {
         recovery_drill: false,
         data_dir: None,
         durable: DurableOptions::default(),
+        scenario: None,
+        open_loop: None,
+        chaos_drill: false,
     }
 }
 

@@ -322,6 +322,174 @@ impl DurableOptions {
     }
 }
 
+/// One of the adversarial traffic scenarios the driver can shape its
+/// workload into (paper §II frames the marketplace as a benchmark for
+/// *realistic* microservice traffic — production marketplaces die on
+/// skew, not on uniform load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// Thousands of checkouts race ONE product's stock (default
+    /// `hot_products = 1`): contention collapses onto a single
+    /// grain/row, and checkout successes are bounded by its initial
+    /// stock.
+    FlashSale,
+    /// Price updates storm the hot set while carts are mid-checkout:
+    /// carts must observe an old or a new price, never a torn mix.
+    PriceStorm,
+    /// Seller-dashboard scan storms concurrent with a write-heavy
+    /// checkout stream — the consistent-querying criterion under read
+    /// pressure.
+    DashboardStorm,
+    /// Cart abandonment/expiry churn: customers fill carts and walk
+    /// away; later checkouts by the same customer sweep up the stale
+    /// lines.
+    CartChurn,
+}
+
+impl ScenarioKind {
+    /// Every scenario, in catalogue order.
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::FlashSale,
+        ScenarioKind::PriceStorm,
+        ScenarioKind::DashboardStorm,
+        ScenarioKind::CartChurn,
+    ];
+
+    /// Stable label for reports and bench ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::FlashSale => "flash_sale",
+            ScenarioKind::PriceStorm => "price_storm",
+            ScenarioKind::DashboardStorm => "dashboard_storm",
+            ScenarioKind::CartChurn => "cart_churn",
+        }
+    }
+}
+
+/// A named adversarial scenario plus its skew knobs. Every scenario
+/// concentrates its hot transactions on a **hot set**: the
+/// `hot_products` most popular ranks of the catalogue, sampled through
+/// their own [`Zipfian`](crate::rng::Zipfian) with skew `hot_theta`
+/// (`hot_products = 1` pins all heat on a single product regardless of
+/// theta).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Which scenario shapes the workload.
+    pub kind: ScenarioKind,
+    /// Size of the hot set (clamped to the catalogue size at run time;
+    /// minimum 1).
+    pub hot_products: u64,
+    /// Zipfian skew *within* the hot set, in `[0, 1)`.
+    pub hot_theta: f64,
+    /// Fraction of generated operations aimed at the hot set (the rest
+    /// follow the plain background mix), in `[0, 1]`.
+    pub hot_fraction: f64,
+}
+
+impl ScenarioConfig {
+    /// The flash sale: every hot op is a 1-line checkout against a
+    /// single product.
+    pub fn flash_sale() -> Self {
+        Self {
+            kind: ScenarioKind::FlashSale,
+            hot_products: 1,
+            hot_theta: 0.0,
+            hot_fraction: 0.95,
+        }
+    }
+
+    /// Price updates racing carts over a small hot set.
+    pub fn price_storm() -> Self {
+        Self {
+            kind: ScenarioKind::PriceStorm,
+            hot_products: 4,
+            hot_theta: 0.99,
+            hot_fraction: 0.9,
+        }
+    }
+
+    /// Dashboard scan storm over the hot sellers, checkouts underneath.
+    pub fn dashboard_storm() -> Self {
+        Self {
+            kind: ScenarioKind::DashboardStorm,
+            hot_products: 8,
+            hot_theta: 0.99,
+            hot_fraction: 0.8,
+        }
+    }
+
+    /// Cart churn: most carts are abandoned, not checked out.
+    pub fn cart_churn() -> Self {
+        Self {
+            kind: ScenarioKind::CartChurn,
+            hot_products: 16,
+            hot_theta: 0.9,
+            hot_fraction: 0.8,
+        }
+    }
+
+    /// The named default shape for `kind`.
+    pub fn named(kind: ScenarioKind) -> Self {
+        match kind {
+            ScenarioKind::FlashSale => Self::flash_sale(),
+            ScenarioKind::PriceStorm => Self::price_storm(),
+            ScenarioKind::DashboardStorm => Self::dashboard_storm(),
+            ScenarioKind::CartChurn => Self::cart_churn(),
+        }
+    }
+
+    /// Sets the hot-set size.
+    pub fn hot_products(mut self, n: u64) -> Self {
+        self.hot_products = n.max(1);
+        self
+    }
+
+    /// Sets the Zipfian skew within the hot set.
+    pub fn hot_theta(mut self, theta: f64) -> Self {
+        self.hot_theta = theta;
+        self
+    }
+}
+
+/// Open-loop arrival generation: requests fire on a deterministic
+/// schedule *regardless of completions*, so queueing delay shows up in
+/// latency instead of silently throttling the offered load (the
+/// collapse closed loops hide). See `om_driver::openloop`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoopConfig {
+    /// Offered arrival rate, requests per second.
+    pub offered_rate: f64,
+    /// Total scheduled arrivals (the measured window is
+    /// `arrivals / offered_rate` seconds of schedule).
+    pub arrivals: u64,
+    /// Bound on the in-flight ledger: an arrival that would exceed it
+    /// is **dropped** (counted, never executed) instead of queueing
+    /// without bound. This is driver-side load shedding, not platform
+    /// backpressure.
+    pub max_in_flight: usize,
+    /// Poisson arrivals (exponential inter-arrival times) when true;
+    /// a fixed `1/rate` tick when false. Both are deterministic from
+    /// the run seed.
+    pub poisson: bool,
+    /// Service worker threads executing fired arrivals (the open-loop
+    /// analogue of `RunConfig::workers`; 0 = use `RunConfig::workers`).
+    pub workers: usize,
+}
+
+impl OpenLoopConfig {
+    /// A schedule of `arrivals` Poisson arrivals at `offered_rate`/s
+    /// with a generous in-flight bound.
+    pub fn at_rate(offered_rate: f64, arrivals: u64) -> Self {
+        Self {
+            offered_rate,
+            arrivals,
+            max_in_flight: 1024,
+            poisson: true,
+            workers: 0,
+        }
+    }
+}
+
 /// Full run configuration for the driver.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
@@ -373,6 +541,22 @@ pub struct RunConfig {
     /// group-commit window, snapshot mode and compaction thresholds.
     /// Ignored by the memory-only backends.
     pub durable: DurableOptions,
+    /// Adversarial traffic scenario shaping the workload (`None` = the
+    /// plain mixed workload). See [`ScenarioConfig`].
+    pub scenario: Option<ScenarioConfig>,
+    /// Open-loop arrival generation for the measured window (`None` =
+    /// the classic closed loop: `workers` threads each submitting
+    /// `ops_per_worker` back-to-back operations). See
+    /// [`OpenLoopConfig`]; the report gains an SLO row when set.
+    pub open_loop: Option<OpenLoopConfig>,
+    /// Chaos-under-load: fire the platform's crash-recovery drill
+    /// (the `POST /admin/recovery-drill` path) **mid-measured-window**
+    /// instead of after it, proving the audit invariants survive a
+    /// crash landing inside live traffic. Ignored by platforms without
+    /// an injectable crash path. Distinct from
+    /// [`recovery_drill`](Self::recovery_drill), which drills the
+    /// quiesced platform after the run.
+    pub chaos_drill: bool,
 }
 
 impl Default for RunConfig {
@@ -394,6 +578,9 @@ impl Default for RunConfig {
             recovery_drill: false,
             data_dir: None,
             durable: DurableOptions::default(),
+            scenario: None,
+            open_loop: None,
+            chaos_drill: false,
         }
     }
 }
@@ -506,6 +693,52 @@ mod tests {
         .map(|p| p.label())
         .collect();
         assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn scenario_labels_unique_and_named_shapes_roundtrip() {
+        let labels: std::collections::HashSet<_> =
+            ScenarioKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), ScenarioKind::ALL.len());
+        for kind in ScenarioKind::ALL {
+            let s = ScenarioConfig::named(kind);
+            assert_eq!(s.kind, kind);
+            assert!(s.hot_products >= 1);
+            assert!((0.0..1.0).contains(&s.hot_theta));
+            assert!((0.0..=1.0).contains(&s.hot_fraction));
+            let json = serde_json::to_string(&s).unwrap();
+            let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s);
+        }
+        assert_eq!(ScenarioConfig::flash_sale().hot_products, 1);
+        assert_eq!(
+            ScenarioConfig::flash_sale().hot_products(0).hot_products,
+            1,
+            "hot set never empty"
+        );
+        assert_eq!(
+            ScenarioConfig::price_storm().hot_theta(0.5).hot_theta,
+            0.5
+        );
+    }
+
+    #[test]
+    fn scenario_and_open_loop_thread_through_run_config_serde() {
+        let c = RunConfig {
+            scenario: Some(ScenarioConfig::flash_sale()),
+            open_loop: Some(OpenLoopConfig::at_rate(500.0, 2_000)),
+            chaos_drill: true,
+            ..RunConfig::default()
+        };
+        let s = serde_json::to_string(&c).unwrap();
+        let back: RunConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.scenario.unwrap().kind, ScenarioKind::FlashSale);
+        assert_eq!(back.open_loop.unwrap().arrivals, 2_000);
+        assert!(back.chaos_drill);
+        // The default stays the plain closed loop.
+        let d = RunConfig::default();
+        assert!(d.scenario.is_none() && d.open_loop.is_none() && !d.chaos_drill);
     }
 
     #[test]

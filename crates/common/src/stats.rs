@@ -109,21 +109,61 @@ impl Histogram {
         self.max
     }
 
-    /// Value at quantile `q` in `[0, 1]` (bucket floor approximation).
+    /// Value at quantile `q` in `[0, 1]`, linearly interpolated within the
+    /// containing bucket.
+    ///
+    /// Two guarantees matter for honest tail reporting at small `n`:
+    ///
+    /// * the **top rank is exact**: whenever the requested rank lands on the
+    ///   last recorded sample (e.g. p999 with fewer than 1000 samples, or
+    ///   q = 1.0 at any count), this returns `max()` itself rather than a
+    ///   bucket-floor guess — a histogram must never *extrapolate* a tail it
+    ///   has not observed;
+    /// * ranks inside a bucket interpolate linearly across the bucket's
+    ///   width instead of collapsing to its floor, so quantiles move
+    ///   smoothly with `q` and the worst-case error stays within one
+    ///   sub-bucket (~1/16 relative) instead of a full sub-bucket bias low.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
         let target = ((q * self.total as f64).ceil() as u64).max(1);
+        if target >= self.total {
+            // The rank is the last sample: report it exactly. This is the
+            // p999-with-<1000-samples case — there is no data beyond max().
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Self::bucket_floor(i).max(self.min).min(self.max);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                // Interpolate the rank's position across this bucket's
+                // value range [floor, floor + width).
+                let floor = Self::bucket_floor(i);
+                let width = Self::bucket_width(i);
+                // Midpoint rule: rank k of c sits at (k - 0.5)/c across the
+                // bucket, so width-1 buckets stay exact (est truncates back
+                // to the floor) and wider buckets interpolate smoothly.
+                let into = ((target - seen) as f64 - 0.5) / c as f64;
+                let est = floor as f64 + into * width as f64;
+                return (est as u64).max(self.min).min(self.max);
+            }
+            seen += c;
         }
         self.max
+    }
+
+    /// Width of bucket `index` in value space (1 for the exact low range).
+    fn bucket_width(index: usize) -> u64 {
+        let bucket_idx = index / SUB_BUCKETS;
+        if bucket_idx == 0 {
+            1
+        } else {
+            1u64 << bucket_idx
+        }
     }
 
     /// Merges another histogram into this one (lossless at bucket level).
@@ -146,12 +186,18 @@ impl Histogram {
             p50_us: self.quantile(0.50),
             p90_us: self.quantile(0.90),
             p99_us: self.quantile(0.99),
+            p999_us: self.quantile(0.999),
             max_us: self.max(),
         }
     }
 }
 
 /// Percentile summary of a latency distribution, in microseconds.
+///
+/// `count` is the sample size `n`; readers must interpret tail percentiles
+/// against it — with `n < 1000`, `p999_us` is by construction the observed
+/// maximum (see [`Histogram::quantile`]), not an estimate of an unobserved
+/// tail.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     pub count: u64,
@@ -160,6 +206,7 @@ pub struct LatencySummary {
     pub p50_us: u64,
     pub p90_us: u64,
     pub p99_us: u64,
+    pub p999_us: u64,
     pub max_us: u64,
 }
 
@@ -167,8 +214,14 @@ impl std::fmt::Display for LatencySummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} mean={:.0}us p50={}us p90={}us p99={}us max={}us",
-            self.count, self.mean_us, self.p50_us, self.p90_us, self.p99_us, self.max_us
+            "n={} mean={:.0}us p50={}us p90={}us p99={}us p999={}us max={}us",
+            self.count,
+            self.mean_us,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us
         )
     }
 }
@@ -312,6 +365,74 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(a.quantile(q), combined.quantile(q));
         }
+    }
+
+    #[test]
+    fn tail_quantiles_at_small_n_return_observed_max_not_extrapolation() {
+        // 100 samples: the p999 rank (ceil(0.999*100) = 100) IS the last
+        // sample, so the histogram must report the observed max exactly.
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 10); // 10..=1000, crossing several octaves
+        }
+        assert_eq!(h.quantile(0.999), 1000, "p999 with n<1000 is the max");
+        assert_eq!(h.quantile(1.0), 1000);
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p999_us, 1000);
+        assert_eq!(s.max_us, 1000);
+        // p99 rank at n=100 is sample 99 (value 990) — interpolated, not
+        // snapped to max.
+        assert!((930..=1000).contains(&s.p99_us), "p99={}", s.p99_us);
+
+        // 10 samples: even p90 lands exactly on rank 9 of 10.
+        let mut t = Histogram::new();
+        for v in [3u64, 7, 11, 19, 23, 31, 47, 63, 95, 7000] {
+            t.record(v);
+        }
+        assert_eq!(t.quantile(0.999), 7000);
+        assert_eq!(t.quantile(0.99), 7000);
+        assert_eq!(t.summary().p999_us, 7000);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 10_000 uniform samples in 1..=10_000: interpolation should hold
+        // each percentile within one sub-bucket (~1/16 relative error) of
+        // its true value instead of a floor-biased answer.
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10_000);
+        let close = |got: u64, want: u64| {
+            let err = (got as f64 - want as f64).abs() / want as f64;
+            assert!(err <= 1.0 / 16.0, "got {got}, want ~{want} (err {err:.3})");
+        };
+        close(s.p50_us, 5_000);
+        close(s.p90_us, 9_000);
+        close(s.p99_us, 9_900);
+        close(s.p999_us, 9_990);
+        assert_eq!(h.quantile(1.0), 10_000);
+        // Interpolation must keep quantiles monotone in q.
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let v = h.quantile(i as f64 / 100.0);
+            assert!(v >= prev, "q={} gave {v} < {prev}", i as f64 / 100.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn single_value_histogram_pins_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(777);
+        let s = h.summary();
+        assert_eq!(
+            (s.p50_us, s.p90_us, s.p99_us, s.p999_us, s.max_us),
+            (777, 777, 777, 777, 777)
+        );
     }
 
     #[test]

@@ -103,6 +103,11 @@ pub fn audit(
     let mut atomicity_violations = snapshot.stuck_assemblies;
     let payments_by_order: BTreeMap<_, _> =
         snapshot.payments.iter().map(|p| (p.order, p)).collect();
+    // Double charges: more payment records than distinct orders paid. The
+    // map above collapses duplicates silently, so count them explicitly —
+    // a checkout replayed through recovery must never charge twice.
+    let duplicate_payments = snapshot.payments.len() as u64 - payments_by_order.len() as u64;
+    atomicity_violations += duplicate_payments;
     let mut packages_by_order: BTreeMap<om_common::ids::OrderId, usize> = BTreeMap::new();
     for pkg in &snapshot.shipments {
         *packages_by_order.entry(pkg.order).or_insert(0) += 1;
@@ -278,6 +283,17 @@ mod tests {
         let report = audit(&snap, &BTreeMap::new(), &RuntimeObservations::default(), 100);
         assert_eq!(report.atomicity, CriterionVerdict::Violated);
         assert!(report.atomicity_violations >= 1);
+    }
+
+    #[test]
+    fn duplicate_payment_for_one_order_is_double_charge() {
+        let mut snap = clean_snapshot();
+        // A second payment record against the same order (e.g. a checkout
+        // replayed across a crash-recovery boundary without dedup).
+        snap.payments.push(payment(1, true, 9));
+        let report = audit(&snap, &BTreeMap::new(), &RuntimeObservations::default(), 100);
+        assert_eq!(report.atomicity, CriterionVerdict::Violated);
+        assert_eq!(report.atomicity_violations, 1, "{report:?}");
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Open-loop load generation with SLO accounting.
+//!
+//! A **closed loop** (the default worker loop) only issues the next
+//! request after the previous one completes, so when the system slows
+//! down the offered load silently drops with it — queueing collapse is
+//! invisible. An **open loop** fires requests on a pre-computed arrival
+//! schedule *regardless of completions*: latency is measured from the
+//! scheduled arrival instant, so time spent waiting in the in-flight
+//! ledger (queueing delay) is part of the number, exactly as a customer
+//! would experience it.
+//!
+//! The module splits into three deterministic pieces so the property
+//! tests can pin behavior byte-for-byte:
+//!
+//! * [`ArrivalSchedule::generate`] — a pure function of
+//!   `(OpenLoopConfig, seed)` producing monotone arrival offsets
+//!   (Poisson/exponential inter-arrivals or a fixed cadence);
+//! * [`SloAccumulator`] — the drop/late/latency ledger shared by the
+//!   real threaded runner and the simulator, folded into an [`SloRow`];
+//! * [`simulate`] — a discrete-event model (k servers, bounded
+//!   in-flight ledger, deterministic service times) that turns a
+//!   schedule into an `SloRow` with no wall clock involved at all.
+
+use om_common::config::OpenLoopConfig;
+use om_common::rng::SplitMix64;
+use om_common::stats::{Histogram, LatencySummary};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// A deterministic arrival schedule: microsecond offsets from the window
+/// start at which requests must be fired, strictly derived from the
+/// config and seed (two generations with equal inputs are byte-identical).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalSchedule {
+    /// Monotone non-decreasing arrival offsets, in microseconds.
+    pub offsets_us: Vec<u64>,
+}
+
+impl ArrivalSchedule {
+    /// Generates the schedule for `cfg` from `seed`.
+    ///
+    /// Poisson mode draws exponential inter-arrival gaps with mean
+    /// `1/offered_rate` (the memoryless arrival process real traffic
+    /// approximates); otherwise the cadence is a fixed `1/offered_rate`.
+    pub fn generate(cfg: &OpenLoopConfig, seed: u64) -> Self {
+        let rate = cfg.offered_rate.max(1e-9);
+        let mean_gap_us = 1_000_000.0 / rate;
+        let mut rng = SplitMix64::new(seed ^ 0x00BE_A7ED);
+        let mut offsets_us = Vec::with_capacity(cfg.arrivals as usize);
+        let mut t = 0.0f64;
+        for _ in 0..cfg.arrivals {
+            let gap = if cfg.poisson {
+                // Inverse-CDF exponential; 1 - u in (0, 1] keeps ln finite.
+                -(1.0 - rng.next_f64()).ln() * mean_gap_us
+            } else {
+                mean_gap_us
+            };
+            t += gap;
+            offsets_us.push(t as u64);
+        }
+        Self { offsets_us }
+    }
+
+    /// Canonical byte encoding (little-endian u64s) — what the property
+    /// tests compare for byte-identity across runs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.offsets_us.len() * 8);
+        for &v in &self.offsets_us {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Total scheduled span in seconds (0 for an empty schedule).
+    pub fn span_secs(&self) -> f64 {
+        self.offsets_us.last().copied().unwrap_or(0) as f64 / 1e6
+    }
+}
+
+/// One SLO row of a [`crate::RunReport`]: offered vs achieved rate plus
+/// the latency distribution measured **from scheduled arrival time**.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloRow {
+    /// Configured arrival rate (requests/sec).
+    pub offered_per_sec: f64,
+    /// Completions per second over the measured window.
+    pub achieved_per_sec: f64,
+    /// Requests the schedule fired (dropped ones included).
+    pub arrivals: u64,
+    /// Requests that completed (business rejections count — they are
+    /// valid outcomes the customer waited for).
+    pub completed: u64,
+    /// Requests that errored.
+    pub failed: u64,
+    /// Requests shed at the in-flight ledger (ledger full) or starved of
+    /// inputs (no leasable customer) — never submitted.
+    pub dropped: u64,
+    /// Requests fired more than [`LATE_SLACK_US`] behind schedule — the
+    /// generator itself fell behind (distinct from queueing inside the
+    /// system, which the latency percentiles capture).
+    pub late: u64,
+    /// Latency from *scheduled arrival* to completion.
+    pub latency: LatencySummary,
+}
+
+/// Dispatch lag beyond which an arrival counts as `late` (µs).
+pub const LATE_SLACK_US: u64 = 1_000;
+
+impl SloRow {
+    /// Fraction of offered load the system actually absorbed, in [0, 1].
+    pub fn achieved_ratio(&self) -> f64 {
+        if self.offered_per_sec <= 0.0 {
+            0.0
+        } else {
+            (self.achieved_per_sec / self.offered_per_sec).min(1.0)
+        }
+    }
+}
+
+/// The drop/late/latency ledger. Both the threaded open-loop runner and
+/// the deterministic [`simulate`] fold their accounting through this one
+/// type, so the SLO arithmetic (rates, ratios, percentile summary) cannot
+/// diverge between the two.
+#[derive(Debug, Default)]
+pub struct SloAccumulator {
+    pub arrivals: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub dropped: u64,
+    pub late: u64,
+    pub latency: Histogram,
+}
+
+impl SloAccumulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completion with latency measured from scheduled
+    /// arrival.
+    pub fn complete(&mut self, latency_us: u64) {
+        self.completed += 1;
+        self.latency.record(latency_us);
+    }
+
+    /// Merges a worker-local accumulator (threaded runner path).
+    pub fn merge(&mut self, other: &SloAccumulator) {
+        self.arrivals += other.arrivals;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.dropped += other.dropped;
+        self.late += other.late;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Folds the ledger into a report row over `window_secs`.
+    pub fn into_row(self, offered_per_sec: f64, window_secs: f64) -> SloRow {
+        let achieved = if window_secs > 0.0 {
+            self.completed as f64 / window_secs
+        } else {
+            0.0
+        };
+        SloRow {
+            offered_per_sec,
+            achieved_per_sec: achieved,
+            arrivals: self.arrivals,
+            completed: self.completed,
+            failed: self.failed,
+            dropped: self.dropped,
+            late: self.late,
+            latency: self.latency.summary(),
+        }
+    }
+}
+
+/// Deterministic discrete-event model of an open-loop run: `k` servers
+/// (`cfg.workers`, 0 = 4), a bounded in-flight ledger of
+/// `cfg.max_in_flight`, and exponential service times with mean
+/// `mean_service_us` drawn from the same seeded PRNG family as the
+/// schedule. No wall clock: identical inputs produce an identical
+/// [`SloRow`], which is what the scheduler property tests pin.
+///
+/// The model is the textbook G/G/k picture of the real runner: a request
+/// arriving while `max_in_flight` requests are in the system is dropped;
+/// otherwise it waits for the earliest-free server and its latency is
+/// `completion - scheduled arrival` (queueing included).
+pub fn simulate(cfg: &OpenLoopConfig, seed: u64, mean_service_us: f64) -> SloRow {
+    let schedule = ArrivalSchedule::generate(cfg, seed);
+    let servers = if cfg.workers == 0 { 4 } else { cfg.workers };
+    let mut svc_rng = SplitMix64::new(seed ^ 0x005E_71CE);
+    let mut acc = SloAccumulator::new();
+    // Completion times of in-system requests (min-heap via Reverse).
+    let mut in_system: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+    // Earliest instant each server is free.
+    let mut free_at = vec![0u64; servers];
+    let mut last_completion = 0u64;
+    for &t in &schedule.offsets_us {
+        acc.arrivals += 1;
+        while let Some(&std::cmp::Reverse(c)) = in_system.peek() {
+            if c <= t {
+                in_system.pop();
+            } else {
+                break;
+            }
+        }
+        if in_system.len() >= cfg.max_in_flight {
+            acc.dropped += 1;
+            continue;
+        }
+        let (slot, &free) = free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("at least one server");
+        let start = t.max(free);
+        let service = (-(1.0 - svc_rng.next_f64()).ln() * mean_service_us).max(1.0) as u64;
+        let completion = start + service;
+        free_at[slot] = completion;
+        in_system.push(std::cmp::Reverse(completion));
+        last_completion = last_completion.max(completion);
+        acc.complete(completion - t);
+    }
+    let window_secs = (last_completion.max(schedule.offsets_us.last().copied().unwrap_or(0)))
+        as f64
+        / 1e6;
+    acc.into_row(cfg.offered_rate, window_secs)
+}
+
+/// The measured saturation point of a sweep: the highest offered rate
+/// whose row still achieved at least `threshold` (e.g. 0.95) of it.
+/// `None` when even the lowest offered rate collapsed.
+pub fn saturation_point(rows: &[SloRow], threshold: f64) -> Option<f64> {
+    rows.iter()
+        .filter(|r| r.achieved_ratio() >= threshold)
+        .map(|r| r.offered_per_sec)
+        .fold(None, |best, r| Some(best.map_or(r, |b: f64| b.max(r))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rate: f64, n: u64) -> OpenLoopConfig {
+        OpenLoopConfig::at_rate(rate, n)
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_deterministic() {
+        let c = cfg(1000.0, 500);
+        let a = ArrivalSchedule::generate(&c, 42);
+        let b = ArrivalSchedule::generate(&c, 42);
+        assert_eq!(a.to_bytes(), b.to_bytes(), "byte-identical for same seed");
+        assert!(a.offsets_us.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        let other = ArrivalSchedule::generate(&c, 43);
+        assert_ne!(a.offsets_us, other.offsets_us, "seed matters");
+    }
+
+    #[test]
+    fn schedule_mean_rate_converges() {
+        let c = cfg(10_000.0, 20_000);
+        let s = ArrivalSchedule::generate(&c, 7);
+        let achieved = s.offsets_us.len() as f64 / s.span_secs();
+        let err = (achieved - 10_000.0).abs() / 10_000.0;
+        assert!(err < 0.05, "mean rate {achieved:.0} vs offered 10000");
+    }
+
+    #[test]
+    fn fixed_cadence_schedule_is_evenly_spaced() {
+        let mut c = cfg(1000.0, 100);
+        c.poisson = false;
+        let s = ArrivalSchedule::generate(&c, 1);
+        for (i, &t) in s.offsets_us.iter().enumerate() {
+            let want = (i as u64 + 1) * 1000;
+            assert!(t.abs_diff(want) <= 1, "offset {i} = {t}, want ~{want}");
+        }
+    }
+
+    #[test]
+    fn simulator_shows_queueing_collapse_past_capacity() {
+        // 4 servers at 1ms mean service = ~4000/s capacity.
+        let under = simulate(&cfg(1_000.0, 4_000), 9, 1_000.0);
+        let over = simulate(&cfg(20_000.0, 4_000), 9, 1_000.0);
+        assert!(under.achieved_ratio() > 0.95, "{under:?}");
+        assert!(
+            over.achieved_ratio() < 0.5,
+            "overload must not absorb offered load: {over:?}"
+        );
+        assert!(
+            over.latency.p99_us > under.latency.p99_us * 5,
+            "p99 must diverge under overload: {} vs {}",
+            over.latency.p99_us,
+            under.latency.p99_us
+        );
+        assert!(over.dropped > 0, "ledger must shed under overload");
+    }
+
+    #[test]
+    fn simulator_is_deterministic() {
+        let a = simulate(&cfg(5_000.0, 2_000), 11, 500.0);
+        let b = simulate(&cfg(5_000.0, 2_000), 11, 500.0);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn saturation_point_picks_last_sustained_rate() {
+        let mk = |offered: f64, achieved: f64| SloRow {
+            offered_per_sec: offered,
+            achieved_per_sec: achieved,
+            arrivals: 0,
+            completed: 0,
+            failed: 0,
+            dropped: 0,
+            late: 0,
+            latency: Histogram::new().summary(),
+        };
+        let rows = vec![
+            mk(1000.0, 990.0),
+            mk(2000.0, 1980.0),
+            mk(4000.0, 2100.0),
+        ];
+        assert_eq!(saturation_point(&rows, 0.95), Some(2000.0));
+        assert_eq!(saturation_point(&rows[2..], 0.95), None);
+    }
+}

@@ -2,6 +2,7 @@
 //! tables (for EXPERIMENTS.md) or JSON (for tooling).
 
 use crate::audit::CriteriaReport;
+use crate::openloop::SloRow;
 use om_common::config::{RunConfig, TransactionKind};
 use om_common::stats::LatencySummary;
 use om_marketplace::api::RecoveryOutcome;
@@ -36,8 +37,13 @@ pub struct RunReport {
     pub criteria: CriteriaReport,
     /// Outcome of the post-run crash-recovery drill, when
     /// `RunConfig::recovery_drill` was set and the platform supports an
-    /// injectable crash (the dataflow binding).
+    /// injectable crash (the dataflow binding). Under
+    /// `RunConfig::chaos_drill` this is the *mid-window* drill outcome.
     pub recovery: Option<RecoveryOutcome>,
+    /// Open-loop SLO accounting (offered vs achieved rate, drop/late
+    /// counts, latency from scheduled arrival), when
+    /// `RunConfig::open_loop` was set.
+    pub slo: Option<SloRow>,
 }
 
 impl RunReport {
@@ -101,6 +107,26 @@ impl RunReport {
         )
     }
 
+    /// One text row for the A7 SLO table (open-loop runs only).
+    pub fn slo_row(&self) -> String {
+        match &self.slo {
+            Some(s) => format!(
+                "{:<42} offered={:>8.0}/s achieved={:>8.0}/s ({:>3.0}%) drop={} late={} p50={}us p99={}us p999={}us (n={})",
+                self.cell_label(),
+                s.offered_per_sec,
+                s.achieved_per_sec,
+                s.achieved_ratio() * 100.0,
+                s.dropped,
+                s.late,
+                s.latency.p50_us,
+                s.latency.p99_us,
+                s.latency.p999_us,
+                s.latency.count,
+            ),
+            None => format!("{:<42} (closed loop)", self.cell_label()),
+        }
+    }
+
     /// One text row for the recovery table (empty when no drill ran).
     pub fn recovery_row(&self) -> String {
         match &self.recovery {
@@ -155,6 +181,7 @@ mod tests {
                 conservation_violations: 0,
             },
             recovery: None,
+            slo: None,
         }
     }
 
@@ -166,6 +193,34 @@ mod tests {
         assert!(r.criteria_row().contains("atomicity=yes"));
         assert!(r.latency_table().contains("p99"));
         assert_eq!(r.cell_label(), "test+eventual_kv+memory");
+        assert!(r.slo_row().contains("(closed loop)"));
+    }
+
+    #[test]
+    fn slo_row_renders_rates_and_percentiles() {
+        let mut r = report();
+        let mut hist = om_common::stats::Histogram::new();
+        for v in [100u64, 200, 400, 9000] {
+            hist.record(v);
+        }
+        r.slo = Some(SloRow {
+            offered_per_sec: 1000.0,
+            achieved_per_sec: 950.0,
+            arrivals: 1000,
+            completed: 950,
+            failed: 0,
+            dropped: 50,
+            late: 3,
+            latency: hist.summary(),
+        });
+        let row = r.slo_row();
+        assert!(row.contains("offered="), "{row}");
+        assert!(row.contains("95%"), "{row}");
+        assert!(row.contains("drop=50"), "{row}");
+        assert!(row.contains("p999=9000us"), "{row}");
+        // And it survives the JSON roundtrip inside the report.
+        let back: RunReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back.slo.unwrap().dropped, 50);
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Adversarial traffic scenarios.
+//!
+//! The plain workload mix is closed-loop and Zipfian over the *whole*
+//! catalogue — realistic on average, but production marketplaces die on
+//! concentrated moments: a flash sale funnels thousands of checkouts
+//! into ONE product's stock row, a repricing job races carts mid-flight,
+//! a dashboard crawl storms the read path while checkout traffic is at
+//! peak, and abandoned carts leave debris behind. Each
+//! [`ScenarioKind`] shapes the operation
+//! stream accordingly: with probability `hot_fraction` an op targets the
+//! hot set (the top `hot_products` popularity ranks, skewed by
+//! `hot_theta`), otherwise the background [`next_op`] mix runs untouched.
+//!
+//! Scenario ops reuse the workload's customer lease pool and rank table,
+//! so every safety property of the base generator (no shared carts, no
+//! deleted product sampled) carries over.
+
+use crate::workload::{next_op, Op, WorkloadState};
+use om_common::config::{RunConfig, ScenarioConfig, ScenarioKind};
+use om_common::entity::PaymentMethod;
+use om_common::ids::SellerId;
+use om_common::rng::{SplitMix64, Zipfian};
+use om_common::Money;
+
+/// Floor of the price-storm ladder, in cents. Strictly above the data
+/// generator's initial price range (`100..=100_000`), so any observed
+/// order price is attributable: either an initial price or a ladder
+/// rung — anything else is a torn read. See [`ScenarioState::price_ladder`].
+pub const STORM_PRICE_FLOOR_CENTS: i64 = 200_100;
+
+/// Number of rungs on the price-storm ladder.
+pub const STORM_PRICE_RUNGS: usize = 8;
+
+/// The price-storm ladder: every price a storm update may write. Public
+/// so tests can assert observed prices ∈ initial range ∪ ladder (anything
+/// else is torn).
+pub fn storm_price_ladder() -> Vec<Money> {
+    (0..STORM_PRICE_RUNGS)
+        .map(|i| Money::from_cents(STORM_PRICE_FLOOR_CENTS + 10_000 * i as i64))
+        .collect()
+}
+
+/// Immutable per-run scenario state: the hot-set sampler and the
+/// price-storm ladder. Shared read-only across workers.
+pub struct ScenarioState {
+    cfg: ScenarioConfig,
+    hot_zipf: Zipfian,
+    ladder: Vec<Money>,
+}
+
+impl ScenarioState {
+    pub fn new(cfg: ScenarioConfig, state: &WorkloadState) -> Self {
+        let hot = (cfg.hot_products as usize).clamp(1, state.rank_space());
+        Self {
+            cfg,
+            hot_zipf: Zipfian::new(hot as u64, cfg.hot_theta),
+            ladder: storm_price_ladder(),
+        }
+    }
+
+    pub fn kind(&self) -> ScenarioKind {
+        self.cfg.kind
+    }
+
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// The storm's price ladder. Tests assert every observed price is an
+    /// initial price or one of these — a value outside both sets is torn.
+    pub fn price_ladder(&self) -> &[Money] {
+        &self.ladder
+    }
+
+    /// Samples a hot product: a Zipfian draw over the top ranks.
+    fn hot_product(&self, state: &WorkloadState, rng: &mut SplitMix64) -> om_common::ids::ProductId {
+        let rank = self.hot_zipf.sample(rng) as usize;
+        state.product_at_rank(rank)
+    }
+
+    /// A single-line hot checkout (quantity 1: flash-sale stock drains
+    /// one unit per success, so `successes <= initial_stock` is exact).
+    fn hot_checkout(&self, state: &WorkloadState, rng: &mut SplitMix64) -> Option<Op> {
+        let customer = state.lease_customer(rng)?;
+        let product = self.hot_product(state, rng);
+        let method = match rng.next_bounded(4) {
+            0 => PaymentMethod::CreditCard,
+            1 => PaymentMethod::DebitCard,
+            2 => PaymentMethod::Boleto,
+            _ => PaymentMethod::Voucher,
+        };
+        Some(Op::Checkout {
+            customer,
+            items: vec![(state.seller_of(product), product, 1)],
+            method,
+        })
+    }
+
+    /// Seller owning a hot product — the dashboard storm's scan target.
+    fn hot_seller(&self, state: &WorkloadState, rng: &mut SplitMix64) -> SellerId {
+        state.seller_of(self.hot_product(state, rng))
+    }
+}
+
+/// Generates the next operation under `scenario`, falling back to the
+/// plain mix for the `1 - hot_fraction` background share. Returns `None`
+/// when inputs are temporarily unavailable (same contract as
+/// [`next_op`]).
+pub fn next_scenario_op(
+    state: &WorkloadState,
+    scenario: &ScenarioState,
+    config: &RunConfig,
+    rng: &mut SplitMix64,
+) -> Option<Op> {
+    if !rng.chance(scenario.cfg.hot_fraction) {
+        return next_op(state, config, rng);
+    }
+    match scenario.cfg.kind {
+        // Everybody wants the same thing, now.
+        ScenarioKind::FlashSale => scenario.hot_checkout(state, rng),
+        // Repricing batch races carts mid-checkout on the same rows.
+        ScenarioKind::PriceStorm => {
+            if rng.chance(0.5) {
+                let product = scenario.hot_product(state, rng);
+                let price = *rng.pick(&scenario.ladder);
+                Some(Op::PriceUpdate {
+                    seller: state.seller_of(product),
+                    product,
+                    price,
+                })
+            } else {
+                scenario.hot_checkout(state, rng)
+            }
+        }
+        // Read storm (seller scans) against write-heavy checkout.
+        ScenarioKind::DashboardStorm => {
+            if rng.chance(0.5) {
+                Some(Op::SellerDashboard {
+                    seller: scenario.hot_seller(state, rng),
+                })
+            } else {
+                scenario.hot_checkout(state, rng)
+            }
+        }
+        // Most carts never convert; the few that do inherit the debris.
+        ScenarioKind::CartChurn => {
+            if rng.chance(0.6) {
+                let customer = state.lease_customer(rng)?;
+                let n = rng.range_inclusive(1, config.max_cart_items.max(1) as u64) as usize;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let product = scenario.hot_product(state, rng);
+                    let qty = rng.range_inclusive(1, 2) as u32;
+                    items.push((state.seller_of(product), product, qty));
+                }
+                Some(Op::AbandonCart { customer, items })
+            } else {
+                scenario.hot_checkout(state, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_common::config::ScaleConfig;
+    use std::collections::HashMap;
+
+    fn config(kind: ScenarioKind) -> RunConfig {
+        RunConfig {
+            scale: ScaleConfig {
+                sellers: 4,
+                products_per_seller: 25,
+                customers: 50,
+                initial_stock: 100,
+            },
+            // No background deletes: rank 0 must stay pinned to one
+            // product so the funnel assertions are exact.
+            mix: om_common::config::WorkloadMix {
+                product_delete: 0,
+                ..Default::default()
+            },
+            scenario: Some(ScenarioConfig::named(kind)),
+            ..RunConfig::smoke()
+        }
+    }
+
+    fn ops_for(kind: ScenarioKind, n: usize) -> (Vec<Op>, WorkloadState) {
+        let cfg = config(kind);
+        let state = WorkloadState::new(&cfg);
+        let scenario = ScenarioState::new(cfg.scenario.unwrap(), &state);
+        let mut rng = SplitMix64::new(0xF1A5);
+        let mut ops = Vec::new();
+        while ops.len() < n {
+            if let Some(op) = next_scenario_op(&state, &scenario, &cfg, &mut rng) {
+                if let Some(c) = op.leased_customer() {
+                    state.return_customer(c);
+                }
+                ops.push(op);
+            }
+        }
+        (ops, state)
+    }
+
+    #[test]
+    fn flash_sale_funnels_checkouts_into_one_product() {
+        let (ops, state) = ops_for(ScenarioKind::FlashSale, 1000);
+        let hot = state.product_at_rank(0);
+        let mut hot_checkouts = 0usize;
+        let mut checkouts = 0usize;
+        for op in &ops {
+            if let Op::Checkout { items, .. } = op {
+                checkouts += 1;
+                if items.iter().any(|(_, p, _)| *p == hot) {
+                    hot_checkouts += 1;
+                }
+            }
+        }
+        // hot_fraction 0.95 of ops are single-line checkouts of THE product.
+        assert!(checkouts >= 900, "checkouts={checkouts}");
+        assert!(
+            hot_checkouts * 10 >= checkouts * 9,
+            "hot share too low: {hot_checkouts}/{checkouts}"
+        );
+    }
+
+    #[test]
+    fn price_storm_prices_come_from_the_ladder() {
+        let cfg = config(ScenarioKind::PriceStorm);
+        let state = WorkloadState::new(&cfg);
+        let scenario = ScenarioState::new(cfg.scenario.unwrap(), &state);
+        let mut rng = SplitMix64::new(3);
+        let mut storm_updates = 0;
+        for _ in 0..2000 {
+            let Some(op) = next_scenario_op(&state, &scenario, &cfg, &mut rng) else {
+                continue;
+            };
+            if let Some(c) = op.leased_customer() {
+                state.return_customer(c);
+            }
+            if let Op::PriceUpdate { price, .. } = op {
+                if price.0 > 100_000 {
+                    assert!(
+                        scenario.price_ladder().contains(&price),
+                        "storm price off the ladder: {price:?}"
+                    );
+                    storm_updates += 1;
+                }
+            }
+        }
+        assert!(storm_updates > 300, "storm updates={storm_updates}");
+        // Ladder is disjoint from the datagen price range by construction.
+        assert!(scenario.price_ladder().iter().all(|p| p.0 > 100_000));
+    }
+
+    #[test]
+    fn dashboard_storm_scans_hot_sellers() {
+        let (ops, state) = ops_for(ScenarioKind::DashboardStorm, 1000);
+        let hot_sellers: std::collections::HashSet<_> = (0..8)
+            .map(|r| state.seller_of(state.product_at_rank(r)))
+            .collect();
+        let mut scans = 0usize;
+        let mut hot_scans = 0usize;
+        for op in &ops {
+            if let Op::SellerDashboard { seller } = op {
+                scans += 1;
+                if hot_sellers.contains(seller) {
+                    hot_scans += 1;
+                }
+            }
+        }
+        assert!(scans >= 250, "scans={scans}");
+        assert!(
+            hot_scans * 10 >= scans * 8,
+            "hot scans too few: {hot_scans}/{scans}"
+        );
+    }
+
+    #[test]
+    fn cart_churn_mostly_abandons() {
+        let (ops, _) = ops_for(ScenarioKind::CartChurn, 1000);
+        let abandons = ops
+            .iter()
+            .filter(|o| matches!(o, Op::AbandonCart { .. }))
+            .count();
+        let checkouts = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Checkout { .. }))
+            .count();
+        assert!(abandons > checkouts, "{abandons} vs {checkouts}");
+        assert!(abandons >= 350, "abandons={abandons}");
+    }
+
+    #[test]
+    fn hot_theta_skews_within_the_hot_set() {
+        let cfg = RunConfig {
+            scenario: Some(ScenarioConfig::price_storm().hot_products(8).hot_theta(0.99)),
+            ..config(ScenarioKind::PriceStorm)
+        };
+        let state = WorkloadState::new(&cfg);
+        let scenario = ScenarioState::new(cfg.scenario.unwrap(), &state);
+        let mut rng = SplitMix64::new(5);
+        let mut counts: HashMap<_, u32> = HashMap::new();
+        for _ in 0..4000 {
+            *counts.entry(scenario.hot_product(&state, &mut rng)).or_default() += 1;
+        }
+        assert!(counts.len() <= 8, "hot set bounded: {}", counts.len());
+        let top = *counts.values().max().unwrap();
+        assert!(top > 1000, "rank 0 dominates the hot set, top={top}");
+    }
+
+    #[test]
+    fn background_share_still_uses_full_mix() {
+        // hot_fraction 0 degenerates to the plain generator: deletes and
+        // delivery updates must appear.
+        let cfg = RunConfig {
+            scenario: Some(ScenarioConfig::flash_sale().hot_theta(0.0)),
+            ..config(ScenarioKind::FlashSale)
+        };
+        let mut sc = cfg.scenario.unwrap();
+        sc.hot_fraction = 0.0;
+        let state = WorkloadState::new(&cfg);
+        let scenario = ScenarioState::new(sc, &state);
+        let mut rng = SplitMix64::new(6);
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            if let Some(op) = next_scenario_op(&state, &scenario, &cfg, &mut rng) {
+                if let Some(c) = op.leased_customer() {
+                    state.return_customer(c);
+                }
+                kinds.insert(op.kind());
+            }
+        }
+        assert!(kinds.len() >= 4, "background mix visible: {kinds:?}");
+    }
+}

@@ -67,6 +67,20 @@ impl WorkloadState {
         self.ranks.read()[rank]
     }
 
+    /// Product currently occupying popularity rank `rank` (clamped to the
+    /// rank space). Scenarios address their hot set through ranks so a
+    /// concurrent delete swaps a live replacement in without distorting
+    /// the skew.
+    pub fn product_at_rank(&self, rank: usize) -> ProductId {
+        let ranks = self.ranks.read();
+        ranks[rank.min(ranks.len() - 1)]
+    }
+
+    /// Size of the rank space (total products, stable across deletions).
+    pub fn rank_space(&self) -> usize {
+        self.ranks.read().len()
+    }
+
     /// Owner of a product under the dense generator layout.
     pub fn seller_of(&self, product: ProductId) -> SellerId {
         SellerId(product.0 / self.products_per_seller)
@@ -140,6 +154,14 @@ pub enum Op {
     SellerDashboard {
         seller: SellerId,
     },
+    /// Cart-churn: fill a cart and walk away without checking out. The
+    /// customer returns to the pool with the cart still loaded — their
+    /// next checkout inherits the stale lines, exactly the abandonment
+    /// debris real carts accumulate.
+    AbandonCart {
+        customer: CustomerId,
+        items: Vec<(SellerId, ProductId, u32)>,
+    },
 }
 
 impl Op {
@@ -150,6 +172,18 @@ impl Op {
             Op::ProductDelete { .. } => TransactionKind::ProductDelete,
             Op::UpdateDelivery => TransactionKind::UpdateDelivery,
             Op::SellerDashboard { .. } => TransactionKind::SellerDashboard,
+            // Abandonment is the checkout path cut short; it reports under
+            // the same kind so the 5-kind mix accounting stays closed.
+            Op::AbandonCart { .. } => TransactionKind::Checkout,
+        }
+    }
+
+    /// The customer this op holds a lease on, if any — dropped ops must
+    /// release it back to the pool.
+    pub fn leased_customer(&self) -> Option<CustomerId> {
+        match self {
+            Op::Checkout { customer, .. } | Op::AbandonCart { customer, .. } => Some(*customer),
+            _ => None,
         }
     }
 }

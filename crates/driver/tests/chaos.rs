@@ -1,0 +1,120 @@
+//! Chaos-under-load regression tests: the crash-recovery drill fired
+//! *mid-flash-sale* (not against a quiesced platform) must recover with
+//! zero lost committed epochs and a clean audit — no negative stock, no
+//! partial checkout, no double charge.
+//!
+//! Wired into `tests/` so tier-1 catches a regression; the `b5_scenarios`
+//! bench sweeps the same cells for numbers.
+
+use om_common::config::{BackendKind, RunConfig, ScaleConfig, ScenarioConfig, WorkloadMix};
+use om_driver::run_matrix_cell;
+use om_marketplace::PlatformKind;
+
+fn chaos_config(backend: BackendKind) -> RunConfig {
+    RunConfig {
+        scale: ScaleConfig {
+            sellers: 2,
+            products_per_seller: 10,
+            customers: 24,
+            initial_stock: 2_000,
+        },
+        mix: WorkloadMix {
+            product_delete: 0,
+            ..Default::default()
+        },
+        workers: 4,
+        ops_per_worker: 150,
+        warmup_ops_per_worker: 0,
+        backend,
+        scenario: Some(ScenarioConfig::flash_sale()),
+        chaos_drill: true,
+        ..RunConfig::smoke()
+    }
+}
+
+fn assert_chaos_invariants(backend: BackendKind) {
+    let config = chaos_config(backend);
+    let report = run_matrix_cell(PlatformKind::Dataflow, &config);
+    assert!(report.operations > 0, "{backend:?}: no operations completed");
+
+    // The drill fired and recovered.
+    let recovery = report
+        .recovery
+        .as_ref()
+        .unwrap_or_else(|| panic!("{backend:?}: chaos drill must fire on the dataflow cell"));
+    assert_eq!(recovery.store, backend.label(), "{backend:?}");
+    assert!(
+        recovery.recovered_epoch > 0,
+        "{backend:?}: restart must come from a committed epoch"
+    );
+    assert!(
+        recovery.final_epoch >= recovery.recovered_epoch,
+        "{backend:?}: a committed epoch was lost ({} -> {})",
+        recovery.recovered_epoch,
+        recovery.final_epoch
+    );
+
+    // The audited invariants survive the crash landing mid-sale:
+    // conservation == 0 pins every stock row to
+    // qty_available + qty_reserved + qty_sold == initial_stock (no
+    // negative stock, no oversell); atomicity == 0 covers partial
+    // checkouts AND duplicate payments (double charges).
+    assert_eq!(
+        report.criteria.conservation_violations, 0,
+        "{backend:?}: stock corrupted across recovery: {:?}",
+        report.criteria
+    );
+    assert_eq!(
+        report.criteria.atomicity_violations, 0,
+        "{backend:?}: partial or double-charged checkout across recovery: {:?}",
+        report.criteria
+    );
+    assert_eq!(
+        report.criteria.ordering_violations, 0,
+        "{backend:?}: payment/shipment order broke across recovery"
+    );
+}
+
+/// The ISSUE's headline case: FileDurable recovers mid-flash-sale.
+#[test]
+fn chaos_drill_mid_flash_sale_on_file_durable_recovers_cleanly() {
+    assert_chaos_invariants(BackendKind::FileDurable);
+}
+
+/// Every other recovery-capable cell (the dataflow binding over each
+/// checkpoint backend) passes the same bar.
+#[test]
+fn chaos_drill_mid_flash_sale_on_memory_backends_recovers_cleanly() {
+    assert_chaos_invariants(BackendKind::Eventual);
+    assert_chaos_invariants(BackendKind::SnapshotIsolation);
+}
+
+/// Platforms without a crash path ignore the chaos knob instead of
+/// wedging the window.
+#[test]
+fn chaos_drill_is_inert_on_platforms_without_a_crash_path() {
+    let config = chaos_config(BackendKind::Eventual);
+    let report = run_matrix_cell(PlatformKind::Transactional, &config);
+    assert!(report.operations > 0);
+    assert!(report.recovery.is_none());
+    assert_eq!(report.criteria.conservation_violations, 0);
+}
+
+/// Chaos composes with the open loop: the drill fires while the arrival
+/// schedule keeps firing, and the SLO row still closes its accounting.
+#[test]
+fn chaos_drill_under_open_loop_keeps_slo_accounting_closed() {
+    let config = RunConfig {
+        open_loop: Some(om_common::config::OpenLoopConfig::at_rate(2_000.0, 600)),
+        ..chaos_config(BackendKind::FileDurable)
+    };
+    let report = run_matrix_cell(PlatformKind::Dataflow, &config);
+    let slo = report.slo.as_ref().expect("open-loop run carries an SLO row");
+    assert_eq!(
+        slo.completed + slo.failed + slo.dropped,
+        slo.arrivals,
+        "every arrival must be accounted: {slo:?}"
+    );
+    assert!(report.recovery.is_some(), "drill fired");
+    assert_eq!(report.criteria.conservation_violations, 0);
+}

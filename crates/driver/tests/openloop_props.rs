@@ -1,0 +1,137 @@
+//! Property tests for the open-loop scheduler: schedule determinism
+//! (byte-identical for identical seed + config), monotone timestamps,
+//! rate convergence, and byte-identical SLO rows out of the
+//! discrete-event model.
+
+use om_common::config::OpenLoopConfig;
+use om_driver::{simulate, ArrivalSchedule, SloRow};
+use proptest::prelude::*;
+
+fn cfg(rate: f64, arrivals: u64, poisson: bool) -> OpenLoopConfig {
+    let mut c = OpenLoopConfig::at_rate(rate, arrivals);
+    c.poisson = poisson;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical seed + config ⇒ byte-identical arrival schedules.
+    #[test]
+    fn prop_schedule_is_byte_identical_for_same_inputs(
+        seed in any::<u64>(),
+        rate in 100.0f64..50_000.0,
+        arrivals in 1u64..2_000,
+        poisson in any::<bool>(),
+    ) {
+        let c = cfg(rate, arrivals, poisson);
+        let a = ArrivalSchedule::generate(&c, seed);
+        let b = ArrivalSchedule::generate(&c, seed);
+        prop_assert_eq!(a.to_bytes(), b.to_bytes());
+        prop_assert_eq!(a.offsets_us.len() as u64, arrivals);
+    }
+
+    /// Arrival timestamps are monotone non-decreasing.
+    #[test]
+    fn prop_schedule_timestamps_are_monotone(
+        seed in any::<u64>(),
+        rate in 100.0f64..50_000.0,
+        arrivals in 2u64..2_000,
+    ) {
+        let s = ArrivalSchedule::generate(&cfg(rate, arrivals, true), seed);
+        for w in s.offsets_us.windows(2) {
+            prop_assert!(w[0] <= w[1], "offsets not monotone: {} > {}", w[0], w[1]);
+        }
+    }
+
+    /// The empirical arrival rate converges to the configured rate.
+    #[test]
+    fn prop_schedule_mean_rate_converges(
+        seed in any::<u64>(),
+        rate in 1_000.0f64..20_000.0,
+    ) {
+        // Enough arrivals that the exponential gaps average out.
+        let s = ArrivalSchedule::generate(&cfg(rate, 20_000, true), seed);
+        let achieved = s.offsets_us.len() as f64 / s.span_secs();
+        let err = (achieved - rate).abs() / rate;
+        prop_assert!(err < 0.05, "achieved {achieved:.0}/s vs offered {rate:.0}/s");
+    }
+
+    /// Identical seed + config ⇒ byte-identical SLO rows (the
+    /// deterministic discrete-event model shares its accounting with the
+    /// threaded runner, so the RunReport row arithmetic is pinned here).
+    #[test]
+    fn prop_slo_rows_are_byte_identical_for_same_inputs(
+        seed in any::<u64>(),
+        rate in 500.0f64..20_000.0,
+        arrivals in 10u64..2_000,
+        mean_service_us in 50.0f64..5_000.0,
+    ) {
+        let c = cfg(rate, arrivals, true);
+        let a = simulate(&c, seed, mean_service_us);
+        let b = simulate(&c, seed, mean_service_us);
+        let a_bytes = serde_json::to_string(&a).unwrap().into_bytes();
+        let b_bytes = serde_json::to_string(&b).unwrap().into_bytes();
+        prop_assert_eq!(a_bytes, b_bytes);
+        // Accounting closes: every arrival is completed or dropped.
+        prop_assert_eq!(a.completed + a.dropped, a.arrivals);
+        prop_assert_eq!(a.latency.count, a.completed);
+    }
+
+    /// The SLO row roundtrips through serde without loss.
+    #[test]
+    fn prop_slo_row_serde_roundtrip(
+        seed in any::<u64>(),
+        rate in 500.0f64..10_000.0,
+    ) {
+        let row = simulate(&cfg(rate, 500, true), seed, 800.0);
+        let json = serde_json::to_string(&row).unwrap();
+        let back: SloRow = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, row);
+    }
+}
+
+/// The in-flight ledger bound is respected: with `max_in_flight = 1` and
+/// service times far longer than arrival gaps, nearly everything sheds.
+#[test]
+fn tiny_ledger_sheds_overload() {
+    let mut c = OpenLoopConfig::at_rate(10_000.0, 1_000);
+    c.max_in_flight = 1;
+    let row = simulate(&c, 3, 50_000.0); // 50ms service vs 100us gaps
+    assert!(row.dropped > 900, "expected heavy shedding: {row:?}");
+    assert_eq!(row.completed + row.dropped, row.arrivals);
+}
+
+/// Open-loop vs closed-loop at the same concurrency: past saturation the
+/// open loop's p99 (measured from scheduled arrival) diverges while a
+/// closed loop at the same worker count would simply throttle its offered
+/// rate. The model makes the contrast explicit.
+#[test]
+fn open_loop_exposes_queueing_collapse() {
+    // 4 servers, 1ms mean service: capacity ~4000/s.
+    let mk = |rate: f64| {
+        let mut c = OpenLoopConfig::at_rate(rate, 6_000);
+        c.workers = 4;
+        simulate(&c, 17, 1_000.0)
+    };
+    let under = mk(2_000.0);
+    let near = mk(3_500.0);
+    let over = mk(8_000.0);
+    assert!(under.achieved_ratio() > 0.95, "{under:?}");
+    assert!(near.achieved_ratio() > 0.8, "{near:?}");
+    assert!(over.achieved_ratio() < 0.6, "{over:?}");
+    // The tail explodes across the saturation point.
+    assert!(
+        over.latency.p99_us > under.latency.p99_us * 10,
+        "p99 must diverge: {} -> {}",
+        under.latency.p99_us,
+        over.latency.p99_us
+    );
+    // The highest sustained rate sits below capacity (~4000/s): 8000/s
+    // collapsed, so saturation is one of the sustained cells.
+    let sat = om_driver::saturation_point(&[under, near, over], 0.95).unwrap();
+    assert!(
+        (2_000.0..4_000.0).contains(&sat),
+        "saturation at {sat}, expected in [2000, 4000)"
+    );
+}

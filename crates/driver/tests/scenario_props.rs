@@ -1,0 +1,228 @@
+//! Scenario workload tests against real platforms: flash-sale stock
+//! invariants under contention (both backends, 1 and 4 workers),
+//! price-storm torn-price detection, and cart-churn / dashboard-storm
+//! smoke coverage.
+
+use om_common::config::{BackendKind, RunConfig, ScaleConfig, ScenarioConfig, WorkloadMix};
+use om_driver::run_matrix_cell;
+use om_marketplace::PlatformKind;
+use proptest::prelude::*;
+
+/// Flash-sale at a scale where the hot product sells out mid-run: stock
+/// is 30 units against ~200 single-unit checkouts.
+fn flash_config(seed: u64, workers: usize, backend: BackendKind) -> RunConfig {
+    RunConfig {
+        seed,
+        scale: ScaleConfig {
+            sellers: 2,
+            products_per_seller: 10,
+            customers: 24,
+            initial_stock: 30,
+        },
+        // No deletes: every product must survive so the conservation
+        // accounting below can use the full catalogue.
+        mix: WorkloadMix {
+            product_delete: 0,
+            ..Default::default()
+        },
+        workers,
+        ops_per_worker: 200 / workers as u64,
+        warmup_ops_per_worker: 0,
+        backend,
+        scenario: Some(ScenarioConfig::flash_sale()),
+        ..RunConfig::smoke()
+    }
+}
+
+/// The invariant core: run the flash sale, then prove on the quiesced
+/// snapshot that no product oversold and no unit was created or
+/// destroyed, no matter how the interleaving went.
+fn assert_flash_sale_invariants(seed: u64, workers: usize, backend: BackendKind) {
+    let config = flash_config(seed, workers, backend);
+    let report = run_matrix_cell(PlatformKind::Transactional, &config);
+    assert!(report.operations > 0, "run produced no operations");
+    assert_eq!(
+        report.criteria.conservation_violations, 0,
+        "units created/destroyed ({backend:?}, workers={workers}): {:?}",
+        report.criteria
+    );
+    assert_eq!(
+        report.criteria.atomicity_violations, 0,
+        "partial checkout under contention ({backend:?}, workers={workers})"
+    );
+    // counters carry the storage traffic; the audit above already walked
+    // the snapshot: conservation == 0 means every stock row satisfies
+    // qty_available + qty_reserved + qty_sold == initial_stock, which
+    // bounds successes by the initial stock and rules out negative
+    // quantities (they are u32 and conservation pins the sum).
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Stock never goes negative and checkout successes never exceed the
+    /// initial stock — any seed, both backends, 1 and 4 workers.
+    #[test]
+    fn prop_flash_sale_never_oversells(seed in 1u64..10_000) {
+        for backend in [BackendKind::Eventual, BackendKind::SnapshotIsolation] {
+            for workers in [1usize, 4] {
+                assert_flash_sale_invariants(seed, workers, backend);
+            }
+        }
+    }
+}
+
+/// Deterministic pin of the same invariant at the exact contention point
+/// (kept outside proptest so a failure names the cell directly).
+#[test]
+fn flash_sale_sellout_is_exact_on_snapshot_isolation() {
+    assert_flash_sale_invariants(0xF1A5, 4, BackendKind::SnapshotIsolation);
+}
+
+/// Price storm: every price a cart observed is either an initial price
+/// (datagen range `100..=100_000` cents) or a rung of the storm ladder —
+/// a value outside both sets would be a torn read.
+#[test]
+fn price_storm_carts_never_observe_torn_prices() {
+    let config = RunConfig {
+        scale: ScaleConfig {
+            sellers: 2,
+            products_per_seller: 10,
+            customers: 24,
+            initial_stock: 5_000,
+        },
+        mix: WorkloadMix {
+            product_delete: 0,
+            ..Default::default()
+        },
+        workers: 4,
+        ops_per_worker: 150,
+        warmup_ops_per_worker: 0,
+        backend: BackendKind::SnapshotIsolation,
+        scenario: Some(ScenarioConfig::price_storm()),
+        ..RunConfig::smoke()
+    };
+    // Drive the platform directly so the quiesced snapshot is inspectable.
+    let spec = om_marketplace::PlatformSpec::new(PlatformKind::Transactional, config.backend)
+        .parallelism(config.workers)
+        .decline_rate(config.payment_decline_rate);
+    let platform = om_marketplace::build_platform(&spec);
+    let report = om_driver::run_benchmark(platform.as_ref(), &config, true);
+    assert!(report.operations > 0);
+
+    let ladder = om_driver::scenario::storm_price_ladder();
+    let snapshot = platform.snapshot().expect("snapshot");
+    let mut checked = 0usize;
+    let mut storm_observed = 0usize;
+    for order in &snapshot.orders {
+        for item in &order.items {
+            let cents = item.unit_price.0;
+            let initial = (100..=100_000).contains(&cents);
+            let storm = ladder.contains(&item.unit_price);
+            assert!(
+                initial || storm,
+                "torn price observed: {cents} cents on order {:?}",
+                order.id
+            );
+            checked += 1;
+            if storm {
+                storm_observed += 1;
+            }
+        }
+    }
+    assert!(checked > 50, "not enough order lines audited: {checked}");
+    assert!(
+        storm_observed > 0,
+        "storm never landed a price a cart observed ({checked} lines)"
+    );
+}
+
+/// Cart churn end-to-end: abandonment-heavy traffic still leaves a
+/// conserved, atomically-consistent marketplace.
+#[test]
+fn cart_churn_preserves_invariants() {
+    let config = RunConfig {
+        scale: ScaleConfig {
+            sellers: 2,
+            products_per_seller: 10,
+            customers: 24,
+            initial_stock: 1_000,
+        },
+        workers: 4,
+        ops_per_worker: 100,
+        warmup_ops_per_worker: 0,
+        backend: BackendKind::SnapshotIsolation,
+        scenario: Some(ScenarioConfig::cart_churn()),
+        ..RunConfig::smoke()
+    };
+    let report = run_matrix_cell(PlatformKind::Transactional, &config);
+    assert!(report.operations > 0);
+    assert_eq!(report.criteria.conservation_violations, 0, "{:?}", report.criteria);
+    assert_eq!(report.criteria.atomicity_violations, 0, "{:?}", report.criteria);
+}
+
+/// Dashboard storm: heavy seller scans concurrent with checkout traffic
+/// complete without torn dashboards on the snapshot-isolated cell.
+#[test]
+fn dashboard_storm_keeps_dashboards_consistent_under_si() {
+    let config = RunConfig {
+        scale: ScaleConfig {
+            sellers: 4,
+            products_per_seller: 8,
+            customers: 24,
+            initial_stock: 1_000,
+        },
+        workers: 4,
+        ops_per_worker: 100,
+        warmup_ops_per_worker: 0,
+        backend: BackendKind::SnapshotIsolation,
+        scenario: Some(ScenarioConfig::dashboard_storm()),
+        ..RunConfig::smoke()
+    };
+    let report = run_matrix_cell(PlatformKind::Transactional, &config);
+    assert!(report.operations > 0);
+    assert!(
+        report.latency.contains_key("seller_dashboard"),
+        "storm must actually exercise dashboards: {:?}",
+        report.latency.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(report.criteria.conservation_violations, 0);
+}
+
+/// The scenario shape threads through `RunConfig` end-to-end: the same
+/// cell under flash-sale concentrates checkout traffic far beyond the
+/// plain mix.
+#[test]
+fn scenario_config_changes_traffic_shape_through_run_config() {
+    let base = RunConfig {
+        scale: ScaleConfig {
+            sellers: 2,
+            products_per_seller: 10,
+            customers: 24,
+            initial_stock: 5_000,
+        },
+        workers: 2,
+        ops_per_worker: 150,
+        warmup_ops_per_worker: 0,
+        backend: BackendKind::Eventual,
+        ..RunConfig::smoke()
+    };
+    let plain = run_matrix_cell(PlatformKind::Transactional, &base);
+    let flash = run_matrix_cell(
+        PlatformKind::Transactional,
+        &RunConfig {
+            scenario: Some(ScenarioConfig::flash_sale()),
+            ..base
+        },
+    );
+    let share = |r: &om_driver::RunReport| {
+        let checkout = r.latency.get("checkout").map(|l| l.count).unwrap_or(0);
+        checkout as f64 / r.operations.max(1) as f64
+    };
+    assert!(
+        share(&flash) > share(&plain) + 0.2,
+        "flash-sale checkout share {:.2} vs plain {:.2}",
+        share(&flash),
+        share(&plain)
+    );
+}
