@@ -38,7 +38,14 @@
 #     platform rebuild),
 #   * the shim crates' own unit tests run via --workspace,
 #   * rustdoc must build warning-free (om_storage, om_dataflow, om_log
-#     and om_kv additionally deny missing docs at the crate level).
+#     and om_kv additionally deny missing docs at the crate level),
+#   * the crash-consistency torture slice (docs/FAULTS.md) runs inside
+#     `cargo test --workspace` — the storage/log/driver `torture`
+#     targets sweep power loss over recorded write boundaries with a
+#     seeded FaultVfs; failures print their seed/boundary coordinates
+#     and replay with OM_TORTURE_SEED=<n>. Setting OM_TORTURE_FULL=1 on
+#     this script (nightly-depth runs) re-runs the harness sweeping
+#     EVERY boundary with wider workloads and more seeds.
 #
 # The environment is fully offline; --offline makes that explicit so a
 # mis-edited manifest fails fast instead of hanging on the network.
@@ -48,8 +55,13 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release --offline
 
-echo "==> cargo test -q --workspace (functional crates + shim self-tests)"
+echo "==> cargo test -q --workspace (functional crates + shim self-tests + torture slice)"
 cargo test -q --offline --workspace
+
+if [[ "${OM_TORTURE_FULL:-}" ]]; then
+    echo "==> torture: FULL boundary sweep (OM_TORTURE_FULL=1; failures replay with OM_TORTURE_SEED=<n>)"
+    OM_TORTURE_FULL=1 cargo test -q --offline -p om_storage -p om_log -p om_driver --test torture
+fi
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"

@@ -28,6 +28,7 @@ pub const GRAIN_STORAGE_SHARDS: usize = 64;
 pub struct StorageMap {
     backend: Arc<dyn StateBackend>,
     saves: AtomicU64,
+    failed_saves: AtomicU64,
 }
 
 impl std::fmt::Debug for StorageMap {
@@ -58,6 +59,7 @@ impl StorageMap {
         Self {
             backend,
             saves: AtomicU64::new(0),
+            failed_saves: AtomicU64::new(0),
         }
     }
 
@@ -73,9 +75,21 @@ impl StorageMap {
     }
 
     /// Saves (overwrites) the snapshot for `id`.
+    ///
+    /// Grain snapshots are written post-ack (the turn already committed),
+    /// so a storage fault here must not take the silo worker down: a
+    /// failed save is counted in [`StorageMap::failed_save_count`] and the
+    /// previous snapshot stays authoritative. The wedge surfaces to
+    /// clients through the platform's commit path, not through this one.
     pub fn save(&self, id: GrainId, snapshot: Vec<u8>) {
-        self.backend.put(&Self::storage_key(&id), &snapshot);
-        self.saves.fetch_add(1, Ordering::Relaxed);
+        match self.backend.try_put(&Self::storage_key(&id), &snapshot) {
+            Ok(()) => {
+                self.saves.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.failed_saves.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Loads the last snapshot for `id` (authoritative read).
@@ -95,6 +109,13 @@ impl StorageMap {
     /// Total save operations (write-amplification diagnostics).
     pub fn save_count(&self) -> u64 {
         self.saves.load(Ordering::Relaxed)
+    }
+
+    /// Saves rejected by the backend (a wedged durable store). Non-zero
+    /// here while clients saw successful acks is expected during a wedge:
+    /// the snapshots are best-effort and the last good one still loads.
+    pub fn failed_save_count(&self) -> u64 {
+        self.failed_saves.load(Ordering::Relaxed)
     }
 
     /// Which storage discipline holds the snapshots.

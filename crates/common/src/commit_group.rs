@@ -30,7 +30,7 @@
 //! ```
 
 use crate::config::GroupCommitPolicy;
-use crate::OmResult;
+use crate::{OmError, OmResult};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,15 @@ struct GroupState {
     highest: u64,
     /// A leader is currently running the flush closure.
     leader_active: bool,
+    /// Tickets at or below this bound that never became durable were
+    /// dropped by [`CommitGroup::abort_below`]: their waiters fail
+    /// instead of being released (or re-electing themselves leader and
+    /// flushing an empty stage into a false acknowledgement).
+    aborted_below: u64,
+    /// Writers currently inside [`CommitGroup::wait_durable`] —
+    /// [`CommitGroup::reset_after_abort`] waits for this to hit zero
+    /// before ticket numbers may be reused.
+    waiters: u64,
     stats: CommitGroupStats,
 }
 
@@ -92,6 +101,8 @@ pub struct CommitGroup {
     /// Wakes a leader parked in the adaptive wait when a new ticket is
     /// announced.
     arrivals: Condvar,
+    /// Wakes [`CommitGroup::reset_after_abort`] when a waiter exits.
+    drained: Condvar,
     plan: WaitPlan,
 }
 
@@ -141,10 +152,13 @@ impl CommitGroup {
                 durable: 0,
                 highest: 0,
                 leader_active: false,
+                aborted_below: 0,
+                waiters: 0,
                 stats: CommitGroupStats::default(),
             }),
             released: Condvar::new(),
             arrivals: Condvar::new(),
+            drained: Condvar::new(),
             plan,
         }
     }
@@ -164,6 +178,7 @@ impl CommitGroup {
         F: FnMut() -> OmResult<u64>,
     {
         let mut st = self.state.lock();
+        st.waiters += 1;
         if ticket > st.highest {
             st.highest = ticket;
             // Wake a leader parked in the adaptive wait: the cohort
@@ -171,7 +186,19 @@ impl CommitGroup {
             self.arrivals.notify_one();
         }
         loop {
+            // Checked BEFORE the durable floor: an abort raises the
+            // floor over the dropped tickets so later cohorts release
+            // normally, but the dropped tickets themselves must fail.
+            if ticket <= st.aborted_below {
+                st.waiters -= 1;
+                self.drained.notify_all();
+                return Err(OmError::Wedged(format!(
+                    "commit ticket {ticket} was dropped by a store repair; the write was never durable"
+                )));
+            }
             if st.durable >= ticket {
+                st.waiters -= 1;
+                self.drained.notify_all();
                 return Ok(());
             }
             if st.leader_active {
@@ -209,6 +236,8 @@ impl CommitGroup {
                 Err(e) => {
                     // Wake the cohort so another writer can retry as
                     // leader (or fail on its own terms).
+                    st.waiters -= 1;
+                    self.drained.notify_all();
                     self.released.notify_all();
                     return Err(e);
                 }
@@ -275,6 +304,47 @@ impl CommitGroup {
         let mut st = self.state.lock();
         st.durable = st.durable.max(floor);
         st.highest = st.highest.max(floor);
+    }
+
+    /// Fails every ticket up to and including `bound` that is not yet
+    /// durable: parked waiters wake with an error, and late
+    /// `wait_durable` calls for those tickets fail instead of electing
+    /// a leader over an empty stage (which would release them as a
+    /// false acknowledgement). The durable floor is raised over the
+    /// dropped range so later tickets release normally.
+    ///
+    /// This is the barrier half of a store **unwedge**: the staged
+    /// frames behind those tickets were discarded with the torn tail,
+    /// so their committers must observe failure, not success. The
+    /// caller must hold whatever lock stops new tickets being staged
+    /// at or below `bound`.
+    pub fn abort_below(&self, bound: u64) {
+        let mut st = self.state.lock();
+        st.aborted_below = st.aborted_below.max(bound);
+        st.durable = st.durable.max(bound);
+        st.highest = st.highest.max(bound);
+        self.released.notify_all();
+        self.arrivals.notify_all();
+    }
+
+    /// Completes the barrier half of a store repair after
+    /// [`CommitGroup::abort_below`]: blocks until every waiter (all of
+    /// them holding aborted tickets — the caller's locks stop new ones
+    /// from being staged) has drained out, then resets the barrier to
+    /// `floor` so ticket numbers above it can be **reused**. Stores
+    /// whose tickets are dense record offsets (the persistent topic)
+    /// need this: the dropped records' offsets are handed out again
+    /// after the repair, and without the reset those tickets would
+    /// instantly fail on `aborted_below` or false-release on the raised
+    /// durable floor.
+    pub fn reset_after_abort(&self, floor: u64) {
+        let mut st = self.state.lock();
+        while st.waiters > 0 {
+            self.drained.wait(&mut st);
+        }
+        st.aborted_below = 0;
+        st.durable = floor;
+        st.highest = floor;
     }
 
     /// Counters accumulated so far.
@@ -441,6 +511,39 @@ mod tests {
         group.wait_durable(1, || Ok(1)).unwrap();
         assert_eq!(group.durable(), 1);
         assert_eq!(group.stats().adaptive_waits, 0);
+    }
+
+    #[test]
+    fn abort_below_fails_dropped_tickets_and_frees_later_ones() {
+        let group = Arc::new(CommitGroup::new(Duration::ZERO));
+        // Ticket 1 is durable the normal way.
+        group.wait_durable(1, || Ok(1)).unwrap();
+        // A waiter parks on ticket 3 behind a leader that never
+        // completes (simulated: the abort fires while it is parked).
+        let parked = {
+            let group = group.clone();
+            std::thread::spawn(move || {
+                group.wait_durable(3, || {
+                    // Leader duty observes the wedge and fails; the
+                    // waiter then parks until the abort wakes it.
+                    Err(OmError::Wedged("store wedged".into()))
+                })
+            })
+        };
+        let r = parked.join().unwrap();
+        assert!(r.is_err(), "leader sees the wedge error");
+        // The unwedge drops tickets <= 3.
+        group.abort_below(3);
+        // A late wait on a dropped ticket fails — it must NOT elect
+        // itself leader over the (now empty) stage and self-release.
+        let late = group.wait_durable(2, || panic!("dropped ticket must not flush"));
+        assert!(matches!(late, Err(OmError::Wedged(_))), "{late:?}");
+        // Re-waiting the already-aborted leader ticket also fails.
+        let again = group.wait_durable(3, || panic!("dropped ticket must not flush"));
+        assert!(again.is_err());
+        // Tickets above the bound proceed normally.
+        group.wait_durable(4, || Ok(4)).unwrap();
+        assert_eq!(group.durable(), 4);
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub enum OmError {
     Unavailable(String),
     /// Request timed out.
     Timeout(String),
+    /// A durable store hit an IO failure it cannot ack past: every
+    /// further write fails fast until an explicit unwedge repairs the
+    /// torn tail. Unlike [`OmError::Internal`] this is an *operational*
+    /// state, not a bug — the gateway sheds it with `503 Retry-After`
+    /// rather than a 500.
+    Wedged(String),
     /// An invariant was violated — indicates a bug, surfaced loudly.
     Internal(String),
 }
@@ -47,6 +53,7 @@ impl OmError {
             OmError::Rejected(_) => "rejected",
             OmError::Unavailable(_) => "unavailable",
             OmError::Timeout(_) => "timeout",
+            OmError::Wedged(_) => "wedged",
             OmError::Internal(_) => "internal",
         }
     }
@@ -62,6 +69,7 @@ impl fmt::Display for OmError {
             OmError::Rejected(m) => write!(f, "rejected: {m}"),
             OmError::Unavailable(m) => write!(f, "unavailable: {m}"),
             OmError::Timeout(m) => write!(f, "timeout: {m}"),
+            OmError::Wedged(m) => write!(f, "storage wedged: {m}"),
             OmError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -82,6 +90,10 @@ mod tests {
         assert!(!OmError::NotFound("x".into()).is_retryable());
         assert!(!OmError::Rejected("x".into()).is_retryable());
         assert!(!OmError::Internal("x".into()).is_retryable());
+        // A wedged store stays wedged until an explicit unwedge; blind
+        // retries would only hammer it, so clients back off instead.
+        assert!(!OmError::Wedged("x".into()).is_retryable());
+        assert_eq!(OmError::Wedged("x".into()).label(), "wedged");
     }
 
     #[test]

@@ -132,6 +132,19 @@ pub trait CheckpointStore: Send + Sync {
     fn backend_counters(&self) -> std::collections::BTreeMap<String, u64> {
         std::collections::BTreeMap::new()
     }
+
+    /// Whether the backing store is wedged (rejecting every epoch commit
+    /// after a durable-write failure). Always `false` without a storage
+    /// layer underneath.
+    fn is_wedged(&self) -> bool {
+        false
+    }
+
+    /// Repairs a wedged backing store in place, returning the torn bytes
+    /// dropped; `None` when the store has no wedge concept.
+    fn unwedge(&self) -> Option<OmResult<u64>> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -345,6 +358,14 @@ impl CheckpointStore for BackendCheckpointStore {
 
     fn backend_kind(&self) -> Option<BackendKind> {
         Some(self.backend.kind())
+    }
+
+    fn is_wedged(&self) -> bool {
+        self.backend.is_wedged()
+    }
+
+    fn unwedge(&self) -> Option<OmResult<u64>> {
+        self.backend.unwedge()
     }
 
     fn backend_counters(&self) -> std::collections::BTreeMap<String, u64> {

@@ -7,6 +7,7 @@
 //! bench sweeps the same cells for numbers.
 
 use om_common::config::{BackendKind, RunConfig, ScaleConfig, ScenarioConfig, WorkloadMix};
+use om_common::OmError;
 use om_driver::run_matrix_cell;
 use om_marketplace::PlatformKind;
 
@@ -98,6 +99,219 @@ fn chaos_drill_is_inert_on_platforms_without_a_crash_path() {
     assert!(report.operations > 0);
     assert!(report.recovery.is_none());
     assert_eq!(report.criteria.conservation_violations, 0);
+}
+
+/// The disk-fault drill: a scheduled fsync failure wedges the durable
+/// store *mid-flash-sale*. Degradation must be graceful — every error a
+/// client sees is a typed [`OmError::Wedged`] (shed, retryable), never a
+/// panic or a silent success over lost bytes — and `unwedge()` repairs
+/// the store in place, after which checkouts succeed again and the
+/// audit (conservation, atomicity, ordering) is clean.
+#[test]
+fn disk_fault_drill_mid_flash_sale_wedges_then_unwedge_restores_a_clean_audit() {
+    use om_common::config::{GroupCommitPolicy, SnapshotMode};
+    use om_common::entity::{Customer, PaymentMethod, Product, Seller};
+    use om_common::ids::{CustomerId, ProductId, SellerId};
+    use om_common::Money;
+    use om_driver::audit::{audit, RuntimeObservations};
+    use om_marketplace::api::{
+        CheckoutItem, CheckoutOutcome, CheckoutRequest, MarketplacePlatform,
+    };
+    use om_marketplace::{build_platform, PlatformSpec};
+    use om_storage::vfs::FaultVfs;
+    use om_storage::{FileBackend, FileBackendOptions, StateBackend};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const SEED: u64 = 0xFA_0175;
+    const INITIAL_STOCK: u32 = 100_000;
+
+    fn scratch() -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "om-disk-fault-drill-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+    struct DirGuard(std::path::PathBuf);
+    impl Drop for DirGuard {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn options() -> FileBackendOptions {
+        FileBackendOptions {
+            shards: 2,
+            snapshot_every: 0,
+            segment_bytes: 1 << 20,
+            sync_commits: true,
+            group_commit: GroupCommitPolicy::Off,
+            snapshot_mode: SnapshotMode::Full,
+            compact_max_deltas: 4,
+            compact_ratio_pct: 100,
+            recovery_threads: 1,
+        }
+    }
+
+    fn build(dir: &std::path::Path, vfs: FaultVfs) -> Box<dyn MarketplacePlatform> {
+        let backend: Arc<dyn StateBackend> = Arc::new(
+            FileBackend::open_with_vfs(dir.join("state"), options(), Arc::new(vfs)).unwrap(),
+        );
+        build_platform(
+            &PlatformSpec::new(PlatformKind::Customized, BackendKind::FileDurable)
+                .parallelism(2)
+                .decline_rate(0.0)
+                .backend_instance(backend),
+        )
+    }
+
+    fn ingest(platform: &dyn MarketplacePlatform) {
+        platform
+            .ingest_seller(Seller::new(SellerId(1), "acme".into(), "odense".into()))
+            .unwrap();
+        for c in 1..=4u64 {
+            platform
+                .ingest_customer(Customer::new(CustomerId(c), format!("c{c}"), "addr".into()))
+                .unwrap();
+        }
+        platform
+            .ingest_product(
+                Product {
+                    id: ProductId(1),
+                    seller: SellerId(1),
+                    name: "widget".into(),
+                    category: "cat".into(),
+                    description: String::new(),
+                    price: Money::from_cents(500),
+                    freight_value: Money::ZERO,
+                    version: 0,
+                    active: true,
+                },
+                INITIAL_STOCK,
+            )
+            .unwrap();
+        platform.quiesce();
+    }
+
+    fn try_checkout(platform: &dyn MarketplacePlatform, customer: u64) -> Result<bool, OmError> {
+        platform.add_to_cart(
+            CustomerId(customer),
+            CheckoutItem {
+                seller: SellerId(1),
+                product: ProductId(1),
+                quantity: 1,
+            },
+        )?;
+        let outcome = platform.checkout(CheckoutRequest {
+            customer: CustomerId(customer),
+            items: vec![],
+            method: PaymentMethod::CreditCard,
+        })?;
+        Ok(matches!(outcome, CheckoutOutcome::Placed { .. }))
+    }
+
+    // Calibrate: count how many fsyncs a clean ingest needs, so the
+    // fault can be scheduled to land squarely inside the sale.
+    let ingest_syncs = {
+        let dir = scratch();
+        let _g = DirGuard(dir.clone());
+        let probe = FaultVfs::new(SEED).recording();
+        let platform = build(&dir, probe.clone());
+        ingest(platform.as_ref());
+        probe.syncs_seen()
+    };
+
+    let dir = scratch();
+    let _g = DirGuard(dir.clone());
+    let vfs = FaultVfs::new(SEED).fail_nth_sync(ingest_syncs + 25);
+    let platform = build(&dir, vfs.clone());
+    ingest(platform.as_ref());
+
+    // Flash sale: four workers hammer checkouts until the fault fires
+    // and every one of them has seen the wedge shed at least once.
+    let shed = AtomicU64::new(0);
+    let placed = AtomicU64::new(0);
+    let non_wedged_error = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for w in 0..4u64 {
+            let (platform, shed, placed, non_wedged_error) =
+                (platform.as_ref(), &shed, &placed, &non_wedged_error);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    match try_checkout(platform, w + 1) {
+                        Ok(true) => {
+                            placed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(false) => {}
+                        Err(OmError::Wedged(_)) => {
+                            if shed.fetch_add(1, Ordering::Relaxed) >= 8 {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            non_wedged_error.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        !vfs.fired().is_empty(),
+        "the scheduled fsync fault must fire mid-sale (fired: {:?})",
+        vfs.fired()
+    );
+    assert!(placed.load(Ordering::Relaxed) > 0, "checkouts landed before the fault");
+    assert!(shed.load(Ordering::Relaxed) > 0, "the wedge shed load");
+    assert!(
+        !non_wedged_error.load(Ordering::Relaxed),
+        "every degraded response is a typed Wedged error — no panic, no mystery failure"
+    );
+    assert!(platform.is_wedged(), "the platform reports the wedge");
+    assert!(
+        matches!(try_checkout(platform.as_ref(), 1), Err(OmError::Wedged(_))),
+        "while wedged, checkouts shed with the typed error"
+    );
+
+    // Repair in place and resume the sale.
+    let outcome = platform
+        .unwedge()
+        .expect("a durable backend has a wedge concept")
+        .expect("unwedge repairs the store");
+    assert!(outcome.was_wedged && outcome.healthy, "{outcome:?}");
+    assert!(!platform.is_wedged());
+    for k in 0..8u64 {
+        assert_eq!(
+            try_checkout(platform.as_ref(), (k % 4) + 1).ok(),
+            Some(true),
+            "post-unwedge checkout {k} succeeds"
+        );
+    }
+
+    platform.quiesce();
+    let snap = platform.snapshot().unwrap();
+    let report = audit(
+        &snap,
+        &platform.counters(),
+        &RuntimeObservations::default(),
+        INITIAL_STOCK,
+    );
+    assert_eq!(
+        report.conservation_violations, 0,
+        "units conserved across the wedge: {:?}",
+        report
+    );
+    assert_eq!(
+        report.atomicity_violations, 0,
+        "no partial or double-charged checkout across the wedge: {:?}",
+        report
+    );
+    assert_eq!(report.ordering_violations, 0, "payment/shipment order held");
 }
 
 /// Chaos composes with the open loop: the drill fires while the arrival

@@ -46,6 +46,26 @@ enum Endpoint {
     Health,
     Counters,
     RecoveryDrill,
+    Unwedge,
+}
+
+impl Endpoint {
+    /// Whether the endpoint mutates platform state. Mutations are shed
+    /// with `503` while the durable store is wedged; reads (and the
+    /// repair endpoint itself) stay available.
+    fn mutates(self) -> bool {
+        matches!(
+            self,
+            Endpoint::IngestSeller
+                | Endpoint::IngestCustomer
+                | Endpoint::IngestProduct
+                | Endpoint::AddToCart
+                | Endpoint::Checkout
+                | Endpoint::PriceUpdate
+                | Endpoint::ProductDelete
+                | Endpoint::UpdateDelivery
+        )
+    }
 }
 
 /// Body of `POST /ingest/products`.
@@ -136,7 +156,8 @@ impl MarketplaceGateway {
                 Method::Post,
                 "/admin/recovery-drill",
                 Endpoint::RecoveryDrill,
-            );
+            )
+            .route(Method::Post, "/admin/unwedge", Endpoint::Unwedge);
         MarketplaceGateway {
             platform,
             router,
@@ -200,6 +221,17 @@ impl MarketplaceGateway {
         params: &PathParams,
         req: &Request,
     ) -> Result<Response, Response> {
+        // Graceful degradation: a wedged durable store sheds every
+        // mutation up front with an explicit retry hint. Bindings whose
+        // business acks precede their (best-effort) grain-snapshot saves
+        // would otherwise keep acking writes the store cannot persist.
+        // Reads, health, counters and the repair endpoints stay up.
+        if endpoint.mutates() && self.platform.is_wedged() {
+            return Err(map_platform::<()>(Err(OmError::Wedged(
+                "durable store is wedged; repair it via POST /admin/unwedge".into(),
+            )))
+            .unwrap_err());
+        }
         match endpoint {
             Endpoint::Health => {
                 // Durable write-path health: how well group commit is
@@ -224,6 +256,9 @@ impl MarketplaceGateway {
                         // Whether platform state would survive a process
                         // crash (true only over the file-durable backend).
                         "durable": self.platform.backend().is_some_and(|b| b.is_durable()),
+                        // Whether the durable store is currently wedged
+                        // (mutations shed with 503 until an unwedge).
+                        "wedged": self.platform.is_wedged(),
                         "storage": {
                             "commits_per_sync": metric("commits_per_sync"),
                             "group_flushes": metric("group_flushes"),
@@ -268,6 +303,20 @@ impl MarketplaceGateway {
                 None => Err(Response::text(
                     501,
                     "platform has no injectable crash-recovery path",
+                )),
+            },
+            // Repair a wedged durable store in place (close, truncate the
+            // torn never-acked tail, re-open, verify). Safe under live
+            // traffic: concurrent commits see either the wedged 503 or
+            // the healthy store. 501 on platforms without a wedge
+            // concept; the error mapping (503, still wedged) when the
+            // repair itself fails.
+            Endpoint::Unwedge => match self.platform.unwedge() {
+                Some(Ok(outcome)) => Ok(Response::json(200, &outcome)),
+                Some(Err(e)) => Err(map_platform::<()>(Err(e)).unwrap_err()),
+                None => Err(Response::text(
+                    501,
+                    "platform has no wedged-store repair path",
                 )),
             },
             Endpoint::IngestSeller => {
@@ -375,14 +424,22 @@ fn map_platform<T>(result: Result<T, OmError>) -> Result<T, Response> {
             OmError::NotFound(_) => 404,
             OmError::Conflict(_) | OmError::TxAborted(_) | OmError::TxWaitDie(_) => 409,
             OmError::Rejected(_) => 422,
-            OmError::Unavailable(_) => 503,
+            OmError::Unavailable(_) | OmError::Wedged(_) => 503,
             OmError::Timeout(_) => 408,
             OmError::Internal(_) => 500,
         };
-        Response::json(
+        let resp = Response::json(
             status,
             &serde_json::json!({ "error": e.label(), "detail": e.to_string() }),
-        )
+        );
+        // A wedged store is an operational condition, not a bug: shed
+        // with an explicit retry hint (an operator unwedge restores
+        // service) and never a 500.
+        if matches!(e, OmError::Wedged(_)) {
+            resp.with_header("retry-after", "1")
+        } else {
+            resp
+        }
     })
 }
 

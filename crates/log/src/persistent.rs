@@ -47,12 +47,12 @@ use om_common::checksum::{parse_frame, push_frame};
 use om_common::commit_group::CommitGroup;
 use om_common::config::GroupCommitPolicy;
 use om_common::{OmError, OmResult};
+use om_storage::vfs::{real_vfs, write_all_retry, Vfs, VfsFile};
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -104,6 +104,12 @@ pub struct PersistentTopicOptions {
     /// guarantee. `Off` (the default) writes every append individually
     /// — the PR 4 behaviour.
     pub group_commit: GroupCommitPolicy,
+    /// `fsync` the segment after every acknowledged write (one sync per
+    /// record unbatched, one per cohort under group flush), and sync the
+    /// partition directory when a segment is created. Off by default —
+    /// the historical behaviour, where an append is acknowledged once
+    /// the bytes reach the page cache.
+    pub sync_appends: bool,
 }
 
 impl Default for PersistentTopicOptions {
@@ -111,6 +117,7 @@ impl Default for PersistentTopicOptions {
         Self {
             segment_bytes: 1 << 20,
             group_commit: GroupCommitPolicy::Off,
+            sync_appends: false,
         }
     }
 }
@@ -145,10 +152,21 @@ struct PartStage<T> {
 /// segment pair. Held by cohort leaders (and, with group flush off, by
 /// every append) — never while merely staging.
 struct PartFiles {
-    log: File,
-    idx: File,
+    log: Box<dyn VfsFile>,
+    idx: Box<dyn VfsFile>,
+    /// Path of the open `.log` (unwedge re-open and truncation).
+    log_path: PathBuf,
     /// Offset of the first record in the open segment.
     seg_base: u64,
+    /// Bytes of the open `.log` known written successfully — where an
+    /// unwedge truncates the torn tail back to.
+    log_durable: u64,
+    /// Same for the `.idx` (8 bytes per durably-written record).
+    idx_durable: u64,
+    /// Records of the open segment whose bytes (log + idx) are down —
+    /// `seg_base + durable_records` is the offset recovery would resume
+    /// at, which is what an unwedge resets the stage to.
+    durable_records: u64,
 }
 
 /// A [`Topic`] whose records live in segment files: the durable flavour
@@ -175,6 +193,9 @@ pub struct PersistentTopic<T> {
     /// by the OS on process death, so it cannot go stale.
     _lock: std::fs::File,
     dir: PathBuf,
+    /// Filesystem seam every segment byte passes through —
+    /// [`real_vfs`] in production, a fault-injecting VFS under test.
+    vfs: Arc<dyn Vfs>,
     codec: Arc<dyn RecordCodec<T>>,
     options: PersistentTopicOptions,
     duplicates: AtomicU64,
@@ -182,6 +203,7 @@ pub struct PersistentTopic<T> {
     segments_rolled: AtomicU64,
     recovered_records: AtomicU64,
     torn_tail_bytes: AtomicU64,
+    unwedges: AtomicU64,
 }
 
 impl<T> std::fmt::Debug for PersistentTopic<T> {
@@ -215,6 +237,20 @@ impl<T: Clone + Send> PersistentTopic<T> {
         codec: Arc<dyn RecordCodec<T>>,
         options: PersistentTopicOptions,
     ) -> OmResult<Self> {
+        Self::open_with_vfs(dir, name, partitions, codec, options, real_vfs())
+    }
+
+    /// [`open_with`](Self::open_with) over an explicit
+    /// [`Vfs`] — the fault-injection seam the torture harness drives a
+    /// topic through.
+    pub fn open_with_vfs(
+        dir: impl AsRef<Path>,
+        name: impl Into<String>,
+        partitions: usize,
+        codec: Arc<dyn RecordCodec<T>>,
+        options: PersistentTopicOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> OmResult<Self> {
         let dir = dir.as_ref().to_path_buf();
         let name = name.into();
         assert!(partitions > 0, "topic needs at least one partition");
@@ -230,6 +266,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
                 .collect(),
             wedged: std::sync::atomic::AtomicBool::new(false),
             _lock: lock,
+            vfs,
             codec,
             options,
             duplicates: AtomicU64::new(0),
@@ -237,6 +274,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
             segments_rolled: AtomicU64::new(0),
             recovered_records: AtomicU64::new(0),
             torn_tail_bytes: AtomicU64::new(0),
+            unwedges: AtomicU64::new(0),
             dir,
         };
         for p in 0..partitions {
@@ -308,7 +346,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
         let last_index = segments.len().wrapping_sub(1);
         let mut tail: Option<(u64, PathBuf, u64)> = None;
         for (i, (base, path)) in segments.iter().enumerate() {
-            let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+            let bytes = self.vfs.read(path).map_err(|e| io_err(path, e))?;
             let mut positions: Vec<u64> = Vec::new();
             let mut at = 0usize;
             let mut truncated = false;
@@ -339,10 +377,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
                         // Torn tail: the previous process died mid-append.
                         self.torn_tail_bytes
                             .fetch_add((bytes.len() - torn_at) as u64, Ordering::Relaxed);
-                        let f = OpenOptions::new()
-                            .write(true)
-                            .open(path)
-                            .map_err(|e| io_err(path, e))?;
+                        let mut f = self.vfs.open_write(path).map_err(|e| io_err(path, e))?;
                         f.set_len(torn_at as u64).map_err(|e| io_err(path, e))?;
                         f.sync_data().map_err(|e| io_err(path, e))?;
                         at = torn_at;
@@ -364,7 +399,9 @@ impl<T: Clone + Send> PersistentTopic<T> {
                 for pos in &positions {
                     buf.extend_from_slice(&pos.to_le_bytes());
                 }
-                fs::write(&idx_path, buf).map_err(|e| io_err(&idx_path, e))?;
+                self.vfs
+                    .write_file(&idx_path, &buf)
+                    .map_err(|e| io_err(&idx_path, e))?;
             }
             if i == last_index {
                 tail = Some((*base, path.clone(), at as u64));
@@ -374,28 +411,39 @@ impl<T: Clone + Send> PersistentTopic<T> {
             Some(t) => t,
             None => (0, pdir.join("seg-0.log"), 0),
         };
-        let log = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&log_path)
+        let log = self
+            .vfs
+            .open_append(&log_path)
             .map_err(|e| io_err(&log_path, e))?;
         let idx_path = log_path.with_extension("idx");
-        let idx = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&idx_path)
+        let idx = self
+            .vfs
+            .open_append(&idx_path)
             .map_err(|e| io_err(&idx_path, e))?;
+        if self.options.sync_appends {
+            // The open may have just created `seg-0.log`/`.idx` (fresh
+            // partition) or rewritten the index: their directory entries
+            // must survive power loss before any fsynced record in them
+            // is acknowledged — syncing bytes into a file whose name a
+            // crash can erase syncs nothing.
+            self.vfs.dir_sync(&pdir).map_err(|e| io_err(&pdir, e))?;
+        }
+        let end = self.mem.end_offset(partition);
         Ok((
             PartFiles {
                 log,
                 idx,
+                log_path,
                 seg_base,
+                log_durable: seg_len,
+                idx_durable: (end - seg_base) * 8,
+                durable_records: end - seg_base,
             },
             PartStage {
                 buf: Vec::new(),
                 idx_buf: Vec::new(),
                 staged: Vec::new(),
-                next_offset: self.mem.end_offset(partition),
+                next_offset: end,
                 seg_len,
             },
         ))
@@ -417,11 +465,11 @@ impl<T: Clone + Send> PersistentTopic<T> {
         seq: u64,
         payload: T,
     ) -> OmResult<u64> {
-        if self.wedged.load(Ordering::Relaxed) {
-            return Err(OmError::Internal(format!(
-                "persistent topic {:?}: a previous segment write failed; the log is wedged",
-                self.dir
-            )));
+        // Acquire pairs with the Release store on the failure path: an
+        // appender observing the wedge also observes the failed write
+        // that caused it.
+        if self.wedged.load(Ordering::Acquire) {
+            return Err(self.wedged_err());
         }
         let stage_lock = self
             .stages
@@ -490,14 +538,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
         }
         let frame = self.encode_frame(producer, seq, &payload)?;
         let pos = stage.seg_len;
-        let written = files
-            .log
-            .write_all(&frame)
-            .and_then(|()| files.idx.write_all(&pos.to_le_bytes()));
-        if let Err(e) = written {
-            self.wedged.store(true, Ordering::Relaxed);
-            return Err(io_err(&self.dir, e));
-        }
+        self.write_segment(&mut files, &frame, &pos.to_le_bytes())?;
         stage.seg_len += frame.len() as u64;
         self.appended_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
         let offset = self.mem.append_raw(partition, producer, seq, payload)?;
@@ -506,6 +547,51 @@ impl<T: Clone + Send> PersistentTopic<T> {
             self.roll_segment(partition, &mut files, &mut stage)?;
         }
         Ok(offset)
+    }
+
+    /// The fail-fast error every append observes while the topic is
+    /// wedged.
+    fn wedged_err(&self) -> OmError {
+        OmError::Wedged(format!(
+            "persistent topic {:?}: a segment write failed; appends fail fast until an \
+             unwedge repairs the torn tail",
+            self.dir
+        ))
+    }
+
+    /// Writes one batch of frame bytes plus its index entries to the
+    /// open segment pair (syncing the log first when
+    /// [`PersistentTopicOptions::sync_appends`] is on) and advances the
+    /// durable floors. Any failure wedges the topic: the bytes on disk
+    /// can no longer be trusted past the recorded floors.
+    fn write_segment(
+        &self,
+        files: &mut PartFiles,
+        bytes: &[u8],
+        idx_bytes: &[u8],
+    ) -> OmResult<()> {
+        let written = write_all_retry(files.log.as_mut(), bytes)
+            .and_then(|()| {
+                if self.options.sync_appends {
+                    files.log.sync_data()
+                } else {
+                    Ok(())
+                }
+            })
+            .and_then(|()| write_all_retry(files.idx.as_mut(), idx_bytes));
+        if let Err(e) = written {
+            // Release pairs with the Acquire loads on the append path.
+            self.wedged.store(true, Ordering::Release);
+            return Err(OmError::Wedged(format!(
+                "persistent topic {:?}: segment write failed ({e}); appends fail fast \
+                 until an unwedge repairs the torn tail",
+                self.dir
+            )));
+        }
+        files.log_durable += bytes.len() as u64;
+        files.idx_durable += idx_bytes.len() as u64;
+        files.durable_records += (idx_bytes.len() / 8) as u64;
+        Ok(())
     }
 
     /// `(producer ++ seq ++ codec bytes)` as one CRC frame.
@@ -528,11 +614,8 @@ impl<T: Clone + Send> PersistentTopic<T> {
     /// barrier ticket covered (`end_offset` after the mirror — tickets
     /// are `offset + 1`).
     fn flush_partition(&self, partition: usize) -> OmResult<u64> {
-        if self.wedged.load(Ordering::Relaxed) {
-            return Err(OmError::Internal(format!(
-                "persistent topic {:?}: a previous segment write failed; the log is wedged",
-                self.dir
-            )));
+        if self.wedged.load(Ordering::Acquire) {
+            return Err(self.wedged_err());
         }
         let mut files = self.parts[partition].lock();
         // Swap bytes out but LEAVE the staged records in place: a
@@ -548,17 +631,10 @@ impl<T: Clone + Send> PersistentTopic<T> {
             )
         };
         if !bytes.is_empty() {
-            let written = files
-                .log
-                .write_all(&bytes)
-                .and_then(|()| files.idx.write_all(&idx_bytes));
-            if let Err(e) = written {
-                // The staged prefix can never be mirrored now; refuse
-                // everything from here on rather than acknowledge
-                // records a torn-tail replay would drop.
-                self.wedged.store(true, Ordering::Relaxed);
-                return Err(io_err(&self.dir, e));
-            }
+            // The staged prefix can never be mirrored after a failure
+            // here; write_segment wedges so nothing acknowledges records
+            // a torn-tail replay would drop.
+            self.write_segment(&mut files, &bytes, &idx_bytes)?;
         }
         let mut stage = self.stages[partition].lock();
         for (producer, seq, payload) in stage.staged.drain(..covered) {
@@ -567,7 +643,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
                 // whose bytes are already durable; without the wedge,
                 // waiters would re-elect leaders forever over a flush
                 // that can no longer make progress.
-                self.wedged.store(true, Ordering::Relaxed);
+                self.wedged.store(true, Ordering::Release);
                 return Err(e);
             }
         }
@@ -579,17 +655,10 @@ impl<T: Clone + Send> PersistentTopic<T> {
             if !stage.buf.is_empty() {
                 let bytes = std::mem::take(&mut stage.buf);
                 let idx_bytes = std::mem::take(&mut stage.idx_buf);
-                let residual = files
-                    .log
-                    .write_all(&bytes)
-                    .and_then(|()| files.idx.write_all(&idx_bytes));
-                if let Err(e) = residual {
-                    self.wedged.store(true, Ordering::Relaxed);
-                    return Err(io_err(&self.dir, e));
-                }
+                self.write_segment(&mut files, &bytes, &idx_bytes)?;
                 for (producer, seq, payload) in stage.staged.drain(..) {
                     if let Err(e) = self.mem.append_raw(partition, producer, seq, payload) {
-                        self.wedged.store(true, Ordering::Relaxed);
+                        self.wedged.store(true, Ordering::Release);
                         return Err(e);
                     }
                 }
@@ -625,21 +694,29 @@ impl<T: Clone + Send> PersistentTopic<T> {
     ) -> OmResult<()> {
         debug_assert!(stage.buf.is_empty(), "roll with staged bytes would split a segment");
         let base = self.mem.end_offset(partition);
-        let log_path = self.part_dir(partition).join(format!("seg-{base}.log"));
+        let pdir = self.part_dir(partition);
+        let log_path = pdir.join(format!("seg-{base}.log"));
         let idx_path = log_path.with_extension("idx");
-        let log = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&log_path)
+        let log = self
+            .vfs
+            .open_append(&log_path)
             .map_err(|e| io_err(&log_path, e))?;
-        let idx = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&idx_path)
+        let idx = self
+            .vfs
+            .open_append(&idx_path)
             .map_err(|e| io_err(&idx_path, e))?;
+        if self.options.sync_appends {
+            // The new segment's directory entry must survive a crash
+            // before anything written into it is considered durable.
+            self.vfs.dir_sync(&pdir).map_err(|e| io_err(&pdir, e))?;
+        }
         files.log = log;
         files.idx = idx;
+        files.log_path = log_path;
         files.seg_base = base;
+        files.log_durable = 0;
+        files.idx_durable = 0;
+        files.durable_records = 0;
         stage.seg_len = 0;
         self.segments_rolled.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -668,7 +745,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
                 break;
             }
             let idx_path = path.with_extension("idx");
-            let idx_bytes = fs::read(&idx_path).map_err(|e| io_err(&idx_path, e))?;
+            let idx_bytes = self.vfs.read(&idx_path).map_err(|e| io_err(&idx_path, e))?;
             let count = (idx_bytes.len() / 8) as u64;
             // A later segment starts where this one ends; skip segments
             // fully below the requested offset.
@@ -681,7 +758,7 @@ impl<T: Clone + Send> PersistentTopic<T> {
             }
             let start_pos =
                 u64::from_le_bytes(idx_bytes[((cursor - base) * 8) as usize..][..8].try_into().unwrap());
-            let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+            let bytes = self.vfs.read(path).map_err(|e| io_err(path, e))?;
             let mut at = start_pos as usize;
             while out.len() < max {
                 match parse_frame(&bytes, at) {
@@ -706,6 +783,122 @@ impl<T: Clone + Send> PersistentTopic<T> {
         Ok(out)
     }
 
+    /// Whether the topic is wedged: a segment write failed and every
+    /// further append fails fast with
+    /// [`OmError::Wedged`] until [`PersistentTopic::unwedge`] repairs
+    /// the torn tail.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.load(Ordering::Acquire)
+    }
+
+    /// Repairs a wedged topic in place: per partition, the staged
+    /// (never-acknowledged) records are dropped, the open segment pair
+    /// is truncated back to the byte floor that exactly matches the
+    /// in-memory mirror, the kept prefix is verified to parse, and the
+    /// append handles are re-opened. Returns the total torn log bytes
+    /// dropped; acknowledged records are never touched (their bytes sit
+    /// below the floors by construction). A healthy topic returns
+    /// `Ok(0)` untouched. If verification fails the topic stays wedged
+    /// and an `Internal` error reports why.
+    pub fn unwedge(&self) -> OmResult<u64> {
+        let mut torn_total = 0u64;
+        if !self.wedged.load(Ordering::Acquire) {
+            return Ok(0);
+        }
+        for partition in 0..self.parts.len() {
+            let mut files = self.parts[partition].lock();
+            let mut stage = self.stages[partition].lock();
+            // Every assigned ticket ≤ next_offset either was released
+            // (its record is mirrored) or belongs to a staged record we
+            // are about to drop: fail those waiters out instead of
+            // leaving them parked behind a stage that will never flush.
+            self.groups[partition].abort_below(stage.next_offset);
+            // Truncate back to what the mirror holds: a durable surplus
+            // the leader never mirrored (its flush failed midway) was
+            // never acknowledged either, so it goes with the torn tail.
+            let mirrored = self.mem.end_offset(partition) - files.seg_base;
+            let idx_path = files.log_path.with_extension("idx");
+            let log_target = if mirrored < files.durable_records {
+                let idx_bytes = self.vfs.read(&idx_path).map_err(|e| io_err(&idx_path, e))?;
+                u64::from_le_bytes(
+                    idx_bytes[(mirrored * 8) as usize..][..8]
+                        .try_into()
+                        .map_err(|_| corrupt(&idx_path, (mirrored * 8) as usize))?,
+                )
+            } else {
+                files.log_durable
+            };
+            let on_disk = self
+                .vfs
+                .read(&files.log_path)
+                .map_err(|e| io_err(&files.log_path, e))?;
+            // Verify the kept prefix parses to exactly the mirrored
+            // records before truncating anything — if it does not, the
+            // damage reaches acknowledged bytes and dropping the tail
+            // would silently lose acked records: stay wedged.
+            let kept = &on_disk[..(log_target as usize).min(on_disk.len())];
+            let mut at = 0usize;
+            let mut frames = 0u64;
+            loop {
+                match parse_frame(kept, at) {
+                    Ok(Some((_, next))) => {
+                        frames += 1;
+                        at = next;
+                    }
+                    Ok(None) if at == kept.len() && frames == mirrored => break,
+                    _ => {
+                        return Err(OmError::Internal(format!(
+                            "unwedge verification failed for {:?}: kept prefix of {} bytes \
+                             holds {frames} records where {mirrored} acknowledged records \
+                             were expected; the topic stays wedged",
+                            files.log_path,
+                            kept.len(),
+                        )));
+                    }
+                }
+            }
+            torn_total += on_disk.len() as u64 - log_target;
+            let mut f = self
+                .vfs
+                .open_write(&files.log_path)
+                .map_err(|e| io_err(&files.log_path, e))?;
+            f.set_len(log_target).map_err(|e| io_err(&files.log_path, e))?;
+            f.sync_data().map_err(|e| io_err(&files.log_path, e))?;
+            drop(f);
+            let mut f = self
+                .vfs
+                .open_write(&idx_path)
+                .map_err(|e| io_err(&idx_path, e))?;
+            f.set_len(mirrored * 8).map_err(|e| io_err(&idx_path, e))?;
+            f.sync_data().map_err(|e| io_err(&idx_path, e))?;
+            drop(f);
+            files.log = self
+                .vfs
+                .open_append(&files.log_path)
+                .map_err(|e| io_err(&files.log_path, e))?;
+            files.idx = self
+                .vfs
+                .open_append(&idx_path)
+                .map_err(|e| io_err(&idx_path, e))?;
+            files.log_durable = log_target;
+            files.idx_durable = mirrored * 8;
+            files.durable_records = mirrored;
+            stage.buf.clear();
+            stage.idx_buf.clear();
+            stage.staged.clear();
+            stage.seg_len = log_target;
+            stage.next_offset = self.mem.end_offset(partition);
+            // Offsets are dense, so the dropped records' offsets (and
+            // with them their barrier tickets) are handed out again:
+            // drain the failed waiters and rewind the barrier to the
+            // mirror's end before any such reuse.
+            self.groups[partition].reset_after_abort(self.mem.end_offset(partition));
+        }
+        self.unwedges.fetch_add(1, Ordering::Relaxed);
+        self.wedged.store(false, Ordering::Release);
+        Ok(torn_total)
+    }
+
     /// Durability/diagnostic counters of this topic.
     pub fn counters(&self) -> BTreeMap<String, u64> {
         let mut out = BTreeMap::new();
@@ -723,6 +916,8 @@ impl<T: Clone + Send> PersistentTopic<T> {
             self.segments_rolled.load(Ordering::Relaxed),
         );
         out.insert("log.duplicates".into(), self.duplicates.load(Ordering::Relaxed));
+        out.insert("log.wedged".into(), u64::from(self.is_wedged()));
+        out.insert("log.unwedges".into(), self.unwedges.load(Ordering::Relaxed));
         let (flushes, released, max_cohort) = self.group_flush_stats();
         out.insert("log.group_flushes".into(), flushes);
         out.insert("log.group_records".into(), released);
@@ -980,6 +1175,76 @@ mod tests {
             PersistentTopic::open_with(&dir, "t", 1, Arc::new(SerdeCodec), opts).unwrap();
         assert_eq!(EventLog::len(&t), 100);
         assert_eq!(t.counters()["log.recovered_records"], 100);
+    }
+
+    #[test]
+    fn sync_failure_wedges_and_unwedge_repairs_in_place() {
+        let dir = scratch("wedge");
+        let _guard = DirGuard(dir.clone());
+        let fault = om_storage::FaultVfs::new(7).fail_nth_sync(2);
+        let opts = PersistentTopicOptions {
+            sync_appends: true,
+            ..Default::default()
+        };
+        let t: PersistentTopic<u64> = PersistentTopic::open_with_vfs(
+            &dir,
+            "t",
+            1,
+            Arc::new(SerdeCodec),
+            opts,
+            Arc::new(fault.clone()),
+        )
+        .unwrap();
+        t.append_raw(0, 1, 1, 11).unwrap();
+        // The second fsync is injected to fail: the append errors with
+        // the typed wedge and every later append fails fast.
+        let err = t.append_raw(0, 1, 2, 22).unwrap_err();
+        assert_eq!(err.label(), "wedged");
+        assert!(t.is_wedged());
+        assert_eq!(t.append_raw(0, 1, 3, 33).unwrap_err().label(), "wedged");
+        assert_eq!(t.counters()["log.wedged"], 1);
+        // Repair: the unsynced frame of record 2 is the torn tail.
+        let torn = t.unwedge().unwrap();
+        assert!(torn > 0, "the failed append left bytes to truncate");
+        assert!(!t.is_wedged());
+        assert_eq!(t.unwedge().unwrap(), 0, "idempotent on a healthy topic");
+        // The topic accepts appends again and a cold reopen sees exactly
+        // the acknowledged records — no torn tail left behind.
+        t.append_raw(0, 1, 4, 44).unwrap();
+        assert_eq!(t.counters()["log.unwedges"], 1);
+        drop(t);
+        let t: PersistentTopic<u64> =
+            PersistentTopic::open_with(&dir, "t", 1, Arc::new(SerdeCodec), opts).unwrap();
+        let payloads: Vec<u64> = t.read_from(0, 0, 10).iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![11, 44]);
+        assert_eq!(t.counters()["log.torn_tail_bytes"], 0);
+    }
+
+    #[test]
+    fn grouped_write_failure_wedges_and_unwedge_recovers() {
+        let dir = scratch("wedge-group");
+        let _guard = DirGuard(dir.clone());
+        let fault = om_storage::FaultVfs::new(11).fail_nth_sync(2);
+        let opts = PersistentTopicOptions {
+            group_commit: GroupCommitPolicy::Fixed(0),
+            sync_appends: true,
+            ..Default::default()
+        };
+        let t: PersistentTopic<u64> = PersistentTopic::open_with_vfs(
+            &dir,
+            "t",
+            1,
+            Arc::new(SerdeCodec),
+            opts,
+            Arc::new(fault.clone()),
+        )
+        .unwrap();
+        t.append_raw(0, 1, 1, 5).unwrap();
+        assert_eq!(t.append_raw(0, 1, 2, 6).unwrap_err().label(), "wedged");
+        assert!(t.unwedge().unwrap() > 0);
+        t.append_raw(0, 1, 3, 7).unwrap();
+        let payloads: Vec<u64> = t.read_from(0, 0, 10).iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![5, 7]);
     }
 
     #[test]

@@ -122,6 +122,21 @@ pub struct RecoveryOutcome {
     pub replayed_ingress: u64,
 }
 
+/// Outcome of an in-place wedged-store repair
+/// ([`MarketplacePlatform::unwedge`]): what the repair dropped and where
+/// the store stands now.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnwedgeOutcome {
+    /// Whether the store was actually wedged when the repair ran (a
+    /// repair on a healthy store is a no-op and reports `false`).
+    pub was_wedged: bool,
+    /// Torn (unacknowledged) tail bytes truncated by the repair. Always
+    /// bytes that were never acknowledged to any client.
+    pub torn_bytes_dropped: u64,
+    /// Whether the store accepts commits again after the repair.
+    pub healthy: bool,
+}
+
 /// The uniform platform interface (one impl per paper binding).
 ///
 /// All five workload transactions plus ingestion, quiescing and state
@@ -190,6 +205,26 @@ pub trait MarketplacePlatform: Send + Sync {
     /// what it was before (no committed work lost, no drill side
     /// effects).
     fn crash_and_recover(&self) -> Option<RecoveryOutcome> {
+        None
+    }
+
+    /// Whether the platform's durable store is **wedged** — a storage
+    /// fault left it rejecting every commit with
+    /// [`OmError::Wedged`](om_common::OmError::Wedged) until repaired.
+    /// Always `false` on memory-only platforms.
+    fn is_wedged(&self) -> bool {
+        false
+    }
+
+    /// Repairs a wedged durable store in place: close, truncate the torn
+    /// (never-acknowledged) tail, re-open, verify. Returns `None` on
+    /// platforms without a wedge concept — the default — and
+    /// `Some(Err(_))` when the repair failed and the store stays wedged.
+    ///
+    /// The repair must be safe under live traffic: concurrent commits
+    /// observe either the wedged error or the healthy store, never a
+    /// half-repaired file.
+    fn unwedge(&self) -> Option<OmResult<UnwedgeOutcome>> {
         None
     }
 }

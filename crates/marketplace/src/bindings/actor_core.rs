@@ -207,6 +207,18 @@ impl ActorCore {
         TransactionId(self.tids.next_raw())
     }
 
+    /// Whether the grain-snapshot backend is wedged (rejecting commits
+    /// after a durable-write failure).
+    pub fn storage_is_wedged(&self) -> bool {
+        self.cluster.storage().backend().is_wedged()
+    }
+
+    /// Repairs a wedged grain-snapshot backend in place; `None` when the
+    /// backend has no wedge concept (the memory disciplines).
+    pub fn storage_unwedge(&self) -> Option<OmResult<u64>> {
+        self.cluster.storage().backend().unwedge()
+    }
+
     // ---- ingestion ------------------------------------------------------
 
     pub fn ingest_seller(&self, seller: Seller) -> OmResult<()> {

@@ -279,8 +279,7 @@ impl CustomizedPlatform {
     fn write_replica(&self, product: ProductId, replica: &ProductReplica) -> OmResult<()> {
         let raw = om_common::codec::to_bytes(replica)
             .map_err(|e| OmError::Internal(format!("encode replica: {e}")))?;
-        self.backend.put(&replica_key(product), &raw);
-        Ok(())
+        self.backend.try_put(&replica_key(product), &raw)
     }
 }
 
@@ -293,12 +292,25 @@ impl MarketplacePlatform for CustomizedPlatform {
         Some(self.inner.core().backend)
     }
 
+    fn is_wedged(&self) -> bool {
+        self.backend.is_wedged()
+    }
+
+    fn unwedge(&self) -> Option<OmResult<crate::api::UnwedgeOutcome>> {
+        let was_wedged = self.backend.is_wedged();
+        let repair = self.backend.unwedge()?;
+        Some(repair.map(|torn| crate::api::UnwedgeOutcome {
+            was_wedged,
+            torn_bytes_dropped: torn,
+            healthy: !self.backend.is_wedged(),
+        }))
+    }
+
     fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
         let id = seller.id;
         self.inner.ingest_seller(seller)?;
         // Seed the aggregate row so dashboards never miss.
-        self.backend.put(&agg_key(id), &encode_agg(0, 0));
-        Ok(())
+        self.backend.try_put(&agg_key(id), &encode_agg(0, 0))
     }
 
     fn ingest_customer(&self, customer: Customer) -> OmResult<()> {

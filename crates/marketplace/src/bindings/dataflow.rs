@@ -292,6 +292,26 @@ pub fn persistent_ingress_with(
     )?))
 }
 
+/// [`persistent_ingress_with`] over an explicit
+/// [`om_storage::vfs::Vfs`] — the fault-injection seam: the torture
+/// harness records (or faults) every byte the ingress log writes, the
+/// same way it drives the state backend's WAL and snapshots.
+pub fn persistent_ingress_with_vfs(
+    dir: impl AsRef<std::path::Path>,
+    partitions: usize,
+    options: om_log::PersistentTopicOptions,
+    vfs: Arc<dyn om_storage::vfs::Vfs>,
+) -> OmResult<Arc<om_log::PersistentTopic<(Address, DfMsg)>>> {
+    Ok(Arc::new(om_log::PersistentTopic::open_with_vfs(
+        dir,
+        "ingress",
+        partitions,
+        Arc::new(DfRecordCodec),
+        options,
+        vfs,
+    )?))
+}
+
 /// Builds the marketplace dataflow topology. A `store` holding a
 /// committed checkpoint makes this a **restart**: the topology resumes
 /// from the last committed epoch (paired with `ingress`, in-flight
@@ -1219,6 +1239,21 @@ impl MarketplacePlatform for DataflowPlatform {
     /// durable; `None` with the in-memory store (runtime-native state).
     fn backend(&self) -> Option<om_common::config::BackendKind> {
         self.df.checkpoint_store().backend_kind()
+    }
+
+    fn is_wedged(&self) -> bool {
+        self.df.checkpoint_store().is_wedged()
+    }
+
+    fn unwedge(&self) -> Option<OmResult<crate::api::UnwedgeOutcome>> {
+        let store = self.df.checkpoint_store();
+        let was_wedged = store.is_wedged();
+        let repair = store.unwedge()?;
+        Some(repair.map(|torn| crate::api::UnwedgeOutcome {
+            was_wedged,
+            torn_bytes_dropped: torn,
+            healthy: !store.is_wedged(),
+        }))
     }
 
     fn ingest_seller(&self, seller: Seller) -> OmResult<()> {

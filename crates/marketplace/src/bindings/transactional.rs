@@ -346,6 +346,20 @@ impl MarketplacePlatform for TransactionalPlatform {
         Some(self.core.backend)
     }
 
+    fn is_wedged(&self) -> bool {
+        self.core.storage_is_wedged()
+    }
+
+    fn unwedge(&self) -> Option<OmResult<crate::api::UnwedgeOutcome>> {
+        let was_wedged = self.core.storage_is_wedged();
+        let repair = self.core.storage_unwedge()?;
+        Some(repair.map(|torn| crate::api::UnwedgeOutcome {
+            was_wedged,
+            torn_bytes_dropped: torn,
+            healthy: !self.core.storage_is_wedged(),
+        }))
+    }
+
     fn ingest_seller(&self, seller: Seller) -> OmResult<()> {
         self.core.ingest_seller(seller)
     }

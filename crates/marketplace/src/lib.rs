@@ -25,6 +25,7 @@ pub mod factory;
 
 pub use api::{
     CheckoutOutcome, CheckoutRequest, MarketSnapshot, MarketplacePlatform, PlatformKind,
+    UnwedgeOutcome,
 };
 pub use factory::{build_platform, PlatformSpec};
 pub use bindings::{

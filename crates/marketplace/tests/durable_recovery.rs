@@ -151,7 +151,11 @@ fn dataflow_platform_rebuilds_cold_from_data_dir_alone() {
 #[test]
 fn actor_platforms_rebuild_catalog_and_entity_state_cold_from_data_dir_alone() {
     const CHECKOUTS: u64 = 8;
-    for kind in [PlatformKind::Eventual, PlatformKind::Transactional] {
+    for kind in [
+        PlatformKind::Eventual,
+        PlatformKind::Transactional,
+        PlatformKind::Customized,
+    ] {
         let dir = scratch("actor-catalog");
         let _guard = DirGuard(dir.clone());
         let spec = PlatformSpec::new(kind, BackendKind::FileDurable)

@@ -139,10 +139,47 @@ pub trait StateBackend: Send + Sync {
     fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
 
     /// Single-key write, immediately visible to [`StateBackend::get`].
+    /// Panics if the store cannot honour it (a wedged durable store) —
+    /// production write paths that must survive storage faults use
+    /// [`StateBackend::try_put`] instead.
     fn put(&self, key: &[u8], value: &[u8]);
 
-    /// Single-key delete.
+    /// Single-key delete. Panics like [`StateBackend::put`] on a store
+    /// that cannot honour it.
     fn delete(&self, key: &[u8]);
+
+    /// Fallible single-key write: identical visibility semantics to
+    /// [`StateBackend::put`], but a store that cannot accept writes (a
+    /// wedged [`FileDurable`](BackendKind::FileDurable) store) returns
+    /// the typed error instead of panicking, so callers can shed or
+    /// retry. The memory backends never fail.
+    fn try_put(&self, key: &[u8], value: &[u8]) -> OmResult<()> {
+        self.put(key, value);
+        Ok(())
+    }
+
+    /// Fallible single-key delete — see [`StateBackend::try_put`].
+    fn try_delete(&self, key: &[u8]) -> OmResult<()> {
+        self.delete(key);
+        Ok(())
+    }
+
+    /// Whether the store is **wedged**: a durable-write failure left it
+    /// unable to accept commits, and every write fails fast with
+    /// [`om_common::OmError::Wedged`] until [`StateBackend::unwedge`]
+    /// repairs it. Memory backends are never wedged.
+    fn is_wedged(&self) -> bool {
+        false
+    }
+
+    /// Repairs a wedged store in place (close, truncate the torn tail,
+    /// re-open, verify), returning the torn bytes dropped. `None` means
+    /// the backend has no wedge concept (the memory disciplines);
+    /// `Some(Err(_))` means the repair itself failed and the store is
+    /// still wedged.
+    fn unwedge(&self) -> Option<OmResult<u64>> {
+        None
+    }
 
     /// Multi-key read. The snapshot backend serves all keys from one
     /// snapshot; the eventual backend reads each key independently, so a

@@ -70,15 +70,16 @@ use crate::backend::{shard_of, StateBackend, StateSession, WriteBatch, WriteOp};
 use crate::delta_index::{DeltaIndex, PartBuild};
 use crate::group_commit::{ChainState, CommitGroup, SegmentFile, StagedBatch, StagedWal};
 use crate::shards_pow2;
+use crate::vfs::{real_vfs, write_all_retry, Vfs};
 use om_common::checksum::{parse_frame, push_frame};
 use om_common::config::{BackendKind, DurableOptions, GroupCommitPolicy, SnapshotMode};
 use om_common::{OmError, OmResult};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::fs::{self, File};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Tuning knobs of a [`FileBackend`].
 #[derive(Debug, Clone, Copy)]
@@ -457,6 +458,10 @@ struct Shard {
 pub struct FileBackend {
     dir: PathBuf,
     options: FileBackendOptions,
+    /// The filesystem seam every byte of this store flows through:
+    /// [`crate::vfs::RealVfs`] in production, a fault injector in the
+    /// torture harness.
+    vfs: Arc<dyn Vfs>,
     /// Power-of-two in-memory mirror of the on-disk state (the read
     /// path); rebuilt from snapshots + WAL on open.
     shards: Vec<RwLock<Shard>>,
@@ -495,6 +500,7 @@ pub struct FileBackend {
     segments_rolled: AtomicU64,
     recovered_commits: AtomicU64,
     torn_tail_bytes: AtomicU64,
+    unwedges: AtomicU64,
     maintenance_errors: AtomicU64,
     indexes_written: AtomicU64,
     index_rebuilds: AtomicU64,
@@ -506,7 +512,19 @@ impl FileBackend {
     /// delta chain + WAL replay + torn-tail truncation. The directory
     /// is created if absent and is **kept** on drop.
     pub fn open(dir: impl AsRef<Path>, options: FileBackendOptions) -> OmResult<Self> {
-        Self::build(dir.as_ref().to_path_buf(), options, false)
+        Self::build(dir.as_ref().to_path_buf(), options, false, real_vfs())
+    }
+
+    /// [`open`](Self::open) with an explicit [`Vfs`] — the fault
+    /// injection seam: the torture harness passes a
+    /// [`crate::vfs::FaultVfs`] here and every byte the store writes,
+    /// syncs, renames or replays flows through it.
+    pub fn open_with_vfs(
+        dir: impl AsRef<Path>,
+        options: FileBackendOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> OmResult<Self> {
+        Self::build(dir.as_ref().to_path_buf(), options, false, vfs)
     }
 
     /// A store in a fresh scratch directory under the system temp dir,
@@ -534,10 +552,15 @@ impl FileBackend {
             nonce,
             SCRATCH.fetch_add(1, Ordering::Relaxed),
         ));
-        Self::build(dir, options, true)
+        Self::build(dir, options, true, real_vfs())
     }
 
-    fn build(dir: PathBuf, options: FileBackendOptions, owns_dir: bool) -> OmResult<Self> {
+    fn build(
+        dir: PathBuf,
+        options: FileBackendOptions,
+        owns_dir: bool,
+        vfs: Arc<dyn Vfs>,
+    ) -> OmResult<Self> {
         fn io(dir: &Path, e: std::io::Error) -> OmError {
             OmError::Internal(format!("file backend {dir:?}: {e}"))
         }
@@ -548,11 +571,7 @@ impl FileBackend {
         // decided which segment to continue appending to; the scratch
         // file is removed there).
         let bootstrap = dir.join("wal").join(".bootstrap");
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&bootstrap)
-            .map_err(|e| io(&dir, e))?;
+        let file = vfs.open_append(&bootstrap).map_err(|e| io(&dir, e))?;
         let shard_count = shards_pow2(options.shards);
         let mut backend = Self {
             shards: (0..shard_count).map(|_| RwLock::new(Shard::default())).collect(),
@@ -567,6 +586,7 @@ impl FileBackend {
             flusher: Mutex::new(SegmentFile {
                 file,
                 path: bootstrap,
+                durable_len: 0,
                 chain: ChainState::default(),
             }),
             group: CommitGroup::with_policy(options.group_commit),
@@ -576,6 +596,7 @@ impl FileBackend {
             owns_dir,
             dir,
             options,
+            vfs,
             commits: AtomicU64::new(0),
             wal_bytes: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
@@ -585,6 +606,7 @@ impl FileBackend {
             segments_rolled: AtomicU64::new(0),
             recovered_commits: AtomicU64::new(0),
             torn_tail_bytes: AtomicU64::new(0),
+            unwedges: AtomicU64::new(0),
             maintenance_errors: AtomicU64::new(0),
             indexes_written: AtomicU64::new(0),
             index_rebuilds: AtomicU64::new(0),
@@ -645,7 +667,7 @@ impl FileBackend {
             if *seq <= base_seq {
                 // Superseded by the base; leftover of a crash between
                 // rename and prune.
-                remove_with_index(path);
+                remove_with_index(self.vfs.as_ref(), path);
                 continue;
             }
             let size = self.load_chain_file(path, false, *seq, threads)?;
@@ -669,7 +691,7 @@ impl FileBackend {
     ) -> OmResult<u64> {
         let corrupt =
             || OmError::Internal(format!("file backend {:?}: snapshot {path:?} is corrupt", self.dir));
-        let bytes = fs::read(path).map_err(|e| self.io_err(e))?;
+        let bytes = self.vfs.read(path).map_err(|e| self.io_err(e))?;
         let (header, body_start) = parse_snap_header(&bytes).ok_or_else(corrupt)?;
         if header.is_base != expect_base || header.seq != expect_seq {
             return Err(corrupt());
@@ -730,7 +752,9 @@ impl FileBackend {
             }
         }
         let idx_path = path.with_extension("idx");
-        let need_rebuild = !fs::read(&idx_path)
+        let need_rebuild = !self
+            .vfs
+            .read(&idx_path)
             .ok()
             .and_then(|b| DeltaIndex::decode(&b))
             .is_some_and(|idx| {
@@ -841,7 +865,7 @@ impl FileBackend {
         let last_index = segments.len().wrapping_sub(1);
         let mut tail: Option<(PathBuf, u64)> = None;
         for (i, (_, path)) in segments.iter().enumerate() {
-            let bytes = fs::read(path).map_err(|e| self.io_err(e))?;
+            let bytes = self.vfs.read(path).map_err(|e| self.io_err(e))?;
             let mut at = 0usize;
             loop {
                 match parse_frame(&bytes, at) {
@@ -888,10 +912,7 @@ impl FileBackend {
                         // drop the rest.
                         self.torn_tail_bytes
                             .fetch_add((bytes.len() - torn_at) as u64, Ordering::Relaxed);
-                        let f = OpenOptions::new()
-                            .write(true)
-                            .open(path)
-                            .map_err(|e| self.io_err(e))?;
+                        let mut f = self.vfs.open_write(path).map_err(|e| self.io_err(e))?;
                         f.set_len(torn_at as u64).map_err(|e| self.io_err(e))?;
                         f.sync_data().map_err(|e| self.io_err(e))?;
                         at = torn_at;
@@ -909,15 +930,14 @@ impl FileBackend {
             Some(t) => t,
             None => (self.dir.join("wal").join(format!("wal-{}.log", last_seq + 1)), 0),
         };
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&seg_path)
-            .map_err(|e| self.io_err(e))?;
+        let file = self.vfs.open_append(&seg_path).map_err(|e| self.io_err(e))?;
         {
             let fl = self.flusher.get_mut();
             fl.file = file;
             fl.path = seg_path;
+            // Everything up to the validated tail position survived the
+            // parse — the truncate point a later unwedge rolls back to.
+            fl.durable_len = seg_len;
         }
         if self.options.sync_commits {
             // The tail segment may have just been created; its directory
@@ -935,18 +955,27 @@ impl FileBackend {
         // the floor the first flush would count the whole recovered
         // history as one cohort and wreck commits_per_sync.
         self.group.reset_floor(last_seq);
-        let _ = fs::remove_file(self.dir.join("wal").join(".bootstrap"));
+        let _ = self.vfs.remove_file(&self.dir.join("wal").join(".bootstrap"));
         Ok(())
     }
 
     // -- commit path -------------------------------------------------------
 
+    /// The typed fail-fast error of a wedged store. `Acquire` pairs
+    /// with the `Release` in [`write_staged`](Self::write_staged): a
+    /// committer that observes the flag also observes the failed write
+    /// that set it, so it can never ack past a concurrent failure.
+    fn wedged_err(&self) -> OmError {
+        OmError::Wedged(format!(
+            "file backend {:?}: a WAL write failed; commits fail fast until an \
+             unwedge repairs the torn tail",
+            self.dir
+        ))
+    }
+
     fn commit_durable(&self, ops: &[WriteOp]) -> OmResult<usize> {
-        if self.wedged.load(Ordering::Relaxed) {
-            return Err(OmError::Internal(format!(
-                "file backend {:?}: a previous WAL write failed; the store is wedged",
-                self.dir
-            )));
+        if self.wedged.load(Ordering::Acquire) {
+            return Err(self.wedged_err());
         }
         if self.options.group_commit.is_grouped() {
             self.commit_grouped(ops)
@@ -986,11 +1015,8 @@ impl FileBackend {
         // A prior leader's write failed: its cohort's staged batches are
         // gone, so a fresh leader seeing an empty stage must not release
         // those waiters as successful. Fail every re-elected leader.
-        if self.wedged.load(Ordering::Relaxed) {
-            return Err(OmError::Internal(format!(
-                "file backend {:?}: a previous WAL write failed; the store is wedged",
-                self.dir
-            )));
+        if self.wedged.load(Ordering::Acquire) {
+            return Err(self.wedged_err());
         }
         let mut fl = self.flusher.lock();
         let (bytes, pending, mut upto) = self.appender.lock().take();
@@ -1014,20 +1040,26 @@ impl FileBackend {
         pending: Vec<StagedBatch>,
     ) -> OmResult<()> {
         if !bytes.is_empty() {
-            let written = fl
-                .file
-                .write_all(bytes)
-                .and_then(|()| {
-                    if self.options.sync_commits {
-                        fl.file.sync_data()
-                    } else {
-                        Ok(())
-                    }
-                });
+            let written = write_all_retry(fl.file.as_mut(), bytes).and_then(|()| {
+                if self.options.sync_commits {
+                    fl.file.sync_data()
+                } else {
+                    Ok(())
+                }
+            });
             if let Err(e) = written {
-                self.wedged.store(true, Ordering::Relaxed);
-                return Err(self.io_err(e));
+                // `Release` pairs with the `Acquire` loads on the
+                // commit path: any committer that observes the flag
+                // also observes this failed write, so a racing
+                // committer can never acknowledge past it.
+                self.wedged.store(true, Ordering::Release);
+                return Err(OmError::Wedged(format!(
+                    "file backend {:?}: WAL write failed ({e}); the store is wedged \
+                     until an unwedge repairs the torn tail",
+                    self.dir
+                )));
             }
+            fl.durable_len += bytes.len() as u64;
         }
         if !pending.is_empty() {
             let _gate = self.multi.write();
@@ -1135,13 +1167,10 @@ impl FileBackend {
             .dir
             .join("wal")
             .join(format!("wal-{}.log", ap.next_seq));
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| self.io_err(e))?;
+        let file = self.vfs.open_append(&path).map_err(|e| self.io_err(e))?;
         fl.file = file;
         fl.path = path;
+        fl.durable_len = 0;
         ap.seg_len = 0;
         if self.options.sync_commits {
             // Make the new segment's directory entry durable: fsyncing
@@ -1159,11 +1188,11 @@ impl FileBackend {
     /// could undo the (metadata-only) rename while the unlinks survive,
     /// leaving the pruned commits in neither the chain nor the WAL.
     fn persist_snapshot_file(&self, tmp: &Path, fin: &Path, out: &[u8]) -> OmResult<u64> {
-        let mut f = File::create(tmp).map_err(|e| self.io_err(e))?;
-        f.write_all(out).map_err(|e| self.io_err(e))?;
+        let mut f = self.vfs.create(tmp).map_err(|e| self.io_err(e))?;
+        write_all_retry(f.as_mut(), out).map_err(|e| self.io_err(e))?;
         f.sync_data().map_err(|e| self.io_err(e))?;
         drop(f);
-        fs::rename(tmp, fin).map_err(|e| self.io_err(e))?;
+        self.vfs.rename(tmp, fin).map_err(|e| self.io_err(e))?;
         self.sync_dir("snap")?;
         Ok(out.len() as u64)
     }
@@ -1171,8 +1200,8 @@ impl FileBackend {
     /// Fsyncs one of the store's subdirectories, making renames,
     /// creations and unlinks inside it durable against power loss.
     fn sync_dir(&self, sub: &str) -> OmResult<()> {
-        File::open(self.dir.join(sub))
-            .and_then(|d| d.sync_all())
+        self.vfs
+            .dir_sync(&self.dir.join(sub))
             .map_err(|e| self.io_err(e))
     }
 
@@ -1186,7 +1215,7 @@ impl FileBackend {
             let (_, ref path) = window[0];
             let (next_first, _) = window[1];
             if next_first <= seq + 1 {
-                let _ = fs::remove_file(path);
+                let _ = self.vfs.remove_file(path);
                 pruned = true;
             }
         }
@@ -1309,12 +1338,12 @@ impl FileBackend {
         // index sidecars, and covered WAL segments.
         for (s, path) in self.sorted_files("snap", "snap-", ".snap")? {
             if s < seq {
-                remove_with_index(&path);
+                remove_with_index(self.vfs.as_ref(), &path);
             }
         }
         for (s, path) in self.sorted_files("snap", "delta-", ".delta")? {
             if s <= seq {
-                remove_with_index(&path);
+                remove_with_index(self.vfs.as_ref(), &path);
             }
         }
         self.roll_segment_locked(fl, ap)?;
@@ -1363,13 +1392,96 @@ impl FileBackend {
     pub fn group_stats(&self) -> crate::group_commit::CommitGroupStats {
         self.group.stats()
     }
+
+    /// Whether a WAL write failure has wedged this store (every commit
+    /// fails fast with [`OmError::Wedged`] until
+    /// [`unwedge`](Self::unwedge) repairs it).
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.load(Ordering::Acquire)
+    }
+
+    /// Repairs a wedged store in place: close the segment handle,
+    /// truncate the torn tail back to the last successfully-written
+    /// byte, re-open, verify the tail parses cleanly, and clear the
+    /// wedge so commits flow again. Returns the torn bytes dropped
+    /// (`0` if the store was not wedged — the call is an idempotent
+    /// no-op then).
+    ///
+    /// The staged frames of the failed cohort (and anything staged
+    /// behind it) are discarded: their committers were never
+    /// acknowledged — the barrier fails any still-parked waiter via
+    /// [`CommitGroup::abort_below`] — and the in-memory mirror never
+    /// applied them, so disk and memory land on exactly the last acked
+    /// commit. Commit sequences keep counting from where they were;
+    /// recovery tolerates the gap (it applies only frames above the
+    /// last covered sequence).
+    ///
+    /// If the repair itself fails (the device is still refusing IO)
+    /// the store stays wedged and the error is returned; the call can
+    /// be retried.
+    pub fn unwedge(&self) -> OmResult<u64> {
+        let mut fl = self.flusher.lock();
+        let mut ap = self.appender.lock();
+        if !self.wedged.load(Ordering::Acquire) {
+            return Ok(0);
+        }
+        // Drop every staged frame: none of them was acknowledged, and
+        // replaying them without their committers waiting would apply
+        // writes nobody owns. The barrier must fail their waiters —
+        // both locks are held, so no new ticket at or below the bound
+        // can appear.
+        ap.buf.clear();
+        ap.pending.clear();
+        self.group.abort_below(ap.next_seq - 1);
+        // Close, truncate the torn tail, re-open, verify.
+        let on_disk = self.vfs.read(&fl.path).map_err(|e| self.io_err(e))?;
+        let torn = (on_disk.len() as u64).saturating_sub(fl.durable_len);
+        {
+            let mut h = self.vfs.open_write(&fl.path).map_err(|e| self.io_err(e))?;
+            h.set_len(fl.durable_len).map_err(|e| self.io_err(e))?;
+            h.sync_data().map_err(|e| self.io_err(e))?;
+        }
+        // Verify: every frame of the kept prefix must parse — if the
+        // failure also mangled acknowledged bytes, refuse to serve and
+        // stay wedged (recovery from the snapshot chain is the only
+        // honest path then).
+        let kept = &on_disk[..fl.durable_len.min(on_disk.len() as u64) as usize];
+        let mut at = 0usize;
+        loop {
+            match parse_frame(kept, at) {
+                Ok(Some((payload, next))) => {
+                    if decode_batch(payload).is_none() {
+                        return Err(OmError::Internal(format!(
+                            "file backend {:?}: unwedge verification failed — segment \
+                             {:?} holds an undecodable batch at byte {at}",
+                            self.dir, fl.path
+                        )));
+                    }
+                    at = next;
+                }
+                Ok(None) => break,
+                Err(torn_at) => {
+                    return Err(OmError::Internal(format!(
+                        "file backend {:?}: unwedge verification failed — segment {:?} \
+                         is damaged at byte {torn_at} inside the acknowledged prefix",
+                        self.dir, fl.path
+                    )));
+                }
+            }
+        }
+        fl.file = self.vfs.open_append(&fl.path).map_err(|e| self.io_err(e))?;
+        ap.seg_len = fl.durable_len;
+        self.unwedges.fetch_add(1, Ordering::Relaxed);
+        self.wedged.store(false, Ordering::Release);
+        Ok(torn)
+    }
 }
 
 /// Removes a snapshot-family file together with its `.idx` sidecar (an
 /// orphaned sidecar would otherwise shadow a later rebuild).
-fn remove_with_index(path: &Path) {
-    let _ = fs::remove_file(path.with_extension("idx"));
-    let _ = fs::remove_file(path);
+fn remove_with_index(vfs: &dyn Vfs, path: &Path) {
+    let _ = vfs.remove_file(&path.with_extension("idx"));
+    let _ = vfs.remove_file(path);
 }
 
 pub(crate) fn decode_snapshot_entry(payload: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
@@ -1420,6 +1532,30 @@ impl StateBackend for FileBackend {
             value: None,
         }])
         .expect("file backend delete");
+    }
+
+    fn try_put(&self, key: &[u8], value: &[u8]) -> OmResult<()> {
+        self.commit_ops(&[WriteOp {
+            key: key.to_vec(),
+            value: Some(value.to_vec()),
+        }])
+        .map(|_| ())
+    }
+
+    fn try_delete(&self, key: &[u8]) -> OmResult<()> {
+        self.commit_ops(&[WriteOp {
+            key: key.to_vec(),
+            value: None,
+        }])
+        .map(|_| ())
+    }
+
+    fn is_wedged(&self) -> bool {
+        FileBackend::is_wedged(self)
+    }
+
+    fn unwedge(&self) -> Option<OmResult<u64>> {
+        Some(FileBackend::unwedge(self))
     }
 
     fn get_many(&self, keys: &[&[u8]]) -> Vec<Option<Vec<u8>>> {
@@ -1508,6 +1644,8 @@ impl StateBackend for FileBackend {
             "backend.torn_tail_bytes".into(),
             self.torn_tail_bytes.load(Ordering::Relaxed),
         );
+        out.insert("backend.wedged".into(), u64::from(self.is_wedged()));
+        out.insert("backend.unwedges".into(), self.unwedges.load(Ordering::Relaxed));
         out.insert(
             "backend.maintenance_errors".into(),
             self.maintenance_errors.load(Ordering::Relaxed),
@@ -2010,6 +2148,50 @@ mod tests {
         let b = FileBackend::open(&dir, opts).unwrap();
         assert_eq!(b.counters()["backend.index_rebuilds"], 1, "damaged sidecar rebuilt");
         assert_eq!(b.len(), 64);
+    }
+
+    #[test]
+    fn fsync_failure_wedges_and_unwedge_repairs_in_place() {
+        use crate::vfs::FaultVfs;
+        let dir = scratch_path("wedge");
+        let _guard = DirGuard(dir.clone());
+        let opts = FileBackendOptions {
+            sync_commits: true,
+            snapshot_every: 0,
+            ..FileBackendOptions::default()
+        };
+        let vfs = FaultVfs::new(42).fail_nth_sync(2);
+        let b = FileBackend::open_with_vfs(&dir, opts, Arc::new(vfs.clone())).unwrap();
+        b.commit(WriteBatch::new().put(b"k1".to_vec(), b"v1".to_vec())).unwrap();
+        // The second cohort's fsync fails: the commit errors with the
+        // typed wedge, and the store fails fast from then on.
+        let err = b.commit(WriteBatch::new().put(b"k2".to_vec(), b"v2".to_vec()));
+        assert!(matches!(err, Err(OmError::Wedged(_))), "{err:?}");
+        assert!(b.is_wedged());
+        assert_eq!(b.get(b"k2"), None, "a failed commit must never become visible");
+        let fast = b.commit(WriteBatch::new().put(b"k3".to_vec(), b"v3".to_vec()));
+        assert!(matches!(fast, Err(OmError::Wedged(_))), "{fast:?}");
+        assert_eq!(b.counters()["backend.wedged"], 1);
+
+        // Unwedge: truncate the torn tail (k2's frame reached the file
+        // before the sync failed), verify, resume.
+        let torn = b.unwedge().unwrap();
+        assert!(torn > 0, "k2's unsynced frame is the torn tail");
+        assert!(!b.is_wedged());
+        assert_eq!(b.unwedge().unwrap(), 0, "unwedge is idempotent");
+        b.commit(WriteBatch::new().put(b"k4".to_vec(), b"v4".to_vec())).unwrap();
+        assert_eq!(b.get(b"k4"), Some(b"v4".to_vec()));
+        assert_eq!(b.counters()["backend.unwedges"], 1);
+        drop(b);
+
+        // A cold reopen over the repaired directory agrees: exactly the
+        // acknowledged commits, nothing torn, the sequence gap of the
+        // dropped commit tolerated.
+        let b = FileBackend::open(&dir, opts).unwrap();
+        assert_eq!(b.get(b"k1"), Some(b"v1".to_vec()));
+        assert_eq!(b.get(b"k2"), None);
+        assert_eq!(b.get(b"k4"), Some(b"v4".to_vec()));
+        assert_eq!(b.counters()["backend.torn_tail_bytes"], 0, "no torn tail left behind");
     }
 
     #[test]

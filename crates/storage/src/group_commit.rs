@@ -33,7 +33,7 @@
 pub use om_common::commit_group::{CommitGroup, CommitGroupStats};
 
 use crate::backend::WriteOp;
-use std::fs::File;
+use crate::vfs::VfsFile;
 use std::path::PathBuf;
 
 /// One staged commit: its sequence number and its decoded ops, parked
@@ -76,10 +76,16 @@ impl StagedWal {
 /// leaders (and the inline commit path, when group commit is off) hold
 /// this.
 pub(crate) struct SegmentFile {
-    /// Open WAL segment, in append mode.
-    pub file: File,
-    /// Path of the open segment (diagnostics).
+    /// Open WAL segment, in append mode (behind the VFS seam so fault
+    /// injection sees every byte).
+    pub file: Box<dyn VfsFile>,
+    /// Path of the open segment (diagnostics and unwedge re-open).
     pub path: PathBuf,
+    /// Bytes of this segment known written successfully — the truncate
+    /// point [`crate::FileBackend::unwedge`] rolls the torn tail back
+    /// to. Advanced only after a cohort's `write_all` (+ fsync, when
+    /// configured) returns `Ok`.
+    pub durable_len: u64,
     /// State of the snapshot chain this WAL tail builds on.
     pub chain: ChainState,
 }

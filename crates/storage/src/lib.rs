@@ -46,6 +46,7 @@ pub mod eventual;
 pub mod file;
 pub mod group_commit;
 pub mod snapshot;
+pub mod vfs;
 
 pub use backend::{
     make_backend, make_backend_at, make_backend_with, StateBackend, StateSession, WriteBatch,
@@ -56,6 +57,7 @@ pub use eventual::EventualBackend;
 pub use file::{FileBackend, FileBackendOptions};
 pub use group_commit::{CommitGroup, CommitGroupStats};
 pub use snapshot::SnapshotBackend;
+pub use vfs::{real_vfs, CrashImage, FaultVfs, RealVfs, Vfs, VfsFile, VfsOp};
 
 /// Rounds a requested shard count up to a power of two (minimum 1), the
 /// invariant both backends rely on for hash-and-mask routing.
